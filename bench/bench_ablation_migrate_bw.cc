@@ -1,0 +1,124 @@
+// Ablation A5 — migrate_set_speed sweep.
+//
+// Fig 4's absolute numbers hinge on QEMU 2.9's default 32 MiB/s throttle.
+// Sweeping the cap shows the two regimes: L0-L0 scales with the cap, while
+// the CloudSkulk L0-L1 migration plateaus at the nested destination's
+// receive capacity (~20 MiB/s) — raising the cap cannot speed the attack.
+#include <memory>
+
+#include "bench_util.h"
+#include "net/port_forward.h"
+#include "vmm/migration.h"
+
+namespace {
+
+using csk::bench::Table;
+using namespace csk;
+using namespace csk::vmm;
+
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kCaps[] = {8 * kMiB, 16 * kMiB, 32 * kMiB, 64 * kMiB,
+                            128 * kMiB, 1024 * kMiB};
+
+double run(bool nested_dest, double cap) {
+  World world;
+  auto host_cfg = bench::paper_host_config();
+  host_cfg.ksm_enabled = false;
+  host_cfg.boot_touched_mib = 128;  // reduced transfer volume for the sweep
+  Host* host = world.make_host(host_cfg);
+  auto src_cfg = bench::paper_vm_config();
+  src_cfg.memory_mb = 256;
+  VirtualMachine* source = host->launch_vm(src_cfg).value();
+
+  net::NetAddr target{host->node_name(), Port(4444)};
+  std::unique_ptr<net::PortForwarder> relay;
+  if (!nested_dest) {
+    auto dst = src_cfg;
+    dst.name = "dst";
+    dst.monitor.telnet_port = 0;
+    dst.netdevs[0].hostfwd.clear();
+    dst.incoming_port = 4444;
+    (void)host->launch_vm(dst).value();
+  } else {
+    auto rk = src_cfg;
+    rk.name = "guestX";
+    rk.cpu_host_passthrough = true;
+    rk.monitor.telnet_port = 5556;
+    rk.netdevs[0].hostfwd.clear();
+    VirtualMachine* rootkit = host->launch_vm(rk, 32).value();
+    CSK_CHECK(rootkit->enable_nested_hypervisor().is_ok());
+    auto nested = src_cfg;
+    nested.monitor.telnet_port = 0;
+    nested.netdevs[0].hostfwd = {{22, 22}};
+    nested.incoming_port = 4445;
+    CSK_CHECK(rootkit->launch_nested_vm(nested).is_ok());
+    relay = std::make_unique<net::PortForwarder>(
+        &world.network(), target,
+        net::NetAddr{rootkit->node_name(), Port(4445)});
+    CSK_CHECK(relay->start().is_ok());
+  }
+
+  MigrationConfig cfg;
+  cfg.bandwidth_limit_bytes_per_sec = cap;
+  MigrationJob job(&world, source, target, cfg);
+  job.start();
+  while (!job.done()) {
+    if (!world.simulator().step()) break;
+    if (world.simulator().now() > SimTime(SimDuration::seconds(1200).ns())) break;
+  }
+  CSK_CHECK_MSG(job.done() && job.stats().succeeded, job.stats().error);
+  return job.stats().total_time.seconds_f();
+}
+
+struct Results {
+  double l0l0[std::size(kCaps)];
+  double l0l1[std::size(kCaps)];
+};
+
+const Results& results() {
+  static const Results cached = [] {
+    Results r;
+    for (std::size_t i = 0; i < std::size(kCaps); ++i) {
+      r.l0l0[i] = run(false, kCaps[i]);
+      r.l0l1[i] = run(true, kCaps[i]);
+    }
+    return r;
+  }();
+  return cached;
+}
+
+void BM_MigrateBandwidth(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  const bool nested = state.range(1) == 1;
+  for (auto _ : state) benchmark::DoNotOptimize(results());
+  state.counters["cap_MiBps"] = kCaps[idx] / kMiB;
+  state.counters["e2e_s_sim"] =
+      nested ? results().l0l1[idx] : results().l0l0[idx];
+  state.SetLabel(nested ? "L0-L1" : "L0-L0");
+}
+BENCHMARK(BM_MigrateBandwidth)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
+    ->Iterations(1);
+
+void print_tables() {
+  const Results& r = results();
+  Table table("Ablation A5 — bandwidth cap sweep (256 MiB guest, idle)");
+  table.columns({"cap (MiB/s)", "L0-L0 e2e (s)", "L0-L1 e2e (s)",
+                 "L0-L1 / L0-L0"});
+  for (std::size_t i = 0; i < std::size(kCaps); ++i) {
+    table.row({csk::format_fixed(kCaps[i] / kMiB, 0),
+               csk::format_fixed(r.l0l0[i], 1),
+               csk::format_fixed(r.l0l1[i], 1),
+               csk::format_fixed(r.l0l1[i] / r.l0l0[i], 2)});
+  }
+  table.note("L0-L0 keeps scaling with the cap; the nested destination "
+             "saturates near ~20 MiB/s — the rootkit cannot buy a faster "
+             "installation with migrate_set_speed alone");
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

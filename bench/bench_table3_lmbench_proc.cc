@@ -1,0 +1,69 @@
+// Regenerates Table III: lmbench process/IPC latencies (µs) at L0/L1/L2 —
+// where the Turtles exit multiplication shows its teeth (pipe latency 3.49
+// -> 65.49 µs, fork 74.6 -> 242 µs).
+#include "bench_util.h"
+#include "workloads/lmbench.h"
+
+namespace {
+
+using csk::bench::Table;
+using csk::hv::ExecEnv;
+using csk::hv::Layer;
+using csk::hv::TimingModel;
+using csk::workloads::LmbenchSuite;
+
+struct TableIIIResults {
+  std::vector<csk::workloads::LmbenchProcResult> rows[3];
+};
+
+const TableIIIResults& results() {
+  static const TableIIIResults cached = [] {
+    TableIIIResults r;
+    const TimingModel model;
+    const LmbenchSuite suite;
+    for (int layer = 0; layer < 3; ++layer) {
+      r.rows[layer] =
+          suite.run_proc(ExecEnv{static_cast<Layer>(layer), &model, false});
+    }
+    return r;
+  }();
+  return cached;
+}
+
+void BM_TableIII_Proc(benchmark::State& state) {
+  const int layer = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(results());
+  }
+  for (const auto& row : results().rows[layer]) {
+    state.counters[row.op + "_us"] = row.us;
+  }
+  state.SetLabel(csk::hv::layer_name(static_cast<Layer>(layer)));
+}
+BENCHMARK(BM_TableIII_Proc)->DenseRange(0, 2)->Iterations(1);
+
+void print_tables() {
+  const TableIIIResults& r = results();
+  Table table("Table III — lmbench processes, times in µs");
+  std::vector<std::string> headers{"Config"};
+  for (const auto& row : r.rows[0]) headers.push_back(row.op);
+  table.columns(headers);
+  for (int layer = 0; layer < 3; ++layer) {
+    std::vector<std::string> cells{
+        csk::hv::layer_name(static_cast<Layer>(layer))};
+    for (const auto& row : r.rows[layer]) {
+      cells.push_back(csk::format_fixed(row.us, row.us < 1 ? 3 : 2));
+    }
+    table.row(cells);
+  }
+  table.note("paper L2 row: 0.10 / 0.60 / 0.32 / 65.49 / 43.98 / 242.19 / "
+             "588.50 / 1826.00 — fork and IPC pay the nested exit "
+             "multiplication; arithmetic (Table II) does not");
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

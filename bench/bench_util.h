@@ -1,0 +1,124 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the simulated experiment at paper scale, registers the headline numbers
+// as google-benchmark entries (Iterations(1) — the experiments are
+// deterministic simulations, not microbenchmarks of this process), and then
+// prints a paper-vs-measured table so EXPERIMENTS.md can be assembled from
+// the raw output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "vmm/host.h"
+#include "vmm/machine_config.h"
+
+namespace csk::bench {
+
+/// The paper's testbed, scaled 1:1 — Dell T1700, 16 GB RAM, Fedora 22
+/// guests with 1 GiB RAM each, ~480 MiB resident after boot. ksmd is tuned
+/// up from the kernel defaults so that merge waits stay at the "wait for a
+/// while" magnitude the paper uses.
+inline vmm::World::HostConfig paper_host_config() {
+  vmm::World::HostConfig cfg;
+  cfg.name = "host0";
+  cfg.memory_gb = 16;
+  cfg.boot_touched_mib = 480;
+  cfg.ksm.pages_per_scan = 5000;
+  cfg.ksm.scan_interval = SimDuration::millis(20);
+  return cfg;
+}
+
+/// The target VM of the evaluation: 1 GiB RAM, one vCPU, qcow2 disk,
+/// user-mode virtio-net with the SSH hostfwd, monitor on telnet 5555.
+inline vmm::MachineConfig paper_vm_config(const std::string& name = "guest0") {
+  vmm::MachineConfig cfg;
+  cfg.name = name;
+  cfg.memory_mb = 1024;
+  cfg.vcpus = 1;
+  cfg.drives.push_back({name + ".qcow2", "qcow2", 20480});
+  vmm::NetdevConfig nd;
+  nd.hostfwd.push_back({2222, 22});
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = 5555;
+  return cfg;
+}
+
+// ----------------------------------------------------------- table output
+
+/// Fixed-width console table, printed after the google-benchmark run.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& columns(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+    return *this;
+  }
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+  Table& note(std::string text) {
+    notes_.push_back(std::move(text));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    print_row(headers_, widths);
+    std::size_t total = headers_.size() ? headers_.size() * 3 - 1 : 0;
+    for (std::size_t w : widths) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row, widths);
+    for (const auto& n : notes_) std::printf("note: %s\n", n.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), cells[c].c_str(),
+                  c + 1 < cells.size() ? " | " : "");
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// "+25.7%" style delta label.
+inline std::string pct_delta(double from, double to, int decimals = 1) {
+  const double pct = (to - from) / from * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, pct);
+  return buf;
+}
+
+/// Runs the registered benchmarks, then the provided table printer.
+inline int bench_main(int argc, char** argv, void (*print_tables)()) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (print_tables != nullptr) print_tables();
+  return 0;
+}
+
+}  // namespace csk::bench

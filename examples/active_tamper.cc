@@ -1,0 +1,104 @@
+// active_tamper — the paper's §IV-B2 active services.
+//
+// The victim runs an email + web service. The RITM silently deletes mail
+// about a specific topic, drops chosen web requests, and rewrites web
+// responses on their way to clients — the integrity attacks §IV-B2 warns
+// about (online banking being the canonical example).
+//
+//   $ ./build/examples/active_tamper
+#include <cstdio>
+
+#include "cloudskulk/installer.h"
+#include "cloudskulk/services/active.h"
+#include "vmm/host.h"
+
+using namespace csk;
+
+int main() {
+  vmm::World world;
+  vmm::World::HostConfig host_cfg;
+  host_cfg.boot_touched_mib = 64;
+  vmm::Host* host = world.make_host(host_cfg);
+
+  vmm::MachineConfig cfg;
+  cfg.name = "guest0";
+  cfg.memory_mb = 256;
+  cfg.drives.push_back({"guest0.qcow2", "qcow2", 20480});
+  vmm::NetdevConfig nd;
+  nd.hostfwd.push_back({2525, 25});  // SMTP
+  nd.hostfwd.push_back({8080, 80});  // HTTP
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = 5555;
+  (void)host->launch_vm_cmdline(cfg.to_command_line());
+
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 32;
+  cloudskulk::CloudSkulkInstaller installer(host, opts);
+  if (!installer.install().succeeded) return 1;
+  vmm::VirtualMachine* nested = installer.nested_vm();
+
+  // Victim services: a mail spool and a tiny bank.
+  std::vector<std::string> mail_spool;
+  (void)nested->bind_guest_port(Port(25), [&](net::Packet pkt) {
+    mail_spool.push_back(pkt.payload);
+  });
+  (void)nested->bind_guest_port(Port(80), [&](net::Packet pkt) {
+    net::Packet reply = pkt;
+    reply.kind = net::ProtoKind::kHttpResponse;
+    reply.src = net::NetAddr{nested->node_name(), Port(80)};
+    reply.payload = "HTTP/1.1 200 OK\nbalance: $5000\n";
+    reply.wire_bytes = reply.payload.size() + 40;
+    world.network().send(pkt.reply_to, std::move(reply));
+  });
+
+  // The attacker's tamper rules.
+  cloudskulk::PacketTamperer tamperer;
+  tamperer.add_rule(cloudskulk::make_email_dropper("ACME-MERGER"));
+  tamperer.add_rule(cloudskulk::make_web_request_dropper("/admin"));
+  tamperer.add_rule(
+      cloudskulk::make_web_response_rewriter("balance: $5000",
+                                             "balance: $137"));
+  installer.ritm()->add_tap(&tamperer);
+
+  auto send = [&](std::uint16_t host_port, net::ProtoKind kind,
+                  const std::string& payload) {
+    net::Packet p;
+    p.conn = world.network().new_conn();
+    p.kind = kind;
+    p.src = {"client", Port(40000)};
+    p.reply_to = p.src;
+    p.payload = payload;
+    p.wire_bytes = payload.size() + 40;
+    world.network().send({host->node_name(), Port(host_port)}, p);
+    world.simulator().run_for(SimDuration::seconds(1));
+  };
+  std::vector<std::string> client_rx;
+  (void)world.network().bind({"client", Port(40000)}, [&](net::Packet p) {
+    client_rx.push_back(p.payload);
+  });
+
+  std::printf("sending three emails to the victim's mail server...\n");
+  send(2525, net::ProtoKind::kSmtpMail, "Subject: lunch on friday?");
+  send(2525, net::ProtoKind::kSmtpMail, "Subject: ACME-MERGER term sheet");
+  send(2525, net::ProtoKind::kSmtpMail, "Subject: weekly report");
+  std::printf("mail that actually arrived (%zu of 3):\n", mail_spool.size());
+  for (const auto& m : mail_spool) std::printf("  %s\n", m.c_str());
+
+  std::printf("\nweb requests...\n");
+  send(8080, net::ProtoKind::kHttpRequest, "GET /balance");
+  send(8080, net::ProtoKind::kHttpRequest, "GET /admin/users");
+  std::printf("client received %zu responses (the /admin request vanished):\n",
+              client_rx.size());
+  for (const auto& r : client_rx) std::printf("  %s\n", r.c_str());
+
+  std::printf("\ntamper rule statistics:\n");
+  for (std::size_t i = 0; i < tamperer.rules().size(); ++i) {
+    const auto& s = tamperer.stats()[i];
+    std::printf("  %-22s matched %llu, dropped %llu, rewritten %llu\n",
+                tamperer.rules()[i].name.c_str(),
+                static_cast<unsigned long long>(s.matched),
+                static_cast<unsigned long long>(s.dropped),
+                static_cast<unsigned long long>(s.rewritten));
+  }
+  return 0;
+}

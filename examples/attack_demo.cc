@@ -1,0 +1,98 @@
+// attack_demo — the paper's §V-A demonstration video, as a transcript.
+//
+// Installs a CloudSkulk rootkit against a 1 GiB Fedora-like guest on one
+// simulated physical machine, narrating every step with simulated
+// timestamps, then shows what the host administrator and the victim each
+// see afterwards.
+//
+//   $ ./build/examples/attack_demo
+#include <cstdio>
+
+#include "cloudskulk/installer.h"
+#include "vmm/monitor.h"
+
+using namespace csk;
+using namespace csk::vmm;
+
+namespace {
+void banner(const char* text) { std::printf("\n--- %s ---\n", text); }
+}  // namespace
+
+int main() {
+  World world;
+  World::HostConfig host_cfg;
+  host_cfg.boot_touched_mib = 480;  // Fedora 22 workstation, post-boot
+  Host* host = world.make_host(host_cfg);
+
+  banner("the cloud before the attack");
+  MachineConfig victim_cfg;
+  victim_cfg.name = "guest0";
+  victim_cfg.memory_mb = 1024;
+  victim_cfg.drives.push_back({"fedora22.qcow2", "qcow2", 20480});
+  NetdevConfig nd;
+  nd.hostfwd.push_back({2222, 22});
+  victim_cfg.netdevs.push_back(nd);
+  victim_cfg.monitor.telnet_port = 5555;
+  VirtualMachine* victim = host->launch_vm(victim_cfg).value();
+  std::printf("tenant VM '%s' running (pid %d), ssh reachable at host0:2222\n",
+              victim->name().c_str(),
+              host->pid_of_vm(victim->id()).value().value());
+  host->append_history(victim_cfg.to_command_line());
+
+  banner("attacker (with host root) installs CloudSkulk");
+  cloudskulk::InstallerOptions opts;  // AAAA=4444, BBBB=4445 as in §IV-A
+  cloudskulk::CloudSkulkInstaller installer(host, opts);
+  const cloudskulk::InstallReport report = installer.install();
+  for (const std::string& line : report.log) {
+    std::printf("  [%8.2fs] %s\n", world.simulator().now().seconds_f(),
+                line.c_str());
+  }
+  if (!report.succeeded) {
+    std::printf("install FAILED: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf("install complete in %s (paper: \"less than 1 minute\")\n",
+              report.total_time.to_string().c_str());
+
+  banner("what the host administrator sees (ps -ef)");
+  for (const auto& p : host->ps()) {
+    std::printf("  %5d  %-16s %s\n", p.pid.value(), p.comm.c_str(),
+                p.cmdline.substr(0, 90).c_str());
+  }
+  auto mon = host->connect_monitor(5555).value();
+  std::printf("  (qemu) info status -> %s\n",
+              mon->execute("info status").value().c_str());
+
+  banner("what is actually running");
+  VirtualMachine* rootkit = installer.rootkit_vm();
+  VirtualMachine* nested = installer.nested_vm();
+  std::printf("  %s: L%d rootkit VM (GuestX), hosting an L%d nested guest\n",
+              rootkit->name().c_str(), static_cast<int>(rootkit->layer()) ,
+              static_cast<int>(nested->layer()));
+  std::printf("  victim OS (hostname %s) now executes at L2; its sshd: %s\n",
+              nested->os()->identity().hostname.c_str(),
+              nested->os()->find_process_by_name("sshd").is_ok()
+                  ? "running"
+                  : "missing");
+
+  banner("offensive VMI from the rootkit (attacker's view of the victim)");
+  auto table = installer.ritm()->introspect_victim();
+  if (table.is_ok()) {
+    std::printf("  victim kernel: %s\n",
+                table->identity.kernel_version.c_str());
+    for (const auto& p : table->procs) {
+      std::printf("    %5d %s\n", p.pid.value(), p.name.c_str());
+    }
+  }
+
+  banner("migration statistics");
+  const MigrationStats& m = report.migration;
+  std::printf("  end-to-end %s, downtime %s, rounds %d\n",
+              m.total_time.to_string().c_str(),
+              m.downtime.to_string().c_str(), m.rounds);
+  std::printf("  pages: %llu content + %llu zero, %.1f MiB on the wire\n",
+              static_cast<unsigned long long>(m.pages_transferred),
+              static_cast<unsigned long long>(m.zero_pages),
+              static_cast<double>(m.wire_bytes) / (1024.0 * 1024.0));
+  return 0;
+}

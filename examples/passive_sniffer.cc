@@ -1,0 +1,110 @@
+// passive_sniffer — the paper's §IV-B1 passive services, live.
+//
+// After installing CloudSkulk, the attacker attaches a packet logger and a
+// keystroke logger at the RITM position, takes VMI snapshots of the victim,
+// and deploys a parallel malicious OS — all without perturbing a single
+// victim packet.
+//
+//   $ ./build/examples/passive_sniffer
+#include <cstdio>
+
+#include "cloudskulk/installer.h"
+#include "cloudskulk/services/passive.h"
+#include "vmm/host.h"
+
+using namespace csk;
+
+int main() {
+  vmm::World world;
+  vmm::World::HostConfig host_cfg;
+  host_cfg.boot_touched_mib = 64;
+  vmm::Host* host = world.make_host(host_cfg);
+
+  vmm::MachineConfig cfg;
+  cfg.name = "guest0";
+  cfg.memory_mb = 256;
+  cfg.drives.push_back({"guest0.qcow2", "qcow2", 20480});
+  vmm::NetdevConfig nd;
+  nd.hostfwd.push_back({2222, 22});
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = 5555;
+  (void)host->launch_vm_cmdline(cfg.to_command_line());
+
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 32;
+  cloudskulk::CloudSkulkInstaller installer(host, opts);
+  if (!installer.install().succeeded) return 1;
+  std::printf("CloudSkulk in place; victim nested at L2.\n\n");
+
+  // The victim's sshd echoes; the attacker's taps sit in the middle.
+  vmm::VirtualMachine* nested = installer.nested_vm();
+  (void)nested->bind_guest_port(Port(22), [&](net::Packet pkt) {
+    net::Packet reply = pkt;
+    reply.kind = net::ProtoKind::kSshOutput;
+    reply.src = net::NetAddr{nested->node_name(), Port(22)};
+    reply.payload = "$ ";
+    reply.wire_bytes = 42;
+    world.network().send(pkt.reply_to, std::move(reply));
+  });
+
+  cloudskulk::PacketLogger sniffer(&world.simulator());
+  cloudskulk::KeystrokeLogger keylogger(&world.simulator());
+  installer.ritm()->add_tap(&sniffer);
+  installer.ritm()->add_tap(&keylogger);
+
+  cloudskulk::VmiMonitor vmi(&world.simulator(), installer.ritm());
+  vmi.start(SimDuration::seconds(5));
+
+  // The victim types an ssh session, oblivious.
+  (void)world.network().bind({"victim-laptop", Port(51000)},
+                             [](net::Packet) {});
+  const ConnId conn = world.network().new_conn();
+  const char* session[] = {"ls -la\n", "vim secrets.txt\n",
+                           "password: hunter2\n", "git push\n", "exit\n"};
+  for (const char* keys : session) {
+    net::Packet p;
+    p.conn = conn;
+    p.kind = net::ProtoKind::kSshKeystroke;
+    p.src = {"victim-laptop", Port(51000)};
+    p.reply_to = p.src;
+    p.payload = keys;
+    p.wire_bytes = p.payload.size() + 40;
+    world.network().send({host->node_name(), Port(2222)}, p);
+    world.simulator().run_for(SimDuration::seconds(3));
+  }
+  // Victim starts something interesting mid-observation.
+  nested->os()->spawn("pg_dump", "/usr/bin/pg_dump payroll");
+  world.simulator().run_for(SimDuration::seconds(6));
+
+  std::printf("packet log (%zu packets, %llu bytes observed):\n",
+              sniffer.entries().size(),
+              static_cast<unsigned long long>(sniffer.total_bytes()));
+  for (const auto& e : sniffer.entries()) {
+    std::printf("  [%7.2fs] %-7s %-14s %4llu B  %.32s\n",
+                e.when.seconds_f(),
+                e.dir == net::PacketTap::Direction::kForward ? "->" : "<-",
+                net::proto_kind_name(e.kind),
+                static_cast<unsigned long long>(e.bytes),
+                e.excerpt.c_str());
+  }
+
+  std::printf("\nkeystroke transcript (%zu keys):\n%s\n",
+              keylogger.keystrokes(), keylogger.transcript().c_str());
+
+  std::printf("VMI monitor: %zu snapshots; victim started since first: ",
+              vmi.history().size());
+  for (const auto& name : vmi.new_processes_since_first()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n\n");
+
+  cloudskulk::ParallelMaliciousOs::Options evil_opts;
+  evil_opts.memory_mb = 32;
+  cloudskulk::ParallelMaliciousOs evil(installer.ritm(), evil_opts);
+  if (evil.deploy().is_ok()) {
+    std::printf("parallel malicious OS '%s' deployed beside the victim "
+                "(phishd, spam-relay, ddos-zombie running at L2)\n",
+                evil.vm()->name().c_str());
+  }
+  return 0;
+}

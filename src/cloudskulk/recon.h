@@ -1,0 +1,68 @@
+// Target reconnaissance (paper §IV-A, first half).
+//
+// Before the rootkit can impersonate a VM it must recover the target's full
+// QEMU configuration, because live migration demands a matching destination
+// machine. The paper names three escalating sources, all implemented here:
+//   1. shell history — the original qemu command line verbatim;
+//   2. `ps -ef`       — the running process's command line;
+//   3. the QEMU monitor — `info qtree` / `info mtree` / `info network` /
+//      `info block` introspection when neither history nor ps is usable,
+//      reassembling the MachineConfig from device-level facts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "vmm/host.h"
+#include "vmm/machine_config.h"
+
+namespace csk::cloudskulk {
+
+struct ReconReport {
+  vmm::MachineConfig config;
+  std::string qemu_cmdline;  // recovered or reconstructed
+  Pid host_pid;              // the target QEMU process on the host
+  VmId vm;
+  /// Which sources produced the result, in the order they were consulted.
+  std::vector<std::string> evidence;
+};
+
+class TargetRecon {
+ public:
+  struct Options {
+    bool use_history = true;
+    bool use_ps = true;
+    bool use_monitor = true;
+  };
+
+  explicit TargetRecon(vmm::Host* host) : TargetRecon(host, Options()) {}
+  TargetRecon(vmm::Host* host, Options options);
+
+  /// Full recon of the VM named `vm_name` on the host.
+  Result<ReconReport> discover(const std::string& vm_name);
+
+  /// Monitor-only reconstruction (the paper's fallback when system-level
+  /// utilities are unavailable): rebuilds a MachineConfig from `info`
+  /// command output alone.
+  Result<vmm::MachineConfig> introspect_via_monitor(
+      std::uint16_t telnet_port) const;
+
+ private:
+  Result<std::string> cmdline_from_history(const std::string& vm_name) const;
+  Result<std::string> cmdline_from_ps(const std::string& vm_name) const;
+
+  vmm::Host* host_;
+  Options options_;
+};
+
+/// Parses `info network` output back into netdev configs (exposed for
+/// tests; used by monitor introspection).
+Result<std::vector<vmm::NetdevConfig>> parse_info_network(
+    const std::string& text);
+
+/// Parses the RAM size in MiB out of `info mtree` output.
+Result<std::uint64_t> parse_info_mtree_ram_mb(const std::string& text);
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,33 @@
+#include "cloudskulk/ritm.h"
+
+namespace csk::cloudskulk {
+
+RitmVm::RitmVm(vmm::VirtualMachine* rootkit, vmm::VirtualMachine* nested)
+    : rootkit_(rootkit), nested_(nested) {
+  CSK_CHECK(rootkit != nullptr && nested != nullptr);
+  CSK_CHECK_MSG(nested->parent() == rootkit,
+                "victim VM is not nested inside the rootkit VM");
+}
+
+void RitmVm::add_tap(net::PacketTap* tap) {
+  for (net::PortForwarder* fwd : nested_->forwarders()) fwd->add_tap(tap);
+}
+
+void RitmVm::remove_tap(net::PacketTap* tap) {
+  for (net::PortForwarder* fwd : nested_->forwarders()) fwd->remove_tap(tap);
+}
+
+Result<guestos::ParsedProcTable> RitmVm::introspect_victim() const {
+  auto bytes = nested_->memory().read_bytes(Gfn(guestos::kProcTableGfn));
+  if (!bytes.has_value()) {
+    return not_found("victim proc-table page not materialized");
+  }
+  return guestos::parse_proc_table(*bytes);
+}
+
+Result<guestos::OsIdentity> RitmVm::victim_identity() const {
+  CSK_ASSIGN_OR_RETURN(guestos::ParsedProcTable table, introspect_victim());
+  return table.identity;
+}
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,46 @@
+// RitmVm — the Rootkit-In-The-Middle position.
+//
+// After installation, the attacker owns GuestX (the L1 rootkit VM) with the
+// victim running nested inside it. Everything the victim does crosses the
+// attacker's territory: network traffic traverses the inner port forwarder,
+// and the victim's entire RAM is a region of GuestX's memory that the
+// attacker's L1 hypervisor can introspect at will (VMI turned offensive,
+// paper §IV-B1). RitmVm is the handle services attach to.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "guestos/os.h"
+#include "net/port_forward.h"
+#include "vmm/vm.h"
+
+namespace csk::cloudskulk {
+
+class RitmVm {
+ public:
+  /// `rootkit` is GuestX; `nested` is the victim VM now running inside it.
+  RitmVm(vmm::VirtualMachine* rootkit, vmm::VirtualMachine* nested);
+
+  vmm::VirtualMachine* rootkit_vm() { return rootkit_; }
+  vmm::VirtualMachine* victim_vm() { return nested_; }
+
+  /// Attaches a service tap to every forwarder carrying victim traffic
+  /// (the inner hostfwd relays inside GuestX).
+  void add_tap(net::PacketTap* tap);
+  void remove_tap(net::PacketTap* tap);
+
+  /// Offensive VMI: reads the victim's kernel process table straight out
+  /// of its memory. The attacker controls L1, so there is no semantic gap
+  /// for *them* — they know exactly where the nested guest's RAM begins.
+  Result<guestos::ParsedProcTable> introspect_victim() const;
+
+  /// Victim uptime and identity, convenience views for services.
+  Result<guestos::OsIdentity> victim_identity() const;
+
+ private:
+  vmm::VirtualMachine* rootkit_;
+  vmm::VirtualMachine* nested_;
+};
+
+}  // namespace csk::cloudskulk

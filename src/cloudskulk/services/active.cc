@@ -1,0 +1,64 @@
+#include "cloudskulk/services/active.h"
+
+namespace csk::cloudskulk {
+
+TamperRule make_email_dropper(std::string needle) {
+  TamperRule r;
+  r.name = "email-dropper";
+  r.kind = net::ProtoKind::kSmtpMail;
+  r.match = std::move(needle);
+  r.action = TamperRule::Action::kDrop;
+  return r;
+}
+
+TamperRule make_web_response_rewriter(std::string from, std::string to) {
+  TamperRule r;
+  r.name = "web-response-rewriter";
+  r.kind = net::ProtoKind::kHttpResponse;
+  r.direction = net::PacketTap::Direction::kReverse;
+  r.match = std::move(from);
+  r.action = TamperRule::Action::kRewrite;
+  r.replacement = std::move(to);
+  return r;
+}
+
+TamperRule make_web_request_dropper(std::string path_needle) {
+  TamperRule r;
+  r.name = "web-request-dropper";
+  r.kind = net::ProtoKind::kHttpRequest;
+  r.direction = net::PacketTap::Direction::kForward;
+  r.match = std::move(path_needle);
+  r.action = TamperRule::Action::kDrop;
+  return r;
+}
+
+void PacketTamperer::add_rule(TamperRule rule) {
+  rules_.push_back(std::move(rule));
+  stats_.emplace_back();
+}
+
+net::PacketTap::Verdict PacketTamperer::inspect(net::Packet& pkt,
+                                                Direction dir) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const TamperRule& rule = rules_[i];
+    if (rule.kind && *rule.kind != pkt.kind) continue;
+    if (rule.direction && *rule.direction != dir) continue;
+    std::size_t pos = 0;
+    if (!rule.match.empty()) {
+      pos = pkt.payload.find(rule.match);
+      if (pos == std::string::npos) continue;
+    }
+    ++stats_[i].matched;
+    if (rule.action == TamperRule::Action::kDrop) {
+      ++stats_[i].dropped;
+      return Verdict::kDrop;
+    }
+    pkt.payload.replace(pos, rule.match.size(), rule.replacement);
+    ++stats_[i].rewritten;
+    // A rewritten packet continues through later rules, like an iptables
+    // chain without an ACCEPT shortcut.
+  }
+  return Verdict::kPass;
+}
+
+}  // namespace csk::cloudskulk

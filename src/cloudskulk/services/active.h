@@ -1,0 +1,64 @@
+// Active RITM services (paper §IV-B2): tamper with victim traffic.
+//
+// PacketTamperer applies an ordered rule list to everything crossing the
+// RITM position. The paper's two examples are provided as rule factories:
+// dropping/deleting email at a victim mail server, and rewriting responses
+// served by a victim web service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/port_forward.h"
+
+namespace csk::cloudskulk {
+
+struct TamperRule {
+  enum class Action { kDrop, kRewrite };
+
+  std::string name;
+  /// Apply only to this protocol (unset = any).
+  std::optional<net::ProtoKind> kind;
+  /// Apply only in this direction (unset = both).
+  std::optional<net::PacketTap::Direction> direction;
+  /// Payload substring that triggers the rule (empty = always).
+  std::string match;
+  Action action = Action::kDrop;
+  /// For kRewrite: text replacing `match` (first occurrence per packet).
+  std::string replacement;
+};
+
+/// Builds the paper's email-manipulation example: silently drop any mail
+/// whose body mentions `needle`.
+TamperRule make_email_dropper(std::string needle);
+
+/// Builds the paper's web-manipulation example: rewrite `from` to `to`
+/// inside responses served by the victim's web service.
+TamperRule make_web_response_rewriter(std::string from, std::string to);
+
+/// Drops a fraction-free, deterministic class of web requests (e.g. every
+/// request naming a path) — "attackers can easily drop certain requests".
+TamperRule make_web_request_dropper(std::string path_needle);
+
+class PacketTamperer final : public net::PacketTap {
+ public:
+  struct RuleStats {
+    std::uint64_t matched = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t rewritten = 0;
+  };
+
+  void add_rule(TamperRule rule);
+  const std::vector<TamperRule>& rules() const { return rules_; }
+  const std::vector<RuleStats>& stats() const { return stats_; }
+
+  Verdict inspect(net::Packet& pkt, Direction dir) override;
+
+ private:
+  std::vector<TamperRule> rules_;
+  std::vector<RuleStats> stats_;
+};
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,116 @@
+#include "cloudskulk/services/passive.h"
+
+#include <algorithm>
+
+namespace csk::cloudskulk {
+
+PacketLogger::PacketLogger(sim::Simulator* simulator,
+                           std::size_t excerpt_bytes)
+    : simulator_(simulator), excerpt_bytes_(excerpt_bytes) {
+  CSK_CHECK(simulator != nullptr);
+}
+
+net::PacketTap::Verdict PacketLogger::inspect(net::Packet& pkt,
+                                              Direction dir) {
+  Entry e;
+  e.when = simulator_->now();
+  e.dir = dir;
+  e.kind = pkt.kind;
+  e.bytes = pkt.wire_bytes;
+  e.excerpt = pkt.payload.substr(0, excerpt_bytes_);
+  total_bytes_ += pkt.wire_bytes;
+  entries_.push_back(std::move(e));
+  return Verdict::kPass;
+}
+
+KeystrokeLogger::KeystrokeLogger(sim::Simulator* simulator)
+    : simulator_(simulator) {
+  CSK_CHECK(simulator != nullptr);
+}
+
+net::PacketTap::Verdict KeystrokeLogger::inspect(net::Packet& pkt,
+                                                 Direction dir) {
+  if (dir == Direction::kForward &&
+      pkt.kind == net::ProtoKind::kSshKeystroke) {
+    transcript_ += pkt.payload;
+    keystrokes_ += pkt.payload.size();
+  }
+  return Verdict::kPass;
+}
+
+VmiMonitor::VmiMonitor(sim::Simulator* simulator, RitmVm* ritm)
+    : simulator_(simulator), ritm_(ritm) {
+  CSK_CHECK(simulator != nullptr && ritm != nullptr);
+}
+
+VmiMonitor::~VmiMonitor() { stop(); }
+
+Result<VmiMonitor::Snapshot> VmiMonitor::snapshot() {
+  CSK_ASSIGN_OR_RETURN(guestos::ParsedProcTable table,
+                       ritm_->introspect_victim());
+  Snapshot s;
+  s.when = simulator_->now();
+  s.identity = table.identity;
+  s.process_names.reserve(table.procs.size());
+  for (const guestos::Process& p : table.procs) {
+    s.process_names.push_back(p.name);
+  }
+  history_.push_back(s);
+  return s;
+}
+
+void VmiMonitor::start(SimDuration interval) {
+  if (task_.valid()) return;
+  task_ = simulator_->schedule_periodic(interval, [this] {
+    (void)snapshot();
+    return true;
+  });
+}
+
+void VmiMonitor::stop() {
+  if (!task_.valid()) return;
+  simulator_->cancel(task_);
+  task_ = EventId::invalid();
+}
+
+std::vector<std::string> VmiMonitor::new_processes_since_first() const {
+  if (history_.size() < 2) return {};
+  const auto& base = history_.front().process_names;
+  std::vector<std::string> out;
+  for (const std::string& name : history_.back().process_names) {
+    if (std::find(base.begin(), base.end(), name) == base.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+ParallelMaliciousOs::ParallelMaliciousOs(RitmVm* ritm, Options options)
+    : ritm_(ritm), options_(std::move(options)) {
+  CSK_CHECK(ritm != nullptr);
+}
+
+Status ParallelMaliciousOs::deploy() {
+  if (vm_ != nullptr) return already_exists("already deployed");
+  vmm::MachineConfig cfg;
+  cfg.name = options_.vm_name;
+  cfg.memory_mb = options_.memory_mb;
+  cfg.drives.push_back({"updater.qcow2", "qcow2", 2048});
+  // A deliberately slim OS: boot touches a quarter of its RAM.
+  CSK_ASSIGN_OR_RETURN(
+      vm_, ritm_->rootkit_vm()->launch_nested_vm(cfg, options_.memory_mb / 4));
+  vm_->os()->spawn("phishd", "/usr/local/bin/phishd -p " +
+                                 std::to_string(options_.phishing_port));
+  vm_->os()->spawn("spam-relay", "/usr/local/bin/spam-relay");
+  vm_->os()->spawn("ddos-zombie", "/usr/local/bin/zombie --c2 10.6.6.6");
+  // Phishing web service: answers anything that reaches its port.
+  auto bound = vm_->bind_guest_port(Port(options_.phishing_port),
+                                    [this](net::Packet pkt) {
+                                      ++served_;
+                                      (void)pkt;
+                                    });
+  CSK_RETURN_IF_ERROR(bound.status());
+  return Status::ok();
+}
+
+}  // namespace csk::cloudskulk

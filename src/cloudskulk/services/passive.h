@@ -1,0 +1,126 @@
+// Passive RITM services (paper §IV-B1): observe without perturbing.
+//
+//   * PacketLogger     — records every packet crossing the RITM position;
+//   * KeystrokeLogger  — the classic keylogger, lifted from the kernel to
+//     the middle of the SSH path: plaintext is captured where the rootkit
+//     sits, before/after the victim's own encryption boundary;
+//   * VmiMonitor       — offensive virtual machine introspection: periodic
+//     snapshots of the victim's process table read out of its RAM;
+//   * ParallelMaliciousOs — a second OS run by the attacker's hypervisor
+//     beside the victim (phishing web service, spam relay, DDoS zombie).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloudskulk/ritm.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/port_forward.h"
+#include "sim/simulator.h"
+#include "vmm/vm.h"
+
+namespace csk::cloudskulk {
+
+class PacketLogger final : public net::PacketTap {
+ public:
+  struct Entry {
+    SimTime when;
+    net::PacketTap::Direction dir;
+    net::ProtoKind kind;
+    std::uint64_t bytes;
+    std::string excerpt;  // first bytes of payload
+  };
+
+  explicit PacketLogger(sim::Simulator* simulator,
+                        std::size_t excerpt_bytes = 48);
+
+  Verdict inspect(net::Packet& pkt, Direction dir) override;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  sim::Simulator* simulator_;
+  std::size_t excerpt_bytes_;
+  std::vector<Entry> entries_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+class KeystrokeLogger final : public net::PacketTap {
+ public:
+  explicit KeystrokeLogger(sim::Simulator* simulator);
+
+  Verdict inspect(net::Packet& pkt, Direction dir) override;
+
+  /// Everything the victim typed, in order.
+  const std::string& transcript() const { return transcript_; }
+  std::size_t keystrokes() const { return keystrokes_; }
+
+ private:
+  sim::Simulator* simulator_;
+  std::string transcript_;
+  std::size_t keystrokes_ = 0;
+};
+
+/// Periodic offensive VMI over the nested victim.
+class VmiMonitor {
+ public:
+  struct Snapshot {
+    SimTime when;
+    guestos::OsIdentity identity;
+    std::vector<std::string> process_names;
+  };
+
+  VmiMonitor(sim::Simulator* simulator, RitmVm* ritm);
+  ~VmiMonitor();
+
+  /// Takes one snapshot immediately.
+  Result<Snapshot> snapshot();
+
+  /// Starts periodic snapshots.
+  void start(SimDuration interval);
+  void stop();
+
+  const std::vector<Snapshot>& history() const { return history_; }
+
+  /// Process names seen in a later snapshot but not the first (spotting
+  /// what the victim started since observation began).
+  std::vector<std::string> new_processes_since_first() const;
+
+ private:
+  sim::Simulator* simulator_;
+  RitmVm* ritm_;
+  std::vector<Snapshot> history_;
+  EventId task_ = EventId::invalid();
+};
+
+/// The attacker's own OS running beside the victim under the L1 hypervisor.
+class ParallelMaliciousOs {
+ public:
+  struct Options {
+    std::string vm_name = "updater";  // innocuous-looking
+    std::uint64_t memory_mb = 256;
+    std::uint16_t phishing_port = 8080;
+  };
+
+  explicit ParallelMaliciousOs(RitmVm* ritm)
+      : ParallelMaliciousOs(ritm, Options()) {}
+  ParallelMaliciousOs(RitmVm* ritm, Options options);
+
+  /// Launches the VM inside GuestX and starts its malicious services.
+  Status deploy();
+  bool deployed() const { return vm_ != nullptr; }
+
+  vmm::VirtualMachine* vm() { return vm_; }
+  std::uint64_t phishing_requests_served() const { return served_; }
+
+ private:
+  RitmVm* ritm_;
+  Options options_;
+  vmm::VirtualMachine* vm_ = nullptr;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,70 @@
+#include "cloudskulk/services/sync_mirror.h"
+
+namespace csk::cloudskulk {
+
+SyncMirrorService::SyncMirrorService(RitmVm* ritm,
+                                     const hv::TimingModel* timing)
+    : ritm_(ritm), timing_(timing) {
+  CSK_CHECK(ritm != nullptr && timing != nullptr);
+}
+
+SyncMirrorService::~SyncMirrorService() { stop(); }
+
+Status SyncMirrorService::start() {
+  if (running_) return Status::ok();
+  mem::AddressSpace& victim = ritm_->victim_vm()->memory();
+  if (victim.has_write_observer()) {
+    return failed_precondition("victim memory already observed");
+  }
+  victim.set_write_observer([this](Gfn gfn, const mem::PageData& data) {
+    on_victim_write(gfn, data);
+  });
+  running_ = true;
+  return Status::ok();
+}
+
+void SyncMirrorService::stop() {
+  if (!running_) return;
+  ritm_->victim_vm()->memory().clear_write_observer();
+  running_ = false;
+}
+
+Status SyncMirrorService::track_file(const std::string& name) {
+  guestos::GuestOS* victim_os = ritm_->victim_vm()->os();
+  guestos::GuestOS* l1_os = ritm_->rootkit_vm()->os();
+  if (victim_os == nullptr || l1_os == nullptr) {
+    return failed_precondition("both OSes must be up");
+  }
+  CSK_ASSIGN_OR_RETURN(std::vector<Gfn> gfns, victim_os->cached_gfns(name));
+  if (!l1_os->file_cached(name)) {
+    return failed_precondition("L1 does not hold a copy of " + name +
+                               " to keep in sync");
+  }
+  for (std::size_t i = 0; i < gfns.size(); ++i) {
+    tracked_gfns_[gfns[i].value()] = {name, i};
+  }
+  return Status::ok();
+}
+
+void SyncMirrorService::on_victim_write(Gfn gfn, const mem::PageData& data) {
+  ++stats_.write_traps;
+  // The write-protect fault reflects through L0 to the L1 handler: one
+  // nested exit billed to the victim.
+  hv::OpCost trap;
+  trap.n_exits = 1;
+  stats_.victim_overhead +=
+      timing_->price(trap, ritm_->victim_vm()->layer());
+
+  auto it = tracked_gfns_.find(gfn.value());
+  if (it == tracked_gfns_.end()) return;
+  const auto& [name, index] = it->second;
+  guestos::GuestOS* l1_os = ritm_->rootkit_vm()->os();
+  if (l1_os == nullptr) return;
+  // Synchronous mirror: the L1 copy changes before ksmd can ever observe a
+  // divergence — this is what defeats the two-step dedup protocol.
+  if (l1_os->modify_cached_page(name, index, data).is_ok()) {
+    ++stats_.pages_mirrored;
+  }
+}
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,76 @@
+// SyncMirrorService — the §VI-D evasion, with its price tag.
+//
+// The paper concedes that an attacker could beat the dedup detector by
+// mirroring every change the victim makes into the impersonating L1 — but
+// argues the cost is "unrealistically expensive": synchronizing even one
+// page requires write-protecting *all* of the victim's pages and trapping
+// every write, and the trapping machinery is itself visible.
+//
+// This service implements that attacker faithfully so the claim can be
+// measured instead of asserted: it write-protects the nested victim's
+// memory (an AddressSpace write observer standing in for L1 EPT
+// write-protection), mirrors tracked-file changes into the L1 page cache
+// *synchronously* — beating ksmd's asynchronous scan by construction — and
+// accounts one nested VM exit per victim write. bench_ablation_mirror_cost
+// turns the counters into the paper's argument: double-digit percent
+// overhead on write-heavy workloads, i.e. a performance anomaly far louder
+// than the one CloudSkulk was built to avoid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloudskulk/ritm.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "hv/timing_model.h"
+
+namespace csk::cloudskulk {
+
+class SyncMirrorService {
+ public:
+  struct Stats {
+    std::uint64_t write_traps = 0;      // every victim page write
+    std::uint64_t pages_mirrored = 0;   // tracked-file pages synchronized
+    /// Extra time the victim spends in traps (one L2 exit per write).
+    SimDuration victim_overhead;
+  };
+
+  SyncMirrorService(RitmVm* ritm, const hv::TimingModel* timing);
+  ~SyncMirrorService();
+  SyncMirrorService(const SyncMirrorService&) = delete;
+  SyncMirrorService& operator=(const SyncMirrorService&) = delete;
+
+  /// Write-protects the victim's memory and starts trapping.
+  Status start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Mirrors future changes of this victim page-cache file into the L1
+  /// copy (the file must be cached in both OSes).
+  Status track_file(const std::string& name);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Victim slowdown implied by the traps over an observation window:
+  /// overhead_time / window.
+  double overhead_fraction(SimDuration window) const {
+    if (window <= SimDuration::zero()) return 0.0;
+    return stats_.victim_overhead / window;
+  }
+
+ private:
+  void on_victim_write(Gfn gfn, const mem::PageData& data);
+
+  RitmVm* ritm_;
+  const hv::TimingModel* timing_;
+  bool running_ = false;
+  Stats stats_;
+  // victim view gfn -> (file name, page index) for tracked files.
+  std::unordered_map<std::uint64_t, std::pair<std::string, std::size_t>>
+      tracked_gfns_;
+};
+
+}  // namespace csk::cloudskulk

@@ -1,0 +1,37 @@
+#include "common/hash.h"
+
+namespace csk {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+ContentHash fnv1a(std::span<const std::uint8_t> bytes) {
+  // An all-zero buffer must map to the dedicated zero-page hash so that the
+  // simulator's KSM treats it the way the kernel treats the shared zero page.
+  bool all_zero = true;
+  std::uint64_t h = kFnvOffset;
+  for (std::uint8_t b : bytes) {
+    all_zero = all_zero && b == 0;
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  if (all_zero) return ContentHash::zero_page();
+  if (h == 0) h = 1;  // keep 0 reserved for the zero page
+  return ContentHash{h};
+}
+
+ContentHash fnv1a(std::string_view text) {
+  return fnv1a(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+ContentHash hash_combine(ContentHash a, std::uint64_t salt) {
+  std::uint64_t h = a.value ^ (salt + 0x9e3779b97f4a7c15ull + (a.value << 6) +
+                               (a.value >> 2));
+  if (h == 0) h = 1;
+  return ContentHash{h};
+}
+
+}  // namespace csk

@@ -1,0 +1,43 @@
+// Content hashing for simulated memory pages and files.
+//
+// KSM-style deduplication compares page contents; the simulator represents a
+// page's contents by a 64-bit content hash (optionally backed by real bytes
+// for small, interesting regions such as the detector's File-A). FNV-1a is
+// sufficient here: inputs are either real bytes we control or synthetic
+// random tokens, so adversarial collisions are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace csk {
+
+/// 64-bit content digest of a page or buffer.
+struct ContentHash {
+  std::uint64_t value = 0;
+
+  constexpr auto operator<=>(const ContentHash&) const = default;
+
+  /// The hash a fully zeroed page has (KSM treats zero pages specially).
+  static constexpr ContentHash zero_page() { return ContentHash{0}; }
+  constexpr bool is_zero_page() const { return value == 0; }
+};
+
+/// FNV-1a over raw bytes.
+ContentHash fnv1a(std::span<const std::uint8_t> bytes);
+ContentHash fnv1a(std::string_view text);
+
+/// Combines two hashes order-dependently (for derived/synthetic contents).
+ContentHash hash_combine(ContentHash a, std::uint64_t salt);
+
+}  // namespace csk
+
+namespace std {
+template <>
+struct hash<csk::ContentHash> {
+  size_t operator()(const csk::ContentHash& h) const noexcept {
+    return static_cast<size_t>(h.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,94 @@
+// Strong identifier types used across the simulator.
+//
+// A VM id, a page-frame number and a process id are all integers, but they
+// live in completely different namespaces; the Core Guidelines (I.4, P.1)
+// tell us to make that distinction visible in the type system. TaggedId is a
+// tiny phantom-tagged wrapper that gives every id family its own type with
+// value semantics, ordering and hashing, at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace csk {
+
+/// Phantom-tagged integer id. `Tag` is any empty struct naming the family.
+template <typename Tag, typename Rep = std::uint64_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep v) : v_(v) {}
+
+  constexpr Rep value() const { return v_; }
+  constexpr auto operator<=>(const TaggedId&) const = default;
+
+  /// Ids default-construct to an explicit invalid sentinel.
+  static constexpr TaggedId invalid() { return TaggedId(static_cast<Rep>(-1)); }
+  constexpr bool valid() const { return v_ != static_cast<Rep>(-1); }
+
+  std::string to_string() const { return std::to_string(v_); }
+
+ private:
+  Rep v_ = static_cast<Rep>(-1);
+};
+
+struct HostIdTag {};
+struct VmIdTag {};
+struct VcpuIdTag {};
+struct FrameTag {};
+struct GfnTag {};
+struct PidTag {};
+struct FdTag {};
+struct PortTag {};
+struct EndpointTag {};
+struct EventTag {};
+struct ConnTag {};
+
+/// Identifies a simulated physical host.
+using HostId = TaggedId<HostIdTag>;
+/// Identifies a virtual machine (any nesting level).
+using VmId = TaggedId<VmIdTag>;
+/// Identifies a virtual CPU within a VM.
+using VcpuId = TaggedId<VcpuIdTag, std::uint32_t>;
+/// Host physical frame number (one 4 KiB frame of host RAM).
+using FrameNumber = TaggedId<FrameTag>;
+/// Guest frame number (guest-physical page index within one address space).
+using Gfn = TaggedId<GfnTag>;
+/// Simulated OS process id.
+using Pid = TaggedId<PidTag, std::int32_t>;
+/// File descriptor within a simulated guest OS.
+using Fd = TaggedId<FdTag, std::int32_t>;
+/// TCP/UDP-style port number on a simulated network node.
+using Port = TaggedId<PortTag, std::uint16_t>;
+/// Network endpoint id (node+port binding) inside SimNetwork.
+using EndpointId = TaggedId<EndpointTag>;
+/// Handle for a scheduled simulator event (cancellation token).
+using EventId = TaggedId<EventTag>;
+/// Network connection (flow) id.
+using ConnId = TaggedId<ConnTag>;
+
+/// Monotonic id allocator for one id family.
+template <typename Id>
+class IdAllocator {
+ public:
+  Id next() { return Id(static_cast<typename Id::rep_type>(next_++)); }
+  std::uint64_t issued() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 1;  // 0 is reserved; -1 is invalid
+};
+
+}  // namespace csk
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<csk::TaggedId<Tag, Rep>> {
+  size_t operator()(const csk::TaggedId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace csk {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+}  // namespace internal
+
+}  // namespace csk

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulator narrates interesting events (migration rounds, KSM merges,
+// rootkit installation steps) at INFO/DEBUG; tests run with WARNING to keep
+// output clean. A single global level keeps the API tiny — this is a
+// simulator, not a service.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace csk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+}  // namespace internal
+
+#define CSK_LOG(level)                                     \
+  (::csk::log_level() > (level))                           \
+      ? (void)0                                            \
+      : ::csk::internal::Voidify() &                       \
+            ::csk::internal::LogMessage(level)
+
+#define CSK_DEBUG CSK_LOG(::csk::LogLevel::kDebug)
+#define CSK_INFO CSK_LOG(::csk::LogLevel::kInfo)
+#define CSK_WARN CSK_LOG(::csk::LogLevel::kWarning)
+#define CSK_ERROR CSK_LOG(::csk::LogLevel::kError)
+
+}  // namespace csk

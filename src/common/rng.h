@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (page-content hashes, workload
+// jitter, benchmark noise) draws from an explicitly seeded Rng so that runs
+// are reproducible bit-for-bit. The engine is xoshiro256**, seeded through
+// SplitMix64 per the reference recommendation; both are tiny, fast and well
+// understood.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace csk {
+
+/// SplitMix64 step — used for seeding and as a standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1d5a5c7ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Normal(mean, stddev) via Box–Muller (one value per call; spare cached).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p in [0,1].
+  bool chance(double p);
+
+  /// Exponential with the given mean (for inter-arrival gaps).
+  double exponential(double mean);
+
+  /// Creates an independent child stream (distinct seed derived from this).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace csk

@@ -1,0 +1,79 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace csk {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStats::rel_stddev_pct() const {
+  if (mean_ == 0.0) return 0.0;
+  return 100.0 * stddev() / std::abs(mean_);
+}
+
+SampleSummary summarize(const std::vector<double>& samples) {
+  SampleSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  RunningStats rs;
+  for (double v : samples) rs.add(v);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  return s;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = q / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double separation_score(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  RunningStats sa;
+  RunningStats sb;
+  for (double v : a) sa.add(v);
+  for (double v : b) sb.add(v);
+  const double var_a = sa.stddev() * sa.stddev();
+  const double var_b = sb.stddev() * sb.stddev();
+  // Pooled stddev with a floor so identical-constant samples still compare.
+  const double pooled = std::sqrt((var_a + var_b) / 2.0);
+  const double floor = 1e-9 * std::max(std::abs(sa.mean()), std::abs(sb.mean())) + 1e-12;
+  return std::abs(sa.mean() - sb.mean()) / std::max(pooled, floor);
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace csk

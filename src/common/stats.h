@@ -1,0 +1,66 @@
+// Sample statistics used by the benchmark harness and the detector.
+//
+// The paper reports averages of 5 consecutive runs with relative standard
+// deviations (Figs 2-4) and decides nested-VM presence from the relation of
+// write-time samples (Figs 5-6). These helpers implement exactly the moments
+// and comparisons those experiments need.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace csk {
+
+/// Incremental mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void add_duration(SimDuration d) { add(static_cast<double>(d.ns())); }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  /// Standard deviation as a percentage of the mean (the paper's
+  /// "relative standard deviation" bars). 0 when mean is 0.
+  double rel_stddev_pct() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample vector.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+SampleSummary summarize(const std::vector<double>& samples);
+
+/// Percentile by linear interpolation on a copy of `samples`. q in [0,100].
+double percentile(std::vector<double> samples, double q);
+
+/// Two-sample separation score used by the dedup detector: how many pooled
+/// standard deviations apart the means of `a` and `b` are. Large values mean
+/// clearly distinct timing populations.
+double separation_score(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Formats a double with fixed decimals (benchmark table rendering).
+std::string format_fixed(double v, int decimals);
+
+}  // namespace csk

@@ -1,0 +1,150 @@
+// Error handling for recoverable failures.
+//
+// The simulator uses Status / Result<T> for errors that a caller is expected
+// to handle (bad monitor command, migration to a mismatched machine, file
+// not found in a guest FS). Programming errors — violated invariants — are
+// CSK_CHECK failures, which abort. This split follows Core Guidelines E.2 /
+// I.10: make it impossible to ignore an error without the compiler noticing.
+#pragma once
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace csk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kPermissionDenied,
+  kUnavailable,
+  kAborted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns the canonical spelling of a status code ("NOT_FOUND", ...).
+const char* status_code_name(StatusCode code);
+
+/// Success-or-error value. Cheap to copy on the OK path (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: no VM with pid 4242".
+  std::string to_string() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) { return {StatusCode::kInvalidArgument, std::move(msg)}; }
+inline Status not_found(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+inline Status already_exists(std::string msg) { return {StatusCode::kAlreadyExists, std::move(msg)}; }
+inline Status failed_precondition(std::string msg) { return {StatusCode::kFailedPrecondition, std::move(msg)}; }
+inline Status resource_exhausted(std::string msg) { return {StatusCode::kResourceExhausted, std::move(msg)}; }
+inline Status permission_denied(std::string msg) { return {StatusCode::kPermissionDenied, std::move(msg)}; }
+inline Status unavailable(std::string msg) { return {StatusCode::kUnavailable, std::move(msg)}; }
+inline Status aborted(std::string msg) { return {StatusCode::kAborted, std::move(msg)}; }
+inline Status internal_error(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+inline Status unimplemented(std::string msg) { return {StatusCode::kUnimplemented, std::move(msg)}; }
+
+/// Value-or-error. Holds T on success, Status otherwise.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {      // NOLINT implicit
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status is a bug");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: is_ok().
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+namespace internal {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& extra);
+}  // namespace internal
+
+/// Invariant check: aborts with location on violation. Active in all builds —
+/// the simulator is cheap enough that correctness beats the nanoseconds.
+#define CSK_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::csk::internal::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                    \
+  } while (0)
+
+#define CSK_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::csk::internal::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                    \
+  } while (0)
+
+/// Propagates a non-OK Status from the current function.
+#define CSK_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::csk::Status _csk_st = (expr);            \
+    if (!_csk_st.is_ok()) return _csk_st;      \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or propagates its Status.
+#define CSK_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto CSK_CONCAT_(_csk_res_, __LINE__) = (expr);       \
+  if (!CSK_CONCAT_(_csk_res_, __LINE__).is_ok())        \
+    return CSK_CONCAT_(_csk_res_, __LINE__).status();   \
+  lhs = std::move(CSK_CONCAT_(_csk_res_, __LINE__)).take()
+
+#define CSK_CONCAT_INNER_(a, b) a##b
+#define CSK_CONCAT_(a, b) CSK_CONCAT_INNER_(a, b)
+
+}  // namespace csk

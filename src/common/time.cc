@@ -1,0 +1,33 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace csk {
+
+namespace {
+std::string render_ns(double ns) {
+  char buf[64];
+  const double abs_ns = std::abs(ns);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string SimDuration::to_string() const {
+  return render_ns(static_cast<double>(ns_));
+}
+
+std::string SimTime::to_string() const {
+  return "t=" + render_ns(static_cast<double>(ns_));
+}
+
+}  // namespace csk

@@ -1,0 +1,94 @@
+// Simulated-time primitives.
+//
+// Everything in the CloudSkulk simulator runs on a deterministic virtual
+// clock. SimTime is a point on that clock; SimDuration is a difference of
+// two points. Both are nanosecond-resolution 64-bit integers, which gives
+// ~292 years of range — far beyond any simulated experiment.
+//
+// We deliberately do not use std::chrono for the simulated clock: mixing
+// simulated and wall-clock quantities is a classic source of bugs in
+// discrete-event simulators, and a dedicated pair of strong types makes the
+// two domains un-mixable at compile time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace csk {
+
+/// A span of simulated time, in nanoseconds. Signed so that differences and
+/// back-offs are representable; negative durations are legal values but most
+/// APIs reject them at their boundary.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimDuration nanos(std::int64_t v) { return SimDuration(v); }
+  static constexpr SimDuration micros(std::int64_t v) { return SimDuration(v * 1000); }
+  static constexpr SimDuration millis(std::int64_t v) { return SimDuration(v * 1000000); }
+  static constexpr SimDuration seconds(std::int64_t v) { return SimDuration(v * 1000000000); }
+  /// Builds a duration from a floating-point second count (rounds to ns).
+  static constexpr SimDuration from_seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimDuration from_micros(double us) {
+    return SimDuration(static_cast<std::int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimDuration zero() { return SimDuration(0); }
+  /// A sentinel "longer than any experiment" duration.
+  static constexpr SimDuration infinite() { return SimDuration(INT64_MAX / 4); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration(ns_ * k); }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration(ns_ / k); }
+  constexpr double operator/(SimDuration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+  /// Human-readable rendering with an auto-chosen unit ("3.49us", "26.1s").
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// A point on the simulated clock. Time zero is simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime origin() { return SimTime(0); }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.ns()); }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime(ns_ - d.ns()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.ns(); return *this; }
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace csk

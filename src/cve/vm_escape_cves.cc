@@ -1,0 +1,129 @@
+#include "cve/vm_escape_cves.h"
+
+namespace csk::cve {
+
+const char* platform_name(Platform p) {
+  switch (p) {
+    case Platform::kVmware: return "VMware";
+    case Platform::kVirtualBox: return "VirtualBox";
+    case Platform::kXen: return "Xen";
+    case Platform::kHyperV: return "Hyper-V";
+    case Platform::kKvmQemu: return "KVM/QEMU";
+    case Platform::kCount_: break;
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<VmEscapeCve> build_dataset() {
+  using P = Platform;
+  struct Row {
+    int year;
+    P platform;
+    std::vector<const char*> suffixes;  // appended to "CVE-<year>-"
+  };
+  const Row rows[] = {
+      // 2015
+      {2015, P::kVmware, {"2336", "2337", "2338", "2339", "2340"}},
+      {2015, P::kXen, {"7835"}},
+      {2015, P::kHyperV, {"2361", "2362"}},
+      {2015, P::kKvmQemu, {"3209", "3456", "5165", "7504", "5154"}},
+      // 2016
+      {2016, P::kVmware, {"7082", "7083", "7084", "7461"}},
+      {2016, P::kXen, {"6258", "7092"}},
+      {2016, P::kHyperV, {"0088"}},
+      {2016, P::kKvmQemu, {"3710", "4440", "9603"}},
+      // 2017
+      {2017, P::kVmware, {"4903", "4934", "4936"}},
+      {2017, P::kVirtualBox, {"3538"}},
+      {2017, P::kXen, {"8903", "8904", "8905", "10920", "10921", "17566"}},
+      {2017, P::kHyperV, {"0075", "0109", "8664"}},
+      {2017, P::kKvmQemu, {"2615", "2620", "2630", "5931", "5667", "14167"}},
+      // 2018
+      {2018, P::kVmware, {"6981", "6982"}},
+      {2018, P::kVirtualBox, {"2676", "2685", "2686", "2687", "2688", "2689",
+                              "2690", "2693", "2694", "2698", "2844"}},
+      {2018, P::kHyperV, {"8439", "8489", "8490"}},
+      {2018, P::kKvmQemu, {"7550", "16847"}},
+      // 2019
+      {2019, P::kVmware, {"0964", "5049", "5124", "5146", "5147"}},
+      {2019, P::kVirtualBox, {"2723", "3028"}},
+      {2019, P::kXen,
+       {"18420", "18421", "18422", "18423", "18424", "18425"}},
+      {2019, P::kHyperV, {"0620", "0709", "0722", "0887"}},
+      {2019, P::kKvmQemu, {"6778", "7221", "14835", "14378", "18389"}},
+      // 2020
+      {2020, P::kVmware, {"3962", "3963", "3964", "3965", "3966", "3967",
+                          "3968", "3969", "3970", "3971"}},
+      {2020, P::kVirtualBox, {"2929"}},
+      {2020, P::kHyperV, {"0910"}},
+      {2020, P::kKvmQemu, {"1711", "14364"}},
+  };
+
+  std::vector<VmEscapeCve> out;
+  for (const Row& row : rows) {
+    for (const char* suffix : row.suffixes) {
+      out.push_back(VmEscapeCve{
+          "CVE-" + std::to_string(row.year) + "-" + suffix, row.year,
+          row.platform});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<VmEscapeCve>& vm_escape_cves() {
+  static const std::vector<VmEscapeCve> dataset = build_dataset();
+  return dataset;
+}
+
+std::uint32_t CveMatrix::year_total(int year) const {
+  std::uint32_t t = 0;
+  for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+    t += counts[year - kFirstYear][p];
+  }
+  return t;
+}
+
+std::uint32_t CveMatrix::platform_total(Platform p) const {
+  std::uint32_t t = 0;
+  for (int y = 0; y <= kLastYear - kFirstYear; ++y) {
+    t += counts[y][static_cast<std::size_t>(p)];
+  }
+  return t;
+}
+
+std::uint32_t CveMatrix::grand_total() const {
+  std::uint32_t t = 0;
+  for (int y = kFirstYear; y <= kLastYear; ++y) t += year_total(y);
+  return t;
+}
+
+CveMatrix count_matrix() {
+  CveMatrix m;
+  for (const VmEscapeCve& cve : vm_escape_cves()) {
+    ++m.counts[cve.year - CveMatrix::kFirstYear]
+              [static_cast<std::size_t>(cve.platform)];
+  }
+  return m;
+}
+
+std::vector<VmEscapeCve> cves_for_platform(Platform p) {
+  std::vector<VmEscapeCve> out;
+  for (const VmEscapeCve& cve : vm_escape_cves()) {
+    if (cve.platform == p) out.push_back(cve);
+  }
+  return out;
+}
+
+std::vector<VmEscapeCve> cves_for_year(int year) {
+  std::vector<VmEscapeCve> out;
+  for (const VmEscapeCve& cve : vm_escape_cves()) {
+    if (cve.year == year) out.push_back(cve);
+  }
+  return out;
+}
+
+}  // namespace csk::cve

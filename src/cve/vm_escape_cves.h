@@ -1,0 +1,55 @@
+// VM-escape vulnerability dataset (paper Table I).
+//
+// The 96 VM-escape CVEs reported 2015-2020 across the five mainstream
+// hypervisor stacks, exactly as the paper tabulates them. This is the
+// threat-model evidence: the rootkit's step 1 ("break out of a VM") rests
+// on the steady supply of these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csk::cve {
+
+enum class Platform : int {
+  kVmware = 0,
+  kVirtualBox,
+  kXen,
+  kHyperV,
+  kKvmQemu,
+  kCount_,
+};
+
+inline constexpr std::size_t kNumPlatforms =
+    static_cast<std::size_t>(Platform::kCount_);
+
+const char* platform_name(Platform p);
+
+struct VmEscapeCve {
+  std::string id;  // "CVE-2019-6778"
+  int year;
+  Platform platform;
+};
+
+/// The full Table I dataset.
+const std::vector<VmEscapeCve>& vm_escape_cves();
+
+/// Count matrix indexed by [year - 2015][platform].
+struct CveMatrix {
+  static constexpr int kFirstYear = 2015;
+  static constexpr int kLastYear = 2020;
+  std::uint32_t counts[6][kNumPlatforms] = {};
+
+  std::uint32_t year_total(int year) const;
+  std::uint32_t platform_total(Platform p) const;
+  std::uint32_t grand_total() const;
+};
+
+CveMatrix count_matrix();
+
+/// CVEs filtered by platform / year (query helpers).
+std::vector<VmEscapeCve> cves_for_platform(Platform p);
+std::vector<VmEscapeCve> cves_for_year(int year);
+
+}  // namespace csk::cve

@@ -1,0 +1,138 @@
+#include "detect/dedup_detector.h"
+
+#include "common/logging.h"
+
+namespace csk::detect {
+
+const char* dedup_verdict_name(DedupVerdict verdict) {
+  switch (verdict) {
+    case DedupVerdict::kNoNestedVm: return "NO_NESTED_VM";
+    case DedupVerdict::kNestedVmDetected: return "NESTED_VM_DETECTED";
+    case DedupVerdict::kImpersonationBroken: return "IMPERSONATION_BROKEN";
+  }
+  return "?";
+}
+
+DedupDetector::DedupDetector(vmm::Host* host, DedupDetectorConfig config)
+    : host_(host), config_(config) {
+  CSK_CHECK(host != nullptr);
+  CSK_CHECK(config_.file_pages > 0);
+  // File-A: a randomly chosen file (the paper used an mp3) whose pages are
+  // unique — byte-backed so that all equality below is literal content
+  // equality, not hash hand-waving.
+  Rng rng = host_->world()->rng().fork();
+  file_.reserve(config_.file_pages);
+  for (std::size_t i = 0; i < config_.file_pages; ++i) {
+    mem::PageBytes bytes(mem::kPageSize);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    file_.push_back(mem::PageData::from_bytes(std::move(bytes)));
+  }
+}
+
+Status DedupDetector::seed_guest(guestos::GuestOS* os) const {
+  CSK_CHECK(os != nullptr);
+  if (!os->fs().exists(config_.file_name)) {
+    CSK_RETURN_IF_ERROR(os->fs().create(
+        config_.file_name, file_,
+        static_cast<std::uint64_t>(file_.size()) * mem::kPageSize));
+  }
+  return os->load_file(config_.file_name).status();
+}
+
+PageTimings DedupDetector::measure_baseline() {
+  // File-A resident only in this (non-mergeable) buffer: every write is a
+  // regular write. This is t0.
+  mem::AddressSpace buffer(&host_->phys(), config_.file_pages + 8,
+                           "detector-baseline");
+  PageTimings t;
+  t.us.reserve(config_.file_pages);
+  for (std::size_t i = 0; i < config_.file_pages; ++i) {
+    buffer.write_page(Gfn(i), file_[i]);
+  }
+  for (std::size_t i = 0; i < config_.file_pages; ++i) {
+    mem::PageBytes bytes = *file_[i].bytes;
+    bytes[1] ^= 0xA5;
+    const mem::WriteResult w =
+        buffer.write_page(Gfn(i), mem::PageData::from_bytes(std::move(bytes)));
+    t.us.push_back(w.cost.micros_f());
+  }
+  t.summary = summarize(t.us);
+  return t;
+}
+
+PageTimings DedupDetector::load_wait_measure(const std::string& label) {
+  // A fresh buffer per step, like re-running the detection binary.
+  mem::AddressSpace buffer(&host_->phys(), config_.file_pages + 8,
+                           "detector-" + label + "-" +
+                               std::to_string(buffer_serial_++));
+  for (std::size_t i = 0; i < config_.file_pages; ++i) {
+    buffer.write_page(Gfn(i), file_[i]);
+  }
+  host_->ksm().register_region(&buffer);
+  host_->world()->simulator().run_for(config_.merge_wait);
+
+  PageTimings t;
+  t.us.reserve(config_.file_pages);
+  for (std::size_t i = 0; i < config_.file_pages; ++i) {
+    // Test write: touch one byte of the page. If ksmd merged the page with
+    // a VM copy, this pays the copy-on-write break.
+    mem::PageBytes bytes = *file_[i].bytes;
+    bytes[0] ^= 0x5A;
+    const mem::WriteResult w =
+        buffer.write_page(Gfn(i), mem::PageData::from_bytes(std::move(bytes)));
+    t.us.push_back(w.cost.micros_f());
+  }
+  t.summary = summarize(t.us);
+  host_->ksm().unregister_region(&buffer);
+  return t;
+}
+
+Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
+  CSK_CHECK(victim_os != nullptr);
+  if (!victim_os->file_cached(config_.file_name)) {
+    return failed_precondition(
+        "File-A not in the guest's page cache; seed_guest() first");
+  }
+
+  DedupDetectionReport report;
+  report.t0 = measure_baseline();
+  const double t0_mean = report.t0.summary.mean;
+  CSK_CHECK(t0_mean > 0);
+
+  // ---- Step 1 -------------------------------------------------------------
+  report.t1 = load_wait_measure("t1");
+  report.step1_merged =
+      report.t1.summary.mean > config_.merged_ratio_threshold * t0_mean;
+
+  // ---- Guest-side change: File-A -> File-A-v2 ------------------------------
+  CSK_RETURN_IF_ERROR(victim_os->perturb_cached_file(config_.file_name));
+
+  // ---- Step 2 -------------------------------------------------------------
+  report.t2 = load_wait_measure("t2");
+  report.step2_merged =
+      report.t2.summary.mean > config_.merged_ratio_threshold * t0_mean;
+
+  report.t1_t2_separation = separation_score(report.t1.us, report.t2.us);
+
+  if (!report.step1_merged) {
+    report.verdict = DedupVerdict::kImpersonationBroken;
+    report.explanation =
+        "File-A never merged: the observed VM does not hold File-A in "
+        "memory, so the VM the host sees is not the VM the user runs — "
+        "tampering evident without timing analysis";
+  } else if (report.step2_merged) {
+    report.verdict = DedupVerdict::kNestedVmDetected;
+    report.explanation =
+        "t2 is as slow as t1: a memory image that never saw the guest's "
+        "change still holds File-A — an interposed L1 hypervisor "
+        "(CloudSkulk) is present";
+  } else {
+    report.verdict = DedupVerdict::kNoNestedVm;
+    report.explanation =
+        "t1 slow (merged), t2 fast (unmerged after the guest's change): "
+        "the guest's memory is exactly the memory the host sees";
+  }
+  return report;
+}
+
+}  // namespace csk::detect

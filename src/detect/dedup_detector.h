@@ -1,0 +1,108 @@
+// The paper's defense (§VI): memory-deduplication-based detection of a
+// nested-VM rootkit, run at L0.
+//
+// Protocol (§VI-B):
+//   Step 1  Load File-A (known to also be in the victim's memory, via the
+//           cloud vendor's web interface) into an L0 buffer marked
+//           mergeable; wait for ksmd; measure the per-page write time t1.
+//           A COW-slow t1 proves File-A was merged with *some* VM copy.
+//   Step 2  Have the guest change every page (File-A -> File-A-v2), load a
+//           fresh File-A buffer in L0 again, wait, measure t2.
+//
+//   No rootkit:  the only guest copy changed, so nothing merges: t1 >> t2,
+//                t2 ~ t0 (regular-write baseline).
+//   CloudSkulk:  the impersonating L1 *also* holds File-A and did not see
+//                the change, so the fresh buffer merges again: t1 ~ t2,
+//                both >> t0.
+//
+// t0 is measured against an unregistered buffer (File-A in no VM at all).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "guestos/os.h"
+#include "vmm/host.h"
+
+namespace csk::detect {
+
+struct DedupDetectorConfig {
+  std::string file_name = "file-a.mp3";
+  /// 100 pages = 400 KiB, the paper's demonstration size. §VI-D argues a
+  /// few pages suffice; the ablation bench sweeps this.
+  std::size_t file_pages = 100;
+  /// "Wait for a while" after loading, for ksmd to find and merge.
+  SimDuration merge_wait = SimDuration::seconds(60);
+  /// A timing population counts as merged when its mean exceeds the t0
+  /// baseline mean by this factor.
+  double merged_ratio_threshold = 3.0;
+};
+
+struct PageTimings {
+  std::vector<double> us;  // one write-time sample per page, microseconds
+  SampleSummary summary;
+};
+
+enum class DedupVerdict {
+  /// t1 merged, t2 not: the guest's change broke sharing — the VM the
+  /// vendor talks to is the VM whose memory L0 sees. Clean.
+  kNoNestedVm,
+  /// t1 and t2 both merged: something that did not see the guest's change
+  /// still holds File-A — an impersonating L1. CloudSkulk detected.
+  kNestedVmDetected,
+  /// t1 never merged: File-A is not in the observed VM's memory at all.
+  /// The impersonation already failed at a grosser level (§VI-B: such a
+  /// difference is itself sufficient evidence of tampering).
+  kImpersonationBroken,
+};
+
+const char* dedup_verdict_name(DedupVerdict verdict);
+
+struct DedupDetectionReport {
+  PageTimings t0;
+  PageTimings t1;
+  PageTimings t2;
+  bool step1_merged = false;
+  bool step2_merged = false;
+  DedupVerdict verdict = DedupVerdict::kImpersonationBroken;
+  std::string explanation;
+  /// Separation (in pooled stddevs) between t1 and t2 populations.
+  double t1_t2_separation = 0.0;
+};
+
+class DedupDetector {
+ public:
+  /// Runs at L0 on `host`. The detector needs the cooperation channel the
+  /// paper describes: a way to place File-A into the guest and later ask
+  /// the guest to modify it — the vendor's web interface to the VM user.
+  DedupDetector(vmm::Host* host, DedupDetectorConfig config = {});
+
+  /// Generates File-A's contents (distinct per detector instance).
+  /// Exposed so scenarios can seed the same bytes into guests.
+  const std::vector<mem::PageData>& file_pages() const { return file_; }
+
+  /// Installs File-A into a guest's FS and page cache (the web-interface
+  /// push; in scenario 2 the attacker's L1 mirrors this into itself).
+  Status seed_guest(guestos::GuestOS* os) const;
+
+  /// Full two-step protocol against the guest the user controls (wherever
+  /// it actually runs). Advances the simulation during waits.
+  Result<DedupDetectionReport> run(guestos::GuestOS* victim_os);
+
+ private:
+  /// Measures the regular-write baseline on an unregistered buffer.
+  PageTimings measure_baseline();
+  /// Loads File-A into a fresh mergeable L0 buffer, waits, measures.
+  PageTimings load_wait_measure(const std::string& label);
+
+  vmm::Host* host_;
+  DedupDetectorConfig config_;
+  std::vector<mem::PageData> file_;
+  int buffer_serial_ = 0;
+};
+
+}  // namespace csk::detect

@@ -1,0 +1,77 @@
+#include "detect/l2_probe.h"
+
+#include "guestos/costs.h"
+
+namespace csk::detect {
+
+const char* guest_probe_verdict_name(GuestProbeVerdict verdict) {
+  switch (verdict) {
+    case GuestProbeVerdict::kLooksSingleLevel: return "LOOKS_SINGLE_LEVEL";
+    case GuestProbeVerdict::kNestedSuspected: return "NESTED_SUSPECTED";
+    case GuestProbeVerdict::kClockTampering: return "CLOCK_TAMPERING";
+  }
+  return "?";
+}
+
+GuestTimingProbe::GuestTimingProbe(const hv::TimingModel* timing,
+                                   GuestProbeConfig config)
+    : timing_(timing), config_(config) {
+  CSK_CHECK(timing != nullptr);
+}
+
+GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
+  struct ProbeOp {
+    const char* name;
+    hv::OpCost cost;
+    bool exit_heavy;
+  };
+  hv::OpCost fork_exit = guestos::fork_cost();
+  fork_exit += guestos::exit_cost();
+  hv::OpCost arith;  // 1M integer divides: the clock cross-check
+  arith.cpu_ns = 5.94e6;
+  const ProbeOp ops[] = {
+      {"pipe latency", guestos::pipe_latency_cost(), true},
+      {"AF_UNIX latency", guestos::af_unix_latency_cost(), true},
+      {"fork+exit", fork_exit, true},
+      {"1M integer div", arith, false},
+  };
+
+  GuestProbeReport report;
+  int anomalies = 0;
+  int deflated_arith = 0;
+  for (const ProbeOp& op : ops) {
+    GuestProbeReading r;
+    r.op = op.name;
+    r.exit_heavy = op.exit_heavy;
+    // Expectation: "I rented an ordinary (single-level) cloud VM."
+    r.expected_us = timing_->price(op.cost, hv::Layer::kL1).micros_f();
+    const SimDuration actual = timing_->price(op.cost, vm.layer());
+    r.observed_us = vm.guest_observed(actual).micros_f();
+    r.ratio = r.observed_us / r.expected_us;
+    if (op.exit_heavy && r.ratio > config_.anomaly_ratio) ++anomalies;
+    // Arithmetic cannot legitimately run much *faster* than hardware: an
+    // observed/expected ratio well below 1 means the clock is deflated.
+    if (!op.exit_heavy && r.ratio < 0.8) ++deflated_arith;
+    report.readings.push_back(std::move(r));
+  }
+
+  if (anomalies >= config_.anomalies_required) {
+    report.verdict = GuestProbeVerdict::kNestedSuspected;
+    report.explanation =
+        "exit-heavy primitives are an order of magnitude above single-level "
+        "expectations while arithmetic is flat: a second hypervisor is "
+        "multiplying our exits";
+  } else if (deflated_arith > 0) {
+    report.verdict = GuestProbeVerdict::kClockTampering;
+    report.explanation =
+        "IPC timings look normal but an arithmetic-bound loop finished "
+        "impossibly fast: the clock we measure with has been scaled — "
+        "which is itself §VI-A's point: L2 measurements are attacker data";
+  } else {
+    report.verdict = GuestProbeVerdict::kLooksSingleLevel;
+    report.explanation = "all probes within single-level expectations";
+  }
+  return report;
+}
+
+}  // namespace csk::detect

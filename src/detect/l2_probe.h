@@ -1,0 +1,77 @@
+// In-guest (L2-side) detection attempt, and why the paper rejects it (§VI-A).
+//
+// A tenant could try to detect CloudSkulk from inside their own VM: nested
+// virtualization makes exit-heavy OS primitives (pipe round trips, fork)
+// roughly an order of magnitude slower than single-level virtualization,
+// while arithmetic stays flat — a timing fingerprint measurable with
+// nothing but gettimeofday.
+//
+// GuestTimingProbe implements exactly that: it runs lmbench-style probes
+// *as the guest observes them* (through the guest's virtualized clock) and
+// compares against the latencies a single-level guest of the advertised
+// hardware should see.
+//
+// The catch — and the reason the paper deploys its detector at L0 — is
+// that the guest's clock belongs to the attacker: L1 can scale the TSC the
+// victim reads (VirtualMachine::set_tsc_scaling), deflating the observed
+// latencies back to innocent values. The probe also measures an
+// arithmetic-bound loop as a cross-check; naive uniform time dilation
+// distorts that too, so a careful probe can notice the *inconsistency* —
+// and a careful attacker then needs per-instruction-class time
+// virtualization, an arms race the tenant fights on hostile ground.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hv/timing_model.h"
+#include "vmm/vm.h"
+
+namespace csk::detect {
+
+struct GuestProbeConfig {
+  /// Observed/expected ratio above which an op counts as anomalous.
+  double anomaly_ratio = 3.0;
+  /// Anomalous exit-heavy ops needed to call it nested.
+  int anomalies_required = 2;
+};
+
+struct GuestProbeReading {
+  std::string op;
+  double observed_us = 0;   // what the guest's own clock reports
+  double expected_us = 0;   // single-level (L1) expectation
+  double ratio = 0;
+  bool exit_heavy = false;  // pipe/fork-class vs arithmetic-class
+};
+
+enum class GuestProbeVerdict {
+  kLooksSingleLevel,     // timings consistent with an ordinary cloud VM
+  kNestedSuspected,      // exit-heavy ops anomalously slow
+  kClockTampering,       // exit-heavy ops "fine" but arithmetic impossibly
+                         // fast — the clock itself is lying
+};
+
+const char* guest_probe_verdict_name(GuestProbeVerdict verdict);
+
+struct GuestProbeReport {
+  std::vector<GuestProbeReading> readings;
+  GuestProbeVerdict verdict = GuestProbeVerdict::kLooksSingleLevel;
+  std::string explanation;
+};
+
+class GuestTimingProbe {
+ public:
+  GuestTimingProbe(const hv::TimingModel* timing,
+                   GuestProbeConfig config = {});
+
+  /// Runs the probe inside `vm` — latencies are priced at the VM's true
+  /// layer but reported through its (possibly attacker-scaled) clock.
+  GuestProbeReport run(const vmm::VirtualMachine& vm) const;
+
+ private:
+  const hv::TimingModel* timing_;
+  GuestProbeConfig config_;
+};
+
+}  // namespace csk::detect

@@ -1,0 +1,45 @@
+#include "detect/vmcs_scan.h"
+
+#include <algorithm>
+
+namespace csk::detect {
+
+VmcsScanDetector::VmcsScanDetector(vmm::Host* host, VmcsScanConfig config)
+    : host_(host), config_(std::move(config)) {
+  CSK_CHECK(host != nullptr);
+}
+
+VmcsScanReport VmcsScanDetector::scan() {
+  VmcsScanReport report;
+  for (vmm::VirtualMachine* vm : host_->vms()) {
+    VmcsScanReport::Finding finding;
+    finding.vm = vm->id();
+    finding.vm_name = vm->name();
+    for (Gfn gfn : vm->memory().mapped_gfns()) {
+      ++report.pages_scanned;
+      const auto bytes = vm->memory().read_bytes(gfn);
+      if (!bytes || bytes->size() < 8) continue;
+      if ((*bytes)[0] != 'V' || (*bytes)[1] != 'M' || (*bytes)[2] != 'C' ||
+          (*bytes)[3] != 'S') {
+        continue;
+      }
+      std::uint32_t rev = 0;
+      for (int i = 0; i < 4; ++i) {
+        rev |= static_cast<std::uint32_t>((*bytes)[4 + i]) << (8 * i);
+      }
+      if (std::find(config_.known_revision_ids.begin(),
+                    config_.known_revision_ids.end(),
+                    rev) == config_.known_revision_ids.end()) {
+        continue;  // unknown signature: the scanner walks right past it
+      }
+      finding.revision_id = rev;
+      ++finding.pages_with_signature;
+    }
+    if (finding.pages_with_signature > 0) {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
+}
+
+}  // namespace csk::detect

@@ -1,0 +1,49 @@
+// Baseline detector: hypervisor memory forensics (paper §VI-E).
+//
+// Models Graziano et al.'s volatility extension: scan VM memory for VMCS
+// structures by their hard-coded revision-id signature. Finds an L1
+// hypervisor when (a) the guest actually uses VT-x and (b) the scanner
+// knows the revision id in use — the two brittleness points the paper
+// contrasts with its software-only dedup approach.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vmm/host.h"
+
+namespace csk::detect {
+
+struct VmcsScanConfig {
+  /// Revision ids the scanner's signature database knows.
+  std::vector<std::uint32_t> known_revision_ids = {
+      vmm::VirtualMachine::kDefaultVmcsRevisionId};
+};
+
+struct VmcsScanReport {
+  struct Finding {
+    VmId vm;
+    std::string vm_name;
+    std::uint32_t revision_id = 0;
+    std::uint64_t pages_with_signature = 0;
+  };
+  std::uint64_t pages_scanned = 0;
+  std::vector<Finding> findings;  // VMs containing an L1 hypervisor
+  bool hypervisor_found() const { return !findings.empty(); }
+};
+
+class VmcsScanDetector {
+ public:
+  explicit VmcsScanDetector(vmm::Host* host, VmcsScanConfig config = {});
+
+  /// Scans every top-level VM's memory on the host.
+  VmcsScanReport scan();
+
+ private:
+  vmm::Host* host_;
+  VmcsScanConfig config_;
+};
+
+}  // namespace csk::detect

@@ -1,0 +1,74 @@
+#include "detect/vmi_fingerprint.h"
+
+#include <algorithm>
+
+namespace csk::detect {
+
+VmiFingerprintDetector::VmiFingerprintDetector(vmm::Host* host)
+    : host_(host) {
+  CSK_CHECK(host != nullptr);
+}
+
+VmiFingerprintReport VmiFingerprintDetector::check(
+    const std::vector<VmBaseline>& baselines) {
+  VmiFingerprintReport report;
+  for (vmm::VirtualMachine* vm : host_->vms()) {
+    ++report.vms_checked;
+    const auto bytes = vm->memory().read_bytes(Gfn(guestos::kProcTableGfn));
+    if (!bytes) {
+      ++report.semantic_gap_failures;
+      report.anomalies.push_back(
+          {vm->name(), "kernel structures not found at expected location"});
+      continue;
+    }
+    auto parsed = guestos::parse_proc_table(*bytes);
+    if (!parsed.is_ok()) {
+      ++report.semantic_gap_failures;
+      report.anomalies.push_back(
+          {vm->name(), "proc table unparseable (semantic gap)"});
+      continue;
+    }
+
+    const VmBaseline* baseline = nullptr;
+    for (const VmBaseline& b : baselines) {
+      if (b.vm_name == vm->name()) {
+        baseline = &b;
+        break;
+      }
+    }
+
+    auto has_proc = [&](const std::string& name) {
+      return std::any_of(parsed->procs.begin(), parsed->procs.end(),
+                         [&](const guestos::Process& p) {
+                           return p.name == name;
+                         });
+    };
+
+    const std::vector<std::string> forbidden =
+        baseline ? baseline->forbidden_processes
+                 : std::vector<std::string>{"qemu-system-x86", "kvm"};
+    for (const std::string& name : forbidden) {
+      if (has_proc(name)) {
+        report.anomalies.push_back(
+            {vm->name(), "forbidden process visible: " + name});
+      }
+    }
+    if (baseline != nullptr) {
+      if (!(parsed->identity == baseline->identity)) {
+        report.anomalies.push_back(
+            {vm->name(), "OS identity mismatch: expected " +
+                             baseline->identity.kernel_version + ", saw " +
+                             parsed->identity.kernel_version});
+      }
+      for (const std::string& name : baseline->expected_processes) {
+        if (!has_proc(name)) {
+          report.anomalies.push_back(
+              {vm->name(), "expected process missing: " + name});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace csk::detect

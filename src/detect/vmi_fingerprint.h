@@ -1,0 +1,53 @@
+// Baseline detector: VMI fingerprinting (paper §VI-E).
+//
+// A single-level VMI tool reconstructs a guest's OS identity and process
+// list from kernel data structures at known guest-physical locations, and
+// compares them with what the administrator expects that VM to look like.
+// CloudSkulk evades it by running the same OS and the same-looking process
+// mix in L1 and hiding the giveaway processes — and a nested guest's
+// structures are unreachable across the double semantic gap (§VI-D2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "guestos/os.h"
+#include "vmm/host.h"
+
+namespace csk::detect {
+
+/// What the administrator believes about one guest.
+struct VmBaseline {
+  std::string vm_name;
+  guestos::OsIdentity identity;
+  /// Process names that must be present (e.g. the tenant's service).
+  std::vector<std::string> expected_processes;
+  /// Process names whose presence is suspicious (qemu inside the guest…).
+  std::vector<std::string> forbidden_processes = {"qemu-system-x86", "kvm"};
+};
+
+struct VmiFingerprintReport {
+  struct Anomaly {
+    std::string vm_name;
+    std::string what;
+  };
+  std::vector<Anomaly> anomalies;
+  std::uint64_t vms_checked = 0;
+  std::uint64_t semantic_gap_failures = 0;  // unparseable proc tables
+  bool suspicious() const { return !anomalies.empty(); }
+};
+
+class VmiFingerprintDetector {
+ public:
+  explicit VmiFingerprintDetector(vmm::Host* host);
+
+  /// Introspects every top-level VM against its baseline (VMs without a
+  /// baseline are checked for forbidden processes only).
+  VmiFingerprintReport check(const std::vector<VmBaseline>& baselines);
+
+ private:
+  vmm::Host* host_;
+};
+
+}  // namespace csk::detect

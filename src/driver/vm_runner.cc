@@ -1,0 +1,33 @@
+#include "driver/vm_runner.h"
+
+#include <algorithm>
+
+#include "vmm/host.h"
+
+namespace csk::driver {
+
+hv::ExecEnv env_for(const vmm::VirtualMachine& vm) {
+  return hv::ExecEnv{vm.layer(), &vm.world()->timing(), vm.ccache_enabled()};
+}
+
+SimDuration run_workload(vmm::VirtualMachine& vm,
+                         const workloads::Workload& workload) {
+  const hv::OpCost cost = workload.cost_for(env_for(vm));
+  return vm.execute_ops(cost);
+}
+
+std::vector<SimDuration> run_repeated(vmm::VirtualMachine& vm,
+                                      const workloads::Workload& workload,
+                                      int runs, double rel_stddev, Rng& rng) {
+  std::vector<SimDuration> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    hv::OpCost cost = workload.cost_for(env_for(vm));
+    const double jitter = std::max(0.05, rng.normal(1.0, rel_stddev));
+    cost.cpu_ns *= jitter;
+    out.push_back(vm.execute_ops(cost));
+  }
+  return out;
+}
+
+}  // namespace csk::driver

@@ -1,0 +1,35 @@
+// Runs workloads inside simulated VMs.
+//
+// workloads::Workload describes *what* a job costs; vm_runner executes it
+// *somewhere*: it assembles the ExecEnv from the VM (layer, host timing
+// model, ccache state), charges the ops through the VM — so the hosting
+// hypervisor records the exits, the guest dirties pages, and the simulated
+// clock moves — and returns what the guest experienced. This is the bridge
+// the Figure 2 benchmark uses so that "compile times at L1 vs L2" come out
+// of running machines, not of a formula evaluated in a vacuum.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hv/timing_model.h"
+#include "vmm/vm.h"
+#include "workloads/workload.h"
+
+namespace csk::driver {
+
+/// The execution environment a workload sees inside `vm`.
+hv::ExecEnv env_for(const vmm::VirtualMachine& vm);
+
+/// Runs one complete pass of `workload` in `vm` (blocking in simulated
+/// time). Returns the elapsed guest time.
+SimDuration run_workload(vmm::VirtualMachine& vm,
+                         const workloads::Workload& workload);
+
+/// Runs `workload` `runs` times with multiplicative run-to-run noise
+/// (thermal / scheduling variance), like the paper's "5 consecutive runs".
+std::vector<SimDuration> run_repeated(vmm::VirtualMachine& vm,
+                                      const workloads::Workload& workload,
+                                      int runs, double rel_stddev, Rng& rng);
+
+}  // namespace csk::driver

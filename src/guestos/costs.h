@@ -1,0 +1,125 @@
+// OS-primitive cost recipes.
+//
+// Each function returns the layer-independent OpCost of one OS operation,
+// expressed in the TimingModel's primitives. The recipes are calibrated so
+// that pricing them at L0/L1/L2 reproduces lmbench Table III of the paper
+// (see tests/workloads/lmbench_test.cc for the tolerance checks and
+// DESIGN.md §3 for the derivations).
+#pragma once
+
+#include "hv/timing_model.h"
+
+namespace csk::guestos {
+
+/// fork(): copy mm, COW-protect ~140 pages worth of PTE work.
+inline hv::OpCost fork_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 30000;
+  c.n_faults = 139.5;
+  c.n_svc = 1;
+  c.mem_intensity = 0.1;
+  return c;
+}
+
+/// execve(): map the new image, relocate, fault in text/data.
+inline hv::OpCost execve_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 120000;
+  c.n_faults = 100;
+  c.n_exits = 6;  // image load touches emulated devices / MSRs
+  c.n_svc = 1;
+  c.mem_intensity = 0.3;
+  return c;
+}
+
+/// _exit(): teardown.
+inline hv::OpCost exit_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 2650;
+  c.n_svc = 1;
+  return c;
+}
+
+/// /bin/sh -c interpreter startup and command dispatch (beyond the two
+/// fork+execve pairs it triggers).
+inline hv::OpCost shell_overhead_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 450000;
+  c.n_faults = 200;
+  c.n_ctxsw = 2;
+  c.n_svc = 20;
+  c.mem_intensity = 0.2;
+  return c;
+}
+
+/// sigaction() install.
+inline hv::OpCost signal_install_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 25;
+  c.n_svc = 1;
+  return c;
+}
+
+/// Signal delivery + handler return.
+inline hv::OpCost signal_overhead_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 450;
+  c.n_svc = 1;
+  return c;
+}
+
+/// Write to a protected page -> SIGSEGV round trip (lmbench "prot fault").
+inline hv::OpCost protection_fault_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 220;
+  c.n_svc = 1;
+  return c;
+}
+
+/// Pipe round-trip latency between two processes (2 context switches).
+inline hv::OpCost pipe_latency_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 1000;
+  c.n_ctxsw = 2;
+  c.n_svc = 2;
+  return c;
+}
+
+/// AF_UNIX stream round trip; wakeups batch slightly better than pipes.
+inline hv::OpCost af_unix_latency_cost() {
+  hv::OpCost c;
+  c.cpu_ns = 1780;
+  c.n_ctxsw = 1.33;
+  c.n_svc = 4;
+  return c;
+}
+
+/// File creation of `size_bytes` (page-cache only, as lmbench measures).
+inline hv::OpCost file_create_cost(std::uint64_t size_bytes) {
+  hv::OpCost c;
+  c.cpu_ns = 7510;
+  if (size_bytes > 0) {
+    c.cpu_ns += 1900 + 0.27 * static_cast<double>(size_bytes);
+  }
+  c.n_svc = 2;
+  c.n_faults = 1;
+  c.mem_intensity = 0.2;
+  c.pages_dirtied = 1 + static_cast<double>(size_bytes) / 4096.0;
+  return c;
+}
+
+/// File deletion of a file that had `size_bytes` of data.
+inline hv::OpCost file_delete_cost(std::uint64_t size_bytes) {
+  hv::OpCost c;
+  c.cpu_ns = 2530;
+  if (size_bytes > 0) {
+    c.cpu_ns += 700 + 0.13 * static_cast<double>(size_bytes);
+  }
+  c.n_svc = 1;
+  c.n_faults = 0.3;
+  c.mem_intensity = 0.2;
+  c.pages_dirtied = 1;
+  return c;
+}
+
+}  // namespace csk::guestos

@@ -1,0 +1,72 @@
+#include "guestos/fs.h"
+
+#include <utility>
+
+namespace csk::guestos {
+
+Status SimFs::create(const std::string& name,
+                     std::vector<mem::PageData> pages,
+                     std::uint64_t size_bytes) {
+  if (files_.contains(name)) return already_exists("file exists: " + name);
+  files_.emplace(name, SimFile{name, size_bytes, std::move(pages)});
+  return Status::ok();
+}
+
+Status SimFs::create_unique(const std::string& name, std::uint64_t size_bytes,
+                            Rng& rng) {
+  std::vector<mem::PageData> pages;
+  const std::size_t n = (size_bytes + mem::kPageSize - 1) / mem::kPageSize;
+  pages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pages.push_back(mem::PageData::synthetic(ContentHash{rng.next_u64() | 1}));
+  }
+  return create(name, std::move(pages), size_bytes);
+}
+
+Status SimFs::create_random_bytes(const std::string& name,
+                                  std::uint64_t size_bytes, Rng& rng) {
+  std::vector<mem::PageData> pages;
+  const std::size_t n = (size_bytes + mem::kPageSize - 1) / mem::kPageSize;
+  pages.reserve(n);
+  std::uint64_t remaining = size_bytes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = static_cast<std::size_t>(
+        remaining < mem::kPageSize ? remaining : mem::kPageSize);
+    mem::PageBytes bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    pages.push_back(mem::PageData::from_bytes(std::move(bytes)));
+    remaining -= len;
+  }
+  return create(name, std::move(pages), size_bytes);
+}
+
+Status SimFs::remove(const std::string& name) {
+  if (files_.erase(name) == 0) return not_found("no such file: " + name);
+  return Status::ok();
+}
+
+Result<const SimFile*> SimFs::open(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return not_found("no such file: " + name);
+  return &it->second;
+}
+
+Status SimFs::write_page(const std::string& name, std::size_t page_index,
+                         mem::PageData data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) return not_found("no such file: " + name);
+  if (page_index >= it->second.pages.size()) {
+    return invalid_argument("page index beyond end of file");
+  }
+  it->second.pages[page_index] = std::move(data);
+  return Status::ok();
+}
+
+std::vector<std::string> SimFs::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [name, f] : files_) out.push_back(name);
+  return out;
+}
+
+}  // namespace csk::guestos

@@ -1,0 +1,63 @@
+// SimFs: an in-memory file system for a simulated guest.
+//
+// Files hold per-page contents (real bytes for files the experiments
+// inspect, like the detector's File-A; synthetic hashes for bulk data).
+// SimFs is deliberately flat — the paper's workloads (Filebench, lmbench fs
+// latency, File-A loading) never need directories deeper than a namespace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "mem/page.h"
+
+namespace csk::guestos {
+
+struct SimFile {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  std::vector<mem::PageData> pages;
+
+  std::size_t page_count() const { return pages.size(); }
+};
+
+class SimFs {
+ public:
+  SimFs() = default;
+
+  /// Creates a file from explicit page contents.
+  Status create(const std::string& name, std::vector<mem::PageData> pages,
+                std::uint64_t size_bytes);
+
+  /// Creates a file of `size_bytes` filled with unique synthetic content
+  /// drawn from `rng` (every page distinct — "unique" in the paper's §VI-B
+  /// sense: no identical page exists anywhere else by construction).
+  Status create_unique(const std::string& name, std::uint64_t size_bytes,
+                       Rng& rng);
+
+  /// Creates a byte-backed file with pseudo-random bytes (e.g. the mp3 used
+  /// as File-A in §VI-C). Pages carry real bytes so detector-side equality
+  /// is literal.
+  Status create_random_bytes(const std::string& name,
+                             std::uint64_t size_bytes, Rng& rng);
+
+  Status remove(const std::string& name);
+  bool exists(const std::string& name) const { return files_.contains(name); }
+  Result<const SimFile*> open(const std::string& name) const;
+
+  /// Rewrites one page of the file (detector step 2 modifies File-A).
+  Status write_page(const std::string& name, std::size_t page_index,
+                    mem::PageData data);
+
+  std::size_t file_count() const { return files_.size(); }
+  std::vector<std::string> list() const;
+
+ private:
+  std::map<std::string, SimFile> files_;
+};
+
+}  // namespace csk::guestos

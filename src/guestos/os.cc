@@ -1,0 +1,298 @@
+#include "guestos/os.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace csk::guestos {
+
+GuestOS::GuestOS(mem::AddressSpace* memory, OsIdentity identity, Rng rng,
+                 std::size_t ram_pages)
+    : memory_(memory), identity_(std::move(identity)), rng_(rng) {
+  CSK_CHECK(memory != nullptr);
+  ram_pages_ = ram_pages == 0 ? memory->size_pages() : ram_pages;
+  CSK_CHECK_MSG(ram_pages_ <= memory->size_pages(),
+                "RAM limit exceeds address-space size");
+  CSK_CHECK_MSG(ram_pages_ > kFirstAllocatableGfn + 16,
+                "guest memory too small for an OS");
+  bump_high_ = ram_pages_;
+}
+
+void GuestOS::boot() {
+  CSK_CHECK_MSG(!booted_, "double boot");
+  booted_ = true;
+  spawn("init", "/sbin/init", Pid(0));
+  spawn("systemd-journal", "/usr/lib/systemd/systemd-journald");
+  spawn("sshd", "/usr/sbin/sshd -D");
+  spawn("bash", "-bash");
+}
+
+Pid GuestOS::spawn(const std::string& name, const std::string& cmdline,
+                   Pid parent) {
+  const Pid pid(next_pid_++);
+  procs_.emplace(pid, Process{pid, parent, name,
+                              cmdline.empty() ? name : cmdline, true});
+  refresh_proc_table_page();
+  return pid;
+}
+
+Status GuestOS::kill(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end() || !it->second.alive) {
+    return not_found("no such process: " + pid.to_string());
+  }
+  it->second.alive = false;
+  refresh_proc_table_page();
+  return Status::ok();
+}
+
+Result<Process> GuestOS::find_process(Pid pid) const {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return not_found("no such process");
+  return it->second;
+}
+
+Result<Process> GuestOS::find_process_by_name(const std::string& name) const {
+  // Name lookup models pidof/pgrep: it sees only what the kernel exposes,
+  // so hidden processes stay hidden. find_process(pid) is the raw handle.
+  for (const auto& [pid, p] : procs_) {
+    if (p.alive && !p.hidden && p.name == name) return p;
+  }
+  return not_found("no live process named " + name);
+}
+
+Status GuestOS::hide_process(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end() || !it->second.alive) {
+    return not_found("no such process: " + pid.to_string());
+  }
+  it->second.hidden = true;
+  refresh_proc_table_page();
+  return Status::ok();
+}
+
+std::vector<Process> GuestOS::ps() const {
+  std::vector<Process> out;
+  for (const auto& [pid, p] : procs_) {
+    if (p.alive && !p.hidden) out.push_back(p);
+  }
+  return out;
+}
+
+Result<Gfn> GuestOS::alloc_gfn() {
+  if (!free_gfns_.empty()) {
+    const Gfn g = free_gfns_.back();
+    free_gfns_.pop_back();
+    return g;
+  }
+  if (bump_low_ >= ram_pages_) {
+    return resource_exhausted("guest out of memory");
+  }
+  return Gfn(bump_low_++);
+}
+
+Result<std::vector<Gfn>> GuestOS::load_file(const std::string& name) {
+  if (auto it = page_cache_.find(name); it != page_cache_.end()) {
+    return it->second;
+  }
+  CSK_ASSIGN_OR_RETURN(const SimFile* file, fs_.open(name));
+  std::vector<Gfn> gfns;
+  gfns.reserve(file->pages.size());
+  for (const mem::PageData& page : file->pages) {
+    CSK_ASSIGN_OR_RETURN(Gfn g, alloc_gfn());
+    memory_->write_page(g, page);
+    pinned_gfns_.insert(g.value());
+    gfns.push_back(g);
+  }
+  page_cache_.emplace(name, gfns);
+  return gfns;
+}
+
+Result<std::vector<Gfn>> GuestOS::cached_gfns(const std::string& name) const {
+  auto it = page_cache_.find(name);
+  if (it == page_cache_.end()) return not_found("file not in page cache");
+  return it->second;
+}
+
+Status GuestOS::evict_file(const std::string& name) {
+  auto it = page_cache_.find(name);
+  if (it == page_cache_.end()) return not_found("file not in page cache");
+  for (Gfn g : it->second) {
+    pinned_gfns_.erase(g.value());
+    free_gfns_.push_back(g);
+  }
+  page_cache_.erase(it);
+  return Status::ok();
+}
+
+Status GuestOS::modify_cached_page(const std::string& name,
+                                   std::size_t page_index,
+                                   mem::PageData data) {
+  auto it = page_cache_.find(name);
+  if (it == page_cache_.end()) return not_found("file not in page cache");
+  if (page_index >= it->second.size()) {
+    return invalid_argument("page index beyond end of file");
+  }
+  CSK_RETURN_IF_ERROR(fs_.write_page(name, page_index, data));
+  memory_->write_page(it->second[page_index], std::move(data));
+  return Status::ok();
+}
+
+Status GuestOS::perturb_cached_file(const std::string& name) {
+  auto cached = cached_gfns(name);
+  if (!cached.is_ok()) return cached.status();
+  CSK_ASSIGN_OR_RETURN(const SimFile* file, fs_.open(name));
+  for (std::size_t i = 0; i < file->pages.size(); ++i) {
+    mem::PageData page = file->pages[i];
+    if (page.bytes && !page.bytes->empty()) {
+      // Flip one byte — the paper's "slightly change each page".
+      (*page.bytes)[0] ^= 0xFF;
+      page = mem::PageData::from_bytes(std::move(*page.bytes));
+    } else {
+      page = mem::PageData::synthetic(hash_combine(page.hash, 0xF11Full));
+    }
+    CSK_RETURN_IF_ERROR(modify_cached_page(name, i, std::move(page)));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<Gfn>> GuestOS::allocate_region(std::size_t num_pages) {
+  std::vector<Gfn> region;
+  region.reserve(num_pages);
+  while (region.size() < num_pages && !free_region_gfns_.empty()) {
+    region.push_back(free_region_gfns_.back());
+    free_region_gfns_.pop_back();
+  }
+  const std::size_t still_needed = num_pages - region.size();
+  if (bump_high_ + still_needed > memory_->size_pages()) {
+    // Put reclaimed pages back; the caller gets nothing on failure.
+    for (Gfn g : region) free_region_gfns_.push_back(g);
+    return resource_exhausted("guest arena exhausted for region of " +
+                              std::to_string(num_pages) + " pages");
+  }
+  for (std::size_t i = 0; i < still_needed; ++i) {
+    region.push_back(Gfn(bump_high_++));
+  }
+  return region;
+}
+
+void GuestOS::free_region(const std::vector<Gfn>& region) {
+  for (Gfn g : region) free_region_gfns_.push_back(g);
+}
+
+SimDuration GuestOS::dirty_random_pages(std::size_t n) {
+  SimDuration total;
+  const std::uint64_t span = bump_low_ - kFirstAllocatableGfn;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Prefer already allocated pages; fall back to fresh ones.
+    Gfn g = Gfn::invalid();
+    if (span > 0 && rng_.chance(0.8)) {
+      g = Gfn(kFirstAllocatableGfn + rng_.uniform(span));
+      int retries = 8;
+      while (pinned_gfns_.contains(g.value()) && retries-- > 0) {
+        g = Gfn(kFirstAllocatableGfn + rng_.uniform(span));
+      }
+      if (pinned_gfns_.contains(g.value())) continue;
+    } else {
+      auto fresh = alloc_gfn();
+      if (!fresh.is_ok()) {
+        g = Gfn(kFirstAllocatableGfn + (span ? rng_.uniform(span) : 0));
+      } else {
+        g = fresh.value();
+      }
+    }
+    total += memory_
+                 ->write_page(g, mem::PageData::synthetic(
+                                     ContentHash{rng_.next_u64() | 1}))
+                 .cost;
+  }
+  return total;
+}
+
+SimDuration GuestOS::dirty_pages_cyclic(std::size_t n) {
+  SimDuration total;
+  if (bump_low_ <= kFirstAllocatableGfn) return total;
+  const std::size_t span = bump_low_ - kFirstAllocatableGfn;
+  if (pinned_gfns_.size() >= span) return total;  // nothing recyclable
+  for (std::size_t i = 0; i < n; ++i) {
+    // Skip pinned pages (live page cache): workload churn is anonymous.
+    for (;;) {
+      if (dirty_cursor_ >= bump_low_) dirty_cursor_ = kFirstAllocatableGfn;
+      if (!pinned_gfns_.contains(dirty_cursor_)) break;
+      ++dirty_cursor_;
+    }
+    total += memory_
+                 ->write_page(Gfn(dirty_cursor_++),
+                              mem::PageData::synthetic(
+                                  ContentHash{rng_.next_u64() | 1}))
+                 .cost;
+  }
+  return total;
+}
+
+Status GuestOS::touch_boot_working_set(std::uint64_t mib) {
+  const std::size_t n = static_cast<std::size_t>(mib) * 256;
+  for (std::size_t i = 0; i < n; ++i) {
+    CSK_ASSIGN_OR_RETURN(Gfn g, alloc_gfn());
+    memory_->write_page(
+        g, mem::PageData::synthetic(ContentHash{rng_.next_u64() | 1}));
+  }
+  return Status::ok();
+}
+
+void GuestOS::refresh_proc_table_page() {
+  const std::string blob = serialize_proc_table(identity_, ps());
+  mem::PageBytes bytes(blob.begin(), blob.end());
+  CSK_CHECK_MSG(bytes.size() <= mem::kPageSize,
+                "proc table page overflow; trim the process list");
+  memory_->write_page(Gfn(kProcTableGfn), mem::PageData::from_bytes(bytes));
+}
+
+std::string serialize_proc_table(const OsIdentity& identity,
+                                 const std::vector<Process>& procs) {
+  std::ostringstream out;
+  out << "CSKPROC1\n"
+      << identity.os_name << "\n"
+      << identity.kernel_version << "\n"
+      << identity.hostname << "\n";
+  for (const Process& p : procs) {
+    out << p.pid.value() << "\t" << p.parent.value() << "\t" << p.name << "\t"
+        << p.cmdline << "\n";
+  }
+  return out.str();
+}
+
+Result<ParsedProcTable> parse_proc_table(const mem::PageBytes& bytes) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()));
+  std::string magic;
+  if (!std::getline(in, magic) || magic != "CSKPROC1") {
+    return not_found("not a proc-table page (semantic gap)");
+  }
+  ParsedProcTable out;
+  if (!std::getline(in, out.identity.os_name) ||
+      !std::getline(in, out.identity.kernel_version) ||
+      !std::getline(in, out.identity.hostname)) {
+    return internal_error("truncated proc-table header");
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string pid_s, ppid_s, name, cmdline;
+    if (!std::getline(ls, pid_s, '\t') || !std::getline(ls, ppid_s, '\t') ||
+        !std::getline(ls, name, '\t')) {
+      return internal_error("malformed proc-table row");
+    }
+    std::getline(ls, cmdline, '\t');
+    Process p;
+    p.pid = Pid(std::stoi(pid_s));
+    p.parent = Pid(std::stoi(ppid_s));
+    p.name = name;
+    p.cmdline = cmdline;
+    out.procs.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace csk::guestos

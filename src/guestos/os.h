@@ -1,0 +1,192 @@
+// GuestOS: the operating system running inside a simulated machine.
+//
+// Models the pieces of a Linux guest the paper's experiments touch:
+//   * a process table (fork/execve/exit; `ps` for recon and VMI);
+//   * a page cache — loading a file materializes its pages in the machine's
+//     address space, which is what makes File-A visible to host-side KSM;
+//   * kernel data structures at *known guest-physical locations*: VMI tools
+//     reconstruct OS state by parsing these raw pages, and the two-layer
+//     semantic gap of nested VMs (paper §VI-D2) falls out naturally — a
+//     nested guest's structures live somewhere inside the parent's RAM
+//     where a single-level VMI scanner does not know to look;
+//   * region allocation for hosting a nested VM's "physical" memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "guestos/fs.h"
+#include "hv/timing_model.h"
+#include "mem/addr_space.h"
+
+namespace csk::guestos {
+
+/// Fingerprintable identity of an installed OS.
+struct OsIdentity {
+  std::string os_name = "Fedora 22";
+  std::string kernel_version = "4.4.14-200.fc22.x86_64";
+  std::string hostname = "guest";
+
+  bool operator==(const OsIdentity&) const = default;
+};
+
+struct Process {
+  Pid pid;
+  Pid parent;
+  std::string name;      // comm
+  std::string cmdline;   // full command line (recon reads this via ps -ef)
+  bool alive = true;
+  /// DKSM-style rootkit concealment: excluded from the kernel's visible
+  /// task list (ps, VMI). Attackers controlling a kernel can do this.
+  bool hidden = false;
+};
+
+/// Guest-physical page that holds the serialized process table — the "known
+/// kernel data structure location" VMI relies on. Identical for every guest
+/// running this kernel build.
+inline constexpr std::uint64_t kProcTableGfn = 8;
+/// First page available to the general-purpose allocator.
+inline constexpr std::uint64_t kFirstAllocatableGfn = 16;
+
+class GuestOS {
+ public:
+  /// `memory` outlives the OS. The OS owns gfn layout within it.
+  /// `ram_pages` bounds ordinary allocations (the machine's actual RAM);
+  /// pages beyond it up to the address-space size form the overcommit arena
+  /// used only for large regions (a nested guest's RAM lives there, lazily
+  /// materialized — Linux overcommit in one line). 0 means "all of it".
+  GuestOS(mem::AddressSpace* memory, OsIdentity identity, Rng rng,
+          std::size_t ram_pages = 0);
+  GuestOS(const GuestOS&) = delete;
+  GuestOS& operator=(const GuestOS&) = delete;
+
+  const OsIdentity& identity() const { return identity_; }
+  mem::AddressSpace* memory() { return memory_; }
+  const mem::AddressSpace* memory() const { return memory_; }
+  SimFs& fs() { return fs_; }
+  const SimFs& fs() const { return fs_; }
+  Rng& rng() { return rng_; }
+
+  // --- processes ---
+
+  /// Boots userspace: init plus the usual daemons.
+  void boot();
+  bool booted() const { return booted_; }
+
+  /// Starts a process (cheap administrative spawn for scenario setup).
+  Pid spawn(const std::string& name, const std::string& cmdline = "",
+            Pid parent = Pid(1));
+
+  Status kill(Pid pid);
+
+  /// Hides a live process from ps/VMI views (attacker-controlled kernel).
+  Status hide_process(Pid pid);
+  Result<Process> find_process(Pid pid) const;
+  /// Finds the first live process whose name matches exactly.
+  Result<Process> find_process_by_name(const std::string& name) const;
+  std::vector<Process> ps() const;  // live processes only
+
+  // --- page cache ---
+
+  /// Loads a file's pages into guest memory. Idempotent: re-loading an
+  /// already cached file returns the existing gfns.
+  Result<std::vector<Gfn>> load_file(const std::string& name);
+
+  bool file_cached(const std::string& name) const {
+    return page_cache_.contains(name);
+  }
+  Result<std::vector<Gfn>> cached_gfns(const std::string& name) const;
+
+  /// Drops a file from the cache, freeing its gfns.
+  Status evict_file(const std::string& name);
+
+  /// Rewrites one page of a cached file, both on "disk" and in memory —
+  /// how the victim turns File-A into File-A-v2 (paper §VI-B step 2).
+  Status modify_cached_page(const std::string& name, std::size_t page_index,
+                            mem::PageData data);
+
+  /// Convenience: slightly perturbs every page of a cached byte-backed
+  /// file (flips one byte per page).
+  Status perturb_cached_file(const std::string& name);
+
+  // --- memory regions (nested-VM hosting) ---
+
+  /// Reserves `num_pages` contiguous-by-index gfns (for a nested guest's
+  /// RAM, device buffers, ...). The pages are touched (materialized).
+  Result<std::vector<Gfn>> allocate_region(std::size_t num_pages);
+  void free_region(const std::vector<Gfn>& region);
+
+  /// Dirties `n` random allocatable pages with fresh synthetic content —
+  /// the write-side effect of running workloads. Returns total write cost.
+  SimDuration dirty_random_pages(std::size_t n);
+
+  /// Dirties `n` pages walking cyclically through the resident working set
+  /// (fresh page each write until the set wraps). This is the write pattern
+  /// sustained workloads present to migration dirty logging: nearly every
+  /// write in a round hits a page not yet retransmitted.
+  SimDuration dirty_pages_cyclic(std::size_t n);
+
+  /// Materializes the boot working set: `mib` MiB of resident pages with
+  /// unique synthetic content (what a freshly booted distro keeps in RAM).
+  /// Determines how many non-zero pages live migration must move.
+  Status touch_boot_working_set(std::uint64_t mib);
+
+  /// Re-points the OS at a different (already identically populated)
+  /// address space. Used exactly once per live migration, when the OS state
+  /// is transplanted from the source VM to the destination VM whose RAM now
+  /// holds the same contents at the same gfns.
+  void rebind_memory(mem::AddressSpace* memory) {
+    CSK_CHECK(memory != nullptr);
+    // The destination must cover the machine's RAM; its *arena* may be
+    // smaller than the source's (a nested destination's address space is
+    // exactly RAM-sized).
+    CSK_CHECK_MSG(memory->size_pages() >= ram_pages_,
+                  "migration destination RAM smaller than source");
+    memory_ = memory;
+  }
+
+ private:
+  void refresh_proc_table_page();
+  Result<Gfn> alloc_gfn();
+
+  mem::AddressSpace* memory_;
+  OsIdentity identity_;
+  Rng rng_;
+  SimFs fs_;
+  bool booted_ = false;
+
+  std::map<Pid, Process> procs_;
+  std::int32_t next_pid_ = 1;
+
+  std::map<std::string, std::vector<Gfn>> page_cache_;
+  /// Pages the dirty walkers must not recycle (live page cache, kernel
+  /// pages): workload churn hits anonymous memory, not cached files.
+  std::unordered_set<std::uint64_t> pinned_gfns_;
+  std::size_t ram_pages_ = 0;
+  std::uint64_t bump_low_ = kFirstAllocatableGfn;   // ordinary allocations
+  std::uint64_t bump_high_ = 0;                     // region arena cursor
+  std::vector<Gfn> free_gfns_;
+  std::vector<Gfn> free_region_gfns_;
+  std::uint64_t dirty_cursor_ = kFirstAllocatableGfn;
+};
+
+/// Serializes a process list the way the simulated kernel lays it out in
+/// the proc-table page (used by GuestOS and parsed by VMI tools).
+std::string serialize_proc_table(const OsIdentity& identity,
+                                 const std::vector<Process>& procs);
+
+/// Parses a proc-table page. Returns NOT_FOUND if the bytes do not look
+/// like a proc table (VMI hitting the semantic gap).
+struct ParsedProcTable {
+  OsIdentity identity;
+  std::vector<Process> procs;
+};
+Result<ParsedProcTable> parse_proc_table(const mem::PageBytes& bytes);
+
+}  // namespace csk::guestos

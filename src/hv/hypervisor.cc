@@ -1,0 +1,86 @@
+#include "hv/hypervisor.h"
+
+namespace csk::hv {
+
+Hypervisor::Hypervisor(sim::Simulator* simulator, const TimingModel* timing,
+                       Layer host_layer, std::string name)
+    : simulator_(simulator),
+      timing_(timing),
+      host_layer_(host_layer),
+      guest_layer_(guest_layer_of(host_layer)),
+      name_(std::move(name)) {
+  CSK_CHECK(simulator != nullptr);
+  CSK_CHECK(timing != nullptr);
+}
+
+Status Hypervisor::attach_guest(VmId vm, const std::string& vm_name,
+                                bool nested_allowed) {
+  if (guests_.contains(vm)) {
+    return already_exists("guest already attached: " + vm_name);
+  }
+  if (guest_layer_ == Layer::kL2 && nested_allowed) {
+    // Three-deep nesting exists in research prototypes but is outside this
+    // model (and outside the paper).
+    return unimplemented("nested virtualization below L2 is not modeled");
+  }
+  guests_.emplace(vm, GuestContext{vm, vm_name, guest_layer_, nested_allowed, {}});
+  return Status::ok();
+}
+
+Status Hypervisor::detach_guest(VmId vm) {
+  if (guests_.erase(vm) == 0) return not_found("no such guest");
+  return Status::ok();
+}
+
+std::vector<VmId> Hypervisor::guests() const {
+  std::vector<VmId> out;
+  out.reserve(guests_.size());
+  for (const auto& [id, ctx] : guests_) out.push_back(id);
+  return out;
+}
+
+const GuestContext& Hypervisor::guest(VmId vm) const {
+  auto it = guests_.find(vm);
+  CSK_CHECK_MSG(it != guests_.end(), "unknown guest vm");
+  return it->second;
+}
+
+Result<Layer> Hypervisor::nested_hypervisor_layer(VmId vm) const {
+  auto it = guests_.find(vm);
+  if (it == guests_.end()) return not_found("unknown guest vm");
+  if (!it->second.nested_allowed) {
+    return failed_precondition(
+        "nested virtualization disabled for guest " + it->second.name +
+        " (launch with -cpu host,+vmx / kvm_intel nested=1)");
+  }
+  if (it->second.layer == Layer::kL2) {
+    return failed_precondition("guest is already at L2; cannot nest deeper");
+  }
+  return it->second.layer;  // a hypervisor inside the guest runs at its layer
+}
+
+SimDuration Hypervisor::charge_exit(VmId vm, ExitReason reason,
+                                    std::uint64_t count) {
+  auto it = guests_.find(vm);
+  CSK_CHECK_MSG(it != guests_.end(), "charge_exit for unknown guest");
+  it->second.exits.record(reason, count);
+  OpCost c;
+  c.n_exits = static_cast<double>(count);
+  return timing_->price(c, it->second.layer);
+}
+
+SimDuration Hypervisor::charge_ops(VmId vm, const OpCost& cost) {
+  auto it = guests_.find(vm);
+  CSK_CHECK_MSG(it != guests_.end(), "charge_ops for unknown guest");
+  // Account implied exits for statistics: faults surface as EPT violations,
+  // IO ops as IO exits (only when virtualized at all).
+  it->second.exits.record(ExitReason::kEptViolation,
+                          static_cast<std::uint64_t>(cost.n_faults));
+  it->second.exits.record(ExitReason::kIo,
+                          static_cast<std::uint64_t>(cost.n_io_ops));
+  it->second.exits.record(ExitReason::kExternalInterrupt,
+                          static_cast<std::uint64_t>(cost.n_ctxsw));
+  return timing_->price(cost, it->second.layer);
+}
+
+}  // namespace csk::hv

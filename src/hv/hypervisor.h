@@ -1,0 +1,79 @@
+// The KVM-like hypervisor.
+//
+// One Hypervisor instance runs at a layer and hosts guests at the next
+// layer: the host's KVM (at L0) runs L1 guests; a KVM instance inside a
+// guest (at L1 — the rootkit's hypervisor) runs L2 guests. The hypervisor
+// prices VM exits for its guests, keeps per-guest exit statistics, and
+// enforces the nesting rules (nested virtualization must be enabled for a
+// guest before a hypervisor can be started inside it — the kvm_intel
+// `nested=1` module parameter).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "hv/layer.h"
+#include "hv/timing_model.h"
+#include "hv/vmexit.h"
+#include "sim/simulator.h"
+
+namespace csk::hv {
+
+/// Per-guest control block (the slice of kvm_vcpu/kvm state we model).
+struct GuestContext {
+  VmId vm;
+  std::string name;
+  Layer layer;                 // layer the guest's code runs at
+  bool nested_allowed = false; // may this guest host its own hypervisor?
+  ExitStats exits;
+};
+
+class Hypervisor {
+ public:
+  /// `host_layer` is where this hypervisor itself executes.
+  Hypervisor(sim::Simulator* simulator, const TimingModel* timing,
+             Layer host_layer, std::string name);
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  Layer host_layer() const { return host_layer_; }
+  /// Layer at which this hypervisor's guests run.
+  Layer guest_layer() const { return guest_layer_; }
+  const std::string& name() const { return name_; }
+
+  /// Registers a guest. `nested_allowed` mirrors `-cpu host,+vmx`.
+  Status attach_guest(VmId vm, const std::string& vm_name,
+                      bool nested_allowed);
+  Status detach_guest(VmId vm);
+  bool has_guest(VmId vm) const { return guests_.contains(vm); }
+  std::vector<VmId> guests() const;
+
+  const GuestContext& guest(VmId vm) const;
+
+  /// Whether a hypervisor may be started inside `vm` (nested virt check).
+  Result<Layer> nested_hypervisor_layer(VmId vm) const;
+
+  /// Records `count` exits of `reason` for `vm` and returns the total
+  /// handling cost at the guest's layer. The caller advances the simulated
+  /// clock if the cost is on its critical path.
+  SimDuration charge_exit(VmId vm, ExitReason reason, std::uint64_t count = 1);
+
+  /// Prices an op batch for a guest, recording implied exits.
+  SimDuration charge_ops(VmId vm, const OpCost& cost);
+
+  const TimingModel& timing() const { return *timing_; }
+
+ private:
+  sim::Simulator* simulator_;
+  const TimingModel* timing_;
+  Layer host_layer_;
+  Layer guest_layer_;
+  std::string name_;
+  std::unordered_map<VmId, GuestContext> guests_;
+};
+
+}  // namespace csk::hv

@@ -1,0 +1,34 @@
+// Virtualization layers, following the Turtles-project notation the paper
+// adopts: L0 is the hypervisor on real hardware (or code running on bare
+// metal), L1 a guest of L0, L2 a guest of an L1 hypervisor (a nested VM).
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace csk::hv {
+
+enum class Layer : int { kL0 = 0, kL1 = 1, kL2 = 2 };
+
+inline constexpr std::size_t kNumLayers = 3;
+
+constexpr const char* layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kL0: return "L0";
+    case Layer::kL1: return "L1";
+    case Layer::kL2: return "L2";
+  }
+  return "?";
+}
+
+constexpr int layer_index(Layer layer) { return static_cast<int>(layer); }
+
+/// The layer guests of a hypervisor running at `host` execute at.
+inline Layer guest_layer_of(Layer host) {
+  CSK_CHECK_MSG(host != Layer::kL2,
+                "an L2 guest cannot host further guests in this model");
+  return static_cast<Layer>(static_cast<int>(host) + 1);
+}
+
+}  // namespace csk::hv

@@ -1,0 +1,102 @@
+// The calibrated per-layer cost model.
+//
+// Every performance result in the paper (Figs 2-4, Tables II-IV) is, at
+// bottom, a statement about how much more OS-level primitives cost as
+// virtualization layers are added: syscalls barely change, context switches
+// and page faults pay VM exits, and at L2 each exit is *multiplied* because
+// the L1 hypervisor's exit handler itself runs in a guest and its privileged
+// instructions trap to L0 (the Turtles effect). This file encodes those
+// primitives once; workloads express themselves as OpCost vectors and the
+// model prices them per layer, so the paper's L0/L1/L2 shapes emerge from
+// mechanism rather than being tabulated.
+//
+// Calibration targets and derivations are documented in DESIGN.md §3 and
+// verified by tests/hv/timing_model_test.cc against Tables II/III.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "hv/layer.h"
+
+namespace csk::hv {
+
+/// The abstract cost of one operation (or a batch), independent of layer.
+struct OpCost {
+  /// Pure computation, measured in ns at L0 speed.
+  double cpu_ns = 0;
+  /// 0..1 weight of memory-access intensity: nested EPT-on-EPT walks raise
+  /// the effective CPI of memory-heavy code (kernel compile) while leaving
+  /// register arithmetic (lmbench arith) untouched.
+  double mem_intensity = 0;
+  double n_ctxsw = 0;    // context switches / wakeups
+  double n_faults = 0;   // page faults (EPT violations when virtualized)
+  double n_svc = 0;      // syscall entries
+  double n_exits = 0;    // explicit device/hypercall VM exits (0 cost at L0)
+  double n_io_ops = 0;   // block-device operations (virtio request cycle)
+  /// Guest pages this op dirties (drives migration dirty logging).
+  double pages_dirtied = 0;
+
+  OpCost& operator+=(const OpCost& o);
+  OpCost operator*(double k) const;
+};
+
+class TimingModel {
+ public:
+  struct Params {
+    // Index by layer_index(layer).
+    std::array<double, kNumLayers> cpu_factor = {1.0, 1.004, 1.032};
+    std::array<double, kNumLayers> mem_overhead = {0.0, 0.015, 0.24};
+    std::array<double, kNumLayers> syscall_ns = {50, 70, 73};
+    std::array<double, kNumLayers> ctxsw_ns = {1200, 2800, 32000};
+    std::array<double, kNumLayers> fault_ns = {300, 290, 1458};
+    std::array<double, kNumLayers> exit_ns = {0, 1200, 23160};
+    std::array<double, kNumLayers> io_op_ns = {1500, 3900, 18000};
+  };
+
+  /// Defaults reproduce the paper's testbed shape (i7-4790, QEMU 2.9/KVM).
+  TimingModel() : params_(Params{}) {}
+  explicit TimingModel(Params params) : params_(params) {}
+
+  /// Rebuilds the L2 row from the L0/L1 rows and a nested-exit cost
+  /// multiplier m (an L2 exit costs m times an L1 exit, because the L1
+  /// handler's privileged instructions each trap to L0). m = 19.3 yields
+  /// the calibrated defaults; the ablation bench sweeps m.
+  static TimingModel with_nested_exit_multiplier(double m);
+
+  /// Prices one op (or op batch) when executed at `layer`.
+  SimDuration price(const OpCost& cost, Layer layer) const;
+
+  /// As price(), with multiplicative Gaussian run-to-run noise.
+  SimDuration price_noisy(const OpCost& cost, Layer layer, Rng& rng,
+                          double rel_stddev) const;
+
+  const Params& params() const { return params_; }
+
+  double syscall_ns(Layer l) const { return params_.syscall_ns[layer_index(l)]; }
+  double ctxsw_ns(Layer l) const { return params_.ctxsw_ns[layer_index(l)]; }
+  double fault_ns(Layer l) const { return params_.fault_ns[layer_index(l)]; }
+  double exit_ns(Layer l) const { return params_.exit_ns[layer_index(l)]; }
+  double io_op_ns(Layer l) const { return params_.io_op_ns[layer_index(l)]; }
+
+ private:
+  Params params_;
+};
+
+/// Execution environment a workload runs in: which layer, which cost model,
+/// and environment toggles that change costs (the paper's ccache footnote).
+struct ExecEnv {
+  Layer layer = Layer::kL0;
+  const TimingModel* timing = nullptr;
+  /// Compiler cache available (the paper had it enabled on L0 only —
+  /// footnote 1 — producing the 280 % L0->L1 kernel-compile gap).
+  bool ccache_enabled = false;
+
+  SimDuration price(const OpCost& cost) const {
+    CSK_CHECK(timing != nullptr);
+    return timing->price(cost, layer);
+  }
+};
+
+}  // namespace csk::hv

@@ -1,0 +1,63 @@
+// VM-exit taxonomy.
+//
+// The subset of Intel VT-x exit reasons the simulation distinguishes —
+// enough to account for where nested overhead comes from and to let tests
+// assert on exit mixes (e.g. migration dirty-log syncs are GET_DIRTY_LOG
+// ioctls; virtio kicks are IO exits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace csk::hv {
+
+enum class ExitReason : int {
+  kCpuid = 0,
+  kIo,               // port/MMIO access (virtio kick, device emulation)
+  kEptViolation,     // guest page fault needing host mapping work
+  kHlt,              // idle / scheduling
+  kExternalInterrupt,
+  kMsrAccess,
+  kVmlaunch,         // nested: L1 launching/resuming L2
+  kDirtyLogSync,     // migration: harvesting the dirty bitmap
+  kHypercall,
+  kCount_,
+};
+
+inline constexpr std::size_t kNumExitReasons =
+    static_cast<std::size_t>(ExitReason::kCount_);
+
+constexpr const char* exit_reason_name(ExitReason r) {
+  switch (r) {
+    case ExitReason::kCpuid: return "CPUID";
+    case ExitReason::kIo: return "IO";
+    case ExitReason::kEptViolation: return "EPT_VIOLATION";
+    case ExitReason::kHlt: return "HLT";
+    case ExitReason::kExternalInterrupt: return "EXTERNAL_INTERRUPT";
+    case ExitReason::kMsrAccess: return "MSR_ACCESS";
+    case ExitReason::kVmlaunch: return "VMLAUNCH";
+    case ExitReason::kDirtyLogSync: return "DIRTY_LOG_SYNC";
+    case ExitReason::kHypercall: return "HYPERCALL";
+    case ExitReason::kCount_: break;
+  }
+  return "?";
+}
+
+/// Per-VM exit counters.
+struct ExitStats {
+  std::array<std::uint64_t, kNumExitReasons> by_reason{};
+
+  void record(ExitReason r, std::uint64_t n = 1) {
+    by_reason[static_cast<std::size_t>(r)] += n;
+  }
+  std::uint64_t count(ExitReason r) const {
+    return by_reason[static_cast<std::size_t>(r)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : by_reason) t += v;
+    return t;
+  }
+};
+
+}  // namespace csk::hv

@@ -1,0 +1,162 @@
+#include "mem/addr_space.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csk::mem {
+
+AddressSpace::AddressSpace(HostPhysicalMemory* phys, std::size_t num_pages,
+                           std::string name)
+    : name_(std::move(name)), num_pages_(num_pages), phys_(phys) {
+  CSK_CHECK(phys != nullptr);
+  CSK_CHECK(num_pages > 0);
+}
+
+AddressSpace::AddressSpace(AddressSpace* parent, std::vector<Gfn> window,
+                           std::string name)
+    : name_(std::move(name)),
+      num_pages_(window.size()),
+      parent_(parent),
+      window_(std::move(window)) {
+  CSK_CHECK(parent != nullptr);
+  CSK_CHECK(!window_.empty());
+  for (Gfn g : window_) {
+    CSK_CHECK_MSG(g.value() < parent->size_pages(),
+                  "view window outside parent address space");
+  }
+}
+
+AddressSpace::~AddressSpace() {
+  if (is_view()) return;  // views own no frames
+  for (const auto& [gfn, frame] : table_) {
+    phys_->remove_mapping(FrameNumber(frame), this, Gfn(gfn));
+  }
+}
+
+AddressSpace* AddressSpace::root() {
+  AddressSpace* as = this;
+  while (as->parent_ != nullptr) as = as->parent_;
+  return as;
+}
+
+const AddressSpace* AddressSpace::root() const {
+  const AddressSpace* as = this;
+  while (as->parent_ != nullptr) as = as->parent_;
+  return as;
+}
+
+void AddressSpace::check_gfn(Gfn gfn) const {
+  CSK_CHECK_MSG(gfn.valid() && gfn.value() < num_pages_,
+                "gfn out of range for address space " + name_);
+}
+
+ContentHash AddressSpace::read_hash(Gfn gfn) const {
+  check_gfn(gfn);
+  if (is_view()) return parent_->read_hash(window_[gfn.value()]);
+  auto it = table_.find(gfn.value());
+  if (it == table_.end()) return ContentHash::zero_page();
+  return phys_->frame(FrameNumber(it->second)).data.hash;
+}
+
+std::optional<PageBytes> AddressSpace::read_bytes(Gfn gfn) const {
+  check_gfn(gfn);
+  if (is_view()) return parent_->read_bytes(window_[gfn.value()]);
+  auto it = table_.find(gfn.value());
+  if (it == table_.end()) return std::nullopt;
+  return phys_->frame(FrameNumber(it->second)).data.bytes;
+}
+
+PageData AddressSpace::read_page(Gfn gfn) const {
+  check_gfn(gfn);
+  if (is_view()) return parent_->read_page(window_[gfn.value()]);
+  auto it = table_.find(gfn.value());
+  if (it == table_.end()) return PageData::zero();
+  return phys_->frame(FrameNumber(it->second)).data;
+}
+
+FrameNumber AddressSpace::translate(Gfn gfn) const {
+  check_gfn(gfn);
+  if (is_view()) return parent_->translate(window_[gfn.value()]);
+  auto it = table_.find(gfn.value());
+  if (it == table_.end()) return FrameNumber::invalid();
+  return FrameNumber(it->second);
+}
+
+FrameNumber AddressSpace::root_frame(Gfn gfn, bool materialize) {
+  CSK_CHECK(!is_view());
+  auto it = table_.find(gfn.value());
+  if (it != table_.end()) return FrameNumber(it->second);
+  if (!materialize) return FrameNumber::invalid();
+  const FrameNumber f = phys_->allocate(PageData::zero());
+  phys_->add_mapping(f, this, gfn);
+  table_[gfn.value()] = f.value();
+  return f;
+}
+
+WriteResult AddressSpace::write_page(Gfn gfn, PageData data) {
+  check_gfn(gfn);
+  if (write_observer_ != nullptr) {
+    CSK_CHECK_MSG(!in_observer_,
+                  "write observer re-entered its own address space");
+    in_observer_ = true;
+    write_observer_(gfn, data);
+    in_observer_ = false;
+  }
+  mark_dirty(gfn);
+  if (is_view()) return parent_->write_page(window_[gfn.value()], std::move(data));
+
+  const FrameNumber f = root_frame(gfn, /*materialize=*/true);
+  const auto outcome = phys_->write(f, this, gfn, std::move(data));
+  // phys_->write already repointed our table on a COW split.
+  return WriteResult{outcome.cost, outcome.cow_broken};
+}
+
+std::vector<Gfn> AddressSpace::mapped_gfns() const {
+  std::vector<Gfn> out;
+  if (is_view()) {
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+      if (parent_->is_mapped(window_[i])) out.push_back(Gfn(i));
+    }
+    return out;
+  }
+  out.reserve(table_.size());
+  for (const auto& [gfn, frame] : table_) out.push_back(Gfn(gfn));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AddressSpace::enable_dirty_log() {
+  dirty_log_enabled_ = true;
+  dirty_.clear();
+}
+
+void AddressSpace::disable_dirty_log() {
+  dirty_log_enabled_ = false;
+  dirty_.clear();
+}
+
+std::vector<Gfn> AddressSpace::fetch_and_reset_dirty() {
+  std::vector<Gfn> out;
+  out.reserve(dirty_.size());
+  for (const auto& [gfn, _] : dirty_) out.push_back(Gfn(gfn));
+  std::sort(out.begin(), out.end());
+  dirty_.clear();
+  return out;
+}
+
+void AddressSpace::mark_dirty(Gfn gfn) {
+  if (dirty_log_enabled_) dirty_[gfn.value()] = true;
+}
+
+void AddressSpace::set_write_observer(WriteObserver observer) {
+  CSK_CHECK_MSG(write_observer_ == nullptr || observer == nullptr,
+                "an observer is already installed");
+  write_observer_ = std::move(observer);
+}
+
+void AddressSpace::on_frame_repointed(Gfn gfn, FrameNumber f) {
+  CSK_CHECK_MSG(!is_view(), "only root spaces hold frame tables");
+  table_[gfn.value()] = f.value();
+}
+
+}  // namespace csk::mem

@@ -1,0 +1,137 @@
+// Guest / process address spaces.
+//
+// A *root* AddressSpace maps guest frame numbers directly onto host frames —
+// it models the memory of a QEMU process (a top-level VM) or of a host
+// process such as the dedup detector. Frames are materialized lazily: an
+// untouched gfn reads as the zero page, like anonymous memory on Linux.
+//
+// A *view* AddressSpace models nested-VM memory: its gfns alias a window of
+// a parent address space. An L2 guest's "physical" memory is, from the
+// host's perspective, just a region inside the L1 QEMU process, and the view
+// makes that aliasing explicit — a write through the view lands in the
+// parent's frames and dirties every level on the way down, which is exactly
+// how dirty logging behaves across nested EPT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "mem/phys_mem.h"
+
+namespace csk::mem {
+
+struct WriteResult {
+  SimDuration cost;
+  bool cow_broken = false;
+};
+
+class AddressSpace {
+ public:
+  /// Root space of `num_pages` gfns backed by `phys`.
+  AddressSpace(HostPhysicalMemory* phys, std::size_t num_pages,
+               std::string name);
+
+  /// View space aliasing `window` gfns of `parent` (one parent gfn per own
+  /// gfn, in order). Used for nested-VM memory.
+  AddressSpace(AddressSpace* parent, std::vector<Gfn> window,
+               std::string name);
+
+  ~AddressSpace();
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t size_pages() const { return num_pages_; }
+  bool is_view() const { return parent_ != nullptr; }
+  AddressSpace* parent() const { return parent_; }
+
+  /// Root space that ultimately backs this one (self for roots).
+  AddressSpace* root();
+  const AddressSpace* root() const;
+
+  /// Reads the content hash at `gfn` (zero page if never written).
+  ContentHash read_hash(Gfn gfn) const;
+
+  /// Reads byte contents, when the page is byte-backed.
+  std::optional<PageBytes> read_bytes(Gfn gfn) const;
+
+  /// Reads the full page content (hash + optional bytes). Untouched pages
+  /// read as the zero page.
+  PageData read_page(Gfn gfn) const;
+
+  /// Writes page content, paying the host write latency; breaks COW sharing
+  /// if needed and marks the page dirty at every level of the chain.
+  WriteResult write_page(Gfn gfn, PageData data);
+
+  /// Observes every write issued at *this* level (before it lands). Models
+  /// write-protection traps a hypervisor places on its guest's pages: the
+  /// CloudSkulk L1 attacker uses this to mirror victim file changes
+  /// synchronously (§VI-D), paying one trap per write. One observer at a
+  /// time; the observer must not write through this same space.
+  using WriteObserver = std::function<void(Gfn gfn, const PageData& data)>;
+  void set_write_observer(WriteObserver observer);
+  void clear_write_observer() { write_observer_ = nullptr; }
+  bool has_write_observer() const { return write_observer_ != nullptr; }
+
+  /// Host frame currently backing `gfn`, or invalid if untouched.
+  FrameNumber translate(Gfn gfn) const;
+
+  /// True if the gfn has a materialized frame.
+  bool is_mapped(Gfn gfn) const { return translate(gfn).valid(); }
+
+  /// All materialized gfns, ascending (KSM scan order).
+  std::vector<Gfn> mapped_gfns() const;
+
+  // --- dirty logging (per level, used by live migration) ---
+
+  /// Starts dirty tracking; clears any previous log.
+  void enable_dirty_log();
+  void disable_dirty_log();
+  bool dirty_log_enabled() const { return dirty_log_enabled_; }
+
+  /// Returns dirtied gfns since the last fetch and clears the log.
+  std::vector<Gfn> fetch_and_reset_dirty();
+  std::size_t dirty_count() const { return dirty_.size(); }
+  bool is_dirty(Gfn gfn) const { return dirty_.contains(gfn.value()); }
+
+  // --- internal plumbing (called by HostPhysicalMemory / KSM) ---
+
+  /// Updates this root's gfn->frame table after a KSM merge or COW split.
+  /// Only HostPhysicalMemory calls this, only on roots.
+  void on_frame_repointed(Gfn gfn, FrameNumber f);
+
+  /// Total bytes of simulated guest memory (for `info mtree` etc.).
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(num_pages_) * kPageSize;
+  }
+
+ private:
+  void check_gfn(Gfn gfn) const;
+  void mark_dirty(Gfn gfn);
+  /// Root only: frame for gfn, materializing a zero frame if asked.
+  FrameNumber root_frame(Gfn gfn, bool materialize);
+
+  std::string name_;
+  std::size_t num_pages_ = 0;
+
+  // Root state.
+  HostPhysicalMemory* phys_ = nullptr;           // null for views
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;  // gfn -> frame
+
+  // View state.
+  AddressSpace* parent_ = nullptr;
+  std::vector<Gfn> window_;  // own gfn index -> parent gfn
+
+  bool dirty_log_enabled_ = false;
+  std::unordered_map<std::uint64_t, bool> dirty_;
+  WriteObserver write_observer_;
+  bool in_observer_ = false;
+};
+
+}  // namespace csk::mem

@@ -1,0 +1,168 @@
+#include "mem/ksm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace csk::mem {
+
+KsmDaemon::KsmDaemon(sim::Simulator* simulator, HostPhysicalMemory* phys,
+                     KsmConfig config)
+    : simulator_(simulator), phys_(phys), config_(config) {
+  CSK_CHECK(simulator != nullptr);
+  CSK_CHECK(phys != nullptr);
+  CSK_CHECK(config_.pages_per_scan > 0);
+}
+
+KsmDaemon::~KsmDaemon() { stop(); }
+
+void KsmDaemon::register_region(AddressSpace* root) {
+  CSK_CHECK(root != nullptr);
+  CSK_CHECK_MSG(!root->is_view(), "only root address spaces are scannable");
+  if (is_registered(root)) return;
+  regions_.push_back(root);
+}
+
+void KsmDaemon::unregister_region(AddressSpace* root) {
+  auto it = std::find(regions_.begin(), regions_.end(), root);
+  if (it == regions_.end()) return;
+  const std::size_t idx = static_cast<std::size_t>(it - regions_.begin());
+  regions_.erase(it);
+  // Keep the cursor coherent with the shrunken region list.
+  if (cursor_.region > idx || cursor_.region >= regions_.size()) {
+    cursor_.region = regions_.empty() ? 0 : cursor_.region % regions_.size();
+    cursor_.page_index = 0;
+    cursor_.snapshot_valid = false;
+  }
+}
+
+bool KsmDaemon::is_registered(const AddressSpace* root) const {
+  return std::find(regions_.begin(), regions_.end(), root) != regions_.end();
+}
+
+void KsmDaemon::start() {
+  if (task_.valid()) return;
+  task_ = simulator_->schedule_periodic(config_.scan_interval, [this] {
+    scan_batch(config_.pages_per_scan);
+    return true;
+  });
+}
+
+void KsmDaemon::stop() {
+  if (!task_.valid()) return;
+  simulator_->cancel(task_);
+  task_ = EventId::invalid();
+}
+
+void KsmDaemon::scan_batch(std::size_t pages) {
+  if (regions_.empty()) return;
+  for (std::size_t i = 0; i < pages; ++i) {
+    if (regions_.empty()) return;
+    AddressSpace* as = regions_[cursor_.region];
+    if (!cursor_.snapshot_valid) {
+      cursor_.snapshot = as->mapped_gfns();
+      cursor_.snapshot_valid = true;
+    }
+    if (cursor_.page_index >= cursor_.snapshot.size()) {
+      advance_cursor();
+      continue;
+    }
+    examine(as, cursor_.snapshot[cursor_.page_index]);
+    ++stats_.pages_scanned;
+    ++cursor_.page_index;
+    if (cursor_.page_index >= cursor_.snapshot.size()) advance_cursor();
+  }
+}
+
+void KsmDaemon::advance_cursor() {
+  cursor_.page_index = 0;
+  cursor_.snapshot_valid = false;
+  ++cursor_.region;
+  if (cursor_.region >= regions_.size()) {
+    cursor_.region = 0;
+    // A full pass over all regions completed: the unstable tree is rebuilt
+    // from scratch, exactly like ksmd.
+    unstable_.clear();
+    ++stats_.full_passes;
+  }
+}
+
+void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
+  const FrameNumber f = as->translate(gfn);
+  if (!f.valid() || !phys_->is_live(f)) return;
+  const Frame& fr = phys_->frame(f);
+
+  if (fr.ksm_shared) return;  // already merged
+
+  const ContentHash h = fr.data.hash;
+  if (config_.volatile_filtering) {
+    auto it = last_seen_.find(f.value());
+    if (it == last_seen_.end() || it->second != h) {
+      // First encounter, or the page changed since last time: remember the
+      // checksum and revisit on a later pass.
+      last_seen_[f.value()] = h;
+      return;
+    }
+  }
+
+  // Stable tree first: join an existing shared page.
+  if (auto it = stable_.find(h); it != stable_.end()) {
+    const FrameNumber canonical = it->second;
+    if (!phys_->is_live(canonical)) {
+      stable_.erase(it);
+      ++stats_.stale_stable_evictions;
+    } else if (canonical != f &&
+               phys_->frame(canonical).data.same_content(fr.data)) {
+      phys_->merge_frames(canonical, f);
+      ++stats_.merges;
+      return;
+    } else if (canonical == f) {
+      return;
+    }
+    // Hash collision with different bytes: fall through to the unstable
+    // tree, where the same guard applies.
+  }
+
+  // Unstable tree: pair up with another candidate seen this pass.
+  if (auto it = unstable_.find(h); it != unstable_.end()) {
+    const FrameNumber other = it->second;
+    if (phys_->is_live(other) && other != f &&
+        phys_->frame(other).data.same_content(fr.data)) {
+      phys_->merge_frames(other, f);
+      phys_->set_stable(other, true);
+      stable_[h] = other;
+      unstable_.erase(it);
+      ++stats_.merges;
+      return;
+    }
+    if (!phys_->is_live(other)) unstable_.erase(it);
+  }
+  unstable_[h] = f;
+}
+
+void KsmDaemon::full_pass() {
+  // Upper bound: every mapped page in every region, plus slack for cursor
+  // boundaries. Two sweeps so that volatile filtering (which needs two
+  // encounters) settles within one call in tests.
+  std::size_t total = 0;
+  for (const AddressSpace* as : regions_) total += as->mapped_gfns().size();
+  scan_batch(2 * total + 2 * regions_.size() + 4);
+}
+
+std::size_t KsmDaemon::shared_frames() const {
+  std::size_t n = 0;
+  for (const auto& [h, f] : stable_) {
+    if (phys_->is_live(f)) ++n;
+  }
+  return n;
+}
+
+std::size_t KsmDaemon::pages_sharing() const {
+  std::size_t n = 0;
+  for (const auto& [h, f] : stable_) {
+    if (phys_->is_live(f)) n += phys_->frame(f).refcount() - 1;
+  }
+  return n;
+}
+
+}  // namespace csk::mem

@@ -1,0 +1,112 @@
+// Kernel samepage merging (KSM), as a simulated host daemon.
+//
+// Models Linux's ksmd closely enough for the paper's detection experiment:
+//   * madvise-style region registration (here: whole root address spaces —
+//     QEMU processes register their guest RAM, the detector registers its
+//     File-A buffer);
+//   * a periodic scan that walks candidate pages in batches
+//     (pages_to_scan / sleep_millisecs, kernel defaults 100 / 20 ms);
+//   * the two-tree algorithm: an *unstable* tree of merge candidates that is
+//     rebuilt every full pass, and a *stable* tree of already-shared pages;
+//   * a page must show the same checksum on two consecutive encounters
+//     before it is merge-eligible (volatile-page filtering);
+//   * merged frames become copy-on-write; writes split them and pay the COW
+//     latency in MemTimingModel.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "mem/addr_space.h"
+#include "mem/phys_mem.h"
+#include "sim/simulator.h"
+
+namespace csk::mem {
+
+struct KsmConfig {
+  /// ksmd wake-up period (sleep_millisecs; kernel default 20 ms).
+  SimDuration scan_interval = SimDuration::millis(20);
+  /// Pages examined per wake-up (pages_to_scan; kernel default 100).
+  std::size_t pages_per_scan = 100;
+  /// Skip pages whose checksum changed since the previous encounter.
+  bool volatile_filtering = true;
+};
+
+struct KsmStats {
+  std::uint64_t full_passes = 0;
+  std::uint64_t pages_scanned = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t stale_stable_evictions = 0;
+};
+
+class KsmDaemon {
+ public:
+  KsmDaemon(sim::Simulator* simulator, HostPhysicalMemory* phys,
+            KsmConfig config = {});
+  ~KsmDaemon();
+  KsmDaemon(const KsmDaemon&) = delete;
+  KsmDaemon& operator=(const KsmDaemon&) = delete;
+
+  /// Registers a root address space for scanning (MADV_MERGEABLE).
+  void register_region(AddressSpace* root);
+
+  /// Stops scanning a space. Existing merges stay shared (as on Linux until
+  /// pages are written or KSM is told to unmerge).
+  void unregister_region(AddressSpace* root);
+
+  bool is_registered(const AddressSpace* root) const;
+
+  /// Starts/stops the periodic daemon on the simulator clock.
+  void start();
+  void stop();
+  bool running() const { return task_.valid(); }
+
+  /// Runs one wake-up worth of scanning immediately (tests, fast-forward).
+  void scan_batch(std::size_t pages);
+
+  /// Scans every registered page once (at least one full pass).
+  void full_pass();
+
+  const KsmStats& stats() const { return stats_; }
+  const KsmConfig& config() const { return config_; }
+
+  /// Number of frames currently KSM-shared (stable tree size, live only).
+  std::size_t shared_frames() const;
+
+  /// Extra mappings eliminated by sharing: sum over shared frames of
+  /// (refcount - 1). This is /sys/kernel/mm/ksm/pages_sharing.
+  std::size_t pages_sharing() const;
+
+ private:
+  struct Cursor {
+    std::size_t region = 0;
+    std::size_t page_index = 0;  // index into `snapshot`
+    /// Mapped-gfn list captured when the cursor entered the region; pages
+    /// appearing mid-visit are picked up on the next lap.
+    std::vector<Gfn> snapshot;
+    bool snapshot_valid = false;
+  };
+
+  /// Examines one page; returns true if a page existed at the cursor.
+  void examine(AddressSpace* as, Gfn gfn);
+  void advance_cursor();
+
+  sim::Simulator* simulator_;
+  HostPhysicalMemory* phys_;
+  KsmConfig config_;
+  std::vector<AddressSpace*> regions_;
+  Cursor cursor_;
+  EventId task_ = EventId::invalid();
+
+  std::unordered_map<ContentHash, FrameNumber> stable_;
+  std::unordered_map<ContentHash, FrameNumber> unstable_;
+  // frame -> content hash at previous encounter (volatile filtering).
+  std::unordered_map<std::uint64_t, ContentHash> last_seen_;
+  KsmStats stats_;
+};
+
+}  // namespace csk::mem

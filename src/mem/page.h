@@ -1,0 +1,52 @@
+// Page representation.
+//
+// The simulator models 4 KiB pages. Most pages only carry a 64-bit content
+// hash (enough for KSM equality and migration transfer accounting); pages
+// the experiments actually inspect byte-wise — e.g. the detector's File-A —
+// additionally carry real bytes. A page with bytes always has
+// hash == fnv1a(bytes); PageData::make enforces that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace csk::mem {
+
+inline constexpr std::size_t kPageSize = 4096;
+
+using PageBytes = std::vector<std::uint8_t>;
+
+/// Immutable content of one page: a hash, optionally backed by real bytes.
+struct PageData {
+  ContentHash hash;
+  std::optional<PageBytes> bytes;
+
+  /// Hash-only page (synthetic content, e.g. workload-dirtied memory).
+  static PageData synthetic(ContentHash h) { return PageData{h, std::nullopt}; }
+
+  /// Byte-backed page; the hash is derived, never supplied.
+  static PageData from_bytes(PageBytes b) {
+    CSK_CHECK_MSG(b.size() <= kPageSize, "page content exceeds 4 KiB");
+    ContentHash h = fnv1a(b);
+    return PageData{h, std::move(b)};
+  }
+
+  /// The all-zeroes page.
+  static PageData zero() { return PageData{ContentHash::zero_page(), std::nullopt}; }
+
+  bool is_zero() const { return hash.is_zero_page(); }
+
+  /// Content equality: hashes must match, and if both sides carry bytes the
+  /// bytes must match too (models KSM's full memcmp after checksum hit).
+  bool same_content(const PageData& other) const {
+    if (hash != other.hash) return false;
+    if (bytes && other.bytes) return *bytes == *other.bytes;
+    return true;
+  }
+};
+
+}  // namespace csk::mem

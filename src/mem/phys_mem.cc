@@ -1,0 +1,106 @@
+#include "mem/phys_mem.h"
+
+#include <algorithm>
+
+#include "mem/addr_space.h"
+
+namespace csk::mem {
+
+HostPhysicalMemory::HostPhysicalMemory(MemTimingModel timing,
+                                       std::uint64_t rng_seed)
+    : timing_(timing), rng_(rng_seed) {}
+
+FrameNumber HostPhysicalMemory::allocate(PageData data) {
+  const FrameNumber f(next_frame_++);
+  frames_.emplace(f.value(), Frame{std::move(data), {}, false, false});
+  ++stats_.frames_allocated;
+  return f;
+}
+
+const Frame& HostPhysicalMemory::frame(FrameNumber f) const {
+  auto it = frames_.find(f.value());
+  CSK_CHECK_MSG(it != frames_.end(), "access to freed frame");
+  return it->second;
+}
+
+Frame& HostPhysicalMemory::frame_mut(FrameNumber f) {
+  auto it = frames_.find(f.value());
+  CSK_CHECK_MSG(it != frames_.end(), "access to freed frame");
+  return it->second;
+}
+
+void HostPhysicalMemory::add_mapping(FrameNumber f, AddressSpace* as, Gfn gfn) {
+  CSK_CHECK(as != nullptr);
+  Frame& fr = frame_mut(f);
+  fr.rmap.push_back(Mapping{as, gfn});
+}
+
+void HostPhysicalMemory::remove_mapping(FrameNumber f, AddressSpace* as,
+                                        Gfn gfn) {
+  Frame& fr = frame_mut(f);
+  auto it = std::find(fr.rmap.begin(), fr.rmap.end(), Mapping{as, gfn});
+  CSK_CHECK_MSG(it != fr.rmap.end(), "removing a mapping that does not exist");
+  fr.rmap.erase(it);
+  free_if_unmapped(f);
+}
+
+void HostPhysicalMemory::free_if_unmapped(FrameNumber f) {
+  Frame& fr = frame_mut(f);
+  if (!fr.rmap.empty()) return;
+  frames_.erase(f.value());
+  ++stats_.frames_freed;
+}
+
+HostPhysicalMemory::WriteOutcome HostPhysicalMemory::write(FrameNumber f,
+                                                           AddressSpace* as,
+                                                           Gfn gfn,
+                                                           PageData data) {
+  Frame& fr = frame_mut(f);
+  const bool shared = fr.ksm_shared || fr.refcount() > 1;
+  if (!shared) {
+    fr.data = std::move(data);
+    ++stats_.regular_writes;
+    return WriteOutcome{f, timing_.sample_regular(rng_), false};
+  }
+  // Copy-on-write: the writer gets a fresh exclusive frame; other sharers
+  // keep the merged original untouched.
+  const FrameNumber nf = allocate(std::move(data));
+  remove_mapping(f, as, gfn);  // may free the original if we were last
+  add_mapping(nf, as, gfn);
+  as->root()->on_frame_repointed(gfn, nf);
+  ++stats_.cow_breaks;
+  return WriteOutcome{nf, timing_.sample_cow(rng_), true};
+}
+
+void HostPhysicalMemory::merge_frames(FrameNumber canonical, FrameNumber dup) {
+  CSK_CHECK(canonical != dup);
+  Frame& cf = frame_mut(canonical);
+  // Move every mapping of dup over to canonical. Copy the rmap first: the
+  // remove/add calls below mutate it.
+  const std::vector<Mapping> mappers = frame_mut(dup).rmap;
+  CSK_CHECK_MSG(cf.data.same_content(frame(dup).data),
+                "KSM merge of frames with different content");
+  for (const Mapping& m : mappers) {
+    remove_mapping(dup, m.as, m.gfn);
+    add_mapping(canonical, m.as, m.gfn);
+    m.as->root()->on_frame_repointed(m.gfn, canonical);
+  }
+  cf.ksm_shared = true;
+}
+
+void HostPhysicalMemory::set_stable(FrameNumber f, bool in_stable) {
+  frame_mut(f).in_stable_tree = in_stable;
+}
+
+void HostPhysicalMemory::set_shared(FrameNumber f, bool shared) {
+  frame_mut(f).ksm_shared = shared;
+}
+
+std::vector<FrameNumber> HostPhysicalMemory::live_frame_list() const {
+  std::vector<FrameNumber> out;
+  out.reserve(frames_.size());
+  for (const auto& [num, fr] : frames_) out.push_back(FrameNumber(num));
+  return out;
+}
+
+}  // namespace csk::mem

@@ -1,0 +1,132 @@
+// Host physical memory: the frame store underneath every address space on a
+// simulated host.
+//
+// A Frame is one 4 KiB unit of host RAM with content (PageData), a reverse
+// map of (AddressSpace, Gfn) mappers, and KSM sharing state. Frames are
+// reference-counted by their reverse map: when the last mapping goes away
+// the frame is freed. Write timing (regular vs copy-on-write) lives here
+// because it is a property of the host memory system, not of any one guest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "mem/page.h"
+
+namespace csk::mem {
+
+class AddressSpace;
+
+/// Host memory write-latency model, calibrated in DESIGN.md §3. A write to
+/// an exclusively owned frame costs ~regular_write; a write that must break
+/// KSM copy-on-write sharing pays a fault plus a 4 KiB copy. Jitter makes
+/// measured samples look like real timing data without hiding the gap.
+struct MemTimingModel {
+  SimDuration regular_write = SimDuration::nanos(200);
+  SimDuration cow_write = SimDuration::nanos(6000);
+  double jitter_rel_stddev = 0.04;  // 4 % relative noise on each sample
+
+  SimDuration sample_regular(Rng& rng) const {
+    return jittered(regular_write, rng);
+  }
+  SimDuration sample_cow(Rng& rng) const { return jittered(cow_write, rng); }
+
+ private:
+  SimDuration jittered(SimDuration base, Rng& rng) const {
+    const double f = rng.normal(1.0, jitter_rel_stddev);
+    const double clamped = f < 0.5 ? 0.5 : f;
+    return base * clamped;
+  }
+};
+
+/// One mapping of a frame by some address space.
+struct Mapping {
+  AddressSpace* as = nullptr;
+  Gfn gfn;
+  bool operator==(const Mapping& o) const { return as == o.as && gfn == o.gfn; }
+};
+
+struct Frame {
+  PageData data;
+  std::vector<Mapping> rmap;  // who maps this frame; size() is the refcount
+  bool ksm_shared = false;    // merged by ksmd; writes must COW
+  bool in_stable_tree = false;
+
+  std::size_t refcount() const { return rmap.size(); }
+};
+
+/// Counters exposed for tests and benchmarks.
+struct PhysMemStats {
+  std::uint64_t frames_allocated = 0;
+  std::uint64_t frames_freed = 0;
+  std::uint64_t cow_breaks = 0;
+  std::uint64_t regular_writes = 0;
+};
+
+class HostPhysicalMemory {
+ public:
+  explicit HostPhysicalMemory(MemTimingModel timing = {},
+                              std::uint64_t rng_seed = 0x9E3779B9ull);
+  HostPhysicalMemory(const HostPhysicalMemory&) = delete;
+  HostPhysicalMemory& operator=(const HostPhysicalMemory&) = delete;
+
+  /// Allocates a fresh frame holding `data`, initially unmapped.
+  FrameNumber allocate(PageData data);
+
+  /// Frame lookup. Precondition: `f` is live.
+  const Frame& frame(FrameNumber f) const;
+
+  bool is_live(FrameNumber f) const { return frames_.contains(f.value()); }
+
+  /// Registers/unregisters a mapping in the frame's reverse map. A frame
+  /// whose last mapping is removed is freed.
+  void add_mapping(FrameNumber f, AddressSpace* as, Gfn gfn);
+  void remove_mapping(FrameNumber f, AddressSpace* as, Gfn gfn);
+
+  /// Writes `data` into the frame mapped at (as-root, gfn) as frame `f`.
+  /// If the frame is shared (refcount > 1 or KSM-merged), performs a
+  /// copy-on-write split: allocates a new exclusive frame for this mapping
+  /// and leaves other sharers on the original. Returns the new (possibly
+  /// unchanged) frame and the charged write latency.
+  struct WriteOutcome {
+    FrameNumber frame;
+    SimDuration cost;
+    bool cow_broken = false;
+  };
+  WriteOutcome write(FrameNumber f, AddressSpace* as, Gfn gfn, PageData data);
+
+  /// KSM merge: repoints every mapping of `dup` to `canonical`, marks the
+  /// canonical frame shared, frees `dup`. Preconditions: distinct live
+  /// frames with equal content.
+  void merge_frames(FrameNumber canonical, FrameNumber dup);
+
+  /// Marks a frame as entered into / evicted from the KSM stable tree.
+  void set_stable(FrameNumber f, bool in_stable);
+  void set_shared(FrameNumber f, bool shared);
+
+  std::size_t live_frames() const { return frames_.size(); }
+  const PhysMemStats& stats() const { return stats_; }
+  const MemTimingModel& timing() const { return timing_; }
+  Rng& rng() { return rng_; }
+
+  /// All live frame numbers (test/inspection helper; unordered).
+  std::vector<FrameNumber> live_frame_list() const;
+
+ private:
+  Frame& frame_mut(FrameNumber f);
+  void free_if_unmapped(FrameNumber f);
+
+  MemTimingModel timing_;
+  Rng rng_;
+  std::uint64_t next_frame_ = 1;
+  std::unordered_map<std::uint64_t, Frame> frames_;
+  PhysMemStats stats_;
+};
+
+}  // namespace csk::mem

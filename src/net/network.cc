@@ -1,0 +1,118 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace csk::net {
+
+const char* proto_kind_name(ProtoKind kind) {
+  switch (kind) {
+    case ProtoKind::kGeneric: return "generic";
+    case ProtoKind::kSshKeystroke: return "ssh-keystroke";
+    case ProtoKind::kSshOutput: return "ssh-output";
+    case ProtoKind::kHttpRequest: return "http-request";
+    case ProtoKind::kHttpResponse: return "http-response";
+    case ProtoKind::kSmtpMail: return "smtp-mail";
+    case ProtoKind::kMigrationChunk: return "migration-chunk";
+    case ProtoKind::kNetperfBulk: return "netperf-bulk";
+  }
+  return "unknown";
+}
+
+SimNetwork::SimNetwork(sim::Simulator* simulator) : simulator_(simulator) {
+  CSK_CHECK(simulator != nullptr);
+}
+
+Result<EndpointId> SimNetwork::bind(const NetAddr& addr, RecvHandler handler) {
+  CSK_CHECK(handler != nullptr);
+  const auto key = std::make_pair(addr.node, addr.port.value());
+  if (bindings_.contains(key)) {
+    return already_exists("address in use: " + addr.to_string());
+  }
+  const EndpointId id = endpoint_ids_.next();
+  bindings_.emplace(key, std::make_pair(id, std::move(handler)));
+  endpoint_addrs_.emplace(id, addr);
+  return id;
+}
+
+void SimNetwork::unbind(EndpointId id) {
+  auto it = endpoint_addrs_.find(id);
+  if (it == endpoint_addrs_.end()) return;
+  bindings_.erase(std::make_pair(it->second.node, it->second.port.value()));
+  endpoint_addrs_.erase(it);
+}
+
+bool SimNetwork::is_bound(const NetAddr& addr) const {
+  return bindings_.contains(std::make_pair(addr.node, addr.port.value()));
+}
+
+Result<NetAddr> SimNetwork::address_of(EndpointId id) const {
+  auto it = endpoint_addrs_.find(id);
+  if (it == endpoint_addrs_.end()) return not_found("unknown endpoint");
+  return it->second;
+}
+
+void SimNetwork::set_link(const std::string& node_a, const std::string& node_b,
+                          LinkModel model) {
+  auto key = node_a <= node_b ? std::make_pair(node_a, node_b)
+                              : std::make_pair(node_b, node_a);
+  links_[key] = LinkState{model, links_.contains(key) ? links_[key].busy_until
+                                                      : SimTime::origin()};
+}
+
+SimNetwork::LinkState& SimNetwork::link_state(const std::string& a,
+                                              const std::string& b) {
+  auto key = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = links_.find(key);
+  if (it != links_.end()) return it->second;
+  const LinkModel model = (a == b) ? loopback_link_ : default_link_;
+  return links_.emplace(key, LinkState{model, SimTime::origin()}).first->second;
+}
+
+const LinkModel& SimNetwork::link_model(const std::string& a,
+                                        const std::string& b) const {
+  auto key = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = links_.find(key);
+  if (it != links_.end()) return it->second.model;
+  return (a == b) ? loopback_link_ : default_link_;
+}
+
+SimTime SimNetwork::send(const NetAddr& dst, Packet pkt) {
+  ++stats_.packets_sent;
+  LinkState& link = link_state(pkt.src.node, dst.node);
+  const SimTime now = simulator_->now();
+  // Serialization: a link transmits one packet at a time; senders queue
+  // behind the link's busy horizon (back-to-back bulk transfer).
+  const SimTime depart = std::max(now, link.busy_until);
+  const double tx_seconds =
+      static_cast<double>(pkt.wire_bytes) / link.model.bytes_per_sec;
+  const SimTime tx_done =
+      depart + SimDuration::from_seconds(tx_seconds) + link.model.per_packet_cpu;
+  link.busy_until = tx_done;
+  const SimTime arrival = tx_done + link.model.latency;
+
+  simulator_->schedule_at(arrival, [this, dst, p = std::move(pkt)]() mutable {
+    auto it = bindings_.find(std::make_pair(dst.node, dst.port.value()));
+    if (it == bindings_.end()) {
+      ++stats_.packets_dropped_unbound;
+      CSK_DEBUG << "drop (unbound) " << dst.to_string();
+      return;
+    }
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += p.wire_bytes;
+    it->second.second(std::move(p));
+  });
+  return arrival;
+}
+
+SimTime SimNetwork::estimate_arrival(const std::string& src_node,
+                                     const std::string& dst_node,
+                                     std::uint64_t bytes) const {
+  const LinkModel& m = link_model(src_node, dst_node);
+  const double tx_seconds = static_cast<double>(bytes) / m.bytes_per_sec;
+  return simulator_->now() + SimDuration::from_seconds(tx_seconds) +
+         m.per_packet_cpu + m.latency;
+}
+
+}  // namespace csk::net

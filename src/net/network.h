@@ -1,0 +1,108 @@
+// SimNetwork: the transport fabric of the simulation.
+//
+// Endpoints bind a (node, port) address and receive packets via callback.
+// Links between node pairs have latency, bandwidth and per-packet CPU cost;
+// a per-link serialization horizon models back-to-back transmission, so
+// bulk flows see realistic throughput and competing flows share capacity.
+// The CloudSkulk scenario runs on one physical machine, so most traffic
+// rides the loopback model — which is exactly why the paper's in-host
+// migration completes in seconds rather than minutes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace csk::net {
+
+/// Delivery handler for a bound endpoint.
+using RecvHandler = std::function<void(Packet)>;
+
+/// Properties of the path between two nodes (order-independent key).
+struct LinkModel {
+  SimDuration latency = SimDuration::micros(30);
+  double bytes_per_sec = 1.25e9;           // 10 GbE default
+  SimDuration per_packet_cpu = SimDuration::micros(2);
+
+  static LinkModel loopback() {
+    return LinkModel{SimDuration::micros(5), 6.0e9, SimDuration::micros(1)};
+  }
+};
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_unbound = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(sim::Simulator* simulator);
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Binds an endpoint; fails with ALREADY_EXISTS if the address is taken.
+  Result<EndpointId> bind(const NetAddr& addr, RecvHandler handler);
+
+  /// Releases an endpoint; packets in flight to it are dropped on arrival.
+  void unbind(EndpointId id);
+
+  bool is_bound(const NetAddr& addr) const;
+
+  /// Address of a bound endpoint.
+  Result<NetAddr> address_of(EndpointId id) const;
+
+  /// Sets the path model between two nodes (symmetric).
+  void set_link(const std::string& node_a, const std::string& node_b,
+                LinkModel model);
+  void set_default_link(LinkModel model) { default_link_ = model; }
+  void set_loopback_link(LinkModel model) { loopback_link_ = model; }
+
+  /// Sends `pkt` to `dst`. The packet is delivered asynchronously after
+  /// link serialization + latency; if nothing is bound at `dst` on arrival
+  /// it is counted as dropped. Returns the scheduled arrival time.
+  SimTime send(const NetAddr& dst, Packet pkt);
+
+  /// Allocates a fresh connection id for a new flow.
+  ConnId new_conn() { return conn_ids_.next(); }
+
+  const NetworkStats& stats() const { return stats_; }
+
+  /// The earliest time a new packet of `bytes` from `src_node` to
+  /// `dst_node` would finish arriving, without sending (planning helper).
+  SimTime estimate_arrival(const std::string& src_node,
+                           const std::string& dst_node,
+                           std::uint64_t bytes) const;
+
+ private:
+  struct LinkState {
+    LinkModel model;
+    SimTime busy_until;  // serialization horizon
+  };
+
+  LinkState& link_state(const std::string& a, const std::string& b);
+  const LinkModel& link_model(const std::string& a,
+                              const std::string& b) const;
+
+  sim::Simulator* simulator_;
+  LinkModel default_link_;
+  LinkModel loopback_link_ = LinkModel::loopback();
+  std::map<std::pair<std::string, std::string>, LinkState> links_;
+  std::unordered_map<EndpointId, NetAddr> endpoint_addrs_;
+  std::map<std::pair<std::string, std::uint16_t>, std::pair<EndpointId, RecvHandler>> bindings_;
+  IdAllocator<EndpointId> endpoint_ids_;
+  IdAllocator<ConnId> conn_ids_;
+  NetworkStats stats_;
+};
+
+}  // namespace csk::net

@@ -1,0 +1,55 @@
+// Simulated network packets.
+//
+// Packets carry a small typed header plus an application payload string.
+// `wire_bytes` is the size charged against link bandwidth; the payload may
+// be a compact stand-in for much larger simulated data (a 1 MiB migration
+// chunk carries a textual descriptor but bills 1 MiB on the wire).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace csk::net {
+
+/// Application-level protocol tag, used by RITM services to classify
+/// intercepted traffic the way a real middlebox would parse ports/contents.
+enum class ProtoKind {
+  kGeneric,
+  kSshKeystroke,   // interactive SSH input (keylogger target)
+  kSshOutput,
+  kHttpRequest,
+  kHttpResponse,
+  kSmtpMail,
+  kMigrationChunk, // live-migration RAM data
+  kNetperfBulk,    // benchmark stream
+};
+
+const char* proto_kind_name(ProtoKind kind);
+
+/// A network address is a (node name, port) pair. Node names are stable
+/// strings like "host0", "guest0", "guestX", "victim-client".
+struct NetAddr {
+  std::string node;
+  Port port;
+
+  bool operator==(const NetAddr& o) const {
+    return node == o.node && port == o.port;
+  }
+  std::string to_string() const {
+    return node + ":" + std::to_string(port.value());
+  }
+};
+
+struct Packet {
+  ConnId conn;               // flow identifier (monotonic per connection)
+  std::uint64_t seq = 0;     // sequence within the flow
+  ProtoKind kind = ProtoKind::kGeneric;
+  NetAddr src;               // original sender (informational)
+  NetAddr reply_to;          // where responses should go (rewritten by NAT)
+  std::uint64_t wire_bytes = 0;
+  std::string payload;
+};
+
+}  // namespace csk::net

@@ -1,0 +1,80 @@
+#include "net/port_forward.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace csk::net {
+
+PortForwarder::PortForwarder(SimNetwork* network, NetAddr listen,
+                             NetAddr target, std::string name)
+    : network_(network),
+      listen_(std::move(listen)),
+      target_(std::move(target)),
+      name_(std::move(name)) {
+  CSK_CHECK(network != nullptr);
+}
+
+PortForwarder::~PortForwarder() { stop(); }
+
+Status PortForwarder::start() {
+  if (endpoint_.valid()) return Status::ok();
+  auto bound = network_->bind(listen_, [this](Packet p) { on_packet(std::move(p)); });
+  if (!bound.is_ok()) return bound.status();
+  endpoint_ = bound.value();
+  return Status::ok();
+}
+
+void PortForwarder::stop() {
+  if (!endpoint_.valid()) return;
+  network_->unbind(endpoint_);
+  endpoint_ = EndpointId::invalid();
+}
+
+void PortForwarder::add_tap(PacketTap* tap) {
+  CSK_CHECK(tap != nullptr);
+  taps_.push_back(tap);
+}
+
+void PortForwarder::remove_tap(PacketTap* tap) {
+  taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
+}
+
+void PortForwarder::on_packet(Packet pkt) {
+  // A packet whose source address is exactly the current target travels
+  // server -> client; everything else is client -> server. (Node equality
+  // alone is not enough: on a single host, clients and servers share the
+  // node name — the paper's whole attack runs on one machine.)
+  const bool reverse = pkt.src == target_ && flows_.contains(pkt.conn);
+
+  const auto dir =
+      reverse ? PacketTap::Direction::kReverse : PacketTap::Direction::kForward;
+  for (PacketTap* tap : taps_) {
+    if (tap->inspect(pkt, dir) == PacketTap::Verdict::kDrop) {
+      ++stats_.dropped_by_tap;
+      return;
+    }
+  }
+
+  if (reverse) {
+    auto it = flows_.find(pkt.conn);
+    const NetAddr client = it->second;
+    ++stats_.replies;
+    // Masquerade: to whoever is upstream the reply must appear to come from
+    // the address they connected to, and stay routed through us. This is
+    // what lets forwarder chains (host -> GuestX -> nested victim) relay
+    // replies hop by hop.
+    pkt.src = listen_;
+    pkt.reply_to = listen_;
+    network_->send(client, std::move(pkt));
+    return;
+  }
+
+  // Forward direction: remember where replies must go, then NAT.
+  flows_.emplace(pkt.conn, pkt.reply_to);
+  pkt.reply_to = listen_;
+  ++stats_.forwarded;
+  network_->send(target_, std::move(pkt));
+}
+
+}  // namespace csk::net

@@ -1,0 +1,81 @@
+// Port forwarding with interception taps.
+//
+// QEMU user-mode networking forwards a host port into a guest; CloudSkulk
+// relies on that to keep the victim's SSH endpoint stable across the attack
+// (paper §III-A) and to route migration data HOST:AAAA -> ROOTKIT:BBBB
+// (paper §IV-A). A PortForwarder binds a listen address, NATs flows to a
+// target address, and relays replies back. Taps observe — and, for the
+// attacker's *active* services, mutate or drop — everything that crosses,
+// which is precisely the RITM position the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace csk::net {
+
+/// Interception hook. Taps may rewrite the payload in place; returning
+/// kDrop consumes the packet.
+class PacketTap {
+ public:
+  enum class Verdict { kPass, kDrop };
+  /// kForward = client -> server, kReverse = server -> client.
+  enum class Direction { kForward, kReverse };
+
+  virtual ~PacketTap() = default;
+  virtual Verdict inspect(Packet& pkt, Direction dir) = 0;
+};
+
+struct ForwarderStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t dropped_by_tap = 0;
+};
+
+class PortForwarder {
+ public:
+  /// Forwards `listen` -> `target`. Call start() to bind.
+  PortForwarder(SimNetwork* network, NetAddr listen, NetAddr target,
+                std::string name = "fwd");
+  ~PortForwarder();
+  PortForwarder(const PortForwarder&) = delete;
+  PortForwarder& operator=(const PortForwarder&) = delete;
+
+  Status start();
+  void stop();
+  bool running() const { return endpoint_.valid(); }
+
+  const NetAddr& listen_addr() const { return listen_; }
+  const NetAddr& target_addr() const { return target_; }
+
+  /// Retargets future forwarded flows (used when the rootkit swaps the
+  /// backend from Guest0 to the nested VM). Existing flow NAT survives.
+  void set_target(NetAddr target) { target_ = std::move(target); }
+
+  /// Taps run in registration order on both directions. Not owned.
+  void add_tap(PacketTap* tap);
+  void remove_tap(PacketTap* tap);
+
+  const ForwarderStats& stats() const { return stats_; }
+
+ private:
+  void on_packet(Packet pkt);
+
+  SimNetwork* network_;
+  NetAddr listen_;
+  NetAddr target_;
+  std::string name_;
+  EndpointId endpoint_ = EndpointId::invalid();
+  std::vector<PacketTap*> taps_;
+  // conn -> the client's original reply address (NAT table).
+  std::unordered_map<ConnId, NetAddr> flows_;
+  ForwarderStats stats_;
+};
+
+}  // namespace csk::net

@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace csk::sim {
+
+void Simulator::push(SimTime when, EventId id, EventFn fn) {
+  queue_.push(Entry{when, seq_++, id, std::move(fn)});
+}
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn) {
+  CSK_CHECK_MSG(when >= now_, "cannot schedule an event in the simulated past");
+  CSK_CHECK(fn != nullptr);
+  const EventId id = ids_.next();
+  push(when, id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::schedule_after(SimDuration delay, EventFn fn) {
+  CSK_CHECK(delay >= SimDuration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  if (periodic_.erase(id) > 0) return true;  // task body gone; firings no-op
+  // One-shot events cannot be removed from the middle of a priority queue;
+  // leave a tombstone that dispatch consumes.
+  return cancelled_.insert(id).second;
+}
+
+EventId Simulator::schedule_periodic(SimDuration interval,
+                                     std::function<bool()> fn) {
+  CSK_CHECK(interval > SimDuration::zero());
+  CSK_CHECK(fn != nullptr);
+  const EventId id = ids_.next();
+  periodic_.emplace(id, std::move(fn));
+  push(now_ + interval, EventId::invalid(),
+       [this, id, interval] { fire_periodic(id, interval); });
+  return id;
+}
+
+void Simulator::fire_periodic(EventId id, SimDuration interval) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;  // cancelled
+  if (!it->second()) {
+    periodic_.erase(id);
+    return;
+  }
+  push(now_ + interval, EventId::invalid(),
+       [this, id, interval] { fire_periodic(id, interval); });
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (e.id.valid()) {
+      auto it = cancelled_.find(e.id);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;  // tombstoned one-shot: skip without dispatching
+      }
+    }
+    CSK_CHECK(e.when >= now_);
+    now_ = e.when;
+    ++dispatched_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  CSK_CHECK(deadline >= now_);
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (!step()) break;
+  }
+  now_ = deadline;
+}
+
+std::uint64_t Simulator::run_until_idle(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    CSK_CHECK_MSG(++n <= max_events, "runaway event loop");
+  }
+  return n;
+}
+
+void Simulator::advance(SimDuration d) {
+  CSK_CHECK(d >= SimDuration::zero());
+  run_until(now_ + d);
+}
+
+}  // namespace csk::sim

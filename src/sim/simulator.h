@@ -1,0 +1,105 @@
+// Discrete-event simulation kernel.
+//
+// All time in the CloudSkulk reproduction is virtual: components schedule
+// callbacks at future SimTimes and the Simulator dispatches them in
+// timestamp order (FIFO among equal timestamps). Periodic activities — the
+// ksmd scan loop, migration round pacing, workload dirty-page ticks — are
+// built on top of one-shot events.
+//
+// The kernel is single-threaded by design: determinism is a feature. The
+// simulated systems contain plenty of *modeled* concurrency (VMs, daemons,
+// network flows), but the engine interleaves them deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace csk::sim {
+
+/// One-shot callback; runs exactly once unless cancelled first.
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Precondition: when >= now().
+  EventId schedule_at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now. Precondition: delay >= 0.
+  EventId schedule_after(SimDuration delay, EventFn fn);
+
+  /// Cancels a pending one-shot event or a periodic task. Returns false if
+  /// it already ran or was cancelled. Safe to call from inside an event.
+  bool cancel(EventId id);
+
+  /// Repeatedly runs `fn` every `interval`, first firing after `interval`.
+  /// `fn` returns true to keep the task alive, false to stop it.
+  EventId schedule_periodic(SimDuration interval, std::function<bool()> fn);
+
+  /// Dispatches the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs events with timestamp <= `deadline`; the clock then advances to
+  /// `deadline` even if the queue drained earlier.
+  void run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + d).
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  /// Runs until no events remain. `max_events` guards against runaway
+  /// self-rescheduling loops. Returns the number of events dispatched.
+  std::uint64_t run_until_idle(std::uint64_t max_events = 100'000'000);
+
+  /// Upper bound on events still queued (cancelled tombstones may inflate
+  /// the count until their slots are consumed).
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events dispatched since construction.
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Advances the clock, dispatching anything due on the way — used by
+  /// analytic cost models to charge computed durations. Precondition: d >= 0.
+  void advance(SimDuration d);
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;         // invalid for internal periodic re-firings
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void fire_periodic(EventId id, SimDuration interval);
+  void push(SimTime when, EventId id, EventFn fn);
+
+  SimTime now_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  IdAllocator<EventId> ids_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  // Periodic task bodies live here so that cancel() is an O(1) erase and the
+  // queued closures hold no owning self-references.
+  std::unordered_map<EventId, std::function<bool()>> periodic_;
+};
+
+}  // namespace csk::sim

@@ -1,0 +1,184 @@
+#include "vmm/host.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+
+namespace csk::vmm {
+
+World::World(std::uint64_t seed)
+    : network_(&simulator_), rng_(seed) {}
+
+World::~World() = default;
+
+Host* World::make_host(HostConfig config) {
+  for (const auto& h : hosts_) {
+    CSK_CHECK_MSG(h->name() != config.name, "duplicate host name");
+  }
+  hosts_.push_back(std::make_unique<Host>(this, std::move(config)));
+  return hosts_.back().get();
+}
+
+Host* World::make_host(const std::string& name) {
+  HostConfig cfg;
+  cfg.name = name;
+  return make_host(std::move(cfg));
+}
+
+Result<Host*> World::find_host(const std::string& name) {
+  for (const auto& h : hosts_) {
+    if (h->name() == name) return h.get();
+  }
+  return not_found("no host named " + name);
+}
+
+std::uint64_t World::register_migration(MigrationJob* job) {
+  CSK_CHECK(job != nullptr);
+  const std::uint64_t token = next_migration_token_++;
+  migrations_.emplace(token, job);
+  return token;
+}
+
+void World::unregister_migration(std::uint64_t token) {
+  migrations_.erase(token);
+}
+
+MigrationJob* World::find_migration(std::uint64_t token) {
+  auto it = migrations_.find(token);
+  return it == migrations_.end() ? nullptr : it->second;
+}
+
+Host::Host(World* world, World::HostConfig config)
+    : world_(world),
+      config_(std::move(config)),
+      phys_(config_.mem_timing, 0x9E3779B9ull ^ std::hash<std::string>{}(config_.name)),
+      hv_(&world->simulator(), &world->timing(), hv::Layer::kL0,
+          "kvm@" + config_.name),
+      ksm_(&world->simulator(), &phys_, config_.ksm),
+      os_seed_rng_(0x05EEDull ^ std::hash<std::string>{}(config_.name)) {
+  if (config_.ksm_enabled) ksm_.start();
+}
+
+Host::~Host() {
+  for (auto& vm : vms_) vm->shutdown();
+}
+
+Result<VirtualMachine*> Host::launch_vm(
+    const MachineConfig& config, std::optional<std::uint64_t> boot_touched_mib) {
+  if (auto existing = find_vm_by_name(config.name); existing.is_ok()) {
+    // QEMU itself allows duplicate -name values; so do we (the rootkit VM
+    // deliberately reuses the victim's name). Only log it.
+    CSK_DEBUG << "launching second VM named " << config.name;
+  }
+  const VmId id = vm_ids_.next();
+  CSK_RETURN_IF_ERROR(
+      hv_.attach_guest(id, config.name, config.cpu_host_passthrough));
+  auto vm = std::make_unique<VirtualMachine>(VirtualMachine::CreateArgs{
+      world_, this, &hv_, nullptr, id, config, next_os_seed()});
+  VirtualMachine* raw = vm.get();
+  vms_.push_back(std::move(vm));
+  procs_.push_back(HostProcess{Pid(next_pid_), "qemu-system-x86",
+                               config.to_command_line(), id});
+  next_pid_ += 1 + static_cast<std::int32_t>(os_seed_rng_.uniform(40));
+  if (!config.incoming_port) {
+    raw->boot(boot_touched_mib.value_or(config_.boot_touched_mib));
+  }
+  return raw;
+}
+
+Result<VirtualMachine*> Host::launch_vm_cmdline(const std::string& cmdline) {
+  CSK_ASSIGN_OR_RETURN(MachineConfig cfg,
+                       MachineConfig::parse_command_line(cmdline));
+  append_history(cmdline);
+  return launch_vm(cfg);
+}
+
+Status Host::kill_vm(VmId id) {
+  auto it = std::find_if(vms_.begin(), vms_.end(),
+                         [&](const auto& vm) { return vm->id() == id; });
+  if (it == vms_.end()) return not_found("no VM with id " + id.to_string());
+  (*it)->shutdown();
+  (void)hv_.detach_guest(id);
+  vms_.erase(it);
+  procs_.erase(std::remove_if(procs_.begin(), procs_.end(),
+                              [&](const HostProcess& p) { return p.vm == id; }),
+               procs_.end());
+  return Status::ok();
+}
+
+std::vector<VirtualMachine*> Host::vms() {
+  std::vector<VirtualMachine*> out;
+  out.reserve(vms_.size());
+  for (auto& vm : vms_) out.push_back(vm.get());
+  return out;
+}
+
+Result<VirtualMachine*> Host::find_vm(VmId id) {
+  for (auto& vm : vms_) {
+    if (vm->id() == id) return vm.get();
+  }
+  return not_found("no VM with id " + id.to_string());
+}
+
+Result<VirtualMachine*> Host::find_vm_by_name(const std::string& name) {
+  for (auto& vm : vms_) {
+    if (vm->name() == name) return vm.get();
+  }
+  return not_found("no VM named " + name);
+}
+
+std::vector<Host::HostProcess> Host::ps() const { return procs_; }
+
+Result<Pid> Host::pid_of_vm(VmId id) const {
+  for (const HostProcess& p : procs_) {
+    if (p.vm == id) return p.pid;
+  }
+  return not_found("no qemu process for VM " + id.to_string());
+}
+
+Result<VmId> Host::vm_of_pid(Pid pid) const {
+  for (const HostProcess& p : procs_) {
+    if (p.pid == pid) return p.vm;
+  }
+  return not_found("no process with pid " + pid.to_string());
+}
+
+Status Host::swap_process_pid(VmId id, Pid desired) {
+  for (const HostProcess& p : procs_) {
+    if (p.pid == desired && p.vm != id) {
+      return already_exists("pid " + desired.to_string() + " is in use");
+    }
+  }
+  for (HostProcess& p : procs_) {
+    if (p.vm == id) {
+      p.pid = desired;
+      return Status::ok();
+    }
+  }
+  return not_found("no qemu process for VM " + id.to_string());
+}
+
+Status Host::set_process_cmdline(VmId id, std::string cmdline) {
+  for (HostProcess& p : procs_) {
+    if (p.vm == id) {
+      p.cmdline = std::move(cmdline);
+      return Status::ok();
+    }
+  }
+  return not_found("no qemu process for VM " + id.to_string());
+}
+
+Result<QemuMonitor*> Host::connect_monitor(std::uint16_t telnet_port) {
+  if (telnet_port == 0) return invalid_argument("telnet port 0");
+  for (auto& vm : vms_) {
+    if (vm->config().monitor.telnet_port == telnet_port) {
+      return &vm->monitor();
+    }
+  }
+  return not_found("nothing listening on telnet port " +
+                   std::to_string(telnet_port));
+}
+
+}  // namespace csk::vmm

@@ -1,0 +1,165 @@
+// World and Host.
+//
+// World is the top of the ownership tree for one experiment: the simulator
+// clock, the network fabric, the timing model, the hosts, and the registry
+// that routes in-flight migration streams to their jobs.
+//
+// Host models one physical machine running Linux/KVM: physical memory, the
+// L0 hypervisor, the ksmd daemon, a process table (QEMU processes with host
+// PIDs — what `ps -ef` shows and what the PID-swap trick manipulates), a
+// shell history (the recon source the paper names first), and the VMs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "hv/hypervisor.h"
+#include "hv/timing_model.h"
+#include "mem/ksm.h"
+#include "mem/phys_mem.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "vmm/machine_config.h"
+#include "vmm/vm.h"
+
+namespace csk::vmm {
+
+class MigrationJob;
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 0xC10DD5CA1Cull);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  sim::Simulator& simulator() { return simulator_; }
+  net::SimNetwork& network() { return network_; }
+  const hv::TimingModel& timing() const { return timing_; }
+  /// Replaces the cost model (ablations). Do this before creating hosts.
+  void set_timing(hv::TimingModel timing) { timing_ = timing; }
+  Rng& rng() { return rng_; }
+
+  struct HostConfig;
+  Host* make_host(HostConfig config);
+  Host* make_host(const std::string& name);
+  Result<Host*> find_host(const std::string& name);
+
+  // --- migration stream registry ---
+  std::uint64_t register_migration(MigrationJob* job);
+  void unregister_migration(std::uint64_t token);
+  MigrationJob* find_migration(std::uint64_t token);
+
+ private:
+  sim::Simulator simulator_;
+  net::SimNetwork network_;
+  hv::TimingModel timing_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unordered_map<std::uint64_t, MigrationJob*> migrations_;
+  std::uint64_t next_migration_token_ = 1;
+};
+
+struct World::HostConfig {
+  std::string name = "host0";
+  std::uint64_t memory_gb = 16;
+  bool ksm_enabled = true;
+  mem::KsmConfig ksm;
+  mem::MemTimingModel mem_timing;
+  /// RAM a freshly booted guest has touched (Fedora 22 workstation ≈ this
+  /// many MiB resident after boot). Calibrates Fig 4 transfer volumes.
+  std::uint64_t boot_touched_mib = 480;
+};
+
+class Host {
+ public:
+  Host(World* world, World::HostConfig config);
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return config_.name; }
+  /// Network node name of the host itself.
+  const std::string& node_name() const { return config_.name; }
+  World* world() { return world_; }
+  mem::HostPhysicalMemory& phys() { return phys_; }
+  mem::KsmDaemon& ksm() { return ksm_; }
+  hv::Hypervisor& hypervisor() { return hv_; }
+  const World::HostConfig& config() const { return config_; }
+
+  // --- VM management ---
+
+  /// `boot_touched_mib` overrides the per-host default boot working set
+  /// (the rootkit VM boots a minimal headless system and touches far less
+  /// RAM than a workstation guest).
+  Result<VirtualMachine*> launch_vm(
+      const MachineConfig& config,
+      std::optional<std::uint64_t> boot_touched_mib = std::nullopt);
+  /// Launches from a raw qemu command line (appends it to shell history —
+  /// the attacker's recon later reads it back).
+  Result<VirtualMachine*> launch_vm_cmdline(const std::string& cmdline);
+
+  /// SIGKILLs the QEMU process: the VM and everything nested inside it
+  /// disappears. Any outstanding pointers to the VM become invalid.
+  Status kill_vm(VmId id);
+
+  std::vector<VirtualMachine*> vms();
+  Result<VirtualMachine*> find_vm(VmId id);
+  Result<VirtualMachine*> find_vm_by_name(const std::string& name);
+
+  // --- host process table & shell (recon surface) ---
+
+  struct HostProcess {
+    Pid pid;
+    std::string comm;
+    std::string cmdline;
+    VmId vm = VmId::invalid();  // valid for qemu processes
+  };
+
+  /// `ps -ef`-equivalent: all host processes, qemu ones with full cmdline.
+  std::vector<HostProcess> ps() const;
+
+  const std::vector<std::string>& shell_history() const { return history_; }
+  void append_history(std::string line) { history_.push_back(std::move(line)); }
+
+  Result<Pid> pid_of_vm(VmId id) const;
+  Result<VmId> vm_of_pid(Pid pid) const;
+
+  /// Root-only: rewrites the recorded PID of a VM's QEMU process (the
+  /// paper's post-migration PID fix-up — "the PID is just a variable in
+  /// memory"). Fails if `desired` is in use by a live process.
+  Status swap_process_pid(VmId id, Pid desired);
+
+  /// Root-only: doctors the command line `ps` reports for a VM's QEMU
+  /// process (prctl/argv rewriting — the impersonation finishing touch).
+  Status set_process_cmdline(VmId id, std::string cmdline);
+
+  /// Opens the QEMU monitor multiplexed on a host telnet port.
+  Result<QemuMonitor*> connect_monitor(std::uint16_t telnet_port);
+
+  std::uint64_t next_os_seed() { return os_seed_rng_.next_u64(); }
+
+ private:
+  friend class VirtualMachine;
+
+  World* world_;
+  World::HostConfig config_;
+  mem::HostPhysicalMemory phys_;
+  hv::Hypervisor hv_;
+  mem::KsmDaemon ksm_;
+  std::vector<std::unique_ptr<VirtualMachine>> vms_;
+  std::vector<HostProcess> procs_;
+  std::vector<std::string> history_;
+  IdAllocator<VmId> vm_ids_;
+  std::int32_t next_pid_ = 1207;
+  Rng os_seed_rng_;
+};
+
+}  // namespace csk::vmm

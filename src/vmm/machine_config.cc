@@ -1,0 +1,216 @@
+#include "vmm/machine_config.h"
+
+#include <sstream>
+
+namespace csk::vmm {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Splits "a=b,c=d,flag" into key/value pairs (value empty for bare flags).
+std::vector<std::pair<std::string, std::string>> split_props(
+    const std::string& s) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      out.emplace_back(part, "");
+    } else {
+      out.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MachineConfig::to_command_line() const {
+  std::ostringstream out;
+  out << "qemu-system-x86_64";
+  if (enable_kvm) out << " -enable-kvm";
+  out << " -machine " << machine_type;
+  if (cpu_host_passthrough) out << " -cpu host";
+  out << " -name " << name;
+  out << " -m " << memory_mb;
+  out << " -smp " << vcpus;
+  for (const DriveConfig& d : drives) {
+    out << " -drive file=" << d.file << ",format=" << d.format
+        << ",size_mb=" << d.size_mb;
+  }
+  for (std::size_t i = 0; i < netdevs.size(); ++i) {
+    const NetdevConfig& n = netdevs[i];
+    out << " -netdev user,id=net" << i;
+    for (const HostFwd& f : n.hostfwd) {
+      out << ",hostfwd=tcp::" << f.host_port << "-:" << f.guest_port;
+    }
+    out << " -device " << n.model << ",netdev=net" << i << ",mac=" << n.mac;
+  }
+  if (monitor.telnet_port != 0) {
+    out << " -monitor telnet:127.0.0.1:" << monitor.telnet_port
+        << ",server,nowait";
+  }
+  if (incoming_port) {
+    out << " -incoming tcp:0:" << *incoming_port;
+  }
+  out << " -display none";
+  return out.str();
+}
+
+Result<MachineConfig> MachineConfig::parse_command_line(
+    const std::string& cmdline) {
+  const std::vector<std::string> toks = tokenize(cmdline);
+  if (toks.empty() || toks[0].find("qemu-system") == std::string::npos) {
+    return invalid_argument("not a qemu command line");
+  }
+  MachineConfig cfg;
+  cfg.enable_kvm = false;
+  auto need_arg = [&](std::size_t i) -> Result<std::string> {
+    if (i + 1 >= toks.size()) {
+      return invalid_argument("missing argument after " + toks[i]);
+    }
+    return toks[i + 1];
+  };
+
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const std::string& t = toks[i];
+    if (t == "-enable-kvm") {
+      cfg.enable_kvm = true;
+    } else if (t == "-display") {
+      ++i;  // value ignored
+    } else if (t == "-machine") {
+      CSK_ASSIGN_OR_RETURN(cfg.machine_type, need_arg(i));
+      ++i;
+    } else if (t == "-cpu") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      cfg.cpu_host_passthrough = (v == "host" || v.starts_with("host,"));
+      ++i;
+    } else if (t == "-name") {
+      CSK_ASSIGN_OR_RETURN(cfg.name, need_arg(i));
+      ++i;
+    } else if (t == "-m") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      try {
+        cfg.memory_mb = std::stoull(v);
+      } catch (const std::exception&) {
+        return invalid_argument("bad -m value: " + v);
+      }
+      ++i;
+    } else if (t == "-smp") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      try {
+        cfg.vcpus = std::stoi(v);
+      } catch (const std::exception&) {
+        return invalid_argument("bad -smp value: " + v);
+      }
+      ++i;
+    } else if (t == "-drive") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      DriveConfig d;
+      for (const auto& [k, val] : split_props(v)) {
+        if (k == "file") d.file = val;
+        else if (k == "format") d.format = val;
+        else if (k == "size_mb") d.size_mb = std::stoull(val);
+      }
+      if (d.file.empty()) return invalid_argument("-drive without file=");
+      cfg.drives.push_back(std::move(d));
+      ++i;
+    } else if (t == "-netdev") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      NetdevConfig n;
+      for (const auto& [k, val] : split_props(v)) {
+        if (k == "hostfwd") {
+          // tcp::HOST-:GUEST
+          const auto dash = val.find("-:");
+          const auto second_colon = val.find("::");
+          if (dash == std::string::npos || second_colon == std::string::npos) {
+            return invalid_argument("bad hostfwd spec: " + val);
+          }
+          HostFwd f;
+          try {
+            f.host_port = static_cast<std::uint16_t>(
+                std::stoi(val.substr(second_colon + 2, dash - second_colon - 2)));
+            f.guest_port =
+                static_cast<std::uint16_t>(std::stoi(val.substr(dash + 2)));
+          } catch (const std::exception&) {
+            return invalid_argument("bad hostfwd ports: " + val);
+          }
+          n.hostfwd.push_back(f);
+        }
+      }
+      cfg.netdevs.push_back(std::move(n));
+      ++i;
+    } else if (t == "-device") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      // Attach model/mac to the most recent netdev.
+      if (!cfg.netdevs.empty()) {
+        const auto props = split_props(v);
+        if (!props.empty()) cfg.netdevs.back().model = props[0].first;
+        for (const auto& [k, val] : props) {
+          if (k == "mac") cfg.netdevs.back().mac = val;
+        }
+      }
+      ++i;
+    } else if (t == "-monitor") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      // telnet:127.0.0.1:PORT,server,nowait
+      const auto last_colon = v.rfind(':');
+      if (v.starts_with("telnet:") && last_colon != std::string::npos) {
+        const std::string port_part = v.substr(last_colon + 1);
+        cfg.monitor.telnet_port = static_cast<std::uint16_t>(
+            std::stoi(port_part.substr(0, port_part.find(','))));
+      }
+      ++i;
+    } else if (t == "-incoming") {
+      CSK_ASSIGN_OR_RETURN(std::string v, need_arg(i));
+      const auto last_colon = v.rfind(':');
+      if (last_colon == std::string::npos) {
+        return invalid_argument("bad -incoming uri: " + v);
+      }
+      cfg.incoming_port =
+          static_cast<std::uint16_t>(std::stoi(v.substr(last_colon + 1)));
+      ++i;
+    } else {
+      return invalid_argument("unrecognized qemu option: " + t);
+    }
+  }
+  return cfg;
+}
+
+bool migration_compatible(const MachineConfig& src, const MachineConfig& dst,
+                          std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (src.machine_type != dst.machine_type) return fail("machine type differs");
+  if (src.memory_mb != dst.memory_mb) return fail("RAM size differs");
+  if (src.vcpus != dst.vcpus) return fail("vCPU count differs");
+  if (src.drives.size() != dst.drives.size()) return fail("drive count differs");
+  for (std::size_t i = 0; i < src.drives.size(); ++i) {
+    if (src.drives[i].format != dst.drives[i].format ||
+        src.drives[i].size_mb != dst.drives[i].size_mb) {
+      return fail("drive " + std::to_string(i) + " geometry differs");
+    }
+  }
+  if (src.netdevs.size() != dst.netdevs.size()) {
+    return fail("netdev count differs");
+  }
+  for (std::size_t i = 0; i < src.netdevs.size(); ++i) {
+    if (src.netdevs[i].model != dst.netdevs[i].model) {
+      return fail("netdev " + std::to_string(i) + " model differs");
+    }
+  }
+  if (why != nullptr) why->clear();
+  return true;
+}
+
+}  // namespace csk::vmm

@@ -1,0 +1,83 @@
+// QEMU-style machine configuration.
+//
+// CloudSkulk's installation step 2 requires building a destination VM whose
+// configuration *matches the target VM* — live migration refuses mismatched
+// machines. MachineConfig is the structured form; it round-trips through a
+// qemu-system-x86_64 command line because that is what the attacker's recon
+// actually recovers (ps -ef / shell history / QEMU monitor introspection).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace csk::vmm {
+
+struct DriveConfig {
+  std::string file;            // image path, e.g. "fedora22.qcow2"
+  std::string format = "qcow2";
+  std::uint64_t size_mb = 20480;
+
+  bool operator==(const DriveConfig&) const = default;
+};
+
+/// A -netdev user,hostfwd=tcp::HOST-:GUEST rule.
+struct HostFwd {
+  std::uint16_t host_port = 0;
+  std::uint16_t guest_port = 0;
+
+  bool operator==(const HostFwd&) const = default;
+};
+
+struct NetdevConfig {
+  std::string model = "virtio-net-pci";
+  std::string mac = "52:54:00:12:34:56";
+  std::vector<HostFwd> hostfwd;
+
+  bool operator==(const NetdevConfig&) const = default;
+};
+
+struct MonitorConfig {
+  /// Telnet port the monitor is multiplexed on (paper §IV-A), 0 = stdio.
+  std::uint16_t telnet_port = 0;
+
+  bool operator==(const MonitorConfig&) const = default;
+};
+
+struct MachineConfig {
+  std::string name = "vm";
+  std::uint64_t memory_mb = 1024;
+  int vcpus = 1;
+  bool enable_kvm = true;
+  /// "-cpu host" exposes VMX to the guest => nested virtualization usable.
+  bool cpu_host_passthrough = false;
+  std::string machine_type = "pc-i440fx-2.9";
+  std::vector<DriveConfig> drives;
+  std::vector<NetdevConfig> netdevs;
+  MonitorConfig monitor;
+  /// "-incoming tcp:0:PORT": start paused, awaiting migration data.
+  std::optional<std::uint16_t> incoming_port;
+
+  std::size_t memory_pages() const { return memory_mb * 256; }  // 4 KiB pages
+
+  /// Renders the canonical qemu command line for this configuration.
+  std::string to_command_line() const;
+
+  /// Parses a command line previously produced by to_command_line() (or
+  /// hand-written in the same dialect). This is the recon path.
+  static Result<MachineConfig> parse_command_line(const std::string& cmdline);
+
+  bool operator==(const MachineConfig&) const = default;
+};
+
+/// Live-migration compatibility: same machine type, RAM size, vCPUs, drive
+/// and netdev shapes. Name/monitor/incoming/hostfwd differences are allowed
+/// (they are host-side plumbing, invisible to the guest).
+bool migration_compatible(const MachineConfig& src, const MachineConfig& dst,
+                          std::string* why = nullptr);
+
+}  // namespace csk::vmm

@@ -1,0 +1,394 @@
+#include "vmm/migration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "vmm/host.h"
+
+namespace csk::vmm {
+
+namespace {
+constexpr std::uint64_t kPageHeaderBytes = 8;     // per-page stream header
+constexpr std::uint64_t kPageWireBytes = mem::kPageSize + kPageHeaderBytes;
+constexpr std::uint64_t kMaxPagesPerChunk = 65536;
+constexpr std::uint64_t kAnnounceWireBytes = 64;
+}  // namespace
+
+MigrationJob::MigrationJob(World* world, VirtualMachine* source,
+                           net::NetAddr first_hop, MigrationConfig config)
+    : world_(world),
+      source_(source),
+      first_hop_(std::move(first_hop)),
+      config_(config) {
+  CSK_CHECK(world != nullptr && source != nullptr);
+  CSK_CHECK(config_.bandwidth_limit_bytes_per_sec > 0);
+  CSK_CHECK(config_.chunk_bytes >= kPageWireBytes);
+  token_ = world_->register_migration(this);
+  conn_ = world_->network().new_conn();
+}
+
+MigrationJob::~MigrationJob() {
+  world_->unregister_migration(token_);
+  // No scheduled callback may outlive the job.
+  for (EventId id : live_events_) (void)world_->simulator().cancel(id);
+}
+
+void MigrationJob::sched_at(SimTime when, std::function<void()> fn) {
+  live_events_.push_back(world_->simulator().schedule_at(when, std::move(fn)));
+}
+
+std::string MigrationJob::encode_chunk_payload(std::uint64_t token,
+                                               std::uint64_t seq) {
+  return "MIGCHUNK " + std::to_string(token) + " " + std::to_string(seq);
+}
+
+Result<MigrationJob::ChunkRef> MigrationJob::parse_chunk_payload(
+    const std::string& payload) {
+  if (!payload.starts_with("MIGCHUNK ")) {
+    return invalid_argument("not a migration chunk");
+  }
+  ChunkRef ref;
+  const auto sp = payload.find(' ', 9);
+  if (sp == std::string::npos) return invalid_argument("truncated chunk header");
+  try {
+    ref.token = std::stoull(payload.substr(9, sp - 9));
+    ref.seq = std::stoull(payload.substr(sp + 1));
+  } catch (const std::exception&) {
+    return invalid_argument("garbled chunk header");
+  }
+  return ref;
+}
+
+void MigrationJob::start() {
+  CSK_CHECK_MSG(!stats_.completed, "job already ran");
+  if (source_->state() != VmState::kRunning &&
+      source_->state() != VmState::kPaused) {
+    fail("source VM is not migratable in state " +
+         std::string(vm_state_name(source_->state())));
+    return;
+  }
+  start_time_ = world_->simulator().now();
+  next_send_allowed_ = start_time_;
+  sched_at(start_time_ + config_.setup_time, [this] {
+    if (config_.post_copy) {
+      start_post_copy();
+    } else {
+      begin_streaming();
+    }
+  });
+}
+
+void MigrationJob::begin_streaming() {
+  mem::AddressSpace& src = source_->memory();
+  src.enable_dirty_log();
+  const std::size_t ram_pages = source_->config().memory_pages();
+  std::vector<Gfn> all;
+  all.reserve(ram_pages);
+  for (std::size_t g = 0; g < ram_pages; ++g) all.push_back(Gfn(g));
+  begin_round(0, std::move(all));
+}
+
+void MigrationJob::start_post_copy() {
+  // Post-copy: announce first (binds the destination), then move execution
+  // immediately and stream RAM in the background.
+  Chunk announce;
+  announce.seq = next_chunk_seq_++;
+  announce.announce = true;
+  announce.wire_bytes = kAnnounceWireBytes;
+  round_start_ = world_->simulator().now();
+  round_send_done_ = true;  // nothing else this "round"
+  pending_.clear();
+  pending_index_ = 0;
+  send_chunk(std::move(announce));
+}
+
+void MigrationJob::begin_round(int round, std::vector<Gfn> pending) {
+  round_ = round;
+  pending_ = std::move(pending);
+  pending_index_ = 0;
+  round_send_done_ = false;
+  round_start_ = world_->simulator().now();
+  round_acc_ = MigrationRoundStats{};
+  round_acc_.round = round;
+  pump();
+}
+
+MigrationJob::Chunk MigrationJob::build_chunk() {
+  Chunk c;
+  c.seq = next_chunk_seq_++;
+  c.round = round_;
+  mem::AddressSpace& src = source_->memory();
+  const bool skip_dest_dirty = handoff_done_ && dest_ != nullptr;
+  while (pending_index_ < pending_.size() &&
+         c.wire_bytes < config_.chunk_bytes &&
+         c.pages.size() + c.zero_gfns.size() < kMaxPagesPerChunk) {
+    const Gfn gfn = pending_[pending_index_++];
+    if (skip_dest_dirty && dest_->memory().is_dirty(gfn)) {
+      continue;  // post-copy: the running destination already wrote it
+    }
+    mem::PageData page = src.read_page(gfn);
+    if (page.is_zero()) {
+      c.zero_gfns.push_back(gfn);
+      c.wire_bytes += kPageHeaderBytes;
+    } else {
+      c.wire_bytes += kPageWireBytes;
+      c.pages.emplace_back(gfn, std::move(page));
+    }
+  }
+  return c;
+}
+
+void MigrationJob::pump() {
+  if (stats_.completed) return;
+  if (pending_index_ >= pending_.size()) {
+    round_send_done_ = true;
+    if (chunks_outstanding_ == 0) end_round();
+    return;
+  }
+  const SimTime now = world_->simulator().now();
+  if (next_send_allowed_ > now) {
+    sched_at(next_send_allowed_, [this] { pump(); });
+    return;
+  }
+  Chunk c = build_chunk();
+  if (c.pages.empty() && c.zero_gfns.empty()) {
+    // Everything left was skipped (post-copy dest-dirty) — round done.
+    round_send_done_ = true;
+    if (chunks_outstanding_ == 0) end_round();
+    return;
+  }
+  send_chunk(std::move(c));
+}
+
+void MigrationJob::send_chunk(Chunk chunk) {
+  const SimTime now = world_->simulator().now();
+  net::Packet pkt;
+  pkt.conn = conn_;
+  pkt.seq = chunk.seq;
+  pkt.kind = net::ProtoKind::kMigrationChunk;
+  const std::string qemu_node =
+      source_->parent() ? source_->parent()->node_name()
+                        : source_->host()->node_name();
+  pkt.src = net::NetAddr{qemu_node, Port(0)};
+  pkt.reply_to = pkt.src;
+  pkt.wire_bytes = chunk.wire_bytes;
+  pkt.payload = encode_chunk_payload(token_, chunk.seq);
+
+  // Token bucket: the stream never exceeds the configured bandwidth.
+  next_send_allowed_ =
+      std::max(now, next_send_allowed_) +
+      SimDuration::from_seconds(static_cast<double>(chunk.wire_bytes) /
+                                config_.bandwidth_limit_bytes_per_sec);
+  ++chunks_outstanding_;
+  in_flight_.emplace(chunk.seq, std::move(chunk));
+  world_->network().send(first_hop_, std::move(pkt));
+  sched_at(next_send_allowed_, [this] { pump(); });
+}
+
+void MigrationJob::chunk_arrived(VirtualMachine* dest,
+                                 std::uint64_t chunk_seq) {
+  if (stats_.completed) return;
+  CSK_CHECK(dest != nullptr);
+  if (dest_ == nullptr) {
+    // First chunk: bind and validate the destination, as QEMU validates the
+    // device-state sections at stream start.
+    if (dest->state() != VmState::kIncoming) {
+      fail("destination is not in incoming state");
+      return;
+    }
+    std::string why;
+    if (!migration_compatible(source_->config(), dest->config(), &why)) {
+      fail("machine configuration mismatch: " + why);
+      return;
+    }
+    dest_ = dest;
+  } else if (dest != dest_) {
+    fail("migration stream split across destinations");
+    return;
+  }
+
+  auto it = in_flight_.find(chunk_seq);
+  CSK_CHECK_MSG(it != in_flight_.end(), "unknown chunk seq on arrival");
+  Chunk chunk = std::move(it->second);
+  in_flight_.erase(it);
+
+  // Apply page contents to destination RAM.
+  const bool skip_dirty = handoff_done_;
+  for (auto& [gfn, data] : chunk.pages) {
+    if (skip_dirty && dest_->memory().is_dirty(gfn)) continue;
+    dest_->memory().write_page(gfn, std::move(data));
+  }
+  for (Gfn gfn : chunk.zero_gfns) {
+    if (skip_dirty && dest_->memory().is_dirty(gfn)) continue;
+    if (dest_->memory().is_mapped(gfn)) {
+      dest_->memory().write_page(gfn, mem::PageData::zero());
+    }
+  }
+
+  const SimTime done = dest_->charge_receive(receive_processing_time(chunk));
+  sched_at(done, [this, c = std::move(chunk)]() mutable {
+    chunk_processed(std::move(c));
+  });
+}
+
+SimDuration MigrationJob::receive_processing_time(const Chunk& chunk) const {
+  // The destination's per-page receive path: copy into guest RAM (a fault
+  // to populate), virtio-net processing exits. At a nested destination each
+  // exit is Turtles-multiplied; this term is what gates the paper's L0-L1
+  // migrations at ~20 MiB/s while L0-L0 rides the 32 MiB/s throttle.
+  hv::OpCost c;
+  c.cpu_ns = 50000;  // per-chunk fixed cost
+  c.mem_intensity = 0.6;
+  const auto content = static_cast<double>(chunk.pages.size());
+  const auto zeros = static_cast<double>(chunk.zero_gfns.size());
+  c.cpu_ns += 300.0 * content + 150.0 * zeros;
+  c.n_faults = content;
+  c.n_exits = 8.5 * content + 0.02 * zeros;
+  return world_->timing().price(c, dest_->layer());
+}
+
+void MigrationJob::chunk_processed(Chunk chunk) {
+  if (stats_.completed) return;
+  --chunks_outstanding_;
+  stats_.pages_transferred += chunk.pages.size();
+  stats_.zero_pages += chunk.zero_gfns.size();
+  stats_.wire_bytes += chunk.wire_bytes;
+  round_acc_.pages += chunk.pages.size();
+  round_acc_.zero_pages += chunk.zero_gfns.size();
+  round_acc_.wire_bytes += chunk.wire_bytes;
+
+  if (chunk.announce) {
+    // Post-copy: destination is bound; move execution now.
+    do_handoff();
+    if (stats_.completed) return;
+    dest_->memory().enable_dirty_log();
+    handoff_done_ = true;
+    // Background bulk copy of all RAM.
+    const std::size_t ram_pages = source_->config().memory_pages();
+    std::vector<Gfn> all;
+    all.reserve(ram_pages);
+    for (std::size_t g = 0; g < ram_pages; ++g) all.push_back(Gfn(g));
+    begin_round(1, std::move(all));
+    return;
+  }
+
+  if (round_send_done_ && chunks_outstanding_ == 0) end_round();
+}
+
+std::vector<Gfn> MigrationJob::harvest_dirty() {
+  std::vector<Gfn> dirty = source_->memory().fetch_and_reset_dirty();
+  const std::size_t ram_pages = source_->config().memory_pages();
+  dirty.erase(std::remove_if(dirty.begin(), dirty.end(),
+                             [&](Gfn g) { return g.value() >= ram_pages; }),
+              dirty.end());
+  return dirty;
+}
+
+void MigrationJob::end_round() {
+  const SimTime now = world_->simulator().now();
+  round_acc_.duration = now - round_start_;
+  stats_.round_log.push_back(round_acc_);
+  if (round_acc_.duration > SimDuration::zero() && round_acc_.wire_bytes > 0) {
+    observed_rate_ = static_cast<double>(round_acc_.wire_bytes) /
+                     round_acc_.duration.seconds_f();
+  }
+
+  if (final_round_) {
+    // Blackout tail: transfer the device state, then hand off.
+    sched_at(world_->simulator().now() + config_.device_state_time, [this] {
+      do_handoff();
+      if (!stats_.completed) {
+        stats_.downtime = world_->simulator().now() - pause_time_;
+        stats_.succeeded = true;
+        finish();
+      }
+    });
+    return;
+  }
+
+  if (handoff_done_) {
+    // Post-copy background copy finished; downtime was recorded at handoff.
+    stats_.succeeded = true;
+    finish();
+    return;
+  }
+
+  std::vector<Gfn> dirty = harvest_dirty();
+  if (round_ + 1 >= config_.max_rounds) {
+    stats_.forced_converged = true;
+    enter_final_round(std::move(dirty));
+    return;
+  }
+  const double remaining_bytes =
+      static_cast<double>(dirty.size()) * kPageWireBytes;
+  const double est_seconds = remaining_bytes / std::max(observed_rate_, 1.0);
+  if (est_seconds <= config_.max_downtime.seconds_f()) {
+    enter_final_round(std::move(dirty));
+  } else {
+    begin_round(round_ + 1, std::move(dirty));
+  }
+}
+
+void MigrationJob::enter_final_round(std::vector<Gfn> pending) {
+  if (source_->state() == VmState::kRunning) {
+    const Status st = source_->pause();
+    CSK_CHECK(st.is_ok());
+  }
+  pause_time_ = world_->simulator().now();
+  final_round_ = true;
+  // One last harvest: pages dirtied between the estimate and the pause.
+  std::vector<Gfn> extra = harvest_dirty();
+  pending.insert(pending.end(), extra.begin(), extra.end());
+  std::sort(pending.begin(), pending.end());
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+  begin_round(round_ + 1, std::move(pending));
+}
+
+void MigrationJob::do_handoff() {
+  if (dest_ == nullptr) {
+    fail("no destination bound at handoff");
+    return;
+  }
+  if (config_.post_copy) {
+    if (source_->state() == VmState::kRunning) {
+      const Status st = source_->pause();
+      CSK_CHECK(st.is_ok());
+    }
+    pause_time_ = world_->simulator().now();
+    // Device state crosses during the post-copy blackout too.
+    stats_.downtime = config_.device_state_time + SimDuration::millis(20);
+  }
+  std::unique_ptr<guestos::GuestOS> os = source_->release_os();
+  dest_->adopt_os(std::move(os));
+  source_->memory().disable_dirty_log();
+}
+
+void MigrationJob::stream_rejected(const std::string& why) {
+  if (stats_.completed) return;
+  fail(why);
+}
+
+void MigrationJob::cancel() {
+  if (stats_.completed) return;
+  fail("migration cancelled");
+}
+
+void MigrationJob::fail(std::string error) {
+  CSK_WARN << "migration failed: " << error;
+  stats_.error = std::move(error);
+  stats_.succeeded = false;
+  // QEMU resumes the source when a migration fails after the pause point.
+  if (source_->state() == VmState::kPaused) (void)source_->resume();
+  source_->memory().disable_dirty_log();
+  finish();
+}
+
+void MigrationJob::finish() {
+  stats_.completed = true;
+  stats_.total_time = world_->simulator().now() - start_time_;
+  stats_.rounds = static_cast<int>(stats_.round_log.size());
+  world_->unregister_migration(token_);
+  if (completion_) completion_(stats_);
+}
+
+}  // namespace csk::vmm

@@ -1,0 +1,262 @@
+#include "vmm/monitor.h"
+
+#include <sstream>
+
+#include "vmm/host.h"
+#include "vmm/migration.h"
+#include "vmm/vm.h"
+
+namespace csk::vmm {
+
+namespace {
+std::vector<std::string> split_words(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> out;
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+}  // namespace
+
+QemuMonitor::QemuMonitor(VirtualMachine* vm) : vm_(vm) {
+  CSK_CHECK(vm != nullptr);
+}
+
+QemuMonitor::~QemuMonitor() = default;
+
+Result<std::string> QemuMonitor::execute(const std::string& command_line) {
+  const std::vector<std::string> words = split_words(command_line);
+  if (words.empty()) return std::string();
+  const std::string& cmd = words[0];
+
+  if (cmd == "info") {
+    if (words.size() < 2) return invalid_argument("info: missing topic");
+    return info(words[1]);
+  }
+  if (cmd == "stop") {
+    (void)vm_->pause();
+    return std::string();
+  }
+  if (cmd == "cont" || cmd == "c") {
+    (void)vm_->resume();
+    return std::string();
+  }
+  if (cmd == "quit" || cmd == "q") {
+    // Killing the QEMU process; the monitor object dies with the VM, so
+    // report first.
+    Host* host = vm_->host();
+    const VmId id = vm_->id();
+    if (vm_->parent() != nullptr) {
+      CSK_RETURN_IF_ERROR(vm_->parent()->destroy_nested_vm(id));
+    } else {
+      CSK_RETURN_IF_ERROR(host->kill_vm(id));
+    }
+    return std::string("quit");
+  }
+  if (cmd == "migrate_set_speed") {
+    if (words.size() < 2) return invalid_argument("migrate_set_speed: value");
+    // Accepts raw bytes or the qemu "32m" style suffix.
+    std::string v = words[1];
+    double mult = 1.0;
+    if (!v.empty() && (v.back() == 'm' || v.back() == 'M')) {
+      mult = 1024.0 * 1024.0;
+      v.pop_back();
+    } else if (!v.empty() && (v.back() == 'g' || v.back() == 'G')) {
+      mult = 1024.0 * 1024.0 * 1024.0;
+      v.pop_back();
+    }
+    try {
+      migrate_speed_ = std::stod(v) * mult;
+    } catch (const std::exception&) {
+      return invalid_argument("migrate_set_speed: bad value " + words[1]);
+    }
+    return std::string();
+  }
+  if (cmd == "migrate_set_downtime") {
+    if (words.size() < 2) return invalid_argument("migrate_set_downtime: value");
+    try {
+      migrate_downtime_sec_ = std::stod(words[1]);
+    } catch (const std::exception&) {
+      return invalid_argument("migrate_set_downtime: bad value " + words[1]);
+    }
+    return std::string();
+  }
+  if (cmd == "migrate_set_capability") {
+    // "migrate_set_capability postcopy-ram on|off"
+    if (words.size() < 3) {
+      return invalid_argument("migrate_set_capability: capability on|off");
+    }
+    if (words[1] != "postcopy-ram") {
+      return unimplemented("unknown capability: " + words[1]);
+    }
+    postcopy_ = (words[2] == "on");
+    return std::string();
+  }
+  if (cmd == "migrate_cancel") {
+    if (migration_ != nullptr && !migration_->done()) migration_->cancel();
+    return std::string();
+  }
+  if (cmd == "migrate") {
+    return do_migrate(std::vector<std::string>(words.begin() + 1, words.end()));
+  }
+  return unimplemented("unknown command: '" + cmd + "'");
+}
+
+Result<std::string> QemuMonitor::do_migrate(
+    const std::vector<std::string>& args) {
+  std::string uri;
+  for (const std::string& a : args) {
+    if (a == "-d" || a == "-b" || a == "-i") continue;  // flags
+    uri = a;
+  }
+  if (uri.empty()) return invalid_argument("migrate: missing uri");
+  if (!uri.starts_with("tcp:")) {
+    return unimplemented("only tcp: migration uris are modeled");
+  }
+  const auto last_colon = uri.rfind(':');
+  if (last_colon == 3) return invalid_argument("migrate: bad tcp uri " + uri);
+  const std::string node = uri.substr(4, last_colon - 4);
+  std::uint16_t port = 0;
+  try {
+    port = static_cast<std::uint16_t>(std::stoi(uri.substr(last_colon + 1)));
+  } catch (const std::exception&) {
+    return invalid_argument("migrate: bad port in " + uri);
+  }
+
+  MigrationConfig cfg;
+  cfg.bandwidth_limit_bytes_per_sec = migrate_speed_;
+  cfg.max_downtime = SimDuration::from_seconds(migrate_downtime_sec_);
+  cfg.post_copy = postcopy_;
+  migration_ = std::make_unique<MigrationJob>(
+      vm_->world(), vm_, net::NetAddr{node, Port(port)}, cfg);
+  migration_->start();
+  return std::string();
+}
+
+std::string QemuMonitor::info(const std::string& topic) {
+  if (topic == "status") return info_status();
+  if (topic == "qtree") return info_qtree();
+  if (topic == "block") return info_block();
+  if (topic == "blockstats") return info_blockstats();
+  if (topic == "mtree") return info_mtree();
+  if (topic == "mem") return info_mem();
+  if (topic == "network") return info_network();
+  if (topic == "migrate") return info_migrate();
+  if (topic == "kvm") return info_kvm();
+  if (topic == "cpus") return info_cpus();
+  return "info: unknown topic '" + topic + "'";
+}
+
+std::string QemuMonitor::info_status() const {
+  return "VM status: " + std::string(vm_state_name(vm_->state()));
+}
+
+std::string QemuMonitor::info_qtree() const {
+  std::ostringstream out;
+  const MachineConfig& c = vm_->config();
+  out << "bus: main-system-bus\n";
+  out << "  type System\n";
+  out << "  dev: i440FX-pcihost, id \"\"\n";
+  out << "    bus: pci.0\n";
+  out << "      type PCI\n";
+  for (std::size_t i = 0; i < c.netdevs.size(); ++i) {
+    out << "      dev: " << c.netdevs[i].model << ", id \"net" << i << "\"\n";
+    out << "        mac = \"" << c.netdevs[i].mac << "\"\n";
+  }
+  for (std::size_t i = 0; i < c.drives.size(); ++i) {
+    out << "      dev: virtio-blk-pci, id \"drive" << i << "\"\n";
+    out << "        drive = \"" << c.drives[i].file << "\"\n";
+  }
+  out << "      dev: VGA, id \"\"\n";
+  return out.str();
+}
+
+std::string QemuMonitor::info_block() const {
+  std::ostringstream out;
+  const auto& blks = vm_->block_devices();
+  for (std::size_t i = 0; i < blks.size(); ++i) {
+    out << "drive" << i << " (#block" << 100 + i * 22 << "): "
+        << blks[i].config.file << " (" << blks[i].config.format << ")\n"
+        << "    Cache mode:       writeback\n";
+  }
+  return out.str();
+}
+
+std::string QemuMonitor::info_blockstats() const {
+  std::ostringstream out;
+  const auto& blks = vm_->block_devices();
+  for (std::size_t i = 0; i < blks.size(); ++i) {
+    out << "drive" << i << ": rd_bytes=" << blks[i].rd_bytes
+        << " wr_bytes=" << blks[i].wr_bytes << " rd_operations="
+        << blks[i].rd_ops << " wr_operations=" << blks[i].wr_ops << "\n";
+  }
+  return out.str();
+}
+
+std::string QemuMonitor::info_mtree() const {
+  std::ostringstream out;
+  const std::uint64_t ram_bytes = vm_->config().memory_mb * 1024ull * 1024ull;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(ram_bytes - 1));
+  out << "memory\n";
+  out << "0000000000000000-" << buf
+      << " (prio 0, RW): pc.ram size=" << vm_->config().memory_mb << "M\n";
+  return out.str();
+}
+
+std::string QemuMonitor::info_mem() const {
+  std::ostringstream out;
+  out << "RAM: " << vm_->config().memory_mb << " MiB, "
+      << vm_->memory().mapped_gfns().size() << " pages resident\n";
+  return out.str();
+}
+
+std::string QemuMonitor::info_network() const {
+  std::ostringstream out;
+  const MachineConfig& c = vm_->config();
+  for (std::size_t i = 0; i < c.netdevs.size(); ++i) {
+    out << "net" << i << ": index=0,type=user";
+    for (const HostFwd& f : c.netdevs[i].hostfwd) {
+      out << ",hostfwd=tcp::" << f.host_port << "-:" << f.guest_port;
+    }
+    out << "\n \\ " << c.netdevs[i].model << ",mac=" << c.netdevs[i].mac
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string QemuMonitor::info_migrate() const {
+  if (migration_ == nullptr) return "Migration status: none\n";
+  std::ostringstream out;
+  const MigrationStats& s = migration_->stats();
+  if (!s.completed) {
+    out << "Migration status: active\n";
+  } else if (s.succeeded) {
+    out << "Migration status: completed\n";
+  } else {
+    out << "Migration status: failed\n" << s.error << "\n";
+  }
+  out << "transferred ram: " << s.wire_bytes / 1024 << " kbytes\n";
+  out << "duplicate (zero) pages: " << s.zero_pages << "\n";
+  out << "normal pages: " << s.pages_transferred << "\n";
+  if (s.completed) {
+    out << "total time: " << s.total_time.to_string() << "\n";
+    out << "downtime: " << s.downtime.to_string() << "\n";
+  }
+  return out.str();
+}
+
+std::string QemuMonitor::info_kvm() const {
+  return "kvm support: enabled\n";
+}
+
+std::string QemuMonitor::info_cpus() const {
+  std::ostringstream out;
+  for (int i = 0; i < vm_->config().vcpus; ++i) {
+    out << "* CPU #" << i << ": thread_id=" << 2000 + i << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace csk::vmm

@@ -1,0 +1,65 @@
+// The QEMU monitor (HMP).
+//
+// The paper's installation recipe drives everything through the monitor:
+// recon (`info qtree`, `info blockstats`, `info mtree`, `info mem`,
+// `info network`), migration (`migrate -d tcp:...`, `migrate_set_speed`),
+// and cleanup (`quit`). This class implements a text-in/text-out command
+// interpreter over a VirtualMachine, with output formatted close enough to
+// QEMU 2.9 that the recon parser treats it as the real thing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vmm/machine_config.h"
+
+namespace csk::vmm {
+
+class VirtualMachine;
+class MigrationJob;
+
+class QemuMonitor {
+ public:
+  explicit QemuMonitor(VirtualMachine* vm);
+  ~QemuMonitor();
+  QemuMonitor(const QemuMonitor&) = delete;
+  QemuMonitor& operator=(const QemuMonitor&) = delete;
+
+  /// Executes one HMP command line and returns its output text. Unknown
+  /// commands and bad arguments come back as errors, like the real monitor.
+  Result<std::string> execute(const std::string& command_line);
+
+  VirtualMachine* vm() { return vm_; }
+
+  /// The migration started by the last `migrate` command (null if none).
+  MigrationJob* active_migration() { return migration_.get(); }
+
+  /// Migration tunables adjusted via migrate_set_speed / _downtime /
+  /// migrate_set_capability, applied to the next `migrate` command.
+  double migrate_speed_bytes_per_sec() const { return migrate_speed_; }
+  bool postcopy_enabled() const { return postcopy_; }
+
+ private:
+  std::string info(const std::string& topic);
+  std::string info_status() const;
+  std::string info_qtree() const;
+  std::string info_block() const;
+  std::string info_blockstats() const;
+  std::string info_mtree() const;
+  std::string info_mem() const;
+  std::string info_network() const;
+  std::string info_migrate() const;
+  std::string info_kvm() const;
+  std::string info_cpus() const;
+  Result<std::string> do_migrate(const std::vector<std::string>& args);
+
+  VirtualMachine* vm_;
+  std::unique_ptr<MigrationJob> migration_;
+  double migrate_speed_ = 32.0 * 1024 * 1024;
+  double migrate_downtime_sec_ = 0.3;
+  bool postcopy_ = false;
+};
+
+}  // namespace csk::vmm

@@ -1,0 +1,371 @@
+#include "vmm/vm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "vmm/host.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+
+namespace csk::vmm {
+
+namespace {
+/// Ticker period for workload dirty-page generation.
+constexpr SimDuration kDirtyTick = SimDuration::millis(50);
+/// Virtual-arena factor: the QEMU process address space is larger than
+/// guest RAM (nested-guest RAM and buffers live there, overcommitted).
+constexpr std::size_t kArenaFactor = 4;
+}  // namespace
+
+const char* vm_state_name(VmState s) {
+  switch (s) {
+    case VmState::kIncoming: return "paused (inmigrate)";
+    case VmState::kRunning: return "running";
+    case VmState::kPaused: return "paused";
+    case VmState::kPostMigrate: return "paused (postmigrate)";
+    case VmState::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+VirtualMachine::VirtualMachine(CreateArgs args)
+    : world_(args.world),
+      host_(args.host),
+      hosting_hv_(args.hosting_hv),
+      parent_(args.parent),
+      id_(args.id),
+      config_(std::move(args.config)),
+      layer_(args.hosting_hv->guest_layer()),
+      state_(config_.incoming_port ? VmState::kIncoming : VmState::kPaused),
+      node_name_(config_.name + "#" + id_.to_string()) {
+  CSK_CHECK(world_ != nullptr && host_ != nullptr && hosting_hv_ != nullptr);
+
+  const std::size_t ram_pages = config_.memory_pages();
+  if (parent_ == nullptr) {
+    // Top-level VM: a QEMU process on the host. Its arena is a root
+    // address space over host physical memory.
+    memory_ = std::make_unique<mem::AddressSpace>(
+        &host_->phys(), ram_pages * kArenaFactor, "qemu:" + node_name_);
+    if (host_->config().ksm_enabled) {
+      host_->ksm().register_region(memory_.get());
+    }
+  } else {
+    // Nested VM: a QEMU process inside the parent guest; its arena aliases
+    // a region of the parent's memory.
+    CSK_CHECK(parent_->os() != nullptr);
+    auto region = parent_->os()->allocate_region(ram_pages);
+    CSK_CHECK_MSG(region.is_ok(), "parent guest cannot host nested VM: " +
+                                      region.status().to_string());
+    parent_region_ = std::move(region).take();
+    memory_ = std::make_unique<mem::AddressSpace>(
+        parent_->memory_.get(), parent_region_, "nested-qemu:" + node_name_);
+  }
+
+  // Guest OS object exists up front for normal launches; an incoming VM has
+  // no OS until migration hands one over.
+  if (!config_.incoming_port) {
+    guestos::OsIdentity identity;
+    identity.hostname = config_.name;
+    os_ = std::make_unique<guestos::GuestOS>(memory_.get(), identity,
+                                             Rng(host_->next_os_seed()),
+                                             ram_pages);
+  }
+
+  for (const DriveConfig& d : config_.drives) blk_.push_back({d});
+  for (const NetdevConfig& n : config_.netdevs) net_.push_back({n});
+
+  monitor_ = std::make_unique<QemuMonitor>(this);
+  setup_hostfwd();
+
+  // An incoming VM listens for the migration stream on the node its QEMU
+  // process runs on (the parent guest for a nested destination — the
+  // paper's ROOTKIT PORT BBBB).
+  if (config_.incoming_port) {
+    const std::string listen_node =
+        parent_ ? parent_->node_name() : host_->node_name();
+    auto ep = world_->network().bind(
+        net::NetAddr{listen_node, Port(*config_.incoming_port)},
+        [this](net::Packet p) {
+          if (p.kind != net::ProtoKind::kMigrationChunk) return;
+          auto ref = MigrationJob::parse_chunk_payload(p.payload);
+          if (!ref.is_ok()) {
+            CSK_WARN << "garbled migration chunk dropped";
+            return;
+          }
+          MigrationJob* job = world_->find_migration(ref->token);
+          if (job == nullptr) {
+            CSK_WARN << "migration chunk for unknown stream";
+            return;
+          }
+          // The -incoming socket accepts exactly one connection: the first
+          // stream claims this destination, later ones are refused.
+          if (incoming_stream_token_ == 0) {
+            incoming_stream_token_ = ref->token;
+          } else if (incoming_stream_token_ != ref->token) {
+            job->stream_rejected("destination already claimed by another "
+                                 "migration stream");
+            return;
+          }
+          job->chunk_arrived(this, ref->seq);
+        });
+    CSK_CHECK_MSG(ep.is_ok(), "incoming port in use: " + ep.status().to_string());
+    migration_listener_ = ep.value();
+  }
+}
+
+VirtualMachine::~VirtualMachine() { shutdown(); }
+
+void VirtualMachine::boot(std::uint64_t boot_touched_mib) {
+  CSK_CHECK_MSG(os_ != nullptr, "cannot boot a VM awaiting incoming migration");
+  CSK_CHECK(state_ == VmState::kPaused);
+  os_->boot();
+  const Status touched = os_->touch_boot_working_set(boot_touched_mib);
+  CSK_CHECK_MSG(touched.is_ok(), touched.to_string());
+  state_ = VmState::kRunning;
+  boot_time_ = world_->simulator().now();
+}
+
+Status VirtualMachine::pause() {
+  if (state_ != VmState::kRunning) {
+    return failed_precondition("VM not running");
+  }
+  state_ = VmState::kPaused;
+  return Status::ok();
+}
+
+Status VirtualMachine::resume() {
+  if (state_ != VmState::kPaused && state_ != VmState::kIncoming) {
+    return failed_precondition("VM not paused");
+  }
+  if (state_ == VmState::kIncoming && os_ == nullptr) {
+    return failed_precondition("incoming VM has no machine state yet");
+  }
+  state_ = VmState::kRunning;
+  return Status::ok();
+}
+
+void VirtualMachine::shutdown() {
+  if (state_ == VmState::kShutdown) return;
+  stop_dirty_ticker();
+  for (auto& nested : nested_) nested->shutdown();
+  nested_.clear();
+  nested_hv_.reset();
+  for (auto& fwd : hostfwd_) fwd->stop();
+  for (EndpointId ep : guest_endpoints_) world_->network().unbind(ep);
+  guest_endpoints_.clear();
+  if (migration_listener_.valid()) {
+    world_->network().unbind(migration_listener_);
+    migration_listener_ = EndpointId::invalid();
+  }
+  if (parent_ == nullptr && host_->config().ksm_enabled) {
+    host_->ksm().unregister_region(memory_.get());
+  }
+  if (parent_ != nullptr && parent_->os() != nullptr) {
+    parent_->os()->free_region(parent_region_);
+  }
+  state_ = VmState::kShutdown;
+}
+
+Result<hv::Hypervisor*> VirtualMachine::enable_nested_hypervisor(
+    std::uint32_t vmcs_revision_id) {
+  if (nested_hv_ != nullptr) return nested_hv_.get();
+  if (os_ == nullptr || state_ != VmState::kRunning) {
+    return failed_precondition("guest must be running to load kvm modules");
+  }
+  CSK_ASSIGN_OR_RETURN(hv::Layer my_layer,
+                       hosting_hv_->nested_hypervisor_layer(id_));
+  nested_hv_ = std::make_unique<hv::Hypervisor>(
+      &world_->simulator(), &world_->timing(), my_layer, "kvm@" + node_name_);
+  os_->spawn("kvm", "[kvm-modules]");
+  // kvm-intel leaves VMCS regions in guest RAM; memory forensics scans for
+  // their revision-id header.
+  auto sig_region = os_->allocate_region(2);
+  if (sig_region.is_ok()) {
+    mem::PageBytes bytes = {'V', 'M', 'C', 'S'};
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes.push_back(static_cast<std::uint8_t>(vmcs_revision_id >> shift));
+    }
+    for (Gfn g : sig_region.value()) {
+      memory_->write_page(g, mem::PageData::from_bytes(bytes));
+    }
+  }
+  return nested_hv_.get();
+}
+
+Result<VirtualMachine*> VirtualMachine::launch_nested_vm(
+    const MachineConfig& config,
+    std::optional<std::uint64_t> boot_touched_mib) {
+  if (nested_hv_ == nullptr) {
+    return failed_precondition(
+        "nested hypervisor not enabled (enable_nested_hypervisor first)");
+  }
+  if (os_ == nullptr || state_ != VmState::kRunning) {
+    return failed_precondition("guest not running");
+  }
+  const VmId nid(id_.value() * 1000 + nested_ids_.next().value());
+  CSK_RETURN_IF_ERROR(
+      nested_hv_->attach_guest(nid, config.name, config.cpu_host_passthrough));
+  auto vm = std::make_unique<VirtualMachine>(CreateArgs{
+      world_, host_, nested_hv_.get(), this, nid, config,
+      host_->next_os_seed()});
+  VirtualMachine* raw = vm.get();
+  nested_.push_back(std::move(vm));
+  os_->spawn("qemu-system-x86", config.to_command_line());
+  if (!config.incoming_port) {
+    raw->boot(boot_touched_mib.value_or(host_->config().boot_touched_mib));
+  }
+  return raw;
+}
+
+std::vector<VirtualMachine*> VirtualMachine::nested_vms() {
+  std::vector<VirtualMachine*> out;
+  out.reserve(nested_.size());
+  for (auto& vm : nested_) out.push_back(vm.get());
+  return out;
+}
+
+Result<VirtualMachine*> VirtualMachine::find_nested_vm(
+    const std::string& name) {
+  for (auto& vm : nested_) {
+    if (vm->name() == name) return vm.get();
+  }
+  return not_found("no nested VM named " + name);
+}
+
+Status VirtualMachine::destroy_nested_vm(VmId id) {
+  auto it = std::find_if(nested_.begin(), nested_.end(),
+                         [&](const auto& vm) { return vm->id() == id; });
+  if (it == nested_.end()) return not_found("no such nested VM");
+  (*it)->shutdown();
+  if (nested_hv_) (void)nested_hv_->detach_guest(id);
+  nested_.erase(it);
+  return Status::ok();
+}
+
+SimDuration VirtualMachine::execute_ops(const hv::OpCost& cost) {
+  CSK_CHECK_MSG(state_ == VmState::kRunning, "guest not running");
+  CSK_CHECK(os_ != nullptr);
+  const SimDuration elapsed = hosting_hv_->charge_ops(id_, cost);
+  const auto dirtied = static_cast<std::size_t>(cost.pages_dirtied);
+  if (dirtied > 0) os_->dirty_pages_cyclic(dirtied);
+  world_->simulator().advance(elapsed);
+  return elapsed;
+}
+
+void VirtualMachine::set_dirty_page_source(DirtyRateFn rate_fn) {
+  CSK_CHECK(rate_fn != nullptr);
+  stop_dirty_ticker();
+  dirty_rate_ = std::move(rate_fn);
+  workload_start_ = world_->simulator().now();
+  dirty_carry_ = 0.0;
+  start_dirty_ticker();
+}
+
+void VirtualMachine::clear_dirty_page_source() {
+  stop_dirty_ticker();
+  dirty_rate_ = nullptr;
+}
+
+void VirtualMachine::start_dirty_ticker() {
+  dirty_ticker_ = world_->simulator().schedule_periodic(kDirtyTick, [this] {
+    if (dirty_rate_ == nullptr) return false;
+    if (state_ != VmState::kRunning || os_ == nullptr) return true;  // paused
+    const SimDuration elapsed = world_->simulator().now() - workload_start_;
+    const double rate = dirty_rate_(elapsed);
+    dirty_carry_ += rate * kDirtyTick.seconds_f();
+    const auto n = static_cast<std::size_t>(dirty_carry_);
+    if (n > 0) {
+      dirty_carry_ -= static_cast<double>(n);
+      os_->dirty_pages_cyclic(n);
+    }
+    return true;
+  });
+}
+
+void VirtualMachine::stop_dirty_ticker() {
+  if (!dirty_ticker_.valid()) return;
+  world_->simulator().cancel(dirty_ticker_);
+  dirty_ticker_ = EventId::invalid();
+}
+
+Result<EndpointId> VirtualMachine::bind_guest_port(Port port,
+                                                   net::RecvHandler handler) {
+  auto ep = world_->network().bind(net::NetAddr{node_name_, port},
+                                   std::move(handler));
+  if (ep.is_ok()) guest_endpoints_.push_back(ep.value());
+  return ep;
+}
+
+std::vector<net::PortForwarder*> VirtualMachine::forwarders() {
+  std::vector<net::PortForwarder*> out;
+  out.reserve(hostfwd_.size());
+  for (auto& f : hostfwd_) out.push_back(f.get());
+  return out;
+}
+
+void VirtualMachine::setup_hostfwd() {
+  const std::string outer_node =
+      parent_ ? parent_->node_name() : host_->node_name();
+  for (const NetdevConfig& nd : config_.netdevs) {
+    for (const HostFwd& fw : nd.hostfwd) {
+      auto fwd = std::make_unique<net::PortForwarder>(
+          &world_->network(), net::NetAddr{outer_node, Port(fw.host_port)},
+          net::NetAddr{node_name_, Port(fw.guest_port)},
+          "hostfwd:" + node_name_);
+      const Status st = fwd->start();
+      if (!st.is_ok()) {
+        // The port is busy (e.g. the impersonated VM still owns it). The
+        // forwarder stays dormant; the owner can retry via
+        // activate_hostfwd() once the conflict is gone — exactly the
+        // rootkit's takeover-after-kill sequence.
+        CSK_DEBUG << "hostfwd dormant: " << st.to_string();
+      }
+      hostfwd_.push_back(std::move(fwd));
+    }
+  }
+}
+
+Status VirtualMachine::activate_hostfwd() {
+  for (auto& fwd : hostfwd_) {
+    if (!fwd->running()) CSK_RETURN_IF_ERROR(fwd->start());
+  }
+  return Status::ok();
+}
+
+SimTime VirtualMachine::charge_receive(SimDuration processing) {
+  const SimTime now = world_->simulator().now();
+  const SimTime start = std::max(now, rx_busy_until_);
+  rx_busy_until_ = start + processing;
+  return rx_busy_until_;
+}
+
+void VirtualMachine::adopt_os(std::unique_ptr<guestos::GuestOS> os) {
+  CSK_CHECK_MSG(os_ == nullptr, "VM already has an OS");
+  CSK_CHECK(state_ == VmState::kIncoming);
+  os_ = std::move(os);
+  os_->rebind_memory(memory_.get());
+  state_ = VmState::kRunning;
+  boot_time_ = world_->simulator().now();
+}
+
+std::unique_ptr<guestos::GuestOS> VirtualMachine::release_os() {
+  CSK_CHECK_MSG(os_ != nullptr, "no OS to release");
+  state_ = VmState::kPostMigrate;
+  stop_dirty_ticker();
+  return std::move(os_);
+}
+
+std::string VirtualMachine::device_state_descriptor() const {
+  std::string out = config_.machine_type + ";ram=" +
+                    std::to_string(config_.memory_mb) + "M;cpus=" +
+                    std::to_string(config_.vcpus);
+  for (const auto& b : blk_) out += ";blk=" + b.config.format;
+  for (const auto& n : net_) out += ";net=" + n.config.model;
+  return out;
+}
+
+SimDuration VirtualMachine::uptime() const {
+  return world_->simulator().now() - boot_time_;
+}
+
+}  // namespace csk::vmm

@@ -1,0 +1,274 @@
+// VirtualMachine: one QEMU/KVM guest, at any nesting level.
+//
+// A top-level VM is a QEMU process on the host: its RAM is a root
+// AddressSpace over host physical memory (registered with KSM, as QEMU
+// marks guest RAM MADV_MERGEABLE). A nested VM is a QEMU process *inside a
+// guest*: its RAM is a view aliasing a region of the parent guest's memory,
+// and it is scheduled by the parent's (L1) hypervisor. That aliasing is
+// what the whole paper turns on — the nested victim's pages physically live
+// inside the rootkit VM's RAM, visible to host-side KSM but opaque to
+// single-level VMI.
+//
+// The root AddressSpace is sized at 4x the configured RAM: it models the
+// QEMU *process virtual arena*, inside which guest RAM, the nested guest's
+// RAM, and device buffers all live (Linux overcommit is what lets a 1 GiB
+// rootkit VM host a 1 GiB nested VM, and the model preserves that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "guestos/os.h"
+#include "hv/hypervisor.h"
+#include "mem/addr_space.h"
+#include "net/network.h"
+#include "net/port_forward.h"
+#include "sim/simulator.h"
+#include "vmm/machine_config.h"
+
+namespace csk::vmm {
+
+class Host;
+class World;
+class QemuMonitor;
+class MigrationJob;
+
+enum class VmState {
+  kIncoming,     // "-incoming": paused, waiting for migration data
+  kRunning,
+  kPaused,
+  kPostMigrate,  // source side after a completed outgoing migration
+  kShutdown,
+};
+
+const char* vm_state_name(VmState s);
+
+/// virtio-blk runtime counters (what `info blockstats` prints).
+struct BlockDeviceState {
+  DriveConfig config;
+  std::uint64_t rd_bytes = 0;
+  std::uint64_t wr_bytes = 0;
+  std::uint64_t rd_ops = 0;
+  std::uint64_t wr_ops = 0;
+};
+
+struct NetDeviceState {
+  NetdevConfig config;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+};
+
+/// Pages-per-second dirty-rate profile as a function of time since the
+/// workload started (live migration's antagonist).
+using DirtyRateFn = std::function<double(SimDuration elapsed)>;
+
+class VirtualMachine {
+ public:
+  /// Constructed by Host::launch_vm (top-level) or
+  /// VirtualMachine::launch_nested_vm (nested). Public for make_unique.
+  struct CreateArgs {
+    World* world;
+    Host* host;
+    hv::Hypervisor* hosting_hv;
+    VirtualMachine* parent;  // null for top-level
+    VmId id;
+    MachineConfig config;
+    std::uint64_t os_seed;
+  };
+  explicit VirtualMachine(CreateArgs args);
+  ~VirtualMachine();
+  VirtualMachine(const VirtualMachine&) = delete;
+  VirtualMachine& operator=(const VirtualMachine&) = delete;
+
+  VmId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  const MachineConfig& config() const { return config_; }
+  VmState state() const { return state_; }
+  hv::Layer layer() const { return layer_; }
+  Host* host() { return host_; }
+  World* world() { return world_; }
+  const World* world() const { return world_; }
+  VirtualMachine* parent() { return parent_; }
+
+  /// Unique network node name of this machine ("guest0#3").
+  const std::string& node_name() const { return node_name_; }
+
+  mem::AddressSpace& memory() { return *memory_; }
+  const mem::AddressSpace& memory() const { return *memory_; }
+
+  /// Null while the VM awaits incoming migration (no OS state yet) and
+  /// after the OS has been migrated away.
+  guestos::GuestOS* os() { return os_.get(); }
+  const guestos::GuestOS* os() const { return os_.get(); }
+
+  QemuMonitor& monitor() { return *monitor_; }
+
+  hv::Hypervisor* hosting_hypervisor() { return hosting_hv_; }
+
+  // --- lifecycle ---
+
+  /// Boots the guest OS and touches the boot working set. Called by the
+  /// launcher for non-incoming VMs.
+  void boot(std::uint64_t boot_touched_mib);
+
+  Status pause();
+  Status resume();
+  /// Powers the VM off. Nested VMs are shut down first.
+  void shutdown();
+
+  // --- nested virtualization ---
+
+  /// Loads kvm.ko/kvm-intel.ko inside the guest. Requires the VM to have
+  /// been launched with -cpu host (VMX exposed) and a booted OS. Loading
+  /// kvm-intel materializes VMCS structures in guest RAM tagged with
+  /// `vmcs_revision_id` — the artifact hypervisor memory forensics keys on
+  /// (Graziano et al., the paper's §VI-E baseline).
+  Result<hv::Hypervisor*> enable_nested_hypervisor(
+      std::uint32_t vmcs_revision_id = kDefaultVmcsRevisionId);
+
+  static constexpr std::uint32_t kDefaultVmcsRevisionId = 0x00000010;
+  hv::Hypervisor* nested_hypervisor() { return nested_hv_.get(); }
+
+  /// Launches a QEMU process inside this guest hosting a nested VM.
+  /// `boot_touched_mib` overrides the host default (must fit the nested
+  /// guest's RAM).
+  Result<VirtualMachine*> launch_nested_vm(
+      const MachineConfig& config,
+      std::optional<std::uint64_t> boot_touched_mib = std::nullopt);
+  std::vector<VirtualMachine*> nested_vms();
+  Result<VirtualMachine*> find_nested_vm(const std::string& name);
+  Status destroy_nested_vm(VmId id);
+
+  // --- executing guest work ---
+
+  /// Executes a batch of guest work: prices it at this VM's layer, records
+  /// the implied VM exits with the hosting hypervisor, dirties the pages
+  /// the batch writes, and advances the simulated clock (other machinery —
+  /// ksmd, migrations — runs concurrently underneath). Returns the elapsed
+  /// guest time. Precondition: the VM is running.
+  SimDuration execute_ops(const hv::OpCost& cost);
+
+  /// Whether a compiler cache is installed and warm in this guest (the
+  /// paper's footnote-1 environment toggle; consulted by workload runners).
+  bool ccache_enabled() const { return ccache_enabled_; }
+  void set_ccache_enabled(bool enabled) { ccache_enabled_ = enabled; }
+
+  // --- workload dirty-page pressure ---
+
+  /// Attaches a dirty-rate profile; a 50 ms ticker dirties guest pages
+  /// through the address space (and thus through dirty logging) while the
+  /// VM runs. Replaces any previous source.
+  void set_dirty_page_source(DirtyRateFn rate_fn);
+  void clear_dirty_page_source();
+
+  // --- network ---
+
+  /// Binds a guest service on this machine's node (e.g. sshd on port 22).
+  Result<EndpointId> bind_guest_port(Port port, net::RecvHandler handler);
+
+  /// Host-side port forwarders created from the config's hostfwd rules.
+  std::vector<net::PortForwarder*> forwarders();
+
+  /// Retries starting any dormant hostfwd forwarders (used after the port's
+  /// previous owner went away — the rootkit's takeover-after-kill step).
+  Status activate_hostfwd();
+
+  /// Re-multiplexes the monitor onto a different host telnet port (root on
+  /// the host can re-point the socket; the rootkit uses this to take over
+  /// the victim's monitor port after the kill).
+  void set_monitor_telnet_port(std::uint16_t port) {
+    config_.monitor.telnet_port = port;
+  }
+
+  // --- guest time virtualization (paper §VI-A) ---
+  //
+  // "events and timing measurements in L2 can be monitored and manipulated
+  // by attackers from L1": the hypervisor controls the TSC/kvmclock its
+  // guest reads. `tsc_scaling` < 1 makes intervals look shorter to the
+  // guest than they are. Setting it is an action of whoever runs the
+  // hosting hypervisor.
+
+  double tsc_scaling() const { return tsc_scaling_; }
+  void set_tsc_scaling(double scale) {
+    CSK_CHECK_MSG(scale > 0, "tsc scaling must be positive");
+    tsc_scaling_ = scale;
+  }
+
+  /// A duration as this guest's own clocks report it.
+  SimDuration guest_observed(SimDuration actual) const {
+    return actual * tsc_scaling_;
+  }
+
+  // --- migration plumbing (used by MigrationJob) ---
+
+  /// Serializes incoming-chunk processing on the receive path and returns
+  /// the completion time of this chunk.
+  SimTime charge_receive(SimDuration processing);
+
+  /// Installs the migrated OS (handoff at the end of an incoming
+  /// migration) and starts running.
+  void adopt_os(std::unique_ptr<guestos::GuestOS> os);
+
+  /// Releases the OS to be transplanted into a migration destination.
+  std::unique_ptr<guestos::GuestOS> release_os();
+
+  /// Device-model state blob descriptor for stream validation.
+  std::string device_state_descriptor() const;
+
+  const std::vector<BlockDeviceState>& block_devices() const { return blk_; }
+  const std::vector<NetDeviceState>& net_devices() const { return net_; }
+
+  /// Simulated guest uptime (time since boot/adoption).
+  SimDuration uptime() const;
+
+ private:
+  friend class Host;
+
+  void start_dirty_ticker();
+  void stop_dirty_ticker();
+  void setup_hostfwd();
+
+  World* world_;
+  Host* host_;
+  hv::Hypervisor* hosting_hv_;
+  VirtualMachine* parent_;
+  VmId id_;
+  MachineConfig config_;
+  hv::Layer layer_;
+  VmState state_;
+  std::string node_name_;
+
+  std::vector<Gfn> parent_region_;  // gfns borrowed from parent (nested only)
+  std::unique_ptr<mem::AddressSpace> memory_;
+  std::unique_ptr<guestos::GuestOS> os_;
+  std::unique_ptr<QemuMonitor> monitor_;
+  std::unique_ptr<hv::Hypervisor> nested_hv_;
+  std::vector<std::unique_ptr<VirtualMachine>> nested_;
+  std::vector<std::unique_ptr<net::PortForwarder>> hostfwd_;
+  std::vector<BlockDeviceState> blk_;
+  std::vector<NetDeviceState> net_;
+  std::vector<EndpointId> guest_endpoints_;
+  EndpointId migration_listener_ = EndpointId::invalid();
+  std::uint64_t incoming_stream_token_ = 0;  // first-come claim
+
+  DirtyRateFn dirty_rate_;
+  EventId dirty_ticker_ = EventId::invalid();
+  SimTime workload_start_;
+  double dirty_carry_ = 0.0;
+
+  SimTime rx_busy_until_;
+  SimTime boot_time_;
+  double tsc_scaling_ = 1.0;
+  bool ccache_enabled_ = false;
+  IdAllocator<VmId> nested_ids_;
+};
+
+}  // namespace csk::vmm

@@ -1,0 +1,27 @@
+#include "workloads/filebench.h"
+
+namespace csk::workloads {
+
+hv::OpCost FilebenchWorkload::iteration_cost() const {
+  hv::OpCost c = guestos::file_create_cost(params_.mean_file_bytes);
+  c += guestos::file_delete_cost(params_.mean_file_bytes);
+  hv::OpCost extra;
+  extra.cpu_ns = params_.extra_cpu_ns;
+  extra.mem_intensity = 0.3;
+  extra.n_io_ops = params_.extra_io_ops;
+  extra.n_svc = params_.extra_svc;
+  c += extra;
+  return c;
+}
+
+hv::OpCost FilebenchWorkload::cost_for(const hv::ExecEnv&) const {
+  return iteration_cost() * static_cast<double>(params_.iterations);
+}
+
+double FilebenchWorkload::ops_per_second(const hv::ExecEnv& env) const {
+  const SimDuration per_iter = env.price(iteration_cost());
+  if (per_iter <= SimDuration::zero()) return 0.0;
+  return 1e9 / static_cast<double>(per_iter.ns());
+}
+
+}  // namespace csk::workloads

@@ -1,0 +1,44 @@
+// Filebench workload (paper Fig 4's IO-intensive series).
+//
+// Models the fileserver personality: a steady mix of create / append /
+// read / delete operations against the guest page cache, composed from the
+// same file-op cost recipes that calibrate Table IV.
+#pragma once
+
+#include "guestos/costs.h"
+#include "workloads/workload.h"
+
+namespace csk::workloads {
+
+class FilebenchWorkload final : public Workload {
+ public:
+  struct Params {
+    int iterations = 50000;
+    std::uint64_t mean_file_bytes = 16384;
+    /// Per-iteration read/stat overhead beyond create+delete.
+    double extra_cpu_ns = 22000;
+    double extra_io_ops = 1.5;
+    double extra_svc = 6;
+  };
+
+  FilebenchWorkload() = default;
+  explicit FilebenchWorkload(Params params) : params_(params) {}
+
+  std::string name() const override { return "filebench-fileserver"; }
+
+  hv::OpCost cost_for(const hv::ExecEnv&) const override;
+
+  /// Throughput face: filebench ops/second in `env`.
+  double ops_per_second(const hv::ExecEnv& env) const;
+
+  /// Page-cache churn of ~4 MiB/s.
+  double dirty_rate(SimDuration) const override { return 1024.0; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  hv::OpCost iteration_cost() const;
+  Params params_;
+};
+
+}  // namespace csk::workloads

@@ -1,0 +1,34 @@
+#include "workloads/kernel_compile.h"
+
+namespace csk::workloads {
+
+hv::OpCost KernelCompileWorkload::cost_for(const hv::ExecEnv& env) const {
+  using guestos::execve_cost;
+  using guestos::exit_cost;
+  using guestos::fork_cost;
+
+  hv::OpCost unit;
+  unit.cpu_ns = params_.unit_cpu_ns *
+                (env.ccache_enabled ? params_.ccache_factor : 1.0);
+  unit.mem_intensity = 1.0;  // pointer-chasing compiler data structures
+  unit.n_faults = params_.unit_faults;
+  unit.n_ctxsw = params_.unit_ctxsw;
+  unit.n_svc = params_.unit_svc;
+  unit.n_io_ops = params_.unit_io_ops;
+  unit.pages_dirtied = params_.unit_pages_dirtied;
+  unit += fork_cost();
+  unit += execve_cost();
+  unit += exit_cost();
+
+  hv::OpCost total = unit * static_cast<double>(params_.compile_units);
+
+  hv::OpCost decompress;
+  decompress.cpu_ns = params_.decompress_cpu_ns;
+  decompress.mem_intensity = 0.5;
+  decompress.n_io_ops = params_.decompress_io_ops;
+  decompress.pages_dirtied = 25000;
+  total += decompress;
+  return total;
+}
+
+}  // namespace csk::workloads

@@ -1,0 +1,121 @@
+#include "workloads/lmbench.h"
+
+#include "guestos/costs.h"
+
+namespace csk::workloads {
+
+namespace {
+
+/// Table II L0 column: measured per-op latencies on the i7-4790 testbed.
+const std::vector<std::pair<std::string, double>> kArithL0 = {
+    {"integer bit", 0.26}, {"integer add", 0.13}, {"integer div", 5.94},
+    {"integer mod", 6.37}, {"float add", 0.75},   {"float mul", 1.25},
+    {"float div", 3.31},   {"double add", 0.75},  {"double mul", 1.25},
+    {"double div", 5.06},
+};
+
+hv::OpCost proc_cost(const std::string& op) {
+  using namespace guestos;
+  if (op == "signal handler installation") return signal_install_cost();
+  if (op == "signal handler overhead") return signal_overhead_cost();
+  if (op == "protection fault") return protection_fault_cost();
+  if (op == "pipe latency") return pipe_latency_cost();
+  if (op == "AF_UNIX sock stream latency") return af_unix_latency_cost();
+  if (op == "fork+ exit") {
+    hv::OpCost c = fork_cost();
+    c += exit_cost();
+    return c;
+  }
+  if (op == "fork+ execve") {
+    hv::OpCost c = fork_cost();
+    c += execve_cost();
+    c += exit_cost();
+    return c;
+  }
+  if (op == "fork+ /bin/sh -c") {
+    // sh -c CMD: fork+exec of sh, interpreter overhead, then fork+exec of
+    // the command, and both exits.
+    hv::OpCost c = fork_cost();
+    c += execve_cost();
+    c += shell_overhead_cost();
+    c += fork_cost();
+    c += execve_cost();
+    c += exit_cost();
+    c += exit_cost();
+    return c;
+  }
+  CSK_CHECK_MSG(false, "unknown lmbench proc op: " + op);
+  return {};
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, double>>&
+LmbenchSuite::arith_ops_l0_ns() {
+  return kArithL0;
+}
+
+std::vector<std::string> LmbenchSuite::proc_op_names() {
+  return {"signal handler installation",
+          "signal handler overhead",
+          "protection fault",
+          "pipe latency",
+          "AF_UNIX sock stream latency",
+          "fork+ exit",
+          "fork+ execve",
+          "fork+ /bin/sh -c"};
+}
+
+std::vector<std::uint64_t> LmbenchSuite::fs_sizes() {
+  return {0, 1024, 4096, 10240};
+}
+
+std::vector<LmbenchArithResult> LmbenchSuite::run_arith(
+    const hv::ExecEnv& env) const {
+  std::vector<LmbenchArithResult> out;
+  out.reserve(kArithL0.size());
+  for (const auto& [op, l0_ns] : kArithL0) {
+    // Pure register arithmetic: no syscalls, no faults, no memory pressure.
+    // Price a large batch to dodge integer truncation on sub-ns latencies.
+    constexpr double kBatch = 1e6;
+    hv::OpCost c;
+    c.cpu_ns = l0_ns * kBatch;
+    const SimDuration batch = env.price(c);
+    out.push_back({op, static_cast<double>(batch.ns()) / kBatch});
+  }
+  return out;
+}
+
+std::vector<LmbenchProcResult> LmbenchSuite::run_proc(
+    const hv::ExecEnv& env) const {
+  std::vector<LmbenchProcResult> out;
+  for (const std::string& op : proc_op_names()) {
+    out.push_back({op, proc_op_us(op, env)});
+  }
+  return out;
+}
+
+double LmbenchSuite::proc_op_us(const std::string& op,
+                                const hv::ExecEnv& env) const {
+  return env.price(proc_cost(op)).micros_f();
+}
+
+std::vector<LmbenchFsResult> LmbenchSuite::run_fs(
+    const hv::ExecEnv& env) const {
+  std::vector<LmbenchFsResult> out;
+  for (std::uint64_t size : fs_sizes()) {
+    LmbenchFsResult r;
+    r.file_bytes = size;
+    const SimDuration create = env.price(guestos::file_create_cost(size));
+    const SimDuration del = env.price(guestos::file_delete_cost(size));
+    r.creations_per_sec = create > SimDuration::zero()
+                              ? 1e9 / static_cast<double>(create.ns())
+                              : 0.0;
+    r.deletions_per_sec =
+        del > SimDuration::zero() ? 1e9 / static_cast<double>(del.ns()) : 0.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace csk::workloads

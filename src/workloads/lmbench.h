@@ -1,0 +1,51 @@
+// lmbench 3.0-a9 microbenchmark suite (paper Tables II, III, IV).
+//
+// Three groups, exactly as the paper reports them:
+//   * arithmetic operation latencies in nanoseconds (Table II);
+//   * process/IPC primitives in microseconds (Table III);
+//   * file create/delete throughput per second at 0K/1K/4K/10K (Table IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hv/timing_model.h"
+
+namespace csk::workloads {
+
+struct LmbenchArithResult {
+  std::string op;     // "integer div", "double mul", ...
+  double ns = 0;      // per-operation latency
+};
+
+struct LmbenchProcResult {
+  std::string op;     // "pipe latency", "fork+ exit", ...
+  double us = 0;      // per-operation latency
+};
+
+struct LmbenchFsResult {
+  std::uint64_t file_bytes = 0;        // 0, 1024, 4096, 10240
+  double creations_per_sec = 0;
+  double deletions_per_sec = 0;
+};
+
+class LmbenchSuite {
+ public:
+  /// Table II row order.
+  static const std::vector<std::pair<std::string, double>>& arith_ops_l0_ns();
+
+  /// Table III row order.
+  static std::vector<std::string> proc_op_names();
+
+  /// Table IV column sizes.
+  static std::vector<std::uint64_t> fs_sizes();
+
+  std::vector<LmbenchArithResult> run_arith(const hv::ExecEnv& env) const;
+  std::vector<LmbenchProcResult> run_proc(const hv::ExecEnv& env) const;
+  std::vector<LmbenchFsResult> run_fs(const hv::ExecEnv& env) const;
+
+  /// Single proc-op latency by Table III name (µs).
+  double proc_op_us(const std::string& op, const hv::ExecEnv& env) const;
+};
+
+}  // namespace csk::workloads

@@ -1,0 +1,32 @@
+#include "workloads/netperf.h"
+
+#include <algorithm>
+
+namespace csk::workloads {
+
+double NetperfWorkload::throughput_bps(const hv::ExecEnv& env,
+                                       Rng& rng) const {
+  const int i = hv::layer_index(env.layer);
+  const double mean = params_.base_throughput_bps * params_.layer_factor[i];
+  const double sample = rng.normal(mean, mean * params_.rel_stddev[i]);
+  return std::max(sample, 0.05 * mean);
+}
+
+hv::OpCost NetperfWorkload::cost_for(const hv::ExecEnv& env) const {
+  // Send-side work for duration_sec of bulk transfer: one 64 KiB chunk per
+  // iteration, kicks batched 1:16.
+  const int i = hv::layer_index(env.layer);
+  const double bytes =
+      params_.base_throughput_bps * params_.layer_factor[i] / 8.0 *
+      params_.duration_sec;
+  const double chunks = bytes / 65536.0;
+  hv::OpCost c;
+  c.cpu_ns = chunks * 1200.0;
+  c.mem_intensity = 0.3;
+  c.n_svc = chunks;
+  c.n_exits = chunks / 16.0;
+  c.pages_dirtied = chunks * 0.5;
+  return c;
+}
+
+}  // namespace csk::workloads

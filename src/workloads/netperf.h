@@ -1,0 +1,51 @@
+// Netperf TCP_STREAM workload (paper Fig 3).
+//
+// Bulk unidirectional TCP transfer. With virtio paravirtual networking and
+// interrupt/kick suppression at bulk rates, per-packet exits amortize away
+// and all three layers sustain essentially link-limited throughput — the
+// paper's own conclusion ("nearly the same across all the execution
+// environments", with relative stddevs 1.11 / 10.32 / 3.96 % that dwarf the
+// mean differences). The model therefore produces a layer-degraded mean
+// plus layer-calibrated run-to-run noise; the paper's +8.95 % L1->L2 delta
+// is a noise artifact, not a mechanism, and EXPERIMENTS.md discusses this.
+#pragma once
+
+#include <array>
+
+#include "workloads/workload.h"
+
+namespace csk::workloads {
+
+class NetperfWorkload final : public Workload {
+ public:
+  struct Params {
+    /// Link-limited goodput on the testbed's loopback-ish path.
+    double base_throughput_bps = 9.41e9;
+    /// Mild per-layer degradation (virtio path length).
+    std::array<double, 3> layer_factor = {1.0, 0.985, 0.975};
+    /// Run-to-run relative stddev per layer (paper-reported values).
+    std::array<double, 3> rel_stddev = {0.0111, 0.1032, 0.0396};
+    double duration_sec = 10.0;
+  };
+
+  NetperfWorkload() = default;
+  explicit NetperfWorkload(Params params) : params_(params) {}
+
+  std::string name() const override { return "netperf-tcp-stream"; }
+
+  /// One measured TCP_STREAM sample in bits/second.
+  double throughput_bps(const hv::ExecEnv& env, Rng& rng) const;
+
+  /// Op-cost face: the send-side CPU work of one run (used when netperf is
+  /// the guest activity during other experiments).
+  hv::OpCost cost_for(const hv::ExecEnv& env) const override;
+
+  double dirty_rate(SimDuration) const override { return 300.0; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace csk::workloads

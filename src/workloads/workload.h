@@ -1,0 +1,53 @@
+// Workload interface.
+//
+// A workload has two faces, matching its two roles in the paper:
+//   * an *op-cost* face — the aggregate OpCost of one run, priced per layer
+//     to produce the performance figures (Fig 2/3, Tables II-IV);
+//   * a *dirty-rate* face — pages/second written while it runs, which is
+//     what live migration fights against (Fig 4).
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "hv/timing_model.h"
+
+namespace csk::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Aggregate cost of one complete run in `env` (environment toggles like
+  /// ccache can change the cost itself, not just its price).
+  virtual hv::OpCost cost_for(const hv::ExecEnv& env) const = 0;
+
+  /// Pages per second dirtied `elapsed` into a run.
+  virtual double dirty_rate(SimDuration elapsed) const = 0;
+
+  /// Prices one run in `env`.
+  SimDuration run(const hv::ExecEnv& env) const {
+    return env.price(cost_for(env));
+  }
+
+  /// Prices one run with multiplicative run-to-run noise.
+  SimDuration run_noisy(const hv::ExecEnv& env, Rng& rng,
+                        double rel_stddev) const {
+    CSK_CHECK(env.timing != nullptr);
+    return env.timing->price_noisy(cost_for(env), env.layer, rng, rel_stddev);
+  }
+};
+
+/// A guest that is connected but doing nothing (paper Fig 4 "idle"):
+/// background daemons still touch a trickle of pages.
+class IdleWorkload final : public Workload {
+ public:
+  std::string name() const override { return "idle"; }
+  hv::OpCost cost_for(const hv::ExecEnv&) const override { return {}; }
+  double dirty_rate(SimDuration) const override { return 50.0; }
+};
+
+}  // namespace csk::workloads

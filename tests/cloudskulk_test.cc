@@ -1,0 +1,399 @@
+// CloudSkulk core tests: recon, the four-step installer, the RITM position
+// and its passive/active services.
+#include <gtest/gtest.h>
+
+#include "cloudskulk/installer.h"
+#include "cloudskulk/recon.h"
+#include "cloudskulk/services/active.h"
+#include "cloudskulk/services/passive.h"
+#include "test_util.h"
+#include "vmm/monitor.h"
+
+namespace csk::cloudskulk {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+// ------------------------------------------------------------------ recon
+
+class ReconTest : public ::testing::Test {
+ protected:
+  ReconTest() { host_ = world_.make_host(small_host_config()); }
+
+  vmm::VirtualMachine* launch_target_via_history() {
+    const std::string cmdline = small_vm_config().to_command_line();
+    auto vm = host_->launch_vm_cmdline(cmdline);
+    CSK_CHECK(vm.is_ok());
+    return vm.value();
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(ReconTest, HistoryIsThePreferredSource) {
+  launch_target_via_history();
+  TargetRecon recon(host_);
+  auto report = recon.discover("guest0");
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->evidence.front(), "shell history");
+  EXPECT_EQ(report->config, small_vm_config());
+}
+
+TEST_F(ReconTest, PsFallbackWhenHistoryUnavailable) {
+  launch_target_via_history();
+  TargetRecon::Options opts;
+  opts.use_history = false;
+  TargetRecon recon(host_, opts);
+  auto report = recon.discover("guest0");
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->evidence.front(), "ps -ef");
+  EXPECT_EQ(report->config, small_vm_config());
+}
+
+TEST_F(ReconTest, MonitorIntrospectionRecoversMachineShape) {
+  launch_target_via_history();
+  TargetRecon::Options opts;
+  opts.use_history = false;
+  opts.use_ps = false;
+  TargetRecon recon(host_, opts);
+  auto report = recon.discover("guest0");
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->evidence.front(), "qemu monitor introspection");
+  const vmm::MachineConfig want = small_vm_config();
+  // Introspection recovers everything migration compatibility needs.
+  std::string why;
+  EXPECT_TRUE(vmm::migration_compatible(want, report->config, &why)) << why;
+  EXPECT_EQ(report->config.memory_mb, want.memory_mb);
+  ASSERT_EQ(report->config.netdevs.size(), 1u);
+  EXPECT_EQ(report->config.netdevs[0].hostfwd, want.netdevs[0].hostfwd);
+}
+
+TEST_F(ReconTest, RecoveredPidMatchesProcessTable) {
+  vmm::VirtualMachine* vm = launch_target_via_history();
+  TargetRecon recon(host_);
+  auto report = recon.discover("guest0");
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->host_pid, host_->pid_of_vm(vm->id()).value());
+}
+
+TEST_F(ReconTest, UnknownVmReportsNotFound) {
+  TargetRecon recon(host_);
+  EXPECT_FALSE(recon.discover("no-such-vm").is_ok());
+}
+
+TEST(ReconParserTest, InfoNetworkRoundTrip) {
+  auto parsed = parse_info_network(
+      "net0: index=0,type=user,hostfwd=tcp::2222-:22,hostfwd=tcp::8080-:80\n"
+      " \\ virtio-net-pci,mac=52:54:00:aa:bb:cc\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].model, "virtio-net-pci");
+  EXPECT_EQ((*parsed)[0].mac, "52:54:00:aa:bb:cc");
+  ASSERT_EQ((*parsed)[0].hostfwd.size(), 2u);
+  EXPECT_EQ((*parsed)[0].hostfwd[1].host_port, 8080);
+  EXPECT_EQ((*parsed)[0].hostfwd[1].guest_port, 80);
+}
+
+TEST(ReconParserTest, InfoMtreeRamSize) {
+  auto mb = parse_info_mtree_ram_mb(
+      "memory\n0000000000000000-000000003fffffff (prio 0, RW): pc.ram "
+      "size=1024M\n");
+  ASSERT_TRUE(mb.is_ok());
+  EXPECT_EQ(mb.value(), 1024u);
+}
+
+// -------------------------------------------------------------- installer
+
+class InstallerTest : public ::testing::Test {
+ protected:
+  InstallerTest() {
+    host_ = world_.make_host(small_host_config());
+    target_ =
+        host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  }
+
+  InstallerOptions fast_options() {
+    InstallerOptions opts;
+    opts.rootkit_boot_touched_mib = 4;
+    return opts;
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+  vmm::VirtualMachine* target_ = nullptr;
+};
+
+TEST_F(InstallerTest, FourStepInstallSucceeds) {
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  EXPECT_TRUE(report.migration.succeeded);
+  EXPECT_GE(report.log.size(), 5u);
+}
+
+TEST_F(InstallerTest, VictimEndsUpNestedInsideRootkit) {
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  vmm::VirtualMachine* rootkit = installer.rootkit_vm();
+  vmm::VirtualMachine* nested = installer.nested_vm();
+  EXPECT_EQ(nested->parent(), rootkit);
+  EXPECT_EQ(nested->layer(), hv::Layer::kL2);
+  EXPECT_EQ(nested->state(), vmm::VmState::kRunning);
+  ASSERT_NE(nested->os(), nullptr);
+  // The victim's userspace kept its identity across the kidnapping.
+  EXPECT_TRUE(nested->os()->find_process_by_name("sshd").is_ok());
+}
+
+TEST_F(InstallerTest, OriginalQemuProcessIsGone) {
+  const VmId original = target_->id();
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  EXPECT_FALSE(host_->find_vm(original).is_ok());
+  // Exactly one qemu process named guest0 remains (GuestX impersonating).
+  int count = 0;
+  for (const auto& p : host_->ps()) {
+    if (p.cmdline.find("-name guest0") != std::string::npos) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(InstallerTest, PidAndCmdlineAreImpersonated) {
+  const Pid original_pid = host_->pid_of_vm(target_->id()).value();
+  const std::string original_cmdline = small_vm_config().to_command_line();
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  EXPECT_EQ(report.final_pid, original_pid);
+  const Pid now = host_->pid_of_vm(installer.rootkit_vm()->id()).value();
+  EXPECT_EQ(now, original_pid);
+  // ps shows the victim's exact original command line.
+  bool found = false;
+  for (const auto& p : host_->ps()) {
+    if (p.pid == original_pid) {
+      found = true;
+      EXPECT_EQ(p.cmdline, original_cmdline);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InstallerTest, MonitorPortIsTakenOver) {
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  // The admin's telnet to the original monitor port now reaches GuestX.
+  auto mon = host_->connect_monitor(5555);
+  ASSERT_TRUE(mon.is_ok());
+  EXPECT_EQ(mon.value()->vm(), installer.rootkit_vm());
+  auto status = mon.value()->execute("info status");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_NE(status.value().find("running"), std::string::npos);
+}
+
+TEST_F(InstallerTest, VictimTrafficFlowsThroughRitmAfterInstall) {
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  vmm::VirtualMachine* nested = installer.nested_vm();
+
+  // The victim's sshd, wherever it now runs, answers on its node port 22.
+  int received = 0;
+  ASSERT_TRUE(nested
+                  ->bind_guest_port(Port(22),
+                                    [&](net::Packet) { ++received; })
+                  .is_ok());
+
+  // A client still connects to host:2222 exactly as before the attack.
+  net::Packet pkt;
+  pkt.conn = world_.network().new_conn();
+  pkt.kind = net::ProtoKind::kSshKeystroke;
+  pkt.src = net::NetAddr{"victim-laptop", Port(50000)};
+  pkt.reply_to = pkt.src;
+  pkt.wire_bytes = 80;
+  pkt.payload = "ls -la";
+  world_.network().send(net::NetAddr{host_->node_name(), Port(2222)}, pkt);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(InstallerTest, InstallTimeIsDominatedByMigration) {
+  CloudSkulkInstaller installer(host_, fast_options());
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  EXPECT_GE(report.total_time.ns(), report.migration.total_time.ns());
+  EXPECT_LT(report.total_time.ns(),
+            report.migration.total_time.ns() + SimDuration::seconds(5).ns());
+}
+
+TEST_F(InstallerTest, FailsCleanlyWithoutNestedVirtSupport) {
+  // A host whose "cloud image" lacks VMX passthrough support would stop at
+  // step 2/3; model by launching GuestX without nesting allowed.
+  InstallerOptions opts = fast_options();
+  opts.target_vm_name = "missing";
+  CloudSkulkInstaller installer(host_, opts);
+  const InstallReport report = installer.install();
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST_F(InstallerTest, InstallWorksViaMonitorOnlyRecon) {
+  InstallerOptions opts = fast_options();
+  opts.recon.use_history = false;
+  opts.recon.use_ps = false;
+  CloudSkulkInstaller installer(host_, opts);
+  const InstallReport report = installer.install();
+  ASSERT_TRUE(report.succeeded) << report.error;
+  EXPECT_EQ(report.recon.evidence.front(), "qemu monitor introspection");
+}
+
+// ------------------------------------------------------------ RITM + svcs
+
+class RitmTest : public ::testing::Test {
+ protected:
+  RitmTest() {
+    host_ = world_.make_host(small_host_config());
+    host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+    InstallerOptions opts;
+    opts.rootkit_boot_touched_mib = 4;
+    installer_ = std::make_unique<CloudSkulkInstaller>(host_, opts);
+    report_ = installer_->install();
+    CSK_CHECK_MSG(report_.succeeded, report_.error);
+    // Victim service: an sshd/web hybrid echoing replies to clients.
+    nested_ = installer_->nested_vm();
+    (void)nested_->bind_guest_port(Port(22), [this](net::Packet pkt) {
+      net::Packet reply = pkt;
+      reply.kind = pkt.kind == net::ProtoKind::kHttpRequest
+                       ? net::ProtoKind::kHttpResponse
+                       : net::ProtoKind::kSshOutput;
+      reply.src = net::NetAddr{nested_->node_name(), Port(22)};
+      reply.payload = "echo: " + pkt.payload;
+      reply.wire_bytes = reply.payload.size() + 40;
+      world_.network().send(pkt.reply_to, std::move(reply));
+    });
+  }
+
+  /// Sends a client packet to the victim's stable host port.
+  void client_send(net::ProtoKind kind, const std::string& payload,
+                   ConnId conn) {
+    net::Packet pkt;
+    pkt.conn = conn;
+    pkt.kind = kind;
+    pkt.src = net::NetAddr{"victim-laptop", Port(50000)};
+    pkt.reply_to = pkt.src;
+    pkt.wire_bytes = payload.size() + 40;
+    pkt.payload = payload;
+    world_.network().send(net::NetAddr{host_->node_name(), Port(2222)}, pkt);
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+  std::unique_ptr<CloudSkulkInstaller> installer_;
+  InstallReport report_;
+  vmm::VirtualMachine* nested_ = nullptr;
+  std::vector<net::Packet> client_rx_;
+};
+
+TEST_F(RitmTest, KeystrokeLoggerCapturesVictimInput) {
+  KeystrokeLogger logger(&world_.simulator());
+  installer_->ritm()->add_tap(&logger);
+  const ConnId conn = world_.network().new_conn();
+  client_send(net::ProtoKind::kSshKeystroke, "sudo cat /etc/shadow\n", conn);
+  client_send(net::ProtoKind::kSshKeystroke, "exit\n", conn);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  EXPECT_EQ(logger.transcript(), "sudo cat /etc/shadow\nexit\n");
+  EXPECT_EQ(logger.keystrokes(), 26u);
+}
+
+TEST_F(RitmTest, PacketLoggerSeesBothDirections) {
+  PacketLogger logger(&world_.simulator());
+  installer_->ritm()->add_tap(&logger);
+  // Client endpoint that accepts the echo reply.
+  (void)world_.network().bind(net::NetAddr{"victim-laptop", Port(50000)},
+                              [&](net::Packet p) { client_rx_.push_back(p); });
+  const ConnId conn = world_.network().new_conn();
+  client_send(net::ProtoKind::kSshKeystroke, "whoami\n", conn);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  ASSERT_EQ(client_rx_.size(), 1u);
+  ASSERT_GE(logger.entries().size(), 2u);
+  EXPECT_EQ(logger.entries()[0].dir, net::PacketTap::Direction::kForward);
+  EXPECT_EQ(logger.entries()[1].dir, net::PacketTap::Direction::kReverse);
+}
+
+TEST_F(RitmTest, OffensiveVmiReadsVictimProcessList) {
+  auto table = installer_->ritm()->introspect_victim();
+  ASSERT_TRUE(table.is_ok()) << table.status().to_string();
+  EXPECT_EQ(table->identity.hostname, "guest0");
+  bool saw_sshd = false;
+  for (const auto& p : table->procs) saw_sshd |= (p.name == "sshd");
+  EXPECT_TRUE(saw_sshd);
+}
+
+TEST_F(RitmTest, VmiMonitorSpotsNewVictimProcesses) {
+  VmiMonitor monitor(&world_.simulator(), installer_->ritm());
+  ASSERT_TRUE(monitor.snapshot().is_ok());
+  nested_->os()->spawn("pg_dump", "/usr/bin/pg_dump payroll");
+  ASSERT_TRUE(monitor.snapshot().is_ok());
+  const auto fresh = monitor.new_processes_since_first();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0], "pg_dump");
+}
+
+TEST_F(RitmTest, ParallelMaliciousOsRunsBesideVictim) {
+  ParallelMaliciousOs::Options evil_opts;
+  evil_opts.memory_mb = 16;  // fits the small test GuestX arena
+  ParallelMaliciousOs evil(installer_->ritm(), evil_opts);
+  ASSERT_TRUE(evil.deploy().is_ok());
+  ASSERT_TRUE(evil.deployed());
+  EXPECT_EQ(evil.vm()->parent(), installer_->rootkit_vm());
+  EXPECT_EQ(evil.vm()->layer(), hv::Layer::kL2);
+  // Victim untouched, phishing service reachable.
+  EXPECT_EQ(nested_->state(), vmm::VmState::kRunning);
+  net::Packet req;
+  req.conn = world_.network().new_conn();
+  req.kind = net::ProtoKind::kHttpRequest;
+  req.src = net::NetAddr{"mark", Port(40000)};
+  req.reply_to = req.src;
+  req.wire_bytes = 120;
+  req.payload = "GET /login";
+  world_.network().send(net::NetAddr{evil.vm()->node_name(), Port(8080)}, req);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  EXPECT_EQ(evil.phishing_requests_served(), 1u);
+}
+
+TEST_F(RitmTest, ActiveServiceDropsMatchingEmail) {
+  PacketTamperer tamperer;
+  tamperer.add_rule(make_email_dropper("ACME-MERGER"));
+  installer_->ritm()->add_tap(&tamperer);
+  int delivered = 0;
+  // Count what reaches the victim's mail port... reuse port 22 service.
+  const ConnId conn = world_.network().new_conn();
+  (void)delivered;
+  client_send(net::ProtoKind::kSmtpMail, "Subject: lunch?", conn);
+  client_send(net::ProtoKind::kSmtpMail, "Subject: ACME-MERGER terms", conn);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  EXPECT_EQ(tamperer.stats()[0].dropped, 1u);
+  EXPECT_EQ(tamperer.stats()[0].matched, 1u);
+}
+
+TEST_F(RitmTest, ActiveServiceRewritesWebResponses) {
+  PacketTamperer tamperer;
+  tamperer.add_rule(make_web_response_rewriter("balance: $5000",
+                                               "balance: $0"));
+  installer_->ritm()->add_tap(&tamperer);
+  (void)world_.network().bind(net::NetAddr{"victim-laptop", Port(50000)},
+                              [&](net::Packet p) { client_rx_.push_back(p); });
+  const ConnId conn = world_.network().new_conn();
+  client_send(net::ProtoKind::kHttpRequest, "GET /balance: $5000", conn);
+  world_.simulator().run_for(SimDuration::seconds(2));
+  ASSERT_EQ(client_rx_.size(), 1u);
+  EXPECT_NE(client_rx_[0].payload.find("balance: $0"), std::string::npos);
+  EXPECT_EQ(client_rx_[0].payload.find("balance: $5000"), std::string::npos);
+  EXPECT_EQ(tamperer.stats()[0].rewritten, 1u);
+}
+
+}  // namespace
+}  // namespace csk::cloudskulk

@@ -1,0 +1,265 @@
+// Tests for the common utility layer: time, ids, status, rng, hash, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace csk {
+namespace {
+
+// ------------------------------------------------------------------- time
+
+TEST(SimDurationTest, UnitConstructors) {
+  EXPECT_EQ(SimDuration::micros(3).ns(), 3000);
+  EXPECT_EQ(SimDuration::millis(2).ns(), 2000000);
+  EXPECT_EQ(SimDuration::seconds(1).ns(), 1000000000);
+  EXPECT_EQ(SimDuration::from_seconds(1.5).ns(), 1500000000);
+  EXPECT_EQ(SimDuration::from_micros(2.25).ns(), 2250);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const SimDuration a = SimDuration::micros(10);
+  const SimDuration b = SimDuration::micros(4);
+  EXPECT_EQ((a + b).ns(), 14000);
+  EXPECT_EQ((a - b).ns(), 6000);
+  EXPECT_EQ((a * std::int64_t{3}).ns(), 30000);
+  EXPECT_EQ((a / 2).ns(), 5000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_DOUBLE_EQ(a.micros_f(), 10.0);
+  EXPECT_DOUBLE_EQ(SimDuration::seconds(2).seconds_f(), 2.0);
+}
+
+TEST(SimDurationTest, ScalingByDouble) {
+  EXPECT_EQ((SimDuration::micros(10) * 1.5).ns(), 15000);
+}
+
+TEST(SimDurationTest, Ordering) {
+  EXPECT_LT(SimDuration::micros(1), SimDuration::micros(2));
+  EXPECT_EQ(SimDuration::millis(1), SimDuration::micros(1000));
+}
+
+TEST(SimDurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(SimDuration::nanos(500).to_string(), "500ns");
+  EXPECT_EQ(SimDuration::micros(3).to_string(), "3.00us");
+  EXPECT_EQ(SimDuration::millis(12).to_string(), "12.00ms");
+  EXPECT_EQ(SimDuration::seconds(26).to_string(), "26.00s");
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  const SimTime t = SimTime::origin() + SimDuration::seconds(5);
+  EXPECT_EQ(t.ns(), 5000000000);
+  EXPECT_EQ((t - SimTime::origin()).ns(), 5000000000);
+  EXPECT_GT(t, SimTime::origin());
+}
+
+// -------------------------------------------------------------------- ids
+
+TEST(IdsTest, DefaultIsInvalid) {
+  VmId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, VmId::invalid());
+}
+
+TEST(IdsTest, DistinctFamiliesAreDistinctTypes) {
+  static_assert(!std::is_same_v<VmId, Pid>);
+  static_assert(!std::is_convertible_v<VmId, Pid>);
+}
+
+TEST(IdsTest, AllocatorIsMonotonic) {
+  IdAllocator<VmId> alloc;
+  const VmId a = alloc.next();
+  const VmId b = alloc.next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(alloc.issued(), 3u);  // next unissued value
+}
+
+TEST(IdsTest, Hashable) {
+  std::unordered_set<VmId> set;
+  set.insert(VmId(1));
+  set.insert(VmId(1));
+  set.insert(VmId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ----------------------------------------------------------------- status
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status st = not_found("no VM with pid 4242");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.to_string(), "NOT_FOUND: no VM with pid 4242");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = invalid_argument("nope");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MacroPropagation) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return unavailable("down");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    CSK_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kUnavailable);
+}
+
+TEST(CheckTest, FailureAborts) {
+  EXPECT_DEATH(CSK_CHECK_MSG(1 == 2, "math broke"), "math broke");
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.15);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ------------------------------------------------------------------- hash
+
+TEST(HashTest, DeterministicAndContentSensitive) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+}
+
+TEST(HashTest, ZeroBufferIsZeroPage) {
+  std::vector<std::uint8_t> zeros(4096, 0);
+  EXPECT_TRUE(fnv1a(std::span<const std::uint8_t>(zeros)).is_zero_page());
+  std::vector<std::uint8_t> not_zeros(4096, 0);
+  not_zeros[100] = 1;
+  EXPECT_FALSE(fnv1a(std::span<const std::uint8_t>(not_zeros)).is_zero_page());
+}
+
+TEST(HashTest, CombineChangesValue) {
+  const ContentHash h = fnv1a("base");
+  EXPECT_NE(hash_combine(h, 1), h);
+  EXPECT_NE(hash_combine(h, 1), hash_combine(h, 2));
+  EXPECT_FALSE(hash_combine(ContentHash::zero_page(), 0).is_zero_page());
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(StatsTest, RunningMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.1381, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.rel_stddev_pct(), 42.76, 0.1);
+}
+
+TEST(StatsTest, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(StatsTest, Percentiles) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(StatsTest, SeparationScoreDistinguishesPopulations) {
+  std::vector<double> fast(50, 0.2), slow(50, 6.0);
+  // Add small spread so pooled stddev is nonzero.
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    fast[i] += 0.01 * static_cast<double>(i % 5);
+    slow[i] += 0.1 * static_cast<double>(i % 5);
+  }
+  EXPECT_GT(separation_score(fast, slow), 10.0);
+  EXPECT_LT(separation_score(fast, fast), 0.01);
+}
+
+TEST(StatsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(25.7, 1), "25.7");
+}
+
+}  // namespace
+}  // namespace csk

@@ -1,0 +1,85 @@
+// Table I dataset integrity: the counts the paper reports must hold.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cve/vm_escape_cves.h"
+
+namespace csk::cve {
+namespace {
+
+TEST(CveDatasetTest, GrandTotalIs96) {
+  EXPECT_EQ(vm_escape_cves().size(), 96u);
+  EXPECT_EQ(count_matrix().grand_total(), 96u);
+}
+
+TEST(CveDatasetTest, PlatformTotalsMatchTableI) {
+  const CveMatrix m = count_matrix();
+  EXPECT_EQ(m.platform_total(Platform::kVmware), 29u);
+  EXPECT_EQ(m.platform_total(Platform::kVirtualBox), 15u);
+  EXPECT_EQ(m.platform_total(Platform::kXen), 15u);
+  EXPECT_EQ(m.platform_total(Platform::kHyperV), 14u);
+  EXPECT_EQ(m.platform_total(Platform::kKvmQemu), 23u);
+}
+
+TEST(CveDatasetTest, SpotCellsMatchTableI) {
+  const CveMatrix m = count_matrix();
+  auto cell = [&](int year, Platform p) {
+    return m.counts[year - 2015][static_cast<std::size_t>(p)];
+  };
+  EXPECT_EQ(cell(2015, Platform::kVmware), 5u);
+  EXPECT_EQ(cell(2015, Platform::kKvmQemu), 5u);
+  EXPECT_EQ(cell(2016, Platform::kVirtualBox), 0u);
+  EXPECT_EQ(cell(2017, Platform::kXen), 6u);
+  EXPECT_EQ(cell(2018, Platform::kVirtualBox), 11u);
+  EXPECT_EQ(cell(2018, Platform::kXen), 0u);
+  EXPECT_EQ(cell(2019, Platform::kHyperV), 4u);
+  EXPECT_EQ(cell(2020, Platform::kVmware), 10u);
+}
+
+TEST(CveDatasetTest, IdsAreWellFormedAndUnique) {
+  std::set<std::string> ids;
+  for (const VmEscapeCve& cve : vm_escape_cves()) {
+    EXPECT_TRUE(cve.id.starts_with("CVE-" + std::to_string(cve.year) + "-"))
+        << cve.id;
+    EXPECT_GE(cve.year, 2015);
+    EXPECT_LE(cve.year, 2020);
+    ids.insert(cve.id);
+  }
+  EXPECT_EQ(ids.size(), vm_escape_cves().size());
+}
+
+TEST(CveDatasetTest, NotableEntriesPresent) {
+  // Referenced directly by the paper's exploit citations.
+  std::set<std::string> ids;
+  for (const VmEscapeCve& cve : vm_escape_cves()) ids.insert(cve.id);
+  EXPECT_TRUE(ids.contains("CVE-2019-6778"));   // the public QEMU escape
+  EXPECT_TRUE(ids.contains("CVE-2015-3456"));   // VENOM
+  EXPECT_TRUE(ids.contains("CVE-2020-14364"));
+}
+
+TEST(CveDatasetTest, QueriesFilterCorrectly) {
+  const auto xen = cves_for_platform(Platform::kXen);
+  EXPECT_EQ(xen.size(), 15u);
+  for (const auto& cve : xen) EXPECT_EQ(cve.platform, Platform::kXen);
+  const auto y2018 = cves_for_year(2018);
+  EXPECT_EQ(y2018.size(), 18u);  // 2 + 11 + 0 + 3 + 2
+  for (const auto& cve : y2018) EXPECT_EQ(cve.year, 2018);
+}
+
+TEST(CveDatasetTest, YearTotalsSumUp) {
+  const CveMatrix m = count_matrix();
+  std::uint32_t sum = 0;
+  for (int y = 2015; y <= 2020; ++y) sum += m.year_total(y);
+  EXPECT_EQ(sum, 96u);
+  EXPECT_EQ(m.year_total(2015), 13u);
+  EXPECT_EQ(m.year_total(2020), 14u);
+}
+
+TEST(CveDatasetTest, PlatformNames) {
+  EXPECT_STREQ(platform_name(Platform::kVmware), "VMware");
+  EXPECT_STREQ(platform_name(Platform::kKvmQemu), "KVM/QEMU");
+}
+
+}  // namespace
+}  // namespace csk::cve

@@ -1,0 +1,362 @@
+// Detection tests: the memory-deduplication detector in both paper
+// scenarios (Figs 5/6), its parameter sweeps, and the two baseline
+// detectors (§VI-E) with their evasion conditions.
+#include <gtest/gtest.h>
+
+#include "cloudskulk/installer.h"
+#include "detect/dedup_detector.h"
+#include "detect/vmcs_scan.h"
+#include "detect/vmi_fingerprint.h"
+#include "test_util.h"
+
+namespace csk::detect {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+class DedupScenarioTest : public ::testing::Test {
+ protected:
+  DedupScenarioTest() {
+    auto cfg = small_host_config();
+    cfg.boot_touched_mib = 4;  // keep ksmd passes short
+    host_ = world_.make_host(cfg);
+  }
+
+  DedupDetectorConfig fast_detector(std::size_t pages = 20) {
+    DedupDetectorConfig cfg;
+    cfg.file_pages = pages;
+    cfg.merge_wait = SimDuration::seconds(5);
+    return cfg;
+  }
+
+  /// Scenario 1: an honest guest0; the user's OS is guest0's OS.
+  guestos::GuestOS* setup_clean_scenario(DedupDetector& detector) {
+    vmm::VirtualMachine* vm =
+        host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+    CSK_CHECK(detector.seed_guest(vm->os()).is_ok());
+    return vm->os();
+  }
+
+  /// Scenario 2: CloudSkulk installed; the user's OS now lives in the
+  /// nested VM; the impersonating L1 also carries File-A.
+  guestos::GuestOS* setup_rootkit_scenario(DedupDetector& detector) {
+    host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+    cloudskulk::InstallerOptions opts;
+    opts.rootkit_boot_touched_mib = 4;
+    installer_ =
+        std::make_unique<cloudskulk::CloudSkulkInstaller>(host_, opts);
+    const cloudskulk::InstallReport report = installer_->install();
+    CSK_CHECK_MSG(report.succeeded, report.error);
+    // The victim's OS (with File-A, if seeded before or after) is nested;
+    // the attacker mirrors the same file into the L1 OS to impersonate.
+    CSK_CHECK(detector.seed_guest(installer_->nested_vm()->os()).is_ok());
+    CSK_CHECK(detector.seed_guest(installer_->rootkit_vm()->os()).is_ok());
+    return installer_->nested_vm()->os();
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+  std::unique_ptr<cloudskulk::CloudSkulkInstaller> installer_;
+};
+
+// --------------------------------------------------------- scenario 1 & 2
+
+TEST_F(DedupScenarioTest, CleanGuestYieldsNoNestedVm) {
+  DedupDetector detector(host_, fast_detector());
+  guestos::GuestOS* os = setup_clean_scenario(detector);
+  auto report = detector.run(os);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->verdict, DedupVerdict::kNoNestedVm) << report->explanation;
+  EXPECT_TRUE(report->step1_merged);
+  EXPECT_FALSE(report->step2_merged);
+}
+
+TEST_F(DedupScenarioTest, CleanScenarioTimingShape) {
+  // Fig 5: t1 >> t2 ~ t0.
+  DedupDetector detector(host_, fast_detector());
+  guestos::GuestOS* os = setup_clean_scenario(detector);
+  auto report = detector.run(os);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report->t1.summary.mean, 5 * report->t0.summary.mean);
+  EXPECT_LT(report->t2.summary.mean, 2 * report->t0.summary.mean);
+  EXPECT_GT(report->t1_t2_separation, 3.0);
+}
+
+TEST_F(DedupScenarioTest, CloudSkulkIsDetected) {
+  DedupDetector detector(host_, fast_detector());
+  guestos::GuestOS* os = setup_rootkit_scenario(detector);
+  auto report = detector.run(os);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->verdict, DedupVerdict::kNestedVmDetected)
+      << report->explanation;
+  EXPECT_TRUE(report->step1_merged);
+  EXPECT_TRUE(report->step2_merged);
+}
+
+TEST_F(DedupScenarioTest, RootkitScenarioTimingShape) {
+  // Fig 6: t1 ~ t2, both >> t0.
+  DedupDetector detector(host_, fast_detector());
+  guestos::GuestOS* os = setup_rootkit_scenario(detector);
+  auto report = detector.run(os);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report->t1.summary.mean, 5 * report->t0.summary.mean);
+  EXPECT_GT(report->t2.summary.mean, 5 * report->t0.summary.mean);
+  EXPECT_LT(report->t1_t2_separation, 3.0);
+}
+
+TEST_F(DedupScenarioTest, MissingFileInGuestBreaksImpersonation) {
+  // If the "guest" never held File-A at all, step 1 cannot merge: the
+  // grosser mismatch of §VI-B.
+  DedupDetector detector(host_, fast_detector());
+  vmm::VirtualMachine* vm =
+      host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  // Seed the FS so run() precondition passes, but evict from page cache
+  // before the detector looks.
+  ASSERT_TRUE(detector.seed_guest(vm->os()).is_ok());
+  auto report_pre = detector.run(vm->os());
+  ASSERT_TRUE(report_pre.is_ok());
+  // Now evict and re-run: file absent from memory.
+  ASSERT_TRUE(vm->os()->evict_file("file-a.mp3").is_ok());
+  auto report = detector.run(vm->os());
+  EXPECT_FALSE(report.is_ok());  // precondition: file must be cached
+}
+
+TEST_F(DedupScenarioTest, NoMergeObservableWhenKsmIsOff) {
+  // With deduplication disabled the protocol cannot see sharing at all —
+  // step 1 never merges, and the detector reports the grosser mismatch
+  // verdict rather than pretending the host is clean.
+  auto cfg = small_host_config("host1");
+  cfg.ksm_enabled = false;
+  vmm::Host* host1 = world_.make_host(cfg);
+  vmm::VirtualMachine* vm =
+      host1->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  DedupDetector detector(host1, fast_detector());
+  ASSERT_TRUE(detector.seed_guest(vm->os()).is_ok());
+  auto report = detector.run(vm->os());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->verdict, DedupVerdict::kImpersonationBroken);
+  EXPECT_FALSE(report->step1_merged);
+}
+
+TEST_F(DedupScenarioTest, RunWithoutSeedingFails) {
+  DedupDetector detector(host_, fast_detector());
+  vmm::VirtualMachine* vm =
+      host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  auto report = detector.run(vm->os());
+  EXPECT_FALSE(report.is_ok());
+}
+
+TEST_F(DedupScenarioTest, AttackerWhoAlsoUpdatesL1CopyEvades) {
+  // §VI-D: if the attacker synchronized the change into L1 (at the cost of
+  // tracking every guest write), t2 would be fast again. Verify the
+  // detector is honest about that bound.
+  DedupDetector detector(host_, fast_detector());
+  guestos::GuestOS* os = setup_rootkit_scenario(detector);
+  // The attacker watches and mirrors the perturbation into the L1 copy
+  // *before* the detector's step-2 measurement window closes. Model the
+  // best case for the attacker: mirror immediately after the guest change
+  // by perturbing L1's copy the same way (same resulting bytes).
+  // Step 1 happens inside run(); we interpose by running the protocol
+  // manually: perturb both copies identically.
+  auto report1 = detector.run(os);
+  ASSERT_TRUE(report1.is_ok());
+  EXPECT_EQ(report1->verdict, DedupVerdict::kNestedVmDetected);
+
+  // Second run where the attacker mirrors: perturbation of the nested copy
+  // is mirrored into the rootkit's L1 copy between steps. We emulate by
+  // giving the detector a victim OS hook that perturbs both.
+  // (The byte flip is deterministic: flipping L1's copy the same way
+  // yields identical content.)
+  guestos::GuestOS* l1 = installer_->rootkit_vm()->os();
+  // Fresh detector with a fresh file for a clean second protocol run (the
+  // first run already turned file-a into File-A-v2 inside the guests).
+  DedupDetectorConfig cfg2 = fast_detector();
+  cfg2.file_name = "file-b.mp3";
+  DedupDetector detector2(host_, cfg2);
+  ASSERT_TRUE(detector2.seed_guest(os).is_ok());
+  ASSERT_TRUE(detector2.seed_guest(l1).is_ok());
+
+  // Manual protocol with attacker mirroring.
+  struct MirroringOs {
+    guestos::GuestOS* victim;
+    guestos::GuestOS* l1;
+  };
+  // Run the standard protocol but mirror right after the victim's change.
+  // We reproduce DedupDetector::run()'s phases through its public pieces:
+  auto report2 = [&]() -> Result<DedupDetectionReport> {
+    // The detector perturbs the victim at exactly merge_wait (5 s) into the
+    // run, then waits again. An attacker trapping the victim's write from
+    // L1 mirrors it within microseconds — *before* ksmd's next pass can
+    // merge the detector's fresh step-2 buffer with the stale L1 copy.
+    world_.simulator().schedule_after(
+        SimDuration::seconds(5) + SimDuration::micros(1),
+        [&] { (void)l1->perturb_cached_file("file-b.mp3"); });
+    return detector2.run(os);
+  }();
+  ASSERT_TRUE(report2.is_ok()) << report2.status().to_string();
+  EXPECT_EQ(report2->verdict, DedupVerdict::kNoNestedVm)
+      << "perfect mirroring defeats the detector, as §VI-D concedes";
+}
+
+// Parameter sweep: detection verdict matches ground truth across file
+// sizes (§VI-D claims even one page suffices).
+struct SweepParam {
+  std::size_t file_pages;
+  bool rootkit;
+};
+
+class DedupSweepTest : public DedupScenarioTest,
+                       public ::testing::WithParamInterface<SweepParam> {};
+
+TEST_P(DedupSweepTest, VerdictMatchesGroundTruth) {
+  const SweepParam p = GetParam();
+  DedupDetector detector(host_, fast_detector(p.file_pages));
+  guestos::GuestOS* os = p.rootkit ? setup_rootkit_scenario(detector)
+                                   : setup_clean_scenario(detector);
+  auto report = detector.run(os);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->verdict, p.rootkit ? DedupVerdict::kNestedVmDetected
+                                       : DedupVerdict::kNoNestedVm)
+      << report->explanation;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FileSizes, DedupSweepTest,
+    ::testing::Values(SweepParam{1, false}, SweepParam{1, true},
+                      SweepParam{4, false}, SweepParam{4, true},
+                      SweepParam{16, false}, SweepParam{16, true},
+                      SweepParam{100, false}, SweepParam{100, true}));
+
+// ------------------------------------------------------------- VMCS scan
+
+class VmcsScanTest : public ::testing::Test {
+ protected:
+  VmcsScanTest() {
+    auto cfg = small_host_config();
+    cfg.boot_touched_mib = 2;
+    host_ = world_.make_host(cfg);
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(VmcsScanTest, CleanHostHasNoFindings) {
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  VmcsScanDetector scanner(host_);
+  const VmcsScanReport report = scanner.scan();
+  EXPECT_FALSE(report.hypervisor_found());
+  EXPECT_GT(report.pages_scanned, 0u);
+}
+
+TEST_F(VmcsScanTest, FindsNestedHypervisorByVmcsSignature) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  vmm::VirtualMachine* vm = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(vm->enable_nested_hypervisor().is_ok());
+  VmcsScanDetector scanner(host_);
+  const VmcsScanReport report = scanner.scan();
+  ASSERT_TRUE(report.hypervisor_found());
+  EXPECT_EQ(report.findings[0].vm_name, "guestx");
+  EXPECT_EQ(report.findings[0].revision_id,
+            vmm::VirtualMachine::kDefaultVmcsRevisionId);
+}
+
+TEST_F(VmcsScanTest, UnknownRevisionIdEvadesTheScanner) {
+  // The paper's critique: the approach needs a hard-coded signature.
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  vmm::VirtualMachine* vm = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(vm->enable_nested_hypervisor(0xDEADBEEF).is_ok());
+  VmcsScanDetector scanner(host_);
+  EXPECT_FALSE(scanner.scan().hypervisor_found());
+  // A scanner taught the new signature finds it again.
+  VmcsScanConfig cfg2;
+  cfg2.known_revision_ids = {0xDEADBEEF};
+  VmcsScanDetector scanner2(host_, cfg2);
+  EXPECT_TRUE(scanner2.scan().hypervisor_found());
+}
+
+TEST_F(VmcsScanTest, DetectsCloudSkulkWhenSignatureKnown) {
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 2;
+  cloudskulk::CloudSkulkInstaller installer(host_, opts);
+  ASSERT_TRUE(installer.install().succeeded);
+  VmcsScanDetector scanner(host_);
+  const VmcsScanReport report = scanner.scan();
+  ASSERT_TRUE(report.hypervisor_found());
+  EXPECT_EQ(report.findings[0].vm, installer.rootkit_vm()->id());
+}
+
+// -------------------------------------------------------- VMI fingerprint
+
+class VmiFingerprintTest : public ::testing::Test {
+ protected:
+  VmiFingerprintTest() {
+    auto cfg = small_host_config();
+    cfg.boot_touched_mib = 2;
+    host_ = world_.make_host(cfg);
+  }
+
+  VmBaseline guest0_baseline() {
+    VmBaseline b;
+    b.vm_name = "guest0";
+    b.identity.hostname = "guest0";
+    b.expected_processes = {"init", "sshd"};
+    return b;
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(VmiFingerprintTest, CleanGuestMatchesBaseline) {
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  VmiFingerprintDetector detector(host_);
+  const auto report = detector.check({guest0_baseline()});
+  EXPECT_FALSE(report.suspicious())
+      << report.anomalies[0].vm_name << ": " << report.anomalies[0].what;
+}
+
+TEST_F(VmiFingerprintTest, NaiveRootkitLeaksQemuProcess) {
+  // CloudSkulk installed but the attacker forgot to hide the inner QEMU:
+  // single-level VMI sees a qemu process inside "guest0".
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 2;
+  cloudskulk::CloudSkulkInstaller installer(host_, opts);
+  ASSERT_TRUE(installer.install().succeeded);
+  VmiFingerprintDetector detector(host_);
+  const auto report = detector.check({guest0_baseline()});
+  EXPECT_TRUE(report.suspicious());
+}
+
+TEST_F(VmiFingerprintTest, CarefulImpersonationEvadesFingerprinting) {
+  // The paper's §VI-E point: same OS + same-looking processes + hidden
+  // giveaways => indistinguishable fingerprint.
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 2;
+  cloudskulk::CloudSkulkInstaller installer(host_, opts);
+  ASSERT_TRUE(installer.install().succeeded);
+  guestos::GuestOS* l1 = installer.rootkit_vm()->os();
+  // Hide the nesting machinery from the L1 kernel's visible task list.
+  for (const auto& name : {"qemu-system-x86", "kvm"}) {
+    auto p = l1->find_process_by_name(name);
+    ASSERT_TRUE(p.is_ok());
+    ASSERT_TRUE(l1->hide_process(p->pid).is_ok());
+  }
+  VmiFingerprintDetector detector(host_);
+  const auto report = detector.check({guest0_baseline()});
+  EXPECT_FALSE(report.suspicious())
+      << report.anomalies[0].vm_name << ": " << report.anomalies[0].what;
+  // Meanwhile the *nested* victim is invisible to the tool entirely: its
+  // kernel structures are nowhere the scanner knows to look (double
+  // semantic gap) — checked implicitly: only top-level VMs were scanned.
+  EXPECT_EQ(report.vms_checked, host_->vms().size());
+}
+
+}  // namespace
+}  // namespace csk::detect

@@ -1,0 +1,135 @@
+// vm_runner tests: workloads executed through actual simulated machines —
+// the clock advances, the hypervisor sees the exits, pages get dirty.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+#include "driver/vm_runner.h"
+#include "test_util.h"
+#include "workloads/filebench.h"
+#include "workloads/kernel_compile.h"
+
+namespace csk::driver {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+class VmRunnerTest : public ::testing::Test {
+ protected:
+  VmRunnerTest() {
+    auto cfg = small_host_config();
+    cfg.boot_touched_mib = 4;
+    // Workload runs advance minutes of simulated time; a throttled ksmd
+    // keeps the event count sane while still merging within seconds.
+    cfg.ksm.pages_per_scan = 50;
+    cfg.ksm.scan_interval = SimDuration::millis(100);
+    host_ = world_.make_host(cfg);
+  }
+
+  vmm::VirtualMachine* launch_l1(const std::string& name = "guest0",
+                                 bool vmx = false) {
+    auto cfg = small_vm_config(name, 64, 0, 0);
+    cfg.cpu_host_passthrough = vmx;
+    return host_->launch_vm(cfg).value();
+  }
+
+  vmm::VirtualMachine* launch_l2() {
+    vmm::VirtualMachine* parent = launch_l1("guestx", true);
+    CSK_CHECK(parent->enable_nested_hypervisor().is_ok());
+    return parent->launch_nested_vm(small_vm_config("inner", 32, 0, 0), 4)
+        .value();
+  }
+
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(VmRunnerTest, EnvReflectsTheVm) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  l1->set_ccache_enabled(true);
+  const hv::ExecEnv env = env_for(*l1);
+  EXPECT_EQ(env.layer, hv::Layer::kL1);
+  EXPECT_TRUE(env.ccache_enabled);
+  EXPECT_EQ(env.timing, &world_.timing());
+}
+
+TEST_F(VmRunnerTest, RunAdvancesTheSimulatedClock) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  const workloads::FilebenchWorkload fb;
+  const SimTime before = world_.simulator().now();
+  const SimDuration elapsed = run_workload(*l1, fb);
+  EXPECT_GT(elapsed.ns(), 0);
+  EXPECT_EQ((world_.simulator().now() - before).ns(), elapsed.ns());
+}
+
+TEST_F(VmRunnerTest, NestedGuestPaysTheFig2Premium) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  vmm::VirtualMachine* l2 = launch_l2();
+  const workloads::KernelCompileWorkload compile;
+  const double t1 = run_workload(*l1, compile).seconds_f();
+  const double t2 = run_workload(*l2, compile).seconds_f();
+  EXPECT_NEAR(t2 / t1, 1.257, 0.06);  // the paper's +25.7 %
+}
+
+TEST_F(VmRunnerTest, CcacheOnTheVmChangesItsCompileTime) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  const workloads::KernelCompileWorkload compile;
+  const double cold = run_workload(*l1, compile).seconds_f();
+  l1->set_ccache_enabled(true);
+  const double warm = run_workload(*l1, compile).seconds_f();
+  EXPECT_GT(cold / warm, 3.0);
+}
+
+TEST_F(VmRunnerTest, HypervisorRecordsTheExits) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  const workloads::FilebenchWorkload fb;
+  const std::uint64_t before =
+      host_->hypervisor().guest(l1->id()).exits.total();
+  run_workload(*l1, fb);
+  EXPECT_GT(host_->hypervisor().guest(l1->id()).exits.total(), before);
+}
+
+TEST_F(VmRunnerTest, WorkloadDirtiesGuestPages) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  l1->memory().enable_dirty_log();
+  const workloads::FilebenchWorkload fb;
+  run_workload(*l1, fb);
+  EXPECT_GT(l1->memory().dirty_count(), 100u);
+}
+
+TEST_F(VmRunnerTest, RepeatedRunsJitterAroundTheMean) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  const workloads::FilebenchWorkload fb;
+  Rng rng(99);
+  const auto runs = run_repeated(*l1, fb, 5, 0.03, rng);
+  ASSERT_EQ(runs.size(), 5u);
+  csk::RunningStats stats;
+  for (const SimDuration d : runs) stats.add(static_cast<double>(d.ns()));
+  EXPECT_GT(stats.stddev(), 0.0);
+  EXPECT_LT(stats.rel_stddev_pct(), 12.0);
+}
+
+TEST_F(VmRunnerTest, PausedGuestCannotRun) {
+  vmm::VirtualMachine* l1 = launch_l1();
+  ASSERT_TRUE(l1->pause().is_ok());
+  const workloads::FilebenchWorkload fb;
+  EXPECT_DEATH(run_workload(*l1, fb), "not running");
+}
+
+TEST_F(VmRunnerTest, ConcurrentMachineryRunsUnderneath) {
+  // ksmd keeps scanning while the workload executes: identical pages in a
+  // neighbor merge during the run.
+  vmm::VirtualMachine* l1 = launch_l1();
+  vmm::VirtualMachine* neighbor = launch_l1("neighbor");
+  const mem::PageData shared = mem::PageData::synthetic(ContentHash{0x5AFE});
+  l1->memory().write_page(Gfn(9000), shared);
+  neighbor->memory().write_page(Gfn(9000), shared);
+  const workloads::KernelCompileWorkload compile;  // minutes of sim time
+  run_workload(*l1, compile);
+  EXPECT_EQ(l1->memory().translate(Gfn(9000)),
+            neighbor->memory().translate(Gfn(9000)));
+}
+
+}  // namespace
+}  // namespace csk::driver

@@ -1,0 +1,266 @@
+// Guest OS tests: processes, page cache, regions, proc-table serialization.
+#include <gtest/gtest.h>
+
+#include "guestos/os.h"
+#include "mem/phys_mem.h"
+
+namespace csk::guestos {
+namespace {
+
+class GuestOsTest : public ::testing::Test {
+ protected:
+  GuestOsTest()
+      : as_(&phys_, 4096, "guest"),
+        os_(&as_, OsIdentity{}, Rng(42), /*ram_pages=*/1024) {}
+
+  mem::HostPhysicalMemory phys_;
+  mem::AddressSpace as_;
+  GuestOS os_;
+};
+
+// -------------------------------------------------------------- processes
+
+TEST_F(GuestOsTest, BootSpawnsUserspace) {
+  os_.boot();
+  EXPECT_TRUE(os_.booted());
+  EXPECT_TRUE(os_.find_process_by_name("init").is_ok());
+  EXPECT_TRUE(os_.find_process_by_name("sshd").is_ok());
+  EXPECT_DEATH(os_.boot(), "double boot");
+}
+
+TEST_F(GuestOsTest, SpawnAndKill) {
+  const Pid pid = os_.spawn("nginx", "/usr/sbin/nginx -g daemon");
+  ASSERT_TRUE(os_.find_process(pid).is_ok());
+  EXPECT_EQ(os_.find_process(pid)->cmdline, "/usr/sbin/nginx -g daemon");
+  EXPECT_TRUE(os_.kill(pid).is_ok());
+  EXPECT_FALSE(os_.find_process_by_name("nginx").is_ok());
+  EXPECT_FALSE(os_.kill(pid).is_ok());
+}
+
+TEST_F(GuestOsTest, PidsAreUniqueAndIncreasing) {
+  const Pid a = os_.spawn("a");
+  const Pid b = os_.spawn("b");
+  EXPECT_LT(a.value(), b.value());
+}
+
+TEST_F(GuestOsTest, HiddenProcessInvisibleToPs) {
+  const Pid pid = os_.spawn("rootkitd");
+  ASSERT_TRUE(os_.hide_process(pid).is_ok());
+  EXPECT_FALSE(os_.find_process_by_name("rootkitd").is_ok());
+  for (const Process& p : os_.ps()) EXPECT_NE(p.name, "rootkitd");
+}
+
+TEST_F(GuestOsTest, ProcTablePageReflectsProcessChanges) {
+  os_.boot();
+  const Pid pid = os_.spawn("postgres");
+  auto bytes = as_.read_bytes(Gfn(kProcTableGfn));
+  ASSERT_TRUE(bytes.has_value());
+  auto parsed = parse_proc_table(*bytes);
+  ASSERT_TRUE(parsed.is_ok());
+  bool saw = false;
+  for (const Process& p : parsed->procs) saw |= (p.name == "postgres");
+  EXPECT_TRUE(saw);
+  ASSERT_TRUE(os_.kill(pid).is_ok());
+  parsed = parse_proc_table(*as_.read_bytes(Gfn(kProcTableGfn)));
+  ASSERT_TRUE(parsed.is_ok());
+  for (const Process& p : parsed->procs) EXPECT_NE(p.name, "postgres");
+}
+
+TEST(ProcTableTest, SerializeParseRoundTrip) {
+  OsIdentity id;
+  id.hostname = "box7";
+  std::vector<Process> procs{{Pid(1), Pid(0), "init", "/sbin/init", true, false},
+                             {Pid(9), Pid(1), "bash", "-bash", true, false}};
+  auto parsed = parse_proc_table([&] {
+    const std::string blob = serialize_proc_table(id, procs);
+    return mem::PageBytes(blob.begin(), blob.end());
+  }());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->identity, id);
+  ASSERT_EQ(parsed->procs.size(), 2u);
+  EXPECT_EQ(parsed->procs[1].name, "bash");
+  EXPECT_EQ(parsed->procs[1].parent, Pid(1));
+}
+
+TEST(ProcTableTest, GarbageIsSemanticGap) {
+  mem::PageBytes junk{'n', 'o', 'p', 'e'};
+  EXPECT_FALSE(parse_proc_table(junk).is_ok());
+}
+
+// -------------------------------------------------------------- page cache
+
+TEST_F(GuestOsTest, LoadFileMaterializesPages) {
+  ASSERT_TRUE(os_.fs().create_unique("data.bin", 8 * mem::kPageSize,
+                                     os_.rng()).is_ok());
+  auto gfns = os_.load_file("data.bin");
+  ASSERT_TRUE(gfns.is_ok());
+  EXPECT_EQ(gfns->size(), 8u);
+  EXPECT_TRUE(os_.file_cached("data.bin"));
+  for (Gfn g : gfns.value()) EXPECT_TRUE(as_.is_mapped(g));
+}
+
+TEST_F(GuestOsTest, LoadFileIsIdempotent) {
+  ASSERT_TRUE(os_.fs().create_unique("f", mem::kPageSize, os_.rng()).is_ok());
+  const auto first = os_.load_file("f");
+  const auto second = os_.load_file("f");
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST_F(GuestOsTest, EvictFreesAndAllowsReload) {
+  ASSERT_TRUE(os_.fs().create_unique("f", 4 * mem::kPageSize, os_.rng()).is_ok());
+  ASSERT_TRUE(os_.load_file("f").is_ok());
+  ASSERT_TRUE(os_.evict_file("f").is_ok());
+  EXPECT_FALSE(os_.file_cached("f"));
+  EXPECT_TRUE(os_.load_file("f").is_ok());
+}
+
+TEST_F(GuestOsTest, ModifyCachedPageUpdatesMemoryAndFs) {
+  Rng content_rng(7);
+  ASSERT_TRUE(os_.fs().create_random_bytes("f", 2 * mem::kPageSize,
+                                           content_rng).is_ok());
+  auto gfns = os_.load_file("f");
+  ASSERT_TRUE(gfns.is_ok());
+  mem::PageBytes fresh(mem::kPageSize, 0x5A);
+  ASSERT_TRUE(os_.modify_cached_page("f", 1,
+                                     mem::PageData::from_bytes(fresh)).is_ok());
+  EXPECT_EQ((*as_.read_bytes((*gfns)[1]))[0], 0x5A);
+  EXPECT_EQ((*os_.fs().open("f"))->pages[1].bytes->at(0), 0x5A);
+}
+
+TEST_F(GuestOsTest, PerturbChangesEveryPageDeterministically) {
+  Rng content_rng(7);
+  ASSERT_TRUE(os_.fs().create_random_bytes("f", 3 * mem::kPageSize,
+                                           content_rng).is_ok());
+  auto gfns = os_.load_file("f");
+  ASSERT_TRUE(gfns.is_ok());
+  std::vector<ContentHash> before;
+  for (Gfn g : gfns.value()) before.push_back(as_.read_hash(g));
+  ASSERT_TRUE(os_.perturb_cached_file("f").is_ok());
+  for (std::size_t i = 0; i < gfns->size(); ++i) {
+    EXPECT_NE(as_.read_hash((*gfns)[i]), before[i]) << "page " << i;
+  }
+}
+
+TEST_F(GuestOsTest, MissingFileErrors) {
+  EXPECT_FALSE(os_.load_file("ghost").is_ok());
+  EXPECT_FALSE(os_.evict_file("ghost").is_ok());
+  EXPECT_FALSE(os_.cached_gfns("ghost").is_ok());
+}
+
+// ----------------------------------------------------------------- memory
+
+TEST_F(GuestOsTest, BootWorkingSetMaterializesResidentPages) {
+  const std::size_t before = as_.mapped_gfns().size();
+  ASSERT_TRUE(os_.touch_boot_working_set(2).is_ok());  // 2 MiB = 512 pages
+  EXPECT_EQ(as_.mapped_gfns().size(), before + 512);
+}
+
+TEST_F(GuestOsTest, RamLimitBoundsOrdinaryAllocations) {
+  // ram_pages = 1024, 16 reserved: ~1008 allocatable, arena beyond.
+  EXPECT_TRUE(os_.touch_boot_working_set(3).is_ok());   // 768 pages
+  EXPECT_FALSE(os_.touch_boot_working_set(2).is_ok());  // would exceed RAM
+}
+
+TEST_F(GuestOsTest, RegionsComeFromTheArenaBeyondRam) {
+  auto region = os_.allocate_region(2048);
+  ASSERT_TRUE(region.is_ok());
+  for (Gfn g : region.value()) EXPECT_GE(g.value(), 1024u);
+  // RAM allocations still work: the region did not consume RAM gfns.
+  EXPECT_TRUE(os_.touch_boot_working_set(1).is_ok());
+}
+
+TEST_F(GuestOsTest, RegionExhaustionFailsCleanly) {
+  EXPECT_FALSE(os_.allocate_region(1u << 20).is_ok());
+  auto ok = os_.allocate_region(16);
+  EXPECT_TRUE(ok.is_ok());
+}
+
+TEST_F(GuestOsTest, FreedRegionIsReusable) {
+  auto r1 = os_.allocate_region(64);
+  ASSERT_TRUE(r1.is_ok());
+  os_.free_region(r1.value());
+  auto r2 = os_.allocate_region(64);
+  ASSERT_TRUE(r2.is_ok());
+}
+
+TEST_F(GuestOsTest, CyclicDirtyingWalksTheWorkingSet) {
+  ASSERT_TRUE(os_.touch_boot_working_set(1).is_ok());  // 256 pages
+  as_.enable_dirty_log();
+  os_.dirty_pages_cyclic(100);
+  EXPECT_EQ(as_.dirty_count(), 100u);
+  os_.dirty_pages_cyclic(100);
+  EXPECT_EQ(as_.dirty_count(), 200u);  // distinct pages until wrap
+  os_.dirty_pages_cyclic(100);
+  EXPECT_EQ(as_.dirty_count(), 256u);  // wrapped: bounded by working set
+}
+
+TEST_F(GuestOsTest, DirtyRandomPagesReturnsCost) {
+  ASSERT_TRUE(os_.touch_boot_working_set(1).is_ok());
+  EXPECT_GT(os_.dirty_random_pages(10).ns(), 0);
+}
+
+// --------------------------------------------------------------------- fs
+
+TEST(SimFsTest, CreateOpenRemove) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_unique("a", 5000, rng).is_ok());
+  EXPECT_TRUE(fs.exists("a"));
+  auto f = fs.open("a");
+  ASSERT_TRUE(f.is_ok());
+  EXPECT_EQ((*f)->size_bytes, 5000u);
+  EXPECT_EQ((*f)->page_count(), 2u);  // ceil(5000 / 4096)
+  ASSERT_TRUE(fs.remove("a").is_ok());
+  EXPECT_FALSE(fs.exists("a"));
+}
+
+TEST(SimFsTest, DuplicateCreateFails) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_unique("a", 100, rng).is_ok());
+  EXPECT_EQ(fs.create_unique("a", 100, rng).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SimFsTest, UniquePagesAreDistinct) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_unique("a", 20 * mem::kPageSize, rng).is_ok());
+  const SimFile* f = fs.open("a").value();
+  std::set<std::uint64_t> hashes;
+  for (const auto& p : f->pages) hashes.insert(p.hash.value);
+  EXPECT_EQ(hashes.size(), f->pages.size());
+}
+
+TEST(SimFsTest, RandomBytesFilesCarryRealBytes) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_random_bytes("a", 6000, rng).is_ok());
+  const SimFile* f = fs.open("a").value();
+  ASSERT_EQ(f->pages.size(), 2u);
+  ASSERT_TRUE(f->pages[0].bytes.has_value());
+  EXPECT_EQ(f->pages[0].bytes->size(), mem::kPageSize);
+  EXPECT_EQ(f->pages[1].bytes->size(), 6000u - mem::kPageSize);
+}
+
+TEST(SimFsTest, WritePageBoundsChecked) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_unique("a", mem::kPageSize, rng).is_ok());
+  EXPECT_TRUE(fs.write_page("a", 0, mem::PageData::zero()).is_ok());
+  EXPECT_FALSE(fs.write_page("a", 1, mem::PageData::zero()).is_ok());
+  EXPECT_FALSE(fs.write_page("b", 0, mem::PageData::zero()).is_ok());
+}
+
+TEST(SimFsTest, ListIsSorted) {
+  SimFs fs;
+  Rng rng(1);
+  ASSERT_TRUE(fs.create_unique("zeta", 10, rng).is_ok());
+  ASSERT_TRUE(fs.create_unique("alpha", 10, rng).is_ok());
+  EXPECT_EQ(fs.list(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace csk::guestos

@@ -1,0 +1,301 @@
+// Hypervisor-layer tests: the calibrated timing model (checked against the
+// paper's Tables II and III), nesting rules and exit accounting.
+#include <gtest/gtest.h>
+
+#include "guestos/costs.h"
+#include "hv/hypervisor.h"
+#include "hv/layer.h"
+#include "hv/timing_model.h"
+#include "sim/simulator.h"
+
+namespace csk::hv {
+namespace {
+
+// ------------------------------------------------------------------ layer
+
+TEST(LayerTest, NamesAndNesting) {
+  EXPECT_STREQ(layer_name(Layer::kL0), "L0");
+  EXPECT_STREQ(layer_name(Layer::kL2), "L2");
+  EXPECT_EQ(guest_layer_of(Layer::kL0), Layer::kL1);
+  EXPECT_EQ(guest_layer_of(Layer::kL1), Layer::kL2);
+  EXPECT_DEATH(guest_layer_of(Layer::kL2), "L2");
+}
+
+// ----------------------------------------------------------------- OpCost
+
+TEST(OpCostTest, AccumulationSumsComponents) {
+  OpCost a;
+  a.cpu_ns = 100;
+  a.n_svc = 1;
+  OpCost b;
+  b.cpu_ns = 300;
+  b.n_faults = 2;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.cpu_ns, 400);
+  EXPECT_DOUBLE_EQ(a.n_svc, 1);
+  EXPECT_DOUBLE_EQ(a.n_faults, 2);
+}
+
+TEST(OpCostTest, MemIntensityBlendsCpuWeighted) {
+  OpCost a;
+  a.cpu_ns = 100;
+  a.mem_intensity = 1.0;
+  OpCost b;
+  b.cpu_ns = 300;
+  b.mem_intensity = 0.0;
+  a += b;
+  EXPECT_NEAR(a.mem_intensity, 0.25, 1e-9);
+}
+
+TEST(OpCostTest, ScalingPreservesIntensity) {
+  OpCost a;
+  a.cpu_ns = 100;
+  a.mem_intensity = 0.5;
+  a.n_faults = 3;
+  const OpCost s = a * 10;
+  EXPECT_DOUBLE_EQ(s.cpu_ns, 1000);
+  EXPECT_DOUBLE_EQ(s.n_faults, 30);
+  EXPECT_DOUBLE_EQ(s.mem_intensity, 0.5);
+}
+
+// ----------------------------------------------------------- TimingModel
+
+class TimingModelTest : public ::testing::Test {
+ protected:
+  TimingModel model_;
+  ExecEnv env(Layer layer) const { return ExecEnv{layer, &model_, false}; }
+};
+
+TEST_F(TimingModelTest, ExitBearingOpsAreMonotoneAcrossLayers) {
+  for (auto make : {&guestos::pipe_latency_cost, &guestos::fork_cost,
+                    &guestos::af_unix_latency_cost}) {
+    const OpCost c = make();
+    const auto l0 = model_.price(c, Layer::kL0);
+    const auto l1 = model_.price(c, Layer::kL1);
+    const auto l2 = model_.price(c, Layer::kL2);
+    // The paper itself measures fork+exit slightly *faster* at L1 than L0
+    // (EPT beats bare-metal soft page faults by a hair), so allow a small
+    // inversion there; L2 must always be clearly slower.
+    EXPECT_LE(l0.ns(), static_cast<std::int64_t>(1.03 * l1.ns()));
+    EXPECT_LT(l1.ns(), l2.ns());
+  }
+}
+
+TEST_F(TimingModelTest, ArithmeticIsLayerInsensitive) {
+  OpCost c;
+  c.cpu_ns = 1e6;
+  const auto l0 = model_.price(c, Layer::kL0);
+  const auto l2 = model_.price(c, Layer::kL2);
+  EXPECT_LT(static_cast<double>(l2.ns()) / static_cast<double>(l0.ns()), 1.04);
+}
+
+TEST_F(TimingModelTest, MemIntensityOnlyHurtsWhenNested) {
+  OpCost mem;
+  mem.cpu_ns = 1e6;
+  mem.mem_intensity = 1.0;
+  OpCost reg = mem;
+  reg.mem_intensity = 0.0;
+  EXPECT_EQ(model_.price(mem, Layer::kL0), model_.price(reg, Layer::kL0));
+  EXPECT_GT(model_.price(mem, Layer::kL2).ns(),
+            model_.price(reg, Layer::kL2).ns() * 1.2);
+}
+
+TEST_F(TimingModelTest, PriceNoisyIsUnbiasedAndPositive) {
+  OpCost c;
+  c.cpu_ns = 1e6;
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = model_.price_noisy(c, Layer::kL0, rng, 0.05);
+    EXPECT_GT(d.ns(), 0);
+    sum += static_cast<double>(d.ns());
+  }
+  EXPECT_NEAR(sum / 2000.0, 1e6, 1e4);
+}
+
+// Calibration: Table III of the paper, all three layers. The model must
+// land within tolerance of every measured cell (shape fidelity).
+struct ProcCell {
+  const char* op;
+  double paper_us[3];  // L0, L1, L2
+  double tolerance;    // relative
+};
+
+class TableIIICalibration : public TimingModelTest,
+                            public ::testing::WithParamInterface<ProcCell> {};
+
+TEST_P(TableIIICalibration, ModelMatchesPaper) {
+  const ProcCell& cell = GetParam();
+  OpCost cost;
+  const std::string op = cell.op;
+  using namespace guestos;
+  if (op == "signal handler installation") {
+    cost = signal_install_cost();
+  } else if (op == "signal handler overhead") {
+    cost = signal_overhead_cost();
+  } else if (op == "protection fault") {
+    cost = protection_fault_cost();
+  } else if (op == "pipe latency") {
+    cost = pipe_latency_cost();
+  } else if (op == "AF_UNIX sock stream latency") {
+    cost = af_unix_latency_cost();
+  } else if (op == "fork+ exit") {
+    cost = fork_cost();
+    cost += exit_cost();
+  } else if (op == "fork+ execve") {
+    cost = fork_cost();
+    cost += execve_cost();
+    cost += exit_cost();
+  } else if (op == "fork+ /bin/sh -c") {
+    cost = fork_cost();
+    cost += execve_cost();
+    cost += shell_overhead_cost();
+    cost += fork_cost();
+    cost += execve_cost();
+    cost += exit_cost();
+    cost += exit_cost();
+  } else {
+    FAIL() << "unknown op";
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto layer = static_cast<Layer>(i);
+    const double us = model_.price(cost, layer).micros_f();
+    EXPECT_NEAR(us, cell.paper_us[i], cell.paper_us[i] * cell.tolerance)
+        << op << " at " << layer_name(layer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableIII, TableIIICalibration,
+    ::testing::Values(
+        ProcCell{"signal handler installation", {0.075, 0.096, 0.10}, 0.10},
+        ProcCell{"signal handler overhead", {0.50, 0.58, 0.60}, 0.15},
+        ProcCell{"protection fault", {0.27, 0.29, 0.32}, 0.10},
+        ProcCell{"pipe latency", {3.49, 6.75, 65.49}, 0.05},
+        ProcCell{"AF_UNIX sock stream latency", {3.58, 5.37, 43.98}, 0.10},
+        ProcCell{"fork+ exit", {74.6, 73.65, 242.19}, 0.05},
+        ProcCell{"fork+ execve", {245.8, 275.05, 588.50}, 0.20},
+        ProcCell{"fork+ /bin/sh -c", {918.7, 966.67, 1826.00}, 0.20}));
+
+// Calibration: Table II — arithmetic latencies barely move across layers.
+struct ArithCell {
+  double l0_ns;
+  double paper[3];
+};
+
+class TableIICalibration : public TimingModelTest,
+                           public ::testing::WithParamInterface<ArithCell> {};
+
+TEST_P(TableIICalibration, ModelMatchesPaper) {
+  const ArithCell& cell = GetParam();
+  OpCost c;
+  c.cpu_ns = cell.l0_ns * 1e6;  // batch of 1M ops
+  for (int i = 0; i < 3; ++i) {
+    const double per_op =
+        static_cast<double>(model_.price(c, static_cast<Layer>(i)).ns()) / 1e6;
+    // The paper's sub-ns cells are printed at 2 decimals; the additive term
+    // absorbs that rounding.
+    EXPECT_NEAR(per_op, cell.paper[i], cell.paper[i] * 0.02 + 0.012);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableII, TableIICalibration,
+    ::testing::Values(ArithCell{0.26, {0.26, 0.25, 0.26}},
+                      ArithCell{0.13, {0.13, 0.13, 0.13}},
+                      ArithCell{5.94, {5.94, 5.96, 6.14}},
+                      ArithCell{6.37, {6.37, 6.39, 6.59}},
+                      ArithCell{0.75, {0.75, 0.75, 0.78}},
+                      ArithCell{1.25, {1.25, 1.26, 1.30}},
+                      ArithCell{3.31, {3.31, 3.32, 3.43}},
+                      ArithCell{5.06, {5.06, 5.07, 5.23}}));
+
+TEST(NestedMultiplierTest, DefaultMultiplierReproducesCalibratedRow) {
+  const TimingModel derived = TimingModel::with_nested_exit_multiplier(19.3);
+  const TimingModel calibrated;
+  const int l2 = layer_index(Layer::kL2);
+  EXPECT_NEAR(derived.params().ctxsw_ns[l2],
+              calibrated.params().ctxsw_ns[l2], 1500);
+  EXPECT_NEAR(derived.params().fault_ns[l2],
+              calibrated.params().fault_ns[l2], 120);
+  EXPECT_NEAR(derived.params().mem_overhead[l2],
+              calibrated.params().mem_overhead[l2], 0.01);
+}
+
+TEST(NestedMultiplierTest, HigherMultiplierSlowsL2Only) {
+  const TimingModel low = TimingModel::with_nested_exit_multiplier(5.0);
+  const TimingModel high = TimingModel::with_nested_exit_multiplier(40.0);
+  const OpCost pipe = guestos::pipe_latency_cost();
+  EXPECT_EQ(low.price(pipe, Layer::kL1), high.price(pipe, Layer::kL1));
+  EXPECT_GT(high.price(pipe, Layer::kL2).ns(),
+            3 * low.price(pipe, Layer::kL2).ns());
+}
+
+// ------------------------------------------------------------- Hypervisor
+
+class HypervisorTest : public ::testing::Test {
+ protected:
+  HypervisorTest() : hv_(&sim_, &model_, Layer::kL0, "kvm@host") {}
+  sim::Simulator sim_;
+  TimingModel model_;
+  Hypervisor hv_;
+};
+
+TEST_F(HypervisorTest, AttachDetachGuests) {
+  EXPECT_TRUE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  EXPECT_TRUE(hv_.has_guest(VmId(1)));
+  EXPECT_FALSE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  EXPECT_TRUE(hv_.detach_guest(VmId(1)).is_ok());
+  EXPECT_FALSE(hv_.detach_guest(VmId(1)).is_ok());
+}
+
+TEST_F(HypervisorTest, GuestsRunOneLayerDown) {
+  EXPECT_EQ(hv_.guest_layer(), Layer::kL1);
+  ASSERT_TRUE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  EXPECT_EQ(hv_.guest(VmId(1)).layer, Layer::kL1);
+}
+
+TEST_F(HypervisorTest, NestedRequiresVmxPassthrough) {
+  ASSERT_TRUE(hv_.attach_guest(VmId(1), "plain", false).is_ok());
+  ASSERT_TRUE(hv_.attach_guest(VmId(2), "vmx", true).is_ok());
+  EXPECT_FALSE(hv_.nested_hypervisor_layer(VmId(1)).is_ok());
+  auto layer = hv_.nested_hypervisor_layer(VmId(2));
+  ASSERT_TRUE(layer.is_ok());
+  EXPECT_EQ(layer.value(), Layer::kL1);
+}
+
+TEST_F(HypervisorTest, NoNestingBelowL2) {
+  Hypervisor l1(&sim_, &model_, Layer::kL1, "kvm@guestx");
+  EXPECT_FALSE(l1.attach_guest(VmId(9), "l2-vmx", true).is_ok());
+  ASSERT_TRUE(l1.attach_guest(VmId(9), "l2", false).is_ok());
+  EXPECT_FALSE(l1.nested_hypervisor_layer(VmId(9)).is_ok());
+}
+
+TEST_F(HypervisorTest, ChargeExitCountsAndPrices) {
+  ASSERT_TRUE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  const SimDuration d = hv_.charge_exit(VmId(1), ExitReason::kIo, 10);
+  EXPECT_EQ(hv_.guest(VmId(1)).exits.count(ExitReason::kIo), 10u);
+  EXPECT_EQ(d.ns(), static_cast<std::int64_t>(10 * model_.exit_ns(Layer::kL1)));
+}
+
+TEST_F(HypervisorTest, ChargeOpsRecordsImpliedExits) {
+  ASSERT_TRUE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  OpCost c;
+  c.n_faults = 5;
+  c.n_io_ops = 2;
+  c.n_ctxsw = 3;
+  hv_.charge_ops(VmId(1), c);
+  const ExitStats& exits = hv_.guest(VmId(1)).exits;
+  EXPECT_EQ(exits.count(ExitReason::kEptViolation), 5u);
+  EXPECT_EQ(exits.count(ExitReason::kIo), 2u);
+  EXPECT_EQ(exits.count(ExitReason::kExternalInterrupt), 3u);
+  EXPECT_EQ(exits.total(), 10u);
+}
+
+TEST(ExitReasonTest, Names) {
+  EXPECT_STREQ(exit_reason_name(ExitReason::kVmlaunch), "VMLAUNCH");
+  EXPECT_STREQ(exit_reason_name(ExitReason::kDirtyLogSync), "DIRTY_LOG_SYNC");
+}
+
+}  // namespace
+}  // namespace csk::hv

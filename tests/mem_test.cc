@@ -1,0 +1,463 @@
+// Memory substrate tests: frames, address spaces, views, dirty logging and
+// the KSM daemon — the invariants DESIGN.md §6 lists for `mem`.
+#include <gtest/gtest.h>
+
+#include "mem/addr_space.h"
+#include "mem/ksm.h"
+#include "mem/phys_mem.h"
+#include "sim/simulator.h"
+
+namespace csk::mem {
+namespace {
+
+PageData synth(std::uint64_t tag) {
+  return PageData::synthetic(ContentHash{tag});
+}
+
+PageData bytes_page(std::uint8_t fill, std::size_t len = 64) {
+  PageBytes b(len, fill);
+  return PageData::from_bytes(std::move(b));
+}
+
+// ---------------------------------------------------------------- PageData
+
+TEST(PageDataTest, FromBytesDerivesHash) {
+  PageData a = bytes_page(0x42);
+  PageData b = bytes_page(0x42);
+  PageData c = bytes_page(0x43);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_NE(a.hash, c.hash);
+}
+
+TEST(PageDataTest, ZeroBytesHashToZeroPage) {
+  PageBytes zeros(kPageSize, 0);
+  EXPECT_TRUE(PageData::from_bytes(std::move(zeros)).is_zero());
+}
+
+TEST(PageDataTest, SameContentComparesBytesWhenPresent) {
+  PageData a = bytes_page(1);
+  PageData b = bytes_page(1);
+  EXPECT_TRUE(a.same_content(b));
+  // Hash-only vs bytes: hash equality decides.
+  PageData c = PageData::synthetic(a.hash);
+  EXPECT_TRUE(a.same_content(c));
+}
+
+// ---------------------------------------------------- HostPhysicalMemory
+
+TEST(PhysMemTest, AllocateAndFreeViaMappings) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 32, "a");
+  const FrameNumber f = phys.allocate(synth(7));
+  EXPECT_TRUE(phys.is_live(f));
+  phys.add_mapping(f, &as, Gfn(0));
+  EXPECT_EQ(phys.frame(f).refcount(), 1u);
+  phys.remove_mapping(f, &as, Gfn(0));
+  EXPECT_FALSE(phys.is_live(f));
+  EXPECT_EQ(phys.stats().frames_freed, 1u);
+}
+
+TEST(PhysMemTest, WriteToExclusiveFrameIsInPlace) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 32, "a");
+  as.write_page(Gfn(3), synth(1));
+  const FrameNumber before = as.translate(Gfn(3));
+  const WriteResult w = as.write_page(Gfn(3), synth(2));
+  EXPECT_FALSE(w.cow_broken);
+  EXPECT_EQ(as.translate(Gfn(3)), before);
+  EXPECT_EQ(as.read_hash(Gfn(3)), ContentHash{2});
+}
+
+TEST(PhysMemTest, CowWriteIsMuchSlowerThanRegular) {
+  MemTimingModel timing;
+  timing.jitter_rel_stddev = 0.0;
+  HostPhysicalMemory phys(timing);
+  AddressSpace a(&phys, 8, "a");
+  AddressSpace b(&phys, 8, "b");
+  a.write_page(Gfn(0), synth(9));
+  b.write_page(Gfn(0), synth(9));
+  phys.merge_frames(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  const WriteResult regular = a.write_page(Gfn(1), synth(1));
+  const WriteResult cow = a.write_page(Gfn(0), synth(2));
+  EXPECT_TRUE(cow.cow_broken);
+  EXPECT_GT(cow.cost.ns(), 10 * regular.cost.ns());
+}
+
+TEST(PhysMemTest, MergeRepointsAllMappers) {
+  HostPhysicalMemory phys;
+  AddressSpace a(&phys, 8, "a");
+  AddressSpace b(&phys, 8, "b");
+  AddressSpace c(&phys, 8, "c");
+  a.write_page(Gfn(0), synth(5));
+  b.write_page(Gfn(1), synth(5));
+  c.write_page(Gfn(2), synth(5));
+  const FrameNumber canon = a.translate(Gfn(0));
+  phys.merge_frames(canon, b.translate(Gfn(1)));
+  phys.merge_frames(canon, c.translate(Gfn(2)));
+  EXPECT_EQ(b.translate(Gfn(1)), canon);
+  EXPECT_EQ(c.translate(Gfn(2)), canon);
+  EXPECT_EQ(phys.frame(canon).refcount(), 3u);
+  EXPECT_TRUE(phys.frame(canon).ksm_shared);
+}
+
+TEST(PhysMemTest, CowSplitLeavesOtherSharersIntact) {
+  HostPhysicalMemory phys;
+  AddressSpace a(&phys, 8, "a");
+  AddressSpace b(&phys, 8, "b");
+  a.write_page(Gfn(0), synth(5));
+  b.write_page(Gfn(0), synth(5));
+  const FrameNumber canon = a.translate(Gfn(0));
+  phys.merge_frames(canon, b.translate(Gfn(0)));
+
+  const WriteResult w = b.write_page(Gfn(0), synth(99));
+  EXPECT_TRUE(w.cow_broken);
+  EXPECT_EQ(a.read_hash(Gfn(0)), ContentHash{5});   // untouched sharer
+  EXPECT_EQ(b.read_hash(Gfn(0)), ContentHash{99});  // writer's private copy
+  EXPECT_NE(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  EXPECT_EQ(phys.stats().cow_breaks, 1u);
+}
+
+TEST(PhysMemTest, MergeOfDifferentContentAborts) {
+  HostPhysicalMemory phys;
+  AddressSpace a(&phys, 8, "a");
+  AddressSpace b(&phys, 8, "b");
+  a.write_page(Gfn(0), synth(1));
+  b.write_page(Gfn(0), synth(2));
+  EXPECT_DEATH(
+      phys.merge_frames(a.translate(Gfn(0)), b.translate(Gfn(0))), "content");
+}
+
+// ----------------------------------------------------------- AddressSpace
+
+TEST(AddressSpaceTest, UntouchedPagesReadAsZero) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 16, "a");
+  EXPECT_TRUE(as.read_hash(Gfn(7)).is_zero_page());
+  EXPECT_FALSE(as.is_mapped(Gfn(7)));
+  EXPECT_FALSE(as.read_bytes(Gfn(7)).has_value());
+  EXPECT_TRUE(as.read_page(Gfn(7)).is_zero());
+}
+
+TEST(AddressSpaceTest, WriteMaterializesLazily) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 16, "a");
+  EXPECT_EQ(phys.live_frames(), 0u);
+  as.write_page(Gfn(0), synth(1));
+  EXPECT_EQ(phys.live_frames(), 1u);
+  EXPECT_EQ(as.mapped_gfns().size(), 1u);
+}
+
+TEST(AddressSpaceTest, OutOfRangeAccessAborts) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 4, "a");
+  EXPECT_DEATH(as.read_hash(Gfn(4)), "out of range");
+}
+
+TEST(AddressSpaceTest, DestructionFreesFrames) {
+  HostPhysicalMemory phys;
+  {
+    AddressSpace as(&phys, 16, "a");
+    for (int i = 0; i < 8; ++i) as.write_page(Gfn(i), synth(i + 1));
+    EXPECT_EQ(phys.live_frames(), 8u);
+  }
+  EXPECT_EQ(phys.live_frames(), 0u);
+}
+
+TEST(AddressSpaceTest, BytesRoundTrip) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 4, "a");
+  as.write_page(Gfn(1), bytes_page(0xAB));
+  const auto bytes = as.read_bytes(Gfn(1));
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ((*bytes)[0], 0xAB);
+}
+
+TEST(AddressSpaceTest, DirtyLogTracksAndResets) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 16, "a");
+  as.enable_dirty_log();
+  as.write_page(Gfn(2), synth(1));
+  as.write_page(Gfn(5), synth(2));
+  as.write_page(Gfn(2), synth(3));  // re-dirty collapses
+  EXPECT_TRUE(as.is_dirty(Gfn(2)));
+  EXPECT_EQ(as.dirty_count(), 2u);
+  const std::vector<Gfn> dirty = as.fetch_and_reset_dirty();
+  EXPECT_EQ(dirty, (std::vector<Gfn>{Gfn(2), Gfn(5)}));
+  EXPECT_EQ(as.dirty_count(), 0u);
+}
+
+TEST(AddressSpaceTest, DirtyLogDisabledRecordsNothing) {
+  HostPhysicalMemory phys;
+  AddressSpace as(&phys, 16, "a");
+  as.write_page(Gfn(2), synth(1));
+  EXPECT_EQ(as.dirty_count(), 0u);
+}
+
+// ------------------------------------------------------------------ views
+
+TEST(ViewTest, ViewAliasesParentFrames) {
+  HostPhysicalMemory phys;
+  AddressSpace parent(&phys, 64, "parent");
+  AddressSpace view(&parent, {Gfn(10), Gfn(11), Gfn(12)}, "view");
+  view.write_page(Gfn(0), synth(77));
+  EXPECT_EQ(parent.read_hash(Gfn(10)), ContentHash{77});
+  EXPECT_EQ(view.translate(Gfn(0)), parent.translate(Gfn(10)));
+  EXPECT_EQ(view.root(), &parent);
+}
+
+TEST(ViewTest, ParentWriteVisibleThroughView) {
+  HostPhysicalMemory phys;
+  AddressSpace parent(&phys, 64, "parent");
+  AddressSpace view(&parent, {Gfn(3)}, "view");
+  parent.write_page(Gfn(3), synth(5));
+  EXPECT_EQ(view.read_hash(Gfn(0)), ContentHash{5});
+}
+
+TEST(ViewTest, WriteThroughViewDirtiesEveryLevel) {
+  HostPhysicalMemory phys;
+  AddressSpace parent(&phys, 64, "parent");
+  AddressSpace view(&parent, {Gfn(20), Gfn(21)}, "view");
+  parent.enable_dirty_log();
+  view.enable_dirty_log();
+  view.write_page(Gfn(1), synth(9));
+  EXPECT_TRUE(view.is_dirty(Gfn(1)));
+  EXPECT_TRUE(parent.is_dirty(Gfn(21)));
+}
+
+TEST(ViewTest, TwoLevelViewChainResolvesToRoot) {
+  HostPhysicalMemory phys;
+  AddressSpace root(&phys, 64, "root");
+  AddressSpace mid(&root, {Gfn(8), Gfn(9), Gfn(10), Gfn(11)}, "mid");
+  AddressSpace leaf(&mid, {Gfn(2), Gfn(3)}, "leaf");
+  leaf.write_page(Gfn(0), synth(42));
+  EXPECT_EQ(root.read_hash(Gfn(10)), ContentHash{42});
+  EXPECT_EQ(leaf.root(), &root);
+}
+
+TEST(ViewTest, CowThroughViewUpdatesRootTable) {
+  HostPhysicalMemory phys;
+  AddressSpace root(&phys, 64, "root");
+  AddressSpace other(&phys, 8, "other");
+  AddressSpace view(&root, {Gfn(0)}, "view");
+  root.write_page(Gfn(0), synth(5));
+  other.write_page(Gfn(0), synth(5));
+  phys.merge_frames(root.translate(Gfn(0)), other.translate(Gfn(0)));
+  const WriteResult w = view.write_page(Gfn(0), synth(6));
+  EXPECT_TRUE(w.cow_broken);
+  EXPECT_EQ(root.read_hash(Gfn(0)), ContentHash{6});
+  EXPECT_EQ(other.read_hash(Gfn(0)), ContentHash{5});
+}
+
+TEST(ViewTest, ViewWindowOutsideParentAborts) {
+  HostPhysicalMemory phys;
+  AddressSpace parent(&phys, 8, "parent");
+  EXPECT_DEATH(AddressSpace(&parent, {Gfn(8)}, "bad"), "window");
+}
+
+// ------------------------------------------------------------------- KSM
+
+class KsmTest : public ::testing::Test {
+ protected:
+  KsmTest() : phys_(no_jitter()), ksm_(&sim_, &phys_, fast_config()) {}
+
+  static MemTimingModel no_jitter() {
+    MemTimingModel t;
+    t.jitter_rel_stddev = 0.0;
+    return t;
+  }
+  static KsmConfig fast_config() {
+    KsmConfig c;
+    c.scan_interval = SimDuration::millis(10);
+    c.pages_per_scan = 500;
+    return c;
+  }
+
+  sim::Simulator sim_;
+  HostPhysicalMemory phys_;
+  KsmDaemon ksm_;
+};
+
+TEST_F(KsmTest, MergesIdenticalPagesAcrossSpaces) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(11));
+  b.write_page(Gfn(0), synth(11));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  EXPECT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  EXPECT_EQ(ksm_.shared_frames(), 1u);
+  EXPECT_EQ(ksm_.pages_sharing(), 1u);
+  EXPECT_GE(ksm_.stats().merges, 1u);
+}
+
+TEST_F(KsmTest, RequiresTwoStableEncounters) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(11));
+  b.write_page(Gfn(0), synth(11));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  // One batch sees each page once: checksums recorded, nothing merged yet.
+  ksm_.scan_batch(2);
+  EXPECT_EQ(ksm_.stats().merges, 0u);
+}
+
+TEST_F(KsmTest, VolatilePagesAreNotMerged) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  b.write_page(Gfn(0), synth(30));
+  for (int round = 0; round < 6; ++round) {
+    // The page changes between every encounter: never stable.
+    a.write_page(Gfn(0), synth(30));
+    ksm_.scan_batch(2);
+    a.write_page(Gfn(0), synth(100 + round));
+    ksm_.scan_batch(2);
+  }
+  EXPECT_EQ(ksm_.stats().merges, 0u);
+}
+
+TEST_F(KsmTest, ThreeWayMergeSharesOneFrame) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  AddressSpace c(&phys_, 8, "c");
+  for (AddressSpace* as : {&a, &b, &c}) {
+    as->write_page(Gfn(0), synth(50));
+    ksm_.register_region(as);
+  }
+  ksm_.full_pass();
+  ksm_.full_pass();
+  EXPECT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  EXPECT_EQ(b.translate(Gfn(0)), c.translate(Gfn(0)));
+  EXPECT_EQ(phys_.frame(a.translate(Gfn(0))).refcount(), 3u);
+  EXPECT_EQ(ksm_.pages_sharing(), 2u);
+}
+
+TEST_F(KsmTest, WriteAfterMergeRestoresExclusivity) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(60));
+  b.write_page(Gfn(0), synth(60));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  ASSERT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  b.write_page(Gfn(0), synth(61));
+  EXPECT_NE(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  EXPECT_EQ(a.read_hash(Gfn(0)), ContentHash{60});
+}
+
+TEST_F(KsmTest, LateArrivalJoinsStableTree) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(70));
+  b.write_page(Gfn(0), synth(70));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  ASSERT_EQ(ksm_.pages_sharing(), 1u);
+  // A third copy appears later and must join the existing stable node.
+  AddressSpace c(&phys_, 8, "c");
+  c.write_page(Gfn(0), synth(70));
+  ksm_.register_region(&c);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  EXPECT_EQ(c.translate(Gfn(0)), a.translate(Gfn(0)));
+  EXPECT_EQ(ksm_.pages_sharing(), 2u);
+}
+
+TEST_F(KsmTest, PeriodicDaemonMergesOnSimClock) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(80));
+  b.write_page(Gfn(0), synth(80));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.start();
+  sim_.run_for(SimDuration::seconds(1));
+  EXPECT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  ksm_.stop();
+}
+
+TEST_F(KsmTest, UnregisterStopsScanningButKeepsMerges) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(90));
+  b.write_page(Gfn(0), synth(90));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  ASSERT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+  ksm_.unregister_region(&b);
+  EXPECT_FALSE(ksm_.is_registered(&b));
+  // Still shared; a write still COW-splits.
+  const WriteResult w = b.write_page(Gfn(0), synth(91));
+  EXPECT_TRUE(w.cow_broken);
+}
+
+TEST_F(KsmTest, ByteBackedPagesMergeOnContent) {
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), bytes_page(0x11, kPageSize));
+  b.write_page(Gfn(0), bytes_page(0x11, kPageSize));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  EXPECT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+}
+
+TEST_F(KsmTest, ViewPagesMergeThroughRoot) {
+  // The CloudSkulk detection topology in miniature: a nested guest's page
+  // (a view into the rootkit VM) merging with a detector buffer.
+  AddressSpace rootkit(&phys_, 64, "rootkit");
+  AddressSpace nested(&rootkit, {Gfn(30), Gfn(31)}, "nested");
+  AddressSpace detector(&phys_, 8, "detector");
+  nested.write_page(Gfn(0), bytes_page(0x77, kPageSize));
+  detector.write_page(Gfn(0), bytes_page(0x77, kPageSize));
+  ksm_.register_region(&rootkit);
+  ksm_.register_region(&detector);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  EXPECT_EQ(nested.translate(Gfn(0)), detector.translate(Gfn(0)));
+}
+
+TEST_F(KsmTest, RegisteringViewAborts) {
+  AddressSpace root(&phys_, 8, "root");
+  AddressSpace view(&root, {Gfn(0)}, "view");
+  EXPECT_DEATH(ksm_.register_region(&view), "root");
+}
+
+// Property sweep: N identical copies always collapse to one frame with
+// refcount N, regardless of how many spaces hold them.
+class KsmMergeSweep : public KsmTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(KsmMergeSweep, NCopiesCollapseToOneFrame) {
+  const int n = GetParam();
+  std::vector<std::unique_ptr<AddressSpace>> spaces;
+  for (int i = 0; i < n; ++i) {
+    spaces.push_back(
+        std::make_unique<AddressSpace>(&phys_, 8, "s" + std::to_string(i)));
+    spaces.back()->write_page(Gfn(0), synth(123));
+    ksm_.register_region(spaces.back().get());
+  }
+  ksm_.full_pass();
+  ksm_.full_pass();
+  const FrameNumber canon = spaces[0]->translate(Gfn(0));
+  for (const auto& s : spaces) EXPECT_EQ(s->translate(Gfn(0)), canon);
+  EXPECT_EQ(phys_.frame(canon).refcount(), static_cast<std::size_t>(n));
+  EXPECT_EQ(ksm_.pages_sharing(), static_cast<std::size_t>(n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Copies, KsmMergeSweep,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace csk::mem

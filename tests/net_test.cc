@@ -1,0 +1,288 @@
+// Network fabric tests: binding, delivery, serialization/backpressure,
+// port forwarding and NAT, tap semantics.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/port_forward.h"
+#include "sim/simulator.h"
+
+namespace csk::net {
+namespace {
+
+Packet make_packet(SimNetwork& net, const NetAddr& from,
+                   const std::string& payload, std::uint64_t bytes = 100,
+                   ProtoKind kind = ProtoKind::kGeneric) {
+  Packet p;
+  p.conn = net.new_conn();
+  p.kind = kind;
+  p.src = from;
+  p.reply_to = from;
+  p.wire_bytes = bytes;
+  p.payload = payload;
+  return p;
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : net_(&sim_) {}
+  sim::Simulator sim_;
+  SimNetwork net_;
+};
+
+TEST_F(NetTest, BindAndDeliver) {
+  std::vector<Packet> rx;
+  auto ep = net_.bind({"host0", Port(80)}, [&](Packet p) { rx.push_back(p); });
+  ASSERT_TRUE(ep.is_ok());
+  net_.send({"host0", Port(80)},
+            make_packet(net_, {"client", Port(1234)}, "hi"));
+  sim_.run_until_idle();
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].payload, "hi");
+  EXPECT_EQ(net_.stats().packets_delivered, 1u);
+}
+
+TEST_F(NetTest, DoubleBindFails) {
+  ASSERT_TRUE(net_.bind({"host0", Port(80)}, [](Packet) {}).is_ok());
+  auto second = net_.bind({"host0", Port(80)}, [](Packet) {});
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(NetTest, UnbindDropsTraffic) {
+  int rx = 0;
+  auto ep = net_.bind({"host0", Port(80)}, [&](Packet) { ++rx; });
+  ASSERT_TRUE(ep.is_ok());
+  net_.unbind(ep.value());
+  net_.send({"host0", Port(80)}, make_packet(net_, {"c", Port(1)}, "x"));
+  sim_.run_until_idle();
+  EXPECT_EQ(rx, 0);
+  EXPECT_EQ(net_.stats().packets_dropped_unbound, 1u);
+  // Address is free again.
+  EXPECT_TRUE(net_.bind({"host0", Port(80)}, [](Packet) {}).is_ok());
+}
+
+TEST_F(NetTest, InFlightPacketDropsIfUnboundBeforeArrival) {
+  int rx = 0;
+  auto ep = net_.bind({"host0", Port(80)}, [&](Packet) { ++rx; });
+  net_.send({"host0", Port(80)}, make_packet(net_, {"c", Port(1)}, "x"));
+  net_.unbind(ep.value());  // before delivery event fires
+  sim_.run_until_idle();
+  EXPECT_EQ(rx, 0);
+}
+
+TEST_F(NetTest, DeliveryTakesLatencyPlusSerialization) {
+  LinkModel slow;
+  slow.latency = SimDuration::millis(10);
+  slow.bytes_per_sec = 1000.0;  // 1 KB/s
+  slow.per_packet_cpu = SimDuration::zero();
+  net_.set_link("a", "b", slow);
+  SimTime arrival;
+  (void)net_.bind({"b", Port(1)}, [&](Packet) { arrival = sim_.now(); });
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 500));
+  sim_.run_until_idle();
+  // 500 B at 1 KB/s = 500 ms + 10 ms latency.
+  EXPECT_EQ(arrival.ns(), SimDuration::millis(510).ns());
+}
+
+TEST_F(NetTest, LinkSerializesBackToBackPackets) {
+  LinkModel slow;
+  slow.latency = SimDuration::zero();
+  slow.bytes_per_sec = 1000.0;
+  slow.per_packet_cpu = SimDuration::zero();
+  net_.set_link("a", "b", slow);
+  std::vector<SimTime> arrivals;
+  (void)net_.bind({"b", Port(1)}, [&](Packet) { arrivals.push_back(sim_.now()); });
+  for (int i = 0; i < 3; ++i) {
+    net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 1000));
+  }
+  sim_.run_until_idle();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0].ns(), SimDuration::seconds(1).ns());
+  EXPECT_EQ(arrivals[1].ns(), SimDuration::seconds(2).ns());
+  EXPECT_EQ(arrivals[2].ns(), SimDuration::seconds(3).ns());
+}
+
+TEST_F(NetTest, LoopbackIsFasterThanDefaultLink) {
+  SimTime loopback_arrival, cross_arrival;
+  (void)net_.bind({"a", Port(1)}, [&](Packet) { loopback_arrival = sim_.now(); });
+  (void)net_.bind({"b", Port(1)}, [&](Packet) { cross_arrival = sim_.now(); });
+  net_.send({"a", Port(1)}, make_packet(net_, {"a", Port(2)}, "x", 100));
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(2)}, "x", 100));
+  sim_.run_until_idle();
+  EXPECT_LT(loopback_arrival.ns(), cross_arrival.ns());
+}
+
+TEST_F(NetTest, EstimateArrivalMatchesModelShape) {
+  const SimTime est = net_.estimate_arrival("a", "b", 1 << 20);
+  EXPECT_GT(est, sim_.now());
+}
+
+TEST_F(NetTest, ConnIdsAreUnique) {
+  EXPECT_NE(net_.new_conn(), net_.new_conn());
+}
+
+// --------------------------------------------------------- port forwarder
+
+class ForwarderTest : public NetTest {
+ protected:
+  void bind_echo_server(const NetAddr& addr) {
+    (void)net_.bind(addr, [this, addr](Packet p) {
+      Packet reply = p;
+      reply.src = addr;
+      reply.payload = "echo:" + p.payload;
+      net_.send(p.reply_to, std::move(reply));
+    });
+  }
+};
+
+TEST_F(ForwarderTest, ForwardsToTarget) {
+  std::vector<Packet> rx;
+  (void)net_.bind({"guest", Port(22)}, [&](Packet p) { rx.push_back(p); });
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  net_.send({"host", Port(2222)},
+            make_packet(net_, {"client", Port(5)}, "ssh-hello"));
+  sim_.run_until_idle();
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].payload, "ssh-hello");
+  // NAT: replies must route back through the forwarder.
+  EXPECT_EQ(rx[0].reply_to, (NetAddr{"host", Port(2222)}));
+  EXPECT_EQ(fwd.stats().forwarded, 1u);
+}
+
+TEST_F(ForwarderTest, RepliesReturnToClient) {
+  bind_echo_server({"guest", Port(22)});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  std::vector<Packet> client_rx;
+  (void)net_.bind({"client", Port(5)}, [&](Packet p) { client_rx.push_back(p); });
+  net_.send({"host", Port(2222)},
+            make_packet(net_, {"client", Port(5)}, "ping"));
+  sim_.run_until_idle();
+  ASSERT_EQ(client_rx.size(), 1u);
+  EXPECT_EQ(client_rx[0].payload, "echo:ping");
+  // Masquerade: the reply appears to come from the forwarder's address.
+  EXPECT_EQ(client_rx[0].src, (NetAddr{"host", Port(2222)}));
+  EXPECT_EQ(fwd.stats().replies, 1u);
+}
+
+TEST_F(ForwarderTest, TwoHopChainRelaysBothWays) {
+  bind_echo_server({"nested", Port(22)});
+  PortForwarder inner(&net_, {"guestx", Port(22)}, {"nested", Port(22)});
+  PortForwarder outer(&net_, {"host", Port(2222)}, {"guestx", Port(22)});
+  ASSERT_TRUE(inner.start().is_ok());
+  ASSERT_TRUE(outer.start().is_ok());
+  std::vector<Packet> client_rx;
+  (void)net_.bind({"client", Port(5)}, [&](Packet p) { client_rx.push_back(p); });
+  net_.send({"host", Port(2222)}, make_packet(net_, {"client", Port(5)}, "hi"));
+  sim_.run_until_idle();
+  ASSERT_EQ(client_rx.size(), 1u);
+  EXPECT_EQ(client_rx[0].payload, "echo:hi");
+  EXPECT_EQ(inner.stats().forwarded, 1u);
+  EXPECT_EQ(outer.stats().replies, 1u);
+}
+
+TEST_F(ForwarderTest, StartFailsWhenPortTaken) {
+  (void)net_.bind({"host", Port(2222)}, [](Packet) {});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  EXPECT_FALSE(fwd.start().is_ok());
+  EXPECT_FALSE(fwd.running());
+}
+
+TEST_F(ForwarderTest, StopReleasesThePort) {
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  fwd.stop();
+  EXPECT_TRUE(net_.bind({"host", Port(2222)}, [](Packet) {}).is_ok());
+}
+
+TEST_F(ForwarderTest, SetTargetRedirectsNewFlows) {
+  std::vector<Packet> old_rx, new_rx;
+  (void)net_.bind({"old", Port(22)}, [&](Packet p) { old_rx.push_back(p); });
+  (void)net_.bind({"new", Port(22)}, [&](Packet p) { new_rx.push_back(p); });
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"old", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "a"));
+  sim_.run_until_idle();
+  fwd.set_target({"new", Port(22)});
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "b"));
+  sim_.run_until_idle();
+  EXPECT_EQ(old_rx.size(), 1u);
+  EXPECT_EQ(new_rx.size(), 1u);
+}
+
+// ------------------------------------------------------------------- taps
+
+class CountingTap : public PacketTap {
+ public:
+  Verdict inspect(Packet& pkt, Direction dir) override {
+    ++count;
+    last_dir = dir;
+    if (!rewrite.empty()) pkt.payload = rewrite;
+    return drop ? Verdict::kDrop : Verdict::kPass;
+  }
+  int count = 0;
+  bool drop = false;
+  std::string rewrite;
+  Direction last_dir = Direction::kForward;
+};
+
+TEST_F(ForwarderTest, TapSeesForwardedPackets) {
+  (void)net_.bind({"guest", Port(22)}, [](Packet) {});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  CountingTap tap;
+  fwd.add_tap(&tap);
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "x"));
+  sim_.run_until_idle();
+  EXPECT_EQ(tap.count, 1);
+  EXPECT_EQ(tap.last_dir, PacketTap::Direction::kForward);
+}
+
+TEST_F(ForwarderTest, TapDropConsumesPacket) {
+  int rx = 0;
+  (void)net_.bind({"guest", Port(22)}, [&](Packet) { ++rx; });
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  CountingTap tap;
+  tap.drop = true;
+  fwd.add_tap(&tap);
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "x"));
+  sim_.run_until_idle();
+  EXPECT_EQ(rx, 0);
+  EXPECT_EQ(fwd.stats().dropped_by_tap, 1u);
+}
+
+TEST_F(ForwarderTest, TapMutationPropagates) {
+  std::vector<Packet> rx;
+  (void)net_.bind({"guest", Port(22)}, [&](Packet p) { rx.push_back(p); });
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  CountingTap tap;
+  tap.rewrite = "tampered";
+  fwd.add_tap(&tap);
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "clean"));
+  sim_.run_until_idle();
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].payload, "tampered");
+}
+
+TEST_F(ForwarderTest, RemoveTapStopsInspection) {
+  (void)net_.bind({"guest", Port(22)}, [](Packet) {});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  CountingTap tap;
+  fwd.add_tap(&tap);
+  fwd.remove_tap(&tap);
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "x"));
+  sim_.run_until_idle();
+  EXPECT_EQ(tap.count, 0);
+}
+
+TEST(ProtoKindTest, Names) {
+  EXPECT_STREQ(proto_kind_name(ProtoKind::kSshKeystroke), "ssh-keystroke");
+  EXPECT_STREQ(proto_kind_name(ProtoKind::kMigrationChunk), "migration-chunk");
+}
+
+}  // namespace
+}  // namespace csk::net

@@ -1,0 +1,313 @@
+// Robustness and edge-case coverage across modules: monitor input handling,
+// migration corner cases, KSM stable-tree hygiene, rootkit teardown
+// consequences, recon ordering.
+#include <gtest/gtest.h>
+
+#include "cloudskulk/installer.h"
+#include "cloudskulk/recon.h"
+#include "detect/dedup_detector.h"
+#include "mem/ksm.h"
+#include "test_util.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+
+namespace csk {
+namespace {
+
+using cloudskulk::CloudSkulkInstaller;
+using cloudskulk::InstallerOptions;
+using testing::small_host_config;
+using testing::small_vm_config;
+
+// ----------------------------------------------------------------- monitor
+
+class MonitorRobustnessTest : public ::testing::Test {
+ protected:
+  MonitorRobustnessTest() {
+    auto cfg = small_host_config();
+    cfg.ksm_enabled = false;
+    host_ = world_.make_host(cfg);
+    vm_ = host_->launch_vm(small_vm_config()).value();
+  }
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+  vmm::VirtualMachine* vm_ = nullptr;
+};
+
+TEST_F(MonitorRobustnessTest, EmptyAndWhitespaceCommandsAreNoOps) {
+  EXPECT_TRUE(vm_->monitor().execute("").is_ok());
+  EXPECT_TRUE(vm_->monitor().execute("    ").is_ok());
+}
+
+TEST_F(MonitorRobustnessTest, InfoMigrateWhileActive) {
+  auto dcfg = small_vm_config("dst", 64, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host_->launch_vm(dcfg).value();
+  ASSERT_TRUE(vm_->monitor().execute("migrate_set_speed 1m").is_ok());
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_for(SimDuration::seconds(2));
+  const auto info = vm_->monitor().execute("info migrate");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_NE(info.value().find("active"), std::string::npos);
+  // Let it finish cleanly afterwards.
+  world_.simulator().run_until_idle();
+  EXPECT_TRUE(vm_->monitor().active_migration()->stats().succeeded);
+}
+
+TEST_F(MonitorRobustnessTest, SecondMigrateReplacesAFinishedJob) {
+  auto dcfg = small_vm_config("dst", 64, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host_->launch_vm(dcfg).value();
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_until_idle();
+  ASSERT_TRUE(vm_->monitor().active_migration()->stats().succeeded);
+  // The VM is now postmigrate; a second migrate must fail fast, not crash.
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_until_idle();
+  EXPECT_FALSE(vm_->monitor().active_migration()->stats().succeeded);
+}
+
+TEST_F(MonitorRobustnessTest, ReplacingAnActiveJobCancelsItsEvents) {
+  auto dcfg = small_vm_config("dst", 64, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host_->launch_vm(dcfg).value();
+  ASSERT_TRUE(vm_->monitor().execute("migrate_set_speed 1m").is_ok());
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_for(SimDuration::seconds(1));
+  // Issue a new migrate mid-flight: the old MigrationJob is destroyed; its
+  // pending pump/process events must not fire into freed memory.
+  ASSERT_TRUE(vm_->monitor().execute("migrate_set_speed 32m").is_ok());
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_until_idle();  // would crash on a dangling event
+  SUCCEED();
+}
+
+TEST_F(MonitorRobustnessTest, StopDuringMigrationStillConverges) {
+  auto dcfg = small_vm_config("dst", 64, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host_->launch_vm(dcfg).value();
+  ASSERT_TRUE(vm_->monitor().execute("migrate -d tcp:host0:4444").is_ok());
+  world_.simulator().run_for(SimDuration::seconds(1));
+  ASSERT_TRUE(vm_->monitor().execute("stop").is_ok());
+  world_.simulator().run_until_idle();
+  // A paused source is the easy case: migration completes.
+  EXPECT_TRUE(vm_->monitor().active_migration()->stats().succeeded);
+}
+
+// --------------------------------------------------------------- migration
+
+class MigrationEdgeTest : public ::testing::Test {
+ protected:
+  MigrationEdgeTest() {
+    auto cfg = small_host_config();
+    cfg.ksm_enabled = false;
+    host_ = world_.make_host(cfg);
+  }
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(MigrationEdgeTest, ContentToZeroTransitionPropagates) {
+  auto* src = host_->launch_vm(small_vm_config("src", 16, 0, 0)).value();
+  auto dcfg = small_vm_config("src", 16, 0, 0);
+  dcfg.name = "dst";
+  dcfg.incoming_port = 4444;
+  auto* dst = host_->launch_vm(dcfg).value();
+
+  src->memory().write_page(Gfn(3000),
+                           mem::PageData::synthetic(ContentHash{0xAA}));
+  vmm::MigrationConfig cfg;
+  cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;  // slow: many rounds
+  vmm::MigrationJob job(&world_, src, net::NetAddr{"host0", Port(4444)}, cfg);
+  job.start();
+  // Mid-stream, the guest zeroes the page (e.g. frees and scrubs it).
+  world_.simulator().schedule_after(SimDuration::seconds(4), [&] {
+    src->memory().write_page(Gfn(3000), mem::PageData::zero());
+  });
+  world_.simulator().run_until_idle();
+  ASSERT_TRUE(job.stats().succeeded) << job.stats().error;
+  EXPECT_TRUE(dst->memory().read_hash(Gfn(3000)).is_zero_page());
+}
+
+TEST_F(MigrationEdgeTest, TwoSimultaneousMigrationsShareTheHost) {
+  auto* a = host_->launch_vm(small_vm_config("a", 16, 0, 0)).value();
+  auto* b = host_->launch_vm(small_vm_config("b", 16, 0, 0)).value();
+  auto da = small_vm_config("a", 16, 0, 0);
+  da.incoming_port = 4444;
+  auto db = small_vm_config("b", 16, 0, 0);
+  db.incoming_port = 4445;
+  auto* dst_a = host_->launch_vm(da).value();
+  auto* dst_b = host_->launch_vm(db).value();
+
+  vmm::MigrationJob job_a(&world_, a, net::NetAddr{"host0", Port(4444)}, {});
+  vmm::MigrationJob job_b(&world_, b, net::NetAddr{"host0", Port(4445)}, {});
+  job_a.start();
+  job_b.start();
+  world_.simulator().run_until_idle();
+  ASSERT_TRUE(job_a.stats().succeeded) << job_a.stats().error;
+  ASSERT_TRUE(job_b.stats().succeeded) << job_b.stats().error;
+  EXPECT_EQ(dst_a->state(), vmm::VmState::kRunning);
+  EXPECT_EQ(dst_b->state(), vmm::VmState::kRunning);
+}
+
+TEST_F(MigrationEdgeTest, IncomingVmRejectsSecondStream) {
+  auto* s1 = host_->launch_vm(small_vm_config("s1", 16, 0, 0)).value();
+  auto* s2 = host_->launch_vm(small_vm_config("s2", 16, 0, 0)).value();
+  auto dcfg = small_vm_config("s1", 16, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host_->launch_vm(dcfg).value();
+  vmm::MigrationJob j1(&world_, s1, net::NetAddr{"host0", Port(4444)}, {});
+  vmm::MigrationJob j2(&world_, s2, net::NetAddr{"host0", Port(4444)}, {});
+  j1.start();
+  j2.start();
+  world_.simulator().run_until_idle();
+  // Exactly one stream wins the destination; the other fails cleanly.
+  EXPECT_NE(j1.stats().succeeded, j2.stats().succeeded);
+  vmm::VirtualMachine* loser_src = j1.stats().succeeded ? s2 : s1;
+  EXPECT_EQ(loser_src->state(), vmm::VmState::kRunning);
+}
+
+// --------------------------------------------------------------- KSM edges
+
+TEST(KsmEdgeTest, StaleStableEntriesAreEvicted) {
+  sim::Simulator sim;
+  mem::MemTimingModel timing;
+  timing.jitter_rel_stddev = 0.0;
+  mem::HostPhysicalMemory phys(timing);
+  mem::KsmConfig cfg;
+  cfg.pages_per_scan = 100;
+  mem::KsmDaemon ksm(&sim, &phys, cfg);
+
+  auto a = std::make_unique<mem::AddressSpace>(&phys, 8, "a");
+  auto b = std::make_unique<mem::AddressSpace>(&phys, 8, "b");
+  a->write_page(Gfn(0), mem::PageData::synthetic(ContentHash{0x77}));
+  b->write_page(Gfn(0), mem::PageData::synthetic(ContentHash{0x77}));
+  ksm.register_region(a.get());
+  ksm.register_region(b.get());
+  ksm.full_pass();
+  ksm.full_pass();
+  ASSERT_EQ(ksm.shared_frames(), 1u);
+
+  // Both sharers go away: the stable frame dies.
+  ksm.unregister_region(a.get());
+  ksm.unregister_region(b.get());
+  a.reset();
+  b.reset();
+  EXPECT_EQ(ksm.shared_frames(), 0u);
+
+  // New identical copies must merge again through a fresh stable node.
+  mem::AddressSpace c(&phys, 8, "c");
+  mem::AddressSpace d(&phys, 8, "d");
+  c.write_page(Gfn(0), mem::PageData::synthetic(ContentHash{0x77}));
+  d.write_page(Gfn(0), mem::PageData::synthetic(ContentHash{0x77}));
+  ksm.register_region(&c);
+  ksm.register_region(&d);
+  ksm.full_pass();
+  ksm.full_pass();
+  EXPECT_EQ(c.translate(Gfn(0)), d.translate(Gfn(0)));
+}
+
+TEST(KsmEdgeTest, FullPassCounterAdvances) {
+  sim::Simulator sim;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&sim, &phys, {});
+  mem::AddressSpace a(&phys, 8, "a");
+  a.write_page(Gfn(0), mem::PageData::synthetic(ContentHash{1}));
+  ksm.register_region(&a);
+  const auto before = ksm.stats().full_passes;
+  ksm.full_pass();
+  EXPECT_GT(ksm.stats().full_passes, before);
+}
+
+TEST(KsmEdgeTest, ZeroPagesMergeLikeAnyContent) {
+  sim::Simulator sim;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&sim, &phys, {});
+  mem::AddressSpace a(&phys, 8, "a");
+  mem::AddressSpace b(&phys, 8, "b");
+  // Materialized zero pages (explicitly scrubbed memory).
+  a.write_page(Gfn(0), mem::PageData::zero());
+  b.write_page(Gfn(0), mem::PageData::zero());
+  ksm.register_region(&a);
+  ksm.register_region(&b);
+  ksm.full_pass();
+  ksm.full_pass();
+  EXPECT_EQ(a.translate(Gfn(0)), b.translate(Gfn(0)));
+}
+
+// -------------------------------------------------------- rootkit teardown
+
+TEST(RootkitTeardownTest, KillingGuestXTakesTheVictimDownWithIt) {
+  // The flip side of the kidnapping: once the victim lives inside GuestX,
+  // an admin (or the attacker) killing that one QEMU process destroys the
+  // tenant's machine — the hostage situation the paper implies.
+  vmm::World world;
+  auto cfg = small_host_config();
+  cfg.boot_touched_mib = 4;
+  vmm::Host* host = world.make_host(cfg);
+  host->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 4;
+  CloudSkulkInstaller installer(host, opts);
+  ASSERT_TRUE(installer.install().succeeded);
+  const VmId rootkit_id = installer.rootkit_vm()->id();
+
+  int received = 0;
+  ASSERT_TRUE(installer.nested_vm()
+                  ->bind_guest_port(Port(22), [&](net::Packet) { ++received; })
+                  .is_ok());
+  ASSERT_TRUE(host->kill_vm(rootkit_id).is_ok());
+  EXPECT_TRUE(host->vms().empty());
+
+  // The victim's endpoint died with the nest.
+  net::Packet p;
+  p.conn = world.network().new_conn();
+  p.src = {"laptop", Port(1)};
+  p.reply_to = p.src;
+  p.wire_bytes = 40;
+  world.network().send({host->node_name(), Port(2222)}, p);
+  world.simulator().run_for(SimDuration::seconds(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_GT(world.network().stats().packets_dropped_unbound, 0u);
+}
+
+// ------------------------------------------------------------------- recon
+
+TEST(ReconOrderingTest, NewestHistoryEntryWins) {
+  vmm::World world;
+  vmm::Host* host = world.make_host(small_host_config());
+  auto old_cfg = small_vm_config("guest0", 64, 5555, 2222);
+  // The operator relaunched the VM later with more RAM; history holds both.
+  auto new_cfg = small_vm_config("guest0", 128, 5556, 2223);
+  host->append_history(old_cfg.to_command_line());
+  (void)host->launch_vm_cmdline(new_cfg.to_command_line()).value();
+  cloudskulk::TargetRecon recon(host);
+  auto report = recon.discover("guest0");
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->config.memory_mb, 128u);
+}
+
+TEST(ReconOrderingTest, DedupReportShapeIsConsistent) {
+  vmm::World world;
+  auto cfg = small_host_config();
+  cfg.boot_touched_mib = 4;
+  vmm::Host* host = world.make_host(cfg);
+  auto* vm = host->launch_vm_cmdline(small_vm_config().to_command_line())
+                 .value();
+  detect::DedupDetectorConfig dcfg;
+  dcfg.file_pages = 12;
+  dcfg.merge_wait = SimDuration::seconds(5);
+  detect::DedupDetector detector(host, dcfg);
+  ASSERT_TRUE(detector.seed_guest(vm->os()).is_ok());
+  auto report = detector.run(vm->os());
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->t0.us.size(), dcfg.file_pages);
+  EXPECT_EQ(report->t1.us.size(), dcfg.file_pages);
+  EXPECT_EQ(report->t2.us.size(), dcfg.file_pages);
+  EXPECT_EQ(report->t0.summary.count, dcfg.file_pages);
+  EXPECT_GE(report->t1_t2_separation, 0.0);
+  EXPECT_FALSE(report->explanation.empty());
+}
+
+}  // namespace
+}  // namespace csk

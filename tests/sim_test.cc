@@ -1,0 +1,185 @@
+// Discrete-event simulator kernel tests.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace csk::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::origin());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, DispatchesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(SimDuration::micros(30), [&] { order.push_back(3); });
+  sim.schedule_after(SimDuration::micros(10), [&] { order.push_back(1); });
+  sim.schedule_after(SimDuration::micros(20), [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns(), 30000);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_after(SimDuration::micros(10), [&, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(SimDuration::seconds(2), [&] { seen = sim.now(); });
+  sim.run_until_idle();
+  EXPECT_EQ(seen.ns(), SimDuration::seconds(2).ns());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(SimDuration::seconds(1), [&] { ++fired; });
+  sim.schedule_after(SimDuration::seconds(3), [&] { ++fired; });
+  sim.run_until(SimTime::origin() + SimDuration::seconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns(), SimDuration::seconds(2).ns());
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(SimDuration::micros(5), [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel reports false
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelFromInsideEvent) {
+  Simulator sim;
+  int fired = 0;
+  const EventId victim =
+      sim.schedule_after(SimDuration::micros(20), [&] { ++fired; });
+  sim.schedule_after(SimDuration::micros(10), [&] { sim.cancel(victim); });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(SimDuration::micros(1), recurse);
+  };
+  sim.schedule_after(SimDuration::micros(1), recurse);
+  sim.run_until_idle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now().ns(), 5000);
+}
+
+TEST(SimulatorTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_after(SimDuration::micros(5), [] {});
+  sim.run_until_idle();
+  EXPECT_DEATH(sim.schedule_at(SimTime::origin(), [] {}), "past");
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_periodic(SimDuration::millis(10), [&] {
+    ++fired;
+    return true;
+  });
+  sim.run_until(SimTime::origin() + SimDuration::millis(55));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, PeriodicStopsWhenCallbackReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_periodic(SimDuration::millis(10), [&] {
+    ++fired;
+    return fired < 3;
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, PeriodicCancellation) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_periodic(SimDuration::millis(10), [&] {
+    ++fired;
+    return true;
+  });
+  sim.run_until(SimTime::origin() + SimDuration::millis(25));
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(SimTime::origin() + SimDuration::millis(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PeriodicCancelBeforeFirstFiring) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_periodic(SimDuration::millis(10), [&] {
+    ++fired;
+    return true;
+  });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, AdvanceMovesClockWithoutEvents) {
+  Simulator sim;
+  sim.advance(SimDuration::seconds(10));
+  EXPECT_EQ(sim.now().ns(), SimDuration::seconds(10).ns());
+}
+
+TEST(SimulatorTest, RunawayLoopGuardTrips) {
+  Simulator sim;
+  std::function<void()> forever = [&] {
+    sim.schedule_after(SimDuration::nanos(1), forever);
+  };
+  sim.schedule_after(SimDuration::nanos(1), forever);
+  EXPECT_DEATH(sim.run_until_idle(/*max_events=*/1000), "runaway");
+}
+
+TEST(SimulatorTest, DispatchedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.schedule_after(SimDuration::micros(i + 1), [] {});
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(sim.dispatched(), 7u);
+}
+
+TEST(SimulatorTest, TwoPeriodicTasksInterleave) {
+  Simulator sim;
+  std::vector<char> order;
+  sim.schedule_periodic(SimDuration::millis(10), [&] {
+    order.push_back('a');
+    return order.size() < 8;
+  });
+  sim.schedule_periodic(SimDuration::millis(15), [&] {
+    order.push_back('b');
+    return order.size() < 8;
+  });
+  sim.run_until(SimTime::origin() + SimDuration::millis(60));
+  // a@10, b@15, a@20, a@30, b@30, a@40, b@45, a@50...
+  EXPECT_GE(order.size(), 6u);
+  EXPECT_EQ(order[0], 'a');
+  EXPECT_EQ(order[1], 'b');
+}
+
+}  // namespace
+}  // namespace csk::sim

@@ -1,0 +1,43 @@
+// Shared helpers for building small, fast simulation fixtures.
+#pragma once
+
+#include <string>
+
+#include "vmm/host.h"
+#include "vmm/machine_config.h"
+
+namespace csk::testing {
+
+/// A host tuned for test speed: small boot working sets and an aggressive
+/// ksmd so merges settle within short simulated waits.
+inline vmm::World::HostConfig small_host_config(
+    const std::string& name = "host0") {
+  vmm::World::HostConfig cfg;
+  cfg.name = name;
+  cfg.boot_touched_mib = 8;
+  cfg.ksm.pages_per_scan = 4000;
+  cfg.ksm.scan_interval = SimDuration::millis(10);
+  return cfg;
+}
+
+/// A small but fully featured guest: one disk, one user netdev with an
+/// SSH hostfwd, a telnet monitor.
+inline vmm::MachineConfig small_vm_config(const std::string& name = "guest0",
+                                          std::uint64_t memory_mb = 64,
+                                          std::uint16_t monitor_port = 5555,
+                                          std::uint16_t ssh_host_port = 2222) {
+  vmm::MachineConfig cfg;
+  cfg.name = name;
+  cfg.memory_mb = memory_mb;
+  cfg.vcpus = 1;
+  cfg.drives.push_back({name + ".qcow2", "qcow2", 20480});
+  vmm::NetdevConfig nd;
+  if (ssh_host_port != 0) {
+    nd.hostfwd.push_back({ssh_host_port, 22});
+  }
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = monitor_port;
+  return cfg;
+}
+
+}  // namespace csk::testing

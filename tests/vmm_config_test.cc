@@ -1,0 +1,139 @@
+// MachineConfig command-line round-trips and migration compatibility.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vmm/machine_config.h"
+
+namespace csk::vmm {
+namespace {
+
+MachineConfig full_config() {
+  MachineConfig cfg;
+  cfg.name = "guest0";
+  cfg.memory_mb = 1024;
+  cfg.vcpus = 2;
+  cfg.cpu_host_passthrough = true;
+  cfg.drives.push_back({"fedora22.qcow2", "qcow2", 20480});
+  cfg.drives.push_back({"scratch.raw", "raw", 4096});
+  NetdevConfig nd;
+  nd.model = "virtio-net-pci";
+  nd.mac = "52:54:00:12:34:56";
+  nd.hostfwd.push_back({2222, 22});
+  nd.hostfwd.push_back({8080, 80});
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = 5555;
+  return cfg;
+}
+
+TEST(MachineConfigTest, CommandLineRoundTrip) {
+  const MachineConfig cfg = full_config();
+  auto parsed = MachineConfig::parse_command_line(cfg.to_command_line());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), cfg);
+}
+
+TEST(MachineConfigTest, IncomingRoundTrip) {
+  MachineConfig cfg = full_config();
+  cfg.incoming_port = 4445;
+  auto parsed = MachineConfig::parse_command_line(cfg.to_command_line());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->incoming_port, cfg.incoming_port);
+}
+
+TEST(MachineConfigTest, CommandLineMentionsKeyFlags) {
+  const std::string cmd = full_config().to_command_line();
+  EXPECT_NE(cmd.find("qemu-system-x86_64"), std::string::npos);
+  EXPECT_NE(cmd.find("-enable-kvm"), std::string::npos);
+  EXPECT_NE(cmd.find("-cpu host"), std::string::npos);
+  EXPECT_NE(cmd.find("-m 1024"), std::string::npos);
+  EXPECT_NE(cmd.find("hostfwd=tcp::2222-:22"), std::string::npos);
+  EXPECT_NE(cmd.find("telnet:127.0.0.1:5555"), std::string::npos);
+}
+
+TEST(MachineConfigTest, MemoryPages) {
+  MachineConfig cfg;
+  cfg.memory_mb = 1024;
+  EXPECT_EQ(cfg.memory_pages(), 262144u);
+}
+
+TEST(MachineConfigTest, ParseRejectsNonQemu) {
+  EXPECT_FALSE(MachineConfig::parse_command_line("ls -la").is_ok());
+  EXPECT_FALSE(MachineConfig::parse_command_line("").is_ok());
+}
+
+TEST(MachineConfigTest, ParseRejectsUnknownOption) {
+  EXPECT_FALSE(
+      MachineConfig::parse_command_line("qemu-system-x86_64 -frobnicate")
+          .is_ok());
+}
+
+TEST(MachineConfigTest, ParseRejectsDanglingArgument) {
+  EXPECT_FALSE(MachineConfig::parse_command_line("qemu-system-x86_64 -m").is_ok());
+}
+
+TEST(MachineConfigTest, ParseRejectsBadNumbers) {
+  EXPECT_FALSE(
+      MachineConfig::parse_command_line("qemu-system-x86_64 -m lots").is_ok());
+}
+
+TEST(MachineConfigTest, ParseWithoutKvmFlag) {
+  auto parsed = MachineConfig::parse_command_line(
+      "qemu-system-x86_64 -name tcg-guest -m 256 -smp 1 -display none");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_FALSE(parsed->enable_kvm);
+  EXPECT_FALSE(parsed->cpu_host_passthrough);
+}
+
+TEST(MigrationCompatTest, IdenticalConfigsAreCompatible) {
+  std::string why;
+  EXPECT_TRUE(migration_compatible(full_config(), full_config(), &why)) << why;
+  EXPECT_TRUE(why.empty());
+}
+
+TEST(MigrationCompatTest, HostPlumbingDifferencesAreAllowed) {
+  MachineConfig dst = full_config();
+  dst.name = "guest0-dst";
+  dst.monitor.telnet_port = 0;
+  dst.incoming_port = 4445;
+  dst.netdevs[0].hostfwd = {{22, 22}};
+  std::string why;
+  EXPECT_TRUE(migration_compatible(full_config(), dst, &why)) << why;
+}
+
+struct IncompatCase {
+  const char* what;
+  void (*mutate)(MachineConfig&);
+};
+
+class MigrationIncompatTest : public ::testing::TestWithParam<IncompatCase> {};
+
+TEST_P(MigrationIncompatTest, MismatchDetected) {
+  MachineConfig dst = full_config();
+  GetParam().mutate(dst);
+  std::string why;
+  EXPECT_FALSE(migration_compatible(full_config(), dst, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mismatches, MigrationIncompatTest,
+    ::testing::Values(
+        IncompatCase{"ram", [](MachineConfig& c) { c.memory_mb = 2048; }},
+        IncompatCase{"vcpus", [](MachineConfig& c) { c.vcpus = 4; }},
+        IncompatCase{"machine",
+                     [](MachineConfig& c) { c.machine_type = "q35"; }},
+        IncompatCase{"drive_count",
+                     [](MachineConfig& c) { c.drives.pop_back(); }},
+        IncompatCase{"drive_format",
+                     [](MachineConfig& c) { c.drives[0].format = "raw"; }},
+        IncompatCase{"drive_size",
+                     [](MachineConfig& c) { c.drives[0].size_mb = 1; }},
+        IncompatCase{"netdev_count",
+                     [](MachineConfig& c) { c.netdevs.clear(); }},
+        IncompatCase{"netdev_model", [](MachineConfig& c) {
+                       c.netdevs[0].model = "e1000";
+                     }}),
+    [](const auto& info) { return std::string(info.param.what); });
+
+}  // namespace
+}  // namespace csk::vmm

@@ -1,0 +1,333 @@
+// Live-migration invariants (DESIGN.md §6): destination-equals-source,
+// dirty-page retransmission, bandwidth throttling, downtime bounds,
+// pre-copy convergence and the post-copy extension.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vmm/migration.h"
+#include "vmm/monitor.h"
+
+namespace csk::vmm {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() {
+    auto host_cfg = small_host_config();
+    host_cfg.ksm_enabled = false;  // isolate migration from ksmd
+    host_ = world_.make_host(host_cfg);
+  }
+
+  VirtualMachine* launch_source(std::uint64_t memory_mb = 32) {
+    auto cfg = small_vm_config("src-vm", memory_mb, 0, 0);
+    auto vm = host_->launch_vm(cfg);
+    CSK_CHECK(vm.is_ok());
+    return vm.value();
+  }
+
+  VirtualMachine* launch_dest(std::uint64_t memory_mb = 32,
+                              std::uint16_t port = 4444) {
+    auto cfg = small_vm_config("dst-vm", memory_mb, 0, 0);
+    cfg.incoming_port = port;
+    auto vm = host_->launch_vm(cfg);
+    CSK_CHECK(vm.is_ok());
+    return vm.value();
+  }
+
+  MigrationStats migrate(VirtualMachine* src, std::uint16_t port = 4444,
+                         MigrationConfig cfg = {}) {
+    MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(port)},
+                     cfg);
+    job.start();
+    world_.simulator().run_until_idle();
+    CSK_CHECK(job.done());
+    return job.stats();
+  }
+
+  World world_;
+  Host* host_ = nullptr;
+};
+
+TEST_F(MigrationTest, IdleMigrationSucceeds) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  const MigrationStats stats = migrate(src);
+  EXPECT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(dst->state(), VmState::kRunning);
+  EXPECT_EQ(src->state(), VmState::kPostMigrate);
+  EXPECT_GE(stats.rounds, 1);
+}
+
+TEST_F(MigrationTest, DestinationMemoryEqualsSource) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  // Deterministic sentinel pages on top of the boot working set.
+  for (int i = 0; i < 50; ++i) {
+    src->memory().write_page(Gfn(1000 + i),
+                             mem::PageData::synthetic(ContentHash{
+                                 static_cast<std::uint64_t>(i) + 7}));
+  }
+  const std::size_t ram = src->config().memory_pages();
+  std::vector<ContentHash> want(ram);
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)), src->memory().read_hash(Gfn(g)))
+        << "page " << g << " diverged";
+  }
+}
+
+TEST_F(MigrationTest, OsStateIsTransplanted) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  const Pid daemon = src->os()->spawn("tenant-db", "/usr/bin/tenant-db");
+  ASSERT_TRUE(src->os()->fs().create_unique("payroll.db", 8192,
+                                            src->os()->rng()).is_ok());
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(src->os(), nullptr);
+  ASSERT_NE(dst->os(), nullptr);
+  EXPECT_TRUE(dst->os()->find_process(daemon).is_ok());
+  EXPECT_TRUE(dst->os()->fs().exists("payroll.db"));
+}
+
+TEST_F(MigrationTest, DirtiedPagesAreRetransmitted) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  // Steady dirtying during migration forces extra rounds.
+  src->set_dirty_page_source([](SimDuration) { return 400.0; });
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_GT(stats.rounds, 1);
+  const std::size_t ram = src->config().memory_pages();
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)), src->memory().read_hash(Gfn(g)))
+        << "page " << g << " lost an update";
+  }
+}
+
+TEST_F(MigrationTest, BandwidthCapIsRespected) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  MigrationConfig cfg;
+  cfg.bandwidth_limit_bytes_per_sec = 8.0 * 1024 * 1024;
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  const double effective_rate =
+      static_cast<double>(stats.wire_bytes) / stats.total_time.seconds_f();
+  EXPECT_LE(effective_rate, cfg.bandwidth_limit_bytes_per_sec * 1.05);
+}
+
+TEST_F(MigrationTest, LowerBandwidthTakesLonger) {
+  VirtualMachine* a = launch_source();
+  VirtualMachine* dst1 = launch_dest(32, 4444);
+  (void)dst1;
+  MigrationConfig slow;
+  slow.bandwidth_limit_bytes_per_sec = 4.0 * 1024 * 1024;
+  const MigrationStats s_slow = migrate(a, 4444, slow);
+  ASSERT_TRUE(s_slow.succeeded);
+
+  auto cfg2 = small_vm_config("src2", 32, 0, 0);
+  VirtualMachine* b = host_->launch_vm(cfg2).value();
+  auto dcfg2 = small_vm_config("dst2", 32, 0, 0);
+  dcfg2.incoming_port = 5555;
+  host_->launch_vm(dcfg2).value();
+  MigrationConfig fast;
+  fast.bandwidth_limit_bytes_per_sec = 32.0 * 1024 * 1024;
+  const MigrationStats s_fast = migrate(b, 5555, fast);
+  ASSERT_TRUE(s_fast.succeeded);
+  EXPECT_GT(s_slow.total_time.ns(), 2 * s_fast.total_time.ns());
+}
+
+TEST_F(MigrationTest, DowntimeWithinConfiguredBound) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  src->set_dirty_page_source([](SimDuration) { return 200.0; });
+  MigrationConfig cfg;
+  cfg.max_downtime = SimDuration::millis(300);
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_FALSE(stats.forced_converged);
+  // Downtime = final-round flush + device state; the estimate bounds the
+  // flush, so allow the device-state constant on top.
+  EXPECT_LE(stats.downtime.ns(),
+            (cfg.max_downtime + cfg.device_state_time + SimDuration::millis(200)).ns());
+}
+
+TEST_F(MigrationTest, NonConvergentWorkloadHitsRoundCapButCompletes) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  // Dirty faster than an 8 MiB/s stream can drain: never converges.
+  src->set_dirty_page_source([](SimDuration) { return 6000.0; });
+  MigrationConfig cfg;
+  cfg.bandwidth_limit_bytes_per_sec = 8.0 * 1024 * 1024;
+  cfg.max_rounds = 12;
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_TRUE(stats.forced_converged);
+  EXPECT_LE(stats.rounds, cfg.max_rounds + 1);
+  const std::size_t ram = src->config().memory_pages();
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)),
+              src->memory().read_hash(Gfn(g)));
+  }
+}
+
+TEST_F(MigrationTest, ZeroPagesRideTheCheapPath) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded);
+  EXPECT_GT(stats.zero_pages, 0u);
+  // Wire bytes must be far below "every page at 4 KiB".
+  const std::uint64_t naive =
+      src->config().memory_pages() * (mem::kPageSize + 8);
+  EXPECT_LT(stats.wire_bytes, naive / 2);
+}
+
+TEST_F(MigrationTest, MismatchedDestinationFailsAndSourceKeepsRunning) {
+  VirtualMachine* src = launch_source(32);
+  auto bad = small_vm_config("dst-vm", 64, 0, 0);  // wrong RAM size
+  bad.incoming_port = 4444;
+  host_->launch_vm(bad).value();
+  const MigrationStats stats = migrate(src);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_NE(stats.error.find("mismatch"), std::string::npos);
+  EXPECT_EQ(src->state(), VmState::kRunning);
+  EXPECT_NE(src->os(), nullptr);
+}
+
+TEST_F(MigrationTest, NoListenerFailsIdleOut) {
+  VirtualMachine* src = launch_source();
+  MigrationConfig cfg;
+  MigrationJob job(&world_, src,
+                   net::NetAddr{host_->node_name(), Port(4711)}, cfg);
+  job.start();
+  // Chunks drop on the floor; drive for a while — the job cannot complete.
+  world_.simulator().run_for(SimDuration::seconds(30));
+  EXPECT_FALSE(job.done());
+  EXPECT_GT(world_.network().stats().packets_dropped_unbound, 0u);
+}
+
+TEST_F(MigrationTest, PausedSourceMigrates) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  ASSERT_TRUE(src->pause().is_ok());
+  const MigrationStats stats = migrate(src);
+  EXPECT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(dst->state(), VmState::kRunning);
+}
+
+TEST_F(MigrationTest, ShutdownSourceRefusesToMigrate) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  src->shutdown();
+  const MigrationStats stats = migrate(src);
+  EXPECT_FALSE(stats.succeeded);
+}
+
+TEST_F(MigrationTest, ThroughForwarderChainLikeThePaper) {
+  // HOST:AAAA -> forwarder -> HOST:BBBB listener (single-host relay).
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest(32, 4445);  // listens on BBBB
+  net::PortForwarder relay(&world_.network(),
+                           net::NetAddr{host_->node_name(), Port(4444)},
+                           net::NetAddr{host_->node_name(), Port(4445)});
+  ASSERT_TRUE(relay.start().is_ok());
+  const MigrationStats stats = migrate(src, 4444);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(dst->state(), VmState::kRunning);
+  EXPECT_GT(relay.stats().forwarded, 0u);
+}
+
+TEST_F(MigrationTest, MonitorDrivenMigration) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  QemuMonitor& mon = src->monitor();
+  ASSERT_TRUE(mon.execute("migrate_set_speed 32m").is_ok());
+  ASSERT_TRUE(
+      mon.execute("migrate -d tcp:" + host_->node_name() + ":4444").is_ok());
+  world_.simulator().run_until_idle();
+  ASSERT_NE(mon.active_migration(), nullptr);
+  EXPECT_TRUE(mon.active_migration()->stats().succeeded);
+  EXPECT_EQ(dst->state(), VmState::kRunning);
+  const auto info = mon.execute("info migrate");
+  ASSERT_TRUE(info.is_ok());
+  EXPECT_NE(info.value().find("completed"), std::string::npos);
+}
+
+TEST_F(MigrationTest, PostCopyMovesExecutionImmediately) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(dst->state(), VmState::kRunning);
+  // Post-copy downtime is a small constant, far below pre-copy totals.
+  EXPECT_LT(stats.downtime.ns(), SimDuration::millis(200).ns());
+  const std::size_t ram = src->config().memory_pages();
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)), src->memory().read_hash(Gfn(g)));
+  }
+}
+
+TEST_F(MigrationTest, PostCopyPreservesDestinationWrites) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  // Let the handoff happen, then write at the (running) destination while
+  // the background copy is still streaming.
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(200));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  dst->memory().write_page(Gfn(2000),
+                           mem::PageData::synthetic(ContentHash{0xFEED}));
+  world_.simulator().run_until_idle();
+  ASSERT_TRUE(job.stats().succeeded) << job.stats().error;
+  EXPECT_EQ(dst->memory().read_hash(Gfn(2000)), ContentHash{0xFEED});
+}
+
+// Parameterized: destination equality holds across RAM sizes & dirty rates.
+struct MigProp {
+  std::uint64_t memory_mb;
+  double dirty_rate;
+};
+
+class MigrationPropertyTest
+    : public MigrationTest,
+      public ::testing::WithParamInterface<MigProp> {};
+
+TEST_P(MigrationPropertyTest, DestinationConvergesToSource) {
+  const MigProp p = GetParam();
+  auto scfg = small_vm_config("src-vm", p.memory_mb, 0, 0);
+  VirtualMachine* src = host_->launch_vm(scfg).value();
+  auto dcfg = small_vm_config("dst-vm", p.memory_mb, 0, 0);
+  dcfg.incoming_port = 4444;
+  VirtualMachine* dst = host_->launch_vm(dcfg).value();
+  if (p.dirty_rate > 0) {
+    src->set_dirty_page_source([p](SimDuration) { return p.dirty_rate; });
+  }
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  const std::size_t ram = src->config().memory_pages();
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)), src->memory().read_hash(Gfn(g)))
+        << "page " << g;
+  }
+  EXPECT_EQ(stats.pages_transferred + stats.zero_pages >= ram, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MigrationPropertyTest,
+    ::testing::Values(MigProp{16, 0.0}, MigProp{16, 300.0}, MigProp{32, 0.0},
+                      MigProp{32, 1000.0}, MigProp{64, 500.0}));
+
+}  // namespace
+}  // namespace csk::vmm

@@ -1,0 +1,326 @@
+// Host / VirtualMachine lifecycle tests: launching, nesting, process table,
+// monitor commands, hostfwd plumbing, dirty-page sources.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "vmm/host.h"
+#include "vmm/monitor.h"
+
+namespace csk::vmm {
+namespace {
+
+using csk::testing::small_host_config;
+using csk::testing::small_vm_config;
+
+class HostTest : public ::testing::Test {
+ protected:
+  HostTest() { host_ = world_.make_host(small_host_config()); }
+
+  vmm::World world_;
+  Host* host_ = nullptr;
+};
+
+// ------------------------------------------------------------------- host
+
+TEST_F(HostTest, LaunchBootsAndRuns) {
+  auto vm = host_->launch_vm(small_vm_config());
+  ASSERT_TRUE(vm.is_ok()) << vm.status().to_string();
+  EXPECT_EQ(vm.value()->state(), VmState::kRunning);
+  EXPECT_EQ(vm.value()->layer(), hv::Layer::kL1);
+  ASSERT_NE(vm.value()->os(), nullptr);
+  EXPECT_TRUE(vm.value()->os()->booted());
+}
+
+TEST_F(HostTest, IncomingVmWaitsPaused) {
+  auto cfg = small_vm_config("dst", 64, 0, 0);
+  cfg.incoming_port = 4444;
+  auto vm = host_->launch_vm(cfg);
+  ASSERT_TRUE(vm.is_ok());
+  EXPECT_EQ(vm.value()->state(), VmState::kIncoming);
+  EXPECT_EQ(vm.value()->os(), nullptr);
+  EXPECT_FALSE(vm.value()->resume().is_ok());  // nothing to run yet
+}
+
+TEST_F(HostTest, PsShowsQemuProcessWithCmdline) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  bool found = false;
+  for (const auto& p : host_->ps()) {
+    if (p.vm == vm->id()) {
+      found = true;
+      EXPECT_EQ(p.comm, "qemu-system-x86");
+      EXPECT_EQ(p.cmdline, small_vm_config().to_command_line());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(HostTest, LaunchCmdlineAppendsHistory) {
+  const std::string cmd = small_vm_config().to_command_line();
+  ASSERT_TRUE(host_->launch_vm_cmdline(cmd).is_ok());
+  ASSERT_EQ(host_->shell_history().size(), 1u);
+  EXPECT_EQ(host_->shell_history()[0], cmd);
+}
+
+TEST_F(HostTest, KillRemovesVmAndProcess) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  const VmId id = vm->id();
+  ASSERT_TRUE(host_->kill_vm(id).is_ok());
+  EXPECT_FALSE(host_->find_vm(id).is_ok());
+  EXPECT_FALSE(host_->pid_of_vm(id).is_ok());
+  EXPECT_TRUE(host_->vms().empty());
+  EXPECT_FALSE(host_->kill_vm(id).is_ok());
+}
+
+TEST_F(HostTest, PidSwapRespectsCollisions) {
+  auto a = host_->launch_vm(small_vm_config("a", 64, 0, 0)).value();
+  auto b = host_->launch_vm(small_vm_config("b", 64, 0, 0)).value();
+  const Pid pid_a = host_->pid_of_vm(a->id()).value();
+  EXPECT_FALSE(host_->swap_process_pid(b->id(), pid_a).is_ok());
+  ASSERT_TRUE(host_->kill_vm(a->id()).is_ok());
+  EXPECT_TRUE(host_->swap_process_pid(b->id(), pid_a).is_ok());
+  EXPECT_EQ(host_->pid_of_vm(b->id()).value(), pid_a);
+  EXPECT_EQ(host_->vm_of_pid(pid_a).value(), b->id());
+}
+
+TEST_F(HostTest, ConnectMonitorByTelnetPort) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  auto mon = host_->connect_monitor(5555);
+  ASSERT_TRUE(mon.is_ok());
+  EXPECT_EQ(mon.value()->vm(), vm);
+  EXPECT_FALSE(host_->connect_monitor(5599).is_ok());
+  EXPECT_FALSE(host_->connect_monitor(0).is_ok());
+}
+
+TEST_F(HostTest, DuplicateVmNamesAreAllowed) {
+  ASSERT_TRUE(host_->launch_vm(small_vm_config("guest0", 64, 0, 0)).is_ok());
+  ASSERT_TRUE(host_->launch_vm(small_vm_config("guest0", 64, 0, 0)).is_ok());
+  EXPECT_EQ(host_->vms().size(), 2u);
+}
+
+TEST_F(HostTest, WorldFindHost) {
+  EXPECT_TRUE(world_.find_host("host0").is_ok());
+  EXPECT_FALSE(world_.find_host("mars").is_ok());
+}
+
+// --------------------------------------------------------------------- VM
+
+TEST_F(HostTest, PauseResumeLifecycle) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  EXPECT_TRUE(vm->pause().is_ok());
+  EXPECT_EQ(vm->state(), VmState::kPaused);
+  EXPECT_FALSE(vm->pause().is_ok());
+  EXPECT_TRUE(vm->resume().is_ok());
+  EXPECT_EQ(vm->state(), VmState::kRunning);
+  EXPECT_FALSE(vm->resume().is_ok());
+}
+
+TEST_F(HostTest, GuestRamRegisteredWithKsm) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  EXPECT_TRUE(host_->ksm().is_registered(&vm->memory()));
+  vm->shutdown();
+  EXPECT_FALSE(host_->ksm().is_registered(&vm->memory()));
+}
+
+TEST_F(HostTest, DirtySourceGeneratesDirtyPages) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  vm->memory().enable_dirty_log();
+  vm->set_dirty_page_source([](SimDuration) { return 1000.0; });
+  world_.simulator().run_for(SimDuration::seconds(1));
+  const std::size_t dirty = vm->memory().dirty_count();
+  EXPECT_NEAR(static_cast<double>(dirty), 1000.0, 100.0);
+}
+
+TEST_F(HostTest, DirtySourcePausesWithTheVm) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  vm->memory().enable_dirty_log();
+  vm->set_dirty_page_source([](SimDuration) { return 1000.0; });
+  ASSERT_TRUE(vm->pause().is_ok());
+  world_.simulator().run_for(SimDuration::seconds(1));
+  EXPECT_EQ(vm->memory().dirty_count(), 0u);
+}
+
+TEST_F(HostTest, HostfwdDeliversToGuestPort) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  int rx = 0;
+  ASSERT_TRUE(vm->bind_guest_port(Port(22), [&](net::Packet) { ++rx; }).is_ok());
+  net::Packet p;
+  p.conn = world_.network().new_conn();
+  p.src = {"client", Port(1)};
+  p.reply_to = p.src;
+  p.wire_bytes = 50;
+  world_.network().send({host_->node_name(), Port(2222)}, p);
+  world_.simulator().run_for(SimDuration::seconds(1));
+  EXPECT_EQ(rx, 1);
+}
+
+TEST_F(HostTest, UptimeAdvancesWithClock) {
+  auto vm = host_->launch_vm(small_vm_config()).value();
+  world_.simulator().run_for(SimDuration::seconds(3));
+  EXPECT_EQ(vm->uptime().ns(), SimDuration::seconds(3).ns());
+}
+
+// ----------------------------------------------------------------- nested
+
+TEST_F(HostTest, NestedHypervisorRequiresVmx) {
+  auto plain = host_->launch_vm(small_vm_config("plain", 64, 0, 0)).value();
+  EXPECT_FALSE(plain->enable_nested_hypervisor().is_ok());
+
+  auto cfg = small_vm_config("vmx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto vmx = host_->launch_vm(cfg).value();
+  EXPECT_TRUE(vmx->enable_nested_hypervisor().is_ok());
+  EXPECT_NE(vmx->nested_hypervisor(), nullptr);
+  // Idempotent.
+  EXPECT_TRUE(vmx->enable_nested_hypervisor().is_ok());
+}
+
+TEST_F(HostTest, NestedVmRunsAtL2InsideParentMemory) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto parent = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(parent->enable_nested_hypervisor().is_ok());
+  auto nested = parent->launch_nested_vm(small_vm_config("inner", 16, 0, 0));
+  ASSERT_TRUE(nested.is_ok()) << nested.status().to_string();
+  EXPECT_EQ(nested.value()->layer(), hv::Layer::kL2);
+  EXPECT_EQ(nested.value()->parent(), parent);
+  EXPECT_TRUE(nested.value()->memory().is_view());
+  EXPECT_EQ(nested.value()->memory().root(), &parent->memory());
+  // The inner QEMU is a process in the parent guest.
+  EXPECT_TRUE(parent->os()->find_process_by_name("qemu-system-x86").is_ok());
+}
+
+TEST_F(HostTest, NestedLaunchWithoutHypervisorFails) {
+  auto parent = host_->launch_vm(small_vm_config()).value();
+  EXPECT_FALSE(
+      parent->launch_nested_vm(small_vm_config("inner", 16, 0, 0)).is_ok());
+}
+
+TEST_F(HostTest, NoThirdLevelNesting) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto parent = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(parent->enable_nested_hypervisor().is_ok());
+  auto inner_cfg = small_vm_config("inner", 16, 0, 0);
+  inner_cfg.cpu_host_passthrough = true;  // asks for VMX at L2
+  EXPECT_FALSE(parent->launch_nested_vm(inner_cfg).is_ok());
+}
+
+TEST_F(HostTest, DestroyNestedVmFreesParentRegion) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto parent = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(parent->enable_nested_hypervisor().is_ok());
+  auto nested =
+      parent->launch_nested_vm(small_vm_config("inner", 16, 0, 0)).value();
+  const VmId id = nested->id();
+  ASSERT_TRUE(parent->destroy_nested_vm(id).is_ok());
+  EXPECT_TRUE(parent->nested_vms().empty());
+  // Region reuse: another nested VM fits again.
+  EXPECT_TRUE(
+      parent->launch_nested_vm(small_vm_config("inner2", 16, 0, 0)).is_ok());
+}
+
+TEST_F(HostTest, FindNestedVmByName) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto parent = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(parent->enable_nested_hypervisor().is_ok());
+  ASSERT_TRUE(
+      parent->launch_nested_vm(small_vm_config("inner", 16, 0, 0)).is_ok());
+  EXPECT_TRUE(parent->find_nested_vm("inner").is_ok());
+  EXPECT_FALSE(parent->find_nested_vm("outer").is_ok());
+}
+
+TEST_F(HostTest, ShutdownCascadesToNestedVms) {
+  auto cfg = small_vm_config("guestx", 64, 0, 0);
+  cfg.cpu_host_passthrough = true;
+  auto parent = host_->launch_vm(cfg).value();
+  ASSERT_TRUE(parent->enable_nested_hypervisor().is_ok());
+  auto nested =
+      parent->launch_nested_vm(small_vm_config("inner", 16, 0, 0)).value();
+  parent->shutdown();
+  EXPECT_EQ(parent->state(), VmState::kShutdown);
+  EXPECT_TRUE(parent->nested_vms().empty());
+  (void)nested;  // destroyed by the cascade
+}
+
+// ---------------------------------------------------------------- monitor
+
+class MonitorTest : public HostTest {
+ protected:
+  MonitorTest() { vm_ = host_->launch_vm(small_vm_config()).value(); }
+  VirtualMachine* vm_;
+};
+
+TEST_F(MonitorTest, InfoStatusTracksState) {
+  auto out = vm_->monitor().execute("info status");
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value(), "VM status: running");
+  ASSERT_TRUE(vm_->monitor().execute("stop").is_ok());
+  EXPECT_EQ(vm_->monitor().execute("info status").value(),
+            "VM status: paused");
+  ASSERT_TRUE(vm_->monitor().execute("cont").is_ok());
+  EXPECT_EQ(vm_->state(), VmState::kRunning);
+}
+
+TEST_F(MonitorTest, InfoQtreeListsDevices) {
+  const std::string out = vm_->monitor().execute("info qtree").value();
+  EXPECT_NE(out.find("virtio-net-pci"), std::string::npos);
+  EXPECT_NE(out.find("virtio-blk-pci"), std::string::npos);
+  EXPECT_NE(out.find("guest0.qcow2"), std::string::npos);
+}
+
+TEST_F(MonitorTest, InfoMtreeShowsRam) {
+  const std::string out = vm_->monitor().execute("info mtree").value();
+  EXPECT_NE(out.find("pc.ram size=64M"), std::string::npos);
+}
+
+TEST_F(MonitorTest, InfoNetworkShowsHostfwd) {
+  const std::string out = vm_->monitor().execute("info network").value();
+  EXPECT_NE(out.find("hostfwd=tcp::2222-:22"), std::string::npos);
+}
+
+TEST_F(MonitorTest, InfoKvmAndCpus) {
+  EXPECT_NE(vm_->monitor().execute("info kvm").value().find("enabled"),
+            std::string::npos);
+  EXPECT_NE(vm_->monitor().execute("info cpus").value().find("CPU #0"),
+            std::string::npos);
+}
+
+TEST_F(MonitorTest, InfoMigrateBeforeAnyMigration) {
+  EXPECT_NE(vm_->monitor().execute("info migrate").value().find("none"),
+            std::string::npos);
+}
+
+TEST_F(MonitorTest, UnknownCommandsError) {
+  EXPECT_FALSE(vm_->monitor().execute("teleport").is_ok());
+  EXPECT_FALSE(vm_->monitor().execute("info").is_ok());
+  auto unknown_info = vm_->monitor().execute("info qx");
+  ASSERT_TRUE(unknown_info.is_ok());
+  EXPECT_NE(unknown_info.value().find("unknown topic"), std::string::npos);
+}
+
+TEST_F(MonitorTest, MigrateSetSpeedParsesSuffixes) {
+  ASSERT_TRUE(vm_->monitor().execute("migrate_set_speed 64m").is_ok());
+  EXPECT_DOUBLE_EQ(vm_->monitor().migrate_speed_bytes_per_sec(),
+                   64.0 * 1024 * 1024);
+  ASSERT_TRUE(vm_->monitor().execute("migrate_set_speed 1g").is_ok());
+  EXPECT_DOUBLE_EQ(vm_->monitor().migrate_speed_bytes_per_sec(),
+                   1024.0 * 1024 * 1024);
+  EXPECT_FALSE(vm_->monitor().execute("migrate_set_speed fast").is_ok());
+}
+
+TEST_F(MonitorTest, MigrateRequiresTcpUri) {
+  EXPECT_FALSE(vm_->monitor().execute("migrate").is_ok());
+  EXPECT_FALSE(vm_->monitor().execute("migrate exec:cat").is_ok());
+  EXPECT_FALSE(vm_->monitor().execute("migrate tcp:host0:notaport").is_ok());
+}
+
+TEST_F(MonitorTest, QuitKillsTheVm) {
+  const VmId id = vm_->id();
+  ASSERT_TRUE(vm_->monitor().execute("quit").is_ok());
+  EXPECT_FALSE(host_->find_vm(id).is_ok());
+}
+
+}  // namespace
+}  // namespace csk::vmm
