@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cross_host.dir/bench_ablation_cross_host.cc.o"
+  "CMakeFiles/bench_ablation_cross_host.dir/bench_ablation_cross_host.cc.o.d"
+  "bench_ablation_cross_host"
+  "bench_ablation_cross_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cross_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

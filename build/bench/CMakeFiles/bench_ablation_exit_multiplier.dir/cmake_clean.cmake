@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exit_multiplier.dir/bench_ablation_exit_multiplier.cc.o"
+  "CMakeFiles/bench_ablation_exit_multiplier.dir/bench_ablation_exit_multiplier.cc.o.d"
+  "bench_ablation_exit_multiplier"
+  "bench_ablation_exit_multiplier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exit_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_exit_multiplier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_migrate_bw.dir/bench_ablation_migrate_bw.cc.o"
+  "CMakeFiles/bench_ablation_migrate_bw.dir/bench_ablation_migrate_bw.cc.o.d"
+  "bench_ablation_migrate_bw"
+  "bench_ablation_migrate_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_migrate_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_netperf.dir/bench_fig3_netperf.cc.o"
+  "CMakeFiles/bench_fig3_netperf.dir/bench_fig3_netperf.cc.o.d"
+  "bench_fig3_netperf"
+  "bench_fig3_netperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_netperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

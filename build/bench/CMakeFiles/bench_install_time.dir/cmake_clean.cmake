@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_install_time.dir/bench_install_time.cc.o"
+  "CMakeFiles/bench_install_time.dir/bench_install_time.cc.o.d"
+  "bench_install_time"
+  "bench_install_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_install_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lmbench_arith.dir/bench_table2_lmbench_arith.cc.o"
+  "CMakeFiles/bench_table2_lmbench_arith.dir/bench_table2_lmbench_arith.cc.o.d"
+  "bench_table2_lmbench_arith"
+  "bench_table2_lmbench_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lmbench_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lmbench_proc.dir/bench_table3_lmbench_proc.cc.o"
+  "CMakeFiles/bench_table3_lmbench_proc.dir/bench_table3_lmbench_proc.cc.o.d"
+  "bench_table3_lmbench_proc"
+  "bench_table3_lmbench_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lmbench_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_tamper.dir/active_tamper.cc.o"
+  "CMakeFiles/active_tamper.dir/active_tamper.cc.o.d"
+  "active_tamper"
+  "active_tamper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_tamper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

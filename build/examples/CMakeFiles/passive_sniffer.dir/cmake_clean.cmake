@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_sniffer.dir/passive_sniffer.cc.o"
+  "CMakeFiles/passive_sniffer.dir/passive_sniffer.cc.o.d"
+  "passive_sniffer"
+  "passive_sniffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_sniffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_cloudskulk.dir/installer.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/installer.cc.o.d"
+  "CMakeFiles/csk_cloudskulk.dir/recon.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/recon.cc.o.d"
+  "CMakeFiles/csk_cloudskulk.dir/ritm.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/ritm.cc.o.d"
+  "CMakeFiles/csk_cloudskulk.dir/services/active.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/services/active.cc.o.d"
+  "CMakeFiles/csk_cloudskulk.dir/services/passive.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/services/passive.cc.o.d"
+  "CMakeFiles/csk_cloudskulk.dir/services/sync_mirror.cc.o"
+  "CMakeFiles/csk_cloudskulk.dir/services/sync_mirror.cc.o.d"
+  "libcsk_cloudskulk.a"
+  "libcsk_cloudskulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_cloudskulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_common.dir/hash.cc.o"
+  "CMakeFiles/csk_common.dir/hash.cc.o.d"
+  "CMakeFiles/csk_common.dir/logging.cc.o"
+  "CMakeFiles/csk_common.dir/logging.cc.o.d"
+  "CMakeFiles/csk_common.dir/rng.cc.o"
+  "CMakeFiles/csk_common.dir/rng.cc.o.d"
+  "CMakeFiles/csk_common.dir/stats.cc.o"
+  "CMakeFiles/csk_common.dir/stats.cc.o.d"
+  "CMakeFiles/csk_common.dir/status.cc.o"
+  "CMakeFiles/csk_common.dir/status.cc.o.d"
+  "CMakeFiles/csk_common.dir/time.cc.o"
+  "CMakeFiles/csk_common.dir/time.cc.o.d"
+  "libcsk_common.a"
+  "libcsk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_cve.dir/vm_escape_cves.cc.o"
+  "CMakeFiles/csk_cve.dir/vm_escape_cves.cc.o.d"
+  "libcsk_cve.a"
+  "libcsk_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

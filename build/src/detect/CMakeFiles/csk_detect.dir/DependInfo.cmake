@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/dedup_detector.cc" "src/detect/CMakeFiles/csk_detect.dir/dedup_detector.cc.o" "gcc" "src/detect/CMakeFiles/csk_detect.dir/dedup_detector.cc.o.d"
+  "/root/repo/src/detect/l2_probe.cc" "src/detect/CMakeFiles/csk_detect.dir/l2_probe.cc.o" "gcc" "src/detect/CMakeFiles/csk_detect.dir/l2_probe.cc.o.d"
+  "/root/repo/src/detect/vmcs_scan.cc" "src/detect/CMakeFiles/csk_detect.dir/vmcs_scan.cc.o" "gcc" "src/detect/CMakeFiles/csk_detect.dir/vmcs_scan.cc.o.d"
+  "/root/repo/src/detect/vmi_fingerprint.cc" "src/detect/CMakeFiles/csk_detect.dir/vmi_fingerprint.cc.o" "gcc" "src/detect/CMakeFiles/csk_detect.dir/vmi_fingerprint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmm/CMakeFiles/csk_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/csk_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

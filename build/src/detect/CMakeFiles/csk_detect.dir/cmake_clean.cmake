@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_detect.dir/dedup_detector.cc.o"
+  "CMakeFiles/csk_detect.dir/dedup_detector.cc.o.d"
+  "CMakeFiles/csk_detect.dir/l2_probe.cc.o"
+  "CMakeFiles/csk_detect.dir/l2_probe.cc.o.d"
+  "CMakeFiles/csk_detect.dir/vmcs_scan.cc.o"
+  "CMakeFiles/csk_detect.dir/vmcs_scan.cc.o.d"
+  "CMakeFiles/csk_detect.dir/vmi_fingerprint.cc.o"
+  "CMakeFiles/csk_detect.dir/vmi_fingerprint.cc.o.d"
+  "libcsk_detect.a"
+  "libcsk_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_driver.dir/vm_runner.cc.o"
+  "CMakeFiles/csk_driver.dir/vm_runner.cc.o.d"
+  "libcsk_driver.a"
+  "libcsk_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

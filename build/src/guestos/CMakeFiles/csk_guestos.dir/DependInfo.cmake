@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/fs.cc" "src/guestos/CMakeFiles/csk_guestos.dir/fs.cc.o" "gcc" "src/guestos/CMakeFiles/csk_guestos.dir/fs.cc.o.d"
+  "/root/repo/src/guestos/os.cc" "src/guestos/CMakeFiles/csk_guestos.dir/os.cc.o" "gcc" "src/guestos/CMakeFiles/csk_guestos.dir/os.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_guestos.dir/fs.cc.o"
+  "CMakeFiles/csk_guestos.dir/fs.cc.o.d"
+  "CMakeFiles/csk_guestos.dir/os.cc.o"
+  "CMakeFiles/csk_guestos.dir/os.cc.o.d"
+  "libcsk_guestos.a"
+  "libcsk_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

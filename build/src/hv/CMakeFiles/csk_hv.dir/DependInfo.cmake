@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/hypervisor.cc" "src/hv/CMakeFiles/csk_hv.dir/hypervisor.cc.o" "gcc" "src/hv/CMakeFiles/csk_hv.dir/hypervisor.cc.o.d"
+  "/root/repo/src/hv/timing_model.cc" "src/hv/CMakeFiles/csk_hv.dir/timing_model.cc.o" "gcc" "src/hv/CMakeFiles/csk_hv.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

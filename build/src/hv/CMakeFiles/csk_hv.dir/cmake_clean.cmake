@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/csk_hv.dir/hypervisor.cc.o.d"
+  "CMakeFiles/csk_hv.dir/timing_model.cc.o"
+  "CMakeFiles/csk_hv.dir/timing_model.cc.o.d"
+  "libcsk_hv.a"
+  "libcsk_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addr_space.cc" "src/mem/CMakeFiles/csk_mem.dir/addr_space.cc.o" "gcc" "src/mem/CMakeFiles/csk_mem.dir/addr_space.cc.o.d"
+  "/root/repo/src/mem/ksm.cc" "src/mem/CMakeFiles/csk_mem.dir/ksm.cc.o" "gcc" "src/mem/CMakeFiles/csk_mem.dir/ksm.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/csk_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/csk_mem.dir/phys_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_mem.dir/addr_space.cc.o"
+  "CMakeFiles/csk_mem.dir/addr_space.cc.o.d"
+  "CMakeFiles/csk_mem.dir/ksm.cc.o"
+  "CMakeFiles/csk_mem.dir/ksm.cc.o.d"
+  "CMakeFiles/csk_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/csk_mem.dir/phys_mem.cc.o.d"
+  "libcsk_mem.a"
+  "libcsk_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

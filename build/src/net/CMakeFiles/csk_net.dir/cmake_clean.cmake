@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_net.dir/network.cc.o"
+  "CMakeFiles/csk_net.dir/network.cc.o.d"
+  "CMakeFiles/csk_net.dir/port_forward.cc.o"
+  "CMakeFiles/csk_net.dir/port_forward.cc.o.d"
+  "libcsk_net.a"
+  "libcsk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_sim.dir/simulator.cc.o"
+  "CMakeFiles/csk_sim.dir/simulator.cc.o.d"
+  "libcsk_sim.a"
+  "libcsk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/host.cc" "src/vmm/CMakeFiles/csk_vmm.dir/host.cc.o" "gcc" "src/vmm/CMakeFiles/csk_vmm.dir/host.cc.o.d"
+  "/root/repo/src/vmm/machine_config.cc" "src/vmm/CMakeFiles/csk_vmm.dir/machine_config.cc.o" "gcc" "src/vmm/CMakeFiles/csk_vmm.dir/machine_config.cc.o.d"
+  "/root/repo/src/vmm/migration.cc" "src/vmm/CMakeFiles/csk_vmm.dir/migration.cc.o" "gcc" "src/vmm/CMakeFiles/csk_vmm.dir/migration.cc.o.d"
+  "/root/repo/src/vmm/monitor.cc" "src/vmm/CMakeFiles/csk_vmm.dir/monitor.cc.o" "gcc" "src/vmm/CMakeFiles/csk_vmm.dir/monitor.cc.o.d"
+  "/root/repo/src/vmm/vm.cc" "src/vmm/CMakeFiles/csk_vmm.dir/vm.cc.o" "gcc" "src/vmm/CMakeFiles/csk_vmm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/csk_guestos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_vmm.dir/host.cc.o"
+  "CMakeFiles/csk_vmm.dir/host.cc.o.d"
+  "CMakeFiles/csk_vmm.dir/machine_config.cc.o"
+  "CMakeFiles/csk_vmm.dir/machine_config.cc.o.d"
+  "CMakeFiles/csk_vmm.dir/migration.cc.o"
+  "CMakeFiles/csk_vmm.dir/migration.cc.o.d"
+  "CMakeFiles/csk_vmm.dir/monitor.cc.o"
+  "CMakeFiles/csk_vmm.dir/monitor.cc.o.d"
+  "CMakeFiles/csk_vmm.dir/vm.cc.o"
+  "CMakeFiles/csk_vmm.dir/vm.cc.o.d"
+  "libcsk_vmm.a"
+  "libcsk_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

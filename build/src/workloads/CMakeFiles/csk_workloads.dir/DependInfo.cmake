@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/filebench.cc" "src/workloads/CMakeFiles/csk_workloads.dir/filebench.cc.o" "gcc" "src/workloads/CMakeFiles/csk_workloads.dir/filebench.cc.o.d"
+  "/root/repo/src/workloads/kernel_compile.cc" "src/workloads/CMakeFiles/csk_workloads.dir/kernel_compile.cc.o" "gcc" "src/workloads/CMakeFiles/csk_workloads.dir/kernel_compile.cc.o.d"
+  "/root/repo/src/workloads/lmbench.cc" "src/workloads/CMakeFiles/csk_workloads.dir/lmbench.cc.o" "gcc" "src/workloads/CMakeFiles/csk_workloads.dir/lmbench.cc.o.d"
+  "/root/repo/src/workloads/netperf.cc" "src/workloads/CMakeFiles/csk_workloads.dir/netperf.cc.o" "gcc" "src/workloads/CMakeFiles/csk_workloads.dir/netperf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/csk_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

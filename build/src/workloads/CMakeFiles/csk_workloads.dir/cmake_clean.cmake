@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_workloads.dir/filebench.cc.o"
+  "CMakeFiles/csk_workloads.dir/filebench.cc.o.d"
+  "CMakeFiles/csk_workloads.dir/kernel_compile.cc.o"
+  "CMakeFiles/csk_workloads.dir/kernel_compile.cc.o.d"
+  "CMakeFiles/csk_workloads.dir/lmbench.cc.o"
+  "CMakeFiles/csk_workloads.dir/lmbench.cc.o.d"
+  "CMakeFiles/csk_workloads.dir/netperf.cc.o"
+  "CMakeFiles/csk_workloads.dir/netperf.cc.o.d"
+  "libcsk_workloads.a"
+  "libcsk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudskulk_test.dir/cloudskulk_test.cc.o"
+  "CMakeFiles/cloudskulk_test.dir/cloudskulk_test.cc.o.d"
+  "cloudskulk_test"
+  "cloudskulk_test.pdb"
+  "cloudskulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudskulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

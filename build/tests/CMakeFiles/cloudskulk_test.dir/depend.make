@@ -1,0 +1,2 @@
+# Empty dependencies file for cloudskulk_test.
+# This may be replaced when dependencies are built.

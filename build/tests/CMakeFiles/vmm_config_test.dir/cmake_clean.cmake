@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmm_config_test.dir/vmm_config_test.cc.o"
+  "CMakeFiles/vmm_config_test.dir/vmm_config_test.cc.o.d"
+  "vmm_config_test"
+  "vmm_config_test.pdb"
+  "vmm_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmm_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
