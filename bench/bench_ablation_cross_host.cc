@@ -93,6 +93,14 @@ void print_tables() {
              "no cross-host latency — a big part of why the whole install "
              "fits under a minute");
   table.print();
+
+  const char* keys[4] = {"single_host", "cross_host_10GbE", "cross_host_1GbE",
+                         "cross_host_100Mbps"};
+  const Results& r = results();
+  for (std::size_t i = 0; i < 4; ++i) {
+    csk::bench::report().add(std::string(keys[i]) + "/e2e_s", r.rows[i].e2e_s,
+                             "s");
+  }
 }
 
 }  // namespace

@@ -119,6 +119,18 @@ void print_tables() {
                    "holds in the model"
                  : "VERDICT ERRORS PRESENT — investigate");
   table.print();
+
+  for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+    const auto& c = r.clean[i].report;
+    const auto& k = r.rooted[i].report;
+    const std::string pages = std::to_string(kSizes[i]);
+    csk::bench::report()
+        .add("pages=" + pages + "/clean_t1_over_t0",
+             c.t1.summary.mean / c.t0.summary.mean)
+        .add("pages=" + pages + "/rootkit_t2_over_t0",
+             k.t2.summary.mean / k.t0.summary.mean);
+  }
+  csk::bench::report().add("all_verdicts_correct", all_correct ? 1 : 0);
 }
 
 }  // namespace

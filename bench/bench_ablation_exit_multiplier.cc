@@ -98,6 +98,15 @@ void print_tables() {
              "quicker to install and harder to notice — the paper's "
              "stealthiness argument strengthens over time.");
   table.print();
+
+  for (const Row& row : results().rows) {
+    const std::string m = "m=" + csk::format_fixed(row.m, 1);
+    csk::bench::report()
+        .add(m + "/pipe_l2_us", row.pipe_l2_us, "us")
+        .add(m + "/fork_exit_l2_us", row.fork_exit_l2_us, "us")
+        .add(m + "/compile_l2_over_l1", row.compile_ratio_l2_l1)
+        .add(m + "/nested_recv_mib_s", row.nested_receive_mib_s, "MiB/s");
+  }
 }
 
 }  // namespace

@@ -103,6 +103,14 @@ void print_tables() {
              "for a while' minutes-long on a busy host; operators running "
              "the detector want ksmd tuned up during the probe");
   table.print();
+
+  for (const Row& row : results().rows) {
+    csk::bench::report().add(
+        "pages_per_scan=" + std::to_string(row.pages_per_scan) +
+            "/full_merge_wait_s",
+        row.merge_seconds, "s");
+  }
+  csk::bench::report().note("full_merge_wait_s of -1 means timeout (>600 s)");
 }
 
 }  // namespace

@@ -115,6 +115,14 @@ void print_tables() {
              "saturates near ~20 MiB/s — the rootkit cannot buy a faster "
              "installation with migrate_set_speed alone");
   table.print();
+
+  for (std::size_t i = 0; i < std::size(kCaps); ++i) {
+    const std::string cap =
+        "cap=" + csk::format_fixed(kCaps[i] / kMiB, 0) + "MiBps";
+    csk::bench::report()
+        .add(cap + "/L0-L0_e2e_s", r.l0l0[i], "s")
+        .add(cap + "/L0-L1_e2e_s", r.l0l1[i], "s");
+  }
 }
 
 }  // namespace

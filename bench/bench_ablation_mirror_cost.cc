@@ -128,6 +128,13 @@ void print_tables() {
              "L1 kernel modifications the paper notes are themselves "
              "detectable");
   table.print();
+
+  for (const Row& row : results().rows) {
+    csk::bench::report()
+        .add(row.workload + "/write_traps", static_cast<double>(row.traps))
+        .add(row.workload + "/victim_overhead_pct", row.overhead_pct, "%")
+        .add(row.workload + "/detector_evaded", row.evaded ? 1 : 0);
+  }
 }
 
 }  // namespace

@@ -122,6 +122,19 @@ void print_tables() {
              "~14 minutes to kidnap — at the price of a fixed blackout and "
              "remote-fault exposure");
   table.print();
+
+  for (int w = 0; w < 3; ++w) {
+    const std::string wl = kWorkloads[w];
+    csk::bench::report()
+        .add(wl + "/pre_copy_e2e_s", r.pre[w].stats.total_time.seconds_f(),
+             "s")
+        .add(wl + "/post_copy_e2e_s", r.post[w].stats.total_time.seconds_f(),
+             "s")
+        .add(wl + "/pre_copy_downtime_ms", r.pre[w].stats.downtime.millis_f(),
+             "ms")
+        .add(wl + "/post_copy_downtime_ms",
+             r.post[w].stats.downtime.millis_f(), "ms");
+  }
 }
 
 }  // namespace

@@ -69,6 +69,21 @@ void print_tables() {
              "across all the execution environments\"; bulk network "
              "workloads cannot reveal the rootkit");
   table.print();
+
+  const double paper_sd_pct[3] = {1.11, 10.32, 3.96};
+  for (int layer = 0; layer < 3; ++layer) {
+    const std::string env = csk::hv::layer_name(static_cast<Layer>(layer));
+    csk::bench::report()
+        .add(env + "/throughput_gbps", r.per_layer[layer].mean(), "Gbps")
+        .add_paper(env + "/rel_stddev_pct",
+                   r.per_layer[layer].rel_stddev_pct(), paper_sd_pct[layer],
+                   "%");
+  }
+  csk::bench::report().add_paper(
+      "L1_to_L2/delta_pct",
+      (r.per_layer[2].mean() - r.per_layer[1].mean()) /
+          r.per_layer[1].mean() * 100.0,
+      8.95, "%");
 }
 
 }  // namespace

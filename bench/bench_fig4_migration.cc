@@ -146,6 +146,21 @@ void print_tables() {
              "modeled L0-L0 rides the 32 MiB/s throttle while L0-L1 is "
              "gated by the nested receive path (~20 MiB/s)");
   table.print();
+
+  const double paper_l0l1_s[3] = {26.0, 820.0, 29.0};
+  for (int w = 0; w < 3; ++w) {
+    const MigrationStats& a = r.cells[w][0].stats;
+    const MigrationStats& b = r.cells[w][1].stats;
+    const std::string wl = kWorkloads[w];
+    csk::bench::report()
+        .add(wl + "/L0-L0/total_s", a.total_time.seconds_f(), "s")
+        .add_paper(wl + "/L0-L1/total_s", b.total_time.seconds_f(),
+                   paper_l0l1_s[w], "s")
+        .add(wl + "/L0-L1/downtime_ms", b.downtime.millis_f(), "ms")
+        .add(wl + "/L0-L1/rounds", static_cast<double>(b.rounds));
+  }
+  csk::bench::report().note(
+      "paper L0-L1 values read off Fig 4 bars (~26 / ~820 / ~29 s)");
 }
 
 }  // namespace

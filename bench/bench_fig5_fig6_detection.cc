@@ -125,6 +125,23 @@ void print_tables() {
                  rootkit().report,
                  "t1 ~ t2 >> t0 (the stale L1 copy keeps merging)");
   std::printf("\n");
+
+  const DedupDetectionReport& c = clean().report;
+  const DedupDetectionReport& k = rootkit().report;
+  csk::bench::report()
+      .add("fig5_clean/t0_mean_us", c.t0.summary.mean, "us")
+      .add("fig5_clean/t1_mean_us", c.t1.summary.mean, "us")
+      .add("fig5_clean/t2_mean_us", c.t2.summary.mean, "us")
+      .add("fig5_clean/verdict_is_no_nested_vm",
+           c.verdict == DedupVerdict::kNoNestedVm ? 1 : 0)
+      .add("fig6_rootkit/t0_mean_us", k.t0.summary.mean, "us")
+      .add("fig6_rootkit/t1_mean_us", k.t1.summary.mean, "us")
+      .add("fig6_rootkit/t2_mean_us", k.t2.summary.mean, "us")
+      .add("fig6_rootkit/verdict_is_nested_vm_detected",
+           k.verdict == DedupVerdict::kNestedVmDetected ? 1 : 0)
+      .note("paper prints Fig 5/6 as per-page scatter plots without "
+            "numeric labels; the qualitative shape (t1>>t2~t0 clean, "
+            "t1~t2>>t0 rooted) is what reproduces");
 }
 
 }  // namespace

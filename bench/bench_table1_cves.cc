@@ -47,6 +47,14 @@ void print_tables() {
              "KVM/QEMU 23 — reproduced exactly");
   table.print();
 
+  const double paper_totals[kNumPlatforms] = {29, 15, 15, 14, 23};
+  for (std::size_t p = 0; p < kNumPlatforms; ++p) {
+    csk::bench::report().add_paper(
+        std::string("total/") + platform_name(static_cast<Platform>(p)),
+        m.platform_total(static_cast<Platform>(p)), paper_totals[p], "CVEs");
+  }
+  csk::bench::report().add_paper("grand_total", m.grand_total(), 96, "CVEs");
+
   // Full listing, grouped like the paper's cells.
   Table listing("Table I — full CVE listing");
   listing.columns({"Year", "Platform", "CVE"});

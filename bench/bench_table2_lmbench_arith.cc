@@ -59,6 +59,19 @@ void print_tables() {
   table.note("paper L2 row: 0.26 / 0.13 / 6.14 / 6.59 / 0.78 / 1.30 / 3.43 "
              "/ 0.78 / 1.30 / 5.23 — negligible effect at every layer");
   table.print();
+
+  const double paper_l2_ns[] = {0.26, 0.13, 6.14, 6.59, 0.78,
+                                1.30, 3.43, 0.78, 1.30, 5.23};
+  for (std::size_t i = 0; i < r.rows[2].size(); ++i) {
+    const auto& row = r.rows[2][i];
+    if (i < std::size(paper_l2_ns)) {
+      csk::bench::report().add_paper("L2/" + std::string(row.op) + "_ns",
+                                     row.ns, paper_l2_ns[i], "ns");
+    } else {
+      csk::bench::report().add("L2/" + std::string(row.op) + "_ns", row.ns,
+                               "ns");
+    }
+  }
 }
 
 }  // namespace

@@ -60,6 +60,19 @@ void print_tables() {
              "588.50 / 1826.00 — fork and IPC pay the nested exit "
              "multiplication; arithmetic (Table II) does not");
   table.print();
+
+  const double paper_l2_us[] = {0.10,  0.60,   0.32,   65.49,
+                                43.98, 242.19, 588.50, 1826.00};
+  for (std::size_t i = 0; i < r.rows[2].size(); ++i) {
+    const auto& row = r.rows[2][i];
+    if (i < std::size(paper_l2_us)) {
+      csk::bench::report().add_paper("L2/" + std::string(row.op) + "_us",
+                                     row.us, paper_l2_us[i], "us");
+    } else {
+      csk::bench::report().add("L2/" + std::string(row.op) + "_us", row.us,
+                               "us");
+    }
+  }
 }
 
 }  // namespace

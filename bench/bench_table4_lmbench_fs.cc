@@ -70,6 +70,19 @@ void print_tables() {
              "unexplained measurement artifact and is not modeled "
              "(DESIGN.md §5)");
   table.print();
+
+  const char* size_labels[] = {"0K", "1K", "4K", "10K"};
+  const double paper_l0_create[] = {126418, 99112, 99627, 79869};
+  const double paper_l0_delete[] = {379158, 280884, 279893, 214767};
+  for (std::size_t i = 0; i < r.rows[0].size() && i < std::size(size_labels);
+       ++i) {
+    const auto& row = r.rows[0][i];
+    csk::bench::report()
+        .add_paper(std::string("L0/") + size_labels[i] + "_create_per_s",
+                   row.creations_per_sec, paper_l0_create[i], "ops/s")
+        .add_paper(std::string("L0/") + size_labels[i] + "_delete_per_s",
+                   row.deletions_per_sec, paper_l0_delete[i], "ops/s");
+  }
 }
 
 }  // namespace

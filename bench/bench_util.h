@@ -10,11 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "vmm/host.h"
 #include "vmm/machine_config.h"
 
@@ -111,13 +114,113 @@ inline std::string pct_delta(double from, double to, int decimals = 1) {
   return buf;
 }
 
-/// Runs the registered benchmarks, then the provided table printer.
+// ------------------------------------------- machine-readable bench output
+
+/// Accumulates paper-vs-measured pairs during table printing; bench_main
+/// serializes them (plus a snapshot of the global metrics registry) to
+/// `BENCH_<name>.json` in the working directory, so regressions are visible
+/// to tooling instead of only to a human reading the console table.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport* r = new BenchReport();
+    return *r;
+  }
+
+  /// One measured value without a published paper counterpart (ablations,
+  /// values the paper only shows as unlabeled figure bars).
+  BenchReport& add(std::string key, double measured, std::string unit = "") {
+    entries_.push_back({std::move(key), measured, std::nan(""), std::move(unit)});
+    return *this;
+  }
+
+  /// One measured value with the paper's number for the same quantity.
+  BenchReport& add_paper(std::string key, double measured, double paper,
+                         std::string unit = "") {
+    entries_.push_back({std::move(key), measured, paper, std::move(unit)});
+    return *this;
+  }
+
+  BenchReport& note(std::string text) {
+    notes_.push_back(std::move(text));
+    return *this;
+  }
+
+  obs::JsonValue to_json(const std::string& bench_name) const {
+    obs::JsonValue entries = obs::JsonValue::array();
+    for (const Entry& e : entries_) {
+      obs::JsonValue entry = obs::JsonValue::object()
+                                 .set("key", e.key)
+                                 .set("measured", e.measured);
+      if (std::isnan(e.paper)) {
+        entry.set("paper", obs::JsonValue());  // null: no published value
+      } else {
+        entry.set("paper", e.paper);
+        if (e.paper != 0.0) {
+          entry.set("delta_pct", (e.measured - e.paper) / e.paper * 100.0);
+        }
+      }
+      if (!e.unit.empty()) entry.set("unit", e.unit);
+      entries.push(std::move(entry));
+    }
+    obs::JsonValue notes = obs::JsonValue::array();
+    for (const std::string& n : notes_) notes.push(n);
+    return obs::JsonValue::object()
+        .set("bench", bench_name)
+        .set("schema_version", 1)
+        .set("entries", std::move(entries))
+        .set("notes", std::move(notes))
+        .set("metrics", obs::metrics().snapshot().to_json());
+  }
+
+  Status write(const std::string& bench_name) const {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return unavailable("cannot open " + path);
+    const std::string body = to_json(bench_name).dump(2) + "\n";
+    const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    if (n != body.size()) return unavailable("short write to " + path);
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    return Status::ok();
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    double measured;
+    double paper;  // NaN when the paper publishes no value
+    std::string unit;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> notes_;
+};
+
+inline BenchReport& report() { return BenchReport::instance(); }
+
+/// "bench_fig4_migration" (or a path ending in it) -> "fig4_migration".
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string name(argv0 != nullptr ? argv0 : "unknown");
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.starts_with("bench_")) name = name.substr(6);
+  return name;
+}
+
+/// Runs the registered benchmarks, then the provided table printer, then
+/// writes the BENCH_<name>.json report.
 inline int bench_main(int argc, char** argv, void (*print_tables)()) {
+  const std::string bench_name = bench_name_from_argv0(argc > 0 ? argv[0] : nullptr);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   if (print_tables != nullptr) print_tables();
+  const Status st = report().write(bench_name);
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "bench report: %s\n", st.to_string().c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -1,0 +1,63 @@
+// Validates a BENCH_<name>.json report: parses it with the same JSON
+// implementation the benches serialize with, checks the required top-level
+// keys, and sanity-checks the entries array. Exit 0 on success, 1 with a
+// diagnostic otherwise — wired into CTest as the bench smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "json_check: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return fail("usage: json_check <report.json> [required_key...]");
+  }
+  const char* path = argv[1];
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return fail(std::string("cannot open ") + path);
+  std::string body;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    body.append(buf, n);
+  }
+  std::fclose(f);
+
+  auto parsed = csk::obs::JsonValue::parse(body);
+  if (!parsed.is_ok()) {
+    return fail(std::string(path) + ": " + parsed.status().to_string());
+  }
+  if (!parsed->is_object()) return fail("top level is not an object");
+
+  for (int i = 2; i < argc; ++i) {
+    if (parsed->find(argv[i]) == nullptr) {
+      return fail(std::string("missing required key \"") + argv[i] + "\"");
+    }
+  }
+
+  // Every entry must carry a key and a measured number.
+  if (const csk::obs::JsonValue* entries = parsed->find("entries")) {
+    if (!entries->is_array()) return fail("\"entries\" is not an array");
+    std::size_t index = 0;
+    for (const auto& entry : entries->as_array()) {
+      if (!entry.is_object() || entry.find("key") == nullptr ||
+          entry.find("measured") == nullptr) {
+        return fail("entry " + std::to_string(index) +
+                    " lacks key/measured fields");
+      }
+      ++index;
+    }
+    std::printf("json_check: %s ok (%zu entries)\n", path, index);
+  } else {
+    std::printf("json_check: %s ok\n", path);
+  }
+  return 0;
+}

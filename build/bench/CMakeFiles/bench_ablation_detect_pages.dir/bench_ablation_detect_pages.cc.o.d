@@ -184,8 +184,37 @@ bench/CMakeFiles/bench_ablation_detect_pages.dir/bench_ablation_detect_pages.cc.
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/stats.h /root/repo/src/common/time.h \
- /root/repo/src/vmm/host.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/stats.h \
+ /root/repo/src/common/time.h /root/repo/src/obs/json.h \
+ /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/optional /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/vmm/host.h \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -213,20 +242,15 @@ bench/CMakeFiles/bench_ablation_detect_pages.dir/bench_ablation_detect_pages.cc.
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/ids.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/common/ids.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /root/repo/src/common/rng.h \
- /root/repo/src/common/status.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/hv/hypervisor.h \
- /root/repo/src/hv/layer.h /root/repo/src/hv/timing_model.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/hv/hypervisor.h /root/repo/src/hv/layer.h \
+ /root/repo/src/hv/timing_model.h /root/repo/src/hv/vmexit.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ksm.h \
  /root/repo/src/mem/addr_space.h /root/repo/src/mem/phys_mem.h \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \

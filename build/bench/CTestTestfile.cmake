@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_run "/root/repo/build/bench/bench_table2_lmbench_arith")
+set_tests_properties(bench_smoke_run PROPERTIES  FIXTURES_SETUP "bench_smoke_report" WORKING_DIRECTORY "/root/repo/build/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_json "/root/repo/build/bench/json_check" "/root/repo/build/bench/BENCH_table2_lmbench_arith.json" "bench" "schema_version" "entries" "notes" "metrics")
+set_tests_properties(bench_smoke_json PROPERTIES  FIXTURES_REQUIRED "bench_smoke_report" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

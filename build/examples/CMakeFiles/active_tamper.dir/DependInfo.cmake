@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cloudskulk/CMakeFiles/csk_cloudskulk.dir/DependInfo.cmake"
   "/root/repo/build/src/detect/CMakeFiles/csk_detect.dir/DependInfo.cmake"
   "/root/repo/build/src/cve/CMakeFiles/csk_cve.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/csk_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

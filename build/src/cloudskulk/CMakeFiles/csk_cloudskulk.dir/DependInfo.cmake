@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
   "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/csk_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
   )
 

@@ -229,4 +229,6 @@ src/cloudskulk/CMakeFiles/csk_cloudskulk.dir/ritm.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hv/hypervisor.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/vmm/machine_config.h
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/stats.h /root/repo/src/obs/json.h \
+ /root/repo/src/vmm/machine_config.h

@@ -229,7 +229,9 @@ src/cloudskulk/CMakeFiles/csk_cloudskulk.dir/services/passive.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hv/hypervisor.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/vmm/machine_config.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/stats.h /root/repo/src/obs/json.h \
+ /root/repo/src/vmm/machine_config.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

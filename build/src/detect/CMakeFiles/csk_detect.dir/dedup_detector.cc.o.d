@@ -226,6 +226,7 @@ src/detect/CMakeFiles/csk_detect.dir/dedup_detector.cc.o: \
  /root/repo/src/hv/layer.h /root/repo/src/mem/addr_space.h \
  /root/repo/src/mem/phys_mem.h /root/repo/src/vmm/host.h \
  /root/repo/src/hv/hypervisor.h /root/repo/src/hv/vmexit.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/json.h \
  /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
@@ -234,4 +235,4 @@ src/detect/CMakeFiles/csk_detect.dir/dedup_detector.cc.o: \
  /root/repo/src/vmm/vm.h /root/repo/src/net/port_forward.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/trace.h

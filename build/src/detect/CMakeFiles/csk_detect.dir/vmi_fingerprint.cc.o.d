@@ -226,13 +226,14 @@ src/detect/CMakeFiles/csk_detect.dir/vmi_fingerprint.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hv/hypervisor.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/mem/ksm.h \
- /root/repo/src/net/network.h /root/repo/src/net/packet.h \
- /root/repo/src/vmm/machine_config.h /root/repo/src/vmm/vm.h \
- /root/repo/src/net/port_forward.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/stats.h /root/repo/src/obs/json.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/mem/ksm.h /root/repo/src/net/network.h \
+ /root/repo/src/net/packet.h /root/repo/src/vmm/machine_config.h \
+ /root/repo/src/vmm/vm.h /root/repo/src/net/port_forward.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -149,8 +149,11 @@ src/hv/CMakeFiles/csk_hv.dir/hypervisor.cc.o: \
  /root/repo/src/hv/layer.h /usr/include/c++/12/cstddef \
  /root/repo/src/hv/timing_model.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/limits /root/repo/src/hv/vmexit.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/stats.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/csk_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

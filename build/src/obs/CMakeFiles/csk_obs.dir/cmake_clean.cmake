@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csk_obs.dir/json.cc.o"
+  "CMakeFiles/csk_obs.dir/json.cc.o.d"
+  "CMakeFiles/csk_obs.dir/metrics.cc.o"
+  "CMakeFiles/csk_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/csk_obs.dir/trace.cc.o"
+  "CMakeFiles/csk_obs.dir/trace.cc.o.d"
+  "libcsk_obs.a"
+  "libcsk_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csk_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

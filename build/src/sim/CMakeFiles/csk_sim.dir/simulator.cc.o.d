@@ -146,4 +146,5 @@ src/sim/CMakeFiles/csk_sim.dir/simulator.cc.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/time.h
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/time.h \
+ /root/repo/src/obs/trace.h /root/repo/src/obs/json.h

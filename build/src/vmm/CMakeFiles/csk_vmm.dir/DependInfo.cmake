@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/net/CMakeFiles/csk_net.dir/DependInfo.cmake"
   "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
   "/root/repo/build/src/guestos/CMakeFiles/csk_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/csk_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -216,21 +216,21 @@ src/vmm/CMakeFiles/csk_vmm.dir/host.cc.o: /root/repo/src/vmm/host.cc \
  /root/repo/src/hv/hypervisor.h /root/repo/src/common/time.h \
  /root/repo/src/hv/layer.h /usr/include/c++/12/cstddef \
  /root/repo/src/hv/timing_model.h /root/repo/src/hv/vmexit.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/stats.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ksm.h \
  /root/repo/src/mem/addr_space.h /root/repo/src/mem/phys_mem.h \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \
  /usr/include/c++/12/span /root/repo/src/net/network.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/net/packet.h \
- /root/repo/src/vmm/machine_config.h /root/repo/src/vmm/vm.h \
- /root/repo/src/guestos/os.h /root/repo/src/guestos/fs.h \
- /root/repo/src/net/port_forward.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/net/packet.h /root/repo/src/vmm/machine_config.h \
+ /root/repo/src/vmm/vm.h /root/repo/src/guestos/os.h \
+ /root/repo/src/guestos/fs.h /root/repo/src/net/port_forward.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \

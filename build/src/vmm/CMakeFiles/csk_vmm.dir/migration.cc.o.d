@@ -224,15 +224,16 @@ src/vmm/CMakeFiles/csk_vmm.dir/migration.cc.o: \
  /root/repo/src/hv/timing_model.h /root/repo/src/hv/layer.h \
  /root/repo/src/mem/addr_space.h /root/repo/src/mem/phys_mem.h \
  /root/repo/src/hv/hypervisor.h /root/repo/src/hv/vmexit.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/network.h /root/repo/src/net/port_forward.h \
- /root/repo/src/vmm/machine_config.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/stats.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/network.h \
+ /root/repo/src/net/port_forward.h /root/repo/src/vmm/machine_config.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/vmm/host.h \
- /root/repo/src/mem/ksm.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/trace.h \
+ /root/repo/src/vmm/host.h /root/repo/src/mem/ksm.h

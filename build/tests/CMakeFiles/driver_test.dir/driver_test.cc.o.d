@@ -303,7 +303,8 @@ tests/CMakeFiles/driver_test.dir/driver_test.cc.o: \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \
  /usr/include/c++/12/span /root/repo/src/mem/addr_space.h \
  /root/repo/src/mem/phys_mem.h /root/repo/src/hv/hypervisor.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/network.h \

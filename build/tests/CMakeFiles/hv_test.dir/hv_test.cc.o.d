@@ -297,8 +297,10 @@ tests/CMakeFiles/hv_test.dir/hv_test.cc.o: /root/repo/tests/hv_test.cc \
  /root/repo/src/common/rng.h /root/repo/src/common/time.h \
  /root/repo/src/hv/layer.h /root/repo/src/common/status.h \
  /root/repo/src/hv/hypervisor.h /root/repo/src/common/ids.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/stats.h /root/repo/src/obs/json.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

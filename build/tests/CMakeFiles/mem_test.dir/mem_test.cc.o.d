@@ -298,8 +298,9 @@ tests/CMakeFiles/mem_test.dir/mem_test.cc.o: /root/repo/tests/mem_test.cc \
  /root/repo/src/mem/phys_mem.h /root/repo/src/common/rng.h \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \
  /usr/include/c++/12/span /root/repo/src/mem/ksm.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/stats.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs_test.cc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o" "gcc" "tests/CMakeFiles/obs_test.dir/obs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/csk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/csk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/csk_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/csk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/csk_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/guestos/CMakeFiles/csk_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/csk_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/csk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/csk_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudskulk/CMakeFiles/csk_cloudskulk.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/csk_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/cve/CMakeFiles/csk_cve.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/csk_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

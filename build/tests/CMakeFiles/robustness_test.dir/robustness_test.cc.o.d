@@ -298,10 +298,12 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/vmm/host.h /root/repo/src/common/rng.h \
  /root/repo/src/hv/hypervisor.h /root/repo/src/common/time.h \
  /root/repo/src/hv/layer.h /root/repo/src/hv/timing_model.h \
- /root/repo/src/hv/vmexit.h /root/repo/src/sim/simulator.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /root/repo/src/hv/vmexit.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/common/stats.h /root/repo/src/obs/json.h \
+ /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ksm.h \
  /root/repo/src/mem/addr_space.h /root/repo/src/mem/phys_mem.h \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \
@@ -310,5 +312,5 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/repo/src/vmm/vm.h /root/repo/src/guestos/os.h \
  /root/repo/src/guestos/fs.h /root/repo/src/net/port_forward.h \
  /root/repo/src/cloudskulk/ritm.h /root/repo/src/vmm/migration.h \
- /root/repo/src/detect/dedup_detector.h /root/repo/src/common/stats.h \
- /root/repo/tests/test_util.h /root/repo/src/vmm/monitor.h
+ /root/repo/src/detect/dedup_detector.h /root/repo/tests/test_util.h \
+ /root/repo/src/vmm/monitor.h

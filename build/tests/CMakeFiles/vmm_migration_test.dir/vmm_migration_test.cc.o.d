@@ -298,10 +298,11 @@ tests/CMakeFiles/vmm_migration_test.dir/vmm_migration_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/hv/hypervisor.h \
  /root/repo/src/common/time.h /root/repo/src/hv/layer.h \
  /root/repo/src/hv/timing_model.h /root/repo/src/hv/vmexit.h \
- /root/repo/src/sim/simulator.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/obs/metrics.h /root/repo/src/common/stats.h \
+ /root/repo/src/obs/json.h /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mem/ksm.h \
  /root/repo/src/mem/addr_space.h /root/repo/src/mem/phys_mem.h \
  /root/repo/src/mem/page.h /root/repo/src/common/hash.h \

@@ -9,6 +9,7 @@ include("/root/repo/build/tests/vmm_migration_test[1]_include.cmake")
 include("/root/repo/build/tests/cloudskulk_test[1]_include.cmake")
 include("/root/repo/build/tests/detect_test[1]_include.cmake")
 include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
 include("/root/repo/build/tests/sim_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/hv_test[1]_include.cmake")

@@ -1,6 +1,8 @@
 #include "detect/dedup_detector.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace csk::detect {
 
@@ -55,6 +57,9 @@ PageTimings DedupDetector::measure_baseline() {
     const mem::WriteResult w =
         buffer.write_page(Gfn(i), mem::PageData::from_bytes(std::move(bytes)));
     t.us.push_back(w.cost.micros_f());
+    obs::metrics()
+        .histogram("detect.dedup.page_write_us", {{"phase", "t0"}})
+        .observe(w.cost.micros_f());
   }
   t.summary = summarize(t.us);
   return t;
@@ -69,10 +74,15 @@ PageTimings DedupDetector::load_wait_measure(const std::string& label) {
     buffer.write_page(Gfn(i), file_[i]);
   }
   host_->ksm().register_region(&buffer);
+  const SimTime wait_start = host_->world()->simulator().now();
   host_->world()->simulator().run_for(config_.merge_wait);
+  obs::tracer().complete("detect.dedup.merge_wait[" + label + "]", wait_start,
+                         config_.merge_wait, "detect");
 
   PageTimings t;
   t.us.reserve(config_.file_pages);
+  obs::Histogram& probe_hist =
+      obs::metrics().histogram("detect.dedup.page_write_us", {{"phase", label}});
   for (std::size_t i = 0; i < config_.file_pages; ++i) {
     // Test write: touch one byte of the page. If ksmd merged the page with
     // a VM copy, this pays the copy-on-write break.
@@ -81,6 +91,7 @@ PageTimings DedupDetector::load_wait_measure(const std::string& label) {
     const mem::WriteResult w =
         buffer.write_page(Gfn(i), mem::PageData::from_bytes(std::move(bytes)));
     t.us.push_back(w.cost.micros_f());
+    probe_hist.observe(w.cost.micros_f());
   }
   t.summary = summarize(t.us);
   host_->ksm().unregister_region(&buffer);
@@ -132,6 +143,12 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
         "t1 slow (merged), t2 fast (unmerged after the guest's change): "
         "the guest's memory is exactly the memory the host sees";
   }
+  obs::metrics()
+      .counter("detect.dedup.runs",
+               {{"verdict", dedup_verdict_name(report.verdict)}})
+      .add();
+  obs::metrics().gauge("detect.dedup.last_t1_t2_separation")
+      .set(report.t1_t2_separation);
   return report;
 }
 

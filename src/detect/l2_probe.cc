@@ -1,6 +1,7 @@
 #include "detect/l2_probe.h"
 
 #include "guestos/costs.h"
+#include "obs/metrics.h"
 
 namespace csk::detect {
 
@@ -52,6 +53,9 @@ GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
     // Arithmetic cannot legitimately run much *faster* than hardware: an
     // observed/expected ratio well below 1 means the clock is deflated.
     if (!op.exit_heavy && r.ratio < 0.8) ++deflated_arith;
+    obs::metrics()
+        .histogram("detect.guest_probe.observed_us", {{"op", r.op}})
+        .observe(r.observed_us);
     report.readings.push_back(std::move(r));
   }
 
@@ -71,6 +75,10 @@ GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
     report.verdict = GuestProbeVerdict::kLooksSingleLevel;
     report.explanation = "all probes within single-level expectations";
   }
+  obs::metrics()
+      .counter("detect.guest_probe.runs",
+               {{"verdict", guest_probe_verdict_name(report.verdict)}})
+      .add();
   return report;
 }
 

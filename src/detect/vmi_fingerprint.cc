@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace csk::detect {
 
 VmiFingerprintDetector::VmiFingerprintDetector(vmm::Host* host)
@@ -68,6 +70,11 @@ VmiFingerprintReport VmiFingerprintDetector::check(
       }
     }
   }
+  obs::metrics().counter("detect.vmi.vms_checked").add(report.vms_checked);
+  obs::metrics().counter("detect.vmi.anomalies").add(report.anomalies.size());
+  obs::metrics()
+      .counter("detect.vmi.semantic_gap_failures")
+      .add(report.semantic_gap_failures);
   return report;
 }
 

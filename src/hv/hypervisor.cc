@@ -11,6 +11,14 @@ Hypervisor::Hypervisor(sim::Simulator* simulator, const TimingModel* timing,
       name_(std::move(name)) {
   CSK_CHECK(simulator != nullptr);
   CSK_CHECK(timing != nullptr);
+  const std::string layer = layer_name(guest_layer_);
+  for (std::size_t i = 0; i < kNumExitReasons; ++i) {
+    exit_counters_[i] = &obs::metrics().counter(
+        "hv.exits",
+        {{"layer", layer},
+         {"reason", exit_reason_name(static_cast<ExitReason>(i))}});
+  }
+  exit_cost_ns_ = &obs::metrics().counter("hv.exit_cost_ns", {{"layer", layer}});
 }
 
 Status Hypervisor::attach_guest(VmId vm, const std::string& vm_name,
@@ -64,9 +72,12 @@ SimDuration Hypervisor::charge_exit(VmId vm, ExitReason reason,
   auto it = guests_.find(vm);
   CSK_CHECK_MSG(it != guests_.end(), "charge_exit for unknown guest");
   it->second.exits.record(reason, count);
+  exit_counters_[static_cast<std::size_t>(reason)]->add(count);
   OpCost c;
   c.n_exits = static_cast<double>(count);
-  return timing_->price(c, it->second.layer);
+  const SimDuration cost = timing_->price(c, it->second.layer);
+  exit_cost_ns_->add(static_cast<std::uint64_t>(cost.ns()));
+  return cost;
 }
 
 SimDuration Hypervisor::charge_ops(VmId vm, const OpCost& cost) {
@@ -74,13 +85,18 @@ SimDuration Hypervisor::charge_ops(VmId vm, const OpCost& cost) {
   CSK_CHECK_MSG(it != guests_.end(), "charge_ops for unknown guest");
   // Account implied exits for statistics: faults surface as EPT violations,
   // IO ops as IO exits (only when virtualized at all).
-  it->second.exits.record(ExitReason::kEptViolation,
-                          static_cast<std::uint64_t>(cost.n_faults));
-  it->second.exits.record(ExitReason::kIo,
-                          static_cast<std::uint64_t>(cost.n_io_ops));
-  it->second.exits.record(ExitReason::kExternalInterrupt,
-                          static_cast<std::uint64_t>(cost.n_ctxsw));
-  return timing_->price(cost, it->second.layer);
+  const auto faults = static_cast<std::uint64_t>(cost.n_faults);
+  const auto io_ops = static_cast<std::uint64_t>(cost.n_io_ops);
+  const auto ctxsw = static_cast<std::uint64_t>(cost.n_ctxsw);
+  it->second.exits.record(ExitReason::kEptViolation, faults);
+  it->second.exits.record(ExitReason::kIo, io_ops);
+  it->second.exits.record(ExitReason::kExternalInterrupt, ctxsw);
+  exit_counters_[static_cast<std::size_t>(ExitReason::kEptViolation)]->add(faults);
+  exit_counters_[static_cast<std::size_t>(ExitReason::kIo)]->add(io_ops);
+  exit_counters_[static_cast<std::size_t>(ExitReason::kExternalInterrupt)]->add(ctxsw);
+  const SimDuration priced = timing_->price(cost, it->second.layer);
+  exit_cost_ns_->add(static_cast<std::uint64_t>(priced.ns()));
+  return priced;
 }
 
 }  // namespace csk::hv

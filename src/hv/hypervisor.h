@@ -19,6 +19,7 @@
 #include "hv/layer.h"
 #include "hv/timing_model.h"
 #include "hv/vmexit.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace csk::hv {
@@ -74,6 +75,10 @@ class Hypervisor {
   Layer guest_layer_;
   std::string name_;
   std::unordered_map<VmId, GuestContext> guests_;
+  // Cached global-registry instruments (stable across reset()): per-layer
+  // exit counts by reason, and the total priced handling cost.
+  obs::Counter* exit_counters_[kNumExitReasons] = {};
+  obs::Counter* exit_cost_ns_ = nullptr;
 };
 
 }  // namespace csk::hv

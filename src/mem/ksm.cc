@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace csk::mem {
 
@@ -12,6 +13,10 @@ KsmDaemon::KsmDaemon(sim::Simulator* simulator, HostPhysicalMemory* phys,
   CSK_CHECK(simulator != nullptr);
   CSK_CHECK(phys != nullptr);
   CSK_CHECK(config_.pages_per_scan > 0);
+  m_scanned_ = &obs::metrics().counter("mem.ksm.pages_scanned");
+  m_merges_ = &obs::metrics().counter("mem.ksm.merges");
+  m_passes_ = &obs::metrics().counter("mem.ksm.full_passes");
+  m_evictions_ = &obs::metrics().counter("mem.ksm.stale_stable_evictions");
 }
 
 KsmDaemon::~KsmDaemon() { stop(); }
@@ -69,6 +74,7 @@ void KsmDaemon::scan_batch(std::size_t pages) {
     }
     examine(as, cursor_.snapshot[cursor_.page_index]);
     ++stats_.pages_scanned;
+    m_scanned_->add();
     ++cursor_.page_index;
     if (cursor_.page_index >= cursor_.snapshot.size()) advance_cursor();
   }
@@ -84,6 +90,8 @@ void KsmDaemon::advance_cursor() {
     // from scratch, exactly like ksmd.
     unstable_.clear();
     ++stats_.full_passes;
+    m_passes_->add();
+    obs::tracer().instant("ksm.full_pass", simulator_->now(), "mem");
   }
 }
 
@@ -111,10 +119,12 @@ void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
     if (!phys_->is_live(canonical)) {
       stable_.erase(it);
       ++stats_.stale_stable_evictions;
+      m_evictions_->add();
     } else if (canonical != f &&
                phys_->frame(canonical).data.same_content(fr.data)) {
       phys_->merge_frames(canonical, f);
       ++stats_.merges;
+      m_merges_->add();
       return;
     } else if (canonical == f) {
       return;
@@ -133,6 +143,7 @@ void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
       stable_[h] = other;
       unstable_.erase(it);
       ++stats_.merges;
+      m_merges_->add();
       return;
     }
     if (!phys_->is_live(other)) unstable_.erase(it);

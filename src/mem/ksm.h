@@ -23,6 +23,7 @@
 #include "common/time.h"
 #include "mem/addr_space.h"
 #include "mem/phys_mem.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace csk::mem {
@@ -107,6 +108,11 @@ class KsmDaemon {
   // frame -> content hash at previous encounter (volatile filtering).
   std::unordered_map<std::uint64_t, ContentHash> last_seen_;
   KsmStats stats_;
+  // Cached global-registry counters mirroring stats_ (mem.ksm.*).
+  obs::Counter* m_scanned_ = nullptr;
+  obs::Counter* m_merges_ = nullptr;
+  obs::Counter* m_passes_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace csk::mem

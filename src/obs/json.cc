@@ -1,0 +1,305 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace csk::obs {
+
+JsonValue& JsonValue::push(JsonValue v) {
+  std::get<Array>(v_).push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue v) {
+  Object& obj = std::get<Object>(v_);
+  for (auto& [k, existing] : obj) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  // JSON has no NaN/Inf; emit null so the document stays parseable.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Integers (counter values, byte counts) print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    append_number(out, as_number());
+  } else if (is_string()) {
+    out += '"';
+    out += escape(as_string());
+    out += '"';
+  } else if (is_array()) {
+    const Array& a = as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) out += ',';
+      append_newline_indent(out, indent, depth + 1);
+      a[i].dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& o = as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) out += ',';
+      append_newline_indent(out, indent, depth + 1);
+      out += '"';
+      out += escape(o[i].first);
+      out += indent > 0 ? "\": " : "\":";
+      o[i].second.dump_to(out, indent, depth + 1);
+    }
+    append_newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse_document() {
+    CSK_ASSIGN_OR_RETURN(JsonValue v, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) return err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Status err(const std::string& what) const {
+    return invalid_argument("JSON parse error at offset " +
+                            std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return err("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      CSK_ASSIGN_OR_RETURN(std::string s, parse_string());
+      return JsonValue(std::move(s));
+    }
+    if (consume_word("null")) return JsonValue();
+    if (consume_word("true")) return JsonValue(true);
+    if (consume_word("false")) return JsonValue(false);
+    return parse_number();
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return err("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return err("malformed number");
+    return JsonValue(d);
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return err("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return err("truncated \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return err("bad \\u escape");
+            // Metric/trace names are ASCII; encode BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return err("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return err("unterminated string");
+  }
+
+  Result<JsonValue> parse_array() {
+    if (!consume('[')) return err("expected '['");
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      CSK_ASSIGN_OR_RETURN(JsonValue v, parse_value());
+      arr.push(std::move(v));
+      skip_ws();
+      if (consume(']')) return arr;
+      if (!consume(',')) return err("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> parse_object() {
+    if (!consume('{')) return err("expected '{'");
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      CSK_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return err("expected ':'");
+      CSK_ASSIGN_OR_RETURN(JsonValue v, parse_value());
+      obj.set(std::move(key), std::move(v));
+      skip_ws();
+      if (consume('}')) return obj;
+      if (!consume(',')) return err("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace csk::obs

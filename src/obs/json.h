@@ -1,0 +1,81 @@
+// Minimal JSON value, writer and parser.
+//
+// The observability layer emits machine-readable artifacts — metric
+// snapshots, chrome://tracing event streams, BENCH_*.json reports — and the
+// bench smoke test reads them back. Both directions live here so the repo
+// needs no external JSON dependency. The model is deliberately small:
+// null / bool / number (double) / string / array / object, with objects
+// preserving insertion order so emitted files diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csk::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// Key/value pairs in insertion order (stable output beats O(log n) lookup
+  /// at the sizes these documents reach).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : v_(nullptr) {}  // null
+  JsonValue(bool b) : v_(b) {}  // NOLINT implicit
+  JsonValue(double d) : v_(d) {}                                     // NOLINT
+  JsonValue(int i) : v_(static_cast<double>(i)) {}                   // NOLINT
+  JsonValue(std::int64_t i) : v_(static_cast<double>(i)) {}          // NOLINT
+  JsonValue(std::uint64_t i) : v_(static_cast<double>(i)) {}         // NOLINT
+  JsonValue(std::string s) : v_(std::move(s)) {}                     // NOLINT
+  JsonValue(const char* s) : v_(std::string(s)) {}                   // NOLINT
+
+  static JsonValue array() { return JsonValue(Array{}); }
+  static JsonValue object() { return JsonValue(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+
+  /// Appends to an array (the value must already be one).
+  JsonValue& push(JsonValue v);
+
+  /// Sets `key` in an object (replacing an existing entry); chains.
+  JsonValue& set(std::string key, JsonValue v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Serializes. `indent` = 0 emits a single line; > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  static Result<JsonValue> parse(std::string_view text);
+
+  /// Escapes a string for embedding in JSON output (no surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  explicit JsonValue(Array a) : v_(std::move(a)) {}
+  explicit JsonValue(Object o) : v_(std::move(o)) {}
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace csk::obs

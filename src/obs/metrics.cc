@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace csk::obs {
+
+std::string MetricsRegistry::key(std::string_view name, const Labels& labels) {
+  std::string out(name);
+  if (labels.empty()) return out;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  out += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+  return counters_[key(name, labels)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  return gauges_[key(name, labels)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels) {
+  return histograms_[key(name, labels)];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [k, c] : counters_) snap.counters.emplace(k, c.value());
+  for (const auto& [k, g] : gauges_) snap.gauges.emplace(k, g.value());
+  for (const auto& [k, h] : histograms_) {
+    HistogramSummary s;
+    s.count = h.stats().count();
+    s.sum = h.sum();
+    s.mean = h.stats().mean();
+    s.stddev = h.stats().stddev();
+    s.min = h.stats().min();
+    s.max = h.stats().max();
+    snap.histograms.emplace(k, s);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [k, c] : counters_) c = Counter{};
+  for (auto& [k, g] : gauges_) g = Gauge{};
+  for (auto& [k, h] : histograms_) h = Histogram{};
+}
+
+bool MetricsSnapshot::has(const std::string& key) const {
+  return counters.contains(key) || gauges.contains(key) ||
+         histograms.contains(key);
+}
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& key,
+                                          std::uint64_t fallback) const {
+  auto it = counters.find(key);
+  return it != counters.end() ? it->second : fallback;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& key,
+                                 double fallback) const {
+  auto it = gauges.find(key);
+  return it != gauges.end() ? it->second : fallback;
+}
+
+HistogramSummary MetricsSnapshot::histogram_or(const std::string& key) const {
+  auto it = histograms.find(key);
+  return it != histograms.end() ? it->second : HistogramSummary{};
+}
+
+JsonValue MetricsSnapshot::to_json() const {
+  JsonValue counters_json = JsonValue::object();
+  for (const auto& [k, v] : counters) counters_json.set(k, v);
+  JsonValue gauges_json = JsonValue::object();
+  for (const auto& [k, v] : gauges) gauges_json.set(k, v);
+  JsonValue hists_json = JsonValue::object();
+  for (const auto& [k, h] : histograms) {
+    hists_json.set(k, JsonValue::object()
+                          .set("count", h.count)
+                          .set("sum", h.sum)
+                          .set("mean", h.mean)
+                          .set("stddev", h.stddev)
+                          .set("min", h.min)
+                          .set("max", h.max));
+  }
+  return JsonValue::object()
+      .set("counters", std::move(counters_json))
+      .set("gauges", std::move(gauges_json))
+      .set("histograms", std::move(hists_json));
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace csk::obs

@@ -1,0 +1,136 @@
+// Lightweight metrics registry: counters, gauges and histograms keyed by
+// name + labels.
+//
+// Simulation components (the hypervisor's per-layer exit accounting, the
+// migration engine's round timeline, ksmd's scan/merge totals, the
+// detectors' probe latencies) publish into a process-global registry;
+// benches snapshot it into BENCH_*.json and tests assert on the snapshot
+// instead of scraping stdout.
+//
+// Two properties the simulator depends on:
+//   * publishing a metric never touches the simulated clock — observation
+//     is free in sim time by construction;
+//   * instrument references are stable for the life of the registry:
+//     reset() zeroes values but never moves or deletes instruments, so
+//     components may cache `Counter*` across test iterations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+namespace csk::obs {
+
+/// Label dimensions for one instrument, e.g. {{"layer","L1"},{"reason","IO"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count of occurrences (events, bytes, exits).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t v_ = 0;
+};
+
+/// Last-written value (a level, not a rate): downtime of the last migration,
+/// current shared-frame count, ...
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  double v_ = 0.0;
+};
+
+/// Moment sketch of an observed distribution (Welford under the hood).
+class Histogram {
+ public:
+  void observe(double x) {
+    stats_.add(x);
+    sum_ += x;
+  }
+  const RunningStats& stats() const { return stats_; }
+  double sum() const { return sum_; }
+
+ private:
+  friend class MetricsRegistry;
+  RunningStats stats_;
+  double sum_ = 0.0;
+};
+
+struct HistogramSummary {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every instrument, keyed by the canonical
+/// `name{label=value,...}` string (labels sorted by key). Ordered maps so
+/// that serialized snapshots are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  bool has(const std::string& key) const;
+  std::uint64_t counter_or(const std::string& key,
+                           std::uint64_t fallback = 0) const;
+  double gauge_or(const std::string& key, double fallback = 0.0) const;
+  /// Histogram summary; a zero-count summary when absent.
+  HistogramSummary histogram_or(const std::string& key) const;
+
+  JsonValue to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates an instrument. The returned reference stays valid for
+  /// the registry's lifetime (reset() included).
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  Histogram& histogram(std::string_view name, const Labels& labels = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument without invalidating cached references.
+  void reset();
+
+  std::size_t instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Canonical instrument key: `name` alone, or `name{k1=v1,k2=v2}` with
+  /// labels sorted by key.
+  static std::string key(std::string_view name, const Labels& labels);
+
+ private:
+  // unordered_map mapped references survive rehashing, which is exactly the
+  // stability the cached-pointer contract needs.
+  std::unordered_map<std::string, Counter> counters_;
+  std::unordered_map<std::string, Gauge> gauges_;
+  std::unordered_map<std::string, Histogram> histograms_;
+};
+
+/// The process-global default registry every component publishes into.
+MetricsRegistry& metrics();
+
+}  // namespace csk::obs

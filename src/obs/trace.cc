@@ -1,0 +1,64 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace csk::obs {
+
+void TraceSink::instant(std::string_view name, SimTime ts,
+                        std::string_view cat) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{'i', std::string(name), std::string(cat), ts.ns(), 0, 0.0});
+}
+
+void TraceSink::complete(std::string_view name, SimTime start, SimDuration dur,
+                         std::string_view cat) {
+  if (!enabled_) return;
+  events_.push_back(Event{'X', std::string(name), std::string(cat), start.ns(),
+                          dur.ns(), 0.0});
+}
+
+void TraceSink::counter(std::string_view name, SimTime ts, double value,
+                        std::string_view cat) {
+  if (!enabled_) return;
+  events_.push_back(
+      Event{'C', std::string(name), std::string(cat), ts.ns(), 0, value});
+}
+
+JsonValue TraceSink::to_json() const {
+  // Chrome's trace-event format: timestamps/durations in microseconds.
+  JsonValue arr = JsonValue::array();
+  for (const Event& e : events_) {
+    JsonValue ev = JsonValue::object()
+                       .set("name", e.name)
+                       .set("cat", e.cat)
+                       .set("ph", std::string(1, e.phase))
+                       .set("ts", static_cast<double>(e.ts_ns) / 1e3)
+                       .set("pid", 0)
+                       .set("tid", 0);
+    if (e.phase == 'X') {
+      ev.set("dur", static_cast<double>(e.dur_ns) / 1e3);
+    } else if (e.phase == 'C') {
+      ev.set("args", JsonValue::object().set("value", e.value));
+    }
+    arr.push(std::move(ev));
+  }
+  return JsonValue::object().set("traceEvents", std::move(arr));
+}
+
+Status TraceSink::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return unavailable("cannot open trace file " + path);
+  const std::string body = to_chrome_json();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (written != body.size()) return unavailable("short write to " + path);
+  return Status::ok();
+}
+
+TraceSink& tracer() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+}  // namespace csk::obs

@@ -1,0 +1,71 @@
+// Structured trace sink: timestamped spans/events on the *simulated* clock,
+// exportable as chrome://tracing JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev to see the dispatch loop, migration rounds and
+// daemon activity on one timeline).
+//
+// The sink is disabled by default and every recording call early-returns
+// when disabled, so an untraced run does no work beyond one branch — and,
+// because recording never advances SimTime, enabling it cannot change any
+// simulated result either. Components reach the sink through the global
+// tracer() accessor, mirroring the metrics registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "obs/json.h"
+
+namespace csk::obs {
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void enable(bool on = true) { enabled_ = on; }
+
+  /// A point event (chrome ph="i").
+  void instant(std::string_view name, SimTime ts, std::string_view cat = "sim");
+
+  /// A span with an explicit duration (chrome ph="X").
+  void complete(std::string_view name, SimTime start, SimDuration dur,
+                std::string_view cat = "sim");
+
+  /// A sampled counter track (chrome ph="C").
+  void counter(std::string_view name, SimTime ts, double value,
+               std::string_view cat = "sim");
+
+  std::size_t events() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// The recorded stream as a chrome://tracing "traceEvents" array.
+  JsonValue to_json() const;
+  std::string to_chrome_json() const { return to_json().dump(1); }
+
+  /// Writes to_chrome_json() to `path`.
+  Status write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'i' instant, 'X' complete, 'C' counter
+    std::string name;
+    std::string cat;
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;  // complete events only
+    double value = 0.0;       // counter events only
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+/// The process-global sink the Simulator and components record into.
+TraceSink& tracer();
+
+}  // namespace csk::obs

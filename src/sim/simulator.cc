@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace csk::sim {
 
 void Simulator::push(SimTime when, EventId id, EventFn fn) {
@@ -12,6 +14,7 @@ EventId Simulator::schedule_at(SimTime when, EventFn fn) {
   CSK_CHECK_MSG(when >= now_, "cannot schedule an event in the simulated past");
   CSK_CHECK(fn != nullptr);
   const EventId id = ids_.next();
+  live_.insert(id);
   push(when, id, std::move(fn));
   return id;
 }
@@ -25,8 +28,13 @@ bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
   if (periodic_.erase(id) > 0) return true;  // task body gone; firings no-op
   // One-shot events cannot be removed from the middle of a priority queue;
-  // leave a tombstone that dispatch consumes.
-  return cancelled_.insert(id).second;
+  // leave a tombstone that dispatch consumes. Only a *live* (still-queued,
+  // not-yet-cancelled) event may be tombstoned: this keeps the documented
+  // "returns false if it already ran" contract truthful and guarantees every
+  // tombstone has exactly one queue entry left to consume it.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
 }
 
 EventId Simulator::schedule_periodic(SimDuration interval,
@@ -43,7 +51,12 @@ EventId Simulator::schedule_periodic(SimDuration interval,
 void Simulator::fire_periodic(EventId id, SimDuration interval) {
   auto it = periodic_.find(id);
   if (it == periodic_.end()) return;  // cancelled
-  if (!it->second()) {
+  // Invoke a copy of the body: the callback may cancel() its own task, which
+  // erases the map entry — destroying the stored callable mid-call otherwise.
+  const std::function<bool()> body = it->second;
+  const bool keep = body();
+  if (!periodic_.contains(id)) return;  // cancelled from inside the callback
+  if (!keep) {
     periodic_.erase(id);
     return;
   }
@@ -51,31 +64,42 @@ void Simulator::fire_periodic(EventId id, SimDuration interval) {
        [this, id, interval] { fire_periodic(id, interval); });
 }
 
-bool Simulator::step() {
+void Simulator::prune_cancelled_head() {
   while (!queue_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    const Entry& top = queue_.top();
+    if (!top.id.valid()) return;
+    auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
     queue_.pop();
-    if (e.id.valid()) {
-      auto it = cancelled_.find(e.id);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;  // tombstoned one-shot: skip without dispatching
-      }
-    }
-    CSK_CHECK(e.when >= now_);
-    now_ = e.when;
-    ++dispatched_;
-    e.fn();
-    return true;
   }
-  return false;
+}
+
+bool Simulator::step() {
+  prune_cancelled_head();
+  if (queue_.empty()) return false;
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  if (e.id.valid()) live_.erase(e.id);
+  CSK_CHECK_MSG(e.when >= now_, "simulator clock may never move backwards");
+  now_ = e.when;
+  ++dispatched_;
+  obs::tracer().instant("sim.dispatch", now_, "sim");
+  e.fn();
+  return true;
 }
 
 void Simulator::run_until(SimTime deadline) {
   CSK_CHECK(deadline >= now_);
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  // Tombstones must be skipped *before* the deadline comparison: a cancelled
+  // entry at the head with when <= deadline must not admit a later real
+  // event past the deadline (and then drag the clock backwards).
+  for (prune_cancelled_head();
+       !queue_.empty() && queue_.top().when <= deadline;
+       prune_cancelled_head()) {
     if (!step()) break;
   }
+  CSK_CHECK_MSG(now_ <= deadline, "run_until dispatched past its deadline");
   now_ = deadline;
 }
 

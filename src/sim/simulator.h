@@ -42,7 +42,8 @@ class Simulator {
   EventId schedule_after(SimDuration delay, EventFn fn);
 
   /// Cancels a pending one-shot event or a periodic task. Returns false if
-  /// it already ran or was cancelled. Safe to call from inside an event.
+  /// it already ran or was cancelled. Safe to call from inside an event,
+  /// including a periodic task cancelling itself.
   bool cancel(EventId id);
 
   /// Repeatedly runs `fn` every `interval`, first firing after `interval`.
@@ -53,7 +54,8 @@ class Simulator {
   bool step();
 
   /// Runs events with timestamp <= `deadline`; the clock then advances to
-  /// `deadline` even if the queue drained earlier.
+  /// `deadline` even if the queue drained earlier. Events strictly after
+  /// `deadline` never run, and the clock never moves backwards.
   void run_until(SimTime deadline);
 
   /// Convenience: run_until(now() + d).
@@ -63,9 +65,10 @@ class Simulator {
   /// self-rescheduling loops. Returns the number of events dispatched.
   std::uint64_t run_until_idle(std::uint64_t max_events = 100'000'000);
 
-  /// Upper bound on events still queued (cancelled tombstones may inflate
-  /// the count until their slots are consumed).
-  std::size_t pending_events() const { return queue_.size(); }
+  /// Exact number of dispatchable entries still queued. Cancelled one-shot
+  /// tombstones are excluded; a cancelled periodic task's already-queued
+  /// re-firing still counts (it dispatches as a no-op).
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
   /// Total events dispatched since construction.
   std::uint64_t dispatched() const { return dispatched_; }
@@ -90,12 +93,20 @@ class Simulator {
 
   void fire_periodic(EventId id, SimDuration interval);
   void push(SimTime when, EventId id, EventFn fn);
+  /// Pops cancelled one-shot tombstones sitting at the queue head, so that
+  /// queue_.top() (when present) is always a dispatchable entry.
+  void prune_cancelled_head();
 
   SimTime now_;
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
   IdAllocator<EventId> ids_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // One-shot ids currently in the queue. Membership is what makes cancel()
+  // truthful: an id absent from here has already run (or was cancelled).
+  std::unordered_set<EventId> live_;
+  // Cancelled-but-still-queued one-shots; always a subset of queue entries,
+  // so every tombstone is eventually consumed (no leak).
   std::unordered_set<EventId> cancelled_;
   // Periodic task bodies live here so that cancel() is an O(1) erase and the
   // queued closures hold no owning self-references.

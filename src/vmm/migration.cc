@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vmm/host.h"
 
 namespace csk::vmm {
@@ -69,6 +71,8 @@ void MigrationJob::start() {
   }
   start_time_ = world_->simulator().now();
   next_send_allowed_ = start_time_;
+  obs::metrics().counter("vmm.migration.jobs_started").add();
+  obs::tracer().instant("migration.start", start_time_, "vmm");
   sched_at(start_time_ + config_.setup_time, [this] {
     if (config_.post_copy) {
       start_post_copy();
@@ -253,6 +257,10 @@ void MigrationJob::chunk_processed(Chunk chunk) {
   stats_.pages_transferred += chunk.pages.size();
   stats_.zero_pages += chunk.zero_gfns.size();
   stats_.wire_bytes += chunk.wire_bytes;
+  obs::metrics().counter("vmm.migration.chunks").add();
+  obs::metrics().counter("vmm.migration.pages").add(chunk.pages.size());
+  obs::metrics().counter("vmm.migration.zero_pages").add(chunk.zero_gfns.size());
+  obs::metrics().counter("vmm.migration.wire_bytes").add(chunk.wire_bytes);
   round_acc_.pages += chunk.pages.size();
   round_acc_.zero_pages += chunk.zero_gfns.size();
   round_acc_.wire_bytes += chunk.wire_bytes;
@@ -292,6 +300,15 @@ void MigrationJob::end_round() {
     observed_rate_ = static_cast<double>(round_acc_.wire_bytes) /
                      round_acc_.duration.seconds_f();
   }
+  obs::metrics().counter("vmm.migration.rounds").add();
+  obs::metrics()
+      .histogram("vmm.migration.round_duration_s")
+      .observe(round_acc_.duration.seconds_f());
+  obs::tracer().complete(
+      "migration.round[" + std::to_string(round_acc_.round) + "]",
+      round_start_, round_acc_.duration, "vmm");
+  obs::tracer().counter("migration.observed_rate_MiBps", now,
+                        observed_rate_ / (1024.0 * 1024.0), "vmm");
 
   if (final_round_) {
     // Blackout tail: transfer the device state, then hand off.
@@ -361,6 +378,7 @@ void MigrationJob::do_handoff() {
   std::unique_ptr<guestos::GuestOS> os = source_->release_os();
   dest_->adopt_os(std::move(os));
   source_->memory().disable_dirty_log();
+  obs::tracer().instant("migration.handoff", world_->simulator().now(), "vmm");
 }
 
 void MigrationJob::stream_rejected(const std::string& why) {
@@ -387,6 +405,19 @@ void MigrationJob::finish() {
   stats_.completed = true;
   stats_.total_time = world_->simulator().now() - start_time_;
   stats_.rounds = static_cast<int>(stats_.round_log.size());
+  obs::metrics()
+      .counter("vmm.migration.jobs",
+               {{"result", stats_.succeeded ? "succeeded" : "failed"}})
+      .add();
+  if (stats_.succeeded) {
+    obs::metrics().gauge("vmm.migration.last_downtime_ms")
+        .set(stats_.downtime.millis_f());
+    obs::metrics().gauge("vmm.migration.last_total_s")
+        .set(stats_.total_time.seconds_f());
+    obs::metrics().gauge("vmm.migration.last_rounds").set(stats_.rounds);
+  }
+  obs::tracer().complete("migration.job", start_time_, stats_.total_time,
+                         "vmm");
   world_->unregister_migration(token_);
   if (completion_) completion_(stats_);
 }

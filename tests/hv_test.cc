@@ -6,6 +6,7 @@
 #include "hv/hypervisor.h"
 #include "hv/layer.h"
 #include "hv/timing_model.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace csk::hv {
@@ -290,6 +291,20 @@ TEST_F(HypervisorTest, ChargeOpsRecordsImpliedExits) {
   EXPECT_EQ(exits.count(ExitReason::kIo), 2u);
   EXPECT_EQ(exits.count(ExitReason::kExternalInterrupt), 3u);
   EXPECT_EQ(exits.total(), 10u);
+}
+
+TEST_F(HypervisorTest, ChargeExitPublishesMetrics) {
+  ASSERT_TRUE(hv_.attach_guest(VmId(1), "a", false).is_ok());
+  const std::string exits_key = "hv.exits{layer=L1,reason=IO}";
+  const std::string cost_key = "hv.exit_cost_ns{layer=L1}";
+  const std::uint64_t exits_before =
+      obs::metrics().snapshot().counter_or(exits_key);
+  const std::uint64_t cost_before =
+      obs::metrics().snapshot().counter_or(cost_key);
+  hv_.charge_exit(VmId(1), ExitReason::kIo, 7);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.counter_or(exits_key) - exits_before, 7u);
+  EXPECT_GT(snap.counter_or(cost_key), cost_before);
 }
 
 TEST(ExitReasonTest, Names) {

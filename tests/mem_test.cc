@@ -5,6 +5,7 @@
 #include "mem/addr_space.h"
 #include "mem/ksm.h"
 #include "mem/phys_mem.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace csk::mem {
@@ -290,6 +291,28 @@ TEST_F(KsmTest, MergesIdenticalPagesAcrossSpaces) {
   EXPECT_EQ(ksm_.shared_frames(), 1u);
   EXPECT_EQ(ksm_.pages_sharing(), 1u);
   EXPECT_GE(ksm_.stats().merges, 1u);
+}
+
+TEST_F(KsmTest, PublishesScanAndMergeMetrics) {
+  const obs::MetricsSnapshot before = obs::metrics().snapshot();
+  AddressSpace a(&phys_, 8, "a");
+  AddressSpace b(&phys_, 8, "b");
+  a.write_page(Gfn(0), synth(11));
+  b.write_page(Gfn(0), synth(11));
+  ksm_.register_region(&a);
+  ksm_.register_region(&b);
+  ksm_.full_pass();
+  ksm_.full_pass();
+  const obs::MetricsSnapshot after = obs::metrics().snapshot();
+  EXPECT_EQ(after.counter_or("mem.ksm.merges") -
+                before.counter_or("mem.ksm.merges"),
+            ksm_.stats().merges);
+  EXPECT_EQ(after.counter_or("mem.ksm.pages_scanned") -
+                before.counter_or("mem.ksm.pages_scanned"),
+            ksm_.stats().pages_scanned);
+  EXPECT_GE(after.counter_or("mem.ksm.full_passes") -
+                before.counter_or("mem.ksm.full_passes"),
+            2u);
 }
 
 TEST_F(KsmTest, RequiresTwoStableEncounters) {

@@ -1,0 +1,225 @@
+// Observability layer tests: JSON value/writer/parser, metrics registry,
+// trace sink, and the zero-cost-in-sim-time guarantee.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace csk::obs {
+namespace {
+
+// ------------------------------------------------------------------- JSON
+
+TEST(JsonTest, DumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(1000000.0).dump(), "1000000");
+  EXPECT_EQ(JsonValue(std::uint64_t{5}).dump(), "5");
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonValue("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  JsonValue obj = JsonValue::object().set("z", 1).set("a", 2).set("z", 3);
+  EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_number(), 2.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTripsNestedDocument) {
+  JsonValue doc = JsonValue::object()
+                      .set("name", "bench")
+                      .set("n", 3)
+                      .set("ok", true)
+                      .set("nothing", JsonValue())
+                      .set("xs", JsonValue::array().push(1).push("two").push(
+                                     JsonValue::object().set("k", 2.5)));
+  const std::string text = doc.dump(2);
+  auto parsed = JsonValue::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->dump(), doc.dump());
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::parse("").is_ok());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").is_ok());
+  EXPECT_FALSE(JsonValue::parse("[1,2,]").is_ok());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").is_ok());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").is_ok());
+}
+
+TEST(JsonTest, ParseHandlesUnicodeEscapes) {
+  auto parsed = JsonValue::parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->as_string(), "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(MetricsTest, KeyCanonicalizesLabelOrder) {
+  EXPECT_EQ(MetricsRegistry::key("m", {}), "m");
+  EXPECT_EQ(MetricsRegistry::key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::key("m", {{"a", "1"}, {"b", "2"}}),
+            "m{a=1,b=2}");
+}
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  reg.counter("c").add();
+  reg.counter("c").add(4);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").observe(1.0);
+  reg.histogram("h").observe(3.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("c"), 5u);
+  EXPECT_EQ(snap.gauge_or("g"), 2.5);
+  const HistogramSummary h = snap.histogram_or("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 4.0);
+  EXPECT_EQ(h.mean, 2.0);
+  EXPECT_EQ(h.min, 1.0);
+  EXPECT_EQ(h.max, 3.0);
+  EXPECT_FALSE(snap.has("absent"));
+  EXPECT_EQ(snap.counter_or("absent", 9), 9u);
+}
+
+TEST(MetricsTest, LabelsDistinguishInstruments) {
+  MetricsRegistry reg;
+  reg.counter("hv.exits", {{"layer", "L1"}}).add(2);
+  reg.counter("hv.exits", {{"layer", "L2"}}).add(7);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_or("hv.exits{layer=L1}"), 2u);
+  EXPECT_EQ(snap.counter_or("hv.exits{layer=L2}"), 7u);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  c.add(10);
+  h.observe(5.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.stats().count(), 0u);
+  c.add(3);  // the cached reference still feeds the same instrument
+  EXPECT_EQ(reg.snapshot().counter_or("c"), 3u);
+  EXPECT_EQ(reg.instruments(), 2u);
+}
+
+TEST(MetricsTest, ReferencesSurviveRehash) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("first");
+  first.add(1);
+  for (int i = 0; i < 1000; ++i) {
+    reg.counter("filler" + std::to_string(i)).add();
+  }
+  first.add(1);  // must still be the live instrument after any rehash
+  EXPECT_EQ(reg.snapshot().counter_or("first"), 2u);
+}
+
+TEST(MetricsTest, SnapshotToJsonHasSections) {
+  MetricsRegistry reg;
+  reg.counter("c").add(1);
+  reg.gauge("g").set(1.0);
+  reg.histogram("h").observe(1.0);
+  const JsonValue json = reg.snapshot().to_json();
+  ASSERT_NE(json.find("counters"), nullptr);
+  ASSERT_NE(json.find("gauges"), nullptr);
+  ASSERT_NE(json.find("histograms"), nullptr);
+  EXPECT_EQ(json.find("counters")->find("c")->as_number(), 1.0);
+}
+
+TEST(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&metrics(), &metrics());
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(TraceTest, DisabledSinkRecordsNothing) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sink.instant("e", SimTime::origin());
+  sink.complete("s", SimTime::origin(), SimDuration::micros(5));
+  sink.counter("c", SimTime::origin(), 1.0);
+  EXPECT_EQ(sink.events(), 0u);
+}
+
+TEST(TraceTest, RecordsChromeTraceEvents) {
+  TraceSink sink;
+  sink.enable();
+  const SimTime t1 = SimTime::origin() + SimDuration::micros(3);
+  sink.instant("tick", t1, "sim");
+  sink.complete("round", t1, SimDuration::millis(2), "vmm");
+  sink.counter("rate", t1, 12.5, "vmm");
+  ASSERT_EQ(sink.events(), 3u);
+
+  const JsonValue json = sink.to_json();
+  const JsonValue* events = json.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 3u);
+
+  const JsonValue& instant = events->as_array()[0];
+  EXPECT_EQ(instant.find("name")->as_string(), "tick");
+  EXPECT_EQ(instant.find("ph")->as_string(), "i");
+  EXPECT_EQ(instant.find("ts")->as_number(), 3.0);  // microseconds
+
+  const JsonValue& complete = events->as_array()[1];
+  EXPECT_EQ(complete.find("ph")->as_string(), "X");
+  EXPECT_EQ(complete.find("dur")->as_number(), 2000.0);
+
+  const JsonValue& counter = events->as_array()[2];
+  EXPECT_EQ(counter.find("ph")->as_string(), "C");
+
+  // The serialized stream must itself be valid JSON.
+  EXPECT_TRUE(JsonValue::parse(sink.to_chrome_json()).is_ok());
+
+  sink.clear();
+  EXPECT_EQ(sink.events(), 0u);
+}
+
+TEST(TraceTest, GlobalTracerIsSingletonAndDisabledByDefault) {
+  EXPECT_EQ(&tracer(), &tracer());
+}
+
+// A traced run and an untraced run of the same scenario must produce
+// byte-identical simulated results — recording never advances SimTime.
+TEST(TraceTest, TracingDoesNotPerturbSimulation) {
+  auto run = [](bool traced) {
+    const bool was_enabled = tracer().enabled();
+    tracer().enable(traced);
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim.schedule_periodic(SimDuration::millis(10), [&] {
+      ++ticks;
+      return ticks < 20;
+    });
+    sim.schedule_after(SimDuration::millis(55), [&] {
+      sim.schedule_after(SimDuration::millis(5), [] {});
+    });
+    sim.run_until_idle();
+    tracer().enable(was_enabled);
+    return std::pair{sim.now().ns(), sim.dispatched()};
+  };
+  const auto untraced = run(false);
+  const auto traced = run(true);
+  EXPECT_EQ(untraced, traced);
+  tracer().clear();
+}
+
+}  // namespace
+}  // namespace csk::obs

@@ -163,6 +163,98 @@ TEST(SimulatorTest, DispatchedCounter) {
   EXPECT_EQ(sim.dispatched(), 7u);
 }
 
+TEST(SimulatorTest, RunUntilSkipsCancelledHeadTombstone) {
+  // Regression: a cancelled tombstone with when <= deadline at the queue
+  // head used to let run_until() dispatch the *next* real event even past
+  // the deadline — and then drag the clock backwards to the deadline.
+  Simulator sim;
+  int a_fired = 0;
+  sim.schedule_at(SimTime(10), [&] { ++a_fired; });
+  const EventId b = sim.schedule_at(SimTime(5), [] {});
+  EXPECT_TRUE(sim.cancel(b));
+  sim.run_until(SimTime(7));
+  EXPECT_EQ(a_fired, 0);  // A@10 is strictly after the deadline
+  EXPECT_EQ(sim.now().ns(), 7);
+  sim.run_until_idle();
+  EXPECT_EQ(a_fired, 1);
+  EXPECT_EQ(sim.now().ns(), 10);
+}
+
+TEST(SimulatorTest, RunUntilSkipsRunOfCancelledTombstones) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<EventId> victims;
+  for (int i = 1; i <= 4; ++i) {
+    victims.push_back(sim.schedule_at(SimTime(i), [] {}));
+  }
+  sim.schedule_at(SimTime(20), [&] { ++fired; });
+  for (EventId id : victims) EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(SimTime(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now().ns(), 10);
+  EXPECT_EQ(sim.pending_events(), 1u);  // only the real event remains
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_after(SimDuration::micros(1), [&] { ++fired; });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.cancel(id));  // contract: it already ran
+}
+
+TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId::invalid()));
+  EXPECT_FALSE(sim.cancel(EventId(424242)));  // never scheduled
+}
+
+TEST(SimulatorTest, PeriodicSelfCancelFromOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventId self = EventId::invalid();
+  self = sim.schedule_periodic(SimDuration::millis(10), [&] {
+    ++fired;
+    if (fired == 2) {
+      EXPECT_TRUE(sim.cancel(self));
+    }
+    return true;  // self-cancel must win over the keep-alive return
+  });
+  sim.run_until(SimTime::origin() + SimDuration::millis(100));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.cancel(self));  // already gone
+}
+
+TEST(SimulatorTest, PendingEventsExactUnderHeavyCancellation) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_after(SimDuration::micros(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(sim.cancel(ids[i]));
+  EXPECT_EQ(sim.pending_events(), 50u);  // tombstones don't inflate the count
+  // Double-cancel of an already-cancelled event stays false and non-leaky.
+  EXPECT_FALSE(sim.cancel(ids[0]));
+  EXPECT_EQ(sim.pending_events(), 50u);
+  EXPECT_EQ(sim.run_until_idle(), 50u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, TombstonesAreConsumedNotLeaked) {
+  // Cancel events whose timestamps are never stepped over one at a time:
+  // run_until must consume the tombstones, leaving an empty queue.
+  Simulator sim;
+  for (int round = 0; round < 10; ++round) {
+    const EventId id = sim.schedule_after(SimDuration::micros(1), [] {});
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run_for(SimDuration::micros(2));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
 TEST(SimulatorTest, TwoPeriodicTasksInterleave) {
   Simulator sim;
   std::vector<char> order;
