@@ -1,0 +1,48 @@
+/// \file
+/// Retry policy with exponential backoff.
+///
+/// The recovery half of the fault-injection layer: components that retry a
+/// failed operation (migration attempts, port-forwarder rebinds) share one
+/// policy type and one backoff formula so tests can pin the exact schedule.
+///
+/// The delay before retry `k` (0-based) is the documented geometric series
+///
+///     delay(k) = min(initial_backoff * multiplier^k, max_backoff)
+///
+/// computed in integer nanoseconds from a double multiplier — deterministic
+/// across runs, never drawing randomness (jitter, when wanted, is the fault
+/// injector's job, not the policy's).
+#pragma once
+
+#include <algorithm>
+
+#include "common/time.h"
+
+namespace csk {
+
+/// How many times to attempt an operation and how long to wait in between.
+/// The default (`max_attempts = 1`) means "no retries": components behave
+/// exactly as they did before the policy existed.
+struct RetryPolicy {
+  /// Total attempts, including the first. 1 = never retry.
+  int max_attempts = 1;
+  /// Delay before the first retry.
+  SimDuration initial_backoff = SimDuration::millis(200);
+  /// Geometric growth factor applied per retry.
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single delay.
+  SimDuration max_backoff = SimDuration::seconds(10);
+
+  bool retries_enabled() const { return max_attempts > 1; }
+};
+
+/// Delay before retry `retry_index` (0-based: the first retry waits
+/// `initial_backoff`). Exactly min(initial * multiplier^k, max).
+inline SimDuration backoff_delay(const RetryPolicy& policy, int retry_index) {
+  double ns = static_cast<double>(policy.initial_backoff.ns());
+  for (int k = 0; k < retry_index; ++k) ns *= policy.backoff_multiplier;
+  const double cap = static_cast<double>(policy.max_backoff.ns());
+  return SimDuration(static_cast<std::int64_t>(std::min(ns, cap)));
+}
+
+}  // namespace csk

@@ -11,6 +11,7 @@ const char* dedup_verdict_name(DedupVerdict verdict) {
     case DedupVerdict::kNoNestedVm: return "NO_NESTED_VM";
     case DedupVerdict::kNestedVmDetected: return "NESTED_VM_DETECTED";
     case DedupVerdict::kImpersonationBroken: return "IMPERSONATION_BROKEN";
+    case DedupVerdict::kInconclusive: return "INCONCLUSIVE";
   }
   return "?";
 }
@@ -98,6 +99,32 @@ PageTimings DedupDetector::load_wait_measure(const std::string& label) {
   return t;
 }
 
+bool DedupDetector::ride_out_stall(const std::string& step,
+                                   std::string* cause) {
+  if (!stall_probe_) return true;
+  const SimDuration stall = stall_probe_();
+  if (stall <= SimDuration::zero()) return true;
+  if (config_.probe_timeout > SimDuration::zero() &&
+      stall > config_.probe_timeout) {
+    *cause = "probe stalled " + stall.to_string() + " before step " + step +
+             ", exceeding the " + config_.probe_timeout.to_string() +
+             " probe timeout";
+    obs::metrics()
+        .counter("detect.dedup.probe_stalls", {{"outcome", "timeout"}})
+        .add();
+    return false;
+  }
+  // Within budget (or no budget configured): wait the stall out, advancing
+  // the simulated clock so the injector's window actually elapses.
+  obs::metrics()
+      .counter("detect.dedup.probe_stalls", {{"outcome", "waited"}})
+      .add();
+  obs::tracer().instant("detect.dedup.stall_wait[" + step + "]",
+                        host_->world()->simulator().now(), "detect");
+  host_->world()->simulator().run_for(stall);
+  return true;
+}
+
 Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   CSK_CHECK(victim_os != nullptr);
   if (!victim_os->file_cached(config_.file_name)) {
@@ -106,11 +133,27 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   }
 
   DedupDetectionReport report;
+  const auto inconclusive = [&](std::string cause) {
+    report.verdict = DedupVerdict::kInconclusive;
+    report.inconclusive_cause = std::move(cause);
+    report.explanation =
+        "the probe could not complete within its timeout; no verdict "
+        "either way (graceful degradation, never a false CLEAN)";
+    obs::metrics()
+        .counter("detect.dedup.runs",
+                 {{"verdict", dedup_verdict_name(report.verdict)}})
+        .add();
+    return report;
+  };
+
+  std::string cause;
+  if (!ride_out_stall("t0", &cause)) return inconclusive(std::move(cause));
   report.t0 = measure_baseline();
   const double t0_mean = report.t0.summary.mean;
   CSK_CHECK(t0_mean > 0);
 
   // ---- Step 1 -------------------------------------------------------------
+  if (!ride_out_stall("t1", &cause)) return inconclusive(std::move(cause));
   report.t1 = load_wait_measure("t1");
   report.step1_merged =
       report.t1.summary.mean > config_.merged_ratio_threshold * t0_mean;
@@ -119,6 +162,7 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   CSK_RETURN_IF_ERROR(victim_os->perturb_cached_file(config_.file_name));
 
   // ---- Step 2 -------------------------------------------------------------
+  if (!ride_out_stall("t2", &cause)) return inconclusive(std::move(cause));
   report.t2 = load_wait_measure("t2");
   report.step2_merged =
       report.t2.summary.mean > config_.merged_ratio_threshold * t0_mean;

@@ -1,23 +1,25 @@
-// The paper's defense (§VI): memory-deduplication-based detection of a
-// nested-VM rootkit, run at L0.
-//
-// Protocol (§VI-B):
-//   Step 1  Load File-A (known to also be in the victim's memory, via the
-//           cloud vendor's web interface) into an L0 buffer marked
-//           mergeable; wait for ksmd; measure the per-page write time t1.
-//           A COW-slow t1 proves File-A was merged with *some* VM copy.
-//   Step 2  Have the guest change every page (File-A -> File-A-v2), load a
-//           fresh File-A buffer in L0 again, wait, measure t2.
-//
-//   No rootkit:  the only guest copy changed, so nothing merges: t1 >> t2,
-//                t2 ~ t0 (regular-write baseline).
-//   CloudSkulk:  the impersonating L1 *also* holds File-A and did not see
-//                the change, so the fresh buffer merges again: t1 ~ t2,
-//                both >> t0.
-//
-// t0 is measured against an unregistered buffer (File-A in no VM at all).
+/// \file
+/// The paper's defense (§VI): memory-deduplication-based detection of a
+/// nested-VM rootkit, run at L0.
+///
+/// Protocol (§VI-B):
+///   Step 1  Load File-A (known to also be in the victim's memory, via the
+///           cloud vendor's web interface) into an L0 buffer marked
+///           mergeable; wait for ksmd; measure the per-page write time t1.
+///           A COW-slow t1 proves File-A was merged with *some* VM copy.
+///   Step 2  Have the guest change every page (File-A -> File-A-v2), load a
+///           fresh File-A buffer in L0 again, wait, measure t2.
+///
+///   No rootkit:  the only guest copy changed, so nothing merges: t1 >> t2,
+///                t2 ~ t0 (regular-write baseline).
+///   CloudSkulk:  the impersonating L1 *also* holds File-A and did not see
+///                the change, so the fresh buffer merges again: t1 ~ t2,
+///                both >> t0.
+///
+/// t0 is measured against an unregistered buffer (File-A in no VM at all).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +42,10 @@ struct DedupDetectorConfig {
   /// A timing population counts as merged when its mean exceeds the t0
   /// baseline mean by this factor.
   double merged_ratio_threshold = 3.0;
+  /// Probe-stall budget: if a stall (fault injection — a hung ksmd, a
+  /// thrashing host) exceeds this, the run degrades to kInconclusive
+  /// instead of blocking. zero() = wait out any stall (old behavior).
+  SimDuration probe_timeout = SimDuration::zero();
 };
 
 struct PageTimings {
@@ -58,6 +64,10 @@ enum class DedupVerdict {
   /// The impersonation already failed at a grosser level (§VI-B: such a
   /// difference is itself sufficient evidence of tampering).
   kImpersonationBroken,
+  /// The protocol could not complete (probe stalled past its timeout):
+  /// no claim either way — crucially, never a false CLEAN. The cause is in
+  /// `DedupDetectionReport::inconclusive_cause`.
+  kInconclusive,
 };
 
 const char* dedup_verdict_name(DedupVerdict verdict);
@@ -72,6 +82,8 @@ struct DedupDetectionReport {
   std::string explanation;
   /// Separation (in pooled stddevs) between t1 and t2 populations.
   double t1_t2_separation = 0.0;
+  /// Why the run degraded, when verdict == kInconclusive.
+  std::string inconclusive_cause;
 };
 
 class DedupDetector {
@@ -93,15 +105,28 @@ class DedupDetector {
   /// it actually runs). Advances the simulation during waits.
   Result<DedupDetectionReport> run(guestos::GuestOS* victim_os);
 
+  /// Fault-injection hook: returns the remaining duration of an active
+  /// probe stall at the current simulated time (zero when healthy). The
+  /// detector consults it before each protocol step; a stall longer than
+  /// `probe_timeout` degrades the run to kInconclusive. Installed by
+  /// csk::fault::Injector; null (the default) means never stalled.
+  void set_stall_probe(std::function<SimDuration()> probe) {
+    stall_probe_ = std::move(probe);
+  }
+
  private:
   /// Measures the regular-write baseline on an unregistered buffer.
   PageTimings measure_baseline();
   /// Loads File-A into a fresh mergeable L0 buffer, waits, measures.
   PageTimings load_wait_measure(const std::string& label);
+  /// Handles an active stall before `step`: waits it out (advancing the
+  /// sim) if within budget, or sets `cause` and returns false to degrade.
+  bool ride_out_stall(const std::string& step, std::string* cause);
 
   vmm::Host* host_;
   DedupDetectorConfig config_;
   std::vector<mem::PageData> file_;
+  std::function<SimDuration()> stall_probe_;
   int buffer_serial_ = 0;
 };
 

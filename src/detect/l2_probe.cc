@@ -10,6 +10,7 @@ const char* guest_probe_verdict_name(GuestProbeVerdict verdict) {
     case GuestProbeVerdict::kLooksSingleLevel: return "LOOKS_SINGLE_LEVEL";
     case GuestProbeVerdict::kNestedSuspected: return "NESTED_SUSPECTED";
     case GuestProbeVerdict::kClockTampering: return "CLOCK_TAMPERING";
+    case GuestProbeVerdict::kInconclusive: return "INCONCLUSIVE";
   }
   return "?";
 }
@@ -21,6 +22,26 @@ GuestTimingProbe::GuestTimingProbe(const hv::TimingModel* timing,
 }
 
 GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
+  if (stall_probe_) {
+    const SimDuration stall = stall_probe_();
+    if (stall > SimDuration::zero() &&
+        config_.probe_timeout > SimDuration::zero() &&
+        stall > config_.probe_timeout) {
+      GuestProbeReport degraded;
+      degraded.verdict = GuestProbeVerdict::kInconclusive;
+      degraded.inconclusive_cause =
+          "probe stalled " + stall.to_string() + ", exceeding the " +
+          config_.probe_timeout.to_string() + " probe timeout";
+      degraded.explanation =
+          "the probe could not complete within its timeout; no verdict "
+          "either way (graceful degradation, never a false SINGLE_LEVEL)";
+      obs::metrics()
+          .counter("detect.guest_probe.runs",
+                   {{"verdict", guest_probe_verdict_name(degraded.verdict)}})
+          .add();
+      return degraded;
+    }
+  }
   struct ProbeOp {
     const char* name;
     hv::OpCost cost;

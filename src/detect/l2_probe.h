@@ -1,30 +1,33 @@
-// In-guest (L2-side) detection attempt, and why the paper rejects it (§VI-A).
-//
-// A tenant could try to detect CloudSkulk from inside their own VM: nested
-// virtualization makes exit-heavy OS primitives (pipe round trips, fork)
-// roughly an order of magnitude slower than single-level virtualization,
-// while arithmetic stays flat — a timing fingerprint measurable with
-// nothing but gettimeofday.
-//
-// GuestTimingProbe implements exactly that: it runs lmbench-style probes
-// *as the guest observes them* (through the guest's virtualized clock) and
-// compares against the latencies a single-level guest of the advertised
-// hardware should see.
-//
-// The catch — and the reason the paper deploys its detector at L0 — is
-// that the guest's clock belongs to the attacker: L1 can scale the TSC the
-// victim reads (VirtualMachine::set_tsc_scaling), deflating the observed
-// latencies back to innocent values. The probe also measures an
-// arithmetic-bound loop as a cross-check; naive uniform time dilation
-// distorts that too, so a careful probe can notice the *inconsistency* —
-// and a careful attacker then needs per-instruction-class time
-// virtualization, an arms race the tenant fights on hostile ground.
+/// \file
+/// In-guest (L2-side) detection attempt, and why the paper rejects it (§VI-A).
+///
+/// A tenant could try to detect CloudSkulk from inside their own VM: nested
+/// virtualization makes exit-heavy OS primitives (pipe round trips, fork)
+/// roughly an order of magnitude slower than single-level virtualization,
+/// while arithmetic stays flat — a timing fingerprint measurable with
+/// nothing but gettimeofday.
+///
+/// GuestTimingProbe implements exactly that: it runs lmbench-style probes
+/// *as the guest observes them* (through the guest's virtualized clock) and
+/// compares against the latencies a single-level guest of the advertised
+/// hardware should see.
+///
+/// The catch — and the reason the paper deploys its detector at L0 — is
+/// that the guest's clock belongs to the attacker: L1 can scale the TSC the
+/// victim reads (VirtualMachine::set_tsc_scaling), deflating the observed
+/// latencies back to innocent values. The probe also measures an
+/// arithmetic-bound loop as a cross-check; naive uniform time dilation
+/// distorts that too, so a careful probe can notice the *inconsistency* —
+/// and a careful attacker then needs per-instruction-class time
+/// virtualization, an arms race the tenant fights on hostile ground.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/time.h"
 #include "hv/timing_model.h"
 #include "vmm/vm.h"
 
@@ -35,6 +38,9 @@ struct GuestProbeConfig {
   double anomaly_ratio = 3.0;
   /// Anomalous exit-heavy ops needed to call it nested.
   int anomalies_required = 2;
+  /// Probe-stall budget (fault injection): a stall longer than this
+  /// degrades the run to kInconclusive. zero() = tolerate any stall.
+  SimDuration probe_timeout = SimDuration::zero();
 };
 
 struct GuestProbeReading {
@@ -50,6 +56,8 @@ enum class GuestProbeVerdict {
   kNestedSuspected,      // exit-heavy ops anomalously slow
   kClockTampering,       // exit-heavy ops "fine" but arithmetic impossibly
                          // fast — the clock itself is lying
+  kInconclusive,         // probe stalled past its timeout: no claim either
+                         // way — crucially, never a false "single level"
 };
 
 const char* guest_probe_verdict_name(GuestProbeVerdict verdict);
@@ -58,6 +66,8 @@ struct GuestProbeReport {
   std::vector<GuestProbeReading> readings;
   GuestProbeVerdict verdict = GuestProbeVerdict::kLooksSingleLevel;
   std::string explanation;
+  /// Why the run degraded, when verdict == kInconclusive.
+  std::string inconclusive_cause;
 };
 
 class GuestTimingProbe {
@@ -69,9 +79,18 @@ class GuestTimingProbe {
   /// layer but reported through its (possibly attacker-scaled) clock.
   GuestProbeReport run(const vmm::VirtualMachine& vm) const;
 
+  /// Fault-injection hook: returns the remaining duration of an active
+  /// probe stall (zero when healthy). The probe has no simulator access,
+  /// so a stall beyond `probe_timeout` degrades the run to kInconclusive;
+  /// a shorter stall is simply absorbed. Installed by csk::fault::Injector.
+  void set_stall_probe(std::function<SimDuration()> probe) {
+    stall_probe_ = std::move(probe);
+  }
+
  private:
   const hv::TimingModel* timing_;
   GuestProbeConfig config_;
+  std::function<SimDuration()> stall_probe_;
 };
 
 }  // namespace csk::detect

@@ -1,10 +1,11 @@
-// Baseline detector: hypervisor memory forensics (paper §VI-E).
-//
-// Models Graziano et al.'s volatility extension: scan VM memory for VMCS
-// structures by their hard-coded revision-id signature. Finds an L1
-// hypervisor when (a) the guest actually uses VT-x and (b) the scanner
-// knows the revision id in use — the two brittleness points the paper
-// contrasts with its software-only dedup approach.
+/// \file
+/// Baseline detector: hypervisor memory forensics (paper §VI-E).
+///
+/// Models Graziano et al.'s volatility extension: scan VM memory for VMCS
+/// structures by their hard-coded revision-id signature. Finds an L1
+/// hypervisor when (a) the guest actually uses VT-x and (b) the scanner
+/// knows the revision id in use — the two brittleness points the paper
+/// contrasts with its software-only dedup approach.
 #pragma once
 
 #include <cstdint>

@@ -1,11 +1,12 @@
-// Baseline detector: VMI fingerprinting (paper §VI-E).
-//
-// A single-level VMI tool reconstructs a guest's OS identity and process
-// list from kernel data structures at known guest-physical locations, and
-// compares them with what the administrator expects that VM to look like.
-// CloudSkulk evades it by running the same OS and the same-looking process
-// mix in L1 and hiding the giveaway processes — and a nested guest's
-// structures are unreachable across the double semantic gap (§VI-D2).
+/// \file
+/// Baseline detector: VMI fingerprinting (paper §VI-E).
+///
+/// A single-level VMI tool reconstructs a guest's OS identity and process
+/// list from kernel data structures at known guest-physical locations, and
+/// compares them with what the administrator expects that VM to look like.
+/// CloudSkulk evades it by running the same OS and the same-looking process
+/// mix in L1 and hiding the giveaway processes — and a nested guest's
+/// structures are unreachable across the double semantic gap (§VI-D2).
 #pragma once
 
 #include <string>

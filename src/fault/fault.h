@@ -1,0 +1,98 @@
+/// \file
+/// Declarative fault plans for the CloudSkulk simulation.
+///
+/// A FaultPlan is pure data: a seed plus lists of fault windows, each
+/// expressed as an offset from the moment the plan is armed. The
+/// csk::fault::Injector turns a plan into scheduled simulator events and a
+/// network fault hook; the same plan armed at the same point of the same
+/// scenario replays the exact same fault schedule (determinism contract —
+/// all randomness flows from `FaultPlan::seed`).
+///
+/// Every field defaults to "no fault": an empty plan armed over a scenario
+/// leaves its behavior bit-identical to a run without the injector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace csk::fault {
+
+/// Degrades the fabric between two nodes (or everywhere) for a window.
+struct NetFaultSpec {
+  /// Endpoints of the affected link, order-independent. Both empty = every
+  /// link (fabric-wide weather).
+  std::string link_a;
+  std::string link_b;
+  /// Window start, as an offset from Injector::arm().
+  SimDuration at = SimDuration::zero();
+  SimDuration duration = SimDuration::seconds(1);
+  /// I.i.d. per-packet drop probability in [0,1].
+  double loss_rate = 0.0;
+  /// Uniform extra latency in [0, jitter_max) added per surviving packet.
+  SimDuration jitter_max = SimDuration::zero();
+  /// Hard partition: every matching packet in the window is dropped.
+  bool partition = false;
+};
+
+/// Kills the current streaming attempt of every attached migration as a
+/// transient failure (retryable when the job has a retry budget).
+struct MigrationAbortSpec {
+  SimDuration at = SimDuration::zero();
+  std::string reason = "injected mid-round abort";
+};
+
+/// Multiplies the bandwidth cap of every attached migration by `factor`
+/// for the window, then restores the cap that was in effect.
+struct BandwidthCollapseSpec {
+  SimDuration at = SimDuration::zero();
+  SimDuration duration = SimDuration::seconds(5);
+  double factor = 0.1;
+};
+
+/// Transient host memory pressure: scales the named host's hypervisor
+/// exit/op costs by `multiplier` for the window (reclaim thrash).
+struct MemoryPressureSpec {
+  std::string host;
+  SimDuration at = SimDuration::zero();
+  SimDuration duration = SimDuration::seconds(5);
+  double multiplier = 4.0;
+};
+
+/// Stalls detection probes: detectors consulting Injector::stall_probe()
+/// see a nonzero remaining stall inside the window and either wait it out
+/// or degrade to an INCONCLUSIVE verdict per their probe_timeout.
+struct ProbeStallSpec {
+  SimDuration at = SimDuration::zero();
+  SimDuration duration = SimDuration::seconds(30);
+};
+
+/// A complete declarative fault scenario.
+struct FaultPlan {
+  /// Seeds the injector's private Rng; the sole source of randomness for
+  /// loss and jitter draws.
+  std::uint64_t seed = 1;
+  std::vector<NetFaultSpec> net;
+  std::vector<MigrationAbortSpec> migration_aborts;
+  std::vector<BandwidthCollapseSpec> bandwidth_collapses;
+  std::vector<MemoryPressureSpec> memory_pressure;
+  std::vector<ProbeStallSpec> probe_stalls;
+
+  bool empty() const {
+    return net.empty() && migration_aborts.empty() &&
+           bandwidth_collapses.empty() && memory_pressure.empty() &&
+           probe_stalls.empty();
+  }
+};
+
+/// One fault the injector actually delivered (the replay log). Two runs of
+/// the same seeded plan over the same scenario produce identical logs.
+struct InjectedFault {
+  SimTime at;
+  std::string kind;    // "net.drop", "net.delay", "migration.abort", ...
+  std::string detail;  // human-readable specifics
+};
+
+}  // namespace csk::fault

@@ -1,0 +1,242 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace csk::fault {
+
+namespace {
+
+bool link_matches(const NetFaultSpec& spec, const std::string& src,
+                  const std::string& dst) {
+  if (spec.link_a.empty() && spec.link_b.empty()) return true;  // every link
+  return (spec.link_a == src && spec.link_b == dst) ||
+         (spec.link_a == dst && spec.link_b == src);
+}
+
+}  // namespace
+
+Injector::Injector(vmm::World* world, FaultPlan plan)
+    : world_(world), plan_(std::move(plan)), rng_(plan_.seed) {
+  CSK_CHECK(world != nullptr);
+}
+
+Injector::~Injector() { disarm(); }
+
+void Injector::sched(SimDuration offset, std::function<void()> fn) {
+  if (offset < SimDuration::zero()) offset = SimDuration::zero();
+  events_.push_back(
+      world_->simulator().schedule_after(offset, std::move(fn)));
+}
+
+void Injector::arm() {
+  CSK_CHECK_MSG(!armed_, "injector already armed");
+  CSK_CHECK_MSG(!world_->network().has_fault_hook(),
+                "another fault hook is already installed");
+  armed_ = true;
+  arm_time_ = world_->simulator().now();
+
+  // Net windows: evaluated lazily per packet by the hook; nothing to
+  // schedule, the window bounds are fixed now.
+  net_windows_.clear();
+  for (const NetFaultSpec& spec : plan_.net) {
+    CSK_CHECK(spec.loss_rate >= 0.0 && spec.loss_rate <= 1.0);
+    NetWindow w;
+    w.spec = spec;
+    w.start = arm_time_ + spec.at;
+    w.end = w.start + spec.duration;
+    net_windows_.push_back(std::move(w));
+  }
+  if (!net_windows_.empty()) {
+    world_->network().set_fault_hook(
+        [this](const net::Packet& pkt, const std::string& src,
+               const std::string& dst) { return on_packet(pkt, src, dst); });
+  }
+
+  stall_windows_.clear();
+  for (const ProbeStallSpec& spec : plan_.probe_stalls) {
+    StallWindow w;
+    w.start = arm_time_ + spec.at;
+    w.end = w.start + spec.duration;
+    stall_windows_.push_back(w);
+  }
+
+  for (const MigrationAbortSpec& spec : plan_.migration_aborts) {
+    sched(spec.at, [this, spec] { fire_migration_abort(spec); });
+  }
+  collapse_saved_.assign(plan_.bandwidth_collapses.size(), {});
+  for (std::size_t i = 0; i < plan_.bandwidth_collapses.size(); ++i) {
+    const BandwidthCollapseSpec& spec = plan_.bandwidth_collapses[i];
+    CSK_CHECK(spec.factor > 0.0);
+    sched(spec.at, [this, spec, i] { begin_bandwidth_collapse(spec, i); });
+    sched(spec.at + spec.duration,
+          [this, i] { end_bandwidth_collapse(i); });
+  }
+  for (const MemoryPressureSpec& spec : plan_.memory_pressure) {
+    CSK_CHECK(spec.multiplier > 0.0);
+    sched(spec.at, [this, spec] { begin_memory_pressure(spec); });
+    sched(spec.at + spec.duration,
+          [this, spec] { end_memory_pressure(spec); });
+  }
+}
+
+void Injector::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  for (EventId id : events_) world_->simulator().cancel(id);
+  events_.clear();
+  if (!net_windows_.empty()) world_->network().set_fault_hook(nullptr);
+  net_windows_.clear();
+  stall_windows_.clear();
+  // Restore anything still perturbed mid-window.
+  for (auto& saved : collapse_saved_) {
+    for (auto& [job, limit] : saved) {
+      if (!job->done()) job->set_bandwidth_limit(limit);
+    }
+    saved.clear();
+  }
+  for (vmm::Host* host : pressured_hosts_) {
+    host->hypervisor().set_memory_pressure(1.0);
+  }
+  pressured_hosts_.clear();
+}
+
+void Injector::attach_migration(vmm::MigrationJob* job) {
+  CSK_CHECK(job != nullptr);
+  if (std::find(jobs_.begin(), jobs_.end(), job) == jobs_.end()) {
+    jobs_.push_back(job);
+  }
+}
+
+void Injector::detach_migration(vmm::MigrationJob* job) {
+  jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+  for (auto& saved : collapse_saved_) {
+    saved.erase(std::remove_if(saved.begin(), saved.end(),
+                               [job](const auto& p) { return p.first == job; }),
+                saved.end());
+  }
+}
+
+SimDuration Injector::remaining_stall() const {
+  if (!armed_) return SimDuration::zero();
+  const SimTime now = world_->simulator().now();
+  SimDuration remaining = SimDuration::zero();
+  for (const StallWindow& w : stall_windows_) {
+    if (now >= w.start && now < w.end) {
+      remaining = std::max(remaining, w.end - now);
+    }
+  }
+  return remaining;
+}
+
+std::function<SimDuration()> Injector::stall_probe() {
+  return [this] { return remaining_stall(); };
+}
+
+std::uint64_t Injector::count(const std::string& kind) const {
+  std::uint64_t n = 0;
+  for (const InjectedFault& f : log_) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+void Injector::record(std::string kind, std::string detail) {
+  obs::metrics().counter("fault.injected", {{"kind", kind}}).add();
+  log_.push_back(InjectedFault{world_->simulator().now(), std::move(kind),
+                               std::move(detail)});
+}
+
+net::FaultDecision Injector::on_packet(const net::Packet& pkt,
+                                       const std::string& src_node,
+                                       const std::string& dst_node) {
+  net::FaultDecision decision;
+  const SimTime now = world_->simulator().now();
+  for (const NetWindow& w : net_windows_) {
+    if (now < w.start || now >= w.end) continue;
+    if (!link_matches(w.spec, src_node, dst_node)) continue;
+    if (w.spec.partition) {
+      decision.drop = true;
+      record("net.drop", "partition " + src_node + "->" + dst_node + " seq " +
+                             std::to_string(pkt.seq));
+      return decision;
+    }
+    if (w.spec.loss_rate > 0.0 && rng_.chance(w.spec.loss_rate)) {
+      decision.drop = true;
+      record("net.drop", "loss " + src_node + "->" + dst_node + " seq " +
+                             std::to_string(pkt.seq));
+      return decision;
+    }
+    if (w.spec.jitter_max > SimDuration::zero()) {
+      const SimDuration extra = SimDuration(static_cast<std::int64_t>(
+          rng_.uniform(static_cast<std::uint64_t>(w.spec.jitter_max.ns()))));
+      decision.extra_latency += extra;
+      record("net.delay", "jitter +" + extra.to_string() + " " + src_node +
+                              "->" + dst_node);
+    }
+  }
+  return decision;
+}
+
+void Injector::fire_migration_abort(const MigrationAbortSpec& spec) {
+  for (vmm::MigrationJob* job : jobs_) {
+    if (job->done()) continue;
+    record("migration.abort", spec.reason);
+    obs::tracer().instant("fault.migration_abort", world_->simulator().now(),
+                          "fault");
+    job->inject_abort(spec.reason);
+  }
+}
+
+void Injector::begin_bandwidth_collapse(const BandwidthCollapseSpec& spec,
+                                        std::size_t collapse_index) {
+  CSK_CHECK(collapse_index < collapse_saved_.size());
+  for (vmm::MigrationJob* job : jobs_) {
+    if (job->done()) continue;
+    const double saved = job->bandwidth_limit();
+    job->set_bandwidth_limit(saved * spec.factor);
+    record("migration.bandwidth_collapse",
+           "cap x" + std::to_string(spec.factor));
+    collapse_saved_[collapse_index].emplace_back(job, saved);
+  }
+}
+
+void Injector::end_bandwidth_collapse(std::size_t collapse_index) {
+  CSK_CHECK(collapse_index < collapse_saved_.size());
+  for (auto& [job, limit] : collapse_saved_[collapse_index]) {
+    if (job->done()) continue;
+    job->set_bandwidth_limit(limit);
+    record("migration.bandwidth_restore", "cap restored");
+  }
+  collapse_saved_[collapse_index].clear();
+}
+
+void Injector::begin_memory_pressure(const MemoryPressureSpec& spec) {
+  Result<vmm::Host*> host = world_->find_host(spec.host);
+  if (!host.is_ok()) {
+    CSK_WARN << "memory-pressure spec names unknown host " << spec.host;
+    return;
+  }
+  (*host)->hypervisor().set_memory_pressure(spec.multiplier);
+  if (std::find(pressured_hosts_.begin(), pressured_hosts_.end(), *host) ==
+      pressured_hosts_.end()) {
+    pressured_hosts_.push_back(*host);
+  }
+  record("hv.memory_pressure",
+         spec.host + " x" + std::to_string(spec.multiplier));
+}
+
+void Injector::end_memory_pressure(const MemoryPressureSpec& spec) {
+  Result<vmm::Host*> host = world_->find_host(spec.host);
+  if (!host.is_ok()) return;
+  (*host)->hypervisor().set_memory_pressure(1.0);
+  pressured_hosts_.erase(std::remove(pressured_hosts_.begin(),
+                                     pressured_hosts_.end(), *host),
+                         pressured_hosts_.end());
+  record("hv.memory_pressure_restore", spec.host);
+}
+
+}  // namespace csk::fault

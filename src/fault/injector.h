@@ -1,0 +1,122 @@
+/// \file
+/// csk::fault::Injector — executes a FaultPlan against a live World.
+///
+/// The injector sits strictly *above* the layers it perturbs: net, hv, vmm
+/// and detect expose neutral hooks (SimNetwork::set_fault_hook, Hypervisor::
+/// set_memory_pressure, MigrationJob::inject_abort / set_bandwidth_limit,
+/// detectors' set_stall_probe) and never include fault headers. arm()
+/// installs the hook and schedules one event per fault window edge on the
+/// simulation clock; disarm() (or destruction) cancels everything it
+/// scheduled and uninstalls the hook, restoring any state it perturbed.
+///
+/// Determinism: the injector draws randomness only from its own Rng, seeded
+/// by FaultPlan::seed, and only for packets matched by an active window —
+/// the same plan armed at the same point of the same scenario yields a
+/// bit-identical fault schedule (see `log()`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "fault/fault.h"
+#include "net/network.h"
+#include "vmm/host.h"
+#include "vmm/migration.h"
+
+namespace csk::fault {
+
+class Injector {
+ public:
+  /// Binds the plan to `world`. Nothing happens until arm().
+  Injector(vmm::World* world, FaultPlan plan);
+  ~Injector();
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Installs the network fault hook and schedules every fault window,
+  /// offsets interpreted relative to the current simulated time. A window
+  /// whose start is already past begins immediately. Precondition: not
+  /// already armed, and no other fault hook installed on the network.
+  void arm();
+
+  /// Cancels all scheduled events, uninstalls the network hook and
+  /// restores perturbed state (bandwidth caps, memory pressure). Safe to
+  /// call when not armed. Does not clear the log.
+  void disarm();
+
+  bool armed() const { return armed_; }
+
+  /// Registers a migration job as a target for abort and bandwidth-collapse
+  /// specs. The job must outlive the injector or be detached first; a
+  /// completed job is skipped at fire time.
+  void attach_migration(vmm::MigrationJob* job);
+  void detach_migration(vmm::MigrationJob* job);
+
+  /// Remaining probe-stall duration at the current simulated time (zero
+  /// when no stall window is active).
+  SimDuration remaining_stall() const;
+
+  /// The hook detectors install via set_stall_probe(): a callable bound to
+  /// this injector returning remaining_stall(). The injector must outlive
+  /// any detector holding it.
+  std::function<SimDuration()> stall_probe();
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Every fault actually delivered, in delivery order — the determinism
+  /// witness (identical across same-seed runs) and the basis of the chaos
+  /// bench's reporting.
+  const std::vector<InjectedFault>& log() const { return log_; }
+
+  /// Count of delivered faults of one kind ("net.drop", ...).
+  std::uint64_t count(const std::string& kind) const;
+
+ private:
+  struct NetWindow {
+    NetFaultSpec spec;
+    SimTime start;
+    SimTime end;
+  };
+  struct StallWindow {
+    SimTime start;
+    SimTime end;
+  };
+
+  net::FaultDecision on_packet(const net::Packet& pkt,
+                               const std::string& src_node,
+                               const std::string& dst_node);
+  void fire_migration_abort(const MigrationAbortSpec& spec);
+  void begin_bandwidth_collapse(const BandwidthCollapseSpec& spec,
+                                std::size_t collapse_index);
+  void end_bandwidth_collapse(std::size_t collapse_index);
+  void begin_memory_pressure(const MemoryPressureSpec& spec);
+  void end_memory_pressure(const MemoryPressureSpec& spec);
+  void record(std::string kind, std::string detail);
+  void sched(SimDuration offset, std::function<void()> fn);
+
+  vmm::World* world_;
+  FaultPlan plan_;
+  Rng rng_;
+  bool armed_ = false;
+  SimTime arm_time_;
+  std::vector<NetWindow> net_windows_;
+  std::vector<StallWindow> stall_windows_;
+  std::vector<vmm::MigrationJob*> jobs_;
+  /// Saved caps for an in-progress bandwidth collapse: one entry per
+  /// affected job, restored at window end (or disarm).
+  std::vector<std::vector<std::pair<vmm::MigrationJob*, double>>>
+      collapse_saved_;
+  /// Hosts whose hypervisor currently runs under injected pressure
+  /// (restored to 1.0 on disarm).
+  std::vector<vmm::Host*> pressured_hosts_;
+  std::vector<EventId> events_;
+  std::vector<InjectedFault> log_;
+};
+
+}  // namespace csk::fault

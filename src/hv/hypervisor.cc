@@ -67,6 +67,14 @@ Result<Layer> Hypervisor::nested_hypervisor_layer(VmId vm) const {
   return it->second.layer;  // a hypervisor inside the guest runs at its layer
 }
 
+void Hypervisor::set_memory_pressure(double multiplier) {
+  CSK_CHECK(multiplier > 0);
+  pressure_ = multiplier;
+  obs::metrics()
+      .gauge("hv.memory_pressure", {{"hv", name_}})
+      .set(multiplier);
+}
+
 SimDuration Hypervisor::charge_exit(VmId vm, ExitReason reason,
                                     std::uint64_t count) {
   auto it = guests_.find(vm);
@@ -75,7 +83,8 @@ SimDuration Hypervisor::charge_exit(VmId vm, ExitReason reason,
   exit_counters_[static_cast<std::size_t>(reason)]->add(count);
   OpCost c;
   c.n_exits = static_cast<double>(count);
-  const SimDuration cost = timing_->price(c, it->second.layer);
+  SimDuration cost = timing_->price(c, it->second.layer);
+  if (pressure_ != 1.0) cost = cost * pressure_;
   exit_cost_ns_->add(static_cast<std::uint64_t>(cost.ns()));
   return cost;
 }
@@ -94,7 +103,8 @@ SimDuration Hypervisor::charge_ops(VmId vm, const OpCost& cost) {
   exit_counters_[static_cast<std::size_t>(ExitReason::kEptViolation)]->add(faults);
   exit_counters_[static_cast<std::size_t>(ExitReason::kIo)]->add(io_ops);
   exit_counters_[static_cast<std::size_t>(ExitReason::kExternalInterrupt)]->add(ctxsw);
-  const SimDuration priced = timing_->price(cost, it->second.layer);
+  SimDuration priced = timing_->price(cost, it->second.layer);
+  if (pressure_ != 1.0) priced = priced * pressure_;
   exit_cost_ns_->add(static_cast<std::uint64_t>(priced.ns()));
   return priced;
 }

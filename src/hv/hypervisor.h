@@ -1,12 +1,13 @@
-// The KVM-like hypervisor.
-//
-// One Hypervisor instance runs at a layer and hosts guests at the next
-// layer: the host's KVM (at L0) runs L1 guests; a KVM instance inside a
-// guest (at L1 — the rootkit's hypervisor) runs L2 guests. The hypervisor
-// prices VM exits for its guests, keeps per-guest exit statistics, and
-// enforces the nesting rules (nested virtualization must be enabled for a
-// guest before a hypervisor can be started inside it — the kvm_intel
-// `nested=1` module parameter).
+/// \file
+/// The KVM-like hypervisor.
+///
+/// One Hypervisor instance runs at a layer and hosts guests at the next
+/// layer: the host's KVM (at L0) runs L1 guests; a KVM instance inside a
+/// guest (at L1 — the rootkit's hypervisor) runs L2 guests. The hypervisor
+/// prices VM exits for its guests, keeps per-guest exit statistics, and
+/// enforces the nesting rules (nested virtualization must be enabled for a
+/// guest before a hypervisor can be started inside it — the kvm_intel
+/// `nested=1` module parameter).
 #pragma once
 
 #include <string>
@@ -66,6 +67,13 @@ class Hypervisor {
   /// Prices an op batch for a guest, recording implied exits.
   SimDuration charge_ops(VmId vm, const OpCost& cost);
 
+  /// Transient host memory pressure (fault injection): scales every priced
+  /// exit/op cost by `multiplier` until reset to 1.0. Models the host
+  /// thrashing under reclaim — guests at every layer of this hypervisor see
+  /// their virtualization overhead inflate. Precondition: multiplier > 0.
+  void set_memory_pressure(double multiplier);
+  double memory_pressure() const { return pressure_; }
+
   const TimingModel& timing() const { return *timing_; }
 
  private:
@@ -74,6 +82,7 @@ class Hypervisor {
   Layer host_layer_;
   Layer guest_layer_;
   std::string name_;
+  double pressure_ = 1.0;  // cost multiplier; 1.0 = no pressure
   std::unordered_map<VmId, GuestContext> guests_;
   // Cached global-registry instruments (stable across reset()): per-layer
   // exit counts by reason, and the total priced handling cost.

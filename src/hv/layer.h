@@ -1,6 +1,7 @@
-// Virtualization layers, following the Turtles-project notation the paper
-// adopts: L0 is the hypervisor on real hardware (or code running on bare
-// metal), L1 a guest of L0, L2 a guest of an L1 hypervisor (a nested VM).
+/// \file
+/// Virtualization layers, following the Turtles-project notation the paper
+/// adopts: L0 is the hypervisor on real hardware (or code running on bare
+/// metal), L1 a guest of L0, L2 a guest of an L1 hypervisor (a nested VM).
 #pragma once
 
 #include <cstddef>

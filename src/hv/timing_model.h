@@ -1,17 +1,18 @@
-// The calibrated per-layer cost model.
-//
-// Every performance result in the paper (Figs 2-4, Tables II-IV) is, at
-// bottom, a statement about how much more OS-level primitives cost as
-// virtualization layers are added: syscalls barely change, context switches
-// and page faults pay VM exits, and at L2 each exit is *multiplied* because
-// the L1 hypervisor's exit handler itself runs in a guest and its privileged
-// instructions trap to L0 (the Turtles effect). This file encodes those
-// primitives once; workloads express themselves as OpCost vectors and the
-// model prices them per layer, so the paper's L0/L1/L2 shapes emerge from
-// mechanism rather than being tabulated.
-//
-// Calibration targets and derivations are documented in DESIGN.md §3 and
-// verified by tests/hv/timing_model_test.cc against Tables II/III.
+/// \file
+/// The calibrated per-layer cost model.
+///
+/// Every performance result in the paper (Figs 2-4, Tables II-IV) is, at
+/// bottom, a statement about how much more OS-level primitives cost as
+/// virtualization layers are added: syscalls barely change, context switches
+/// and page faults pay VM exits, and at L2 each exit is *multiplied* because
+/// the L1 hypervisor's exit handler itself runs in a guest and its privileged
+/// instructions trap to L0 (the Turtles effect). This file encodes those
+/// primitives once; workloads express themselves as OpCost vectors and the
+/// model prices them per layer, so the paper's L0/L1/L2 shapes emerge from
+/// mechanism rather than being tabulated.
+///
+/// Calibration targets and derivations are documented in DESIGN.md §3 and
+/// verified by tests/hv/timing_model_test.cc against Tables II/III.
 #pragma once
 
 #include <array>

@@ -1,9 +1,10 @@
-// VM-exit taxonomy.
-//
-// The subset of Intel VT-x exit reasons the simulation distinguishes —
-// enough to account for where nested overhead comes from and to let tests
-// assert on exit mixes (e.g. migration dirty-log syncs are GET_DIRTY_LOG
-// ioctls; virtio kicks are IO exits).
+/// \file
+/// VM-exit taxonomy.
+///
+/// The subset of Intel VT-x exit reasons the simulation distinguishes —
+/// enough to account for where nested overhead comes from and to let tests
+/// assert on exit mixes (e.g. migration dirty-log syncs are GET_DIRTY_LOG
+/// ioctls; virtio kicks are IO exits).
 #pragma once
 
 #include <array>

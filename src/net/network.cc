@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace csk::net {
 
@@ -90,7 +91,25 @@ SimTime SimNetwork::send(const NetAddr& dst, Packet pkt) {
   const SimTime tx_done =
       depart + SimDuration::from_seconds(tx_seconds) + link.model.per_packet_cpu;
   link.busy_until = tx_done;
-  const SimTime arrival = tx_done + link.model.latency;
+  SimTime arrival = tx_done + link.model.latency;
+
+  if (fault_hook_) {
+    const FaultDecision fd = fault_hook_(pkt, pkt.src.node, dst.node);
+    if (fd.drop) {
+      // Tail-drop after serialization: the sender spent the wire time, the
+      // receiver never hears about it. Transport-level recovery (chunk
+      // retransmits, forwarder restarts) is the affected component's job.
+      ++stats_.packets_dropped_fault;
+      obs::metrics().counter("net.fault.packets_dropped").add();
+      CSK_DEBUG << "drop (fault) " << dst.to_string();
+      return arrival;
+    }
+    if (fd.extra_latency > SimDuration::zero()) {
+      ++stats_.packets_delayed_fault;
+      obs::metrics().counter("net.fault.packets_delayed").add();
+      arrival += fd.extra_latency;
+    }
+  }
 
   simulator_->schedule_at(arrival, [this, dst, p = std::move(pkt)]() mutable {
     auto it = bindings_.find(std::make_pair(dst.node, dst.port.value()));

@@ -27,6 +27,22 @@ namespace csk::net {
 /// Delivery handler for a bound endpoint.
 using RecvHandler = std::function<void(Packet)>;
 
+/// What a fault hook decides for one packet about to cross the fabric.
+/// `drop` consumes the packet after link serialization (the sender still
+/// paid the wire time, as with real tail-drop); `extra_latency` is added to
+/// the arrival time (jitter / degraded path).
+struct FaultDecision {
+  bool drop = false;
+  SimDuration extra_latency = SimDuration::zero();
+};
+
+/// Consulted once per send() when installed (csk::fault installs one; the
+/// default fabric is perfect and never calls it). Must be deterministic for
+/// a given packet sequence — draw randomness only from a seeded Rng.
+using FaultHook =
+    std::function<FaultDecision(const Packet&, const std::string& src_node,
+                                const std::string& dst_node)>;
+
 /// Properties of the path between two nodes (order-independent key).
 struct LinkModel {
   SimDuration latency = SimDuration::micros(30);
@@ -43,6 +59,8 @@ struct NetworkStats {
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped_unbound = 0;
   std::uint64_t bytes_delivered = 0;
+  std::uint64_t packets_dropped_fault = 0;  // consumed by the fault hook
+  std::uint64_t packets_delayed_fault = 0;  // arrival postponed by the hook
 };
 
 class SimNetwork {
@@ -73,6 +91,11 @@ class SimNetwork {
   /// it is counted as dropped. Returns the scheduled arrival time.
   SimTime send(const NetAddr& dst, Packet pkt);
 
+  /// Installs (or, with nullptr, removes) the fault hook. At most one hook
+  /// is active; the injector owns composition of concurrent fault windows.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  bool has_fault_hook() const { return fault_hook_ != nullptr; }
+
   /// Allocates a fresh connection id for a new flow.
   ConnId new_conn() { return conn_ids_.next(); }
 
@@ -95,6 +118,7 @@ class SimNetwork {
                               const std::string& b) const;
 
   sim::Simulator* simulator_;
+  FaultHook fault_hook_;
   LinkModel default_link_;
   LinkModel loopback_link_ = LinkModel::loopback();
   std::map<std::pair<std::string, std::string>, LinkState> links_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace csk::net {
 
@@ -26,9 +28,64 @@ Status PortForwarder::start() {
 }
 
 void PortForwarder::stop() {
+  if (restart_event_.valid()) {
+    (void)restart_sim_->cancel(restart_event_);
+    restart_event_ = EventId::invalid();
+  }
   if (!endpoint_.valid()) return;
   network_->unbind(endpoint_);
   endpoint_ = EndpointId::invalid();
+}
+
+void PortForwarder::enable_auto_restart(sim::Simulator* simulator,
+                                        RetryPolicy policy) {
+  CSK_CHECK(simulator != nullptr);
+  restart_sim_ = simulator;
+  restart_policy_ = policy;
+}
+
+void PortForwarder::interrupt() {
+  ++stats_.interrupts;
+  obs::metrics().counter("net.forwarder.interrupts").add();
+  if (endpoint_.valid()) {
+    network_->unbind(endpoint_);
+    endpoint_ = EndpointId::invalid();
+  }
+  if (restart_sim_ != nullptr && restart_policy_.retries_enabled()) {
+    restart_attempt_ = 0;
+    schedule_restart();
+  }
+}
+
+void PortForwarder::schedule_restart() {
+  // Attempt k (0-based) waits the geometric backoff_delay(policy, k); the
+  // attempt budget is max_attempts - 1, mirroring "retries after the crash".
+  if (restart_attempt_ >= restart_policy_.max_attempts - 1) {
+    CSK_WARN << "forwarder " << name_ << " gave up rebinding "
+             << listen_.to_string();
+    return;
+  }
+  if (restart_event_.valid()) return;  // one pending attempt at a time
+  const SimDuration delay = backoff_delay(restart_policy_, restart_attempt_);
+  restart_event_ = restart_sim_->schedule_after(delay, [this] {
+    restart_event_ = EventId::invalid();
+    try_restart();
+  });
+}
+
+void PortForwarder::try_restart() {
+  ++restart_attempt_;
+  ++stats_.restart_attempts;
+  const Status st = start();
+  if (st.is_ok()) {
+    ++stats_.restarts;
+    obs::metrics().counter("net.forwarder.restarts").add();
+    obs::tracer().instant("forwarder.restart[" + name_ + "]",
+                          restart_sim_->now(), "net");
+    return;
+  }
+  CSK_WARN << "forwarder " << name_ << " rebind failed: " << st.to_string();
+  schedule_restart();
 }
 
 void PortForwarder::add_tap(PacketTap* tap) {

@@ -14,9 +14,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "net/network.h"
 #include "net/packet.h"
+#include "sim/simulator.h"
 
 namespace csk::net {
 
@@ -36,6 +38,9 @@ struct ForwarderStats {
   std::uint64_t forwarded = 0;
   std::uint64_t replies = 0;
   std::uint64_t dropped_by_tap = 0;
+  std::uint64_t interrupts = 0;        // times the forwarder was torn down
+  std::uint64_t restarts = 0;          // successful automatic rebinds
+  std::uint64_t restart_attempts = 0;  // rebind tries, including failures
 };
 
 class PortForwarder {
@@ -62,10 +67,24 @@ class PortForwarder {
   void add_tap(PacketTap* tap);
   void remove_tap(PacketTap* tap);
 
+  /// Opt-in crash recovery: after interrupt() the forwarder re-binds itself
+  /// with exponential backoff (`policy`, see common/retry.h) instead of
+  /// staying down. Off by default — a plain forwarder behaves exactly as
+  /// before this API existed.
+  void enable_auto_restart(sim::Simulator* simulator, RetryPolicy policy);
+
+  /// Simulates the forwarder process dying (fault injection): the endpoint
+  /// unbinds and in-flight packets towards it drop on arrival. With
+  /// auto-restart enabled, rebind attempts follow the backoff schedule;
+  /// without it, the forwarder stays down until start() is called again.
+  void interrupt();
+
   const ForwarderStats& stats() const { return stats_; }
 
  private:
   void on_packet(Packet pkt);
+  void schedule_restart();
+  void try_restart();
 
   SimNetwork* network_;
   NetAddr listen_;
@@ -76,6 +95,11 @@ class PortForwarder {
   // conn -> the client's original reply address (NAT table).
   std::unordered_map<ConnId, NetAddr> flows_;
   ForwarderStats stats_;
+  // Crash-recovery state (inactive unless enable_auto_restart() was called).
+  sim::Simulator* restart_sim_ = nullptr;
+  RetryPolicy restart_policy_;
+  int restart_attempt_ = 0;
+  EventId restart_event_ = EventId::invalid();
 };
 
 }  // namespace csk::net

@@ -1,14 +1,15 @@
-// Discrete-event simulation kernel.
-//
-// All time in the CloudSkulk reproduction is virtual: components schedule
-// callbacks at future SimTimes and the Simulator dispatches them in
-// timestamp order (FIFO among equal timestamps). Periodic activities — the
-// ksmd scan loop, migration round pacing, workload dirty-page ticks — are
-// built on top of one-shot events.
-//
-// The kernel is single-threaded by design: determinism is a feature. The
-// simulated systems contain plenty of *modeled* concurrency (VMs, daemons,
-// network flows), but the engine interleaves them deterministically.
+/// \file
+/// Discrete-event simulation kernel.
+///
+/// All time in the CloudSkulk reproduction is virtual: components schedule
+/// callbacks at future SimTimes and the Simulator dispatches them in
+/// timestamp order (FIFO among equal timestamps). Periodic activities — the
+/// ksmd scan loop, migration round pacing, workload dirty-page ticks — are
+/// built on top of one-shot events.
+///
+/// The kernel is single-threaded by design: determinism is a feature. The
+/// simulated systems contain plenty of *modeled* concurrency (VMs, daemons,
+/// network flows), but the engine interleaves them deterministically.
 #pragma once
 
 #include <cstdint>

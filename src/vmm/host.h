@@ -1,13 +1,14 @@
-// World and Host.
-//
-// World is the top of the ownership tree for one experiment: the simulator
-// clock, the network fabric, the timing model, the hosts, and the registry
-// that routes in-flight migration streams to their jobs.
-//
-// Host models one physical machine running Linux/KVM: physical memory, the
-// L0 hypervisor, the ksmd daemon, a process table (QEMU processes with host
-// PIDs — what `ps -ef` shows and what the PID-swap trick manipulates), a
-// shell history (the recon source the paper names first), and the VMs.
+/// \file
+/// World and Host.
+///
+/// World is the top of the ownership tree for one experiment: the simulator
+/// clock, the network fabric, the timing model, the hosts, and the registry
+/// that routes in-flight migration streams to their jobs.
+///
+/// Host models one physical machine running Linux/KVM: physical memory, the
+/// L0 hypervisor, the ksmd daemon, a process table (QEMU processes with host
+/// PIDs — what `ps -ef` shows and what the PID-swap trick manipulates), a
+/// shell history (the recon source the paper names first), and the VMs.
 #pragma once
 
 #include <cstdint>

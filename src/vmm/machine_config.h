@@ -1,10 +1,11 @@
-// QEMU-style machine configuration.
-//
-// CloudSkulk's installation step 2 requires building a destination VM whose
-// configuration *matches the target VM* — live migration refuses mismatched
-// machines. MachineConfig is the structured form; it round-trips through a
-// qemu-system-x86_64 command line because that is what the attacker's recon
-// actually recovers (ps -ef / shell history / QEMU monitor introspection).
+/// \file
+/// QEMU-style machine configuration.
+///
+/// CloudSkulk's installation step 2 requires building a destination VM whose
+/// configuration *matches the target VM* — live migration refuses mismatched
+/// machines. MachineConfig is the structured form; it round-trips through a
+/// qemu-system-x86_64 command line because that is what the attacker's recon
+/// actually recovers (ps -ef / shell history / QEMU monitor introspection).
 #pragma once
 
 #include <cstdint>

@@ -36,7 +36,13 @@ MigrationJob::~MigrationJob() {
 }
 
 void MigrationJob::sched_at(SimTime when, std::function<void()> fn) {
-  live_events_.push_back(world_->simulator().schedule_at(when, std::move(fn)));
+  // Events are attempt-scoped: when an attempt dies (attempt_failed bumps
+  // the epoch) its still-queued events dispatch as no-ops instead of
+  // corrupting the next attempt's state.
+  live_events_.push_back(world_->simulator().schedule_at(
+      when, [this, epoch = attempt_epoch_, f = std::move(fn)] {
+        if (epoch == attempt_epoch_) f();
+      }));
 }
 
 std::string MigrationJob::encode_chunk_payload(std::uint64_t token,
@@ -71,6 +77,7 @@ void MigrationJob::start() {
   }
   start_time_ = world_->simulator().now();
   next_send_allowed_ = start_time_;
+  stats_.attempts = 1;  // the job itself is attempt 1, setup included
   obs::metrics().counter("vmm.migration.jobs_started").add();
   obs::tracer().instant("migration.start", start_time_, "vmm");
   sched_at(start_time_ + config_.setup_time, [this] {
@@ -114,6 +121,16 @@ void MigrationJob::begin_round(int round, std::vector<Gfn> pending) {
   round_start_ = world_->simulator().now();
   round_acc_ = MigrationRoundStats{};
   round_acc_.round = round;
+  ++round_serial_;
+  if (config_.round_timeout > SimDuration::zero()) {
+    sched_at(round_start_ + config_.round_timeout,
+             [this, serial = round_serial_] {
+               if (stats_.completed || serial != round_serial_) return;
+               attempt_failed("round " + std::to_string(round_) +
+                              " exceeded its " +
+                              config_.round_timeout.to_string() + " timeout");
+             });
+  }
   pump();
 }
 
@@ -165,6 +182,14 @@ void MigrationJob::pump() {
 }
 
 void MigrationJob::send_chunk(Chunk chunk) {
+  ++chunks_outstanding_;
+  const auto [it, inserted] = in_flight_.emplace(chunk.seq, std::move(chunk));
+  CSK_CHECK(inserted);
+  transmit(it->second);
+  sched_at(next_send_allowed_, [this] { pump(); });
+}
+
+void MigrationJob::transmit(const Chunk& chunk) {
   const SimTime now = world_->simulator().now();
   net::Packet pkt;
   pkt.conn = conn_;
@@ -178,15 +203,35 @@ void MigrationJob::send_chunk(Chunk chunk) {
   pkt.wire_bytes = chunk.wire_bytes;
   pkt.payload = encode_chunk_payload(token_, chunk.seq);
 
-  // Token bucket: the stream never exceeds the configured bandwidth.
+  // Token bucket: the stream never exceeds the configured bandwidth
+  // (retransmissions consume budget like first sends).
   next_send_allowed_ =
       std::max(now, next_send_allowed_) +
       SimDuration::from_seconds(static_cast<double>(chunk.wire_bytes) /
                                 config_.bandwidth_limit_bytes_per_sec);
-  ++chunks_outstanding_;
-  in_flight_.emplace(chunk.seq, std::move(chunk));
   world_->network().send(first_hop_, std::move(pkt));
-  sched_at(next_send_allowed_, [this] { pump(); });
+  if (config_.chunk_timeout > SimDuration::zero()) {
+    sched_at(now + config_.chunk_timeout,
+             [this, seq = chunk.seq] { maybe_retransmit(seq); });
+  }
+}
+
+void MigrationJob::maybe_retransmit(std::uint64_t seq) {
+  if (stats_.completed) return;
+  auto it = in_flight_.find(seq);
+  if (it == in_flight_.end()) return;  // acknowledged in the meantime
+  Chunk& chunk = it->second;
+  if (chunk.retransmits >= config_.max_chunk_retransmits) {
+    attempt_failed("chunk " + std::to_string(seq) + " lost " +
+                   std::to_string(chunk.retransmits + 1) + " times");
+    return;
+  }
+  ++chunk.retransmits;
+  ++stats_.chunk_retransmits;
+  obs::metrics().counter("vmm.migration.chunk_retransmits").add();
+  obs::tracer().instant("migration.retransmit[" + std::to_string(seq) + "]",
+                        world_->simulator().now(), "vmm");
+  transmit(chunk);
 }
 
 void MigrationJob::chunk_arrived(VirtualMachine* dest,
@@ -212,7 +257,13 @@ void MigrationJob::chunk_arrived(VirtualMachine* dest,
   }
 
   auto it = in_flight_.find(chunk_seq);
-  CSK_CHECK_MSG(it != in_flight_.end(), "unknown chunk seq on arrival");
+  if (it == in_flight_.end()) {
+    // A late duplicate of a retransmitted chunk, or a leftover packet from
+    // an attempt that has since been aborted: already accounted, ignore.
+    ++stats_.stale_chunks;
+    obs::metrics().counter("vmm.migration.stale_chunks").add();
+    return;
+  }
   Chunk chunk = std::move(it->second);
   in_flight_.erase(it);
 
@@ -254,6 +305,11 @@ SimDuration MigrationJob::receive_processing_time(const Chunk& chunk) const {
 void MigrationJob::chunk_processed(Chunk chunk) {
   if (stats_.completed) return;
   --chunks_outstanding_;
+  // Resume bookkeeping: these pages are now applied at the destination; a
+  // retrying attempt need not re-send them unless the source re-dirties
+  // them (which the still-running dirty log captures).
+  for (const auto& [gfn, data] : chunk.pages) applied_gfns_.insert(gfn.value());
+  for (Gfn gfn : chunk.zero_gfns) applied_gfns_.insert(gfn.value());
   stats_.pages_transferred += chunk.pages.size();
   stats_.zero_pages += chunk.zero_gfns.size();
   stats_.wire_bytes += chunk.wire_bytes;
@@ -293,6 +349,7 @@ std::vector<Gfn> MigrationJob::harvest_dirty() {
 }
 
 void MigrationJob::end_round() {
+  ++round_serial_;  // disarms this round's watchdog
   const SimTime now = world_->simulator().now();
   round_acc_.duration = now - round_start_;
   stats_.round_log.push_back(round_acc_);
@@ -316,6 +373,13 @@ void MigrationJob::end_round() {
       do_handoff();
       if (!stats_.completed) {
         stats_.downtime = world_->simulator().now() - pause_time_;
+        if (config_.downtime_sla > SimDuration::zero()) {
+          stats_.downtime_sla_met = stats_.downtime <= config_.downtime_sla;
+          obs::metrics()
+              .counter("vmm.migration.downtime_sla",
+                       {{"met", stats_.downtime_sla_met ? "yes" : "no"}})
+              .add();
+        }
         stats_.succeeded = true;
         finish();
       }
@@ -389,6 +453,82 @@ void MigrationJob::stream_rejected(const std::string& why) {
 void MigrationJob::cancel() {
   if (stats_.completed) return;
   fail("migration cancelled");
+}
+
+void MigrationJob::inject_abort(std::string why) {
+  if (stats_.completed) return;
+  obs::metrics().counter("vmm.migration.injected_aborts").add();
+  obs::tracer().instant("migration.injected_abort", world_->simulator().now(),
+                        "vmm");
+  attempt_failed(std::move(why));
+}
+
+void MigrationJob::set_bandwidth_limit(double bytes_per_sec) {
+  CSK_CHECK(bytes_per_sec > 0);
+  config_.bandwidth_limit_bytes_per_sec = bytes_per_sec;
+}
+
+void MigrationJob::attempt_failed(std::string error) {
+  if (stats_.completed) return;
+  // Post-handoff failures are terminal: execution already moved, there is
+  // no source state left to retry from.
+  if (handoff_done_ || stats_.attempts >= config_.retry.max_attempts) {
+    fail(std::move(error));
+    return;
+  }
+  CSK_WARN << "migration attempt " << stats_.attempts
+           << " failed: " << error << " — backing off and retrying";
+  stats_.attempt_errors.push_back(std::move(error));
+
+  // Everything the dead attempt scheduled becomes a no-op...
+  ++attempt_epoch_;
+  // ...and everything it still owed carries over to the next attempt: the
+  // unsent tail of its round plus whatever was in flight and never acked.
+  std::vector<Gfn> owed(pending_.begin() +
+                            static_cast<std::ptrdiff_t>(pending_index_),
+                        pending_.end());
+  for (const auto& [seq, chunk] : in_flight_) {
+    for (const auto& [gfn, data] : chunk.pages) owed.push_back(gfn);
+    for (Gfn gfn : chunk.zero_gfns) owed.push_back(gfn);
+  }
+  in_flight_.clear();
+  chunks_outstanding_ = 0;
+  round_send_done_ = false;
+  final_round_ = false;
+  pending_.clear();
+  pending_index_ = 0;
+  // QEMU resumes the source between attempts (it keeps running while the
+  // stream is down); the dirty log stays enabled so writes keep accruing.
+  if (source_->state() == VmState::kPaused) (void)source_->resume();
+
+  const int retry_index = stats_.retries++;
+  const SimDuration delay = backoff_delay(config_.retry, retry_index);
+  stats_.backoff_total += delay;
+  obs::metrics().counter("vmm.migration.retries").add();
+  obs::tracer().instant("migration.retry", world_->simulator().now(), "vmm");
+  sched_at(world_->simulator().now() + delay,
+           [this, o = std::move(owed)]() mutable { restart_attempt(std::move(o)); });
+}
+
+void MigrationJob::restart_attempt(std::vector<Gfn> owed) {
+  ++stats_.attempts;
+  mem::AddressSpace& src = source_->memory();
+  // First-attempt failures before streaming began never enabled the log.
+  if (!src.dirty_log_enabled()) src.enable_dirty_log();
+  const std::size_t ram_pages = source_->config().memory_pages();
+  // Resume set: owed pages from the dead attempt, pages dirtied since the
+  // last harvest, and any page never confirmed applied at the destination.
+  std::vector<Gfn> dirty = harvest_dirty();
+  owed.insert(owed.end(), dirty.begin(), dirty.end());
+  for (std::size_t g = 0; g < ram_pages; ++g) {
+    if (!applied_gfns_.contains(g)) owed.push_back(Gfn(g));
+  }
+  std::sort(owed.begin(), owed.end());
+  owed.erase(std::unique(owed.begin(), owed.end()), owed.end());
+  owed.erase(std::remove_if(owed.begin(), owed.end(),
+                            [&](Gfn g) { return g.value() >= ram_pages; }),
+             owed.end());
+  begin_round(round_ + 1, std::move(owed));
 }
 
 void MigrationJob::fail(std::string error) {

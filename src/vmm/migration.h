@@ -1,33 +1,36 @@
-// Live migration (pre-copy, with post-copy as an extension).
-//
-// Faithful-in-shape model of QEMU 2.9 RAM migration:
-//   * iterative pre-copy: round 0 streams all of guest RAM, later rounds
-//     stream the pages dirtied meanwhile (KVM dirty logging);
-//   * zero pages are detected and cost 8 bytes of header instead of 4 KiB;
-//   * the stream is throttled to a bandwidth cap (QEMU's classic default of
-//     32 MiB/s — the single most load-bearing constant in Fig 4);
-//   * convergence: when the remaining dirty set can be flushed within
-//     max_downtime at the observed rate, the source pauses and the final
-//     stop-and-copy round runs; a round cap forces convergence otherwise;
-//   * the destination's receive path is charged per page at the
-//     destination's virtualization layer — a *nested* destination processes
-//     the stream an order of magnitude slower (Turtles exit multiplication),
-//     which is what separates the paper's L0-L1 series from L0-L0.
-//
-// The data plane really traverses SimNetwork (so the CloudSkulk forwarding
-// chain HOST:AAAA -> ROOTKIT:BBBB carries it and taps can observe it); page
-// *contents* ride a side table keyed by a stream token, mirroring how the
-// real socket payload is opaque bulk data.
+/// \file
+/// Live migration (pre-copy, with post-copy as an extension).
+///
+/// Faithful-in-shape model of QEMU 2.9 RAM migration:
+///   * iterative pre-copy: round 0 streams all of guest RAM, later rounds
+///     stream the pages dirtied meanwhile (KVM dirty logging);
+///   * zero pages are detected and cost 8 bytes of header instead of 4 KiB;
+///   * the stream is throttled to a bandwidth cap (QEMU's classic default of
+///     32 MiB/s — the single most load-bearing constant in Fig 4);
+///   * convergence: when the remaining dirty set can be flushed within
+///     max_downtime at the observed rate, the source pauses and the final
+///     stop-and-copy round runs; a round cap forces convergence otherwise;
+///   * the destination's receive path is charged per page at the
+///     destination's virtualization layer — a *nested* destination processes
+///     the stream an order of magnitude slower (Turtles exit multiplication),
+///     which is what separates the paper's L0-L1 series from L0-L0.
+///
+/// The data plane really traverses SimNetwork (so the CloudSkulk forwarding
+/// chain HOST:AAAA -> ROOTKIT:BBBB carries it and taps can observe it); page
+/// *contents* ride a side table keyed by a stream token, mirroring how the
+/// real socket payload is opaque bulk data.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "mem/page.h"
@@ -51,6 +54,26 @@ struct MigrationConfig {
   SimDuration setup_time = SimDuration::millis(500);
   /// Non-RAM device state transfer during the blackout.
   SimDuration device_state_time = SimDuration::millis(80);
+
+  // --- recovery knobs (all inert by default: a job configured with the
+  // --- defaults behaves bit-identically to the pre-fault-layer engine) ---
+
+  /// Attempt budget + backoff between attempts. max_attempts = 1 disables
+  /// retries; transient failures (injected aborts, round/chunk timeouts)
+  /// are then terminal, exactly as before.
+  RetryPolicy retry;
+  /// Watchdog per pre-copy round: a round that has not completed within
+  /// this duration fails the attempt (retryable). zero() = no watchdog.
+  SimDuration round_timeout = SimDuration::zero();
+  /// Retransmit timer per chunk: a chunk not acknowledged by the
+  /// destination within this duration is re-sent (lossy-fabric recovery).
+  /// zero() = no retransmits; a lost chunk then stalls the job forever.
+  SimDuration chunk_timeout = SimDuration::zero();
+  /// A chunk re-sent more than this many times fails the attempt.
+  int max_chunk_retransmits = 16;
+  /// Downtime SLA accounting: when non-zero, `MigrationStats::
+  /// downtime_sla_met` records whether the blackout stayed within budget.
+  SimDuration downtime_sla = SimDuration::zero();
 };
 
 struct MigrationRoundStats {
@@ -73,6 +96,15 @@ struct MigrationStats {
   std::uint64_t zero_pages = 0;
   std::uint64_t wire_bytes = 0;
   std::vector<MigrationRoundStats> round_log;
+
+  // --- recovery accounting (all zero/true on a fault-free default run) ---
+  int attempts = 0;                     // streaming attempts started
+  int retries = 0;                      // attempts - 1, counted as they happen
+  std::uint64_t chunk_retransmits = 0;  // chunks re-sent after timeout
+  std::uint64_t stale_chunks = 0;       // late duplicates ignored at dest
+  SimDuration backoff_total;            // summed inter-attempt backoff
+  bool downtime_sla_met = true;         // only meaningful with downtime_sla
+  std::vector<std::string> attempt_errors;  // transient per-attempt failures
 };
 
 class MigrationJob {
@@ -91,8 +123,22 @@ class MigrationJob {
   void start();
 
   /// Aborts an in-progress migration (HMP migrate_cancel): the source
-  /// resumes, the destination stays incomplete in incoming state.
+  /// resumes, the destination stays incomplete in incoming state. Terminal:
+  /// an operator cancel is never retried.
   void cancel();
+
+  /// Fault injection: kills the current streaming attempt as a *transient*
+  /// failure. With a retry budget (`MigrationConfig::retry`) the job backs
+  /// off and resumes — already-applied destination pages are not re-sent
+  /// unless re-dirtied; without one this is equivalent to cancel().
+  void inject_abort(std::string why);
+
+  /// Fault injection / live tuning: replaces the stream's bandwidth cap
+  /// (migrate_set_speed while active). Applies from the next chunk on.
+  void set_bandwidth_limit(double bytes_per_sec);
+  double bandwidth_limit() const {
+    return config_.bandwidth_limit_bytes_per_sec;
+  }
 
   bool done() const { return stats_.completed; }
   const MigrationStats& stats() const { return stats_; }
@@ -126,6 +172,7 @@ class MigrationJob {
     std::uint64_t seq = 0;
     int round = 0;
     bool announce = false;  // post-copy: binds the destination, no data
+    int retransmits = 0;    // times this chunk was re-sent after timeout
     std::uint64_t wire_bytes = 0;
     std::vector<std::pair<Gfn, mem::PageData>> pages;  // content pages
     std::vector<Gfn> zero_gfns;                        // zero-page markers
@@ -136,11 +183,18 @@ class MigrationJob {
   void pump();  // sends one paced chunk, then reschedules itself
   Chunk build_chunk();
   void send_chunk(Chunk chunk);
+  void transmit(const Chunk& chunk);  // wire send + pacing + retransmit timer
+  void maybe_retransmit(std::uint64_t seq);
   void chunk_processed(Chunk chunk);
   void end_round();
   void enter_final_round(std::vector<Gfn> pending);
   void do_handoff();
   void start_post_copy();
+  /// Transient failure: retries with backoff if budget remains, else fail().
+  void attempt_failed(std::string error);
+  /// Begins the next streaming attempt after backoff, resuming from the
+  /// pages the failed attempt still owed.
+  void restart_attempt(std::vector<Gfn> owed);
   void fail(std::string error);
   void finish();
   SimDuration receive_processing_time(const Chunk& chunk) const;
@@ -164,6 +218,14 @@ class MigrationJob {
   int round_ = 0;
   bool final_round_ = false;
   bool handoff_done_ = false;  // post-copy: handoff precedes the bulk copy
+  // Attempt epoch: bumped when an attempt dies so that every event the dead
+  // attempt scheduled (pumps, acks, watchdogs) dispatches as a no-op.
+  int attempt_epoch_ = 0;
+  // Round serial: distinguishes "this round timed out" from "a later round
+  // is running" in the round watchdog.
+  int round_serial_ = 0;
+  // Pages known applied at the destination (resume set for retries).
+  std::unordered_set<std::uint64_t> applied_gfns_;
   MigrationRoundStats round_acc_;
   std::vector<Gfn> pending_;      // pages left to send this round
   std::size_t pending_index_ = 0;

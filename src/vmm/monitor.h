@@ -1,11 +1,12 @@
-// The QEMU monitor (HMP).
-//
-// The paper's installation recipe drives everything through the monitor:
-// recon (`info qtree`, `info blockstats`, `info mtree`, `info mem`,
-// `info network`), migration (`migrate -d tcp:...`, `migrate_set_speed`),
-// and cleanup (`quit`). This class implements a text-in/text-out command
-// interpreter over a VirtualMachine, with output formatted close enough to
-// QEMU 2.9 that the recon parser treats it as the real thing.
+/// \file
+/// The QEMU monitor (HMP).
+///
+/// The paper's installation recipe drives everything through the monitor:
+/// recon (`info qtree`, `info blockstats`, `info mtree`, `info mem`,
+/// `info network`), migration (`migrate -d tcp:...`, `migrate_set_speed`),
+/// and cleanup (`quit`). This class implements a text-in/text-out command
+/// interpreter over a VirtualMachine, with output formatted close enough to
+/// QEMU 2.9 that the recon parser treats it as the real thing.
 #pragma once
 
 #include <memory>

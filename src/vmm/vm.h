@@ -1,18 +1,19 @@
-// VirtualMachine: one QEMU/KVM guest, at any nesting level.
-//
-// A top-level VM is a QEMU process on the host: its RAM is a root
-// AddressSpace over host physical memory (registered with KSM, as QEMU
-// marks guest RAM MADV_MERGEABLE). A nested VM is a QEMU process *inside a
-// guest*: its RAM is a view aliasing a region of the parent guest's memory,
-// and it is scheduled by the parent's (L1) hypervisor. That aliasing is
-// what the whole paper turns on — the nested victim's pages physically live
-// inside the rootkit VM's RAM, visible to host-side KSM but opaque to
-// single-level VMI.
-//
-// The root AddressSpace is sized at 4x the configured RAM: it models the
-// QEMU *process virtual arena*, inside which guest RAM, the nested guest's
-// RAM, and device buffers all live (Linux overcommit is what lets a 1 GiB
-// rootkit VM host a 1 GiB nested VM, and the model preserves that).
+/// \file
+/// VirtualMachine: one QEMU/KVM guest, at any nesting level.
+///
+/// A top-level VM is a QEMU process on the host: its RAM is a root
+/// AddressSpace over host physical memory (registered with KSM, as QEMU
+/// marks guest RAM MADV_MERGEABLE). A nested VM is a QEMU process *inside a
+/// guest*: its RAM is a view aliasing a region of the parent guest's memory,
+/// and it is scheduled by the parent's (L1) hypervisor. That aliasing is
+/// what the whole paper turns on — the nested victim's pages physically live
+/// inside the rootkit VM's RAM, visible to host-side KSM but opaque to
+/// single-level VMI.
+///
+/// The root AddressSpace is sized at 4x the configured RAM: it models the
+/// QEMU *process virtual arena*, inside which guest RAM, the nested guest's
+/// RAM, and device buffers all live (Linux overcommit is what lets a 1 GiB
+/// rootkit VM host a 1 GiB nested VM, and the model preserves that).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,385 @@
+// Fault-injection subsystem tests: determinism of seeded fault schedules,
+// migration recovery under loss / aborts / watchdogs, the exact backoff
+// series, detector graceful degradation, and forwarder auto-restart.
+#include <gtest/gtest.h>
+
+#include "detect/dedup_detector.h"
+#include "detect/l2_probe.h"
+#include "fault/injector.h"
+#include "net/port_forward.h"
+#include "test_util.h"
+#include "vmm/migration.h"
+
+namespace csk::fault {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+// ------------------------------------------------------------- backoff math
+
+TEST(RetryPolicyTest, BackoffSeriesIsExactlyTheDocumentedGeometricSeries) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = SimDuration::millis(200);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = SimDuration::seconds(10);
+  // delay(k) = min(initial * multiplier^k, max): 200ms, 400ms, 800ms, ...
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::millis(200));
+  EXPECT_EQ(backoff_delay(policy, 1), SimDuration::millis(400));
+  EXPECT_EQ(backoff_delay(policy, 2), SimDuration::millis(800));
+  EXPECT_EQ(backoff_delay(policy, 3), SimDuration::millis(1600));
+  EXPECT_EQ(backoff_delay(policy, 4), SimDuration::millis(3200));
+  EXPECT_EQ(backoff_delay(policy, 5), SimDuration::millis(6400));
+  // 12800 ms would exceed the cap: clamped.
+  EXPECT_EQ(backoff_delay(policy, 6), SimDuration::seconds(10));
+  EXPECT_EQ(backoff_delay(policy, 60), SimDuration::seconds(10));
+}
+
+TEST(RetryPolicyTest, SingleAttemptPolicyDisablesRetries) {
+  RetryPolicy policy;  // default max_attempts = 1
+  EXPECT_FALSE(policy.retries_enabled());
+  policy.max_attempts = 2;
+  EXPECT_TRUE(policy.retries_enabled());
+}
+
+// ------------------------------------------------- migration chaos fixture
+
+struct MigrationRun {
+  vmm::MigrationStats stats;
+  std::vector<InjectedFault> faults;
+  int clean_rounds = 0;  // rounds of an identical fault-free run
+};
+
+/// Runs one small L0-L0 migration with the recovery knobs armed under
+/// `plan`; deterministic for a given plan.
+MigrationRun run_chaos_migration(const FaultPlan& plan,
+                                 int max_attempts = 4) {
+  vmm::World world;
+  auto host_cfg = small_host_config();
+  host_cfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(host_cfg);
+  // 48 MiB touched at the 32 MiB/s throttle: round 0 spans ~0.5 s-2.0 s of
+  // simulated time, so mid-round fault specs land while streaming is live.
+  vmm::VirtualMachine* source =
+      host->launch_vm(small_vm_config("src", 64), /*boot_touched_mib=*/48)
+          .value();
+  auto dest_cfg = small_vm_config("dst", 64, 0, 0);
+  dest_cfg.incoming_port = 4444;
+  (void)host->launch_vm(dest_cfg).value();
+
+  vmm::MigrationConfig cfg;
+  cfg.retry.max_attempts = max_attempts;
+  cfg.retry.initial_backoff = SimDuration::millis(200);
+  cfg.retry.backoff_multiplier = 2.0;
+  cfg.chunk_timeout = SimDuration::seconds(2);
+  cfg.round_timeout = SimDuration::seconds(120);
+  vmm::MigrationJob job(&world, source,
+                        net::NetAddr{host->node_name(), Port(4444)}, cfg);
+  Injector injector(&world, plan);
+  injector.attach_migration(&job);
+  injector.arm();
+  job.start();
+  const SimTime deadline =
+      world.simulator().now() + SimDuration::seconds(3600);
+  while (!job.done() && world.simulator().now() < deadline) {
+    if (!world.simulator().step()) break;
+  }
+  MigrationRun out;
+  out.stats = job.stats();
+  out.faults = injector.log();
+  return out;
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(FaultDeterminismTest, SameSeedYieldsIdenticalFaultSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.net.push_back({"", "", SimDuration::zero(), SimDuration::seconds(3600),
+                      0.2, SimDuration::millis(2)});
+  const MigrationRun a = run_chaos_migration(plan);
+  const MigrationRun b = run_chaos_migration(plan);
+  ASSERT_FALSE(a.faults.empty());
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].at, b.faults[i].at) << i;
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind) << i;
+    EXPECT_EQ(a.faults[i].detail, b.faults[i].detail) << i;
+  }
+  EXPECT_EQ(a.stats.total_time, b.stats.total_time);
+  EXPECT_EQ(a.stats.chunk_retransmits, b.stats.chunk_retransmits);
+}
+
+TEST(FaultDeterminismTest, DifferentSeedsYieldDifferentLossPatterns) {
+  FaultPlan plan_a;
+  plan_a.seed = 1;
+  plan_a.net.push_back(
+      {"", "", SimDuration::zero(), SimDuration::seconds(3600), 0.2});
+  FaultPlan plan_b = plan_a;
+  plan_b.seed = 2;
+  const MigrationRun a = run_chaos_migration(plan_a);
+  const MigrationRun b = run_chaos_migration(plan_b);
+  // Both converge; the concrete drop schedules differ.
+  EXPECT_TRUE(a.stats.succeeded);
+  EXPECT_TRUE(b.stats.succeeded);
+  bool same = a.faults.size() == b.faults.size();
+  if (same) {
+    for (std::size_t i = 0; i < a.faults.size(); ++i) {
+      if (a.faults[i].at != b.faults[i].at ||
+          a.faults[i].detail != b.faults[i].detail) {
+        same = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(same);
+}
+
+// -------------------------------------------------------- loss convergence
+
+TEST(MigrationChaosTest, ConvergesUnder20PctLossWithBoundedExtraRounds) {
+  const MigrationRun clean = run_chaos_migration(FaultPlan{});
+  ASSERT_TRUE(clean.stats.succeeded);
+  EXPECT_EQ(clean.stats.chunk_retransmits, 0u);
+
+  FaultPlan lossy;
+  lossy.seed = 7;
+  lossy.net.push_back(
+      {"", "", SimDuration::zero(), SimDuration::seconds(3600), 0.2});
+  const MigrationRun r = run_chaos_migration(lossy);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_GT(r.stats.chunk_retransmits, 0u);
+  // Recovery is retransmission, not extra dirty rounds: the round count
+  // stays within a small constant of the fault-free run.
+  EXPECT_LE(r.stats.rounds, clean.stats.rounds + 3);
+  EXPECT_GE(r.stats.total_time, clean.stats.total_time);
+}
+
+// ------------------------------------------------------------ abort + retry
+
+TEST(MigrationChaosTest, InjectedMidRoundAbortIsRetriedToSuccess) {
+  FaultPlan plan;
+  plan.migration_aborts.push_back(
+      {SimDuration::millis(1500), "injected mid-round abort"});
+  const MigrationRun r = run_chaos_migration(plan);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_EQ(r.stats.attempts, 2);
+  EXPECT_EQ(r.stats.retries, 1);
+  ASSERT_EQ(r.stats.attempt_errors.size(), 1u);
+  EXPECT_NE(r.stats.attempt_errors[0].find("injected mid-round abort"),
+            std::string::npos);
+  // One retry at index 0: exactly the first term of the backoff series.
+  EXPECT_EQ(r.stats.backoff_total, SimDuration::millis(200));
+}
+
+TEST(MigrationChaosTest, AbortWithoutRetryBudgetIsTerminal) {
+  FaultPlan plan;
+  plan.migration_aborts.push_back(
+      {SimDuration::millis(1500), "injected mid-round abort"});
+  const MigrationRun r = run_chaos_migration(plan, /*max_attempts=*/1);
+  EXPECT_TRUE(r.stats.completed);
+  EXPECT_FALSE(r.stats.succeeded);
+  EXPECT_NE(r.stats.error.find("injected mid-round abort"),
+            std::string::npos);
+}
+
+TEST(MigrationChaosTest, RepeatedAbortsExhaustTheAttemptBudget) {
+  FaultPlan plan;
+  // Each abort lands while a streaming attempt is live (streaming starts at
+  // 0.5 s; retries restart at 0.9 s and 1.4 s after 200/400 ms backoffs).
+  plan.migration_aborts.push_back({SimDuration::millis(700), "abort #0"});
+  plan.migration_aborts.push_back({SimDuration::millis(1000), "abort #1"});
+  plan.migration_aborts.push_back({SimDuration::millis(1500), "abort #2"});
+  const MigrationRun r = run_chaos_migration(plan, /*max_attempts=*/3);
+  EXPECT_TRUE(r.stats.completed);
+  EXPECT_FALSE(r.stats.succeeded);
+  EXPECT_EQ(r.stats.attempts, 3);
+  EXPECT_EQ(r.stats.retries, 2);
+  // Two retries: 200 ms + 400 ms of the geometric series.
+  EXPECT_EQ(r.stats.backoff_total, SimDuration::millis(600));
+}
+
+// ------------------------------------------------------- bandwidth collapse
+
+TEST(MigrationChaosTest, BandwidthCollapseSlowsThenRestoresTheCap) {
+  FaultPlan plan;
+  plan.bandwidth_collapses.push_back(
+      {SimDuration::millis(700), SimDuration::seconds(2), 0.1});
+  const MigrationRun clean = run_chaos_migration(FaultPlan{});
+  const MigrationRun r = run_chaos_migration(plan);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_GT(r.stats.total_time, clean.stats.total_time);
+}
+
+// ------------------------------------------------------------- partitions
+
+TEST(MigrationChaosTest, SurvivesAHardPartitionWindow) {
+  FaultPlan plan;
+  plan.seed = 9;
+  {
+    NetFaultSpec part;
+    part.at = SimDuration::millis(1200);
+    part.duration = SimDuration::seconds(2);
+    part.partition = true;
+    plan.net.push_back(part);
+  }
+  const MigrationRun r = run_chaos_migration(plan);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_GT(r.stats.chunk_retransmits, 0u);
+}
+
+// ------------------------------------------------------------ hv pressure
+
+TEST(InjectorTest, MemoryPressureWindowAppliesAndRestores) {
+  vmm::World world;
+  vmm::Host* host = world.make_host(small_host_config());
+  FaultPlan plan;
+  plan.memory_pressure.push_back(
+      {"host0", SimDuration::seconds(1), SimDuration::seconds(2), 4.0});
+  Injector injector(&world, plan);
+  injector.arm();
+  world.simulator().run_for(SimDuration::millis(1500));
+  EXPECT_DOUBLE_EQ(host->hypervisor().memory_pressure(), 4.0);
+  world.simulator().run_for(SimDuration::seconds(2));
+  EXPECT_DOUBLE_EQ(host->hypervisor().memory_pressure(), 1.0);
+  EXPECT_EQ(injector.count("hv.memory_pressure"), 1u);
+  EXPECT_EQ(injector.count("hv.memory_pressure_restore"), 1u);
+}
+
+TEST(InjectorTest, DisarmMidWindowRestoresPerturbedState) {
+  vmm::World world;
+  vmm::Host* host = world.make_host(small_host_config());
+  FaultPlan plan;
+  plan.memory_pressure.push_back(
+      {"host0", SimDuration::zero(), SimDuration::seconds(100), 8.0});
+  Injector injector(&world, plan);
+  injector.arm();
+  world.simulator().run_for(SimDuration::seconds(1));
+  ASSERT_DOUBLE_EQ(host->hypervisor().memory_pressure(), 8.0);
+  injector.disarm();
+  EXPECT_DOUBLE_EQ(host->hypervisor().memory_pressure(), 1.0);
+  EXPECT_FALSE(world.network().has_fault_hook());
+}
+
+// ---------------------------------------------------- detector degradation
+
+class DetectorDegradationTest : public ::testing::Test {
+ protected:
+  DetectorDegradationTest() {
+    auto cfg = small_host_config();
+    cfg.boot_touched_mib = 4;
+    host_ = world_.make_host(cfg);
+  }
+  vmm::World world_;
+  vmm::Host* host_ = nullptr;
+};
+
+TEST_F(DetectorDegradationTest, StalledDedupProbeIsInconclusiveNeverClean) {
+  detect::DedupDetectorConfig cfg;
+  cfg.file_pages = 20;
+  cfg.merge_wait = SimDuration::seconds(5);
+  cfg.probe_timeout = SimDuration::seconds(10);
+  detect::DedupDetector detector(host_, cfg);
+  vmm::VirtualMachine* vm = host_->launch_vm(small_vm_config()).value();
+  ASSERT_TRUE(detector.seed_guest(vm->os()).is_ok());
+
+  FaultPlan plan;
+  plan.probe_stalls.push_back(
+      {SimDuration::zero(), SimDuration::seconds(60)});
+  Injector injector(&world_, plan);
+  injector.arm();
+  detector.set_stall_probe(injector.stall_probe());
+
+  auto report = detector.run(vm->os());
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->verdict, detect::DedupVerdict::kInconclusive);
+  EXPECT_NE(report->inconclusive_cause.find("probe timeout"),
+            std::string::npos);
+  // Graceful degradation must never masquerade as a clean bill of health.
+  EXPECT_NE(report->verdict, detect::DedupVerdict::kNoNestedVm);
+}
+
+TEST_F(DetectorDegradationTest, ShortStallIsWaitedOutAndVerdictStands) {
+  detect::DedupDetectorConfig cfg;
+  cfg.file_pages = 20;
+  cfg.merge_wait = SimDuration::seconds(5);
+  cfg.probe_timeout = SimDuration::seconds(10);
+  detect::DedupDetector detector(host_, cfg);
+  vmm::VirtualMachine* vm = host_->launch_vm(small_vm_config()).value();
+  ASSERT_TRUE(detector.seed_guest(vm->os()).is_ok());
+
+  FaultPlan plan;  // 2 s stall < 10 s budget: detector waits it out
+  plan.probe_stalls.push_back(
+      {SimDuration::zero(), SimDuration::seconds(2)});
+  Injector injector(&world_, plan);
+  injector.arm();
+  detector.set_stall_probe(injector.stall_probe());
+
+  auto report = detector.run(vm->os());
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->verdict, detect::DedupVerdict::kNoNestedVm)
+      << report->explanation;
+}
+
+TEST_F(DetectorDegradationTest, StalledGuestProbeIsInconclusive) {
+  vmm::VirtualMachine* vm = host_->launch_vm(small_vm_config()).value();
+  detect::GuestProbeConfig cfg;
+  cfg.probe_timeout = SimDuration::seconds(1);
+  detect::GuestTimingProbe probe(&world_.timing(), cfg);
+
+  FaultPlan plan;
+  plan.probe_stalls.push_back(
+      {SimDuration::zero(), SimDuration::seconds(30)});
+  Injector injector(&world_, plan);
+  injector.arm();
+  probe.set_stall_probe(injector.stall_probe());
+
+  const detect::GuestProbeReport report = probe.run(*vm);
+  EXPECT_EQ(report.verdict, detect::GuestProbeVerdict::kInconclusive);
+  EXPECT_FALSE(report.inconclusive_cause.empty());
+  EXPECT_TRUE(report.readings.empty());
+}
+
+// ------------------------------------------------------ forwarder restart
+
+TEST(ForwarderRestartTest, InterruptWithAutoRestartRebindsWithBackoff) {
+  vmm::World world;
+  (void)world.make_host(small_host_config());
+  net::PortForwarder fwd(&world.network(),
+                         net::NetAddr{"host0", Port(2222)},
+                         net::NetAddr{"guest0", Port(22)}, "ssh-fwd");
+  ASSERT_TRUE(fwd.start().is_ok());
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = SimDuration::millis(100);
+  fwd.enable_auto_restart(&world.simulator(), policy);
+
+  fwd.interrupt();
+  EXPECT_FALSE(fwd.running());
+  // First rebind attempt fires after the first backoff term (100 ms).
+  world.simulator().run_for(SimDuration::millis(99));
+  EXPECT_FALSE(fwd.running());
+  world.simulator().run_for(SimDuration::millis(2));
+  EXPECT_TRUE(fwd.running());
+  EXPECT_EQ(fwd.stats().interrupts, 1u);
+  EXPECT_EQ(fwd.stats().restarts, 1u);
+}
+
+TEST(ForwarderRestartTest, InterruptWithoutAutoRestartStaysDown) {
+  vmm::World world;
+  (void)world.make_host(small_host_config());
+  net::PortForwarder fwd(&world.network(),
+                         net::NetAddr{"host0", Port(2222)},
+                         net::NetAddr{"guest0", Port(22)}, "ssh-fwd");
+  ASSERT_TRUE(fwd.start().is_ok());
+  fwd.interrupt();
+  world.simulator().run_for(SimDuration::seconds(10));
+  EXPECT_FALSE(fwd.running());
+  // Manual restart still works.
+  ASSERT_TRUE(fwd.start().is_ok());
+  EXPECT_TRUE(fwd.running());
+}
+
+}  // namespace
+}  // namespace csk::fault

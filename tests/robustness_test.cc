@@ -7,6 +7,7 @@
 #include "cloudskulk/recon.h"
 #include "detect/dedup_detector.h"
 #include "mem/ksm.h"
+#include "net/port_forward.h"
 #include "test_util.h"
 #include "vmm/migration.h"
 #include "vmm/monitor.h"
@@ -307,6 +308,92 @@ TEST(ReconOrderingTest, DedupReportShapeIsConsistent) {
   EXPECT_EQ(report->t0.summary.count, dcfg.file_pages);
   EXPECT_GE(report->t1_t2_separation, 0.0);
   EXPECT_FALSE(report->explanation.empty());
+}
+
+// ------------------------------------------------------ recovery edge cases
+
+namespace recovery {
+
+vmm::MigrationJob make_job(vmm::World& world, vmm::Host* host,
+                           vmm::MigrationConfig cfg) {
+  vmm::VirtualMachine* source =
+      host->launch_vm(small_vm_config("src", 64)).value();
+  auto dcfg = small_vm_config("dst", 64, 0, 0);
+  dcfg.incoming_port = 4444;
+  (void)host->launch_vm(dcfg).value();
+  return vmm::MigrationJob(&world, source,
+                           net::NetAddr{host->node_name(), Port(4444)}, cfg);
+}
+
+}  // namespace recovery
+
+TEST(MigrationRecoveryRobustnessTest, DefaultConfigHasRecoveryDisabled) {
+  const vmm::MigrationConfig cfg;
+  EXPECT_FALSE(cfg.retry.retries_enabled());
+  EXPECT_EQ(cfg.round_timeout, SimDuration::zero());
+  EXPECT_EQ(cfg.chunk_timeout, SimDuration::zero());
+  EXPECT_EQ(cfg.downtime_sla, SimDuration::zero());
+}
+
+TEST(MigrationRecoveryRobustnessTest, AbortAfterCompletionIsHarmless) {
+  vmm::World world;
+  auto hcfg = small_host_config();
+  hcfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(hcfg);
+  vmm::MigrationConfig cfg;
+  cfg.retry.max_attempts = 3;
+  auto job = recovery::make_job(world, host, cfg);
+  job.start();
+  world.simulator().run_until_idle();
+  ASSERT_TRUE(job.stats().succeeded);
+  const int attempts_before = job.stats().attempts;
+  job.inject_abort("late abort");
+  world.simulator().run_until_idle();
+  EXPECT_TRUE(job.stats().succeeded);
+  EXPECT_EQ(job.stats().attempts, attempts_before);
+}
+
+TEST(MigrationRecoveryRobustnessTest, ImpossibleRoundTimeoutExhaustsBudget) {
+  vmm::World world;
+  auto hcfg = small_host_config();
+  hcfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(hcfg);
+  vmm::MigrationConfig cfg;
+  cfg.retry.max_attempts = 2;
+  cfg.round_timeout = SimDuration::millis(1);  // no round can finish in 1 ms
+  auto job = recovery::make_job(world, host, cfg);
+  job.start();
+  world.simulator().run_until_idle();
+  EXPECT_TRUE(job.stats().completed);
+  EXPECT_FALSE(job.stats().succeeded);
+  EXPECT_EQ(job.stats().attempts, 2);
+  EXPECT_NE(job.stats().error.find("timeout"), std::string::npos);
+}
+
+TEST(MigrationRecoveryRobustnessTest, DowntimeSlaIsAccounted) {
+  vmm::World world;
+  auto hcfg = small_host_config();
+  hcfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(hcfg);
+  vmm::MigrationConfig cfg;
+  cfg.downtime_sla = SimDuration::seconds(30);  // generous: must be met
+  auto job = recovery::make_job(world, host, cfg);
+  job.start();
+  world.simulator().run_until_idle();
+  ASSERT_TRUE(job.stats().succeeded);
+  EXPECT_TRUE(job.stats().downtime_sla_met);
+  EXPECT_LE(job.stats().downtime, cfg.downtime_sla);
+}
+
+TEST(ForwarderRobustnessTest, InterruptWhenAlreadyStoppedIsSafe) {
+  vmm::World world;
+  (void)world.make_host(small_host_config());
+  net::PortForwarder fwd(&world.network(), net::NetAddr{"host0", Port(2222)},
+                         net::NetAddr{"guest0", Port(22)});
+  // Never started: interrupt must not crash or schedule anything odd.
+  fwd.interrupt();
+  world.simulator().run_for(SimDuration::seconds(10));
+  EXPECT_FALSE(fwd.running());
 }
 
 }  // namespace
