@@ -12,6 +12,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  // Mix the root once so that structured roots (0, 1, 2, ...) land far
+  // apart, then fold the stream index in through its own mix step. Two
+  // rounds total: cheap, and every output bit depends on every input bit.
+  std::uint64_t state = root;
+  const std::uint64_t mixed_root = splitmix64(state);
+  state = mixed_root ^ (stream * 0x9e3779b97f4a7c15ull);
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

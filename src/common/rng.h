@@ -15,6 +15,13 @@ namespace csk {
 /// SplitMix64 step — used for seeding and as a standalone mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Splittable seed derivation: the seed of independent sub-stream `stream`
+/// under `root`. Both inputs pass through SplitMix64 mixing, so nearby
+/// roots and consecutive stream indices yield uncorrelated seeds — this is
+/// how the fleet runner gives each shard its own Rng universe while staying
+/// a pure function of (root seed, shard index).
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream);
+
 /// xoshiro256** PRNG with convenience distributions.
 class Rng {
  public:

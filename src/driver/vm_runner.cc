@@ -16,6 +16,14 @@ SimDuration run_workload(vmm::VirtualMachine& vm,
   return vm.execute_ops(cost);
 }
 
+double run_to_run_jitter(Rng& rng, double rel_stddev) {
+  // Width capped below 1.0 so the factor stays strictly positive even for
+  // absurd rel_stddev; at ±4σ the clamp trims ~6e-5 of the mass per side,
+  // leaving mean ≈ 1 and stddev ≈ rel_stddev intact.
+  const double width = std::min(4.0 * rel_stddev, 0.95);
+  return std::clamp(rng.normal(1.0, rel_stddev), 1.0 - width, 1.0 + width);
+}
+
 std::vector<SimDuration> run_repeated(vmm::VirtualMachine& vm,
                                       const workloads::Workload& workload,
                                       int runs, double rel_stddev, Rng& rng) {
@@ -23,8 +31,7 @@ std::vector<SimDuration> run_repeated(vmm::VirtualMachine& vm,
   out.reserve(static_cast<std::size_t>(runs));
   for (int i = 0; i < runs; ++i) {
     hv::OpCost cost = workload.cost_for(env_for(vm));
-    const double jitter = std::max(0.05, rng.normal(1.0, rel_stddev));
-    cost.cpu_ns *= jitter;
+    cost.cpu_ns *= run_to_run_jitter(rng, rel_stddev);
     out.push_back(vm.execute_ops(cost));
   }
   return out;

@@ -26,6 +26,13 @@ hv::ExecEnv env_for(const vmm::VirtualMachine& vm);
 SimDuration run_workload(vmm::VirtualMachine& vm,
                          const workloads::Workload& workload);
 
+/// One multiplicative run-to-run noise factor: Normal(1, rel_stddev)
+/// clamped *symmetrically* to 1 ± min(4·rel_stddev, 0.95). The clamp keeps
+/// pathological tails out of the cost model without biasing the mean —
+/// the old one-sided floor at 0.05 silently inflated extreme-left draws,
+/// skewing the modeled variance for large rel_stddev.
+double run_to_run_jitter(Rng& rng, double rel_stddev);
+
 /// Runs `workload` `runs` times with multiplicative run-to-run noise
 /// (thermal / scheduling variance), like the paper's "5 consecutive runs".
 std::vector<SimDuration> run_repeated(vmm::VirtualMachine& vm,

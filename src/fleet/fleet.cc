@@ -1,0 +1,230 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "fleet/pool.h"
+#include "obs/trace.h"
+
+namespace csk::fleet {
+
+namespace {
+
+std::string hex_seed(std::uint64_t seed) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::int64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Canonical serialization of one shard's simulated facts. Seeds render as
+/// hex strings (a JSON number is a double — a 64-bit seed would lose
+/// bits); fault timestamps as raw ns.
+std::string make_digest(const std::string& name, std::uint64_t seed,
+                        const ShardOutcome& outcome,
+                        const obs::MetricsSnapshot& metrics) {
+  obs::JsonValue values = obs::JsonValue::object();
+  for (const auto& [k, v] : outcome.values) values.set(k, v);
+  obs::JsonValue faults = obs::JsonValue::array();
+  for (const fault::InjectedFault& f : outcome.faults) {
+    faults.push(obs::JsonValue::object()
+                    .set("at_ns", f.at.ns())
+                    .set("kind", f.kind)
+                    .set("detail", f.detail));
+  }
+  return obs::JsonValue::object()
+      .set("name", name)
+      .set("seed", hex_seed(seed))
+      .set("status", outcome.status.to_string())
+      .set("values", std::move(values))
+      .set("faults", std::move(faults))
+      .set("metrics", metrics.to_json())
+      .dump();
+}
+
+/// "byte 17: 'a' vs 'b'" — enough to locate a divergence in a digest.
+std::string first_difference(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  if (i == n && a.size() == b.size()) return "identical";
+  std::string out = "digests diverge at byte " + std::to_string(i);
+  const auto context = [i](const std::string& s) {
+    const std::size_t begin = i >= 20 ? i - 20 : 0;
+    return s.substr(begin, 40);
+  };
+  out += ": pooled ..." + obs::JsonValue::escape(context(a));
+  out += "... vs serial ..." + obs::JsonValue::escape(context(b)) + "...";
+  return out;
+}
+
+obs::JsonValue summary_json(const SampleSummary& s) {
+  return obs::JsonValue::object()
+      .set("count", static_cast<std::uint64_t>(s.count))
+      .set("mean", s.mean)
+      .set("stddev", s.stddev)
+      .set("min", s.min)
+      .set("p50", s.p50)
+      .set("p95", s.p95)
+      .set("max", s.max);
+}
+
+}  // namespace
+
+std::size_t FleetReport::failed_shards() const {
+  return static_cast<std::size_t>(
+      std::count_if(shards.begin(), shards.end(),
+                    [](const ShardResult& s) { return !s.ok(); }));
+}
+
+std::string FleetReport::deterministic_json() const {
+  obs::JsonValue digests = obs::JsonValue::array();
+  for (const ShardResult& s : shards) digests.push(s.digest);
+  obs::JsonValue aggregates_json = obs::JsonValue::object();
+  for (const auto& [k, s] : aggregates) aggregates_json.set(k, summary_json(s));
+  return obs::JsonValue::object()
+      .set("shard_digests", std::move(digests))
+      .set("merged_metrics", merged.to_json())
+      .set("aggregates", std::move(aggregates_json))
+      .dump();
+}
+
+obs::JsonValue FleetReport::to_json() const {
+  obs::JsonValue shards_json = obs::JsonValue::array();
+  for (const ShardResult& s : shards) {
+    obs::JsonValue values = obs::JsonValue::object();
+    for (const auto& [k, v] : s.outcome.values) values.set(k, v);
+    shards_json.push(
+        obs::JsonValue::object()
+            .set("index", static_cast<std::uint64_t>(s.index))
+            .set("name", s.name)
+            .set("seed", hex_seed(s.seed))
+            .set("ok", s.ok())
+            .set("status", s.outcome.status.to_string())
+            .set("values", std::move(values))
+            .set("faults_delivered",
+                 static_cast<std::uint64_t>(s.outcome.faults.size()))
+            .set("wall_ms", static_cast<double>(s.wall_ns) / 1e6));
+  }
+  obs::JsonValue aggregates_json = obs::JsonValue::object();
+  for (const auto& [k, s] : aggregates) aggregates_json.set(k, summary_json(s));
+  obs::JsonValue diffs = obs::JsonValue::array();
+  for (const AuditDiff& d : audit_diffs) {
+    diffs.push(obs::JsonValue::object()
+                   .set("index", static_cast<std::uint64_t>(d.index))
+                   .set("name", d.name)
+                   .set("detail", d.detail));
+  }
+  obs::JsonValue audit_json =
+      obs::JsonValue::object()
+          .set("enabled", audited)
+          .set("serial_wall_ms", static_cast<double>(audit_wall_ns) / 1e6)
+          .set("diffs", std::move(diffs));
+  return obs::JsonValue::object()
+      .set("workers", workers)
+      .set("shard_count", static_cast<std::uint64_t>(shards.size()))
+      .set("failed_shards", static_cast<std::uint64_t>(failed_shards()))
+      .set("steals", static_cast<std::uint64_t>(steals))
+      .set("wall_ms", static_cast<double>(wall_ns) / 1e6)
+      .set("audit", std::move(audit_json))
+      .set("shards", std::move(shards_json))
+      .set("aggregates", std::move(aggregates_json))
+      .set("merged_metrics", merged.to_json());
+}
+
+FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config)) {}
+
+void FleetRunner::add(std::string name, ScenarioFn fn) {
+  CSK_CHECK_MSG(fn != nullptr, "scenario body must be callable");
+  scenarios_.push_back({std::move(name), std::move(fn)});
+}
+
+ShardResult FleetRunner::execute(const Scenario& scenario,
+                                 std::size_t index) const {
+  ShardResult out;
+  out.index = index;
+  out.name = scenario.name;
+  out.seed = derive_seed(config_.root_seed, index);
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;  // shard-private, disabled: trace calls stay no-ops
+  const auto wall0 = std::chrono::steady_clock::now();
+  {
+    // Install before the scenario builds anything, so components that cache
+    // instrument pointers at construction resolve into the shard registry.
+    obs::ScopedMetricsRegistry metrics_scope(registry);
+    obs::ScopedTraceSink trace_scope(sink);
+    const ShardContext ctx{index, out.seed};
+    out.outcome = scenario.fn(ctx);
+  }
+  out.wall_ns = elapsed_ns(wall0);
+  out.metrics = registry.snapshot();
+  out.digest = make_digest(out.name, out.seed, out.outcome, out.metrics);
+  return out;
+}
+
+ShardResult FleetRunner::run_shard(std::size_t index) const {
+  CSK_CHECK_MSG(index < scenarios_.size(), "shard index out of range");
+  return execute(scenarios_[index], index);
+}
+
+FleetReport FleetRunner::run() {
+  int workers = config_.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  FleetReport report;
+  report.workers = workers;
+  report.audited = config_.audit;
+  report.shards.resize(scenarios_.size());
+
+  WorkStealingPool pool(workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(scenarios_.size());
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    tasks.push_back([this, i, &report] {
+      report.shards[i] = execute(scenarios_[i], i);
+    });
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  pool.run(std::move(tasks));
+  report.wall_ns = elapsed_ns(wall0);
+  report.steals = pool.steals();
+
+  // Merge and aggregate in shard-index order: the result is a pure function
+  // of the shard results, independent of how the pool scheduled them.
+  for (const ShardResult& s : report.shards) report.merged.merge_from(s.metrics);
+  std::map<std::string, std::vector<double>> by_key;
+  for (const ShardResult& s : report.shards) {
+    if (!s.ok()) continue;
+    for (const auto& [k, v] : s.outcome.values) by_key[k].push_back(v);
+  }
+  for (const auto& [k, samples] : by_key) {
+    report.aggregates.emplace(k, summarize(samples));
+  }
+
+  if (config_.audit) {
+    const auto audit0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      const ShardResult serial = execute(scenarios_[i], i);
+      if (serial.digest != report.shards[i].digest) {
+        report.audit_diffs.push_back(
+            {i, scenarios_[i].name,
+             first_difference(report.shards[i].digest, serial.digest)});
+      }
+    }
+    report.audit_wall_ns = elapsed_ns(audit0);
+  }
+  return report;
+}
+
+}  // namespace csk::fleet

@@ -1,0 +1,160 @@
+/// \file
+/// csk::fleet — parallel execution of independent simulation scenarios.
+///
+/// The paper's evaluation (Fig 2–6, Tables II–IV) is a sweep of independent
+/// cells, and every bench in this repo runs such cells one at a time on one
+/// thread. The fleet runner shards them across host cores: each shard is a
+/// self-contained universe — the scenario body builds its own World (hosts,
+/// VMs, optional fault Injector) from the shard's derived seed, publishes
+/// into a shard-private metrics registry and trace sink that the runner
+/// installs thread-locally, and returns a small set of named result values.
+/// Shards share no mutable state, so host-level parallelism cannot change
+/// any simulated result.
+///
+/// That claim is not left to documentation: the runner carries an opt-in
+/// *determinism audit*. With `FleetConfig::audit` set, every shard is
+/// executed twice — once on the work-stealing pool, once serially on the
+/// calling thread — and the two runs' digests (canonical serialization of
+/// result values, fault log and metrics snapshot; no wall-clock anywhere)
+/// are byte-compared. "Same seed ⇒ same scenario" becomes a machine-checked
+/// property of every audited sweep.
+///
+/// Seeding: shard i runs with `derive_seed(root_seed, i)` (common/rng), so
+/// one root seed reproduces the entire fleet, and any single shard can be
+/// re-run in isolation from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "fault/fault.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace csk::fleet {
+
+/// What the runner hands a scenario body: its position and seed universe.
+struct ShardContext {
+  std::size_t index = 0;
+  /// derive_seed(FleetConfig::root_seed, index) — the only randomness a
+  /// scenario may use (via Rng(seed) / World(seed) / FaultPlan::seed).
+  std::uint64_t seed = 0;
+};
+
+/// What a scenario body returns.
+struct ShardOutcome {
+  /// Named KPIs ("total_s", "downtime_ms", ...). The runner aggregates
+  /// same-named values across shards into fleet-level percentiles.
+  std::map<std::string, double> values;
+  /// Delivered-fault log when the scenario armed an Injector; part of the
+  /// determinism digest (same seed ⇒ same fault schedule).
+  std::vector<fault::InjectedFault> faults;
+  /// Non-OK marks the shard failed; the error is carried into the report.
+  Status status = Status::ok();
+};
+
+/// A scenario body. Must be self-contained: everything it touches is built
+/// inside the call from `ctx.seed` (thread-confined by construction), and
+/// it observes only the thread-local obs::metrics() / obs::tracer() the
+/// runner installed for it.
+using ScenarioFn = std::function<ShardOutcome(const ShardContext&)>;
+
+struct ShardResult {
+  std::size_t index = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+  ShardOutcome outcome;
+  obs::MetricsSnapshot metrics;
+  /// Canonical serialization of every simulated fact (values, status,
+  /// fault log, metrics) — the unit of byte-comparison for determinism
+  /// audits. Contains no wall-clock.
+  std::string digest;
+  /// Host wall-clock spent executing the shard. Never part of the digest.
+  std::int64_t wall_ns = 0;
+
+  bool ok() const { return outcome.status.is_ok(); }
+};
+
+/// One shard whose pooled and serial executions disagreed.
+struct AuditDiff {
+  std::size_t index = 0;
+  std::string name;
+  std::string detail;  // where the digests diverge
+};
+
+struct FleetConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Root of the per-shard seed derivation.
+  std::uint64_t root_seed = 0xF1EE7C5Cull;
+  /// Re-run every shard serially after the pooled pass and byte-compare
+  /// digests (doubles the work; that is the price of proof).
+  bool audit = false;
+};
+
+struct FleetReport {
+  std::vector<ShardResult> shards;  // by shard index
+  /// Shard snapshots merged in index order (counters add, histograms pool,
+  /// gauges last-writer-wins) — identical for any worker count.
+  obs::MetricsSnapshot merged;
+  /// Per-KPI summary (count/mean/stddev/min/p50/p95/max) across OK shards.
+  std::map<std::string, SampleSummary> aggregates;
+
+  int workers = 1;
+  std::size_t steals = 0;        // pool stat: tasks that migrated workers
+  std::int64_t wall_ns = 0;      // pooled pass, host wall-clock
+  std::int64_t audit_wall_ns = 0;  // serial audit pass; 0 when not audited
+  bool audited = false;
+  std::vector<AuditDiff> audit_diffs;  // empty = determinism held
+
+  std::size_t failed_shards() const;
+
+  /// Canonical JSON of the simulated facts only (per-shard digests, merged
+  /// metrics, aggregates) — byte-identical across runs and worker counts
+  /// for the same scenarios and root seed. The determinism tests compare
+  /// exactly these bytes.
+  std::string deterministic_json() const;
+
+  /// Full report including wall-clock and pool stats. NOT deterministic —
+  /// benches embed it for humans and tooling, never for byte-comparison.
+  obs::JsonValue to_json() const;
+};
+
+class FleetRunner {
+ public:
+  explicit FleetRunner(FleetConfig config = {});
+
+  /// Adds one scenario; its shard index is the insertion position.
+  void add(std::string name, ScenarioFn fn);
+
+  std::size_t shards() const { return scenarios_.size(); }
+  const FleetConfig& config() const { return config_; }
+
+  /// Executes every shard on the pool (plus serially when auditing) and
+  /// assembles the report. Callable repeatedly; runs are independent.
+  FleetReport run();
+
+  /// Executes a single shard in isolation on the calling thread — the
+  /// audit's serial half, also handy for reproducing one shard from a
+  /// report by index.
+  ShardResult run_shard(std::size_t index) const;
+
+ private:
+  struct Scenario {
+    std::string name;
+    ScenarioFn fn;
+  };
+
+  ShardResult execute(const Scenario& scenario, std::size_t index) const;
+
+  FleetConfig config_;
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace csk::fleet

@@ -1,0 +1,63 @@
+#include "fleet/pool.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+
+namespace csk::fleet {
+
+struct WorkStealingPool::Shard {
+  std::mutex mu;
+  std::deque<std::function<void()>> tasks;
+};
+
+WorkStealingPool::WorkStealingPool(int workers) : workers_(workers) {
+  CSK_CHECK_MSG(workers >= 1, "pool needs at least one worker");
+}
+
+std::function<void()> WorkStealingPool::take(std::vector<Shard>& shards,
+                                             int self) {
+  {
+    Shard& own = shards[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  for (int offset = 1; offset < workers_; ++offset) {
+    Shard& victim =
+        shards[static_cast<std::size_t>((self + offset) % workers_)];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      auto task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return {};
+}
+
+void WorkStealingPool::run(std::vector<std::function<void()>> tasks) {
+  std::vector<Shard> shards(static_cast<std::size_t>(workers_));
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    shards[i % static_cast<std::size_t>(workers_)].tasks.push_back(
+        std::move(tasks[i]));
+  }
+  auto worker_main = [this, &shards](int self) {
+    for (;;) {
+      std::function<void()> task = take(shards, self);
+      if (!task) return;
+      task();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) threads.emplace_back(worker_main, w);
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace csk::fleet

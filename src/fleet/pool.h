@@ -1,0 +1,57 @@
+/// \file
+/// Work-stealing thread pool for the fleet runner.
+///
+/// The fleet's unit of work is one whole scenario — milliseconds of CPU —
+/// so the pool optimizes for auditability, not nanosecond dispatch: each
+/// worker owns a mutex-guarded deque seeded round-robin, pops from the back
+/// of its own deque and steals from the front of a victim's when it runs
+/// dry. Stealing from the *front* takes the work the owner would reach
+/// last, which keeps contention on a deque's two ends apart even under the
+/// coarse lock.
+///
+/// Tasks must not enqueue further tasks: with a fixed batch, "every deque
+/// is empty" is a complete termination condition, and a worker that
+/// observes it can simply exit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace csk::fleet {
+
+class WorkStealingPool {
+ public:
+  /// Precondition: workers >= 1.
+  explicit WorkStealingPool(int workers);
+
+  /// Runs every task to completion on the pool's worker threads; the
+  /// calling thread only waits. Threads are spawned per call (a fleet runs
+  /// a handful of batches of millisecond-scale tasks — thread start-up is
+  /// noise) and joined before returning. Not reentrant.
+  void run(std::vector<std::function<void()>> tasks);
+
+  int workers() const { return workers_; }
+
+  /// Tasks executed by a worker other than the one they were seeded to,
+  /// summed over all run() calls — the witness that stealing happens.
+  std::size_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard;
+
+  /// Next task for worker `self`: its own back, else a steal from the
+  /// front of the first non-empty victim. Empty function when no work is
+  /// left anywhere (terminal — tasks never respawn).
+  std::function<void()> take(std::vector<Shard>& shards, int self);
+
+  int workers_;
+  std::atomic<std::size_t> steals_{0};
+};
+
+}  // namespace csk::fleet

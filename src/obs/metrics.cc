@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace csk::obs {
 
@@ -78,6 +79,39 @@ HistogramSummary MetricsSnapshot::histogram_or(const std::string& key) const {
   return it != histograms.end() ? it->second : HistogramSummary{};
 }
 
+HistogramSummary merge_summaries(const HistogramSummary& a,
+                                 const HistogramSummary& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  HistogramSummary out;
+  out.count = a.count + b.count;
+  out.sum = a.sum + b.sum;
+  const double n1 = static_cast<double>(a.count);
+  const double n2 = static_cast<double>(b.count);
+  const double n = n1 + n2;
+  const double delta = b.mean - a.mean;
+  out.mean = a.mean + delta * n2 / n;
+  // Chan et al. pairwise update: recover each side's M2 from its sample
+  // stddev, combine, and convert back. Exact (up to rounding) — merging
+  // summaries is indistinguishable from having observed the union.
+  const double m2a = a.count > 1 ? a.stddev * a.stddev * (n1 - 1.0) : 0.0;
+  const double m2b = b.count > 1 ? b.stddev * b.stddev * (n2 - 1.0) : 0.0;
+  const double m2 = m2a + m2b + delta * delta * n1 * n2 / n;
+  out.stddev = out.count > 1 ? std::sqrt(m2 / (n - 1.0)) : 0.0;
+  out.min = std::min(a.min, b.min);
+  out.max = std::max(a.max, b.max);
+  return out;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] = v;
+  for (const auto& [k, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(k, h);
+    if (!inserted) it->second = merge_summaries(it->second, h);
+  }
+}
+
 JsonValue MetricsSnapshot::to_json() const {
   JsonValue counters_json = JsonValue::object();
   for (const auto& [k, v] : counters) counters_json.set(k, v);
@@ -99,9 +133,21 @@ JsonValue MetricsSnapshot::to_json() const {
       .set("histograms", std::move(hists_json));
 }
 
+namespace {
+thread_local MetricsRegistry* tls_registry = nullptr;
+}  // namespace
+
 MetricsRegistry& metrics() {
+  if (tls_registry != nullptr) return *tls_registry;
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& target)
+    : prev_(tls_registry) {
+  tls_registry = &target;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() { tls_registry = prev_; }
 
 }  // namespace csk::obs

@@ -94,8 +94,21 @@ struct MetricsSnapshot {
   /// Histogram summary; a zero-count summary when absent.
   HistogramSummary histogram_or(const std::string& key) const;
 
+  /// Folds `other` into this snapshot: counters add, histograms combine
+  /// exactly (pooled mean/variance, so merging summaries equals observing
+  /// the union), gauges take `other`'s value when both define a key (last
+  /// writer in merge order wins — levels have no meaningful sum). Merging a
+  /// fixed sequence of snapshots in a fixed order is fully deterministic,
+  /// which is what lets the fleet runner produce byte-identical merged
+  /// reports regardless of worker count or scheduling.
+  void merge_from(const MetricsSnapshot& other);
+
   JsonValue to_json() const;
 };
+
+/// Exact pooled combination of two moment summaries.
+HistogramSummary merge_summaries(const HistogramSummary& a,
+                                 const HistogramSummary& b);
 
 class MetricsRegistry {
  public:
@@ -130,7 +143,30 @@ class MetricsRegistry {
   std::unordered_map<std::string, Histogram> histograms_;
 };
 
-/// The process-global default registry every component publishes into.
+/// The registry components publish into: the calling thread's scoped
+/// registry when a ScopedMetricsRegistry is active, the process-global
+/// default otherwise.
+///
+/// Neither registry is internally synchronized. Single-threaded programs
+/// (every bench and example) just use the global. Multi-threaded callers —
+/// the fleet runner — must give each worker thread its own registry via
+/// ScopedMetricsRegistry so no two threads ever touch the same instance.
 MetricsRegistry& metrics();
+
+/// RAII redirect of this thread's metrics() to a private registry. Scopes
+/// nest (the previous target is restored on destruction) and the redirect
+/// is thread-local: other threads are unaffected. Construct it before the
+/// components being measured, so cached Counter* pointers resolve into the
+/// scoped registry for their whole lifetime.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& target);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
 
 }  // namespace csk::obs

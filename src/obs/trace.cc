@@ -56,9 +56,20 @@ Status TraceSink::write_file(const std::string& path) const {
   return Status::ok();
 }
 
+namespace {
+thread_local TraceSink* tls_sink = nullptr;
+}  // namespace
+
 TraceSink& tracer() {
+  if (tls_sink != nullptr) return *tls_sink;
   static TraceSink* sink = new TraceSink();
   return *sink;
 }
+
+ScopedTraceSink::ScopedTraceSink(TraceSink& target) : prev_(tls_sink) {
+  tls_sink = &target;
+}
+
+ScopedTraceSink::~ScopedTraceSink() { tls_sink = prev_; }
 
 }  // namespace csk::obs

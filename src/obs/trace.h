@@ -65,7 +65,23 @@ class TraceSink {
   std::vector<Event> events_;
 };
 
-/// The process-global sink the Simulator and components record into.
+/// The sink the Simulator and components record into: the calling thread's
+/// scoped sink when a ScopedTraceSink is active, the process-global default
+/// otherwise. Neither is internally synchronized — multi-threaded callers
+/// (the fleet runner) give each worker thread its own sink so the global
+/// one is never shared.
 TraceSink& tracer();
+
+/// RAII thread-local redirect of tracer(), mirroring ScopedMetricsRegistry.
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceSink& target);
+  ~ScopedTraceSink();
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
 
 }  // namespace csk::obs

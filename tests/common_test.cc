@@ -197,6 +197,26 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_NE(a.next_u64(), child.next_u64());
 }
 
+TEST(RngTest, DeriveSeedIsAPureFunction) {
+  EXPECT_EQ(derive_seed(0xF1EE7ull, 3), derive_seed(0xF1EE7ull, 3));
+  // Unlike fork(), derivation does not consume root-generator state: any
+  // shard's seed is recoverable from (root, index) alone.
+  EXPECT_EQ(derive_seed(7, 0), derive_seed(7, 0));
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreamsAndRoots) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 256; ++stream) {
+    seen.insert(derive_seed(0xABCDull, stream));
+  }
+  EXPECT_EQ(seen.size(), 256u) << "stream collision under one root";
+  EXPECT_NE(derive_seed(1, 5), derive_seed(2, 5));
+  // Consecutive streams must not yield correlated generators.
+  Rng a(derive_seed(9, 0));
+  Rng b(derive_seed(9, 1));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
 // ------------------------------------------------------------------- hash
 
 TEST(HashTest, DeterministicAndContentSensitive) {

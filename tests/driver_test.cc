@@ -110,6 +110,27 @@ TEST_F(VmRunnerTest, RepeatedRunsJitterAroundTheMean) {
   EXPECT_LT(stats.rel_stddev_pct(), 12.0);
 }
 
+// Regression for the one-sided noise clamp: `std::max(0.05, normal(1, σ))`
+// truncated only the left tail, biasing the mean of the multiplier above 1
+// and shrinking its variance. The symmetric clamp must keep both moments.
+TEST_F(VmRunnerTest, RunToRunJitterHasUnbiasedMoments) {
+  Rng rng(0x77AB1E5);
+  csk::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(run_to_run_jitter(rng, 0.3));
+  // 100k draws at σ=0.3: standard error of the mean ≈ 0.001.
+  EXPECT_NEAR(stats.mean(), 1.0, 0.005);
+  EXPECT_NEAR(stats.stddev(), 0.3, 0.01);
+}
+
+TEST_F(VmRunnerTest, RunToRunJitterStaysPositiveForHugeSpread) {
+  Rng rng(0x77AB1E6);
+  for (int i = 0; i < 10000; ++i) {
+    const double m = run_to_run_jitter(rng, 10.0);  // width clamps at 0.95
+    EXPECT_GE(m, 0.05);
+    EXPECT_LE(m, 1.95);
+  }
+}
+
 TEST_F(VmRunnerTest, PausedGuestCannotRun) {
   vmm::VirtualMachine* l1 = launch_l1();
   ASSERT_TRUE(l1->pause().is_ok());

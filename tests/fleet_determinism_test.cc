@@ -1,0 +1,251 @@
+// Golden determinism tests for the fleet runner.
+//
+// The contract under test: a shard's simulated result is a pure function of
+// its derived seed — never of the worker count, the steal schedule, or how
+// many times the fleet ran before. The assertions are deliberately blunt:
+// byte-equality of canonical JSON, because "almost deterministic" is just
+// nondeterministic with extra steps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/vm_runner.h"
+#include "fault/injector.h"
+#include "fleet/fleet.h"
+#include "fleet/pool.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+#include "vmm/migration.h"
+#include "workloads/filebench.h"
+
+namespace csk::fleet {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+// ------------------------------------------------------- shared scenarios
+
+/// Even shards: a small L0-L0 migration under seeded packet loss (exercises
+/// net, vmm, fault and the retry layer). Odd shards: a filebench run plus
+/// ksmd activity (exercises hv, mem, driver). Both publish metrics and
+/// report KPIs; everything derives from ctx.seed.
+ShardOutcome mixed_scenario(const ShardContext& ctx) {
+  ShardOutcome out;
+  Rng rng(ctx.seed);
+  vmm::World world(derive_seed(ctx.seed, 1));
+  auto host_cfg = small_host_config();
+  host_cfg.boot_touched_mib = 4;
+  vmm::Host* host = world.make_host(host_cfg);
+
+  if (ctx.index % 2 == 0) {
+    vmm::VirtualMachine* source =
+        host->launch_vm(small_vm_config("src", 64, 0, 0),
+                        /*boot_touched_mib=*/16)
+            .value();
+    auto dest_cfg = small_vm_config("dst", 64, 0, 0);
+    dest_cfg.incoming_port = 4444;
+    (void)host->launch_vm(dest_cfg).value();
+
+    fault::FaultPlan plan;
+    plan.seed = derive_seed(ctx.seed, 2);
+    plan.net.push_back({"", "", SimDuration::zero(), SimDuration::seconds(600),
+                        0.02 + 0.08 * rng.uniform01()});
+    vmm::MigrationConfig cfg;
+    cfg.retry.max_attempts = 3;
+    cfg.retry.initial_backoff = SimDuration::millis(200);
+    cfg.chunk_timeout = SimDuration::seconds(2);
+    vmm::MigrationJob job(&world, source,
+                          net::NetAddr{host->node_name(), Port(4444)}, cfg);
+    fault::Injector injector(&world, plan);
+    injector.attach_migration(&job);
+    injector.arm();
+    job.start();
+    const SimTime deadline =
+        world.simulator().now() + SimDuration::seconds(3600);
+    while (!job.done() && world.simulator().now() < deadline) {
+      if (!world.simulator().step()) break;
+    }
+    out.faults = injector.log();
+    if (!job.done() || !job.stats().succeeded) {
+      out.status = unavailable("migration did not succeed: " +
+                               job.stats().error);
+      return out;
+    }
+    out.values["total_s"] = job.stats().total_time.seconds_f();
+    out.values["downtime_ms"] = job.stats().downtime.millis_f();
+    out.values["retransmits"] =
+        static_cast<double>(job.stats().chunk_retransmits);
+  } else {
+    vmm::VirtualMachine* vm =
+        host->launch_vm(small_vm_config("fb", 64, 0, 0)).value();
+    workloads::FilebenchWorkload::Params params;
+    params.iterations = 2000 + static_cast<int>(rng.uniform(2000));
+    const workloads::FilebenchWorkload fb(params);
+    const SimDuration elapsed = driver::run_workload(*vm, fb);
+    world.simulator().run_for(SimDuration::seconds(2));  // let ksmd scan
+    out.values["fb_s"] = elapsed.seconds_f();
+    out.values["events"] = static_cast<double>(world.simulator().dispatched());
+  }
+  return out;
+}
+
+FleetRunner make_fleet(int workers, bool audit = false,
+                       std::size_t shards = 8) {
+  FleetConfig cfg;
+  cfg.workers = workers;
+  cfg.root_seed = 0xF1EE7DE0ull;
+  cfg.audit = audit;
+  FleetRunner fleet(cfg);
+  for (std::size_t i = 0; i < shards; ++i) {
+    fleet.add("mixed-" + std::to_string(i), mixed_scenario);
+  }
+  return fleet;
+}
+
+// ------------------------------------------------ worker-count invariance
+
+TEST(FleetDeterminismTest, WorkerCountsProduceByteIdenticalReports) {
+  FleetReport r1 = make_fleet(1).run();
+  FleetReport r2 = make_fleet(2).run();
+  FleetReport r8 = make_fleet(8).run();
+  ASSERT_EQ(r1.shards.size(), 8u);
+  EXPECT_EQ(r1.failed_shards(), 0u);
+  for (std::size_t i = 0; i < r1.shards.size(); ++i) {
+    EXPECT_EQ(r1.shards[i].digest, r2.shards[i].digest) << "shard " << i;
+    EXPECT_EQ(r1.shards[i].digest, r8.shards[i].digest) << "shard " << i;
+  }
+  const std::string j1 = r1.deterministic_json();
+  EXPECT_EQ(j1, r2.deterministic_json());
+  EXPECT_EQ(j1, r8.deterministic_json());
+  EXPECT_NE(j1.find("merged_metrics"), std::string::npos);
+}
+
+TEST(FleetDeterminismTest, RepeatedRunsAreByteIdentical) {
+  FleetRunner fleet = make_fleet(2);
+  const std::string first = fleet.run().deterministic_json();
+  const std::string second = fleet.run().deterministic_json();
+  EXPECT_EQ(first, second);
+}
+
+TEST(FleetDeterminismTest, AuditModeReportsZeroDiffs) {
+  FleetReport report = make_fleet(4, /*audit=*/true).run();
+  EXPECT_TRUE(report.audited);
+  EXPECT_GT(report.audit_wall_ns, 0);
+  EXPECT_TRUE(report.audit_diffs.empty())
+      << report.audit_diffs.front().detail;
+}
+
+TEST(FleetDeterminismTest, RunShardReproducesThePooledShard) {
+  FleetRunner fleet = make_fleet(4);
+  const FleetReport report = fleet.run();
+  const ShardResult solo = fleet.run_shard(3);
+  EXPECT_EQ(solo.digest, report.shards[3].digest);
+  EXPECT_EQ(solo.seed, derive_seed(fleet.config().root_seed, 3));
+}
+
+TEST(FleetDeterminismTest, DifferentRootSeedsChangeTheFleet) {
+  FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.root_seed = 0x1111;
+  FleetRunner a(cfg);
+  cfg.root_seed = 0x2222;
+  FleetRunner b(cfg);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.add("s" + std::to_string(i), mixed_scenario);
+    b.add("s" + std::to_string(i), mixed_scenario);
+  }
+  EXPECT_NE(a.run().deterministic_json(), b.run().deterministic_json());
+}
+
+// --------------------------------------------------------------- the pool
+
+TEST(WorkStealingPoolTest, ExecutesEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run(std::move(tasks));
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(WorkStealingPoolTest, IdleWorkerStealsFromABlockedOne) {
+  WorkStealingPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 14; ++i) {
+    tasks.push_back([&done] { done.fetch_add(1); });
+  }
+  // Round-robin seeding puts task 14 at the BACK of worker 0's deque, which
+  // is where the owner pops first: worker 0 blocks while still holding 7
+  // queued tasks. Worker 1 drains its own deque in microseconds and must
+  // steal from the sleeper's deque for the batch to finish promptly.
+  tasks.push_back([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.fetch_add(1);
+  });
+  pool.run(std::move(tasks));
+  EXPECT_EQ(done.load(), 15);
+  EXPECT_GE(pool.steals(), 1u);
+}
+
+// ------------------------------------- in-process bench re-run (obs side)
+
+/// A miniature of the Fig 4 L0-L0 idle cell, producing the same document
+/// shape bench_main writes to BENCH_*.json (entries + metrics snapshot).
+std::string bench_style_migration_report() {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scope(registry);
+
+  vmm::World world;
+  auto host_cfg = small_host_config();
+  host_cfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(host_cfg);
+  vmm::VirtualMachine* source =
+      host->launch_vm(small_vm_config("src", 64, 0, 0),
+                      /*boot_touched_mib=*/16)
+          .value();
+  auto dest_cfg = small_vm_config("dst", 64, 0, 0);
+  dest_cfg.incoming_port = 4444;
+  (void)host->launch_vm(dest_cfg).value();
+  vmm::MigrationJob job(&world, source,
+                        net::NetAddr{host->node_name(), Port(4444)});
+  job.start();
+  const SimTime deadline = world.simulator().now() + SimDuration::seconds(3600);
+  while (!job.done() && world.simulator().now() < deadline) {
+    if (!world.simulator().step()) break;
+  }
+  CSK_CHECK(job.done() && job.stats().succeeded);
+
+  obs::JsonValue entries = obs::JsonValue::array();
+  entries.push(obs::JsonValue::object()
+                   .set("key", "idle/total_s")
+                   .set("measured", job.stats().total_time.seconds_f()));
+  entries.push(obs::JsonValue::object()
+                   .set("key", "idle/downtime_ms")
+                   .set("measured", job.stats().downtime.millis_f()));
+  return obs::JsonValue::object()
+      .set("bench", "fleet_inprocess_fig4")
+      .set("schema_version", 1)
+      .set("entries", std::move(entries))
+      .set("metrics", registry.snapshot().to_json())
+      .dump(2);
+}
+
+TEST(FleetDeterminismTest, BenchScenarioRunTwiceInProcessIsByteIdentical) {
+  const std::string first = bench_style_migration_report();
+  const std::string second = bench_style_migration_report();
+  EXPECT_GT(first.size(), 100u);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace csk::fleet

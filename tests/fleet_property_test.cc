@@ -1,0 +1,267 @@
+// Property-based scenario tests.
+//
+// ~200 scenarios are generated from printed seeds — random machine nesting,
+// workload mix and fault plan — and each is checked against invariants the
+// simulator must hold under *any* configuration:
+//
+//   * the simulated clock never regresses;
+//   * a migration either converges or reports a cause (a terminal stats
+//     record with `succeeded`, or a non-empty error — never a silent hang);
+//   * a detector whose probe is stalled past its budget returns
+//     kInconclusive — never a false CLEAN.
+//
+// Every failure message carries the scenario seed. To re-run exactly one
+// scenario: CSK_PROPERTY_SEED=0x<seed> ctest -R fleet_property (or run the
+// binary directly with the same environment variable).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "detect/dedup_detector.h"
+#include "detect/l2_probe.h"
+#include "driver/vm_runner.h"
+#include "fault/injector.h"
+#include "test_util.h"
+#include "vmm/migration.h"
+#include "workloads/filebench.h"
+#include "workloads/kernel_compile.h"
+#include "workloads/workload.h"
+
+namespace csk::fleet {
+namespace {
+
+using testing::small_host_config;
+using testing::small_vm_config;
+
+/// Root of the generated-seed sequence; scenario i uses
+/// derive_seed(kPropertyRoot, i). Bump deliberately, never casually — the
+/// whole point of printed seeds is that failures reproduce.
+constexpr std::uint64_t kPropertyRoot = 0xC5C0FEED2026ull;
+constexpr int kScenarios = 200;
+
+std::string seed_label(std::uint64_t seed) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "scenario seed 0x%llx (CSK_PROPERTY_SEED)",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Asserts the simulated clock is monotone across every observation point.
+class ClockMonitor {
+ public:
+  explicit ClockMonitor(sim::Simulator* sim) : sim_(sim), last_(sim->now()) {}
+
+  void check() {
+    const SimTime now = sim_->now();
+    EXPECT_GE(now, last_) << "simulated clock regressed";
+    last_ = now;
+  }
+
+  /// Steps the simulator until `done` or `deadline`, checking after every
+  /// dispatched event. Returns false on deadline/queue exhaustion with
+  /// `done` still false.
+  template <typename DoneFn>
+  bool drive(SimTime deadline, DoneFn done) {
+    while (!done() && sim_->now() < deadline) {
+      const bool stepped = sim_->step();
+      check();
+      if (!stepped) {
+        // Queue drained: advance to the deadline (still monotone).
+        if (!done()) return false;
+        break;
+      }
+    }
+    return done();
+  }
+
+ private:
+  sim::Simulator* sim_;
+  SimTime last_;
+};
+
+std::unique_ptr<workloads::Workload> random_workload(Rng& rng) {
+  switch (rng.uniform(3)) {
+    case 0: {
+      workloads::FilebenchWorkload::Params p;
+      p.iterations = 500 + static_cast<int>(rng.uniform(3000));
+      return std::make_unique<workloads::FilebenchWorkload>(p);
+    }
+    case 1: {
+      workloads::KernelCompileWorkload::Params p;
+      p.compile_units = 20 + static_cast<int>(rng.uniform(100));
+      return std::make_unique<workloads::KernelCompileWorkload>(p);
+    }
+    default:
+      return std::make_unique<workloads::IdleWorkload>();
+  }
+}
+
+void run_property_scenario(std::uint64_t seed) {
+  SCOPED_TRACE(seed_label(seed));
+  Rng rng(seed);
+  vmm::World world(derive_seed(seed, 1));
+  auto host_cfg = small_host_config();
+  host_cfg.boot_touched_mib = 4;
+  host_cfg.ksm_enabled = rng.chance(0.7);
+  vmm::Host* host = world.make_host(host_cfg);
+  ClockMonitor clock(&world.simulator());
+
+  // --- random machine shape: depth 1 (plain guest) or 2 (nested guest) ---
+  const bool nested = rng.chance(0.4);
+  auto vm_cfg = small_vm_config("g0", 64, 0, 0);
+  vm_cfg.cpu_host_passthrough = nested;
+  vmm::VirtualMachine* outer =
+      host->launch_vm(vm_cfg, /*boot_touched_mib=*/8).value();
+  vmm::VirtualMachine* workload_vm = outer;
+  if (nested) {
+    ASSERT_TRUE(outer->enable_nested_hypervisor().is_ok());
+    auto inner = outer->launch_nested_vm(small_vm_config("inner", 16, 0, 0));
+    ASSERT_TRUE(inner.is_ok()) << inner.status().to_string();
+    workload_vm = inner.value();
+  }
+  clock.check();
+
+  // --- random fault plan (windows bounded so every scenario terminates) ---
+  const bool with_migration = rng.chance(0.4);
+  const bool with_detector = !with_migration && rng.chance(0.5);
+  fault::FaultPlan plan;
+  plan.seed = derive_seed(seed, 2);
+  if (rng.chance(0.5)) {
+    plan.net.push_back({"", "",
+                        SimDuration::from_seconds(rng.uniform01()),
+                        SimDuration::seconds(60 + rng.uniform(120)),
+                        0.10 * rng.uniform01(),
+                        SimDuration::from_micros(rng.uniform(2000))});
+  }
+  if (rng.chance(0.25)) {
+    plan.memory_pressure.push_back({host->name(),
+                                    SimDuration::from_seconds(rng.uniform01()),
+                                    SimDuration::seconds(1 + rng.uniform(5)),
+                                    1.5 + 3.0 * rng.uniform01()});
+  }
+  if (with_migration && rng.chance(0.4)) {
+    plan.migration_aborts.push_back(
+        {SimDuration::from_seconds(0.5 + 2.0 * rng.uniform01()),
+         "property-test abort"});
+  }
+  if (with_detector) {
+    // The stall covers the whole scenario (workloads advance simulated time
+    // before the detector runs, so a short window could expire first) and
+    // always outlives the probe budget: the detector must degrade to
+    // INCONCLUSIVE, never wait forever and never report a false CLEAN.
+    plan.probe_stalls.push_back(
+        {SimDuration::zero(), SimDuration::seconds(36000 + rng.uniform(3600))});
+  }
+  fault::Injector injector(&world, plan);
+  injector.arm();
+
+  // --- random workload mix on the (possibly nested) guest ---
+  const int workload_runs = 1 + static_cast<int>(rng.uniform(3));
+  for (int i = 0; i < workload_runs; ++i) {
+    const auto workload = random_workload(rng);
+    const SimTime before = world.simulator().now();
+    const SimDuration elapsed = driver::run_workload(*workload_vm, *workload);
+    EXPECT_GE(elapsed, SimDuration::zero());
+    EXPECT_GE(world.simulator().now(), before);
+    clock.check();
+  }
+
+  if (with_migration) {
+    // L0-L0 migration of a fresh small source; must converge or say why.
+    vmm::VirtualMachine* source =
+        host->launch_vm(small_vm_config("src", 32, 0, 0),
+                        /*boot_touched_mib=*/8)
+            .value();
+    auto dest_cfg = small_vm_config("dst", 32, 0, 0);
+    dest_cfg.incoming_port = 4444;
+    (void)host->launch_vm(dest_cfg).value();
+    vmm::MigrationConfig cfg;
+    cfg.retry.max_attempts = 1 + static_cast<int>(rng.uniform(3));
+    cfg.retry.initial_backoff = SimDuration::millis(100);
+    cfg.chunk_timeout = SimDuration::seconds(2);
+    cfg.round_timeout = SimDuration::seconds(120);
+    vmm::MigrationJob job(&world, source,
+                          net::NetAddr{host->node_name(), Port(4444)}, cfg);
+    injector.attach_migration(&job);
+    job.start();
+    const SimTime deadline =
+        world.simulator().now() + SimDuration::seconds(3600);
+    const bool finished =
+        clock.drive(deadline, [&job] { return job.done(); });
+    // Invariant: convergence or a cause — never a silent hang.
+    EXPECT_TRUE(finished) << "migration neither converged nor failed "
+                             "within 1 h of simulated time";
+    if (finished) {
+      EXPECT_TRUE(job.stats().succeeded || !job.stats().error.empty())
+          << "terminal migration carries neither success nor a cause";
+    }
+  }
+
+  if (with_detector) {
+    if (rng.chance(0.5)) {
+      detect::DedupDetectorConfig cfg;
+      cfg.file_pages = 8 + rng.uniform(16);
+      cfg.merge_wait = SimDuration::seconds(2 + rng.uniform(3));
+      cfg.probe_timeout = SimDuration::seconds(1 + rng.uniform(5));
+      detect::DedupDetector detector(host, cfg);
+      detector.set_stall_probe(injector.stall_probe());
+      ASSERT_TRUE(detector.seed_guest(outer->os()).is_ok());
+      auto report = detector.run(outer->os());
+      ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+      EXPECT_EQ(report->verdict, detect::DedupVerdict::kInconclusive)
+          << "stalled dedup probe must degrade, got "
+          << detect::dedup_verdict_name(report->verdict);
+      EXPECT_NE(report->verdict, detect::DedupVerdict::kNoNestedVm)
+          << "false CLEAN under an injected probe stall";
+      EXPECT_FALSE(report->inconclusive_cause.empty());
+    } else {
+      detect::GuestProbeConfig cfg;
+      cfg.probe_timeout = SimDuration::seconds(1 + rng.uniform(5));
+      detect::GuestTimingProbe probe(&world.timing(), cfg);
+      probe.set_stall_probe(injector.stall_probe());
+      const detect::GuestProbeReport report = probe.run(*workload_vm);
+      EXPECT_EQ(report.verdict, detect::GuestProbeVerdict::kInconclusive)
+          << "stalled guest probe must degrade, got "
+          << detect::guest_probe_verdict_name(report.verdict);
+      EXPECT_NE(report.verdict, detect::GuestProbeVerdict::kLooksSingleLevel)
+          << "false CLEAN under an injected probe stall";
+    }
+    clock.check();
+  }
+
+  // Let everything in flight settle; the clock must stay monotone.
+  const SimTime settle_deadline =
+      world.simulator().now() + SimDuration::seconds(5);
+  clock.drive(settle_deadline, [] { return false; });
+  clock.check();
+}
+
+void run_batch(int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    run_property_scenario(derive_seed(kPropertyRoot, static_cast<std::uint64_t>(i)));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(FleetPropertyTest, RandomScenariosBatch0) { run_batch(0, 50); }
+TEST(FleetPropertyTest, RandomScenariosBatch1) { run_batch(50, 100); }
+TEST(FleetPropertyTest, RandomScenariosBatch2) { run_batch(100, 150); }
+TEST(FleetPropertyTest, RandomScenariosBatch3) { run_batch(150, kScenarios); }
+
+/// Re-runs exactly one scenario from its printed seed (the reproduction
+/// path docs/testing.md describes); skipped unless the variable is set.
+TEST(FleetPropertyTest, ReproduceSingleSeedFromEnvironment) {
+  const char* env = std::getenv("CSK_PROPERTY_SEED");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "set CSK_PROPERTY_SEED=0x<seed> to reproduce one "
+                    "generated scenario";
+  }
+  const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+  run_property_scenario(seed);
+}
+
+}  // namespace
+}  // namespace csk::fleet

@@ -147,6 +147,93 @@ TEST(MetricsTest, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&metrics(), &metrics());
 }
 
+// ------------------------------------------------------------------ merge
+
+TEST(MetricsTest, MergeFromAddsCountersAndPoolsHistogramsExactly) {
+  MetricsRegistry a, b, whole;
+  a.counter("exits").add(3);
+  b.counter("exits").add(5);
+  b.counter("only_b").add(1);
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  const std::vector<double> ys{3.0, 10.0};
+  for (double x : xs) {
+    a.histogram("lat").observe(x);
+    whole.histogram("lat").observe(x);
+  }
+  for (double y : ys) {
+    b.histogram("lat").observe(y);
+    whole.histogram("lat").observe(y);
+  }
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+  EXPECT_EQ(merged.counter_or("exits"), 8u);
+  EXPECT_EQ(merged.counter_or("only_b"), 1u);
+  // Pooled moments must equal observing every sample in one registry —
+  // merging is exact, not approximate.
+  const HistogramSummary m = merged.histogram_or("lat");
+  const HistogramSummary w = whole.snapshot().histogram_or("lat");
+  EXPECT_EQ(m.count, w.count);
+  EXPECT_DOUBLE_EQ(m.sum, w.sum);
+  EXPECT_DOUBLE_EQ(m.mean, w.mean);
+  EXPECT_NEAR(m.stddev, w.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min, w.min);
+  EXPECT_DOUBLE_EQ(m.max, w.max);
+}
+
+TEST(MetricsTest, MergeSummariesHandlesEmptySides) {
+  HistogramSummary empty;
+  HistogramSummary one;
+  one.count = 4;
+  one.sum = 10.0;
+  one.mean = 2.5;
+  one.stddev = 0.5;
+  one.min = 2.0;
+  one.max = 3.0;
+  const HistogramSummary left = merge_summaries(empty, one);
+  const HistogramSummary right = merge_summaries(one, empty);
+  EXPECT_EQ(left.count, 4u);
+  EXPECT_DOUBLE_EQ(left.mean, 2.5);
+  EXPECT_EQ(right.count, 4u);
+  EXPECT_DOUBLE_EQ(right.stddev, 0.5);
+}
+
+TEST(MetricsTest, GaugeMergeIsLastWriterInMergeOrder) {
+  MetricsRegistry a, b;
+  a.gauge("level").set(1.0);
+  b.gauge("level").set(7.0);
+  MetricsSnapshot ab = a.snapshot();
+  ab.merge_from(b.snapshot());
+  MetricsSnapshot ba = b.snapshot();
+  ba.merge_from(a.snapshot());
+  EXPECT_DOUBLE_EQ(ab.gauge_or("level"), 7.0);
+  EXPECT_DOUBLE_EQ(ba.gauge_or("level"), 1.0);
+}
+
+TEST(MetricsTest, ScopedRegistryRedirectsTheGlobalAccessor) {
+  MetricsRegistry* global = &metrics();
+  MetricsRegistry local;
+  {
+    ScopedMetricsRegistry scope(local);
+    EXPECT_EQ(&metrics(), &local);
+    metrics().counter("scoped").add(2);
+  }
+  EXPECT_EQ(&metrics(), global);
+  EXPECT_EQ(local.snapshot().counter_or("scoped"), 2u);
+  EXPECT_EQ(global->snapshot().counter_or("scoped"), 0u);
+}
+
+TEST(MetricsTest, ScopedRegistriesNest) {
+  MetricsRegistry outer_reg, inner_reg;
+  ScopedMetricsRegistry outer(outer_reg);
+  {
+    ScopedMetricsRegistry inner(inner_reg);
+    metrics().counter("c").add(1);
+  }
+  metrics().counter("c").add(1);
+  EXPECT_EQ(inner_reg.snapshot().counter_or("c"), 1u);
+  EXPECT_EQ(outer_reg.snapshot().counter_or("c"), 1u);
+}
+
 // ------------------------------------------------------------------ trace
 
 TEST(TraceTest, DisabledSinkRecordsNothing) {
@@ -194,6 +281,16 @@ TEST(TraceTest, RecordsChromeTraceEvents) {
 
 TEST(TraceTest, GlobalTracerIsSingletonAndDisabledByDefault) {
   EXPECT_EQ(&tracer(), &tracer());
+}
+
+TEST(TraceTest, ScopedSinkRedirectsTheGlobalAccessor) {
+  TraceSink* global = &tracer();
+  TraceSink local;
+  {
+    ScopedTraceSink scope(local);
+    EXPECT_EQ(&tracer(), &local);
+  }
+  EXPECT_EQ(&tracer(), global);
 }
 
 // A traced run and an untraced run of the same scenario must produce
