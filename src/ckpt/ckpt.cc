@@ -1,0 +1,389 @@
+#include "ckpt/ckpt.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/hexcodec.h"
+
+namespace csk::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST.json";
+
+Result<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return not_found("cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return unavailable("read error on " + path);
+  return out;
+}
+
+Result<std::string> member_string(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    return invalid_argument(std::string("checkpoint: missing string '") + key +
+                            "'");
+  }
+  return v->as_string();
+}
+
+Result<std::uint64_t> member_hex(const obs::JsonValue& obj, const char* key) {
+  CSK_ASSIGN_OR_RETURN(std::string s, member_string(obj, key));
+  return parse_hex_u64(s);
+}
+
+Result<double> member_hex_double(const obs::JsonValue& obj, const char* key) {
+  CSK_ASSIGN_OR_RETURN(std::string s, member_string(obj, key));
+  return parse_hex_double(s);
+}
+
+Result<const obs::JsonValue*> member_array(const obs::JsonValue& obj,
+                                           const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_array()) {
+    return invalid_argument(std::string("checkpoint: missing array '") + key +
+                            "'");
+  }
+  return v;
+}
+
+/// Sequence encoded in "ckpt-<digits>.json", or 0 when the name does not
+/// match the store's naming scheme.
+std::uint64_t sequence_from_filename(const std::string& name) {
+  if (!name.starts_with("ckpt-") || !name.ends_with(".json")) return 0;
+  const std::string digits = name.substr(5, name.size() - 5 - 5);
+  if (digits.empty()) return 0;
+  std::uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- payload codecs
+
+obs::JsonValue FleetCheckpoint::to_payload() const {
+  obs::JsonValue shards = obs::JsonValue::array();
+  for (const ShardRecord& r : completed) {
+    obs::JsonValue values = obs::JsonValue::object();
+    for (const auto& [k, v] : r.values) values.set(k, hex_double(v));
+    obs::JsonValue faults = obs::JsonValue::array();
+    for (const FaultRecord& f : r.faults) {
+      faults.push(obs::JsonValue::object()
+                      .set("at_ns", hex_u64(static_cast<std::uint64_t>(f.at_ns)))
+                      .set("kind", f.kind)
+                      .set("detail", f.detail));
+    }
+    shards.push(
+        obs::JsonValue::object()
+            .set("index", hex_u64(r.index))
+            .set("name", r.name)
+            .set("seed", hex_u64(r.seed))
+            .set("values", std::move(values))
+            .set("faults", std::move(faults))
+            .set("status_code", static_cast<int>(r.status_code))
+            .set("status_message", r.status_message)
+            .set("metrics", r.metrics.to_exact_json())
+            .set("digest", r.digest)
+            .set("wall_ns", hex_u64(static_cast<std::uint64_t>(r.wall_ns))));
+  }
+  return obs::JsonValue::object()
+      .set("root_seed", hex_u64(root_seed))
+      .set("shard_count", hex_u64(shard_count))
+      .set("sequence", hex_u64(sequence))
+      .set("completed", std::move(shards));
+}
+
+Result<FleetCheckpoint> FleetCheckpoint::from_payload(
+    const obs::JsonValue& v) {
+  if (!v.is_object()) return invalid_argument("checkpoint payload not an object");
+  FleetCheckpoint out;
+  CSK_ASSIGN_OR_RETURN(out.root_seed, member_hex(v, "root_seed"));
+  CSK_ASSIGN_OR_RETURN(out.shard_count, member_hex(v, "shard_count"));
+  CSK_ASSIGN_OR_RETURN(out.sequence, member_hex(v, "sequence"));
+  CSK_ASSIGN_OR_RETURN(const obs::JsonValue* shards,
+                       member_array(v, "completed"));
+  for (const obs::JsonValue& s : shards->as_array()) {
+    if (!s.is_object()) return invalid_argument("shard record not an object");
+    ShardRecord r;
+    CSK_ASSIGN_OR_RETURN(r.index, member_hex(s, "index"));
+    CSK_ASSIGN_OR_RETURN(r.name, member_string(s, "name"));
+    CSK_ASSIGN_OR_RETURN(r.seed, member_hex(s, "seed"));
+
+    const obs::JsonValue* values = s.find("values");
+    if (values == nullptr || !values->is_object()) {
+      return invalid_argument("shard record: missing 'values'");
+    }
+    for (const auto& [k, val] : values->as_object()) {
+      if (!val.is_string()) return invalid_argument("shard value not hex");
+      CSK_ASSIGN_OR_RETURN(double d, parse_hex_double(val.as_string()));
+      r.values.emplace(k, d);
+    }
+
+    CSK_ASSIGN_OR_RETURN(const obs::JsonValue* faults,
+                         member_array(s, "faults"));
+    for (const obs::JsonValue& f : faults->as_array()) {
+      if (!f.is_object()) return invalid_argument("fault record not an object");
+      FaultRecord fr;
+      CSK_ASSIGN_OR_RETURN(std::uint64_t at, member_hex(f, "at_ns"));
+      fr.at_ns = static_cast<std::int64_t>(at);
+      CSK_ASSIGN_OR_RETURN(fr.kind, member_string(f, "kind"));
+      CSK_ASSIGN_OR_RETURN(fr.detail, member_string(f, "detail"));
+      r.faults.push_back(std::move(fr));
+    }
+
+    const obs::JsonValue* code = s.find("status_code");
+    if (code == nullptr || !code->is_number()) {
+      return invalid_argument("shard record: missing 'status_code'");
+    }
+    const int code_int = static_cast<int>(code->as_number());
+    if (code_int < 0 || code_int > static_cast<int>(StatusCode::kDataLoss)) {
+      return invalid_argument("shard record: status_code out of range");
+    }
+    r.status_code = static_cast<StatusCode>(code_int);
+    CSK_ASSIGN_OR_RETURN(r.status_message, member_string(s, "status_message"));
+
+    const obs::JsonValue* metrics = s.find("metrics");
+    if (metrics == nullptr) {
+      return invalid_argument("shard record: missing 'metrics'");
+    }
+    CSK_ASSIGN_OR_RETURN(r.metrics,
+                         obs::MetricsSnapshot::from_exact_json(*metrics));
+    CSK_ASSIGN_OR_RETURN(r.digest, member_string(s, "digest"));
+    CSK_ASSIGN_OR_RETURN(std::uint64_t wall, member_hex(s, "wall_ns"));
+    r.wall_ns = static_cast<std::int64_t>(wall);
+    out.completed.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- store
+
+CheckpointStore::CheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string CheckpointStore::checkpoint_filename(std::uint64_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%06llu.json",
+                static_cast<unsigned long long>(sequence));
+  return buf;
+}
+
+Status CheckpointStore::init() {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return unavailable("cannot create checkpoint directory " + directory_ +
+                       ": " + ec.message());
+  }
+  // Continue the sequence after everything already on disk — journaled
+  // checkpoints and orphans alike — so a resumed run never reuses a name.
+  std::uint64_t max_seq = 0;
+  manifest_.clear();
+  const auto manifest_text = read_file(directory_ + "/" + kManifestName);
+  if (manifest_text.is_ok()) {
+    // An unreadable or corrupted manifest is not fatal: recovery falls back
+    // to the directory scan, and the next write rebuilds the journal.
+    const auto doc = obs::JsonValue::parse(manifest_text.value());
+    const obs::JsonValue* entries =
+        doc.is_ok() ? doc.value().find("entries") : nullptr;
+    if (entries != nullptr && entries->is_array()) {
+      for (const obs::JsonValue& e : entries->as_array()) {
+        if (!e.is_object()) continue;
+        ManifestEntry entry;
+        auto file = member_string(e, "file");
+        auto seq = member_hex(e, "sequence");
+        auto shards = member_hex(e, "completed_shards");
+        auto hash = member_hex(e, "payload_fnv1a");
+        if (!file.is_ok() || !seq.is_ok() || !shards.is_ok() || !hash.is_ok()) {
+          continue;
+        }
+        entry.file = file.value();
+        entry.sequence = seq.value();
+        entry.completed_shards = shards.value();
+        entry.payload_fnv1a = hash.value();
+        manifest_.push_back(std::move(entry));
+        max_seq = std::max(max_seq, seq.value());
+      }
+    }
+  }
+  std::error_code scan_ec;
+  for (const auto& de : fs::directory_iterator(directory_, scan_ec)) {
+    max_seq = std::max(
+        max_seq, sequence_from_filename(de.path().filename().string()));
+  }
+  next_sequence_ = max_seq + 1;
+  return Status::ok();
+}
+
+Status CheckpointStore::write_atomically(const std::string& final_path,
+                                         const std::string& body,
+                                         WritePhase half_phase,
+                                         WritePhase done_phase,
+                                         std::uint64_t sequence) {
+  const std::string tmp = final_path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return unavailable("cannot open " + tmp);
+  // Two-stage write with a flush in between: the crash hook fires while the
+  // temp file verifiably holds only a prefix — the torn-write case the
+  // header checksum must catch if this file were ever (wrongly) trusted.
+  const std::size_t half = body.size() / 2;
+  bool ok = std::fwrite(body.data(), 1, half, f) == half;
+  if (ok) std::fflush(f);
+  hook(half_phase, sequence);
+  ok = ok && std::fwrite(body.data() + half, 1, body.size() - half, f) ==
+                 body.size() - half;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return unavailable("short write to " + tmp);
+  }
+  hook(done_phase, sequence);
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return unavailable("cannot rename " + tmp);
+  }
+  return Status::ok();
+}
+
+Status CheckpointStore::write_manifest(std::uint64_t sequence) {
+  obs::JsonValue entries = obs::JsonValue::array();
+  for (const ManifestEntry& e : manifest_) {
+    entries.push(obs::JsonValue::object()
+                     .set("file", e.file)
+                     .set("sequence", hex_u64(e.sequence))
+                     .set("completed_shards", hex_u64(e.completed_shards))
+                     .set("payload_fnv1a", hex_u64(e.payload_fnv1a)));
+  }
+  const std::string body = obs::JsonValue::object()
+                               .set("format_version", kFormatVersion)
+                               .set("entries", std::move(entries))
+                               .dump() +
+                           "\n";
+  return write_atomically(directory_ + "/" + kManifestName, body,
+                          WritePhase::kManifestHalfWritten,
+                          WritePhase::kCommitted, sequence);
+}
+
+Result<std::uint64_t> CheckpointStore::write(const FleetCheckpoint& ckpt) {
+  const std::uint64_t sequence = next_sequence_++;
+  FleetCheckpoint stamped = ckpt;
+  stamped.sequence = sequence;
+  const std::string payload = stamped.to_payload().dump();
+  const ContentHash checksum = fnv1a(payload);
+  const std::string header =
+      obs::JsonValue::object()
+          .set("format_version", kFormatVersion)
+          .set("payload_bytes", static_cast<std::uint64_t>(payload.size()))
+          .set("payload_fnv1a", hex_u64(checksum.value))
+          .dump();
+  const std::string body = header + "\n" + payload + "\n";
+
+  const std::string file = checkpoint_filename(sequence);
+  CSK_RETURN_IF_ERROR(write_atomically(directory_ + "/" + file, body,
+                                       WritePhase::kTempHalfWritten,
+                                       WritePhase::kTempWritten, sequence));
+  hook(WritePhase::kRenamed, sequence);
+
+  ManifestEntry entry;
+  entry.file = file;
+  entry.sequence = sequence;
+  entry.completed_shards = stamped.completed.size();
+  entry.payload_fnv1a = checksum.value;
+  manifest_.push_back(entry);
+  const Status manifest_st = write_manifest(sequence);
+  if (!manifest_st.is_ok()) {
+    // The checkpoint itself is durable (directory scan will find it); the
+    // stale journal is a recoverable condition, not a lost checkpoint.
+    manifest_.pop_back();
+    return manifest_st;
+  }
+  ++writes_;
+  return sequence;
+}
+
+Result<FleetCheckpoint> CheckpointStore::load_file(
+    const std::string& path) const {
+  CSK_ASSIGN_OR_RETURN(std::string body, read_file(path));
+  const std::size_t newline = body.find('\n');
+  if (newline == std::string::npos) {
+    return data_loss("checkpoint " + path + ": no header line");
+  }
+  const auto header = obs::JsonValue::parse(body.substr(0, newline));
+  if (!header.is_ok()) {
+    return data_loss("checkpoint " + path +
+                     ": unparseable header: " + header.status().message());
+  }
+  const obs::JsonValue* version = header.value().find("format_version");
+  if (version == nullptr || !version->is_number() ||
+      static_cast<int>(version->as_number()) != kFormatVersion) {
+    return data_loss("checkpoint " + path + ": unsupported format version");
+  }
+  const obs::JsonValue* bytes = header.value().find("payload_bytes");
+  const auto expected_hash = member_hex(header.value(), "payload_fnv1a");
+  if (bytes == nullptr || !bytes->is_number() || !expected_hash.is_ok()) {
+    return data_loss("checkpoint " + path + ": malformed header");
+  }
+  const auto payload_bytes = static_cast<std::size_t>(bytes->as_number());
+  const std::string_view rest(body.data() + newline + 1,
+                              body.size() - newline - 1);
+  if (rest.size() != payload_bytes + 1 || rest.back() != '\n') {
+    return data_loss("checkpoint " + path + ": torn write (" +
+                     std::to_string(rest.size()) + " bytes, expected " +
+                     std::to_string(payload_bytes + 1) + ")");
+  }
+  const std::string_view payload = rest.substr(0, payload_bytes);
+  if (fnv1a(payload).value != expected_hash.value()) {
+    return data_loss("checkpoint " + path + ": checksum mismatch");
+  }
+  const auto doc = obs::JsonValue::parse(payload);
+  if (!doc.is_ok()) {
+    return data_loss("checkpoint " + path +
+                     ": unparseable payload: " + doc.status().message());
+  }
+  auto parsed = FleetCheckpoint::from_payload(doc.value());
+  if (!parsed.is_ok()) {
+    return data_loss("checkpoint " + path + ": " +
+                     parsed.status().message());
+  }
+  return std::move(parsed).take();
+}
+
+Result<FleetCheckpoint> CheckpointStore::load_latest() const {
+  // Candidate set: everything the journal knows plus everything on disk (a
+  // crash between the checkpoint rename and the manifest rename leaves a
+  // good file the journal has never heard of).
+  std::map<std::uint64_t, std::string> by_sequence;  // sequence -> basename
+  for (const ManifestEntry& e : manifest_) {
+    by_sequence.emplace(e.sequence, e.file);
+  }
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(directory_, ec)) {
+    const std::string name = de.path().filename().string();
+    const std::uint64_t seq = sequence_from_filename(name);
+    if (seq != 0) by_sequence.emplace(seq, name);
+  }
+  std::string failures;
+  for (auto it = by_sequence.rbegin(); it != by_sequence.rend(); ++it) {
+    auto loaded = load_file(directory_ + "/" + it->second);
+    if (loaded.is_ok()) return loaded;
+    failures += " [" + loaded.status().message() + "]";
+  }
+  return not_found("no usable checkpoint in " + directory_ +
+                   (failures.empty() ? "" : ";" + failures));
+}
+
+}  // namespace csk::ckpt

@@ -1,0 +1,157 @@
+/// \file
+/// csk::ckpt — crash-consistent checkpoint/restore for fleet runs.
+///
+/// The paper's CloudSkulk installation rides QEMU's save/restore-style live
+/// migration; this subsystem gives the *simulator itself* the same
+/// property: a long fleet sweep can be killed at any instant — between
+/// shards, mid-checkpoint-write, mid-manifest-update — and resumed to a
+/// `FleetReport` that is byte-identical to an uninterrupted run.
+///
+/// Durability protocol (write path):
+///   1. serialize the payload (bit-exact: every u64 and double travels as a
+///      hex string, common/hexcodec) and checksum it with FNV-1a;
+///   2. write `ckpt-<seq>.json.tmp` — a one-line header carrying the format
+///      version, payload byte count and checksum, then the payload bytes;
+///   3. rename(2) it to `ckpt-<seq>.json` (atomic on POSIX: readers see the
+///      old set of files or the new one, never a half-file under the final
+///      name);
+///   4. rewrite `MANIFEST.json` the same temp-then-rename way, appending a
+///      journal entry {file, sequence, completed shards, checksum}.
+///
+/// Recovery protocol (read path): every candidate — manifest entries first,
+/// then a directory scan for checkpoint files the manifest never recorded
+/// (a crash between steps 3 and 4) — is verified against its embedded
+/// header (size + checksum) before use; `load_latest()` returns the
+/// newest candidate that verifies. A torn or bit-flipped file is therefore
+/// always *detected* (typed `kDataLoss` error, never a wrong payload) and
+/// never masks an older good checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace csk::ckpt {
+
+/// Bumped on any incompatible change to the header or payload layout.
+inline constexpr int kFormatVersion = 1;
+
+/// One delivered fault from a shard's injector log (fault::InjectedFault,
+/// flattened so csk_ckpt does not depend on csk_fault).
+struct FaultRecord {
+  std::int64_t at_ns = 0;
+  std::string kind;
+  std::string detail;
+};
+
+/// Everything needed to reconstruct one completed shard's ShardResult
+/// exactly — values, fault log, status, metrics snapshot and the canonical
+/// digest the fleet's determinism machinery byte-compares.
+struct ShardRecord {
+  std::uint64_t index = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+  std::map<std::string, double> values;
+  std::vector<FaultRecord> faults;
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  obs::MetricsSnapshot metrics;
+  std::string digest;
+  std::int64_t wall_ns = 0;  // informational; never part of determinism
+};
+
+/// A consistent snapshot of a fleet run: the RNG root seed, the size of the
+/// shard universe, and the records of every shard known complete when the
+/// checkpoint was cut. Shards absent from `completed` were pending or
+/// in-flight — resume re-runs them from their derived seeds, which is what
+/// makes re-execution exactly-once *in effect*: a shard is either restored
+/// bit-for-bit or recomputed from scratch, never half of each.
+struct FleetCheckpoint {
+  std::uint64_t root_seed = 0;
+  std::uint64_t shard_count = 0;
+  std::uint64_t sequence = 0;  // assigned by CheckpointStore::write
+  std::vector<ShardRecord> completed;  // sorted by shard index
+
+  obs::JsonValue to_payload() const;
+  static Result<FleetCheckpoint> from_payload(const obs::JsonValue& v);
+};
+
+/// Stages of the two-file commit, in order. The crash harness installs a
+/// hook that SIGKILLs the process at a chosen (phase, sequence) point to
+/// prove every prefix of the protocol recovers.
+enum class WritePhase {
+  kTempHalfWritten,      // temp file holds only a prefix of its bytes
+  kTempWritten,          // temp complete, final name not yet linked
+  kRenamed,              // checkpoint durable; manifest still the old one
+  kManifestHalfWritten,  // manifest temp holds only a prefix
+  kCommitted,            // both renames done
+};
+
+/// Test-only crash injection: called during write() at each phase with the
+/// sequence being written. Production runs leave it unset.
+using CrashHook = std::function<void(WritePhase, std::uint64_t sequence)>;
+
+/// One journal line of MANIFEST.json.
+struct ManifestEntry {
+  std::string file;  // basename within the store directory
+  std::uint64_t sequence = 0;
+  std::uint64_t completed_shards = 0;
+  std::uint64_t payload_fnv1a = 0;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Creates the directory (recursively) and loads any existing manifest so
+  /// a resumed run continues the sequence numbering. Idempotent.
+  Status init();
+
+  /// Durably commits one checkpoint per the class-comment protocol and
+  /// returns its assigned sequence number.
+  Result<std::uint64_t> write(const FleetCheckpoint& ckpt);
+
+  /// The newest checkpoint that passes verification. Candidates come from
+  /// the manifest and from a directory scan (files a crash orphaned before
+  /// the manifest caught up). kNotFound when no usable checkpoint exists.
+  Result<FleetCheckpoint> load_latest() const;
+
+  /// Loads and verifies exactly one checkpoint file. Torn or corrupted
+  /// contents come back as kDataLoss with the failing check named.
+  Result<FleetCheckpoint> load_file(const std::string& path) const;
+
+  /// The journal as last committed (empty when no manifest exists).
+  const std::vector<ManifestEntry>& manifest() const { return manifest_; }
+
+  /// Checkpoints committed by this store instance's write() calls.
+  std::uint64_t writes() const { return writes_; }
+
+  void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
+
+  static std::string checkpoint_filename(std::uint64_t sequence);
+
+ private:
+  Status write_atomically(const std::string& final_path,
+                          const std::string& body, WritePhase half_phase,
+                          WritePhase done_phase, std::uint64_t sequence);
+  Status write_manifest(std::uint64_t sequence);
+  void hook(WritePhase phase, std::uint64_t sequence) const {
+    if (crash_hook_) crash_hook_(phase, sequence);
+  }
+
+  std::string directory_;
+  std::vector<ManifestEntry> manifest_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t writes_ = 0;
+  CrashHook crash_hook_;
+};
+
+}  // namespace csk::ckpt

@@ -1,0 +1,62 @@
+// Bit-exact hex encodings for 64-bit integers and doubles.
+//
+// JSON numbers are doubles: a 64-bit counter above 2^53 loses bits and a
+// round-tripped double may reformat. Anything that must survive a
+// serialize/parse cycle *byte-for-byte* — checkpoint payloads, seeds —
+// therefore travels as a hex string: integers as their value, doubles as
+// their IEEE-754 bit pattern. Encoding is fixed-width lowercase `0x%016x`
+// so the artifacts are canonical (one spelling per value) and diff clean.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace csk {
+
+/// "0x00000000000000ff" — fixed width, lowercase, canonical.
+inline std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Strict inverse of hex_u64: requires the exact "0x" + 16 hex digits form.
+inline Result<std::uint64_t> parse_hex_u64(std::string_view s) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') {
+    return invalid_argument("hex u64 must be 0x + 16 digits, got '" +
+                            std::string(s) + "'");
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return invalid_argument("bad hex digit in '" + std::string(s) + "'");
+    }
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+/// The IEEE-754 bit pattern of `d` as hex — exact for every value,
+/// including -0.0, subnormals, infinities and NaN payloads.
+inline std::string hex_double(double d) {
+  return hex_u64(std::bit_cast<std::uint64_t>(d));
+}
+
+inline Result<double> parse_hex_double(std::string_view s) {
+  CSK_ASSIGN_OR_RETURN(std::uint64_t bits, parse_hex_u64(s));
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace csk

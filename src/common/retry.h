@@ -34,14 +34,39 @@ struct RetryPolicy {
   SimDuration max_backoff = SimDuration::seconds(10);
 
   bool retries_enabled() const { return max_attempts > 1; }
+
+  /// The policy with every degenerate field clamped to its nearest legal
+  /// value. The normalization is part of the policy's contract — every
+  /// consumer (backoff_delay, migration retries, forwarder restarts)
+  /// behaves as if the caller had passed the normalized policy:
+  ///   * max_attempts < 1            -> 1   (at least the initial attempt)
+  ///   * backoff_multiplier < 1.0 or NaN -> 1.0 (backoff never shrinks)
+  ///   * negative initial_backoff    -> zero
+  ///   * negative max_backoff        -> zero
+  RetryPolicy normalized() const {
+    RetryPolicy p = *this;
+    if (p.max_attempts < 1) p.max_attempts = 1;
+    // `!(x >= 1.0)` rather than `x < 1.0` so NaN also clamps.
+    if (!(p.backoff_multiplier >= 1.0)) p.backoff_multiplier = 1.0;
+    if (p.initial_backoff < SimDuration::zero()) {
+      p.initial_backoff = SimDuration::zero();
+    }
+    if (p.max_backoff < SimDuration::zero()) p.max_backoff = SimDuration::zero();
+    return p;
+  }
 };
 
 /// Delay before retry `retry_index` (0-based: the first retry waits
-/// `initial_backoff`). Exactly min(initial * multiplier^k, max).
+/// `initial_backoff`). Exactly min(initial * multiplier^k, max), computed
+/// over the normalized policy. The loop exits as soon as the product
+/// reaches the cap: the running value can never overflow to infinity (an
+/// int64 cast of which would be UB), no matter how large `retry_index` or
+/// the multiplier is.
 inline SimDuration backoff_delay(const RetryPolicy& policy, int retry_index) {
-  double ns = static_cast<double>(policy.initial_backoff.ns());
-  for (int k = 0; k < retry_index; ++k) ns *= policy.backoff_multiplier;
-  const double cap = static_cast<double>(policy.max_backoff.ns());
+  const RetryPolicy p = policy.normalized();
+  double ns = static_cast<double>(p.initial_backoff.ns());
+  const double cap = static_cast<double>(p.max_backoff.ns());
+  for (int k = 0; k < retry_index && ns < cap; ++k) ns *= p.backoff_multiplier;
   return SimDuration(static_cast<std::int64_t>(std::min(ns, cap)));
 }
 

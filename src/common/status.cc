@@ -17,6 +17,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

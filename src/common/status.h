@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,
   kInternal,
   kUnimplemented,
+  kDataLoss,
 };
 
 /// Returns the canonical spelling of a status code ("NOT_FOUND", ...).
@@ -68,6 +69,7 @@ inline Status unavailable(std::string msg) { return {StatusCode::kUnavailable, s
 inline Status aborted(std::string msg) { return {StatusCode::kAborted, std::move(msg)}; }
 inline Status internal_error(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
 inline Status unimplemented(std::string msg) { return {StatusCode::kUnimplemented, std::move(msg)}; }
+inline Status data_loss(std::string msg) { return {StatusCode::kDataLoss, std::move(msg)}; }
 
 /// Value-or-error. Holds T on success, Status otherwise.
 template <typename T>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -67,6 +69,52 @@ std::string first_difference(const std::string& a, const std::string& b) {
   return out;
 }
 
+/// ShardResult -> durable record. Everything the digest covers plus the
+/// digest itself, so restore can re-derive and cross-check.
+ckpt::ShardRecord to_record(const ShardResult& s) {
+  ckpt::ShardRecord r;
+  r.index = s.index;
+  r.name = s.name;
+  r.seed = s.seed;
+  r.values = s.outcome.values;
+  for (const fault::InjectedFault& f : s.outcome.faults) {
+    r.faults.push_back({f.at.ns(), f.kind, f.detail});
+  }
+  r.status_code = s.outcome.status.code();
+  r.status_message = s.outcome.status.message();
+  r.metrics = s.metrics;
+  r.digest = s.digest;
+  r.wall_ns = s.wall_ns;
+  return r;
+}
+
+/// Durable record -> ShardResult. The digest is recomputed from the
+/// restored facts and compared against the recorded one: a checkpoint that
+/// passed the file checksum but decodes to different simulated facts (a
+/// codec bug, a hand-edited file) is kDataLoss, never silently accepted.
+Result<ShardResult> from_record(const ckpt::ShardRecord& rec) {
+  ShardResult s;
+  s.index = static_cast<std::size_t>(rec.index);
+  s.name = rec.name;
+  s.seed = rec.seed;
+  s.outcome.values = rec.values;
+  for (const ckpt::FaultRecord& f : rec.faults) {
+    s.outcome.faults.push_back({SimTime(f.at_ns), f.kind, f.detail});
+  }
+  s.outcome.status = rec.status_code == StatusCode::kOk
+                         ? Status::ok()
+                         : Status(rec.status_code, rec.status_message);
+  s.metrics = rec.metrics;
+  s.wall_ns = rec.wall_ns;
+  s.digest = make_digest(s.name, s.seed, s.outcome, s.metrics);
+  if (s.digest != rec.digest) {
+    return data_loss("restored shard " + std::to_string(rec.index) +
+                     " re-derives a different digest: " +
+                     first_difference(rec.digest, s.digest));
+  }
+  return s;
+}
+
 obs::JsonValue summary_json(const SampleSummary& s) {
   return obs::JsonValue::object()
       .set("count", static_cast<std::uint64_t>(s.count))
@@ -129,6 +177,12 @@ obs::JsonValue FleetReport::to_json() const {
           .set("enabled", audited)
           .set("serial_wall_ms", static_cast<double>(audit_wall_ns) / 1e6)
           .set("diffs", std::move(diffs));
+  obs::JsonValue checkpoint_json =
+      obs::JsonValue::object()
+          .set("written", checkpoints_written)
+          .set("write_failures", checkpoint_write_failures)
+          .set("wall_ms", static_cast<double>(checkpoint_wall_ns) / 1e6)
+          .set("resumed_shards", static_cast<std::uint64_t>(resumed_shards));
   return obs::JsonValue::object()
       .set("workers", workers)
       .set("shard_count", static_cast<std::uint64_t>(shards.size()))
@@ -136,6 +190,7 @@ obs::JsonValue FleetReport::to_json() const {
       .set("steals", static_cast<std::uint64_t>(steals))
       .set("wall_ms", static_cast<double>(wall_ns) / 1e6)
       .set("audit", std::move(audit_json))
+      .set("checkpoint", std::move(checkpoint_json))
       .set("shards", std::move(shards_json))
       .set("aggregates", std::move(aggregates_json))
       .set("merged_metrics", merged.to_json());
@@ -177,6 +232,72 @@ ShardResult FleetRunner::run_shard(std::size_t index) const {
 }
 
 FleetReport FleetRunner::run() {
+  return run_internal({}, std::vector<char>(scenarios_.size(), 0));
+}
+
+Result<FleetReport> FleetRunner::resume_from() {
+  if (!config_.checkpoint.enabled()) {
+    return failed_precondition(
+        "resume_from needs FleetConfig::checkpoint.directory");
+  }
+  ckpt::CheckpointStore store(config_.checkpoint.directory);
+  CSK_RETURN_IF_ERROR(store.init());
+  CSK_ASSIGN_OR_RETURN(ckpt::FleetCheckpoint ckpt, store.load_latest());
+  return run_resumed(ckpt);
+}
+
+Result<FleetReport> FleetRunner::resume_from(
+    const std::string& checkpoint_file) {
+  // load_file never touches the store directory, so an unconfigured policy
+  // is fine here; the resumed run itself checkpoints only if configured.
+  ckpt::CheckpointStore store(config_.checkpoint.directory);
+  CSK_ASSIGN_OR_RETURN(ckpt::FleetCheckpoint ckpt,
+                       store.load_file(checkpoint_file));
+  return run_resumed(ckpt);
+}
+
+Result<FleetReport> FleetRunner::run_resumed(
+    const ckpt::FleetCheckpoint& ckpt) {
+  if (ckpt.root_seed != config_.root_seed) {
+    return failed_precondition("checkpoint root seed " +
+                               hex_seed(ckpt.root_seed) +
+                               " does not match runner seed " +
+                               hex_seed(config_.root_seed));
+  }
+  if (ckpt.shard_count != scenarios_.size()) {
+    return failed_precondition(
+        "checkpoint describes " + std::to_string(ckpt.shard_count) +
+        " shards, runner has " + std::to_string(scenarios_.size()));
+  }
+  std::vector<ShardResult> restored_results(scenarios_.size());
+  std::vector<char> restored(scenarios_.size(), 0);
+  for (const ckpt::ShardRecord& rec : ckpt.completed) {
+    if (rec.index >= scenarios_.size()) {
+      return data_loss("checkpoint shard index " + std::to_string(rec.index) +
+                       " out of range");
+    }
+    const auto i = static_cast<std::size_t>(rec.index);
+    if (restored[i] != 0) {
+      return data_loss("checkpoint records shard " + std::to_string(rec.index) +
+                       " twice");
+    }
+    if (rec.name != scenarios_[i].name) {
+      return failed_precondition("checkpoint shard " + std::to_string(i) +
+                                 " is '" + rec.name + "', runner has '" +
+                                 scenarios_[i].name + "'");
+    }
+    if (rec.seed != derive_seed(config_.root_seed, i)) {
+      return failed_precondition("checkpoint shard " + std::to_string(i) +
+                                 " seed does not derive from the root seed");
+    }
+    CSK_ASSIGN_OR_RETURN(restored_results[i], from_record(rec));
+    restored[i] = 1;
+  }
+  return run_internal(std::move(restored_results), std::move(restored));
+}
+
+FleetReport FleetRunner::run_internal(
+    std::vector<ShardResult> restored_results, std::vector<char> restored) {
   int workers = config_.workers;
   if (workers <= 0) {
     workers = static_cast<int>(
@@ -186,19 +307,90 @@ FleetReport FleetRunner::run() {
   report.workers = workers;
   report.audited = config_.audit;
   report.shards.resize(scenarios_.size());
+  restored.resize(scenarios_.size(), 0);
+  for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+    if (restored[i] != 0) {
+      report.shards[i] = std::move(restored_results[i]);
+      ++report.resumed_shards;
+    }
+  }
+
+  // Checkpoint machinery. `done` and the trigger counters are guarded by
+  // ckpt_mu; a worker marks its shard done (and possibly cuts a checkpoint)
+  // under the lock right after writing report.shards[i], so the writer
+  // always sees fully-written results for every done shard.
+  const CheckpointPolicy& policy = config_.checkpoint;
+  std::unique_ptr<ckpt::CheckpointStore> store;
+  std::mutex ckpt_mu;
+  std::vector<char> done = restored;
+  std::size_t completions_since_write = 0;
+  auto last_write = std::chrono::steady_clock::now();
+  if (policy.enabled()) {
+    store = std::make_unique<ckpt::CheckpointStore>(policy.directory);
+    if (policy.crash_hook) store->set_crash_hook(policy.crash_hook);
+    const Status st = store->init();
+    CSK_CHECK_MSG(st.is_ok(), st.to_string());
+  }
+  const auto cut_checkpoint = [&] {  // requires ckpt_mu
+    const auto t0 = std::chrono::steady_clock::now();
+    ckpt::FleetCheckpoint ckpt;
+    ckpt.root_seed = config_.root_seed;
+    ckpt.shard_count = scenarios_.size();
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      if (done[i] != 0) ckpt.completed.push_back(to_record(report.shards[i]));
+    }
+    const auto written = store->write(ckpt);
+    if (written.is_ok()) {
+      ++report.checkpoints_written;
+    } else {
+      // A failed write never aborts the sweep: the shards are still in
+      // memory and the next trigger (or the final cut) retries.
+      ++report.checkpoint_write_failures;
+      std::fprintf(stderr, "fleet: checkpoint write failed: %s\n",
+                   written.status().to_string().c_str());
+    }
+    completions_since_write = 0;
+    last_write = std::chrono::steady_clock::now();
+    report.checkpoint_wall_ns += elapsed_ns(t0);
+  };
 
   WorkStealingPool pool(workers);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(scenarios_.size());
   for (std::size_t i = 0; i < scenarios_.size(); ++i) {
-    tasks.push_back([this, i, &report] {
+    if (restored[i] != 0) continue;
+    tasks.push_back([this, i, &report, &policy, &ckpt_mu, &done,
+                     &completions_since_write, &last_write, &cut_checkpoint] {
       report.shards[i] = execute(scenarios_[i], i);
+      if (!policy.enabled()) return;
+      std::lock_guard<std::mutex> lock(ckpt_mu);
+      done[i] = 1;
+      ++completions_since_write;
+      const bool count_due = policy.every_shards > 0 &&
+                             completions_since_write >= policy.every_shards;
+      const bool time_due =
+          policy.every_wall_seconds > 0.0 &&
+          static_cast<double>(elapsed_ns(last_write)) / 1e9 >=
+              policy.every_wall_seconds;
+      const bool all_done =
+          std::count(done.begin(), done.end(), char{1}) ==
+          static_cast<std::ptrdiff_t>(done.size());
+      // The final checkpoint is cut after the pool drains, not here.
+      if ((count_due || time_due) && !all_done) cut_checkpoint();
     });
   }
   const auto wall0 = std::chrono::steady_clock::now();
   pool.run(std::move(tasks));
   report.wall_ns = elapsed_ns(wall0);
   report.steals = pool.steals();
+
+  if (policy.enabled()) {
+    // Final checkpoint: every shard completed, so a later resume_from()
+    // restores the whole report without re-running anything.
+    std::lock_guard<std::mutex> lock(ckpt_mu);
+    done.assign(scenarios_.size(), 1);
+    cut_checkpoint();
+  }
 
   // Merge and aggregate in shard-index order: the result is a pure function
   // of the shard results, independent of how the pool scheduled them.
@@ -213,8 +405,11 @@ FleetReport FleetRunner::run() {
   }
 
   if (config_.audit) {
+    // Audit covers re-executed shards only: restored shards were never run
+    // in this process, and their digests were already verified at restore.
     const auto audit0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      if (restored[i] != 0) continue;
       const ShardResult serial = execute(scenarios_[i], i);
       if (serial.digest != report.shards[i].digest) {
         report.audit_diffs.push_back(

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -88,6 +89,23 @@ struct AuditDiff {
   std::string detail;  // where the digests diverge
 };
 
+/// When and where the runner cuts crash-consistent checkpoints. A policy
+/// with an empty directory disables checkpointing entirely (zero overhead,
+/// behavior identical to the pre-checkpoint runner).
+struct CheckpointPolicy {
+  /// Checkpoint store directory; empty = checkpointing off.
+  std::string directory;
+  /// Cut a checkpoint every N shard completions (0 = no count trigger).
+  std::size_t every_shards = 0;
+  /// Cut a checkpoint when this much host wall-clock has passed since the
+  /// last one (0 = no time trigger). Either trigger firing cuts one.
+  double every_wall_seconds = 0.0;
+  /// Test-only crash injection forwarded to the store (see ckpt::CrashHook).
+  ckpt::CrashHook crash_hook;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
 struct FleetConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   int workers = 0;
@@ -96,6 +114,8 @@ struct FleetConfig {
   /// Re-run every shard serially after the pooled pass and byte-compare
   /// digests (doubles the work; that is the price of proof).
   bool audit = false;
+  /// Crash-consistency: periodic durable snapshots of completed shards.
+  CheckpointPolicy checkpoint;
 };
 
 struct FleetReport {
@@ -112,6 +132,14 @@ struct FleetReport {
   std::int64_t audit_wall_ns = 0;  // serial audit pass; 0 when not audited
   bool audited = false;
   std::vector<AuditDiff> audit_diffs;  // empty = determinism held
+
+  // Checkpoint/resume accounting. All host-side bookkeeping: none of these
+  // fields enter deterministic_json(), and a resumed run's deterministic
+  // bytes equal an uninterrupted run's even though these differ.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_write_failures = 0;
+  std::int64_t checkpoint_wall_ns = 0;
+  std::size_t resumed_shards = 0;  // shards restored instead of executed
 
   std::size_t failed_shards() const;
 
@@ -137,8 +165,22 @@ class FleetRunner {
   const FleetConfig& config() const { return config_; }
 
   /// Executes every shard on the pool (plus serially when auditing) and
-  /// assembles the report. Callable repeatedly; runs are independent.
+  /// assembles the report. Callable repeatedly; runs are independent. With
+  /// `config().checkpoint` enabled, cuts durable checkpoints per the policy
+  /// (including a final one covering every shard).
   FleetReport run();
+
+  /// Resumes from the newest usable checkpoint in the policy directory:
+  /// shards recorded complete are restored bit-for-bit (their digests are
+  /// re-derived and verified — kDataLoss on mismatch), the rest re-run from
+  /// their derived seeds. The merged report is byte-identical (per
+  /// deterministic_json) to an uninterrupted run. kNotFound when the
+  /// directory holds no usable checkpoint; kFailedPrecondition when the
+  /// checkpoint does not describe this runner (seed/shard mismatch).
+  Result<FleetReport> resume_from();
+
+  /// Same, but from one explicit checkpoint file.
+  Result<FleetReport> resume_from(const std::string& checkpoint_file);
 
   /// Executes a single shard in isolation on the calling thread — the
   /// audit's serial half, also handy for reproducing one shard from a
@@ -152,6 +194,12 @@ class FleetRunner {
   };
 
   ShardResult execute(const Scenario& scenario, std::size_t index) const;
+  Result<FleetReport> run_resumed(const ckpt::FleetCheckpoint& ckpt);
+  /// Shared body of run()/resume_from(): executes every shard whose
+  /// `restored[i]` flag is false, installs the restored results for the
+  /// rest, checkpoints per policy, merges, aggregates, audits.
+  FleetReport run_internal(std::vector<ShardResult> restored_results,
+                           std::vector<char> restored);
 
   FleetConfig config_;
   std::vector<Scenario> scenarios_;

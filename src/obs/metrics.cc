@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hexcodec.h"
+
 namespace csk::obs {
 
 std::string MetricsRegistry::key(std::string_view name, const Labels& labels) {
@@ -131,6 +133,89 @@ JsonValue MetricsSnapshot::to_json() const {
       .set("counters", std::move(counters_json))
       .set("gauges", std::move(gauges_json))
       .set("histograms", std::move(hists_json));
+}
+
+JsonValue MetricsSnapshot::to_exact_json() const {
+  JsonValue counters_json = JsonValue::object();
+  for (const auto& [k, v] : counters) counters_json.set(k, hex_u64(v));
+  JsonValue gauges_json = JsonValue::object();
+  for (const auto& [k, v] : gauges) gauges_json.set(k, hex_double(v));
+  JsonValue hists_json = JsonValue::object();
+  for (const auto& [k, h] : histograms) {
+    hists_json.set(k, JsonValue::object()
+                          .set("count", hex_u64(h.count))
+                          .set("sum", hex_double(h.sum))
+                          .set("mean", hex_double(h.mean))
+                          .set("stddev", hex_double(h.stddev))
+                          .set("min", hex_double(h.min))
+                          .set("max", hex_double(h.max)));
+  }
+  return JsonValue::object()
+      .set("counters", std::move(counters_json))
+      .set("gauges", std::move(gauges_json))
+      .set("histograms", std::move(hists_json));
+}
+
+namespace {
+
+Status expect_object(const JsonValue* v, const char* what) {
+  if (v == nullptr || !v->is_object()) {
+    return invalid_argument(std::string("exact snapshot: missing object '") +
+                            what + "'");
+  }
+  return Status::ok();
+}
+
+Result<std::uint64_t> member_hex_u64(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    return invalid_argument(std::string("exact snapshot: missing '") + key +
+                            "'");
+  }
+  return parse_hex_u64(v->as_string());
+}
+
+Result<double> member_hex_double(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    return invalid_argument(std::string("exact snapshot: missing '") + key +
+                            "'");
+  }
+  return parse_hex_double(v->as_string());
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::from_exact_json(const JsonValue& v) {
+  MetricsSnapshot snap;
+  const JsonValue* counters_json = v.find("counters");
+  const JsonValue* gauges_json = v.find("gauges");
+  const JsonValue* hists_json = v.find("histograms");
+  CSK_RETURN_IF_ERROR(expect_object(counters_json, "counters"));
+  CSK_RETURN_IF_ERROR(expect_object(gauges_json, "gauges"));
+  CSK_RETURN_IF_ERROR(expect_object(hists_json, "histograms"));
+  for (const auto& [k, val] : counters_json->as_object()) {
+    if (!val.is_string()) return invalid_argument("counter not a hex string");
+    CSK_ASSIGN_OR_RETURN(std::uint64_t c, parse_hex_u64(val.as_string()));
+    snap.counters.emplace(k, c);
+  }
+  for (const auto& [k, val] : gauges_json->as_object()) {
+    if (!val.is_string()) return invalid_argument("gauge not a hex string");
+    CSK_ASSIGN_OR_RETURN(double g, parse_hex_double(val.as_string()));
+    snap.gauges.emplace(k, g);
+  }
+  for (const auto& [k, val] : hists_json->as_object()) {
+    if (!val.is_object()) return invalid_argument("histogram not an object");
+    HistogramSummary s;
+    CSK_ASSIGN_OR_RETURN(s.count, member_hex_u64(val, "count"));
+    CSK_ASSIGN_OR_RETURN(s.sum, member_hex_double(val, "sum"));
+    CSK_ASSIGN_OR_RETURN(s.mean, member_hex_double(val, "mean"));
+    CSK_ASSIGN_OR_RETURN(s.stddev, member_hex_double(val, "stddev"));
+    CSK_ASSIGN_OR_RETURN(s.min, member_hex_double(val, "min"));
+    CSK_ASSIGN_OR_RETURN(s.max, member_hex_double(val, "max"));
+    snap.histograms.emplace(k, s);
+  }
+  return snap;
 }
 
 namespace {

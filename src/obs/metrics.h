@@ -104,6 +104,15 @@ struct MetricsSnapshot {
   void merge_from(const MetricsSnapshot& other);
 
   JsonValue to_json() const;
+
+  /// Bit-exact serialization for durable artifacts (checkpoints): counters
+  /// and histogram counts as hex-u64 strings, every double as its IEEE-754
+  /// bit pattern (common/hexcodec). `from_exact_json(to_exact_json())`
+  /// reproduces the snapshot byte-for-byte — the property the crash-
+  /// consistent resume path depends on. to_json() stays the human/tooling
+  /// rendering; this is the storage one.
+  JsonValue to_exact_json() const;
+  static Result<MetricsSnapshot> from_exact_json(const JsonValue& v);
 };
 
 /// Exact pooled combination of two moment summaries.

@@ -29,6 +29,10 @@ Result<std::string> QemuMonitor::execute(const std::string& command_line) {
   if (words.empty()) return std::string();
   const std::string& cmd = words[0];
 
+  if (quit_) {
+    return failed_precondition("monitor: '" + cmd +
+                               "' after quit: connection is closing");
+  }
   if (cmd == "info") {
     if (words.size() < 2) return invalid_argument("info: missing topic");
     return info(words[1]);
@@ -42,15 +46,20 @@ Result<std::string> QemuMonitor::execute(const std::string& command_line) {
     return std::string();
   }
   if (cmd == "quit" || cmd == "q") {
-    // Killing the QEMU process; the monitor object dies with the VM, so
-    // report first.
+    // Killing the QEMU process destroys the VM, and the VM owns this
+    // monitor — tearing it down here would free `this` mid-call. Defer the
+    // teardown to a zero-delay simulator event (capturing only stable
+    // handles, never `this`) and refuse further commands via `quit_`.
+    quit_ = true;
     Host* host = vm_->host();
+    VirtualMachine* parent = vm_->parent();
     const VmId id = vm_->id();
-    if (vm_->parent() != nullptr) {
-      CSK_RETURN_IF_ERROR(vm_->parent()->destroy_nested_vm(id));
-    } else {
-      CSK_RETURN_IF_ERROR(host->kill_vm(id));
-    }
+    vm_->world()->simulator().schedule_after(
+        SimDuration::zero(), [host, parent, id] {
+          const Status st = parent != nullptr ? parent->destroy_nested_vm(id)
+                                              : host->kill_vm(id);
+          (void)st;  // already gone = nothing to do
+        });
     return std::string("quit");
   }
   if (cmd == "migrate_set_speed") {
@@ -116,11 +125,15 @@ Result<std::string> QemuMonitor::do_migrate(
   const auto last_colon = uri.rfind(':');
   if (last_colon == 3) return invalid_argument("migrate: bad tcp uri " + uri);
   const std::string node = uri.substr(4, last_colon - 4);
-  std::uint16_t port = 0;
+  if (node.empty()) return invalid_argument("migrate: bad tcp uri " + uri);
+  int port = 0;
   try {
-    port = static_cast<std::uint16_t>(std::stoi(uri.substr(last_colon + 1)));
+    port = std::stoi(uri.substr(last_colon + 1));
   } catch (const std::exception&) {
     return invalid_argument("migrate: bad port in " + uri);
+  }
+  if (port < 1 || port > 65535) {
+    return invalid_argument("migrate: port out of range in " + uri);
   }
 
   MigrationConfig cfg;
@@ -128,7 +141,8 @@ Result<std::string> QemuMonitor::do_migrate(
   cfg.max_downtime = SimDuration::from_seconds(migrate_downtime_sec_);
   cfg.post_copy = postcopy_;
   migration_ = std::make_unique<MigrationJob>(
-      vm_->world(), vm_, net::NetAddr{node, Port(port)}, cfg);
+      vm_->world(), vm_,
+      net::NetAddr{node, Port(static_cast<std::uint16_t>(port))}, cfg);
   migration_->start();
   return std::string();
 }

@@ -61,6 +61,12 @@ class QemuMonitor {
   double migrate_speed_ = 32.0 * 1024 * 1024;
   double migrate_downtime_sec_ = 0.3;
   bool postcopy_ = false;
+  /// Set by `quit`. The VM teardown is deferred to a zero-delay simulator
+  /// event (destroying the VM destroys this monitor — tearing it down from
+  /// inside execute() would free the object mid-member-function), and any
+  /// command issued after quit gets a typed error instead of touching a VM
+  /// that is about to disappear.
+  bool quit_ = false;
 };
 
 }  // namespace csk::vmm

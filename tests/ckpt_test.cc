@@ -1,0 +1,446 @@
+// Checkpoint/restore tests: bit-exact codecs, the durability protocol of
+// the store (atomic rename + manifest journal), typed rejection of torn and
+// corrupted files, and in-process resume determinism (a resumed fleet run's
+// deterministic bytes equal an uninterrupted run's).
+//
+// The out-of-process half — actually SIGKILLing a child mid-write — lives
+// in ckpt_crash_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "ckpt/ckpt.h"
+#include "common/hexcodec.h"
+#include "common/rng.h"
+#include "fleet/fleet.h"
+#include "obs/metrics.h"
+
+namespace csk::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- hex codecs
+
+TEST(HexCodecTest, U64RoundTripsIncludingExtremes) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+        (std::uint64_t{1} << 53) + 1,  // would lose bits as a JSON double
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const std::string s = hex_u64(v);
+    EXPECT_EQ(s.size(), 18u);
+    auto back = parse_hex_u64(s);
+    ASSERT_TRUE(back.is_ok()) << s;
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(HexCodecTest, RejectsNonCanonicalForms) {
+  EXPECT_FALSE(parse_hex_u64("").is_ok());
+  EXPECT_FALSE(parse_hex_u64("0x0").is_ok());             // not fixed-width
+  EXPECT_FALSE(parse_hex_u64("0x00000000000000FF").is_ok());  // uppercase
+  EXPECT_FALSE(parse_hex_u64("0x00000000000000g0").is_ok());  // bad digit
+  EXPECT_FALSE(parse_hex_u64("1x0000000000000000").is_ok());
+}
+
+TEST(HexCodecTest, DoubleRoundTripsBitPatterns) {
+  for (double d : {0.0, -0.0, 1.0, -1.5, 0.1, 1e300, 5e-324,
+                   std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()}) {
+    auto back = parse_hex_double(hex_double(d));
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.value()),
+              std::bit_cast<std::uint64_t>(d));
+  }
+  auto nan = parse_hex_double(hex_double(std::nan("")));
+  ASSERT_TRUE(nan.is_ok());
+  EXPECT_TRUE(std::isnan(nan.value()));
+}
+
+// ---------------------------------------------------- exact metrics codec
+
+TEST(ExactSnapshotTest, RoundTripsByteForByte) {
+  obs::MetricsRegistry reg;
+  reg.counter("big").add((std::uint64_t{1} << 60) + 7);
+  reg.gauge("level", {{"k", "v"}}).set(0.1 + 0.2);  // not representable
+  auto& h = reg.histogram("lat");
+  h.observe(0.3);
+  h.observe(1e-9);
+  h.observe(12345.678);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  auto back = obs::MetricsSnapshot::from_exact_json(snap.to_exact_json());
+  ASSERT_TRUE(back.is_ok());
+  // Byte-equality of the exact rendering is the real contract.
+  EXPECT_EQ(back.value().to_exact_json().dump(), snap.to_exact_json().dump());
+  EXPECT_EQ(back.value().counter_or("big"), snap.counter_or("big"));
+}
+
+TEST(ExactSnapshotTest, RejectsLossyEncodings) {
+  // A plain to_json() snapshot (human numbers) is not an exact snapshot.
+  obs::MetricsRegistry reg;
+  reg.counter("c").add(1);
+  EXPECT_FALSE(
+      obs::MetricsSnapshot::from_exact_json(reg.snapshot().to_json()).is_ok());
+}
+
+// -------------------------------------------------------- payload codec
+
+FleetCheckpoint sample_checkpoint() {
+  FleetCheckpoint c;
+  c.root_seed = 0x0123456789abcdefull;
+  c.shard_count = 4;
+  ShardRecord r;
+  r.index = 2;
+  r.name = "cell-2";
+  r.seed = derive_seed(c.root_seed, 2);
+  r.values["total_s"] = 1.25;
+  r.values["weird"] = 0.1 + 0.2;
+  r.faults.push_back({1'500'000'000, "net.drop", "loss window"});
+  r.status_code = StatusCode::kUnavailable;
+  r.status_message = "deliberate failure";
+  obs::MetricsRegistry reg;
+  reg.counter("events").add(12345);
+  reg.histogram("lat").observe(0.25);
+  r.metrics = reg.snapshot();
+  r.digest = "digest-bytes";
+  r.wall_ns = 42;
+  c.completed.push_back(r);
+  return c;
+}
+
+TEST(PayloadCodecTest, RoundTripsByteForByte) {
+  const FleetCheckpoint c = sample_checkpoint();
+  auto back = FleetCheckpoint::from_payload(c.to_payload());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().to_payload().dump(), c.to_payload().dump());
+  EXPECT_EQ(back.value().completed[0].status_code, StatusCode::kUnavailable);
+  EXPECT_EQ(back.value().completed[0].faults[0].at_ns, 1'500'000'000);
+}
+
+TEST(PayloadCodecTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(FleetCheckpoint::from_payload(obs::JsonValue()).is_ok());
+  EXPECT_FALSE(
+      FleetCheckpoint::from_payload(obs::JsonValue::object()).is_ok());
+  obs::JsonValue bad = sample_checkpoint().to_payload();
+  bad.set("root_seed", "not-hex");
+  EXPECT_FALSE(FleetCheckpoint::from_payload(bad).is_ok());
+}
+
+// ------------------------------------------------------------------ store
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() {
+    dir_ = (fs::temp_directory_path() /
+            ("csk_ckpt_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~StoreTest() override { fs::remove_all(dir_); }
+
+  std::string path_of(std::uint64_t seq) const {
+    return dir_ + "/" + CheckpointStore::checkpoint_filename(seq);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, WriteThenLoadLatestRoundTrips) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  auto seq = store.write(sample_checkpoint());
+  ASSERT_TRUE(seq.is_ok()) << seq.status().to_string();
+  EXPECT_EQ(seq.value(), 1u);
+  EXPECT_EQ(store.writes(), 1u);
+  ASSERT_EQ(store.manifest().size(), 1u);
+  EXPECT_EQ(store.manifest()[0].completed_shards, 1u);
+
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  FleetCheckpoint expected = sample_checkpoint();
+  expected.sequence = seq.value();  // write() stamps the assigned sequence
+  EXPECT_EQ(loaded.value().to_payload().dump(),
+            expected.to_payload().dump());
+  // No stray temp files after a clean commit.
+  for (const auto& de : fs::directory_iterator(dir_)) {
+    EXPECT_FALSE(de.path().string().ends_with(".tmp"));
+  }
+}
+
+TEST_F(StoreTest, SequenceNumberingSurvivesReopen) {
+  {
+    CheckpointStore store(dir_);
+    ASSERT_TRUE(store.init().is_ok());
+    ASSERT_TRUE(store.write(sample_checkpoint()).is_ok());
+    ASSERT_TRUE(store.write(sample_checkpoint()).is_ok());
+  }
+  CheckpointStore reopened(dir_);
+  ASSERT_TRUE(reopened.init().is_ok());
+  EXPECT_EQ(reopened.manifest().size(), 2u);
+  auto seq = reopened.write(sample_checkpoint());
+  ASSERT_TRUE(seq.is_ok());
+  EXPECT_EQ(seq.value(), 3u);  // never reuses a name
+}
+
+TEST_F(StoreTest, LoadLatestPrefersTheNewestGoodCheckpoint) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  FleetCheckpoint first = sample_checkpoint();
+  ASSERT_TRUE(store.write(first).is_ok());
+  FleetCheckpoint second = sample_checkpoint();
+  second.completed[0].wall_ns = 99;
+  ASSERT_TRUE(store.write(second).is_ok());
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().completed[0].wall_ns, 99);
+}
+
+TEST_F(StoreTest, OrphanedCheckpointIsFoundWithoutTheManifest) {
+  // Simulates a crash between the checkpoint rename and the manifest
+  // rename: the file exists, the journal has never heard of it.
+  {
+    CheckpointStore store(dir_);
+    ASSERT_TRUE(store.init().is_ok());
+    ASSERT_TRUE(store.write(sample_checkpoint()).is_ok());
+  }
+  fs::remove(dir_ + "/MANIFEST.json");
+  CheckpointStore recovered(dir_);
+  ASSERT_TRUE(recovered.init().is_ok());
+  EXPECT_TRUE(recovered.manifest().empty());
+  EXPECT_TRUE(recovered.load_latest().is_ok());
+  // And the next write still does not collide with the orphan.
+  auto seq = recovered.write(sample_checkpoint());
+  ASSERT_TRUE(seq.is_ok());
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+TEST_F(StoreTest, EmptyDirectoryIsNotFound) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  EXPECT_EQ(store.load_latest().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.load_file(path_of(1)).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------- corruption
+
+class CorruptionTest : public StoreTest {
+ protected:
+  CorruptionTest() {
+    CheckpointStore store(dir_);
+    EXPECT_TRUE(store.init().is_ok());
+    EXPECT_TRUE(store.write(sample_checkpoint()).is_ok());
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  static void spit(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+};
+
+TEST_F(CorruptionTest, FlippedPayloadByteIsDataLoss) {
+  std::string bytes = slurp(path_of(1));
+  bytes[bytes.size() / 2] ^= 0x01;
+  spit(path_of(1), bytes);
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  const auto r = store.load_file(path_of(1));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, TruncationIsDataLoss) {
+  const std::string bytes = slurp(path_of(1));
+  spit(path_of(1), bytes.substr(0, bytes.size() - 10));
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  EXPECT_EQ(store.load_file(path_of(1)).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, GarbageHeaderIsDataLoss) {
+  spit(path_of(1), "not json at all\n{}\n");
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  EXPECT_EQ(store.load_file(path_of(1)).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, LoadLatestFallsBackPastACorruptedNewest) {
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  FleetCheckpoint second = sample_checkpoint();
+  second.completed[0].wall_ns = 99;
+  ASSERT_TRUE(store.write(second).is_ok());
+  // Corrupt the newest; the older good one must win, with no wrong bytes.
+  std::string bytes = slurp(path_of(2));
+  bytes[bytes.size() - 5] ^= 0x40;
+  spit(path_of(2), bytes);
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value().sequence, 1u);
+}
+
+TEST_F(CorruptionTest, AllCorruptIsNotFoundNeverGarbage) {
+  std::string bytes = slurp(path_of(1));
+  bytes[0] ^= 0x20;
+  spit(path_of(1), bytes);
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  EXPECT_EQ(store.load_latest().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorruptionTest, CorruptManifestDegradesToDirectoryScan) {
+  spit(dir_ + "/MANIFEST.json", "garbage{{{");
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  EXPECT_TRUE(store.manifest().empty());
+  EXPECT_TRUE(store.load_latest().is_ok());
+}
+
+// ------------------------------------------------- fleet resume (in-process)
+
+/// Cheap deterministic scenario: pure computation from the shard seed, with
+/// metrics, a fault-log entry and one deliberately failing shard so every
+/// ShardRecord field is exercised.
+fleet::ShardOutcome tiny_scenario(const fleet::ShardContext& ctx) {
+  fleet::ShardOutcome out;
+  Rng rng(ctx.seed);
+  auto& c = obs::metrics().counter("tiny.iterations");
+  auto& h = obs::metrics().histogram("tiny.sample");
+  double acc = 0.0;
+  const int n = 40 + static_cast<int>(rng.uniform(40));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform01();
+    acc += x;
+    h.observe(x);
+    c.add();
+  }
+  out.values["acc"] = acc;
+  out.values["n"] = static_cast<double>(n);
+  if (ctx.index % 3 == 0) {
+    out.faults.push_back(
+        {SimTime(static_cast<std::int64_t>(ctx.index) * 1000), "test.fault",
+         "synthetic"});
+  }
+  if (ctx.index == 5) out.status = unavailable("deliberate shard failure");
+  return out;
+}
+
+fleet::FleetRunner make_runner(const std::string& ckpt_dir,
+                               std::size_t every_shards = 0,
+                               std::size_t shards = 12) {
+  fleet::FleetConfig cfg;
+  cfg.workers = 4;
+  cfg.root_seed = 0xC4A57ull;
+  cfg.checkpoint.directory = ckpt_dir;
+  cfg.checkpoint.every_shards = every_shards;
+  fleet::FleetRunner runner(cfg);
+  for (std::size_t i = 0; i < shards; ++i) {
+    runner.add("tiny-" + std::to_string(i), tiny_scenario);
+  }
+  return runner;
+}
+
+class ResumeTest : public StoreTest {};
+
+TEST_F(ResumeTest, ResumeFromFinalCheckpointRestoresEverything) {
+  const std::string golden = make_runner("").run().deterministic_json();
+  fleet::FleetReport first = make_runner(dir_, 4).run();
+  EXPECT_GE(first.checkpoints_written, 3u);  // every 4 of 12 + final
+  EXPECT_EQ(first.deterministic_json(), golden);
+
+  fleet::FleetRunner again = make_runner(dir_, 4);
+  auto resumed = again.resume_from();
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_EQ(resumed.value().resumed_shards, 12u);
+  EXPECT_EQ(resumed.value().deterministic_json(), golden);
+}
+
+TEST_F(ResumeTest, ResumeFromIntermediateCheckpointRerunsTheRest) {
+  const std::string golden = make_runner("").run().deterministic_json();
+  (void)make_runner(dir_, 4).run();
+  // Sequence 1 holds the first few shards only; resume must re-run the rest
+  // and still reproduce the golden bytes.
+  fleet::FleetRunner runner = make_runner(dir_, 4);
+  auto resumed = runner.resume_from(path_of(1));
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_GT(resumed.value().resumed_shards, 0u);
+  EXPECT_LT(resumed.value().resumed_shards, 12u);
+  EXPECT_EQ(resumed.value().deterministic_json(), golden);
+}
+
+TEST_F(ResumeTest, ResumedRunPassesTheDeterminismAudit) {
+  (void)make_runner(dir_, 4).run();
+  fleet::FleetConfig cfg = make_runner(dir_, 4).config();
+  cfg.audit = true;
+  fleet::FleetRunner runner(cfg);
+  for (std::size_t i = 0; i < 12; ++i) {
+    runner.add("tiny-" + std::to_string(i), tiny_scenario);
+  }
+  auto resumed = runner.resume_from(path_of(1));
+  ASSERT_TRUE(resumed.is_ok());
+  EXPECT_TRUE(resumed.value().audit_diffs.empty());
+}
+
+TEST_F(ResumeTest, MismatchedRunnerIsFailedPrecondition) {
+  (void)make_runner(dir_, 4).run();
+  // Wrong root seed.
+  fleet::FleetConfig cfg;
+  cfg.root_seed = 0xBAD5EEDull;
+  cfg.checkpoint.directory = dir_;
+  fleet::FleetRunner wrong_seed(cfg);
+  for (std::size_t i = 0; i < 12; ++i) {
+    wrong_seed.add("tiny-" + std::to_string(i), tiny_scenario);
+  }
+  EXPECT_EQ(wrong_seed.resume_from().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Wrong shard universe.
+  fleet::FleetRunner fewer = make_runner(dir_, 4, 7);
+  EXPECT_EQ(fewer.resume_from().status().code(),
+            StatusCode::kFailedPrecondition);
+  // Wrong scenario name at a recorded index.
+  fleet::FleetConfig cfg2 = make_runner(dir_, 4).config();
+  fleet::FleetRunner renamed(cfg2);
+  for (std::size_t i = 0; i < 12; ++i) renamed.add("other", tiny_scenario);
+  EXPECT_EQ(renamed.resume_from().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ResumeTest, TamperedShardRecordIsDataLoss) {
+  (void)make_runner(dir_, 0).run();  // one final checkpoint
+  // Re-author the checkpoint with one shard's value changed but its
+  // recorded digest left alone: file-level checksums pass, the semantic
+  // digest re-derivation must catch it.
+  CheckpointStore store(dir_);
+  ASSERT_TRUE(store.init().is_ok());
+  auto loaded = store.load_latest();
+  ASSERT_TRUE(loaded.is_ok());
+  FleetCheckpoint tampered = loaded.value();
+  tampered.completed[2].values["acc"] += 1.0;
+  ASSERT_TRUE(store.write(tampered).is_ok());
+  fleet::FleetRunner runner = make_runner(dir_);
+  EXPECT_EQ(runner.resume_from().status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(ResumeTest, ResumeWithoutADirectoryIsFailedPrecondition) {
+  fleet::FleetRunner runner = make_runner("");
+  EXPECT_EQ(runner.resume_from().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace csk::ckpt

@@ -3,6 +3,8 @@
 // series, detector graceful degradation, and forwarder auto-restart.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "detect/dedup_detector.h"
 #include "detect/l2_probe.h"
 #include "fault/injector.h"
@@ -41,6 +43,57 @@ TEST(RetryPolicyTest, SingleAttemptPolicyDisablesRetries) {
   EXPECT_FALSE(policy.retries_enabled());
   policy.max_attempts = 2;
   EXPECT_TRUE(policy.retries_enabled());
+}
+
+TEST(RetryPolicyTest, HugeRetryIndexSaturatesAtTheCap) {
+  // Regression: the multiplier loop used to run retry_index times
+  // unconditionally, overflowing the double to +inf — and casting an
+  // infinite double to int64 is undefined behavior. The delay must simply
+  // saturate at max_backoff, however large the index.
+  RetryPolicy policy;
+  policy.max_attempts = 2000;
+  policy.initial_backoff = SimDuration::millis(200);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = SimDuration::seconds(10);
+  EXPECT_EQ(backoff_delay(policy, 1000), SimDuration::seconds(10));
+  EXPECT_EQ(backoff_delay(policy, 1'000'000), SimDuration::seconds(10));
+}
+
+TEST(RetryPolicyTest, NormalizationClampsDegenerateConfigs) {
+  RetryPolicy policy;
+  policy.max_attempts = -3;
+  policy.backoff_multiplier = 0.25;  // backoff may never shrink
+  policy.initial_backoff = SimDuration::millis(-5);
+  policy.max_backoff = SimDuration::millis(-1);
+  const RetryPolicy norm = policy.normalized();
+  EXPECT_EQ(norm.max_attempts, 1);
+  EXPECT_DOUBLE_EQ(norm.backoff_multiplier, 1.0);
+  EXPECT_EQ(norm.initial_backoff, SimDuration::zero());
+  EXPECT_EQ(norm.max_backoff, SimDuration::zero());
+  // backoff_delay consumes the normalized policy: no negative delays.
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::zero());
+  EXPECT_EQ(backoff_delay(policy, 7), SimDuration::zero());
+}
+
+TEST(RetryPolicyTest, NanMultiplierClampsToConstantBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.backoff_multiplier = std::numeric_limits<double>::quiet_NaN();
+  policy.initial_backoff = SimDuration::millis(100);
+  policy.max_backoff = SimDuration::seconds(1);
+  EXPECT_DOUBLE_EQ(policy.normalized().backoff_multiplier, 1.0);
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::millis(100));
+  EXPECT_EQ(backoff_delay(policy, 50), SimDuration::millis(100));
+}
+
+TEST(RetryPolicyTest, SanePoliciesAreAlreadyNormalized) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  const RetryPolicy norm = policy.normalized();
+  EXPECT_EQ(norm.max_attempts, policy.max_attempts);
+  EXPECT_DOUBLE_EQ(norm.backoff_multiplier, policy.backoff_multiplier);
+  EXPECT_EQ(norm.initial_backoff, policy.initial_backoff);
+  EXPECT_EQ(norm.max_backoff, policy.max_backoff);
 }
 
 // ------------------------------------------------- migration chaos fixture

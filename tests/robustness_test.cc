@@ -83,6 +83,46 @@ TEST_F(MonitorRobustnessTest, ReplacingAnActiveJobCancelsItsEvents) {
   SUCCEED();
 }
 
+TEST_F(MonitorRobustnessTest, UnknownCommandIsATypedError) {
+  const auto r = vm_->monitor().execute("teleport host1");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(r.status().message().find("teleport"), std::string::npos);
+}
+
+TEST_F(MonitorRobustnessTest, MalformedMigrateUrisAreTypedErrors) {
+  // Each failure names its code: callers (the installer's retry logic)
+  // branch on it, so "some error" is not enough.
+  EXPECT_EQ(vm_->monitor().execute("migrate").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vm_->monitor().execute("migrate exec:cat").status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(vm_->monitor().execute("migrate tcp:").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vm_->monitor().execute("migrate tcp::4444").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vm_->monitor().execute("migrate tcp:host0:notaport").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vm_->monitor().execute("migrate tcp:host0:99999").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(vm_->monitor().execute("migrate tcp:host0:0").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MonitorRobustnessTest, CommandsAfterQuitAreTypedErrors) {
+  const VmId id = vm_->id();
+  ASSERT_TRUE(vm_->monitor().execute("quit").is_ok());
+  // Until the deferred teardown runs, the monitor still exists — but it
+  // must refuse work, not touch a VM that is about to disappear.
+  const auto info = vm_->monitor().execute("info status");
+  ASSERT_FALSE(info.is_ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(vm_->monitor().execute("quit").status().code(),
+            StatusCode::kFailedPrecondition);
+  world_.simulator().run_until_idle();
+  EXPECT_FALSE(host_->find_vm(id).is_ok());
+}
+
 TEST_F(MonitorRobustnessTest, StopDuringMigrationStillConverges) {
   auto dcfg = small_vm_config("dst", 64, 0, 0);
   dcfg.incoming_port = 4444;

@@ -319,6 +319,12 @@ TEST_F(MonitorTest, MigrateRequiresTcpUri) {
 TEST_F(MonitorTest, QuitKillsTheVm) {
   const VmId id = vm_->id();
   ASSERT_TRUE(vm_->monitor().execute("quit").is_ok());
+  // The teardown is deferred to a zero-delay event (the monitor cannot
+  // destroy the VM that owns it mid-command); the VM is gone once that
+  // event fires. run_for(zero) dispatches exactly the events due now —
+  // the host's ksmd reschedules forever, so run_until_idle never returns.
+  EXPECT_TRUE(host_->find_vm(id).is_ok());
+  world_.simulator().run_for(SimDuration::zero());
   EXPECT_FALSE(host_->find_vm(id).is_ok());
 }
 
