@@ -19,7 +19,7 @@ void RitmVm::remove_tap(net::PacketTap* tap) {
 
 Result<guestos::ParsedProcTable> RitmVm::introspect_victim() const {
   auto bytes = nested_->memory().read_bytes(Gfn(guestos::kProcTableGfn));
-  if (!bytes.has_value()) {
+  if (!bytes) {
     return not_found("victim proc-table page not materialized");
   }
   return guestos::parse_proc_table(*bytes);

@@ -15,13 +15,15 @@ VmcsScanReport VmcsScanDetector::scan() {
     VmcsScanReport::Finding finding;
     finding.vm = vm->id();
     finding.vm_name = vm->name();
-    for (Gfn gfn : vm->memory().mapped_gfns()) {
+    // Zero-copy sweep of resident pages: the visitor hands out references,
+    // so scanning guest RAM never duplicates page payloads.
+    vm->memory().visit_mapped([&](Gfn, const mem::PageData& page) {
       ++report.pages_scanned;
-      const auto bytes = vm->memory().read_bytes(gfn);
-      if (!bytes || bytes->size() < 8) continue;
+      const auto& bytes = page.bytes;
+      if (!bytes || bytes->size() < 8) return;
       if ((*bytes)[0] != 'V' || (*bytes)[1] != 'M' || (*bytes)[2] != 'C' ||
           (*bytes)[3] != 'S') {
-        continue;
+        return;
       }
       std::uint32_t rev = 0;
       for (int i = 0; i < 4; ++i) {
@@ -30,11 +32,11 @@ VmcsScanReport VmcsScanDetector::scan() {
       if (std::find(config_.known_revision_ids.begin(),
                     config_.known_revision_ids.end(),
                     rev) == config_.known_revision_ids.end()) {
-        continue;  // unknown signature: the scanner walks right past it
+        return;  // unknown signature: the scanner walks right past it
       }
       finding.revision_id = rev;
       ++finding.pages_with_signature;
-    }
+    });
     if (finding.pages_with_signature > 0) {
       report.findings.push_back(std::move(finding));
     }

@@ -146,9 +146,11 @@ Status GuestOS::perturb_cached_file(const std::string& name) {
   for (std::size_t i = 0; i < file->pages.size(); ++i) {
     mem::PageData page = file->pages[i];
     if (page.bytes && !page.bytes->empty()) {
-      // Flip one byte — the paper's "slightly change each page".
-      (*page.bytes)[0] ^= 0xFF;
-      page = mem::PageData::from_bytes(std::move(*page.bytes));
+      // Flip one byte — the paper's "slightly change each page". Payloads
+      // are shared and immutable, so mutate a copy, never the original.
+      mem::PageBytes mutated = *page.bytes;
+      mutated[0] ^= 0xFF;
+      page = mem::PageData::from_bytes(std::move(mutated));
     } else {
       page = mem::PageData::synthetic(hash_combine(page.hash, 0xF11Full));
     }

@@ -1,15 +1,39 @@
 #include "mem/addr_space.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace csk::mem {
+
+namespace {
+bool g_hot_path_counters = false;
+
+const PageData& zero_page_ref() {
+  static const PageData zero = PageData::zero();
+  return zero;
+}
+}  // namespace
+
+void set_hot_path_counters_enabled(bool enabled) {
+  g_hot_path_counters = enabled;
+}
+
+bool hot_path_counters_enabled() { return g_hot_path_counters; }
 
 AddressSpace::AddressSpace(HostPhysicalMemory* phys, std::size_t num_pages,
                            std::string name)
     : name_(std::move(name)), num_pages_(num_pages), phys_(phys) {
   CSK_CHECK(phys != nullptr);
   CSK_CHECK(num_pages > 0);
+  table_.assign(num_pages_, 0);
+  epochs_.assign(num_pages_, 0);
+  dirty_words_.assign((num_pages_ + 63) / 64, 0);
+  if (g_hot_path_counters) {
+    c_harvested_pages_ = &obs::metrics().counter("mem.dirty.pages_harvested");
+    c_harvested_words_ = &obs::metrics().counter("mem.dirty.words_scanned");
+    c_zero_copy_reads_ = &obs::metrics().counter("mem.zero_copy_reads");
+  }
 }
 
 AddressSpace::AddressSpace(AddressSpace* parent, std::vector<Gfn> window,
@@ -24,12 +48,20 @@ AddressSpace::AddressSpace(AddressSpace* parent, std::vector<Gfn> window,
     CSK_CHECK_MSG(g.value() < parent->size_pages(),
                   "view window outside parent address space");
   }
+  dirty_words_.assign((num_pages_ + 63) / 64, 0);
+  if (g_hot_path_counters) {
+    c_harvested_pages_ = &obs::metrics().counter("mem.dirty.pages_harvested");
+    c_harvested_words_ = &obs::metrics().counter("mem.dirty.words_scanned");
+    c_zero_copy_reads_ = &obs::metrics().counter("mem.zero_copy_reads");
+  }
 }
 
 AddressSpace::~AddressSpace() {
   if (is_view()) return;  // views own no frames
-  for (const auto& [gfn, frame] : table_) {
-    phys_->remove_mapping(FrameNumber(frame), this, Gfn(gfn));
+  for (std::uint64_t g = 0; g < num_pages_; ++g) {
+    if (table_[g] != 0) {
+      phys_->remove_mapping(FrameNumber(table_[g]), this, Gfn(g));
+    }
   }
 }
 
@@ -51,45 +83,41 @@ void AddressSpace::check_gfn(Gfn gfn) const {
 }
 
 ContentHash AddressSpace::read_hash(Gfn gfn) const {
-  check_gfn(gfn);
-  if (is_view()) return parent_->read_hash(window_[gfn.value()]);
-  auto it = table_.find(gfn.value());
-  if (it == table_.end()) return ContentHash::zero_page();
-  return phys_->frame(FrameNumber(it->second)).data.hash;
+  return read_page_ref(gfn).hash;
 }
 
-std::optional<PageBytes> AddressSpace::read_bytes(Gfn gfn) const {
-  check_gfn(gfn);
-  if (is_view()) return parent_->read_bytes(window_[gfn.value()]);
-  auto it = table_.find(gfn.value());
-  if (it == table_.end()) return std::nullopt;
-  return phys_->frame(FrameNumber(it->second)).data.bytes;
+PageBytesRef AddressSpace::read_bytes(Gfn gfn) const {
+  return read_page_ref(gfn).bytes;
 }
 
-PageData AddressSpace::read_page(Gfn gfn) const {
+PageData AddressSpace::read_page(Gfn gfn) const { return read_page_ref(gfn); }
+
+const PageData& AddressSpace::read_page_ref(Gfn gfn) const {
   check_gfn(gfn);
-  if (is_view()) return parent_->read_page(window_[gfn.value()]);
-  auto it = table_.find(gfn.value());
-  if (it == table_.end()) return PageData::zero();
-  return phys_->frame(FrameNumber(it->second)).data;
+  if (is_view()) return parent_->read_page_ref(window_[gfn.value()]);
+  if (c_zero_copy_reads_ != nullptr) c_zero_copy_reads_->add();
+  const std::uint64_t f = table_[gfn.value()];
+  if (f == 0) return zero_page_ref();
+  return phys_->frame(FrameNumber(f)).data;
 }
 
 FrameNumber AddressSpace::translate(Gfn gfn) const {
   check_gfn(gfn);
   if (is_view()) return parent_->translate(window_[gfn.value()]);
-  auto it = table_.find(gfn.value());
-  if (it == table_.end()) return FrameNumber::invalid();
-  return FrameNumber(it->second);
+  const std::uint64_t f = table_[gfn.value()];
+  if (f == 0) return FrameNumber::invalid();
+  return FrameNumber(f);
 }
 
 FrameNumber AddressSpace::root_frame(Gfn gfn, bool materialize) {
   CSK_CHECK(!is_view());
-  auto it = table_.find(gfn.value());
-  if (it != table_.end()) return FrameNumber(it->second);
+  if (table_[gfn.value()] != 0) return FrameNumber(table_[gfn.value()]);
   if (!materialize) return FrameNumber::invalid();
   const FrameNumber f = phys_->allocate(PageData::zero());
   phys_->add_mapping(f, this, gfn);
   table_[gfn.value()] = f.value();
+  epochs_[gfn.value()] = static_cast<std::uint32_t>(++map_epoch_);
+  ++mapped_count_;
   return f;
 }
 
@@ -119,33 +147,93 @@ std::vector<Gfn> AddressSpace::mapped_gfns() const {
     }
     return out;
   }
-  out.reserve(table_.size());
-  for (const auto& [gfn, frame] : table_) out.push_back(Gfn(gfn));
-  std::sort(out.begin(), out.end());
+  out.reserve(mapped_count_);
+  for (std::uint64_t g = 0; g < num_pages_; ++g) {
+    if (table_[g] != 0) out.push_back(Gfn(g));
+  }
   return out;
+}
+
+std::size_t AddressSpace::mapped_count() const {
+  if (!is_view()) return mapped_count_;
+  std::size_t n = 0;
+  for (Gfn g : window_) {
+    if (parent_->is_mapped(g)) ++n;
+  }
+  return n;
+}
+
+void AddressSpace::visit_mapped(
+    const std::function<void(Gfn, const PageData&)>& fn) const {
+  if (is_view()) {
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+      if (parent_->is_mapped(window_[i])) {
+        fn(Gfn(i), parent_->read_page_ref(window_[i]));
+      }
+    }
+    return;
+  }
+  for (std::uint64_t g = 0; g < num_pages_; ++g) {
+    if (table_[g] != 0) {
+      if (c_zero_copy_reads_ != nullptr) c_zero_copy_reads_->add();
+      fn(Gfn(g), phys_->frame(FrameNumber(table_[g])).data);
+    }
+  }
+}
+
+std::uint64_t AddressSpace::map_epoch() const {
+  CSK_CHECK_MSG(!is_view(), "map epochs live on root spaces");
+  return map_epoch_;
+}
+
+Gfn AddressSpace::next_mapped(Gfn from, std::uint64_t max_epoch) const {
+  CSK_CHECK_MSG(!is_view(), "incremental scan runs on root spaces");
+  for (std::uint64_t g = from.valid() ? from.value() : 0; g < num_pages_;
+       ++g) {
+    if (table_[g] != 0 && epochs_[g] <= max_epoch) return Gfn(g);
+  }
+  return Gfn::invalid();
 }
 
 void AddressSpace::enable_dirty_log() {
   dirty_log_enabled_ = true;
-  dirty_.clear();
+  std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
+  dirty_count_ = 0;
 }
 
 void AddressSpace::disable_dirty_log() {
   dirty_log_enabled_ = false;
-  dirty_.clear();
+  std::fill(dirty_words_.begin(), dirty_words_.end(), 0);
+  dirty_count_ = 0;
 }
 
 std::vector<Gfn> AddressSpace::fetch_and_reset_dirty() {
   std::vector<Gfn> out;
-  out.reserve(dirty_.size());
-  for (const auto& [gfn, _] : dirty_) out.push_back(Gfn(gfn));
-  std::sort(out.begin(), out.end());
-  dirty_.clear();
+  out.reserve(dirty_count_);
+  for (std::size_t w = 0; w < dirty_words_.size(); ++w) {
+    std::uint64_t word = dirty_words_[w];
+    if (word == 0) continue;
+    dirty_words_[w] = 0;
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(Gfn((w << 6) | static_cast<unsigned>(bit)));
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+  if (c_harvested_words_ != nullptr) c_harvested_words_->add(dirty_words_.size());
+  if (c_harvested_pages_ != nullptr) c_harvested_pages_->add(out.size());
+  dirty_count_ = 0;
   return out;
 }
 
 void AddressSpace::mark_dirty(Gfn gfn) {
-  if (dirty_log_enabled_) dirty_[gfn.value()] = true;
+  if (!dirty_log_enabled_) return;
+  const std::uint64_t mask = std::uint64_t{1} << (gfn.value() & 63);
+  std::uint64_t& word = dirty_words_[gfn.value() >> 6];
+  if ((word & mask) == 0) {
+    word |= mask;
+    ++dirty_count_;
+  }
 }
 
 void AddressSpace::set_write_observer(WriteObserver observer) {
@@ -156,6 +244,9 @@ void AddressSpace::set_write_observer(WriteObserver observer) {
 
 void AddressSpace::on_frame_repointed(Gfn gfn, FrameNumber f) {
   CSK_CHECK_MSG(!is_view(), "only root spaces hold frame tables");
+  // COW splits and merges repoint an already-materialized gfn: the map
+  // epoch is deliberately left alone (the page's membership in the mapped
+  // set did not change).
   table_[gfn.value()] = f.value();
 }
 

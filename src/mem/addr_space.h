@@ -11,20 +11,35 @@
 // makes that aliasing explicit — a write through the view lands in the
 // parent's frames and dirties every level on the way down, which is exactly
 // how dirty logging behaves across nested EPT.
+//
+// Hot-path layout: a root's gfn->frame table is a dense vector indexed by
+// gfn (like a real page table, not a hash map), each entry stamped with the
+// map epoch at which it materialized so KSM can scan incrementally without
+// snapshotting; the dirty log is a word-packed bitmap with a running
+// population count, so dirty harvest is a linear word scan and mapped-page
+// enumeration needs no sort.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "mem/phys_mem.h"
+#include "obs/metrics.h"
 
 namespace csk::mem {
+
+/// Opt-in hot-path counters (mem.dirty.*, mem.zero_copy_reads). Off by
+/// default so the metrics snapshots embedded in pre-existing BENCH_*.json
+/// reports stay byte-stable; bench_mem_scaling and the mem tests turn them
+/// on. Set the flag before constructing the address spaces to be measured —
+/// each space caches its counter pointers at construction.
+void set_hot_path_counters_enabled(bool enabled);
+bool hot_path_counters_enabled();
 
 struct WriteResult {
   SimDuration cost;
@@ -58,12 +73,19 @@ class AddressSpace {
   /// Reads the content hash at `gfn` (zero page if never written).
   ContentHash read_hash(Gfn gfn) const;
 
-  /// Reads byte contents, when the page is byte-backed.
-  std::optional<PageBytes> read_bytes(Gfn gfn) const;
+  /// Reads the shared byte payload, when the page is byte-backed (null for
+  /// hash-only or untouched pages). Never copies the 4 KiB.
+  PageBytesRef read_bytes(Gfn gfn) const;
 
   /// Reads the full page content (hash + optional bytes). Untouched pages
-  /// read as the zero page.
+  /// read as the zero page. Copying the result shares the byte payload.
   PageData read_page(Gfn gfn) const;
+
+  /// Zero-copy read: a reference to the page content backing `gfn`, or to
+  /// the canonical zero page if untouched. The reference is invalidated by
+  /// the next write, merge or allocation anywhere in the backing physical
+  /// memory — read it, then let go.
+  const PageData& read_page_ref(Gfn gfn) const;
 
   /// Writes page content, paying the host write latency; breaks COW sharing
   /// if needed and marks the page dirty at every level of the chain.
@@ -88,6 +110,28 @@ class AddressSpace {
   /// All materialized gfns, ascending (KSM scan order).
   std::vector<Gfn> mapped_gfns() const;
 
+  /// Number of materialized gfns (cheap; no enumeration).
+  std::size_t mapped_count() const;
+
+  /// Calls `fn(gfn, page)` for every materialized gfn, ascending, without
+  /// copying page contents. The reference handed to `fn` follows the
+  /// read_page_ref() invalidation rule.
+  void visit_mapped(
+      const std::function<void(Gfn, const PageData&)>& fn) const;
+
+  // --- incremental scan support (root only, used by KSM) ---
+
+  /// Monotone count of page materializations in this root. A page with
+  /// map_epoch_of(gfn) <= e was already mapped when the counter read e —
+  /// KSM stamps its cursor with this to reproduce enter-time snapshot
+  /// semantics without materializing one.
+  std::uint64_t map_epoch() const;
+
+  /// First gfn >= `from` that was materialized no later than `max_epoch`,
+  /// or invalid when none remains. Linear probe over the dense table;
+  /// amortized O(1) per mapped page across a full sweep.
+  Gfn next_mapped(Gfn from, std::uint64_t max_epoch) const;
+
   // --- dirty logging (per level, used by live migration) ---
 
   /// Starts dirty tracking; clears any previous log.
@@ -96,9 +140,13 @@ class AddressSpace {
   bool dirty_log_enabled() const { return dirty_log_enabled_; }
 
   /// Returns dirtied gfns since the last fetch and clears the log.
+  /// Ascending; a linear scan over the bitmap words.
   std::vector<Gfn> fetch_and_reset_dirty();
-  std::size_t dirty_count() const { return dirty_.size(); }
-  bool is_dirty(Gfn gfn) const { return dirty_.contains(gfn.value()); }
+  std::size_t dirty_count() const { return dirty_count_; }
+  bool is_dirty(Gfn gfn) const {
+    return gfn.value() < num_pages_ &&
+           (dirty_words_[gfn.value() >> 6] >> (gfn.value() & 63)) & 1;
+  }
 
   // --- internal plumbing (called by HostPhysicalMemory / KSM) ---
 
@@ -120,18 +168,31 @@ class AddressSpace {
   std::string name_;
   std::size_t num_pages_ = 0;
 
-  // Root state.
-  HostPhysicalMemory* phys_ = nullptr;           // null for views
-  std::unordered_map<std::uint64_t, std::uint64_t> table_;  // gfn -> frame
+  // Root state: dense gfn-indexed tables. table_[g] == 0 means unmapped
+  // (frame number 0 is reserved); epochs_[g] is the map_epoch_ value at
+  // materialization, untouched by COW/merge repointing.
+  HostPhysicalMemory* phys_ = nullptr;  // null for views
+  std::vector<std::uint64_t> table_;
+  std::vector<std::uint32_t> epochs_;
+  std::uint64_t map_epoch_ = 0;
+  std::size_t mapped_count_ = 0;
 
   // View state.
   AddressSpace* parent_ = nullptr;
   std::vector<Gfn> window_;  // own gfn index -> parent gfn
 
+  // Dirty log: one bit per gfn plus a running popcount.
   bool dirty_log_enabled_ = false;
-  std::unordered_map<std::uint64_t, bool> dirty_;
+  std::vector<std::uint64_t> dirty_words_;
+  std::size_t dirty_count_ = 0;
+
   WriteObserver write_observer_;
   bool in_observer_ = false;
+
+  // Cached opt-in hot-path counters (null when disabled at construction).
+  obs::Counter* c_harvested_pages_ = nullptr;
+  obs::Counter* c_harvested_words_ = nullptr;
+  obs::Counter* c_zero_copy_reads_ = nullptr;
 };
 
 }  // namespace csk::mem

@@ -25,24 +25,66 @@ void KsmDaemon::register_region(AddressSpace* root) {
   CSK_CHECK(root != nullptr);
   CSK_CHECK_MSG(!root->is_view(), "only root address spaces are scannable");
   if (is_registered(root)) return;
-  regions_.push_back(root);
+  Region region;
+  region.as = root;
+  region.stamps.assign(root->size_pages(), PageStamp{});
+  regions_.push_back(std::move(region));
 }
 
 void KsmDaemon::unregister_region(AddressSpace* root) {
-  auto it = std::find(regions_.begin(), regions_.end(), root);
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [root](const Region& r) { return r.as == root; });
   if (it == regions_.end()) return;
   const std::size_t idx = static_cast<std::size_t>(it - regions_.begin());
+
+  // If the cursor is mid-scan inside the region being removed, its walk
+  // position outlives the region (long-standing ksmd-model behavior): the
+  // not-yet-visited gfns are materialized here and replayed against the
+  // successor region, so batch accounting and the full-pass boundary land
+  // exactly where they always did. Compute the tail before erasing.
+  std::vector<Gfn> tail;
+  if (idx == cursor_.region && cursor_.entered && cursor_.leftover.empty()) {
+    for (Gfn g = cursor_.peek; g.valid();
+         g = it->as->next_mapped(Gfn(g.value() + 1), cursor_.entry_epoch)) {
+      tail.push_back(g);
+    }
+  }
+
   regions_.erase(it);
-  // Keep the cursor coherent with the shrunken region list.
-  if (cursor_.region > idx || cursor_.region >= regions_.size()) {
-    cursor_.region = regions_.empty() ? 0 : cursor_.region % regions_.size();
-    cursor_.page_index = 0;
-    cursor_.snapshot_valid = false;
+  if (regions_.empty()) {
+    cursor_ = Cursor{};
+    return;
+  }
+  if (idx < cursor_.region) {
+    // The list shifted left under the cursor: follow it so the region being
+    // scanned keeps its turn and its scan position. (Leaving the index
+    // alone silently skipped one region and fired the full-pass boundary —
+    // which clears the unstable tree — one region early.)
+    --cursor_.region;
+  } else if (idx == cursor_.region) {
+    if (cursor_.region >= regions_.size()) {
+      // Removed the last-index region while on it: wrap to the front and
+      // start fresh (without counting a pass, as before).
+      cursor_.region = 0;
+      cursor_.entered = false;
+      cursor_.peek = Gfn::invalid();
+      cursor_.leftover.clear();
+      cursor_.leftover_index = 0;
+    } else if (cursor_.leftover.empty()) {
+      // Successor region shifts into this index; replay the removed
+      // region's remaining walk there. (If a leftover replay was already
+      // running, it simply continues against the new occupant.)
+      cursor_.leftover = std::move(tail);
+      cursor_.leftover_index = 0;
+      cursor_.entered = false;
+      cursor_.peek = Gfn::invalid();
+    }
   }
 }
 
 bool KsmDaemon::is_registered(const AddressSpace* root) const {
-  return std::find(regions_.begin(), regions_.end(), root) != regions_.end();
+  return std::any_of(regions_.begin(), regions_.end(),
+                     [root](const Region& r) { return r.as == root; });
 }
 
 void KsmDaemon::start() {
@@ -63,26 +105,46 @@ void KsmDaemon::scan_batch(std::size_t pages) {
   if (regions_.empty()) return;
   for (std::size_t i = 0; i < pages; ++i) {
     if (regions_.empty()) return;
-    AddressSpace* as = regions_[cursor_.region];
-    if (!cursor_.snapshot_valid) {
-      cursor_.snapshot = as->mapped_gfns();
-      cursor_.snapshot_valid = true;
+    Region& region = regions_[cursor_.region];
+    if (!cursor_.leftover.empty()) {
+      // Replaying the walk of a region removed mid-visit against its
+      // successor (see unregister_region). Gfns beyond the successor's end
+      // still consume their slot in the batch.
+      const Gfn gfn = cursor_.leftover[cursor_.leftover_index++];
+      if (gfn.value() < region.as->size_pages()) examine(region, gfn);
+      ++stats_.pages_scanned;
+      m_scanned_->add();
+      if (cursor_.leftover_index >= cursor_.leftover.size()) {
+        cursor_.leftover.clear();
+        cursor_.leftover_index = 0;
+        advance_cursor();
+      }
+      continue;
     }
-    if (cursor_.page_index >= cursor_.snapshot.size()) {
+    if (!cursor_.entered) {
+      cursor_.entered = true;
+      cursor_.entry_epoch = region.as->map_epoch();
+      cursor_.peek = region.as->next_mapped(Gfn(0), cursor_.entry_epoch);
+    }
+    if (!cursor_.peek.valid()) {
+      // Empty region: advancing costs this iteration but scans no page,
+      // exactly like the old snapshot cursor.
       advance_cursor();
       continue;
     }
-    examine(as, cursor_.snapshot[cursor_.page_index]);
+    const Gfn gfn = cursor_.peek;
+    examine(region, gfn);
     ++stats_.pages_scanned;
     m_scanned_->add();
-    ++cursor_.page_index;
-    if (cursor_.page_index >= cursor_.snapshot.size()) advance_cursor();
+    cursor_.peek = region.as->next_mapped(Gfn(gfn.value() + 1),
+                                          cursor_.entry_epoch);
+    if (!cursor_.peek.valid()) advance_cursor();
   }
 }
 
 void KsmDaemon::advance_cursor() {
-  cursor_.page_index = 0;
-  cursor_.snapshot_valid = false;
+  cursor_.entered = false;
+  cursor_.peek = Gfn::invalid();
   ++cursor_.region;
   if (cursor_.region >= regions_.size()) {
     cursor_.region = 0;
@@ -95,8 +157,8 @@ void KsmDaemon::advance_cursor() {
   }
 }
 
-void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
-  const FrameNumber f = as->translate(gfn);
+void KsmDaemon::examine(Region& region, Gfn gfn) {
+  const FrameNumber f = region.as->translate(gfn);
   if (!f.valid() || !phys_->is_live(f)) return;
   const Frame& fr = phys_->frame(f);
 
@@ -104,29 +166,31 @@ void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
 
   const ContentHash h = fr.data.hash;
   if (config_.volatile_filtering) {
-    auto it = last_seen_.find(f.value());
-    if (it == last_seen_.end() || it->second != h) {
-      // First encounter, or the page changed since last time: remember the
-      // checksum and revisit on a later pass.
-      last_seen_[f.value()] = h;
+    PageStamp& stamp = region.stamps[gfn.value()];
+    const std::uint64_t id = phys_->alloc_id(f);
+    if (stamp.alloc_id != id || stamp.hash != h) {
+      // First encounter, a different frame incarnation (COW split, or a
+      // recycled frame number), or changed content: remember the stamp and
+      // revisit on a later pass.
+      stamp.alloc_id = id;
+      stamp.hash = h;
       return;
     }
   }
 
   // Stable tree first: join an existing shared page.
   if (auto it = stable_.find(h); it != stable_.end()) {
-    const FrameNumber canonical = it->second;
-    if (!phys_->is_live(canonical)) {
+    const FrameRef canonical = it->second;
+    if (!is_current(canonical)) {
       stable_.erase(it);
       ++stats_.stale_stable_evictions;
       m_evictions_->add();
-    } else if (canonical != f &&
-               phys_->frame(canonical).data.same_content(fr.data)) {
-      phys_->merge_frames(canonical, f);
+    } else if (canonical.f != f && phys_->frames_same_content(canonical.f, f)) {
+      phys_->merge_frames(canonical.f, f);
       ++stats_.merges;
       m_merges_->add();
       return;
-    } else if (canonical == f) {
+    } else if (canonical.f == f) {
       return;
     }
     // Hash collision with different bytes: fall through to the unstable
@@ -135,20 +199,19 @@ void KsmDaemon::examine(AddressSpace* as, Gfn gfn) {
 
   // Unstable tree: pair up with another candidate seen this pass.
   if (auto it = unstable_.find(h); it != unstable_.end()) {
-    const FrameNumber other = it->second;
-    if (phys_->is_live(other) && other != f &&
-        phys_->frame(other).data.same_content(fr.data)) {
-      phys_->merge_frames(other, f);
-      phys_->set_stable(other, true);
+    const FrameRef other = it->second;
+    if (is_current(other) && other.f != f &&
+        phys_->frames_same_content(other.f, f)) {
+      phys_->merge_frames(other.f, f);
+      phys_->set_stable(other.f, true);
       stable_[h] = other;
       unstable_.erase(it);
       ++stats_.merges;
       m_merges_->add();
       return;
     }
-    if (!phys_->is_live(other)) unstable_.erase(it);
   }
-  unstable_[h] = f;
+  unstable_[h] = FrameRef{f, phys_->alloc_id(f)};
 }
 
 void KsmDaemon::full_pass() {
@@ -156,22 +219,22 @@ void KsmDaemon::full_pass() {
   // boundaries. Two sweeps so that volatile filtering (which needs two
   // encounters) settles within one call in tests.
   std::size_t total = 0;
-  for (const AddressSpace* as : regions_) total += as->mapped_gfns().size();
+  for (const Region& r : regions_) total += r.as->mapped_count();
   scan_batch(2 * total + 2 * regions_.size() + 4);
 }
 
 std::size_t KsmDaemon::shared_frames() const {
   std::size_t n = 0;
-  for (const auto& [h, f] : stable_) {
-    if (phys_->is_live(f)) ++n;
+  for (const auto& [h, ref] : stable_) {
+    if (is_current(ref)) ++n;
   }
   return n;
 }
 
 std::size_t KsmDaemon::pages_sharing() const {
   std::size_t n = 0;
-  for (const auto& [h, f] : stable_) {
-    if (phys_->is_live(f)) n += phys_->frame(f).refcount() - 1;
+  for (const auto& [h, ref] : stable_) {
+    if (is_current(ref)) n += phys_->frame(ref.f).refcount() - 1;
   }
   return n;
 }

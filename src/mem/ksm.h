@@ -12,6 +12,18 @@
 //     before it is merge-eligible (volatile-page filtering);
 //   * merged frames become copy-on-write; writes split them and pay the COW
 //     latency in MemTimingModel.
+//
+// Scanning is incremental: the cursor walks each region's dense page table
+// directly, stamped with the region's map epoch at entry so pages mapped
+// mid-visit are deferred to the next lap (the same semantics the old
+// snapshot-vector cursor had, without materializing or sorting anything).
+//
+// Frame numbers are recycled by HostPhysicalMemory, so everything ksmd
+// remembers across scans carries the frame's alloc_id and is revalidated on
+// the next sighting. In particular the volatile filter is keyed by (region,
+// gfn) with an (alloc_id, hash) stamp: keying by raw frame number let a
+// freed-and-reallocated frame inherit the previous tenant's checksum and
+// merge a just-written page one pass early.
 #pragma once
 
 #include <cstdint>
@@ -56,7 +68,10 @@ class KsmDaemon {
   void register_region(AddressSpace* root);
 
   /// Stops scanning a space. Existing merges stay shared (as on Linux until
-  /// pages are written or KSM is told to unmerge).
+  /// pages are written or KSM is told to unmerge). If the removed region
+  /// precedes the cursor, the cursor index shifts down with the list so the
+  /// region it was scanning keeps its turn and the full-pass boundary stays
+  /// where it should be.
   void unregister_region(AddressSpace* root);
 
   bool is_registered(const AddressSpace* root) const;
@@ -82,31 +97,63 @@ class KsmDaemon {
   /// (refcount - 1). This is /sys/kernel/mm/ksm/pages_sharing.
   std::size_t pages_sharing() const;
 
+  // Cursor introspection (tests).
+  std::size_t cursor_region() const { return cursor_.region; }
+  bool cursor_entered() const { return cursor_.entered; }
+
  private:
-  struct Cursor {
-    std::size_t region = 0;
-    std::size_t page_index = 0;  // index into `snapshot`
-    /// Mapped-gfn list captured when the cursor entered the region; pages
-    /// appearing mid-visit are picked up on the next lap.
-    std::vector<Gfn> snapshot;
-    bool snapshot_valid = false;
+  /// A remembered frame plus the alloc_id it had when remembered. The frame
+  /// number alone goes stale silently once numbers are recycled; is_current
+  /// checks both.
+  struct FrameRef {
+    FrameNumber f;
+    std::uint64_t gen = 0;
   };
 
-  /// Examines one page; returns true if a page existed at the cursor.
-  void examine(AddressSpace* as, Gfn gfn);
+  /// Volatile-filter stamp for one (region, gfn): the frame incarnation and
+  /// checksum at the previous encounter.
+  struct PageStamp {
+    std::uint64_t alloc_id = 0;  // 0 = never seen
+    ContentHash hash;
+  };
+
+  struct Region {
+    AddressSpace* as = nullptr;
+    /// gfn-indexed volatile-filter stamps (sized on registration).
+    std::vector<PageStamp> stamps;
+  };
+
+  struct Cursor {
+    std::size_t region = 0;
+    /// Next gfn to examine in the current region (pre-located so that batch
+    /// accounting matches the old snapshot cursor iteration-for-iteration).
+    Gfn peek = Gfn::invalid();
+    /// Region map epoch captured on entry; pages mapped after entry are
+    /// invisible until the next lap.
+    std::uint64_t entry_epoch = 0;
+    bool entered = false;
+    /// Remaining walk of a region removed mid-visit, replayed against the
+    /// successor region before the cursor advances (the walk position has
+    /// always outlived the region under it; see unregister_region).
+    std::vector<Gfn> leftover;
+    std::size_t leftover_index = 0;
+  };
+
+  void examine(Region& region, Gfn gfn);
   void advance_cursor();
+  bool is_current(const FrameRef& ref) const {
+    return phys_->is_live(ref.f) && phys_->alloc_id(ref.f) == ref.gen;
+  }
 
   sim::Simulator* simulator_;
   HostPhysicalMemory* phys_;
   KsmConfig config_;
-  std::vector<AddressSpace*> regions_;
+  std::vector<Region> regions_;
   Cursor cursor_;
   EventId task_ = EventId::invalid();
 
-  std::unordered_map<ContentHash, FrameNumber> stable_;
-  std::unordered_map<ContentHash, FrameNumber> unstable_;
-  // frame -> content hash at previous encounter (volatile filtering).
-  std::unordered_map<std::uint64_t, ContentHash> last_seen_;
+  std::unordered_map<ContentHash, FrameRef> stable_;
+  std::unordered_map<ContentHash, FrameRef> unstable_;
   KsmStats stats_;
   // Cached global-registry counters mirroring stats_ (mem.ksm.*).
   obs::Counter* m_scanned_ = nullptr;

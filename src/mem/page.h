@@ -5,10 +5,16 @@
 // the experiments actually inspect byte-wise — e.g. the detector's File-A —
 // additionally carry real bytes. A page with bytes always has
 // hash == fnv1a(bytes); PageData::make enforces that.
+//
+// Byte contents are immutable and shared: PageData holds them behind a
+// shared_ptr-to-const, so copying a page (the migration pre-copy loop, KSM
+// candidate bookkeeping, guest file caches) never copies the 4 KiB payload.
+// Mutation is copy-out/modify/from_bytes, which mirrors how a real COW
+// memory system treats shared pages.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "common/hash.h"
@@ -20,31 +26,37 @@ inline constexpr std::size_t kPageSize = 4096;
 
 using PageBytes = std::vector<std::uint8_t>;
 
+/// Shared, immutable byte payload of a page. Null for hash-only pages.
+using PageBytesRef = std::shared_ptr<const PageBytes>;
+
 /// Immutable content of one page: a hash, optionally backed by real bytes.
 struct PageData {
   ContentHash hash;
-  std::optional<PageBytes> bytes;
+  PageBytesRef bytes;
 
   /// Hash-only page (synthetic content, e.g. workload-dirtied memory).
-  static PageData synthetic(ContentHash h) { return PageData{h, std::nullopt}; }
+  static PageData synthetic(ContentHash h) { return PageData{h, nullptr}; }
 
   /// Byte-backed page; the hash is derived, never supplied.
   static PageData from_bytes(PageBytes b) {
     CSK_CHECK_MSG(b.size() <= kPageSize, "page content exceeds 4 KiB");
     ContentHash h = fnv1a(b);
-    return PageData{h, std::move(b)};
+    return PageData{h, std::make_shared<const PageBytes>(std::move(b))};
   }
 
   /// The all-zeroes page.
-  static PageData zero() { return PageData{ContentHash::zero_page(), std::nullopt}; }
+  static PageData zero() { return PageData{ContentHash::zero_page(), nullptr}; }
 
   bool is_zero() const { return hash.is_zero_page(); }
 
   /// Content equality: hashes must match, and if both sides carry bytes the
   /// bytes must match too (models KSM's full memcmp after checksum hit).
+  /// Pages sharing one payload short-circuit without touching the bytes.
   bool same_content(const PageData& other) const {
     if (hash != other.hash) return false;
-    if (bytes && other.bytes) return *bytes == *other.bytes;
+    if (bytes && other.bytes) {
+      return bytes == other.bytes || *bytes == *other.bytes;
+    }
     return true;
   }
 };

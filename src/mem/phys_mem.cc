@@ -8,25 +8,45 @@ namespace csk::mem {
 
 HostPhysicalMemory::HostPhysicalMemory(MemTimingModel timing,
                                        std::uint64_t rng_seed)
-    : timing_(timing), rng_(rng_seed) {}
+    : timing_(timing), rng_(rng_seed) {
+  slots_.resize(1);  // frame number 0 is reserved (never allocated)
+}
 
 FrameNumber HostPhysicalMemory::allocate(PageData data) {
-  const FrameNumber f(next_frame_++);
-  frames_.emplace(f.value(), Frame{std::move(data), {}, false, false});
+  std::uint64_t num;
+  if (!free_list_.empty()) {
+    num = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    num = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[num];
+  slot.frame.data = std::move(data);
+  slot.frame.rmap.clear();  // keeps capacity across reuse
+  slot.frame.ksm_shared = false;
+  slot.frame.in_stable_tree = false;
+  slot.alloc_id = next_alloc_id_++;
+  slot.intern = 0;
+  slot.live = true;
+  ++live_count_;
   ++stats_.frames_allocated;
-  return f;
+  return FrameNumber(num);
 }
 
 const Frame& HostPhysicalMemory::frame(FrameNumber f) const {
-  auto it = frames_.find(f.value());
-  CSK_CHECK_MSG(it != frames_.end(), "access to freed frame");
-  return it->second;
+  CSK_CHECK_MSG(is_live(f), "access to freed frame");
+  return slots_[f.value()].frame;
 }
 
 Frame& HostPhysicalMemory::frame_mut(FrameNumber f) {
-  auto it = frames_.find(f.value());
-  CSK_CHECK_MSG(it != frames_.end(), "access to freed frame");
-  return it->second;
+  CSK_CHECK_MSG(is_live(f), "access to freed frame");
+  return slots_[f.value()].frame;
+}
+
+std::uint64_t HostPhysicalMemory::alloc_id(FrameNumber f) const {
+  CSK_CHECK_MSG(is_live(f), "access to freed frame");
+  return slots_[f.value()].alloc_id;
 }
 
 void HostPhysicalMemory::add_mapping(FrameNumber f, AddressSpace* as, Gfn gfn) {
@@ -45,9 +65,12 @@ void HostPhysicalMemory::remove_mapping(FrameNumber f, AddressSpace* as,
 }
 
 void HostPhysicalMemory::free_if_unmapped(FrameNumber f) {
-  Frame& fr = frame_mut(f);
-  if (!fr.rmap.empty()) return;
-  frames_.erase(f.value());
+  Slot& slot = slots_[f.value()];
+  if (!slot.frame.rmap.empty()) return;
+  slot.live = false;
+  slot.frame.data = PageData{};  // drop the payload reference now
+  free_list_.push_back(f.value());
+  --live_count_;
   ++stats_.frames_freed;
 }
 
@@ -55,15 +78,18 @@ HostPhysicalMemory::WriteOutcome HostPhysicalMemory::write(FrameNumber f,
                                                            AddressSpace* as,
                                                            Gfn gfn,
                                                            PageData data) {
-  Frame& fr = frame_mut(f);
-  const bool shared = fr.ksm_shared || fr.refcount() > 1;
+  Slot& slot = slots_[f.value()];
+  CSK_CHECK_MSG(slot.live, "write to freed frame");
+  const bool shared = slot.frame.ksm_shared || slot.frame.refcount() > 1;
   if (!shared) {
-    fr.data = std::move(data);
+    slot.frame.data = std::move(data);
+    slot.intern = 0;  // content changed in place: token is stale
     ++stats_.regular_writes;
     return WriteOutcome{f, timing_.sample_regular(rng_), false};
   }
   // Copy-on-write: the writer gets a fresh exclusive frame; other sharers
-  // keep the merged original untouched.
+  // keep the merged original untouched. `slot` may dangle after allocate()
+  // grows the slot array — do not touch it past this point.
   const FrameNumber nf = allocate(std::move(data));
   remove_mapping(f, as, gfn);  // may free the original if we were last
   add_mapping(nf, as, gfn);
@@ -74,10 +100,11 @@ HostPhysicalMemory::WriteOutcome HostPhysicalMemory::write(FrameNumber f,
 
 void HostPhysicalMemory::merge_frames(FrameNumber canonical, FrameNumber dup) {
   CSK_CHECK(canonical != dup);
-  Frame& cf = frame_mut(canonical);
   // Move every mapping of dup over to canonical. Copy the rmap first: the
-  // remove/add calls below mutate it.
+  // remove/add calls below mutate it. No allocation happens in the loop, so
+  // the canonical Frame reference stays valid throughout.
   const std::vector<Mapping> mappers = frame_mut(dup).rmap;
+  Frame& cf = frame_mut(canonical);
   CSK_CHECK_MSG(cf.data.same_content(frame(dup).data),
                 "KSM merge of frames with different content");
   for (const Mapping& m : mappers) {
@@ -86,6 +113,34 @@ void HostPhysicalMemory::merge_frames(FrameNumber canonical, FrameNumber dup) {
     m.as->root()->on_frame_repointed(m.gfn, canonical);
   }
   cf.ksm_shared = true;
+}
+
+std::uint64_t HostPhysicalMemory::content_token(FrameNumber f) {
+  Slot& slot = slots_[f.value()];
+  if (slot.intern != 0) return slot.intern;
+  const PageData& data = slot.frame.data;
+  CSK_CHECK_MSG(data.bytes != nullptr, "interning a hash-only page");
+  auto& bucket = interned_[data.hash.value];
+  for (const auto& [token, payload] : bucket) {
+    if (payload == data.bytes || *payload == *data.bytes) {
+      slot.intern = token;
+      return token;
+    }
+  }
+  const std::uint64_t token = next_intern_++;
+  bucket.emplace_back(token, data.bytes);
+  slot.intern = token;
+  return token;
+}
+
+bool HostPhysicalMemory::frames_same_content(FrameNumber a, FrameNumber b) {
+  const Frame& fa = frame(a);
+  const Frame& fb = frame(b);
+  if (fa.data.hash != fb.data.hash) return false;
+  // Hash-only on either side: hash equality decides, as in
+  // PageData::same_content.
+  if (fa.data.bytes == nullptr || fb.data.bytes == nullptr) return true;
+  return content_token(a) == content_token(b);
 }
 
 void HostPhysicalMemory::set_stable(FrameNumber f, bool in_stable) {
@@ -98,9 +153,17 @@ void HostPhysicalMemory::set_shared(FrameNumber f, bool shared) {
 
 std::vector<FrameNumber> HostPhysicalMemory::live_frame_list() const {
   std::vector<FrameNumber> out;
-  out.reserve(frames_.size());
-  for (const auto& [num, fr] : frames_) out.push_back(FrameNumber(num));
+  out.reserve(live_count_);
+  for (std::uint64_t num = 1; num < slots_.size(); ++num) {
+    if (slots_[num].live) out.push_back(FrameNumber(num));
+  }
   return out;
+}
+
+std::size_t HostPhysicalMemory::interned_contents() const {
+  std::size_t n = 0;
+  for (const auto& [hash, bucket] : interned_) n += bucket.size();
+  return n;
 }
 
 }  // namespace csk::mem

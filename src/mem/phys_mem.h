@@ -6,6 +6,15 @@
 // reference-counted by their reverse map: when the last mapping goes away
 // the frame is freed. Write timing (regular vs copy-on-write) lives here
 // because it is a property of the host memory system, not of any one guest.
+//
+// Frames live in a dense slot array indexed by frame number, and freed
+// numbers are recycled LIFO — like a real buddy allocator handing back the
+// hottest frame first. Because numbers are recycled, a FrameNumber alone no
+// longer identifies a page's identity over time; every allocation also gets
+// a process-unique `alloc_id`, and anything that remembers a frame across
+// frees (the KSM trees, the volatile-filter stamps) must remember the
+// (frame, alloc_id) pair and revalidate it. See KsmDaemon for the bug this
+// guards against.
 #pragma once
 
 #include <cstdint>
@@ -76,13 +85,21 @@ class HostPhysicalMemory {
   HostPhysicalMemory(const HostPhysicalMemory&) = delete;
   HostPhysicalMemory& operator=(const HostPhysicalMemory&) = delete;
 
-  /// Allocates a fresh frame holding `data`, initially unmapped.
+  /// Allocates a fresh frame holding `data`, initially unmapped. Frame
+  /// numbers are recycled; the returned frame carries a fresh alloc_id().
   FrameNumber allocate(PageData data);
 
   /// Frame lookup. Precondition: `f` is live.
   const Frame& frame(FrameNumber f) const;
 
-  bool is_live(FrameNumber f) const { return frames_.contains(f.value()); }
+  bool is_live(FrameNumber f) const {
+    return f.value() < slots_.size() && slots_[f.value()].live;
+  }
+
+  /// Process-unique id of the allocation currently occupying `f`. Two
+  /// sightings of the same frame number denote the same page iff their
+  /// alloc ids match. Precondition: `f` is live.
+  std::uint64_t alloc_id(FrameNumber f) const;
 
   /// Registers/unregisters a mapping in the frame's reverse map. A frame
   /// whose last mapping is removed is freed.
@@ -106,26 +123,52 @@ class HostPhysicalMemory {
   /// frames with equal content.
   void merge_frames(FrameNumber canonical, FrameNumber dup);
 
+  /// Content equality of two live frames, equivalent to
+  /// frame(a).data.same_content(frame(b).data) but resolved through interned
+  /// content tokens: the byte memcmp happens once per distinct payload, not
+  /// once per comparison. This is the KSM scan fast path.
+  bool frames_same_content(FrameNumber a, FrameNumber b);
+
   /// Marks a frame as entered into / evicted from the KSM stable tree.
   void set_stable(FrameNumber f, bool in_stable);
   void set_shared(FrameNumber f, bool shared);
 
-  std::size_t live_frames() const { return frames_.size(); }
+  std::size_t live_frames() const { return live_count_; }
   const PhysMemStats& stats() const { return stats_; }
   const MemTimingModel& timing() const { return timing_; }
   Rng& rng() { return rng_; }
 
-  /// All live frame numbers (test/inspection helper; unordered).
+  /// All live frame numbers, ascending (test/inspection helper).
   std::vector<FrameNumber> live_frame_list() const;
 
+  /// Distinct byte payloads interned so far (test/inspection helper).
+  std::size_t interned_contents() const;
+
  private:
+  struct Slot {
+    Frame frame;
+    std::uint64_t alloc_id = 0;  // unique per allocation, 0 = never used
+    std::uint64_t intern = 0;    // cached content token, 0 = not computed
+    bool live = false;
+  };
+
   Frame& frame_mut(FrameNumber f);
   void free_if_unmapped(FrameNumber f);
+  /// Interned token for the (byte-backed) content of live frame `f`.
+  std::uint64_t content_token(FrameNumber f);
 
   MemTimingModel timing_;
   Rng rng_;
-  std::uint64_t next_frame_ = 1;
-  std::unordered_map<std::uint64_t, Frame> frames_;
+  std::vector<Slot> slots_;               // index = frame number; 0 reserved
+  std::vector<std::uint64_t> free_list_;  // LIFO recycled frame numbers
+  std::size_t live_count_ = 0;
+  std::uint64_t next_alloc_id_ = 1;
+  // Content interning: hash -> [(token, payload)]; the inner vector only
+  // grows past one entry on a genuine 64-bit hash collision.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint64_t, PageBytesRef>>>
+      interned_;
+  std::uint64_t next_intern_ = 1;
   PhysMemStats stats_;
 };
 

@@ -147,13 +147,15 @@ MigrationJob::Chunk MigrationJob::build_chunk() {
     if (skip_dest_dirty && dest_->memory().is_dirty(gfn)) {
       continue;  // post-copy: the running destination already wrote it
     }
-    mem::PageData page = src.read_page(gfn);
+    // Zero-copy: the chunk shares the page's byte payload instead of deep
+    // copying 4 KiB per transmitted page.
+    const mem::PageData& page = src.read_page_ref(gfn);
     if (page.is_zero()) {
       c.zero_gfns.push_back(gfn);
       c.wire_bytes += kPageHeaderBytes;
     } else {
       c.wire_bytes += kPageWireBytes;
-      c.pages.emplace_back(gfn, std::move(page));
+      c.pages.emplace_back(gfn, page);
     }
   }
   return c;

@@ -222,7 +222,7 @@ std::string QemuMonitor::info_mtree() const {
 std::string QemuMonitor::info_mem() const {
   std::ostringstream out;
   out << "RAM: " << vm_->config().memory_mb << " MiB, "
-      << vm_->memory().mapped_gfns().size() << " pages resident\n";
+      << vm_->memory().mapped_count() << " pages resident\n";
   return out.str();
 }
 

@@ -54,7 +54,7 @@ TEST_F(GuestOsTest, ProcTablePageReflectsProcessChanges) {
   os_.boot();
   const Pid pid = os_.spawn("postgres");
   auto bytes = as_.read_bytes(Gfn(kProcTableGfn));
-  ASSERT_TRUE(bytes.has_value());
+  ASSERT_TRUE(bytes != nullptr);
   auto parsed = parse_proc_table(*bytes);
   ASSERT_TRUE(parsed.is_ok());
   bool saw = false;
@@ -240,7 +240,7 @@ TEST(SimFsTest, RandomBytesFilesCarryRealBytes) {
   ASSERT_TRUE(fs.create_random_bytes("a", 6000, rng).is_ok());
   const SimFile* f = fs.open("a").value();
   ASSERT_EQ(f->pages.size(), 2u);
-  ASSERT_TRUE(f->pages[0].bytes.has_value());
+  ASSERT_TRUE(f->pages[0].bytes != nullptr);
   EXPECT_EQ(f->pages[0].bytes->size(), mem::kPageSize);
   EXPECT_EQ(f->pages[1].bytes->size(), 6000u - mem::kPageSize);
 }

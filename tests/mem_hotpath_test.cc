@@ -1,0 +1,442 @@
+// Memory hot-path regression tests: the KSM volatile-filter aliasing fix,
+// the scan-cursor drift fix, dirty-bitmap equivalence against a reference
+// model, incremental-cursor semantics under mid-pass region churn, content
+// interning, frame-incarnation ids, zero-copy page access, and a golden
+// fleet-digest spot-check pinning the deterministic outputs the overhaul
+// must not move.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "driver/vm_runner.h"
+#include "fleet/fleet.h"
+#include "mem/addr_space.h"
+#include "mem/ksm.h"
+#include "mem/phys_mem.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workloads/filebench.h"
+
+namespace csk {
+namespace {
+
+mem::PageData synth(std::uint64_t tag) {
+  return mem::PageData::synthetic(ContentHash{tag});
+}
+
+mem::PageData bytes_page(std::uint8_t fill) {
+  mem::PageBytes b(64, fill);
+  return mem::PageData::from_bytes(std::move(b));
+}
+
+// -------------------------------------------- volatile-filter aliasing fix
+
+// The regression the (region, gfn)-keyed stamps fix: a frame number freed
+// and recycled between passes must not inherit the previous tenant's
+// volatile-filter stamp. With the old frame-keyed stamps the new page
+// (same content hash as the stale stamp) passed the filter on its FIRST
+// encounter and merged one pass early.
+TEST(KsmVolatileFilterTest, RecycledFrameDoesNotInheritStamp) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});  // volatile filtering on
+
+  mem::AddressSpace keeper(&phys, 4, "keeper");
+  auto victim = std::make_unique<mem::AddressSpace>(&phys, 4, "victim");
+  keeper.write_page(Gfn(0), synth(0xAB));
+  victim->write_page(Gfn(0), synth(0xAB));
+  ksm.register_region(&keeper);
+  ksm.register_region(victim.get());
+
+  // Pass 1 stamps both pages; nothing is merge-eligible yet.
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().merges, 0u);
+
+  // Free the victim's frame, then recycle its number for a fresh page with
+  // the same content the stale stamp recorded.
+  const FrameNumber recycled = victim->translate(Gfn(0));
+  ksm.unregister_region(victim.get());
+  victim.reset();
+  mem::AddressSpace fresh(&phys, 4, "fresh");
+  fresh.write_page(Gfn(0), synth(0xAB));
+  ASSERT_EQ(fresh.translate(Gfn(0)), recycled);  // LIFO frame reuse
+  ksm.register_region(&fresh);
+
+  // Pass 2: keeper is on its second encounter (enters the unstable tree);
+  // the recycled page is on its FIRST — it must be stamped, not merged.
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().merges, 0u);
+  EXPECT_FALSE(phys.frame(fresh.translate(Gfn(0))).ksm_shared);
+
+  // Pass 3: now both pages have two clean encounters; the merge is legal.
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().merges, 1u);
+  EXPECT_TRUE(phys.frame(fresh.translate(Gfn(0))).ksm_shared);
+}
+
+// ------------------------------------------------- scan-cursor drift fix
+
+// Removing a region *before* the cursor shifts the list left; the cursor
+// must follow so the region it is scanning keeps its turn and the full-pass
+// boundary stays put. (The old code invalidated the cursor instead, which
+// skipped the rest of the current region and re-scanned its successor.)
+TEST(KsmCursorTest, UnregisterBeforeCursorKeepsScanPosition) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});
+
+  mem::AddressSpace r0(&phys, 2, "r0");
+  mem::AddressSpace r1(&phys, 4, "r1");
+  for (std::uint64_t g = 0; g < 2; ++g) r0.write_page(Gfn(g), synth(g + 1));
+  for (std::uint64_t g = 0; g < 4; ++g) r1.write_page(Gfn(g), synth(g + 10));
+  ksm.register_region(&r0);
+  ksm.register_region(&r1);
+
+  // Scan all of r0 and half of r1: the cursor sits mid-region in r1.
+  ksm.scan_batch(4);
+  ASSERT_EQ(ksm.stats().pages_scanned, 4u);
+  ASSERT_EQ(ksm.cursor_region(), 1u);
+  ASSERT_TRUE(ksm.cursor_entered());
+
+  ksm.unregister_region(&r0);
+  EXPECT_EQ(ksm.cursor_region(), 0u);  // followed the shift
+  EXPECT_TRUE(ksm.cursor_entered());   // scan position preserved
+
+  // Exactly r1's two remaining pages finish the pass — no re-scan, no
+  // early full-pass boundary.
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().pages_scanned, 6u);
+  EXPECT_EQ(ksm.stats().full_passes, 1u);
+}
+
+// Removing the region *under* a mid-scan cursor keeps the walk position and
+// replays the remaining gfns against the successor region (long-standing
+// behavior of this ksmd model; pinned so the batch accounting and full-pass
+// boundary never move).
+TEST(KsmCursorTest, UnregisterUnderCursorReplaysLeftoverWalk) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});
+
+  mem::AddressSpace r0(&phys, 4, "r0");
+  mem::AddressSpace r1(&phys, 2, "r1");
+  for (std::uint64_t g = 0; g < 4; ++g) r0.write_page(Gfn(g), synth(g + 1));
+  for (std::uint64_t g = 0; g < 2; ++g) r1.write_page(Gfn(g), synth(g + 10));
+  ksm.register_region(&r0);
+  ksm.register_region(&r1);
+
+  // Scan half of r0, then remove it from under the cursor.
+  ksm.scan_batch(2);
+  ASSERT_EQ(ksm.cursor_region(), 0u);
+  ASSERT_TRUE(ksm.cursor_entered());
+  ksm.unregister_region(&r0);
+  EXPECT_EQ(ksm.cursor_region(), 0u);
+
+  // r0's two unvisited gfns are replayed against r1 (out-of-range gfns
+  // still consume their batch slot), then the pass wraps; r1's own pages
+  // wait for the next lap.
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().pages_scanned, 4u);
+  EXPECT_EQ(ksm.stats().full_passes, 1u);
+  ksm.scan_batch(2);
+  EXPECT_EQ(ksm.stats().pages_scanned, 6u);
+  EXPECT_EQ(ksm.stats().full_passes, 2u);
+}
+
+// Removing the last region while the cursor is on it wraps to the front
+// without counting a pass.
+TEST(KsmCursorTest, UnregisterLastRegionUnderCursorWrapsWithoutPass) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});
+
+  mem::AddressSpace r0(&phys, 2, "r0");
+  mem::AddressSpace r1(&phys, 2, "r1");
+  for (std::uint64_t g = 0; g < 2; ++g) {
+    r0.write_page(Gfn(g), synth(g + 1));
+    r1.write_page(Gfn(g), synth(g + 10));
+  }
+  ksm.register_region(&r0);
+  ksm.register_region(&r1);
+
+  ksm.scan_batch(3);  // all of r0, first page of r1
+  ASSERT_EQ(ksm.cursor_region(), 1u);
+  ksm.unregister_region(&r1);
+  EXPECT_EQ(ksm.cursor_region(), 0u);
+  EXPECT_FALSE(ksm.cursor_entered());
+  EXPECT_EQ(ksm.stats().full_passes, 0u);
+
+  ksm.scan_batch(2);  // fresh lap over r0 completes a pass
+  EXPECT_EQ(ksm.stats().full_passes, 1u);
+  EXPECT_EQ(ksm.stats().pages_scanned, 5u);
+}
+
+// ------------------------------------------- incremental cursor semantics
+
+// Pages materialized after the cursor entered a region are deferred to the
+// next lap — the epoch stamp reproduces the old enter-time snapshot without
+// building one.
+TEST(KsmCursorTest, MidPassMappingsDeferToNextLap) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});
+
+  mem::AddressSpace space(&phys, 16, "space");
+  for (std::uint64_t g = 0; g < 4; ++g) space.write_page(Gfn(g), synth(g + 1));
+  ksm.register_region(&space);
+
+  ksm.scan_batch(2);  // cursor entered; gfns 0,1 scanned
+  space.write_page(Gfn(10), synth(0x99));  // mapped mid-visit
+
+  ksm.scan_batch(2);  // finishes the lap: gfns 2,3 only
+  EXPECT_EQ(ksm.stats().pages_scanned, 4u);
+  EXPECT_EQ(ksm.stats().full_passes, 1u);
+
+  ksm.scan_batch(5);  // next lap sees all five pages
+  EXPECT_EQ(ksm.stats().pages_scanned, 9u);
+  EXPECT_EQ(ksm.stats().full_passes, 2u);
+}
+
+// A region registered mid-pass gets its turn before the pass boundary.
+TEST(KsmCursorTest, RegionRegisteredMidPassIsScannedBeforeWrap) {
+  sim::Simulator simulator;
+  mem::HostPhysicalMemory phys;
+  mem::KsmDaemon ksm(&simulator, &phys, {});
+
+  mem::AddressSpace a(&phys, 2, "a");
+  mem::AddressSpace b(&phys, 2, "b");
+  for (std::uint64_t g = 0; g < 2; ++g) {
+    a.write_page(Gfn(g), synth(g + 1));
+    b.write_page(Gfn(g), synth(g + 10));
+  }
+  ksm.register_region(&a);
+  ksm.scan_batch(1);  // mid-pass in a
+  ksm.register_region(&b);
+
+  ksm.scan_batch(1);  // finishes a; pass is NOT over
+  EXPECT_EQ(ksm.stats().full_passes, 0u);
+  ksm.scan_batch(2);  // b's pages close the pass
+  EXPECT_EQ(ksm.stats().full_passes, 1u);
+  EXPECT_EQ(ksm.stats().pages_scanned, 4u);
+}
+
+// ------------------------------------------------ dirty-bitmap equivalence
+
+// The word-packed bitmap must agree with a naive set-based dirty model
+// under seeded random writes, through roots and views alike, across
+// repeated harvest cycles.
+TEST(DirtyBitmapTest, MatchesReferenceModelUnderRandomWrites) {
+  mem::HostPhysicalMemory phys;
+  mem::AddressSpace root(&phys, 300, "root");
+  std::vector<Gfn> window;
+  for (std::uint64_t i = 0; i < 64; ++i) window.push_back(Gfn(100 + i));
+  mem::AddressSpace view(&root, window, "view");
+  root.enable_dirty_log();
+  view.enable_dirty_log();
+
+  Rng rng(0xD1127B17ull);
+  for (int round = 0; round < 4; ++round) {
+    std::set<std::uint64_t> expect_root, expect_view;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t g = rng.uniform(300);
+      root.write_page(Gfn(g), synth(rng.next_u64() | 1));
+      expect_root.insert(g);
+    }
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t v = rng.uniform(64);
+      view.write_page(Gfn(v), synth(rng.next_u64() | 1));
+      expect_view.insert(v);
+      expect_root.insert(100 + v);  // view writes land in the parent too
+    }
+
+    EXPECT_EQ(root.dirty_count(), expect_root.size());
+    EXPECT_EQ(view.dirty_count(), expect_view.size());
+    for (std::uint64_t g : expect_root) EXPECT_TRUE(root.is_dirty(Gfn(g)));
+
+    const std::vector<Gfn> got_root = root.fetch_and_reset_dirty();
+    const std::vector<Gfn> got_view = view.fetch_and_reset_dirty();
+    std::vector<std::uint64_t> got_root_v, got_view_v;
+    for (Gfn g : got_root) got_root_v.push_back(g.value());
+    for (Gfn g : got_view) got_view_v.push_back(g.value());
+    EXPECT_EQ(got_root_v,
+              std::vector<std::uint64_t>(expect_root.begin(), expect_root.end()));
+    EXPECT_EQ(got_view_v,
+              std::vector<std::uint64_t>(expect_view.begin(), expect_view.end()));
+    EXPECT_EQ(root.dirty_count(), 0u);
+    EXPECT_EQ(view.dirty_count(), 0u);
+  }
+}
+
+// ------------------------------------------------- interning and alloc ids
+
+TEST(PhysMemTest, ContentInterningDeduplicatesEqualPayloads) {
+  mem::HostPhysicalMemory phys;
+  mem::AddressSpace space(&phys, 4, "s");
+  space.write_page(Gfn(0), bytes_page(1));
+  space.write_page(Gfn(1), bytes_page(1));  // equal bytes, distinct buffer
+  space.write_page(Gfn(2), bytes_page(2));
+
+  EXPECT_TRUE(phys.frames_same_content(space.translate(Gfn(0)),
+                                       space.translate(Gfn(1))));
+  EXPECT_FALSE(phys.frames_same_content(space.translate(Gfn(0)),
+                                        space.translate(Gfn(2))));
+  // The equal pair resolved to one interned payload; the hash-mismatched
+  // compare never interned anything.
+  EXPECT_EQ(phys.interned_contents(), 1u);
+
+  // Overwriting invalidates the cached token: the page re-compares fresh.
+  space.write_page(Gfn(1), bytes_page(2));
+  EXPECT_FALSE(phys.frames_same_content(space.translate(Gfn(0)),
+                                        space.translate(Gfn(1))));
+  EXPECT_TRUE(phys.frames_same_content(space.translate(Gfn(1)),
+                                       space.translate(Gfn(2))));
+}
+
+TEST(PhysMemTest, RecycledFrameNumbersCarryFreshAllocIds) {
+  mem::HostPhysicalMemory phys;
+  auto first = std::make_unique<mem::AddressSpace>(&phys, 1, "first");
+  first->write_page(Gfn(0), synth(0x11));
+  const FrameNumber f = first->translate(Gfn(0));
+  const std::uint64_t id1 = phys.alloc_id(f);
+  first.reset();
+  EXPECT_FALSE(phys.is_live(f));
+
+  mem::AddressSpace second(&phys, 1, "second");
+  second.write_page(Gfn(0), synth(0x22));
+  ASSERT_EQ(second.translate(Gfn(0)), f);  // number recycled
+  EXPECT_TRUE(phys.is_live(f));
+  EXPECT_NE(phys.alloc_id(f), id1);  // incarnation changed
+}
+
+// ----------------------------------------------------- zero-copy access
+
+TEST(AddressSpaceTest, ReadsSharePayloadWithoutCopying) {
+  mem::HostPhysicalMemory phys;
+  mem::AddressSpace space(&phys, 4, "s");
+  mem::PageData page = bytes_page(0x5A);
+  const mem::PageBytesRef payload = page.bytes;
+  space.write_page(Gfn(0), page);
+
+  EXPECT_EQ(space.read_bytes(Gfn(0)).get(), payload.get());
+  EXPECT_EQ(space.read_page(Gfn(0)).bytes.get(), payload.get());
+  EXPECT_EQ(space.read_page_ref(Gfn(0)).bytes.get(), payload.get());
+
+  bool visited = false;
+  space.visit_mapped([&](Gfn g, const mem::PageData& p) {
+    EXPECT_EQ(g, Gfn(0));
+    EXPECT_EQ(p.bytes.get(), payload.get());
+    visited = true;
+  });
+  EXPECT_TRUE(visited);
+}
+
+// -------------------------------------------------- opt-in hot-path counters
+
+TEST(AddressSpaceTest, HotPathCountersCountOnlyWhenEnabled) {
+  obs::Counter& pages = obs::metrics().counter("mem.dirty.pages_harvested");
+  obs::Counter& reads = obs::metrics().counter("mem.zero_copy_reads");
+
+  mem::set_hot_path_counters_enabled(true);
+  {
+    mem::HostPhysicalMemory phys;
+    mem::AddressSpace space(&phys, 8, "counted");
+    space.enable_dirty_log();
+    const std::uint64_t pages0 = pages.value();
+    const std::uint64_t reads0 = reads.value();
+    space.write_page(Gfn(0), synth(1));
+    space.write_page(Gfn(1), synth(2));
+    (void)space.read_page_ref(Gfn(0));
+    EXPECT_EQ(space.fetch_and_reset_dirty().size(), 2u);
+    EXPECT_EQ(pages.value() - pages0, 2u);
+    EXPECT_EQ(reads.value() - reads0, 1u);
+  }
+  mem::set_hot_path_counters_enabled(false);
+  {
+    mem::HostPhysicalMemory phys;
+    mem::AddressSpace space(&phys, 8, "uncounted");
+    space.enable_dirty_log();
+    const std::uint64_t pages0 = pages.value();
+    const std::uint64_t reads0 = reads.value();
+    space.write_page(Gfn(0), synth(1));
+    (void)space.read_page_ref(Gfn(0));
+    (void)space.fetch_and_reset_dirty();
+    EXPECT_EQ(pages.value(), pages0);
+    EXPECT_EQ(reads.value(), reads0);
+  }
+}
+
+// ------------------------------------------------ fleet digest spot-check
+
+// Golden determinism spot-check: a filebench + ksmd shard (the memory-
+// heaviest fleet scenario) must keep producing byte-identical digests. The
+// constants were captured from the pre-overhaul implementation's output —
+// the dense-table/bitmap/interning rework reproduces them bit-for-bit.
+fleet::ShardOutcome mem_shard(const fleet::ShardContext& ctx) {
+  fleet::ShardOutcome out;
+  Rng rng(ctx.seed);
+  vmm::World world(derive_seed(ctx.seed, 1));
+  vmm::Host* host = world.make_host(testing::small_host_config());
+  vmm::VirtualMachine* vm =
+      host->launch_vm(testing::small_vm_config("fb", 64, 0, 0)).value();
+  workloads::FilebenchWorkload::Params params;
+  params.iterations = 1000 + static_cast<int>(rng.uniform(1000));
+  const workloads::FilebenchWorkload fb(params);
+  const SimDuration elapsed = driver::run_workload(*vm, fb);
+  world.simulator().run_for(SimDuration::seconds(2));  // let ksmd scan
+  out.values["fb_s"] = elapsed.seconds_f();
+  out.values["events"] = static_cast<double>(world.simulator().dispatched());
+  return out;
+}
+
+TEST(MemFleetGoldenTest, ShardDigestsUnchanged) {
+  fleet::FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.root_seed = 0xC5CAFE01ull;
+  fleet::FleetRunner runner(cfg);
+  runner.add("mem-0", mem_shard);
+  runner.add("mem-1", mem_shard);
+  fleet::FleetReport report = runner.run();
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.failed_shards(), 0u);
+  const std::string golden0 =
+      R"({"name":"mem-0","seed":"0xa2ac9aea50b9474a","status":"OK",)"
+      R"("values":{"events":208,"fb_s":0.083586738999999993},"faults":[],)"
+      R"("metrics":{"counters":{"hv.exit_cost_ns{layer=L1}":83586739,)"
+      R"("hv.exits{layer=L1,reason=CPUID}":0,)"
+      R"("hv.exits{layer=L1,reason=DIRTY_LOG_SYNC}":0,)"
+      R"("hv.exits{layer=L1,reason=EPT_VIOLATION}":2246,)"
+      R"("hv.exits{layer=L1,reason=EXTERNAL_INTERRUPT}":0,)"
+      R"("hv.exits{layer=L1,reason=HLT}":0,)"
+      R"("hv.exits{layer=L1,reason=HYPERCALL}":0,)"
+      R"("hv.exits{layer=L1,reason=IO}":2592,)"
+      R"("hv.exits{layer=L1,reason=MSR_ACCESS}":0,)"
+      R"("hv.exits{layer=L1,reason=VMLAUNCH}":0,)"
+      R"("mem.ksm.full_passes":406,"mem.ksm.merges":0,)"
+      R"("mem.ksm.pages_scanned":832000,)"
+      R"("mem.ksm.stale_stable_evictions":0},"gauges":{},"histograms":{}}})";
+  const std::string golden1 =
+      R"({"name":"mem-1","seed":"0x8d71f7f5313f9414","status":"OK",)"
+      R"("values":{"events":205,"fb_s":0.059884481000000003},"faults":[],)"
+      R"("metrics":{"counters":{"hv.exit_cost_ns{layer=L1}":59884481,)"
+      R"("hv.exits{layer=L1,reason=CPUID}":0,)"
+      R"("hv.exits{layer=L1,reason=DIRTY_LOG_SYNC}":0,)"
+      R"("hv.exits{layer=L1,reason=EPT_VIOLATION}":1609,)"
+      R"("hv.exits{layer=L1,reason=EXTERNAL_INTERRUPT}":0,)"
+      R"("hv.exits{layer=L1,reason=HLT}":0,)"
+      R"("hv.exits{layer=L1,reason=HYPERCALL}":0,)"
+      R"("hv.exits{layer=L1,reason=IO}":1857,)"
+      R"("hv.exits{layer=L1,reason=MSR_ACCESS}":0,)"
+      R"("hv.exits{layer=L1,reason=VMLAUNCH}":0,)"
+      R"("mem.ksm.full_passes":400,"mem.ksm.merges":0,)"
+      R"("mem.ksm.pages_scanned":820000,)"
+      R"("mem.ksm.stale_stable_evictions":0},"gauges":{},"histograms":{}}})";
+  EXPECT_EQ(report.shards[0].digest, golden0);
+  EXPECT_EQ(report.shards[1].digest, golden1);
+}
+
+}  // namespace
+}  // namespace csk
