@@ -1,0 +1,242 @@
+// Detection campaign: the detector stack evaluated at population scale.
+//
+// The paper proves its dedup detector on one machine at fixed thresholds
+// (Figs 5/6). This bench runs `csk::campaign::DetectionCampaign` — a fleet
+// of mixed infected/clean guests in which the attacker actively evades
+// (custom VMCS revision ids, hidden L1 processes, TSC scaling) and probes
+// sometimes stall — sweeps every detector's threshold over the recorded
+// scores into ROC curves, and calibrates operating points at an FPR budget
+// of 1 %. The output is what an operator actually deploys: calibrated
+// thresholds per detector plus a voting-ensemble vote count.
+//
+// Determinism witnesses (CSK_CHECKed, not just reported):
+//   * serial (1 worker) and pooled (8 workers, audited) campaigns produce
+//     byte-identical deterministic reports;
+//   * the fleet audit re-executes every shard serially with zero diffs;
+//   * a checkpointed run resumed from disk reproduces the same bytes.
+//
+// CSK_BENCH_TINY=1 shrinks the population for the CTest smoke run.
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "campaign/campaign.h"
+#include "common/status.h"
+#include "detect/dedup_detector.h"
+
+namespace {
+
+using csk::bench::Table;
+using namespace csk;
+
+bool tiny() { return std::getenv("CSK_BENCH_TINY") != nullptr; }
+std::size_t population() { return tiny() ? 8 : 32; }
+constexpr std::uint64_t kRootSeed = 0xCA4DE7EC7ull;
+constexpr int kPoolWorkers = 8;
+constexpr double kTargetFpr = 0.01;
+/// §VI-B runs two "wait for a while" merge windows; at the paper's 60 s
+/// waits the protocol costs ~2 minutes end to end.
+constexpr double kPaperProtocolS = 120.0;
+
+campaign::CampaignConfig base_config(int workers) {
+  campaign::CampaignConfig cfg;
+  cfg.population = population();
+  cfg.workers = workers;
+  cfg.root_seed = kRootSeed;
+  cfg.target_fpr = kTargetFpr;
+  cfg.scenario.boot_touched_mib = 4;
+  cfg.scenario.guest_memory_mb = 64;
+  return cfg;
+}
+
+struct CampaignResults {
+  campaign::CampaignReport serial;   // 1 worker, the baseline bytes
+  campaign::CampaignReport pooled;   // kPoolWorkers, audited
+  campaign::CampaignReport resumed;  // restored from checkpoints
+  std::uint64_t checkpoints_written = 0;
+  double paper_protocol_s = 0;  // one paper-scale dedup protocol
+};
+
+/// One dedup protocol at the paper's parameters (100 pages, 60 s waits)
+/// against a clean small guest: the detection-latency yardstick.
+double measure_paper_protocol() {
+  vmm::World world(0x1A7E9C);
+  vmm::World::HostConfig host_cfg;
+  host_cfg.name = "host0";
+  host_cfg.boot_touched_mib = 8;
+  host_cfg.ksm.pages_per_scan = 4000;
+  host_cfg.ksm.scan_interval = SimDuration::millis(10);
+  vmm::Host* host = world.make_host(host_cfg);
+  vmm::MachineConfig vm_cfg;
+  vm_cfg.name = "guest0";
+  vm_cfg.memory_mb = 64;
+  vm_cfg.vcpus = 1;
+  vm_cfg.drives.push_back({"guest0.qcow2", "qcow2", 20480});
+  vm_cfg.netdevs.emplace_back();
+  vmm::VirtualMachine* vm = host->launch_vm(vm_cfg, 4).value();
+  detect::DedupDetectorConfig dcfg;  // paper defaults: 100 pages, 60 s
+  detect::DedupDetector detector(host, dcfg);
+  CSK_CHECK(detector.seed_guest(vm->os()).is_ok());
+  auto report = detector.run(vm->os());
+  CSK_CHECK(report.is_ok());
+  CSK_CHECK(report->verdict == detect::DedupVerdict::kNoNestedVm);
+  return report->protocol_time.seconds_f();
+}
+
+CampaignResults& results() {
+  static CampaignResults* cached = [] {
+    auto* r = new CampaignResults();
+    r->serial = campaign::DetectionCampaign(base_config(1)).run();
+
+    auto pooled_cfg = base_config(kPoolWorkers);
+    pooled_cfg.audit = true;
+    r->pooled = campaign::DetectionCampaign(pooled_cfg).run();
+
+    // Checkpointed run + resume in a scratch directory under the CWD.
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::current_path() / "campaign_ckpt";
+    fs::remove_all(dir);
+    auto ckpt_cfg = base_config(kPoolWorkers);
+    ckpt_cfg.checkpoint.directory = dir.string();
+    ckpt_cfg.checkpoint.every_shards = population() / 4 + 1;
+    const campaign::CampaignReport checkpointed =
+        campaign::DetectionCampaign(ckpt_cfg).run();
+    r->checkpoints_written = checkpointed.fleet.checkpoints_written;
+    auto resumed = campaign::DetectionCampaign(ckpt_cfg).resume_from();
+    CSK_CHECK_MSG(resumed.is_ok(), resumed.status().to_string());
+    r->resumed = std::move(resumed.value());
+    fs::remove_all(dir);
+
+    // The witnesses: worker count, auditing, checkpoint cuts and resume
+    // must all be invisible in the deterministic bytes.
+    const std::string baseline = r->serial.deterministic_json();
+    CSK_CHECK(r->pooled.deterministic_json() == baseline);
+    CSK_CHECK(checkpointed.deterministic_json() == baseline);
+    CSK_CHECK(r->resumed.deterministic_json() == baseline);
+    CSK_CHECK(r->pooled.fleet.audited && r->pooled.fleet.audit_diffs.empty());
+    CSK_CHECK(r->pooled.fleet.failed_shards() == 0);
+    CSK_CHECK(r->resumed.fleet.resumed_shards > 0);
+
+    r->paper_protocol_s = measure_paper_protocol();
+    return r;
+  }();
+  return *cached;
+}
+
+void BM_Detect_Campaign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(results());
+  }
+  const auto& r = results();
+  state.counters["population"] = static_cast<double>(population());
+  state.counters["infected"] = static_cast<double>(r.pooled.infected_shards);
+  state.counters["dedup_auc"] = r.pooled.detectors.at("dedup").roc.auc;
+  state.counters["ensemble_auc"] = r.pooled.ensemble.roc.auc;
+  state.counters["audit_diffs"] =
+      static_cast<double>(r.pooled.fleet.audit_diffs.size());
+  state.SetLabel(tiny() ? "tiny campaign" : "32-guest campaign");
+}
+BENCHMARK(BM_Detect_Campaign)->Iterations(1);
+
+void add_evaluation(const std::string& name,
+                    const campaign::DetectorEvaluation& eval) {
+  auto& rep = csk::bench::report();
+  const std::string prefix = "campaign/" + name;
+  rep.add(prefix + "/auc", eval.roc.auc)
+      .add(prefix + "/positives", static_cast<double>(eval.roc.positives))
+      .add(prefix + "/negatives", static_cast<double>(eval.roc.negatives))
+      .add(prefix + "/inconclusive",
+           static_cast<double>(eval.roc.inconclusive))
+      .add(prefix + "/operating/threshold", eval.operating.threshold)
+      .add(prefix + "/operating/tpr", eval.operating.tpr)
+      .add(prefix + "/operating/fpr", eval.operating.fpr)
+      .add(prefix + "/operating/precision", eval.operating.precision);
+  for (std::size_t i = 0; i < eval.roc.points.size(); ++i) {
+    const auto& p = eval.roc.points[i];
+    const std::string pp = prefix + "/roc/" + std::to_string(i);
+    rep.add(pp + "/threshold", p.threshold)
+        .add(pp + "/fpr", p.fpr)
+        .add(pp + "/tpr", p.tpr);
+  }
+}
+
+void print_tables() {
+  const auto& r = results();
+  const auto& rep = r.pooled;
+
+  Table table("Detection campaign — " + std::to_string(population()) +
+              " guests, FPR budget " + format_fixed(kTargetFpr * 100, 1) +
+              " %");
+  table.columns({"detector", "AUC", "thr@budget", "TPR", "FPR", "precision",
+                 "inconclusive"});
+  for (const auto& [name, eval] : rep.detectors) {
+    table.row({name, format_fixed(eval.roc.auc, 3),
+               format_fixed(eval.operating.threshold, 3),
+               format_fixed(eval.operating.tpr, 3),
+               format_fixed(eval.operating.fpr, 3),
+               format_fixed(eval.operating.precision, 3),
+               std::to_string(eval.roc.inconclusive)});
+  }
+  table.row({"ensemble", format_fixed(rep.ensemble.roc.auc, 3),
+             std::to_string(rep.calibrated.ensemble_min_votes) + " votes",
+             format_fixed(rep.ensemble.operating.tpr, 3),
+             format_fixed(rep.ensemble.operating.fpr, 3),
+             format_fixed(rep.ensemble.operating.precision, 3), "0"});
+  table.note("population: " + std::to_string(rep.infected_shards) +
+             " infected / " + std::to_string(rep.clean_shards) +
+             " clean; attacker evasions and probe stalls drawn per shard");
+  table.note("serial, pooled (audited), checkpointed and resumed campaigns "
+             "all produced byte-identical deterministic reports");
+  table.note("paper-scale dedup protocol (100 pages, 60 s waits): " +
+             format_fixed(r.paper_protocol_s, 1) + " s vs ~" +
+             format_fixed(kPaperProtocolS, 0) + " s in the paper (§VI-B)");
+  table.print();
+
+  auto& out = csk::bench::report();
+  out.add("campaign/population", static_cast<double>(population()))
+      .add("campaign/infected_shards",
+           static_cast<double>(rep.infected_shards))
+      .add("campaign/clean_shards", static_cast<double>(rep.clean_shards))
+      .add("campaign/inconclusive_runs",
+           static_cast<double>(rep.inconclusive_runs))
+      .add("campaign/mean_detection_latency_s", rep.mean_detection_latency_s,
+           "s")
+      .add("campaign/audit_diffs",
+           static_cast<double>(rep.fleet.audit_diffs.size()))
+      .add("campaign/checkpoints_written",
+           static_cast<double>(r.checkpoints_written))
+      .add("campaign/resumed_shards",
+           static_cast<double>(r.resumed.fleet.resumed_shards));
+  for (const auto& [name, eval] : rep.detectors) {
+    add_evaluation(name, eval);
+  }
+  add_evaluation("ensemble", rep.ensemble);
+  out.add("campaign/calibrated/dedup_merged_ratio",
+          rep.calibrated.dedup_merged_ratio)
+      .add("campaign/calibrated/probe_anomaly_ratio",
+           rep.calibrated.probe_anomaly_ratio)
+      .add("campaign/calibrated/vmcs_min_signature_pages",
+           static_cast<double>(rep.calibrated.vmcs_min_signature_pages))
+      .add("campaign/calibrated/vmi_min_anomalies",
+           static_cast<double>(rep.calibrated.vmi_min_anomalies))
+      .add("campaign/calibrated/ensemble_min_votes",
+           static_cast<double>(rep.calibrated.ensemble_min_votes));
+  out.add_paper("detect_latency/protocol_s", r.paper_protocol_s,
+                kPaperProtocolS, "s");
+  out.note("no published counterpart for the ROC/calibration numbers: the "
+           "paper evaluates one machine at fixed thresholds (Figs 5/6)")
+      .note("campaign shards draw attacker evasions per seed: custom VMCS "
+            "revision ids, hidden L1 processes, TSC scaling, probe stalls")
+      .note("INCONCLUSIVE runs are excluded from ROC counts, never scored "
+            "as clean (PR 2 contract)")
+      .note("determinism witnesses CSK_CHECKed: serial == pooled == "
+            "checkpointed == resumed deterministic bytes; audit_diffs == 0")
+      .note(tiny() ? "CSK_BENCH_TINY=1: smoke-sized population"
+                   : "full population");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

@@ -1,0 +1,437 @@
+#include "campaign/campaign.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "cloudskulk/installer.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "detect/vmcs_scan.h"
+#include "detect/vmi_fingerprint.h"
+#include "fault/injector.h"
+#include "guestos/costs.h"
+#include "obs/metrics.h"
+#include "vmm/host.h"
+
+namespace csk::campaign {
+namespace {
+
+constexpr char kVictimName[] = "guest0";
+/// Revision id an evasive attacker compiles into kvm-intel: any value the
+/// scanner's database does not list.
+constexpr std::uint32_t kEvasiveRevisionId = 0xEB5E0001;
+
+vmm::World::HostConfig campaign_host_config(const CampaignScenarioConfig& sc) {
+  vmm::World::HostConfig cfg;
+  cfg.name = "host0";
+  cfg.boot_touched_mib = sc.boot_touched_mib;
+  // Aggressive ksmd so short merge waits are meaningful (test-fixture
+  // tuning: the campaign runs many small worlds, not one paper-scale one).
+  cfg.ksm.pages_per_scan = 4000;
+  cfg.ksm.scan_interval = SimDuration::millis(10);
+  return cfg;
+}
+
+vmm::MachineConfig campaign_vm_config(const CampaignScenarioConfig& sc) {
+  vmm::MachineConfig cfg;
+  cfg.name = kVictimName;
+  cfg.memory_mb = sc.guest_memory_mb;
+  cfg.vcpus = 1;
+  cfg.drives.push_back({std::string(kVictimName) + ".qcow2", "qcow2", 20480});
+  vmm::NetdevConfig nd;
+  nd.hostfwd.push_back({2222, 22});
+  cfg.netdevs.push_back(nd);
+  cfg.monitor.telnet_port = 5555;
+  return cfg;
+}
+
+/// One shard: build a world (clean or infected with seed-drawn evasions),
+/// run all four detectors, record threshold-free scores. Self-contained per
+/// the fleet contract — everything derives from ctx.seed.
+fleet::ShardOutcome campaign_cell(const fleet::ShardContext& ctx,
+                                  const CampaignConfig& cfg) {
+  const CampaignScenarioConfig& sc = cfg.scenario;
+  fleet::ShardOutcome out;
+  Rng rng(derive_seed(ctx.seed, 0));
+
+  // Ground truth and attacker behavior, all drawn up front so the draw
+  // order is independent of which branches execute.
+  const bool infected = rng.uniform01() < cfg.infected_fraction;
+  const bool evade_revision = rng.chance(sc.evasive_revision_fraction);
+  const bool careful_hiding = rng.chance(sc.careful_hiding_fraction);
+  const bool tsc_scaling = rng.chance(sc.tsc_scaling_fraction);
+  const bool stall = rng.chance(sc.probe_stall_fraction);
+  CSK_CHECK(sc.file_pages_max >= sc.file_pages_min &&
+            sc.file_pages_min > 0);
+  const std::size_t file_pages =
+      sc.file_pages_min +
+      rng.uniform(sc.file_pages_max - sc.file_pages_min + 1);
+  const double merge_wait_s =
+      sc.merge_wait_min_s +
+      (sc.merge_wait_max_s - sc.merge_wait_min_s) * rng.uniform01();
+  const double stall_s = 2.0 + 3.0 * rng.uniform01();
+
+  vmm::World world(derive_seed(ctx.seed, 1));
+  vmm::Host* host = world.make_host(campaign_host_config(sc));
+  vmm::VirtualMachine* guest =
+      host->launch_vm(campaign_vm_config(sc), sc.boot_touched_mib).value();
+
+  detect::DedupDetectorConfig dcfg;
+  dcfg.file_pages = file_pages;
+  dcfg.merge_wait = SimDuration::from_seconds(merge_wait_s);
+  dcfg.probe_timeout = SimDuration::seconds(1);
+  detect::DedupDetector detector(host, dcfg);
+
+  vmm::VirtualMachine* victim = guest;
+  std::unique_ptr<cloudskulk::CloudSkulkInstaller> installer;
+  if (infected) {
+    cloudskulk::InstallerOptions opts;
+    opts.rootkit_boot_touched_mib = sc.boot_touched_mib;
+    if (evade_revision) opts.vmcs_revision_id = kEvasiveRevisionId;
+    installer =
+        std::make_unique<cloudskulk::CloudSkulkInstaller>(host, opts);
+    const cloudskulk::InstallReport install = installer->install();
+    if (!install.succeeded) {
+      out.status = unavailable("cloudskulk install failed: " + install.error);
+      return out;
+    }
+    victim = installer->nested_vm();
+    if (careful_hiding) {
+      guestos::GuestOS* l1 = installer->rootkit_vm()->os();
+      for (const char* name : {"qemu-system-x86", "kvm"}) {
+        if (auto p = l1->find_process_by_name(name); p.is_ok()) {
+          (void)l1->hide_process(p->pid);
+        }
+      }
+    }
+    if (tsc_scaling) {
+      // §VI-A: deflate the victim's clock so exit-heavy probes read as
+      // single-level (pipe latency is the giveaway the attacker targets).
+      const double scale =
+          world.timing().price(guestos::pipe_latency_cost(), hv::Layer::kL1) /
+          world.timing().price(guestos::pipe_latency_cost(), hv::Layer::kL2);
+      victim->set_tsc_scaling(scale);
+    }
+  }
+
+  // The vendor's web channel pushes File-A into the user's VM; an
+  // impersonating L1 mirrors it to keep the facade up.
+  if (Status st = detector.seed_guest(victim->os()); !st.is_ok()) {
+    out.status = st;
+    return out;
+  }
+  if (infected) {
+    if (Status st = detector.seed_guest(installer->rootkit_vm()->os());
+        !st.is_ok()) {
+      out.status = st;
+      return out;
+    }
+  }
+
+  detect::GuestProbeConfig pcfg;
+  pcfg.probe_timeout = SimDuration::seconds(1);
+  detect::GuestTimingProbe probe(&world.timing(), pcfg);
+
+  std::unique_ptr<fault::Injector> injector;
+  if (stall) {
+    fault::FaultPlan plan;
+    plan.seed = derive_seed(ctx.seed, 2);
+    fault::ProbeStallSpec spec;
+    spec.at = SimDuration::zero();
+    spec.duration = SimDuration::from_seconds(stall_s);
+    plan.probe_stalls.push_back(spec);
+    injector = std::make_unique<fault::Injector>(&world, plan);
+    injector->arm();
+    detector.set_stall_probe(injector->stall_probe());
+    probe.set_stall_probe(injector->stall_probe());
+  }
+
+  out.values["truth/infected"] = infected ? 1.0 : 0.0;
+
+  auto dedup = detector.run(victim->os());
+  if (!dedup.is_ok()) {
+    out.status = dedup.status();
+    return out;
+  }
+  const bool dedup_conclusive =
+      dedup->verdict != detect::DedupVerdict::kInconclusive;
+  out.values["dedup/conclusive"] = dedup_conclusive ? 1.0 : 0.0;
+  out.values["dedup/score"] = dedup->t2_vs_t0;
+  out.values["dedup/t1_vs_t0"] = dedup->t1_vs_t0;
+  out.values["dedup/latency_s"] = dedup->protocol_time.seconds_f();
+
+  const detect::GuestProbeReport preport = probe.run(*victim);
+  const bool probe_conclusive =
+      preport.verdict != detect::GuestProbeVerdict::kInconclusive;
+  out.values["probe/conclusive"] = probe_conclusive ? 1.0 : 0.0;
+  out.values["probe/score"] = preport.nested_score(pcfg.anomalies_required);
+  out.values["probe/arith_ratio"] = preport.arith_ratio();
+
+  // Host-side forensics need no guest cooperation, hence no stall hook.
+  detect::VmcsScanDetector vmcs(host);
+  out.values["vmcs/score"] =
+      static_cast<double>(vmcs.scan().total_signature_pages());
+
+  detect::VmBaseline baseline;
+  baseline.vm_name = kVictimName;
+  baseline.identity.hostname = kVictimName;
+  baseline.expected_processes = {"init", "sshd"};
+  detect::VmiFingerprintDetector vmi(host);
+  out.values["vmi/score"] =
+      static_cast<double>(vmi.check({baseline}).anomaly_count());
+
+  if (injector) out.faults = injector->log();
+  return out;
+}
+
+double shard_value(const fleet::ShardResult& shard, const std::string& key,
+                   double fallback = 0.0) {
+  const auto it = shard.outcome.values.find(key);
+  return it == shard.outcome.values.end() ? fallback : it->second;
+}
+
+/// Minimal integer score strictly above `threshold` — maps a swept
+/// continuous threshold back onto an integral-score detector's config
+/// ("at least N pages/anomalies").
+std::uint64_t min_count_above(double threshold) {
+  if (threshold < 0) return 0;
+  return static_cast<std::uint64_t>(std::floor(threshold)) + 1;
+}
+
+obs::JsonValue roc_point_json(const RocPoint& p) {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("threshold", p.threshold)
+      .set("tp", p.tp)
+      .set("fp", p.fp)
+      .set("tn", p.tn)
+      .set("fn", p.fn)
+      .set("tpr", p.tpr)
+      .set("fpr", p.fpr)
+      .set("precision", p.precision);
+  return v;
+}
+
+obs::JsonValue evaluation_json(const DetectorEvaluation& eval) {
+  obs::JsonValue points = obs::JsonValue::array();
+  for (const RocPoint& p : eval.roc.points) points.push(roc_point_json(p));
+  obs::JsonValue op = obs::JsonValue::object();
+  op.set("threshold", eval.operating.threshold)
+      .set("tpr", eval.operating.tpr)
+      .set("fpr", eval.operating.fpr)
+      .set("precision", eval.operating.precision)
+      .set("met_fpr_budget", eval.operating.met_fpr_budget);
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("auc", eval.roc.auc)
+      .set("positives", eval.roc.positives)
+      .set("negatives", eval.roc.negatives)
+      .set("inconclusive", eval.roc.inconclusive)
+      .set("operating_point", std::move(op))
+      .set("roc_points", std::move(points));
+  return v;
+}
+
+obs::JsonValue analysis_json(const CampaignReport& report) {
+  obs::JsonValue detectors = obs::JsonValue::object();
+  for (const auto& [name, eval] : report.detectors) {
+    detectors.set(name, evaluation_json(eval));
+  }
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("infected_shards", report.infected_shards)
+      .set("clean_shards", report.clean_shards)
+      .set("inconclusive_runs", report.inconclusive_runs)
+      .set("mean_detection_latency_s", report.mean_detection_latency_s)
+      .set("detectors", std::move(detectors))
+      .set("ensemble", evaluation_json(report.ensemble))
+      .set("calibrated_thresholds", report.calibrated.to_json());
+  return v;
+}
+
+}  // namespace
+
+void CalibratedThresholds::apply_to(detect::DedupDetectorConfig* config) const {
+  CSK_CHECK(config != nullptr);
+  config->merged_ratio_threshold = dedup_merged_ratio;
+}
+
+void CalibratedThresholds::apply_to(detect::GuestProbeConfig* config) const {
+  CSK_CHECK(config != nullptr);
+  config->anomaly_ratio = probe_anomaly_ratio;
+}
+
+obs::JsonValue CalibratedThresholds::to_json() const {
+  obs::JsonValue v = obs::JsonValue::object();
+  v.set("dedup_merged_ratio", dedup_merged_ratio)
+      .set("probe_anomaly_ratio", probe_anomaly_ratio)
+      .set("vmcs_min_signature_pages", vmcs_min_signature_pages)
+      .set("vmi_min_anomalies", vmi_min_anomalies)
+      .set("ensemble_min_votes", ensemble_min_votes);
+  return v;
+}
+
+std::string CampaignReport::deterministic_json() const {
+  // The fleet's canonical bytes embedded as a string member, plus the
+  // analysis (a pure function of those shards). No wall-clock anywhere.
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("fleet", fleet.deterministic_json());
+  root.set("analysis", analysis_json(*this));
+  return root.dump(2);
+}
+
+obs::JsonValue CampaignReport::to_json() const {
+  obs::JsonValue root = obs::JsonValue::object();
+  root.set("analysis", analysis_json(*this));
+  root.set("fleet", fleet.to_json());
+  return root;
+}
+
+DetectionCampaign::DetectionCampaign(CampaignConfig config)
+    : config_(std::move(config)), runner_([this] {
+        fleet::FleetConfig fc;
+        fc.workers = config_.workers;
+        fc.root_seed = config_.root_seed;
+        fc.audit = config_.audit;
+        fc.checkpoint = config_.checkpoint;
+        return fc;
+      }()) {
+  CSK_CHECK(config_.population > 0);
+  // Each shard captures the config by value: scenario bodies must stay
+  // self-contained (and valid even if the campaign object moves).
+  const CampaignConfig cfg = config_;
+  for (std::size_t i = 0; i < cfg.population; ++i) {
+    runner_.add("campaign-" + std::to_string(i),
+                [cfg](const fleet::ShardContext& ctx) {
+                  return campaign_cell(ctx, cfg);
+                });
+  }
+}
+
+CampaignReport DetectionCampaign::run() { return analyze(runner_.run()); }
+
+Result<CampaignReport> DetectionCampaign::resume_from() {
+  CSK_ASSIGN_OR_RETURN(fleet::FleetReport fleet_report, runner_.resume_from());
+  return analyze(std::move(fleet_report));
+}
+
+Result<CampaignReport> DetectionCampaign::resume_from(
+    const std::string& checkpoint_file) {
+  CSK_ASSIGN_OR_RETURN(fleet::FleetReport fleet_report,
+                       runner_.resume_from(checkpoint_file));
+  return analyze(std::move(fleet_report));
+}
+
+CampaignReport DetectionCampaign::analyze(
+    fleet::FleetReport fleet_report) const {
+  CampaignReport report;
+  report.fleet = std::move(fleet_report);
+
+  std::vector<ScoredSample> dedup, probe, vmcs, vmi;
+  double latency_sum = 0.0;
+  std::size_t latency_n = 0;
+  for (const fleet::ShardResult& shard : report.fleet.shards) {
+    if (!shard.ok()) continue;
+    const bool infected = shard_value(shard, "truth/infected") > 0.5;
+    infected ? ++report.infected_shards : ++report.clean_shards;
+    obs::metrics()
+        .counter("campaign.shards",
+                 {{"truth", infected ? "infected" : "clean"}})
+        .add();
+
+    const bool dedup_ok = shard_value(shard, "dedup/conclusive", 1.0) > 0.5;
+    dedup.push_back({shard_value(shard, "dedup/score"), infected, dedup_ok});
+    if (dedup_ok) {
+      latency_sum += shard_value(shard, "dedup/latency_s");
+      ++latency_n;
+    } else {
+      ++report.inconclusive_runs;
+      obs::metrics()
+          .counter("campaign.inconclusive", {{"detector", "dedup"}})
+          .add();
+    }
+
+    const bool probe_ok = shard_value(shard, "probe/conclusive", 1.0) > 0.5;
+    probe.push_back({shard_value(shard, "probe/score"), infected, probe_ok});
+    if (!probe_ok) {
+      ++report.inconclusive_runs;
+      obs::metrics()
+          .counter("campaign.inconclusive", {{"detector", "probe"}})
+          .add();
+    }
+
+    vmcs.push_back({shard_value(shard, "vmcs/score"), infected, true});
+    vmi.push_back({shard_value(shard, "vmi/score"), infected, true});
+  }
+  if (latency_n > 0) {
+    report.mean_detection_latency_s = latency_sum / latency_n;
+  }
+
+  const double budget = config_.target_fpr;
+  const auto evaluate = [budget](const std::string& name,
+                                 const std::vector<ScoredSample>& samples,
+                                 std::vector<double> thresholds = {}) {
+    DetectorEvaluation eval;
+    eval.roc = compute_roc(name, samples, std::move(thresholds));
+    if (!eval.roc.points.empty()) {
+      eval.operating = calibrate(eval.roc, budget);
+    }
+    return eval;
+  };
+  report.detectors["dedup"] = evaluate("dedup", dedup);
+  report.detectors["probe"] = evaluate("probe", probe);
+  report.detectors["vmcs"] = evaluate("vmcs", vmcs);
+  report.detectors["vmi"] = evaluate("vmi", vmi);
+
+  CalibratedThresholds cal;
+  cal.dedup_merged_ratio = report.detectors["dedup"].operating.threshold;
+  cal.probe_anomaly_ratio = report.detectors["probe"].operating.threshold;
+  cal.vmcs_min_signature_pages = std::max<std::uint64_t>(
+      1, min_count_above(report.detectors["vmcs"].operating.threshold));
+  cal.vmi_min_anomalies = std::max<std::uint64_t>(
+      1, min_count_above(report.detectors["vmi"].operating.threshold));
+
+  // Voting ensemble at the calibrated per-detector thresholds. A degraded
+  // (inconclusive) detector simply does not vote — it never votes "clean".
+  std::vector<ScoredSample> votes;
+  for (const fleet::ShardResult& shard : report.fleet.shards) {
+    if (!shard.ok()) continue;
+    const bool infected = shard_value(shard, "truth/infected") > 0.5;
+    int v = 0;
+    if (shard_value(shard, "dedup/conclusive", 1.0) > 0.5 &&
+        shard_value(shard, "dedup/score") > cal.dedup_merged_ratio) {
+      ++v;
+    }
+    if (shard_value(shard, "probe/conclusive", 1.0) > 0.5) {
+      const double arith = shard_value(shard, "probe/arith_ratio", 1.0);
+      // The live probe flags CLOCK_TAMPERING as suspicious too: a deflated
+      // arithmetic cross-check is a vote even when exit ratios look tame.
+      if (shard_value(shard, "probe/score") > cal.probe_anomaly_ratio ||
+          (arith > 0.0 && arith < 0.8)) {
+        ++v;
+      }
+    }
+    if (shard_value(shard, "vmcs/score") >=
+        static_cast<double>(cal.vmcs_min_signature_pages)) {
+      ++v;
+    }
+    if (shard_value(shard, "vmi/score") >=
+        static_cast<double>(cal.vmi_min_anomalies)) {
+      ++v;
+    }
+    votes.push_back({static_cast<double>(v), infected, true});
+  }
+  report.ensemble = evaluate("ensemble", votes, {0.5, 1.5, 2.5, 3.5});
+  cal.ensemble_min_votes = static_cast<int>(
+      std::max<std::uint64_t>(1, min_count_above(
+                                     report.ensemble.operating.threshold)));
+  report.calibrated = cal;
+
+  for (const auto& [name, eval] : report.detectors) {
+    obs::metrics().gauge("campaign.auc", {{"detector", name}})
+        .set(eval.roc.auc);
+  }
+  obs::metrics().gauge("campaign.auc", {{"detector", "ensemble"}})
+      .set(report.ensemble.roc.auc);
+  return report;
+}
+
+}  // namespace csk::campaign

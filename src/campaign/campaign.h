@@ -1,0 +1,169 @@
+/// \file
+/// csk::campaign — fleet-scale evaluation and calibration of the detector
+/// stack.
+///
+/// The paper evaluates its dedup detector on one machine at fixed
+/// thresholds (Figs 5/6). This module asks the operator's question instead:
+/// across a *population* of guests — some clean, some carrying CloudSkulk,
+/// some with the attacker actively evading — where should each detector's
+/// threshold sit, and what detection rate does that buy at a bounded
+/// false-positive budget?
+///
+/// DetectionCampaign builds a `fleet::FleetRunner` population in which each
+/// shard is a self-contained world: ground truth (infected or clean) and
+/// every evasion (custom VMCS revision id, hidden L1 processes, TSC
+/// scaling, injected probe stalls) are drawn from the shard's derived seed.
+/// All four detectors run against whatever the shard built and record
+/// threshold-free scores (detect's score APIs). Analysis then sweeps
+/// thresholds over the recorded scores — no re-simulation — into per-
+/// detector ROC curves plus a voting-ensemble curve, and calibrates each to
+/// the campaign's FPR budget. The result feeds back as CalibratedThresholds,
+/// directly consumable by DedupDetectorConfig / GuestProbeConfig.
+///
+/// Everything inherits the fleet contract: reports are byte-identical
+/// across worker counts (deterministic_json), audits byte-compare pooled
+/// vs serial shards, and runs checkpoint/resume through csk::ckpt with the
+/// resumed bytes equal to an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/roc.h"
+#include "detect/dedup_detector.h"
+#include "detect/l2_probe.h"
+#include "fleet/fleet.h"
+#include "obs/json.h"
+
+namespace csk::campaign {
+
+/// Per-shard scenario shape: everything a shard draws from its seed.
+struct CampaignScenarioConfig {
+  /// File-A size range (pages), drawn uniformly per shard. Varying the
+  /// protocol size spreads the score distribution like real fleets do.
+  std::size_t file_pages_min = 8;
+  std::size_t file_pages_max = 24;
+  /// Dedup merge-wait range (seconds). Short waits under-merge and drag
+  /// infected scores toward clean ones — the interesting ROC region.
+  double merge_wait_min_s = 1.0;
+  double merge_wait_max_s = 6.0;
+  /// Probability an infected shard's attacker recompiled kvm-intel with a
+  /// custom VMCS revision id (§VI-E evasion: blinds the VMCS scanner).
+  double evasive_revision_fraction = 0.25;
+  /// Probability an infected attacker hides qemu/kvm from the L1 task list
+  /// (§VI-E evasion: blinds naive VMI fingerprinting).
+  double careful_hiding_fraction = 0.5;
+  /// Probability an infected attacker scales the victim's TSC (§VI-A
+  /// evasion: deflates the in-guest probe's exit-heavy readings).
+  double tsc_scaling_fraction = 0.25;
+  /// Probability a shard's detectors run under an injected probe stall
+  /// longer than their timeout — those runs degrade to INCONCLUSIVE and
+  /// are excluded from ROC counts (never counted as clean).
+  double probe_stall_fraction = 0.15;
+  /// Guest shape (kept small: a campaign runs many of these).
+  std::uint64_t guest_memory_mb = 64;
+  std::uint64_t boot_touched_mib = 4;
+};
+
+struct CampaignConfig {
+  /// Number of shards (guests) in the population.
+  std::size_t population = 24;
+  /// Probability a shard is infected (ground truth, drawn per shard).
+  double infected_fraction = 0.5;
+  std::uint64_t root_seed = 0xCA59A167ull;
+  /// Worker threads; 0 = hardware concurrency (fleet semantics).
+  int workers = 0;
+  /// Fleet determinism audit: every shard re-run serially, byte-compared.
+  bool audit = false;
+  /// Crash-consistent checkpointing of completed shards (fleet/ckpt).
+  fleet::CheckpointPolicy checkpoint;
+  /// FPR budget the calibration optimizes under (paper-style "alarm the
+  /// operator rarely": at most this fraction of clean guests flagged).
+  double target_fpr = 0.01;
+  CampaignScenarioConfig scenario;
+};
+
+/// The campaign's output contract: operating thresholds for every detector,
+/// consumable directly by the detect configs.
+struct CalibratedThresholds {
+  /// DedupDetectorConfig::merged_ratio_threshold (t/t0 ratio).
+  double dedup_merged_ratio = 3.0;
+  /// GuestProbeConfig::anomaly_ratio (observed/expected).
+  double probe_anomaly_ratio = 3.0;
+  /// VmcsScanReport::hypervisor_found_at() minimum signature pages.
+  std::uint64_t vmcs_min_signature_pages = 1;
+  /// VmiFingerprintReport::suspicious_at() minimum anomalies.
+  std::uint64_t vmi_min_anomalies = 1;
+  /// Ensemble: detectors voting "infected" (at their calibrated
+  /// thresholds) needed to flag a guest.
+  int ensemble_min_votes = 2;
+
+  void apply_to(detect::DedupDetectorConfig* config) const;
+  void apply_to(detect::GuestProbeConfig* config) const;
+  obs::JsonValue to_json() const;
+};
+
+/// One detector's swept curve plus its calibrated operating point.
+struct DetectorEvaluation {
+  RocCurve roc;
+  OperatingPoint operating;
+};
+
+struct CampaignReport {
+  /// The raw fleet run: per-shard digests, merged metrics, audit results,
+  /// checkpoint accounting.
+  fleet::FleetReport fleet;
+  /// Keyed "dedup" / "probe" / "vmcs" / "vmi", insertion-ordered in the
+  /// JSON output.
+  std::map<std::string, DetectorEvaluation> detectors;
+  /// The voting ensemble swept over min_votes = 1..4 (threshold k-0.5
+  /// means "at least k votes").
+  DetectorEvaluation ensemble;
+  CalibratedThresholds calibrated;
+
+  std::size_t infected_shards = 0;
+  std::size_t clean_shards = 0;
+  /// Detector runs (not shards) that degraded to INCONCLUSIVE.
+  std::uint64_t inconclusive_runs = 0;
+  /// Mean simulated dedup protocol time over conclusive runs (the paper's
+  /// detection latency: two merge waits plus measurement).
+  double mean_detection_latency_s = 0.0;
+
+  /// Canonical JSON of the simulated facts and their derived analysis —
+  /// byte-identical across runs, worker counts, and checkpoint resumes for
+  /// the same config. The determinism tests compare exactly these bytes.
+  std::string deterministic_json() const;
+
+  /// Full report including wall-clock and pool stats. NOT deterministic.
+  obs::JsonValue to_json() const;
+};
+
+class DetectionCampaign {
+ public:
+  explicit DetectionCampaign(CampaignConfig config = {});
+
+  const CampaignConfig& config() const { return config_; }
+  std::size_t population() const { return config_.population; }
+
+  /// Runs the whole population on the fleet pool and analyzes it.
+  CampaignReport run();
+
+  /// Resumes from the newest usable checkpoint in the policy directory
+  /// (fleet::FleetRunner::resume_from semantics); the analyzed report is
+  /// byte-identical to an uninterrupted run's.
+  Result<CampaignReport> resume_from();
+
+  /// Same, from one explicit checkpoint file.
+  Result<CampaignReport> resume_from(const std::string& checkpoint_file);
+
+ private:
+  /// Threshold sweeps, calibration, ensemble, campaign.* counters.
+  CampaignReport analyze(fleet::FleetReport fleet_report) const;
+
+  CampaignConfig config_;
+  fleet::FleetRunner runner_;
+};
+
+}  // namespace csk::campaign

@@ -1,0 +1,125 @@
+#include "campaign/roc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace csk::campaign {
+
+RocPoint roc_point_at(const std::vector<ScoredSample>& samples,
+                      double threshold) {
+  RocPoint p;
+  p.threshold = threshold;
+  for (const ScoredSample& s : samples) {
+    if (!s.conclusive) continue;
+    const bool called = s.score > threshold;
+    if (s.infected) {
+      called ? ++p.tp : ++p.fn;
+    } else {
+      called ? ++p.fp : ++p.tn;
+    }
+  }
+  const std::uint64_t positives = p.tp + p.fn;
+  const std::uint64_t negatives = p.fp + p.tn;
+  const std::uint64_t called = p.tp + p.fp;
+  if (positives > 0) p.tpr = static_cast<double>(p.tp) / positives;
+  if (negatives > 0) p.fpr = static_cast<double>(p.fp) / negatives;
+  if (called > 0) p.precision = static_cast<double>(p.tp) / called;
+  return p;
+}
+
+RocCurve compute_roc(std::string detector,
+                     const std::vector<ScoredSample>& samples,
+                     std::vector<double> thresholds) {
+  RocCurve curve;
+  curve.detector = std::move(detector);
+  for (const ScoredSample& s : samples) {
+    if (!s.conclusive) {
+      ++curve.inconclusive;
+    } else if (s.infected) {
+      ++curve.positives;
+    } else {
+      ++curve.negatives;
+    }
+  }
+
+  if (thresholds.empty()) {
+    // Canonical grid: every distinguishable operating point of this sample
+    // set. Midpoints between adjacent distinct scores, plus one threshold
+    // strictly below every score and one at the maximum (score > max calls
+    // nothing, since the rule is strict).
+    std::vector<double> scores;
+    scores.reserve(samples.size());
+    for (const ScoredSample& s : samples) {
+      if (s.conclusive) scores.push_back(s.score);
+    }
+    std::sort(scores.begin(), scores.end());
+    scores.erase(std::unique(scores.begin(), scores.end()), scores.end());
+    if (scores.empty()) return curve;  // nothing conclusive: empty curve
+    thresholds.push_back(scores.front() - 1.0);
+    for (std::size_t i = 0; i + 1 < scores.size(); ++i) {
+      thresholds.push_back((scores[i] + scores[i + 1]) / 2.0);
+    }
+    thresholds.push_back(scores.back());
+  }
+
+  curve.points.reserve(thresholds.size());
+  for (double t : thresholds) {
+    curve.points.push_back(roc_point_at(samples, t));
+  }
+  std::sort(curve.points.begin(), curve.points.end(),
+            [](const RocPoint& a, const RocPoint& b) {
+              if (a.fpr != b.fpr) return a.fpr < b.fpr;
+              if (a.tpr != b.tpr) return a.tpr < b.tpr;
+              return a.threshold > b.threshold;
+            });
+  curve.auc = roc_auc(curve.points);
+  return curve;
+}
+
+double roc_auc(const std::vector<RocPoint>& points) {
+  std::vector<std::pair<double, double>> xy;  // (fpr, tpr)
+  xy.reserve(points.size() + 2);
+  xy.emplace_back(0.0, 0.0);
+  for (const RocPoint& p : points) xy.emplace_back(p.fpr, p.tpr);
+  xy.emplace_back(1.0, 1.0);
+  std::sort(xy.begin(), xy.end());
+  double auc = 0.0;
+  for (std::size_t i = 1; i < xy.size(); ++i) {
+    const double dx = xy[i].first - xy[i - 1].first;
+    auc += dx * (xy[i].second + xy[i - 1].second) / 2.0;
+  }
+  return auc;
+}
+
+OperatingPoint calibrate(const RocCurve& curve, double max_fpr) {
+  CSK_CHECK(!curve.points.empty());
+  const RocPoint* best = nullptr;
+  for (const RocPoint& p : curve.points) {
+    if (p.fpr > max_fpr) continue;
+    if (best == nullptr || p.tpr > best->tpr ||
+        (p.tpr == best->tpr && p.threshold > best->threshold)) {
+      best = &p;
+    }
+  }
+  OperatingPoint op;
+  op.met_fpr_budget = best != nullptr;
+  if (best == nullptr) {
+    // Nothing under budget (possible only with zero swept negatives-free
+    // points): fall back to the least-false-alarm point.
+    for (const RocPoint& p : curve.points) {
+      if (best == nullptr || p.fpr < best->fpr ||
+          (p.fpr == best->fpr && p.tpr > best->tpr)) {
+        best = &p;
+      }
+    }
+  }
+  op.threshold = best->threshold;
+  op.tpr = best->tpr;
+  op.fpr = best->fpr;
+  op.precision = best->precision;
+  return op;
+}
+
+}  // namespace csk::campaign

@@ -1,0 +1,93 @@
+/// \file
+/// ROC machinery for detector-threshold sweeps.
+///
+/// Pure functions over scored samples — no simulator, no detectors. A
+/// campaign records one threshold-free score per (shard, detector), labels
+/// it with the shard's ground truth, and this module turns the population
+/// into a ROC curve (TPR/FPR/precision at each candidate threshold), a
+/// trapezoidal AUC, and a calibrated operating point (max TPR subject to an
+/// FPR budget). Keeping the math free-standing makes it unit-testable
+/// without running a single VM.
+///
+/// Decision rule everywhere: a sample is *called infected* at threshold t
+/// iff score > t. Samples marked inconclusive (a degraded probe — see
+/// detect's INCONCLUSIVE verdicts) are excluded from the confusion counts
+/// entirely: they are neither a detection nor a clean call, and the curve
+/// reports how many were set aside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csk::campaign {
+
+/// One (shard, detector) observation.
+struct ScoredSample {
+  /// The detector's threshold-free score (e.g. dedup t2/t0 ratio).
+  double score = 0.0;
+  /// Ground truth: was CloudSkulk actually installed in this shard?
+  bool infected = false;
+  /// false = the probe degraded (INCONCLUSIVE): excluded from counts.
+  bool conclusive = true;
+};
+
+/// Confusion counts and rates at one threshold.
+struct RocPoint {
+  double threshold = 0.0;
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+  double tpr = 0.0;        // tp / (tp + fn); 0 when no positives
+  double fpr = 0.0;        // fp / (fp + tn); 0 when no negatives
+  double precision = 0.0;  // tp / (tp + fp); 0 when nothing called
+};
+
+/// The threshold chosen by calibrate().
+struct OperatingPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double precision = 0.0;
+  /// false = no swept point met the FPR budget; the point with the
+  /// smallest FPR was returned instead.
+  bool met_fpr_budget = false;
+};
+
+struct RocCurve {
+  std::string detector;
+  /// One point per swept threshold, sorted by ascending FPR (ties by
+  /// ascending TPR) — plot-ready.
+  std::vector<RocPoint> points;
+  /// Trapezoidal area under the curve, anchored at (0,0) and (1,1).
+  double auc = 0.0;
+  std::uint64_t positives = 0;     // conclusive infected samples
+  std::uint64_t negatives = 0;     // conclusive clean samples
+  std::uint64_t inconclusive = 0;  // set aside, counted in neither
+};
+
+/// Confusion counts over `samples` at one threshold (score > threshold
+/// calls infected; inconclusive samples skipped).
+RocPoint roc_point_at(const std::vector<ScoredSample>& samples,
+                      double threshold);
+
+/// Sweeps `thresholds` over `samples`. An empty `thresholds` derives the
+/// canonical grid from the data: midpoints between adjacent distinct
+/// conclusive scores, plus one threshold below the minimum (call
+/// everything) and one above the maximum (call nothing) — the complete
+/// set of distinguishable operating points.
+RocCurve compute_roc(std::string detector,
+                     const std::vector<ScoredSample>& samples,
+                     std::vector<double> thresholds = {});
+
+/// Trapezoidal AUC of `points` (any order), anchored at (0,0) and (1,1).
+double roc_auc(const std::vector<RocPoint>& points);
+
+/// Picks the operating point: among swept points with fpr <= max_fpr, the
+/// one with the highest TPR (ties broken toward the larger threshold, i.e.
+/// the fewest calls). When no point meets the budget, returns the point
+/// with the smallest FPR and met_fpr_budget = false.
+OperatingPoint calibrate(const RocCurve& curve, double max_fpr);
+
+}  // namespace csk::campaign

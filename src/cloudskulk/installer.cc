@@ -46,8 +46,9 @@ Status CloudSkulkInstaller::run_steps(InstallReport& report) {
       rootkit_,
       host_->launch_vm(rootkit_cfg, options_.rootkit_boot_touched_mib));
   report.rootkit_vm_id = rootkit_->id();
-  CSK_ASSIGN_OR_RETURN(hv::Hypervisor * l1hv,
-                       rootkit_->enable_nested_hypervisor());
+  CSK_ASSIGN_OR_RETURN(
+      hv::Hypervisor * l1hv,
+      rootkit_->enable_nested_hypervisor(options_.vmcs_revision_id));
   (void)l1hv;
   report.log.push_back("step2: GuestX up (vm " +
                        report.rootkit_vm_id.to_string() +

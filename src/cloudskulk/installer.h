@@ -1,17 +1,18 @@
-// CloudSkulkInstaller — the paper's four-step installation (§III, §IV-A).
-//
-//   Step 1  Recon: recover the target VM's QEMU configuration (history /
-//           ps / monitor introspection). The threat model grants host root.
-//   Step 2  Launch GuestX, the rootkit VM: a QEMU process matching the
-//           target's parameters, plus VMX passthrough so it can nest.
-//   Step 3  Inside GuestX, start a nested destination VM with the target's
-//           machine shape, paused in `-incoming` state on ROOTKIT PORT BBBB,
-//           and relay HOST PORT AAAA -> BBBB.
-//   Step 4  Drive `migrate -d tcp:host:AAAA` on the target's monitor; the
-//           victim live-migrates into the nested VM.
-//   Cleanup Kill the post-migrate source QEMU, take over its host port
-//           forwards, and swap GuestX's host PID to the original (the PID
-//           is just a variable in memory to someone with root).
+/// \file
+/// CloudSkulkInstaller — the paper's four-step installation (§III, §IV-A).
+///
+///   Step 1  Recon: recover the target VM's QEMU configuration (history /
+///           ps / monitor introspection). The threat model grants host root.
+///   Step 2  Launch GuestX, the rootkit VM: a QEMU process matching the
+///           target's parameters, plus VMX passthrough so it can nest.
+///   Step 3  Inside GuestX, start a nested destination VM with the target's
+///           machine shape, paused in `-incoming` state on ROOTKIT PORT BBBB,
+///           and relay HOST PORT AAAA -> BBBB.
+///   Step 4  Drive `migrate -d tcp:host:AAAA` on the target's monitor; the
+///           victim live-migrates into the nested VM.
+///   Cleanup Kill the post-migrate source QEMU, take over its host port
+///           forwards, and swap GuestX's host PID to the original (the PID
+///           is just a variable in memory to someone with root).
 #pragma once
 
 #include <memory>
@@ -45,6 +46,12 @@ struct InstallerOptions {
   SimDuration migration_timeout = SimDuration::seconds(7200);
   /// Recon source toggles (the paper's fallback ladder).
   TargetRecon::Options recon;
+  /// VMCS revision id GuestX's nested hypervisor stamps into its control
+  /// structures. The default is what stock kvm-intel uses — and what a
+  /// §VI-E memory-forensics scan signatures on; an attacker recompiling
+  /// the module with a custom id (the paper's noted evasion) sets this to
+  /// a value outside the scanner's database.
+  std::uint32_t vmcs_revision_id = vmm::VirtualMachine::kDefaultVmcsRevisionId;
 };
 
 struct InstallReport {

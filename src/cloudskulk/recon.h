@@ -1,13 +1,14 @@
-// Target reconnaissance (paper §IV-A, first half).
-//
-// Before the rootkit can impersonate a VM it must recover the target's full
-// QEMU configuration, because live migration demands a matching destination
-// machine. The paper names three escalating sources, all implemented here:
-//   1. shell history — the original qemu command line verbatim;
-//   2. `ps -ef`       — the running process's command line;
-//   3. the QEMU monitor — `info qtree` / `info mtree` / `info network` /
-//      `info block` introspection when neither history nor ps is usable,
-//      reassembling the MachineConfig from device-level facts.
+/// \file
+/// Target reconnaissance (paper §IV-A, first half).
+///
+/// Before the rootkit can impersonate a VM it must recover the target's full
+/// QEMU configuration, because live migration demands a matching destination
+/// machine. The paper names three escalating sources, all implemented here:
+///   1. shell history — the original qemu command line verbatim;
+///   2. `ps -ef`       — the running process's command line;
+///   3. the QEMU monitor — `info qtree` / `info mtree` / `info network` /
+///      `info block` introspection when neither history nor ps is usable,
+///      reassembling the MachineConfig from device-level facts.
 #pragma once
 
 #include <string>

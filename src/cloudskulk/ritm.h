@@ -1,11 +1,12 @@
-// RitmVm — the Rootkit-In-The-Middle position.
-//
-// After installation, the attacker owns GuestX (the L1 rootkit VM) with the
-// victim running nested inside it. Everything the victim does crosses the
-// attacker's territory: network traffic traverses the inner port forwarder,
-// and the victim's entire RAM is a region of GuestX's memory that the
-// attacker's L1 hypervisor can introspect at will (VMI turned offensive,
-// paper §IV-B1). RitmVm is the handle services attach to.
+/// \file
+/// RitmVm — the Rootkit-In-The-Middle position.
+///
+/// After installation, the attacker owns GuestX (the L1 rootkit VM) with the
+/// victim running nested inside it. Everything the victim does crosses the
+/// attacker's territory: network traffic traverses the inner port forwarder,
+/// and the victim's entire RAM is a region of GuestX's memory that the
+/// attacker's L1 hypervisor can introspect at will (VMI turned offensive,
+/// paper §IV-B1). RitmVm is the handle services attach to.
 #pragma once
 
 #include <vector>

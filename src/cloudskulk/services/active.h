@@ -1,9 +1,10 @@
-// Active RITM services (paper §IV-B2): tamper with victim traffic.
-//
-// PacketTamperer applies an ordered rule list to everything crossing the
-// RITM position. The paper's two examples are provided as rule factories:
-// dropping/deleting email at a victim mail server, and rewriting responses
-// served by a victim web service.
+/// \file
+/// Active RITM services (paper §IV-B2): tamper with victim traffic.
+///
+/// PacketTamperer applies an ordered rule list to everything crossing the
+/// RITM position. The paper's two examples are provided as rule factories:
+/// dropping/deleting email at a victim mail server, and rewriting responses
+/// served by a victim web service.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,14 @@
-// Passive RITM services (paper §IV-B1): observe without perturbing.
-//
-//   * PacketLogger     — records every packet crossing the RITM position;
-//   * KeystrokeLogger  — the classic keylogger, lifted from the kernel to
-//     the middle of the SSH path: plaintext is captured where the rootkit
-//     sits, before/after the victim's own encryption boundary;
-//   * VmiMonitor       — offensive virtual machine introspection: periodic
-//     snapshots of the victim's process table read out of its RAM;
-//   * ParallelMaliciousOs — a second OS run by the attacker's hypervisor
-//     beside the victim (phishing web service, spam relay, DDoS zombie).
+/// \file
+/// Passive RITM services (paper §IV-B1): observe without perturbing.
+///
+///   * PacketLogger     — records every packet crossing the RITM position;
+///   * KeystrokeLogger  — the classic keylogger, lifted from the kernel to
+///     the middle of the SSH path: plaintext is captured where the rootkit
+///     sits, before/after the victim's own encryption boundary;
+///   * VmiMonitor       — offensive virtual machine introspection: periodic
+///     snapshots of the victim's process table read out of its RAM;
+///   * ParallelMaliciousOs — a second OS run by the attacker's hypervisor
+///     beside the victim (phishing web service, spam relay, DDoS zombie).
 #pragma once
 
 #include <cstdint>

@@ -1,20 +1,21 @@
-// SyncMirrorService — the §VI-D evasion, with its price tag.
-//
-// The paper concedes that an attacker could beat the dedup detector by
-// mirroring every change the victim makes into the impersonating L1 — but
-// argues the cost is "unrealistically expensive": synchronizing even one
-// page requires write-protecting *all* of the victim's pages and trapping
-// every write, and the trapping machinery is itself visible.
-//
-// This service implements that attacker faithfully so the claim can be
-// measured instead of asserted: it write-protects the nested victim's
-// memory (an AddressSpace write observer standing in for L1 EPT
-// write-protection), mirrors tracked-file changes into the L1 page cache
-// *synchronously* — beating ksmd's asynchronous scan by construction — and
-// accounts one nested VM exit per victim write. bench_ablation_mirror_cost
-// turns the counters into the paper's argument: double-digit percent
-// overhead on write-heavy workloads, i.e. a performance anomaly far louder
-// than the one CloudSkulk was built to avoid.
+/// \file
+/// SyncMirrorService — the §VI-D evasion, with its price tag.
+///
+/// The paper concedes that an attacker could beat the dedup detector by
+/// mirroring every change the victim makes into the impersonating L1 — but
+/// argues the cost is "unrealistically expensive": synchronizing even one
+/// page requires write-protecting *all* of the victim's pages and trapping
+/// every write, and the trapping machinery is itself visible.
+///
+/// This service implements that attacker faithfully so the claim can be
+/// measured instead of asserted: it write-protects the nested victim's
+/// memory (an AddressSpace write observer standing in for L1 EPT
+/// write-protection), mirrors tracked-file changes into the L1 page cache
+/// *synchronously* — beating ksmd's asynchronous scan by construction — and
+/// accounts one nested VM exit per victim write. bench_ablation_mirror_cost
+/// turns the counters into the paper's argument: double-digit percent
+/// overhead on write-heavy workloads, i.e. a performance anomaly far louder
+/// than the one CloudSkulk was built to avoid.
 #pragma once
 
 #include <cstdint>

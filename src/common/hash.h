@@ -1,10 +1,11 @@
-// Content hashing for simulated memory pages and files.
-//
-// KSM-style deduplication compares page contents; the simulator represents a
-// page's contents by a 64-bit content hash (optionally backed by real bytes
-// for small, interesting regions such as the detector's File-A). FNV-1a is
-// sufficient here: inputs are either real bytes we control or synthetic
-// random tokens, so adversarial collisions are out of scope.
+/// \file
+/// Content hashing for simulated memory pages and files.
+///
+/// KSM-style deduplication compares page contents; the simulator represents a
+/// page's contents by a 64-bit content hash (optionally backed by real bytes
+/// for small, interesting regions such as the detector's File-A). FNV-1a is
+/// sufficient here: inputs are either real bytes we control or synthetic
+/// random tokens, so adversarial collisions are out of scope.
 #pragma once
 
 #include <cstdint>

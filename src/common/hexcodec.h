@@ -1,11 +1,12 @@
-// Bit-exact hex encodings for 64-bit integers and doubles.
-//
-// JSON numbers are doubles: a 64-bit counter above 2^53 loses bits and a
-// round-tripped double may reformat. Anything that must survive a
-// serialize/parse cycle *byte-for-byte* — checkpoint payloads, seeds —
-// therefore travels as a hex string: integers as their value, doubles as
-// their IEEE-754 bit pattern. Encoding is fixed-width lowercase `0x%016x`
-// so the artifacts are canonical (one spelling per value) and diff clean.
+/// \file
+/// Bit-exact hex encodings for 64-bit integers and doubles.
+///
+/// JSON numbers are doubles: a 64-bit counter above 2^53 loses bits and a
+/// round-tripped double may reformat. Anything that must survive a
+/// serialize/parse cycle *byte-for-byte* — checkpoint payloads, seeds —
+/// therefore travels as a hex string: integers as their value, doubles as
+/// their IEEE-754 bit pattern. Encoding is fixed-width lowercase `0x%016x`
+/// so the artifacts are canonical (one spelling per value) and diff clean.
 #pragma once
 
 #include <bit>

@@ -1,10 +1,11 @@
-// Strong identifier types used across the simulator.
-//
-// A VM id, a page-frame number and a process id are all integers, but they
-// live in completely different namespaces; the Core Guidelines (I.4, P.1)
-// tell us to make that distinction visible in the type system. TaggedId is a
-// tiny phantom-tagged wrapper that gives every id family its own type with
-// value semantics, ordering and hashing, at zero runtime cost.
+/// \file
+/// Strong identifier types used across the simulator.
+///
+/// A VM id, a page-frame number and a process id are all integers, but they
+/// live in completely different namespaces; the Core Guidelines (I.4, P.1)
+/// tell us to make that distinction visible in the type system. TaggedId is a
+/// tiny phantom-tagged wrapper that gives every id family its own type with
+/// value semantics, ordering and hashing, at zero runtime cost.
 #pragma once
 
 #include <compare>

@@ -1,9 +1,10 @@
-// Minimal leveled logger.
-//
-// The simulator narrates interesting events (migration rounds, KSM merges,
-// rootkit installation steps) at INFO/DEBUG; tests run with WARNING to keep
-// output clean. A single global level keeps the API tiny — this is a
-// simulator, not a service.
+/// \file
+/// Minimal leveled logger.
+///
+/// The simulator narrates interesting events (migration rounds, KSM merges,
+/// rootkit installation steps) at INFO/DEBUG; tests run with WARNING to keep
+/// output clean. A single global level keeps the API tiny — this is a
+/// simulator, not a service.
 #pragma once
 
 #include <sstream>

@@ -1,10 +1,11 @@
-// Deterministic random number generation.
-//
-// Every stochastic element of the simulation (page-content hashes, workload
-// jitter, benchmark noise) draws from an explicitly seeded Rng so that runs
-// are reproducible bit-for-bit. The engine is xoshiro256**, seeded through
-// SplitMix64 per the reference recommendation; both are tiny, fast and well
-// understood.
+/// \file
+/// Deterministic random number generation.
+///
+/// Every stochastic element of the simulation (page-content hashes, workload
+/// jitter, benchmark noise) draws from an explicitly seeded Rng so that runs
+/// are reproducible bit-for-bit. The engine is xoshiro256**, seeded through
+/// SplitMix64 per the reference recommendation; both are tiny, fast and well
+/// understood.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
-// Sample statistics used by the benchmark harness and the detector.
-//
-// The paper reports averages of 5 consecutive runs with relative standard
-// deviations (Figs 2-4) and decides nested-VM presence from the relation of
-// write-time samples (Figs 5-6). These helpers implement exactly the moments
-// and comparisons those experiments need.
+/// \file
+/// Sample statistics used by the benchmark harness and the detector.
+///
+/// The paper reports averages of 5 consecutive runs with relative standard
+/// deviations (Figs 2-4) and decides nested-VM presence from the relation of
+/// write-time samples (Figs 5-6). These helpers implement exactly the moments
+/// and comparisons those experiments need.
 #pragma once
 
 #include <cstddef>

@@ -1,10 +1,11 @@
-// Error handling for recoverable failures.
-//
-// The simulator uses Status / Result<T> for errors that a caller is expected
-// to handle (bad monitor command, migration to a mismatched machine, file
-// not found in a guest FS). Programming errors — violated invariants — are
-// CSK_CHECK failures, which abort. This split follows Core Guidelines E.2 /
-// I.10: make it impossible to ignore an error without the compiler noticing.
+/// \file
+/// Error handling for recoverable failures.
+///
+/// The simulator uses Status / Result<T> for errors that a caller is expected
+/// to handle (bad monitor command, migration to a mismatched machine, file
+/// not found in a guest FS). Programming errors — violated invariants — are
+/// CSK_CHECK failures, which abort. This split follows Core Guidelines E.2 /
+/// I.10: make it impossible to ignore an error without the compiler noticing.
 #pragma once
 
 #include <cassert>

@@ -1,14 +1,15 @@
-// Simulated-time primitives.
-//
-// Everything in the CloudSkulk simulator runs on a deterministic virtual
-// clock. SimTime is a point on that clock; SimDuration is a difference of
-// two points. Both are nanosecond-resolution 64-bit integers, which gives
-// ~292 years of range — far beyond any simulated experiment.
-//
-// We deliberately do not use std::chrono for the simulated clock: mixing
-// simulated and wall-clock quantities is a classic source of bugs in
-// discrete-event simulators, and a dedicated pair of strong types makes the
-// two domains un-mixable at compile time.
+/// \file
+/// Simulated-time primitives.
+///
+/// Everything in the CloudSkulk simulator runs on a deterministic virtual
+/// clock. SimTime is a point on that clock; SimDuration is a difference of
+/// two points. Both are nanosecond-resolution 64-bit integers, which gives
+/// ~292 years of range — far beyond any simulated experiment.
+///
+/// We deliberately do not use std::chrono for the simulated clock: mixing
+/// simulated and wall-clock quantities is a classic source of bugs in
+/// discrete-event simulators, and a dedicated pair of strong types makes the
+/// two domains un-mixable at compile time.
 #pragma once
 
 #include <cstdint>

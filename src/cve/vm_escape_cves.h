@@ -1,9 +1,10 @@
-// VM-escape vulnerability dataset (paper Table I).
-//
-// The 96 VM-escape CVEs reported 2015-2020 across the five mainstream
-// hypervisor stacks, exactly as the paper tabulates them. This is the
-// threat-model evidence: the rootkit's step 1 ("break out of a VM") rests
-// on the steady supply of these.
+/// \file
+/// VM-escape vulnerability dataset (paper Table I).
+///
+/// The 96 VM-escape CVEs reported 2015-2020 across the five mainstream
+/// hypervisor stacks, exactly as the paper tabulates them. This is the
+/// threat-model evidence: the rootkit's step 1 ("break out of a VM") rests
+/// on the steady supply of these.
 #pragma once
 
 #include <cstdint>

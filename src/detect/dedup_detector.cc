@@ -6,6 +6,17 @@
 
 namespace csk::detect {
 
+DedupVerdict dedup_verdict_at(const DedupDetectionReport& report,
+                              double merged_ratio_threshold) {
+  if (report.verdict == DedupVerdict::kInconclusive) {
+    return DedupVerdict::kInconclusive;
+  }
+  const bool step1 = report.t1_vs_t0 > merged_ratio_threshold;
+  const bool step2 = report.t2_vs_t0 > merged_ratio_threshold;
+  if (!step1) return DedupVerdict::kImpersonationBroken;
+  return step2 ? DedupVerdict::kNestedVmDetected : DedupVerdict::kNoNestedVm;
+}
+
 const char* dedup_verdict_name(DedupVerdict verdict) {
   switch (verdict) {
     case DedupVerdict::kNoNestedVm: return "NO_NESTED_VM";
@@ -133,7 +144,10 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   }
 
   DedupDetectionReport report;
+  const SimTime protocol_start = host_->world()->simulator().now();
   const auto inconclusive = [&](std::string cause) {
+    report.protocol_time =
+        host_->world()->simulator().now() - protocol_start;
     report.verdict = DedupVerdict::kInconclusive;
     report.inconclusive_cause = std::move(cause);
     report.explanation =
@@ -155,6 +169,7 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   // ---- Step 1 -------------------------------------------------------------
   if (!ride_out_stall("t1", &cause)) return inconclusive(std::move(cause));
   report.t1 = load_wait_measure("t1");
+  report.t1_vs_t0 = report.t1.summary.mean / t0_mean;
   report.step1_merged =
       report.t1.summary.mean > config_.merged_ratio_threshold * t0_mean;
 
@@ -164,10 +179,12 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
   // ---- Step 2 -------------------------------------------------------------
   if (!ride_out_stall("t2", &cause)) return inconclusive(std::move(cause));
   report.t2 = load_wait_measure("t2");
+  report.t2_vs_t0 = report.t2.summary.mean / t0_mean;
   report.step2_merged =
       report.t2.summary.mean > config_.merged_ratio_threshold * t0_mean;
 
   report.t1_t2_separation = separation_score(report.t1.us, report.t2.us);
+  report.protocol_time = host_->world()->simulator().now() - protocol_start;
 
   if (!report.step1_merged) {
     report.verdict = DedupVerdict::kImpersonationBroken;

@@ -84,7 +84,28 @@ struct DedupDetectionReport {
   double t1_t2_separation = 0.0;
   /// Why the run degraded, when verdict == kInconclusive.
   std::string inconclusive_cause;
+  /// Threshold-free scores: each step's mean write time relative to the t0
+  /// baseline mean. A step "merged" at threshold r iff its ratio > r, so a
+  /// campaign can sweep r over a recorded report without re-running the
+  /// protocol. Both stay 0 when the run degraded to kInconclusive before
+  /// the corresponding step measured.
+  double t1_vs_t0 = 0.0;
+  double t2_vs_t0 = 0.0;
+  /// The continuous nested-VM score: how slow step-2 writes stayed after
+  /// the guest's change broke any honest sharing. ~1 for a clean host,
+  /// ~t1_vs_t0 when a stale L1 copy keeps re-merging (CloudSkulk).
+  double nested_score() const { return t2_vs_t0; }
+  /// End-to-end simulated time the protocol consumed (both merge waits,
+  /// stall ride-outs, measurements) — the paper's detection latency.
+  SimDuration protocol_time;
 };
+
+/// Re-derives the verdict the protocol would have produced at a different
+/// `merged_ratio_threshold`, from the recorded ratios alone (no re-run).
+/// kInconclusive stays kInconclusive: an incomplete protocol has nothing to
+/// re-threshold — in particular it never degrades to a CLEAN verdict.
+DedupVerdict dedup_verdict_at(const DedupDetectionReport& report,
+                              double merged_ratio_threshold);
 
 class DedupDetector {
  public:

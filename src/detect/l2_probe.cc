@@ -1,9 +1,60 @@
 #include "detect/l2_probe.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "guestos/costs.h"
 #include "obs/metrics.h"
 
 namespace csk::detect {
+
+namespace {
+
+// Shared verdict logic: classifies a completed (conclusive) set of readings
+// under `config`. Used by run() and by guest_probe_verdict_at so a swept
+// threshold reproduces exactly what a live probe would have said.
+GuestProbeVerdict classify_readings(const std::vector<GuestProbeReading>& readings,
+                                    const GuestProbeConfig& config) {
+  int anomalies = 0;
+  int deflated_arith = 0;
+  for (const GuestProbeReading& r : readings) {
+    if (r.exit_heavy && r.ratio > config.anomaly_ratio) ++anomalies;
+    if (!r.exit_heavy && r.ratio < 0.8) ++deflated_arith;
+  }
+  if (anomalies >= config.anomalies_required) {
+    return GuestProbeVerdict::kNestedSuspected;
+  }
+  if (deflated_arith > 0) return GuestProbeVerdict::kClockTampering;
+  return GuestProbeVerdict::kLooksSingleLevel;
+}
+
+}  // namespace
+
+double GuestProbeReport::nested_score(int anomalies_required) const {
+  if (anomalies_required <= 0) anomalies_required = 1;
+  std::vector<double> ratios;
+  for (const GuestProbeReading& r : readings) {
+    if (r.exit_heavy) ratios.push_back(r.ratio);
+  }
+  if (ratios.size() < static_cast<std::size_t>(anomalies_required)) return 0;
+  std::sort(ratios.begin(), ratios.end(), std::greater<double>());
+  return ratios[static_cast<std::size_t>(anomalies_required) - 1];
+}
+
+double GuestProbeReport::arith_ratio() const {
+  for (const GuestProbeReading& r : readings) {
+    if (!r.exit_heavy) return r.ratio;
+  }
+  return 0;
+}
+
+GuestProbeVerdict guest_probe_verdict_at(const GuestProbeReport& report,
+                                         const GuestProbeConfig& config) {
+  if (report.verdict == GuestProbeVerdict::kInconclusive) {
+    return GuestProbeVerdict::kInconclusive;
+  }
+  return classify_readings(report.readings, config);
+}
 
 const char* guest_probe_verdict_name(GuestProbeVerdict verdict) {
   switch (verdict) {
@@ -59,8 +110,6 @@ GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
   };
 
   GuestProbeReport report;
-  int anomalies = 0;
-  int deflated_arith = 0;
   for (const ProbeOp& op : ops) {
     GuestProbeReading r;
     r.op = op.name;
@@ -69,31 +118,28 @@ GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
     r.expected_us = timing_->price(op.cost, hv::Layer::kL1).micros_f();
     const SimDuration actual = timing_->price(op.cost, vm.layer());
     r.observed_us = vm.guest_observed(actual).micros_f();
-    r.ratio = r.observed_us / r.expected_us;
-    if (op.exit_heavy && r.ratio > config_.anomaly_ratio) ++anomalies;
     // Arithmetic cannot legitimately run much *faster* than hardware: an
-    // observed/expected ratio well below 1 means the clock is deflated.
-    if (!op.exit_heavy && r.ratio < 0.8) ++deflated_arith;
+    // observed/expected ratio well below 1 means the clock is deflated —
+    // classify_readings counts that as the deflated-arith cross-check.
+    r.ratio = r.observed_us / r.expected_us;
     obs::metrics()
         .histogram("detect.guest_probe.observed_us", {{"op", r.op}})
         .observe(r.observed_us);
     report.readings.push_back(std::move(r));
   }
 
-  if (anomalies >= config_.anomalies_required) {
-    report.verdict = GuestProbeVerdict::kNestedSuspected;
+  report.verdict = classify_readings(report.readings, config_);
+  if (report.verdict == GuestProbeVerdict::kNestedSuspected) {
     report.explanation =
         "exit-heavy primitives are an order of magnitude above single-level "
         "expectations while arithmetic is flat: a second hypervisor is "
         "multiplying our exits";
-  } else if (deflated_arith > 0) {
-    report.verdict = GuestProbeVerdict::kClockTampering;
+  } else if (report.verdict == GuestProbeVerdict::kClockTampering) {
     report.explanation =
         "IPC timings look normal but an arithmetic-bound loop finished "
         "impossibly fast: the clock we measure with has been scaled — "
         "which is itself §VI-A's point: L2 measurements are attacker data";
   } else {
-    report.verdict = GuestProbeVerdict::kLooksSingleLevel;
     report.explanation = "all probes within single-level expectations";
   }
   obs::metrics()

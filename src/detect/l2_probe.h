@@ -68,7 +68,24 @@ struct GuestProbeReport {
   std::string explanation;
   /// Why the run degraded, when verdict == kInconclusive.
   std::string inconclusive_cause;
+
+  /// Threshold-free nestedness score: the k-th largest exit-heavy
+  /// observed/expected ratio (k = anomalies_required). The probe reaches
+  /// `anomalies_required` anomalies at anomaly threshold r exactly when
+  /// this score exceeds r, so a campaign can sweep r over a recorded
+  /// report. 0 when fewer than k exit-heavy readings exist (in particular
+  /// for an inconclusive run, which measured nothing).
+  double nested_score(int anomalies_required = 2) const;
+  /// Observed/expected ratio of the arithmetic cross-check (0 if absent).
+  /// Well below 1 means the guest's clock is deflated (TSC scaling).
+  double arith_ratio() const;
 };
+
+/// Re-derives the verdict the probe would have produced under a different
+/// config, from the recorded readings alone (no re-run). kInconclusive
+/// stays kInconclusive — it never degrades to a "single level" claim.
+GuestProbeVerdict guest_probe_verdict_at(const GuestProbeReport& report,
+                                         const GuestProbeConfig& config);
 
 class GuestTimingProbe {
  public:

@@ -33,6 +33,22 @@ struct VmcsScanReport {
   std::uint64_t pages_scanned = 0;
   std::vector<Finding> findings;  // VMs containing an L1 hypervisor
   bool hypervisor_found() const { return !findings.empty(); }
+
+  /// Threshold-free score: total signature pages across all findings. A
+  /// campaign sweeps a min-pages threshold over this without re-scanning.
+  std::uint64_t total_signature_pages() const {
+    std::uint64_t total = 0;
+    for (const Finding& f : findings) total += f.pages_with_signature;
+    return total;
+  }
+  /// Stricter call: some VM carries at least `min_pages` signature pages
+  /// (min_pages == 1 reproduces hypervisor_found()).
+  bool hypervisor_found_at(std::uint64_t min_pages) const {
+    for (const Finding& f : findings) {
+      if (f.pages_with_signature >= min_pages) return true;
+    }
+    return false;
+  }
 };
 
 class VmcsScanDetector {

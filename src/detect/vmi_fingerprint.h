@@ -37,6 +37,15 @@ struct VmiFingerprintReport {
   std::uint64_t vms_checked = 0;
   std::uint64_t semantic_gap_failures = 0;  // unparseable proc tables
   bool suspicious() const { return !anomalies.empty(); }
+
+  /// Threshold-free score for campaign sweeps: how many distinct baseline
+  /// violations the introspection found.
+  std::uint64_t anomaly_count() const { return anomalies.size(); }
+  /// Stricter call at a swept threshold (min_anomalies == 1 reproduces
+  /// suspicious()).
+  bool suspicious_at(std::uint64_t min_anomalies) const {
+    return anomaly_count() >= min_anomalies;
+  }
 };
 
 class VmiFingerprintDetector {

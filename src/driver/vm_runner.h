@@ -1,12 +1,13 @@
-// Runs workloads inside simulated VMs.
-//
-// workloads::Workload describes *what* a job costs; vm_runner executes it
-// *somewhere*: it assembles the ExecEnv from the VM (layer, host timing
-// model, ccache state), charges the ops through the VM — so the hosting
-// hypervisor records the exits, the guest dirties pages, and the simulated
-// clock moves — and returns what the guest experienced. This is the bridge
-// the Figure 2 benchmark uses so that "compile times at L1 vs L2" come out
-// of running machines, not of a formula evaluated in a vacuum.
+/// \file
+/// Runs workloads inside simulated VMs.
+///
+/// workloads::Workload describes *what* a job costs; vm_runner executes it
+/// *somewhere*: it assembles the ExecEnv from the VM (layer, host timing
+/// model, ccache state), charges the ops through the VM — so the hosting
+/// hypervisor records the exits, the guest dirties pages, and the simulated
+/// clock moves — and returns what the guest experienced. This is the bridge
+/// the Figure 2 benchmark uses so that "compile times at L1 vs L2" come out
+/// of running machines, not of a formula evaluated in a vacuum.
 #pragma once
 
 #include <vector>

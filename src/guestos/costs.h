@@ -1,10 +1,11 @@
-// OS-primitive cost recipes.
-//
-// Each function returns the layer-independent OpCost of one OS operation,
-// expressed in the TimingModel's primitives. The recipes are calibrated so
-// that pricing them at L0/L1/L2 reproduces lmbench Table III of the paper
-// (see tests/workloads/lmbench_test.cc for the tolerance checks and
-// DESIGN.md §3 for the derivations).
+/// \file
+/// OS-primitive cost recipes.
+///
+/// Each function returns the layer-independent OpCost of one OS operation,
+/// expressed in the TimingModel's primitives. The recipes are calibrated so
+/// that pricing them at L0/L1/L2 reproduces lmbench Table III of the paper
+/// (see tests/workloads/lmbench_test.cc for the tolerance checks and
+/// DESIGN.md §3 for the derivations).
 #pragma once
 
 #include "hv/timing_model.h"

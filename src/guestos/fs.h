@@ -1,9 +1,10 @@
-// SimFs: an in-memory file system for a simulated guest.
-//
-// Files hold per-page contents (real bytes for files the experiments
-// inspect, like the detector's File-A; synthetic hashes for bulk data).
-// SimFs is deliberately flat — the paper's workloads (Filebench, lmbench fs
-// latency, File-A loading) never need directories deeper than a namespace.
+/// \file
+/// SimFs: an in-memory file system for a simulated guest.
+///
+/// Files hold per-page contents (real bytes for files the experiments
+/// inspect, like the detector's File-A; synthetic hashes for bulk data).
+/// SimFs is deliberately flat — the paper's workloads (Filebench, lmbench fs
+/// latency, File-A loading) never need directories deeper than a namespace.
 #pragma once
 
 #include <cstdint>

@@ -1,15 +1,16 @@
-// GuestOS: the operating system running inside a simulated machine.
-//
-// Models the pieces of a Linux guest the paper's experiments touch:
-//   * a process table (fork/execve/exit; `ps` for recon and VMI);
-//   * a page cache — loading a file materializes its pages in the machine's
-//     address space, which is what makes File-A visible to host-side KSM;
-//   * kernel data structures at *known guest-physical locations*: VMI tools
-//     reconstruct OS state by parsing these raw pages, and the two-layer
-//     semantic gap of nested VMs (paper §VI-D2) falls out naturally — a
-//     nested guest's structures live somewhere inside the parent's RAM
-//     where a single-level VMI scanner does not know to look;
-//   * region allocation for hosting a nested VM's "physical" memory.
+/// \file
+/// GuestOS: the operating system running inside a simulated machine.
+///
+/// Models the pieces of a Linux guest the paper's experiments touch:
+///   * a process table (fork/execve/exit; `ps` for recon and VMI);
+///   * a page cache — loading a file materializes its pages in the machine's
+///     address space, which is what makes File-A visible to host-side KSM;
+///   * kernel data structures at *known guest-physical locations*: VMI tools
+///     reconstruct OS state by parsing these raw pages, and the two-layer
+///     semantic gap of nested VMs (paper §VI-D2) falls out naturally — a
+///     nested guest's structures live somewhere inside the parent's RAM
+///     where a single-level VMI scanner does not know to look;
+///   * region allocation for hosting a nested VM's "physical" memory.
 #pragma once
 
 #include <cstdint>

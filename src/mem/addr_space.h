@@ -1,23 +1,24 @@
-// Guest / process address spaces.
-//
-// A *root* AddressSpace maps guest frame numbers directly onto host frames —
-// it models the memory of a QEMU process (a top-level VM) or of a host
-// process such as the dedup detector. Frames are materialized lazily: an
-// untouched gfn reads as the zero page, like anonymous memory on Linux.
-//
-// A *view* AddressSpace models nested-VM memory: its gfns alias a window of
-// a parent address space. An L2 guest's "physical" memory is, from the
-// host's perspective, just a region inside the L1 QEMU process, and the view
-// makes that aliasing explicit — a write through the view lands in the
-// parent's frames and dirties every level on the way down, which is exactly
-// how dirty logging behaves across nested EPT.
-//
-// Hot-path layout: a root's gfn->frame table is a dense vector indexed by
-// gfn (like a real page table, not a hash map), each entry stamped with the
-// map epoch at which it materialized so KSM can scan incrementally without
-// snapshotting; the dirty log is a word-packed bitmap with a running
-// population count, so dirty harvest is a linear word scan and mapped-page
-// enumeration needs no sort.
+/// \file
+/// Guest / process address spaces.
+///
+/// A *root* AddressSpace maps guest frame numbers directly onto host frames —
+/// it models the memory of a QEMU process (a top-level VM) or of a host
+/// process such as the dedup detector. Frames are materialized lazily: an
+/// untouched gfn reads as the zero page, like anonymous memory on Linux.
+///
+/// A *view* AddressSpace models nested-VM memory: its gfns alias a window of
+/// a parent address space. An L2 guest's "physical" memory is, from the
+/// host's perspective, just a region inside the L1 QEMU process, and the view
+/// makes that aliasing explicit — a write through the view lands in the
+/// parent's frames and dirties every level on the way down, which is exactly
+/// how dirty logging behaves across nested EPT.
+///
+/// Hot-path layout: a root's gfn->frame table is a dense vector indexed by
+/// gfn (like a real page table, not a hash map), each entry stamped with the
+/// map epoch at which it materialized so KSM can scan incrementally without
+/// snapshotting; the dirty log is a word-packed bitmap with a running
+/// population count, so dirty harvest is a linear word scan and mapped-page
+/// enumeration needs no sort.
 #pragma once
 
 #include <cstdint>

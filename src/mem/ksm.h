@@ -1,29 +1,30 @@
-// Kernel samepage merging (KSM), as a simulated host daemon.
-//
-// Models Linux's ksmd closely enough for the paper's detection experiment:
-//   * madvise-style region registration (here: whole root address spaces —
-//     QEMU processes register their guest RAM, the detector registers its
-//     File-A buffer);
-//   * a periodic scan that walks candidate pages in batches
-//     (pages_to_scan / sleep_millisecs, kernel defaults 100 / 20 ms);
-//   * the two-tree algorithm: an *unstable* tree of merge candidates that is
-//     rebuilt every full pass, and a *stable* tree of already-shared pages;
-//   * a page must show the same checksum on two consecutive encounters
-//     before it is merge-eligible (volatile-page filtering);
-//   * merged frames become copy-on-write; writes split them and pay the COW
-//     latency in MemTimingModel.
-//
-// Scanning is incremental: the cursor walks each region's dense page table
-// directly, stamped with the region's map epoch at entry so pages mapped
-// mid-visit are deferred to the next lap (the same semantics the old
-// snapshot-vector cursor had, without materializing or sorting anything).
-//
-// Frame numbers are recycled by HostPhysicalMemory, so everything ksmd
-// remembers across scans carries the frame's alloc_id and is revalidated on
-// the next sighting. In particular the volatile filter is keyed by (region,
-// gfn) with an (alloc_id, hash) stamp: keying by raw frame number let a
-// freed-and-reallocated frame inherit the previous tenant's checksum and
-// merge a just-written page one pass early.
+/// \file
+/// Kernel samepage merging (KSM), as a simulated host daemon.
+///
+/// Models Linux's ksmd closely enough for the paper's detection experiment:
+///   * madvise-style region registration (here: whole root address spaces —
+///     QEMU processes register their guest RAM, the detector registers its
+///     File-A buffer);
+///   * a periodic scan that walks candidate pages in batches
+///     (pages_to_scan / sleep_millisecs, kernel defaults 100 / 20 ms);
+///   * the two-tree algorithm: an *unstable* tree of merge candidates that is
+///     rebuilt every full pass, and a *stable* tree of already-shared pages;
+///   * a page must show the same checksum on two consecutive encounters
+///     before it is merge-eligible (volatile-page filtering);
+///   * merged frames become copy-on-write; writes split them and pay the COW
+///     latency in MemTimingModel.
+///
+/// Scanning is incremental: the cursor walks each region's dense page table
+/// directly, stamped with the region's map epoch at entry so pages mapped
+/// mid-visit are deferred to the next lap (the same semantics the old
+/// snapshot-vector cursor had, without materializing or sorting anything).
+///
+/// Frame numbers are recycled by HostPhysicalMemory, so everything ksmd
+/// remembers across scans carries the frame's alloc_id and is revalidated on
+/// the next sighting. In particular the volatile filter is keyed by (region,
+/// gfn) with an (alloc_id, hash) stamp: keying by raw frame number let a
+/// freed-and-reallocated frame inherit the previous tenant's checksum and
+/// merge a just-written page one pass early.
 #pragma once
 
 #include <cstdint>

@@ -1,16 +1,17 @@
-// Page representation.
-//
-// The simulator models 4 KiB pages. Most pages only carry a 64-bit content
-// hash (enough for KSM equality and migration transfer accounting); pages
-// the experiments actually inspect byte-wise — e.g. the detector's File-A —
-// additionally carry real bytes. A page with bytes always has
-// hash == fnv1a(bytes); PageData::make enforces that.
-//
-// Byte contents are immutable and shared: PageData holds them behind a
-// shared_ptr-to-const, so copying a page (the migration pre-copy loop, KSM
-// candidate bookkeeping, guest file caches) never copies the 4 KiB payload.
-// Mutation is copy-out/modify/from_bytes, which mirrors how a real COW
-// memory system treats shared pages.
+/// \file
+/// Page representation.
+///
+/// The simulator models 4 KiB pages. Most pages only carry a 64-bit content
+/// hash (enough for KSM equality and migration transfer accounting); pages
+/// the experiments actually inspect byte-wise — e.g. the detector's File-A —
+/// additionally carry real bytes. A page with bytes always has
+/// hash == fnv1a(bytes); PageData::make enforces that.
+///
+/// Byte contents are immutable and shared: PageData holds them behind a
+/// shared_ptr-to-const, so copying a page (the migration pre-copy loop, KSM
+/// candidate bookkeeping, guest file caches) never copies the 4 KiB payload.
+/// Mutation is copy-out/modify/from_bytes, which mirrors how a real COW
+/// memory system treats shared pages.
 #pragma once
 
 #include <cstdint>

@@ -1,20 +1,21 @@
-// Host physical memory: the frame store underneath every address space on a
-// simulated host.
-//
-// A Frame is one 4 KiB unit of host RAM with content (PageData), a reverse
-// map of (AddressSpace, Gfn) mappers, and KSM sharing state. Frames are
-// reference-counted by their reverse map: when the last mapping goes away
-// the frame is freed. Write timing (regular vs copy-on-write) lives here
-// because it is a property of the host memory system, not of any one guest.
-//
-// Frames live in a dense slot array indexed by frame number, and freed
-// numbers are recycled LIFO — like a real buddy allocator handing back the
-// hottest frame first. Because numbers are recycled, a FrameNumber alone no
-// longer identifies a page's identity over time; every allocation also gets
-// a process-unique `alloc_id`, and anything that remembers a frame across
-// frees (the KSM trees, the volatile-filter stamps) must remember the
-// (frame, alloc_id) pair and revalidate it. See KsmDaemon for the bug this
-// guards against.
+/// \file
+/// Host physical memory: the frame store underneath every address space on a
+/// simulated host.
+///
+/// A Frame is one 4 KiB unit of host RAM with content (PageData), a reverse
+/// map of (AddressSpace, Gfn) mappers, and KSM sharing state. Frames are
+/// reference-counted by their reverse map: when the last mapping goes away
+/// the frame is freed. Write timing (regular vs copy-on-write) lives here
+/// because it is a property of the host memory system, not of any one guest.
+///
+/// Frames live in a dense slot array indexed by frame number, and freed
+/// numbers are recycled LIFO — like a real buddy allocator handing back the
+/// hottest frame first. Because numbers are recycled, a FrameNumber alone no
+/// longer identifies a page's identity over time; every allocation also gets
+/// a process-unique `alloc_id`, and anything that remembers a frame across
+/// frees (the KSM trees, the volatile-filter stamps) must remember the
+/// (frame, alloc_id) pair and revalidate it. See KsmDaemon for the bug this
+/// guards against.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,13 @@
-// SimNetwork: the transport fabric of the simulation.
-//
-// Endpoints bind a (node, port) address and receive packets via callback.
-// Links between node pairs have latency, bandwidth and per-packet CPU cost;
-// a per-link serialization horizon models back-to-back transmission, so
-// bulk flows see realistic throughput and competing flows share capacity.
-// The CloudSkulk scenario runs on one physical machine, so most traffic
-// rides the loopback model — which is exactly why the paper's in-host
-// migration completes in seconds rather than minutes.
+/// \file
+/// SimNetwork: the transport fabric of the simulation.
+///
+/// Endpoints bind a (node, port) address and receive packets via callback.
+/// Links between node pairs have latency, bandwidth and per-packet CPU cost;
+/// a per-link serialization horizon models back-to-back transmission, so
+/// bulk flows see realistic throughput and competing flows share capacity.
+/// The CloudSkulk scenario runs on one physical machine, so most traffic
+/// rides the loopback model — which is exactly why the paper's in-host
+/// migration completes in seconds rather than minutes.
 #pragma once
 
 #include <cstdint>

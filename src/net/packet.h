@@ -1,9 +1,10 @@
-// Simulated network packets.
-//
-// Packets carry a small typed header plus an application payload string.
-// `wire_bytes` is the size charged against link bandwidth; the payload may
-// be a compact stand-in for much larger simulated data (a 1 MiB migration
-// chunk carries a textual descriptor but bills 1 MiB on the wire).
+/// \file
+/// Simulated network packets.
+///
+/// Packets carry a small typed header plus an application payload string.
+/// `wire_bytes` is the size charged against link bandwidth; the payload may
+/// be a compact stand-in for much larger simulated data (a 1 MiB migration
+/// chunk carries a textual descriptor but bills 1 MiB on the wire).
 #pragma once
 
 #include <cstdint>

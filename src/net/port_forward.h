@@ -1,12 +1,13 @@
-// Port forwarding with interception taps.
-//
-// QEMU user-mode networking forwards a host port into a guest; CloudSkulk
-// relies on that to keep the victim's SSH endpoint stable across the attack
-// (paper §III-A) and to route migration data HOST:AAAA -> ROOTKIT:BBBB
-// (paper §IV-A). A PortForwarder binds a listen address, NATs flows to a
-// target address, and relays replies back. Taps observe — and, for the
-// attacker's *active* services, mutate or drop — everything that crosses,
-// which is precisely the RITM position the paper describes.
+/// \file
+/// Port forwarding with interception taps.
+///
+/// QEMU user-mode networking forwards a host port into a guest; CloudSkulk
+/// relies on that to keep the victim's SSH endpoint stable across the attack
+/// (paper §III-A) and to route migration data HOST:AAAA -> ROOTKIT:BBBB
+/// (paper §IV-A). A PortForwarder binds a listen address, NATs flows to a
+/// target address, and relays replies back. Taps observe — and, for the
+/// attacker's *active* services, mutate or drop — everything that crosses,
+/// which is precisely the RITM position the paper describes.
 #pragma once
 
 #include <cstdint>

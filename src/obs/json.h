@@ -1,11 +1,12 @@
-// Minimal JSON value, writer and parser.
-//
-// The observability layer emits machine-readable artifacts — metric
-// snapshots, chrome://tracing event streams, BENCH_*.json reports — and the
-// bench smoke test reads them back. Both directions live here so the repo
-// needs no external JSON dependency. The model is deliberately small:
-// null / bool / number (double) / string / array / object, with objects
-// preserving insertion order so emitted files diff cleanly across runs.
+/// \file
+/// Minimal JSON value, writer and parser.
+///
+/// The observability layer emits machine-readable artifacts — metric
+/// snapshots, chrome://tracing event streams, BENCH_*.json reports — and the
+/// bench smoke test reads them back. Both directions live here so the repo
+/// needs no external JSON dependency. The model is deliberately small:
+/// null / bool / number (double) / string / array / object, with objects
+/// preserving insertion order so emitted files diff cleanly across runs.
 #pragma once
 
 #include <cstdint>

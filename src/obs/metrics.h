@@ -1,18 +1,19 @@
-// Lightweight metrics registry: counters, gauges and histograms keyed by
-// name + labels.
-//
-// Simulation components (the hypervisor's per-layer exit accounting, the
-// migration engine's round timeline, ksmd's scan/merge totals, the
-// detectors' probe latencies) publish into a process-global registry;
-// benches snapshot it into BENCH_*.json and tests assert on the snapshot
-// instead of scraping stdout.
-//
-// Two properties the simulator depends on:
-//   * publishing a metric never touches the simulated clock — observation
-//     is free in sim time by construction;
-//   * instrument references are stable for the life of the registry:
-//     reset() zeroes values but never moves or deletes instruments, so
-//     components may cache `Counter*` across test iterations.
+/// \file
+/// Lightweight metrics registry: counters, gauges and histograms keyed by
+/// name + labels.
+///
+/// Simulation components (the hypervisor's per-layer exit accounting, the
+/// migration engine's round timeline, ksmd's scan/merge totals, the
+/// detectors' probe latencies) publish into a process-global registry;
+/// benches snapshot it into BENCH_*.json and tests assert on the snapshot
+/// instead of scraping stdout.
+///
+/// Two properties the simulator depends on:
+///   * publishing a metric never touches the simulated clock — observation
+///     is free in sim time by construction;
+///   * instrument references are stable for the life of the registry:
+///     reset() zeroes values but never moves or deletes instruments, so
+///     components may cache `Counter*` across test iterations.
 #pragma once
 
 #include <cstdint>

@@ -1,13 +1,14 @@
-// Structured trace sink: timestamped spans/events on the *simulated* clock,
-// exportable as chrome://tracing JSON (load the file in chrome://tracing or
-// https://ui.perfetto.dev to see the dispatch loop, migration rounds and
-// daemon activity on one timeline).
-//
-// The sink is disabled by default and every recording call early-returns
-// when disabled, so an untraced run does no work beyond one branch — and,
-// because recording never advances SimTime, enabling it cannot change any
-// simulated result either. Components reach the sink through the global
-// tracer() accessor, mirroring the metrics registry.
+/// \file
+/// Structured trace sink: timestamped spans/events on the *simulated* clock,
+/// exportable as chrome://tracing JSON (load the file in chrome://tracing or
+/// https://ui.perfetto.dev to see the dispatch loop, migration rounds and
+/// daemon activity on one timeline).
+///
+/// The sink is disabled by default and every recording call early-returns
+/// when disabled, so an untraced run does no work beyond one branch — and,
+/// because recording never advances SimTime, enabling it cannot change any
+/// simulated result either. Components reach the sink through the global
+/// tracer() accessor, mirroring the metrics registry.
 #pragma once
 
 #include <cstdint>

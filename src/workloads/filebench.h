@@ -1,8 +1,9 @@
-// Filebench workload (paper Fig 4's IO-intensive series).
-//
-// Models the fileserver personality: a steady mix of create / append /
-// read / delete operations against the guest page cache, composed from the
-// same file-op cost recipes that calibrate Table IV.
+/// \file
+/// Filebench workload (paper Fig 4's IO-intensive series).
+///
+/// Models the fileserver personality: a steady mix of create / append /
+/// read / delete operations against the guest page cache, composed from the
+/// same file-op cost recipes that calibrate Table IV.
 #pragma once
 
 #include "guestos/costs.h"

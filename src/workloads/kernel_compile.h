@@ -1,10 +1,11 @@
-// Linux kernel compile workload (paper Fig 2 and the Fig 4 CPU/memory
-// series): decompress the tree, then compile ~2700 translation units.
-//
-// Each unit is a gcc invocation — a fork+execve, a memory-intensive compute
-// burst, thousands of minor faults, some page-cache IO. The ccache toggle
-// reproduces footnote 1: the authors had ccache working on L0 only, which
-// is the entire 280 % L0->L1 gap.
+/// \file
+/// Linux kernel compile workload (paper Fig 2 and the Fig 4 CPU/memory
+/// series): decompress the tree, then compile ~2700 translation units.
+///
+/// Each unit is a gcc invocation — a fork+execve, a memory-intensive compute
+/// burst, thousands of minor faults, some page-cache IO. The ccache toggle
+/// reproduces footnote 1: the authors had ccache working on L0 only, which
+/// is the entire 280 % L0->L1 gap.
 #pragma once
 
 #include "guestos/costs.h"

@@ -1,9 +1,10 @@
-// lmbench 3.0-a9 microbenchmark suite (paper Tables II, III, IV).
-//
-// Three groups, exactly as the paper reports them:
-//   * arithmetic operation latencies in nanoseconds (Table II);
-//   * process/IPC primitives in microseconds (Table III);
-//   * file create/delete throughput per second at 0K/1K/4K/10K (Table IV).
+/// \file
+/// lmbench 3.0-a9 microbenchmark suite (paper Tables II, III, IV).
+///
+/// Three groups, exactly as the paper reports them:
+///   * arithmetic operation latencies in nanoseconds (Table II);
+///   * process/IPC primitives in microseconds (Table III);
+///   * file create/delete throughput per second at 0K/1K/4K/10K (Table IV).
 #pragma once
 
 #include <string>

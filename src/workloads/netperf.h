@@ -1,13 +1,14 @@
-// Netperf TCP_STREAM workload (paper Fig 3).
-//
-// Bulk unidirectional TCP transfer. With virtio paravirtual networking and
-// interrupt/kick suppression at bulk rates, per-packet exits amortize away
-// and all three layers sustain essentially link-limited throughput — the
-// paper's own conclusion ("nearly the same across all the execution
-// environments", with relative stddevs 1.11 / 10.32 / 3.96 % that dwarf the
-// mean differences). The model therefore produces a layer-degraded mean
-// plus layer-calibrated run-to-run noise; the paper's +8.95 % L1->L2 delta
-// is a noise artifact, not a mechanism, and EXPERIMENTS.md discusses this.
+/// \file
+/// Netperf TCP_STREAM workload (paper Fig 3).
+///
+/// Bulk unidirectional TCP transfer. With virtio paravirtual networking and
+/// interrupt/kick suppression at bulk rates, per-packet exits amortize away
+/// and all three layers sustain essentially link-limited throughput — the
+/// paper's own conclusion ("nearly the same across all the execution
+/// environments", with relative stddevs 1.11 / 10.32 / 3.96 % that dwarf the
+/// mean differences). The model therefore produces a layer-degraded mean
+/// plus layer-calibrated run-to-run noise; the paper's +8.95 % L1->L2 delta
+/// is a noise artifact, not a mechanism, and EXPERIMENTS.md discusses this.
 #pragma once
 
 #include <array>

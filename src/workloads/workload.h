@@ -1,10 +1,11 @@
-// Workload interface.
-//
-// A workload has two faces, matching its two roles in the paper:
-//   * an *op-cost* face — the aggregate OpCost of one run, priced per layer
-//     to produce the performance figures (Fig 2/3, Tables II-IV);
-//   * a *dirty-rate* face — pages/second written while it runs, which is
-//     what live migration fights against (Fig 4).
+/// \file
+/// Workload interface.
+///
+/// A workload has two faces, matching its two roles in the paper:
+///   * an *op-cost* face — the aggregate OpCost of one run, priced per layer
+///     to produce the performance figures (Fig 2/3, Tables II-IV);
+///   * a *dirty-rate* face — pages/second written while it runs, which is
+///     what live migration fights against (Fig 4).
 #pragma once
 
 #include <string>

@@ -1,0 +1,269 @@
+// Campaign tests: the ROC/calibration math standalone, then the full
+// DetectionCampaign on small populations — determinism across worker
+// counts, checkpoint/resume byte-identity, calibration feedback into
+// detector configs, and campaign.* observability.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/roc.h"
+#include "obs/metrics.h"
+
+namespace csk::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- ROC math
+
+std::vector<ScoredSample> separable_samples() {
+  // Clean cluster near 1, infected cluster near 8: perfectly separable.
+  return {{0.9, false, true}, {1.0, false, true}, {1.2, false, true},
+          {7.5, true, true},  {8.0, true, true},  {9.1, true, true}};
+}
+
+TEST(RocPointTest, CountsConfusionAtThreshold) {
+  const RocPoint p = roc_point_at(separable_samples(), 3.0);
+  EXPECT_EQ(p.tp, 3u);
+  EXPECT_EQ(p.fp, 0u);
+  EXPECT_EQ(p.tn, 3u);
+  EXPECT_EQ(p.fn, 0u);
+  EXPECT_DOUBLE_EQ(p.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(p.fpr, 0.0);
+  EXPECT_DOUBLE_EQ(p.precision, 1.0);
+}
+
+TEST(RocPointTest, StrictInequalityAndInconclusiveExclusion) {
+  std::vector<ScoredSample> samples = {{3.0, true, true},
+                                       {3.0, false, true},
+                                       {5.0, true, false}};  // inconclusive
+  const RocPoint p = roc_point_at(samples, 3.0);
+  // score > threshold is strict: both conclusive samples are *not* called.
+  EXPECT_EQ(p.tp, 0u);
+  EXPECT_EQ(p.fn, 1u);
+  EXPECT_EQ(p.tn, 1u);
+  EXPECT_EQ(p.fp, 0u);
+}
+
+TEST(ComputeRocTest, PerfectSeparationHasAucOne) {
+  const RocCurve curve = compute_roc("dedup", separable_samples());
+  EXPECT_DOUBLE_EQ(curve.auc, 1.0);
+  EXPECT_EQ(curve.positives, 3u);
+  EXPECT_EQ(curve.negatives, 3u);
+  EXPECT_EQ(curve.inconclusive, 0u);
+  // The derived grid covers call-everything through call-nothing.
+  ASSERT_FALSE(curve.points.empty());
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+}
+
+TEST(ComputeRocTest, IndistinguishableScoresGiveHalfAuc) {
+  // Identical score for both classes: no threshold separates them; the
+  // curve is the (0,0)-(1,1) diagonal corner set, AUC 0.5.
+  std::vector<ScoredSample> samples = {{2.0, true, true}, {2.0, false, true}};
+  const RocCurve curve = compute_roc("x", samples);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.5);
+}
+
+TEST(ComputeRocTest, InconclusiveOnlySamplesYieldEmptyCurve) {
+  std::vector<ScoredSample> samples = {{1.0, true, false},
+                                       {2.0, false, false}};
+  const RocCurve curve = compute_roc("x", samples);
+  EXPECT_TRUE(curve.points.empty());
+  EXPECT_EQ(curve.inconclusive, 2u);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.0);
+}
+
+TEST(CalibrateTest, PicksMaxTprUnderFprBudget) {
+  const RocCurve curve = compute_roc("dedup", separable_samples());
+  const OperatingPoint op = calibrate(curve, 0.01);
+  EXPECT_TRUE(op.met_fpr_budget);
+  EXPECT_DOUBLE_EQ(op.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(op.fpr, 0.0);
+  // Threshold sits between the clean cluster (<=1.2) and infected (>=7.5).
+  EXPECT_GT(op.threshold, 1.2);
+  EXPECT_LT(op.threshold, 7.5);
+}
+
+TEST(CalibrateTest, TieBreaksTowardLargerThreshold) {
+  // Two points with identical tpr/fpr: prefer the one calling less.
+  RocCurve curve;
+  curve.points = {roc_point_at(separable_samples(), 2.0),
+                  roc_point_at(separable_samples(), 5.0)};
+  const OperatingPoint op = calibrate(curve, 0.01);
+  EXPECT_DOUBLE_EQ(op.threshold, 5.0);
+}
+
+TEST(CalibrateTest, FallsBackToSmallestFprWhenBudgetUnmeetable) {
+  // Only a call-everything point swept: fpr 1.0 > any sane budget.
+  RocCurve curve;
+  curve.points = {roc_point_at(separable_samples(), 0.0)};
+  const OperatingPoint op = calibrate(curve, 0.01);
+  EXPECT_FALSE(op.met_fpr_budget);
+  EXPECT_DOUBLE_EQ(op.fpr, 1.0);
+}
+
+TEST(CalibratedThresholdsTest, AppliesToDetectorConfigs) {
+  CalibratedThresholds cal;
+  cal.dedup_merged_ratio = 4.25;
+  cal.probe_anomaly_ratio = 2.5;
+  detect::DedupDetectorConfig dcfg;
+  detect::GuestProbeConfig pcfg;
+  cal.apply_to(&dcfg);
+  cal.apply_to(&pcfg);
+  EXPECT_DOUBLE_EQ(dcfg.merged_ratio_threshold, 4.25);
+  EXPECT_DOUBLE_EQ(pcfg.anomaly_ratio, 2.5);
+  const std::string json = cal.to_json().dump();
+  EXPECT_NE(json.find("dedup_merged_ratio"), std::string::npos);
+  EXPECT_NE(json.find("ensemble_min_votes"), std::string::npos);
+}
+
+// ------------------------------------------------------- full campaigns
+
+CampaignConfig small_campaign(std::size_t population, int workers) {
+  CampaignConfig cfg;
+  cfg.population = population;
+  cfg.workers = workers;
+  cfg.root_seed = 0xCA41B7A7Eull;
+  // Fast shards: tiny guests, short waits.
+  cfg.scenario.boot_touched_mib = 4;
+  cfg.scenario.guest_memory_mb = 64;
+  cfg.scenario.file_pages_min = 8;
+  cfg.scenario.file_pages_max = 16;
+  cfg.scenario.merge_wait_min_s = 1.0;
+  cfg.scenario.merge_wait_max_s = 3.0;
+  return cfg;
+}
+
+TEST(DetectionCampaignTest, ReportIsByteIdenticalAcrossWorkerCounts) {
+  const std::string one = DetectionCampaign(small_campaign(10, 1))
+                              .run()
+                              .deterministic_json();
+  const std::string two = DetectionCampaign(small_campaign(10, 2))
+                              .run()
+                              .deterministic_json();
+  const std::string eight = DetectionCampaign(small_campaign(10, 8))
+                                .run()
+                                .deterministic_json();
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(DetectionCampaignTest, RepeatedRunsAreByteIdenticalAndAuditClean) {
+  auto cfg = small_campaign(8, 4);
+  cfg.audit = true;
+  DetectionCampaign campaign(cfg);
+  const CampaignReport first = campaign.run();
+  const CampaignReport second = campaign.run();
+  EXPECT_EQ(first.deterministic_json(), second.deterministic_json());
+  EXPECT_TRUE(first.fleet.audited);
+  EXPECT_TRUE(first.fleet.audit_diffs.empty());
+  EXPECT_EQ(first.fleet.failed_shards(), 0u);
+}
+
+TEST(DetectionCampaignTest, PopulationHasBothTruthsAndSaneAnalysis) {
+  const CampaignReport report =
+      DetectionCampaign(small_campaign(12, 4)).run();
+  EXPECT_EQ(report.infected_shards + report.clean_shards, 12u);
+  EXPECT_GT(report.infected_shards, 0u);
+  EXPECT_GT(report.clean_shards, 0u);
+
+  // The dedup detector is the paper's contribution: near-perfect
+  // separation even across varied file sizes and merge waits.
+  const auto& dedup = report.detectors.at("dedup");
+  EXPECT_GE(dedup.roc.auc, 0.9);
+  EXPECT_TRUE(dedup.operating.met_fpr_budget);
+  // The calibrated ratio separates clean (~1) from merged (>~5) scores.
+  EXPECT_GT(report.calibrated.dedup_merged_ratio, 1.0);
+
+  // Evadable detectors can score arbitrarily badly against this population
+  // — a TSC-scaling attacker pushes the L2 probe's score *below* clean
+  // guests' (§VI-A: the measurement itself is attacker data), so even
+  // sub-coin-flip AUC is legitimate. Only the [0,1] bound is structural.
+  for (const auto& [name, eval] : report.detectors) {
+    EXPECT_LE(eval.roc.auc, 1.0) << name;
+    EXPECT_GE(eval.roc.auc, 0.0) << name;
+  }
+  EXPECT_GE(report.ensemble.roc.auc, 0.5);
+  EXPECT_GE(report.calibrated.ensemble_min_votes, 1);
+  EXPECT_LE(report.calibrated.ensemble_min_votes, 4);
+  EXPECT_GT(report.mean_detection_latency_s, 0.0);
+}
+
+TEST(DetectionCampaignTest, InconclusiveRunsAreSetAsideNotClean) {
+  auto cfg = small_campaign(12, 4);
+  cfg.scenario.probe_stall_fraction = 1.0;  // every shard stalls
+  const CampaignReport report = DetectionCampaign(cfg).run();
+  // Dedup and probe degrade on every shard: 2 inconclusive runs each.
+  EXPECT_EQ(report.inconclusive_runs, 24u);
+  const auto& dedup = report.detectors.at("dedup");
+  EXPECT_EQ(dedup.roc.positives + dedup.roc.negatives, 0u);
+  EXPECT_EQ(dedup.roc.inconclusive, 12u);
+  EXPECT_TRUE(dedup.roc.points.empty());
+}
+
+TEST(DetectionCampaignTest, PublishesCampaignCounters) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRegistry scoped(registry);
+  const CampaignReport report =
+      DetectionCampaign(small_campaign(8, 2)).run();
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("campaign.shards{truth=infected}"),
+            report.infected_shards);
+  EXPECT_EQ(snap.counter_or("campaign.shards{truth=clean}"),
+            report.clean_shards);
+  EXPECT_GT(snap.gauge_or("campaign.auc{detector=dedup}", -1.0), 0.0);
+}
+
+class CampaignResumeTest : public ::testing::Test {
+ protected:
+  CampaignResumeTest() {
+    dir_ = (fs::temp_directory_path() /
+            ("csk_campaign_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~CampaignResumeTest() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(CampaignResumeTest, ResumedReportMatchesUninterruptedBytes) {
+  // Baseline: no checkpointing at all.
+  const std::string baseline = DetectionCampaign(small_campaign(8, 2))
+                                   .run()
+                                   .deterministic_json();
+
+  // Checkpointed run, cutting every 3 shards.
+  auto ckpt_cfg = small_campaign(8, 2);
+  ckpt_cfg.checkpoint.directory = dir_;
+  ckpt_cfg.checkpoint.every_shards = 3;
+  const CampaignReport checkpointed = DetectionCampaign(ckpt_cfg).run();
+  EXPECT_EQ(checkpointed.deterministic_json(), baseline);
+  EXPECT_GT(checkpointed.fleet.checkpoints_written, 0u);
+
+  // Resume from the stored checkpoints with a fresh campaign object:
+  // restored shards merge with re-run shards to the same bytes.
+  DetectionCampaign resumed_campaign(ckpt_cfg);
+  auto resumed = resumed_campaign.resume_from();
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_GT(resumed->fleet.resumed_shards, 0u);
+  EXPECT_EQ(resumed->deterministic_json(), baseline);
+}
+
+TEST_F(CampaignResumeTest, ResumeWithoutCheckpointsIsNotFound) {
+  auto cfg = small_campaign(4, 1);
+  cfg.checkpoint.directory = dir_;
+  DetectionCampaign campaign(cfg);
+  EXPECT_FALSE(campaign.resume_from().is_ok());
+}
+
+}  // namespace
+}  // namespace csk::campaign

@@ -248,6 +248,63 @@ TEST_F(VmcsScanTest, CleanHostHasNoFindings) {
   const VmcsScanReport report = scanner.scan();
   EXPECT_FALSE(report.hypervisor_found());
   EXPECT_GT(report.pages_scanned, 0u);
+  // The threshold-free score is zero: no pages, at any min-pages cut.
+  EXPECT_EQ(report.total_signature_pages(), 0u);
+  EXPECT_FALSE(report.hypervisor_found_at(1));
+}
+
+TEST_F(VmcsScanTest, TruncatedVmcsRegionIsSkippedNotMisread) {
+  // A page that *starts* like a VMCS but is shorter than signature +
+  // revision id must be walked past, not parsed out of bounds.
+  vmm::VirtualMachine* vm =
+      host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  const auto page_of = [](std::initializer_list<std::uint8_t> bytes) {
+    return mem::PageData::from_bytes(mem::PageBytes(bytes));
+  };
+  // 4 bytes: signature only, revision id entirely missing.
+  vm->memory().write_page(Gfn(1000), page_of({'V', 'M', 'C', 'S'}));
+  // 7 bytes: revision id cut one byte short.
+  vm->memory().write_page(
+      Gfn(1001), page_of({'V', 'M', 'C', 'S', 0x10, 0x00, 0x00}));
+  VmcsScanDetector scanner(host_);
+  EXPECT_FALSE(scanner.scan().hypervisor_found());
+
+  // Control: exactly 8 bytes with a known revision id IS a finding — the
+  // boundary sits at signature + 4-byte revision id, nowhere stricter.
+  vm->memory().write_page(
+      Gfn(1002),
+      page_of({'V', 'M', 'C', 'S',
+               static_cast<std::uint8_t>(
+                   vmm::VirtualMachine::kDefaultVmcsRevisionId),
+               0x00, 0x00, 0x00}));
+  const VmcsScanReport report = scanner.scan();
+  ASSERT_TRUE(report.hypervisor_found());
+  EXPECT_EQ(report.total_signature_pages(), 1u);
+}
+
+TEST_F(VmcsScanTest, MultipleFindingsFollowVmOrderAndSum) {
+  auto cfg1 = small_vm_config("guestx1", 64, 0, 0);
+  cfg1.cpu_host_passthrough = true;
+  vmm::VirtualMachine* vm1 = host_->launch_vm(cfg1).value();
+  ASSERT_TRUE(vm1->enable_nested_hypervisor().is_ok());
+  auto cfg2 = small_vm_config("guestx2", 64, 0, 0);
+  cfg2.cpu_host_passthrough = true;
+  vmm::VirtualMachine* vm2 = host_->launch_vm(cfg2).value();
+  ASSERT_TRUE(vm2->enable_nested_hypervisor().is_ok());
+
+  VmcsScanDetector scanner(host_);
+  const VmcsScanReport report = scanner.scan();
+  ASSERT_EQ(report.findings.size(), 2u);
+  // Findings come back in the host's VM enumeration order — stable, so
+  // campaign digests and report diffs are reproducible.
+  EXPECT_EQ(report.findings[0].vm_name, "guestx1");
+  EXPECT_EQ(report.findings[1].vm_name, "guestx2");
+  EXPECT_EQ(report.total_signature_pages(),
+            report.findings[0].pages_with_signature +
+                report.findings[1].pages_with_signature);
+  EXPECT_TRUE(report.hypervisor_found_at(1));
+  // A min-pages cut above every finding flags nothing.
+  EXPECT_FALSE(report.hypervisor_found_at(report.total_signature_pages() + 1));
 }
 
 TEST_F(VmcsScanTest, FindsNestedHypervisorByVmcsSignature) {
@@ -356,6 +413,49 @@ TEST_F(VmiFingerprintTest, CarefulImpersonationEvadesFingerprinting) {
   // kernel structures are nowhere the scanner knows to look (double
   // semantic gap) — checked implicitly: only top-level VMs were scanned.
   EXPECT_EQ(report.vms_checked, host_->vms().size());
+}
+
+TEST_F(VmiFingerprintTest, DoubleSemanticGapMakesTheVictimUnreachable) {
+  // §VI-D2: a single-level VMI tool can only walk top-level VMs. After the
+  // install, the VM it sees under the victim's name is the impersonating
+  // L1; the real victim's kernel structures live one semantic gap deeper
+  // and are never enumerated.
+  host_->launch_vm_cmdline(small_vm_config().to_command_line()).value();
+  cloudskulk::InstallerOptions opts;
+  opts.rootkit_boot_touched_mib = 2;
+  cloudskulk::CloudSkulkInstaller installer(host_, opts);
+  ASSERT_TRUE(installer.install().succeeded);
+
+  // The nested victim is not in the host's top-level enumeration.
+  for (vmm::VirtualMachine* vm : host_->vms()) {
+    EXPECT_NE(vm, installer.nested_vm());
+  }
+  // What VMI reads at the known location under the victim's name is the
+  // *L1's* table, not the victim's.
+  VmiFingerprintDetector detector(host_);
+  const auto before = detector.check({guest0_baseline()});
+  EXPECT_EQ(before.vms_checked, host_->vms().size());
+  EXPECT_EQ(before.semantic_gap_failures, 0u);
+
+  // And when the attacker scrambles that L1 table, the tool does not fall
+  // through to the victim's — it hits the semantic gap and reports an
+  // unparseable table (an anomaly, never a silent pass).
+  mem::PageBytes garbage(64, 0xA5);
+  installer.rootkit_vm()->memory().write_page(
+      Gfn(guestos::kProcTableGfn), mem::PageData::from_bytes(garbage));
+  const auto after = detector.check({guest0_baseline()});
+  EXPECT_EQ(after.semantic_gap_failures, 1u);
+  ASSERT_TRUE(after.suspicious());
+  EXPECT_GE(after.anomaly_count(), 1u);
+  EXPECT_TRUE(after.suspicious_at(1));
+  EXPECT_FALSE(after.suspicious_at(after.anomaly_count() + 1));
+  bool saw_gap_anomaly = false;
+  for (const auto& a : after.anomalies) {
+    if (a.what.find("semantic gap") != std::string::npos) {
+      saw_gap_anomaly = true;
+    }
+  }
+  EXPECT_TRUE(saw_gap_anomaly);
 }
 
 }  // namespace

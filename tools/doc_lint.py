@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Documentation coverage lint.
+
+Fails (exit 1) when either:
+  * a public header under src/ lacks a Doxygen ``/// \\file`` comment, or
+  * a src/* subsystem has no section in ARCHITECTURE.md (a heading or body
+    line mentioning ``src/<name>``).
+
+Run from anywhere: the repo root is derived from this file's location.
+Wired into CTest as the ``doc_lint`` test so documentation debt fails the
+suite the same way a broken assertion does.
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+ARCHITECTURE = REPO / "ARCHITECTURE.md"
+
+
+def headers_missing_file_doc() -> list[pathlib.Path]:
+    missing = []
+    for header in sorted(SRC.rglob("*.h")):
+        text = header.read_text(encoding="utf-8", errors="replace")
+        if "/// \\file" not in text:
+            missing.append(header.relative_to(REPO))
+    return missing
+
+
+def subsystems_missing_architecture_section() -> list[str]:
+    arch = ARCHITECTURE.read_text(encoding="utf-8", errors="replace")
+    missing = []
+    for subdir in sorted(SRC.iterdir()):
+        if not subdir.is_dir():
+            continue
+        if f"src/{subdir.name}" not in arch:
+            missing.append(subdir.name)
+    return missing
+
+
+def main() -> int:
+    failed = False
+
+    missing_docs = headers_missing_file_doc()
+    if missing_docs:
+        failed = True
+        print(f"doc_lint: {len(missing_docs)} header(s) lack a '/// \\file' "
+              "comment:")
+        for path in missing_docs:
+            print(f"  {path}")
+
+    missing_arch = subsystems_missing_architecture_section()
+    if missing_arch:
+        failed = True
+        print("doc_lint: subsystem(s) not mentioned in ARCHITECTURE.md:")
+        for name in missing_arch:
+            print(f"  src/{name}")
+
+    if failed:
+        return 1
+    n_headers = sum(1 for _ in SRC.rglob("*.h"))
+    n_subsystems = sum(1 for d in SRC.iterdir() if d.is_dir())
+    print(f"doc_lint: OK ({n_headers} headers documented, "
+          f"{n_subsystems} subsystems covered in ARCHITECTURE.md)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
