@@ -1,0 +1,277 @@
+// Network fabric scaling sweep — burst-batched vs per-packet delivery.
+//
+// Drives fleet-scale netperf traffic (64–1024 endpoints spread over a
+// 16-host topology, every stream sharing one zero-copy payload buffer)
+// through SimNetwork in both delivery modes and measures CPU-time
+// packets/s of the simulator's own hot path, not simulated time. The burst
+// pump coalesces back-to-back arrivals into one simulator event per drain
+// (the NIC-interrupt-moderation analogue), eliminating the per-packet
+// event allocation + priority-queue traffic that dominates fleet runs.
+//
+// Each run has two phases, timed separately because they answer different
+// questions:
+//   * blast  — send() for every packet. Arrival math, link serialization,
+//     stats and the fault hook are identical in both modes by design; the
+//     modes differ only in how the delivery is *scheduled* (a heap push
+//     into the simulator's event queue vs an O(1) link-FIFO append).
+//   * drain  — run_until_idle(): the delivery engine itself. Per-packet
+//     mode pays one simulator event per packet (heap pop across the full
+//     event queue, closure allocation/free, dispatch bookkeeping); burst
+//     mode pays one pump event per burst plus a tiny K-way merge step.
+// The headline speedup is the drain phase — that is the path this fabric
+// rework replaced — and the end-to-end (blast + drain) speedup is always
+// reported next to it, since send-side work is mode-independent and
+// dilutes the ratio.
+//
+// Equivalence is CSK_CHECKed inside the bench, not assumed: both modes
+// must produce the identical delivery-order digest, identical NetworkStats
+// and identical per-link byte counts, or the bench aborts. The traffic is
+// pre-scheduled (non-reactive), the regime where a nonzero burst window is
+// order- and stats-exact; reactive equivalence at window 0 is the golden
+// tier in tests/net_test.cc.
+//
+// CSK_BENCH_TINY=1 shrinks the sweep to two small cells for CI smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "workloads/netperf.h"
+
+namespace {
+
+using namespace csk;
+using csk::bench::Table;
+
+constexpr std::size_t kHosts = 16;
+constexpr std::uint64_t kSegmentsPerEndpoint = 40;
+// Each cell runs kReps times per mode and reports the best observed rate
+// per metric: the fabric is deterministic, so reps only differ by cache /
+// frequency noise, and the reps must agree byte-for-byte (CSK_CHECKed
+// below).
+constexpr int kReps = 5;
+
+bool tiny() {
+  const char* v = std::getenv("CSK_BENCH_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::vector<std::size_t> endpoint_counts() {
+  if (tiny()) return {8, 16};
+  return {64, 128, 256, 512, 1024};
+}
+
+// CPU time, not wall clock: the fabric is single-threaded and deterministic,
+// so process CPU time measures exactly the work under test while scheduler
+// preemption on a shared host (which can double a 10ms wall-clock region)
+// does not count against either mode.
+double now_s() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+struct ModeResult {
+  double pps = 0;                 // end-to-end packets/s (blast + drain)
+  double blast_pps = 0;           // send()-side packets/s
+  double drain_pps = 0;           // delivery-engine packets/s
+  std::uint64_t packets = 0;      // segments delivered
+  std::uint64_t events = 0;       // simulator events dispatched
+  std::uint64_t order_digest = 0; // FNV over (endpoint, seq) delivery order
+  std::string stats;              // NetworkStats + per-link bytes, canonical
+};
+
+std::string stats_line(const net::SimNetwork& network) {
+  const net::NetworkStats& s = network.stats();
+  std::ostringstream os;
+  os << s.packets_sent << '/' << s.packets_delivered << '/'
+     << s.packets_dropped_unbound << '/' << s.bytes_delivered << '/'
+     << s.packets_dropped_fault << '/' << s.packets_delayed_fault;
+  for (std::size_t a = 0; a < kHosts; ++a) {
+    for (std::size_t b = 0; b < kHosts; ++b) {
+      const net::LinkStats ls = network.link_stats("s" + std::to_string(a),
+                                                   "h" + std::to_string(b));
+      if (ls.packets_sent != 0) {
+        os << '|' << a << '>' << b << ':' << ls.packets_sent << ','
+           << ls.bytes_sent;
+      }
+    }
+  }
+  return os.str();
+}
+
+ModeResult run_mode_once(std::size_t endpoints, net::DeliveryMode mode) {
+  sim::Simulator sim;
+  net::SimNetwork network(&sim);
+  network.set_delivery_mode(mode);
+  if (mode == net::DeliveryMode::kBurst) {
+    network.set_burst_window(SimDuration::micros(100));
+  }
+
+  ModeResult out;
+  out.order_digest = 0xcbf29ce484222325ull;
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    const net::NetAddr addr{"h" + std::to_string(i % kHosts),
+                            Port(static_cast<std::uint16_t>(1000 + i / kHosts))};
+    // const& receiver: the digest only reads seq, so the fabric's rvalue
+    // hand-off binds without a per-delivery Packet move in either mode.
+    auto bound = network.bind(addr, [&out, &delivered, i](const net::Packet& p) {
+      ++delivered;
+      out.order_digest ^= (static_cast<std::uint64_t>(i) << 32) ^ p.seq;
+      out.order_digest *= 0x100000001b3ull;
+    });
+    CSK_CHECK(bound.is_ok());
+  }
+
+  std::vector<workloads::NetperfPacketStream> streams;
+  streams.reserve(endpoints);
+  for (std::size_t i = 0; i < endpoints; ++i) {
+    streams.emplace_back(
+        &network,
+        net::NetAddr{"s" + std::to_string(i % kHosts), Port(9)},
+        net::NetAddr{"h" + std::to_string(i % kHosts),
+                     Port(static_cast<std::uint16_t>(1000 + i / kHosts))});
+  }
+
+  const std::uint64_t events0 = sim.dispatched();
+  const double t0 = now_s();
+  for (auto& stream : streams) stream.blast(kSegmentsPerEndpoint);
+  const double t1 = now_s();
+  sim.run_until_idle();
+  const double t2 = now_s();
+
+  out.packets = delivered;
+  out.events = sim.dispatched() - events0;
+  out.pps = static_cast<double>(delivered) / (t2 - t0);
+  out.blast_pps = static_cast<double>(delivered) / (t1 - t0);
+  out.drain_pps = static_cast<double>(delivered) / (t2 - t1);
+  out.stats = stats_line(network);
+  CSK_CHECK(delivered == endpoints * kSegmentsPerEndpoint);
+  return out;
+}
+
+ModeResult run_mode(std::size_t endpoints, net::DeliveryMode mode) {
+  ModeResult best = run_mode_once(endpoints, mode);
+  for (int rep = 1; rep < kReps; ++rep) {
+    ModeResult r = run_mode_once(endpoints, mode);
+    // Reps are deterministic replays; only the clock may differ. Each rate
+    // keeps its own best (min observed CPU time), the usual benchmarking
+    // answer to one-off cache evictions from neighbors on a shared host.
+    CSK_CHECK(r.order_digest == best.order_digest);
+    CSK_CHECK(r.stats == best.stats);
+    CSK_CHECK(r.packets == best.packets);
+    CSK_CHECK(r.events == best.events);
+    best.pps = std::max(best.pps, r.pps);
+    best.blast_pps = std::max(best.blast_pps, r.blast_pps);
+    best.drain_pps = std::max(best.drain_pps, r.drain_pps);
+  }
+  return best;
+}
+
+struct Cell {
+  std::size_t endpoints = 0;
+  ModeResult per_packet;
+  ModeResult burst;
+};
+
+Cell run_cell(std::size_t endpoints) {
+  Cell cell;
+  cell.endpoints = endpoints;
+  cell.per_packet = run_mode(endpoints, net::DeliveryMode::kPerPacket);
+  cell.burst = run_mode(endpoints, net::DeliveryMode::kBurst);
+  // The acceptance gate: batching must be observationally invisible.
+  CSK_CHECK(cell.burst.order_digest == cell.per_packet.order_digest);
+  CSK_CHECK(cell.burst.stats == cell.per_packet.stats);
+  CSK_CHECK(cell.burst.packets == cell.per_packet.packets);
+  return cell;
+}
+
+const std::vector<Cell>& results() {
+  static const std::vector<Cell> cached = [] {
+    net::set_hot_path_counters_enabled(true);
+    std::vector<Cell> cells;
+    for (std::size_t n : endpoint_counts()) cells.push_back(run_cell(n));
+    return cells;
+  }();
+  return cached;
+}
+
+void BM_NetScaling(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(results());
+  // Tiny mode (CSK_BENCH_TINY) runs fewer cells than the registered range.
+  if (idx >= results().size()) return;
+  const Cell& c = results()[idx];
+  state.counters["endpoints"] = static_cast<double>(c.endpoints);
+  state.counters["perpacket_delivery_pps"] = c.per_packet.drain_pps;
+  state.counters["burst_delivery_pps"] = c.burst.drain_pps;
+  state.counters["delivery_speedup_x"] = c.burst.drain_pps / c.per_packet.drain_pps;
+  state.counters["end_to_end_speedup_x"] = c.burst.pps / c.per_packet.pps;
+}
+BENCHMARK(BM_NetScaling)->DenseRange(0, 4)->Iterations(1);
+
+void print_tables() {
+  Table table("Network fabric scaling — burst-batched vs per-packet delivery");
+  table.columns({"endpoints", "packets", "per-packet delivery (pkt/s)",
+                 "burst delivery (pkt/s)", "delivery x", "end-to-end x",
+                 "events/pkt (per-packet)", "events/pkt (burst)"});
+  for (const Cell& c : results()) {
+    table.row({std::to_string(c.endpoints), std::to_string(c.per_packet.packets),
+               csk::format_fixed(c.per_packet.drain_pps, 0),
+               csk::format_fixed(c.burst.drain_pps, 0),
+               csk::format_fixed(c.burst.drain_pps / c.per_packet.drain_pps, 1),
+               csk::format_fixed(c.burst.pps / c.per_packet.pps, 1),
+               csk::format_fixed(static_cast<double>(c.per_packet.events) /
+                                     static_cast<double>(c.per_packet.packets),
+                                 2),
+               csk::format_fixed(static_cast<double>(c.burst.events) /
+                                     static_cast<double>(c.burst.packets),
+                                 3)});
+  }
+  table.note("CPU-time throughput of the fabric's own data structures (not "
+             "simulated time). 'delivery' times run_until_idle() alone — the "
+             "event-dispatch path the burst pump replaces; 'end-to-end' adds "
+             "the send() phase, which is mode-independent by construction. "
+             "Both modes CSK_CHECKed to identical delivery order, "
+             "NetworkStats and per-link bytes");
+  table.print();
+
+  for (const Cell& c : results()) {
+    const std::string p = "endpoints=" + std::to_string(c.endpoints) + "/";
+    csk::bench::report()
+        .add(p + "perpacket_delivery_pps", c.per_packet.drain_pps, "packets/s")
+        .add(p + "burst_delivery_pps", c.burst.drain_pps, "packets/s")
+        .add(p + "delivery_speedup_x",
+             c.burst.drain_pps / c.per_packet.drain_pps)
+        .add(p + "perpacket_end_to_end_pps", c.per_packet.pps, "packets/s")
+        .add(p + "burst_end_to_end_pps", c.burst.pps, "packets/s")
+        .add(p + "end_to_end_speedup_x", c.burst.pps / c.per_packet.pps)
+        .add(p + "perpacket_events_per_pkt",
+             static_cast<double>(c.per_packet.events) /
+                 static_cast<double>(c.per_packet.packets))
+        .add(p + "burst_events_per_pkt",
+             static_cast<double>(c.burst.events) /
+                 static_cast<double>(c.burst.packets));
+  }
+  csk::bench::report().note(
+      "burst window 100us over pre-scheduled netperf streams; delivery "
+      "order digest, NetworkStats and per-link bytes CSK_CHECKed identical "
+      "between modes before any number is reported; delivery_speedup_x "
+      "isolates the dispatch path (one event per packet vs one per burst), "
+      "end_to_end_speedup_x includes the mode-independent send() phase");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

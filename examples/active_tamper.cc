@@ -40,7 +40,7 @@ int main() {
   // Victim services: a mail spool and a tiny bank.
   std::vector<std::string> mail_spool;
   (void)nested->bind_guest_port(Port(25), [&](net::Packet pkt) {
-    mail_spool.push_back(pkt.payload);
+    mail_spool.push_back(pkt.payload.str());
   });
   (void)nested->bind_guest_port(Port(80), [&](net::Packet pkt) {
     net::Packet reply = pkt;
@@ -74,7 +74,7 @@ int main() {
   };
   std::vector<std::string> client_rx;
   (void)world.network().bind({"client", Port(40000)}, [&](net::Packet p) {
-    client_rx.push_back(p.payload);
+    client_rx.push_back(p.payload.str());
   });
 
   std::printf("sending three emails to the victim's mail server...\n");

@@ -53,7 +53,11 @@ net::PacketTap::Verdict PacketTamperer::inspect(net::Packet& pkt,
       ++stats_[i].dropped;
       return Verdict::kDrop;
     }
-    pkt.payload.replace(pos, rule.match.size(), rule.replacement);
+    // Payload buffers are shared and immutable: rewrite = copy out, edit,
+    // swap in a fresh buffer (other refs to the original are unaffected).
+    std::string rewritten = pkt.payload.str();
+    rewritten.replace(pos, rule.match.size(), rule.replacement);
+    pkt.payload = net::PayloadRef(std::move(rewritten));
     ++stats_[i].rewritten;
     // A rewritten packet continues through later rules, like an iptables
     // chain without an ACCEPT shortcut.

@@ -32,7 +32,7 @@ net::PacketTap::Verdict KeystrokeLogger::inspect(net::Packet& pkt,
                                                  Direction dir) {
   if (dir == Direction::kForward &&
       pkt.kind == net::ProtoKind::kSshKeystroke) {
-    transcript_ += pkt.payload;
+    transcript_ += pkt.payload.view();
     keystrokes_ += pkt.payload.size();
   }
   return Verdict::kPass;

@@ -7,6 +7,16 @@
 
 namespace csk::net {
 
+namespace {
+bool g_hot_path_counters = false;
+}  // namespace
+
+void set_hot_path_counters_enabled(bool enabled) {
+  g_hot_path_counters = enabled;
+}
+
+bool hot_path_counters_enabled() { return g_hot_path_counters; }
+
 const char* proto_kind_name(ProtoKind kind) {
   switch (kind) {
     case ProtoKind::kGeneric: return "generic";
@@ -23,16 +33,20 @@ const char* proto_kind_name(ProtoKind kind) {
 
 SimNetwork::SimNetwork(sim::Simulator* simulator) : simulator_(simulator) {
   CSK_CHECK(simulator != nullptr);
+  if (g_hot_path_counters) {
+    c_bursts_ = &obs::metrics().counter("net.bursts");
+    c_batched_packets_ = &obs::metrics().counter("net.batched_packets");
+  }
 }
 
 Result<EndpointId> SimNetwork::bind(const NetAddr& addr, RecvHandler handler) {
   CSK_CHECK(handler != nullptr);
-  const auto key = std::make_pair(addr.node, addr.port.value());
-  if (bindings_.contains(key)) {
+  if (is_bound(addr)) {
     return already_exists("address in use: " + addr.to_string());
   }
   const EndpointId id = endpoint_ids_.next();
-  bindings_.emplace(key, std::make_pair(id, std::move(handler)));
+  bindings_.emplace(std::make_pair(addr.node, addr.port.value()),
+                    std::make_pair(id, std::move(handler)));
   endpoint_addrs_.emplace(id, addr);
   return id;
 }
@@ -40,12 +54,15 @@ Result<EndpointId> SimNetwork::bind(const NetAddr& addr, RecvHandler handler) {
 void SimNetwork::unbind(EndpointId id) {
   auto it = endpoint_addrs_.find(id);
   if (it == endpoint_addrs_.end()) return;
-  bindings_.erase(std::make_pair(it->second.node, it->second.port.value()));
+  auto bit = bindings_.find(AddrKey::View(it->second.node,
+                                           it->second.port.value()));
+  if (bit != bindings_.end()) bindings_.erase(bit);
   endpoint_addrs_.erase(it);
 }
 
 bool SimNetwork::is_bound(const NetAddr& addr) const {
-  return bindings_.contains(std::make_pair(addr.node, addr.port.value()));
+  return bindings_.find(AddrKey::View(addr.node, addr.port.value())) !=
+         bindings_.end();
 }
 
 Result<NetAddr> SimNetwork::address_of(EndpointId id) const {
@@ -58,25 +75,61 @@ void SimNetwork::set_link(const std::string& node_a, const std::string& node_b,
                           LinkModel model) {
   auto key = node_a <= node_b ? std::make_pair(node_a, node_b)
                               : std::make_pair(node_b, node_a);
-  links_[key] = LinkState{model, links_.contains(key) ? links_[key].busy_until
-                                                      : SimTime::origin()};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_.emplace(key, LinkState{model, SimTime::origin(), LinkStats{}, {}})
+             .first;
+    it->second.end_a = &it->first.first;
+    it->second.end_b = &it->first.second;
+  } else {
+    it->second.model = model;  // horizon and stats survive a remodel
+  }
+}
+
+void SimNetwork::set_burst_window(SimDuration window) {
+  CSK_CHECK(window >= SimDuration::zero());
+  burst_window_ = window;
 }
 
 SimNetwork::LinkState& SimNetwork::link_state(const std::string& a,
                                               const std::string& b) {
-  auto key = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (memo_link_ != nullptr && a == memo_a_ && b == memo_b_) {
+    return *memo_link_;
+  }
+  const NodePairLess::View key =
+      a <= b ? NodePairLess::View(a, b) : NodePairLess::View(b, a);
   auto it = links_.find(key);
-  if (it != links_.end()) return it->second;
-  const LinkModel model = (a == b) ? loopback_link_ : default_link_;
-  return links_.emplace(key, LinkState{model, SimTime::origin()}).first->second;
+  if (it == links_.end()) {
+    const LinkModel model = (a == b) ? loopback_link_ : default_link_;
+    it = links_
+             .emplace(std::make_pair(std::string(key.first),
+                                     std::string(key.second)),
+                      LinkState{model, SimTime::origin(), LinkStats{}, {}})
+             .first;
+    it->second.end_a = &it->first.first;
+    it->second.end_b = &it->first.second;
+  }
+  memo_a_ = a;
+  memo_b_ = b;
+  memo_link_ = &it->second;
+  return *memo_link_;
 }
 
 const LinkModel& SimNetwork::link_model(const std::string& a,
                                         const std::string& b) const {
-  auto key = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  const NodePairLess::View key =
+      a <= b ? NodePairLess::View(a, b) : NodePairLess::View(b, a);
   auto it = links_.find(key);
   if (it != links_.end()) return it->second.model;
   return (a == b) ? loopback_link_ : default_link_;
+}
+
+LinkStats SimNetwork::link_stats(const std::string& a,
+                                 const std::string& b) const {
+  const NodePairLess::View key =
+      a <= b ? NodePairLess::View(a, b) : NodePairLess::View(b, a);
+  auto it = links_.find(key);
+  return it != links_.end() ? it->second.stats : LinkStats{};
 }
 
 SimTime SimNetwork::send(const NetAddr& dst, Packet pkt) {
@@ -91,8 +144,13 @@ SimTime SimNetwork::send(const NetAddr& dst, Packet pkt) {
   const SimTime tx_done =
       depart + SimDuration::from_seconds(tx_seconds) + link.model.per_packet_cpu;
   link.busy_until = tx_done;
+  ++link.stats.packets_sent;
+  link.stats.bytes_sent += pkt.wire_bytes;
   SimTime arrival = tx_done + link.model.latency;
 
+  // The fault hook runs here, once per send() and before any batching:
+  // burst coalescing only changes how the delivery *event* is scheduled,
+  // never what the injector observes or decides.
   if (fault_hook_) {
     const FaultDecision fd = fault_hook_(pkt, pkt.src.node, dst.node);
     if (fd.drop) {
@@ -111,18 +169,153 @@ SimTime SimNetwork::send(const NetAddr& dst, Packet pkt) {
     }
   }
 
+  if (mode_ == DeliveryMode::kBurst) {
+    enqueue_burst(link, arrival, dst, std::move(pkt));
+    return arrival;
+  }
+
   simulator_->schedule_at(arrival, [this, dst, p = std::move(pkt)]() mutable {
-    auto it = bindings_.find(std::make_pair(dst.node, dst.port.value()));
-    if (it == bindings_.end()) {
-      ++stats_.packets_dropped_unbound;
-      CSK_DEBUG << "drop (unbound) " << dst.to_string();
-      return;
-    }
-    ++stats_.packets_delivered;
-    stats_.bytes_delivered += p.wire_bytes;
-    it->second.second(std::move(p));
+    deliver_now(dst.node, dst.port.value(), std::move(p));
   });
   return arrival;
+}
+
+void SimNetwork::deliver_now(std::string_view node, std::uint16_t port,
+                             Packet&& pkt) {
+  auto it = bindings_.find(AddrKey::View(node, port));
+  if (it == bindings_.end()) {
+    ++stats_.packets_dropped_unbound;
+    CSK_DEBUG << "drop (unbound) " << node << ":" << port;
+    return;
+  }
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += pkt.wire_bytes;
+  it->second.second(std::move(pkt));
+}
+
+void SimNetwork::merge_insert(MergeEntry e) {
+  if (merge_.empty() || !MergeLater{}(merge_.back(), e)) {
+    merge_.push_back(e);  // the common case: the new key is the latest
+    return;
+  }
+  auto pos = std::upper_bound(
+      merge_.begin() + static_cast<std::ptrdiff_t>(merge_head_), merge_.end(),
+      e, [](const MergeEntry& a, const MergeEntry& b) {
+        return MergeLater{}(b, a);  // ascending: earlier arrivals first
+      });
+  merge_.insert(pos, e);
+}
+
+void SimNetwork::merge_pop_front() {
+  ++merge_head_;
+  if (merge_head_ == merge_.size()) {
+    merge_.clear();
+    merge_head_ = 0;
+  } else if (merge_head_ >= 64 && merge_head_ * 2 >= merge_.size()) {
+    // Reclaim the drained prefix once it dominates; the surviving suffix is
+    // bounded by one entry per active source, so this memmove is amortized
+    // noise across the >= 64 pops that earned it.
+    merge_.erase(merge_.begin(),
+                 merge_.begin() + static_cast<std::ptrdiff_t>(merge_head_));
+    merge_head_ = 0;
+  }
+}
+
+void SimNetwork::enqueue_burst(LinkState& link, SimTime arrival,
+                               const NetAddr& dst, Packet pkt) {
+  ++flight_count_;
+  const std::uint64_t order = flight_order_++;
+  // Encode the destination as (link, end, port): the link key's node strings
+  // outlive every in-flight packet, so the queue entry carries no NetAddr
+  // and enqueue/drain never copy, move or destroy a destination string.
+  const bool dst_is_b = dst.node == *link.end_b;
+  const std::uint16_t dst_port = dst.port.value();
+  bool new_front = false;
+  if (link.burst_q.empty() || arrival >= link.burst_q.back().arrival) {
+    // Fast path: the link serializes, so arrivals are monotonic and this
+    // is a plain FIFO append — no per-packet heap traffic at all. Only an
+    // empty->nonempty transition changes the source's front, and only a
+    // changed front can change what the merge heap orders on.
+    new_front = link.burst_q.empty();
+    link.burst_q.emplace_back(arrival, order, &link, dst_port, dst_is_b,
+                              std::move(pkt));
+    if (new_front) merge_insert(MergeEntry{arrival, order, &link});
+  } else {
+    // Out-of-order arrival (fault jitter, or a remodel that shrank the
+    // latency below queued traffic's): overflow heap, with a fresh merge
+    // sentinel whenever the overflow front moved earlier. Superseded
+    // sentinels go stale and are discarded by the pump (lazy deletion).
+    new_front = overflow_.empty() || arrival < overflow_.front().arrival;
+    overflow_.emplace_back(arrival, order, &link, dst_port, dst_is_b,
+                           std::move(pkt));
+    std::push_heap(overflow_.begin(), overflow_.end(), FlightLater{});
+    if (new_front) merge_insert(MergeEntry{arrival, order, nullptr});
+  }
+  if (pumping_) return;  // the running pump re-arms after draining
+  if (!new_front) return;  // earliest undelivered arrival unchanged
+  const SimTime due = arrival + burst_window_;
+  if (pump_event_.valid() && due >= pump_due_) return;
+  if (pump_event_.valid()) (void)simulator_->cancel(pump_event_);
+  pump_due_ = due;
+  pump_event_ = simulator_->schedule_at(due, [this] { pump(); });
+}
+
+void SimNetwork::pump() {
+  pump_event_ = EventId::invalid();
+  pumping_ = true;
+  const SimTime now = simulator_->now();
+  std::uint64_t drained = 0;
+  // Drain every due packet in (arrival, send-order) order — the exact order
+  // the per-packet path's simulator events would dispatch in — by merging
+  // the per-link FIFO fronts (plus the overflow heap) through merge_. A
+  // handler sending new due traffic (zero-cost self-loops) extends this
+  // same drain, matching the simulator's same-timestamp FIFO. Each source
+  // is re-keyed on its new front *before* its popped packet is delivered,
+  // so reentrant sends from inside the handler observe the invariant.
+  while (!merge_.empty() && merge_[merge_head_].arrival <= now) {
+    const MergeEntry e = merge_[merge_head_];
+    merge_pop_front();
+    InFlight f;
+    if (e.src == nullptr) {
+      if (overflow_.empty() || overflow_.front().arrival != e.arrival ||
+          overflow_.front().order != e.order) {
+        continue;  // stale sentinel: its packet was delivered or superseded
+      }
+      std::pop_heap(overflow_.begin(), overflow_.end(), FlightLater{});
+      f = std::move(overflow_.back());
+      overflow_.pop_back();
+      if (!overflow_.empty()) {
+        merge_insert(MergeEntry{overflow_.front().arrival,
+                                overflow_.front().order, nullptr});
+      }
+    } else {
+      f = std::move(e.src->burst_q.front());
+      e.src->burst_q.pop_front();
+      if (!e.src->burst_q.empty()) {
+        merge_insert(MergeEntry{e.src->burst_q.front().arrival,
+                                e.src->burst_q.front().order, e.src});
+      }
+    }
+    --flight_count_;
+    ++drained;
+    // The next delivery's source is already decided (the merge front), so
+    // pull its queued InFlight toward the core while this packet's handler
+    // runs — at fleet scale the per-link FIFOs live in L3, not L2.
+    if (!merge_.empty() && merge_[merge_head_].src != nullptr) {
+      __builtin_prefetch(&merge_[merge_head_].src->burst_q.front());
+    }
+    const std::string& dst_node = f.dst_is_b ? *f.link->end_b : *f.link->end_a;
+    deliver_now(dst_node, f.dst_port, std::move(f.pkt));
+  }
+  pumping_ = false;
+  if (c_bursts_ != nullptr && drained > 0) {
+    c_bursts_->add();
+    c_batched_packets_->add(drained);
+  }
+  if (!merge_.empty()) {
+    pump_due_ = merge_[merge_head_].arrival + burst_window_;
+    pump_event_ = simulator_->schedule_at(pump_due_, [this] { pump(); });
+  }
 }
 
 SimTime SimNetwork::estimate_arrival(const std::string& src_node,

@@ -8,14 +8,42 @@
 /// The CloudSkulk scenario runs on one physical machine, so most traffic
 /// rides the loopback model — which is exactly why the paper's in-host
 /// migration completes in seconds rather than minutes.
+///
+/// ## Delivery modes
+///
+/// Arrival times are computed identically in both modes (serialization +
+/// latency + fault-hook adjustments, per packet); the modes differ only in
+/// how the simulator event that *runs the receive handler* is scheduled:
+///
+///   * kPerPacket (default) — one simulator event per packet, the legacy
+///     path. Handler runs at exactly the packet's arrival time.
+///   * kBurst — all in-flight packets sit in one arrival-ordered queue and
+///     a single self-rearming pump event drains every packet that is due.
+///     The pump for the earliest undelivered arrival T fires at
+///     T + burst_window(), so back-to-back traffic (a netperf blast, a
+///     migration stream, a chatty fleet) coalesces into one event per
+///     burst instead of one per packet — the NIC-interrupt-moderation
+///     analogue. Handlers may observe now() up to burst_window() after the
+///     packet's true arrival; with a zero window the pump fires at T itself
+///     and the mode is *timing-exact* with kPerPacket (the golden
+///     equivalence suite in net_test.cc proves byte-identical behavior).
+///
+/// Invariants both modes share, proven by the net equivalence tier:
+///   * delivery order is global arrival order (FIFO among equal arrivals,
+///     in send order) — identical across modes;
+///   * NetworkStats, per-link stats and payload bytes are identical;
+///   * the fault hook is consulted once per send(), *before* any batching,
+///     so fault schedules are mode-independent.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/status.h"
@@ -23,10 +51,26 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 
+namespace csk::obs {
+class Counter;
+}  // namespace csk::obs
+
 namespace csk::net {
 
-/// Delivery handler for a bound endpoint.
-using RecvHandler = std::function<void(Packet)>;
+/// Opt-in hot-path counters (`net.bursts`, `net.batched_packets`,
+/// `net.tap_zero_copy_bytes`), published like the `mem.*` family: off by
+/// default so the fabric hot path stays store-free; benches and the
+/// zero-copy property tests flip them on. Takes effect for SimNetwork /
+/// PortForwarder instances constructed *after* the call (instances cache
+/// Counter pointers at construction, mirroring mem::AddressSpace).
+void set_hot_path_counters_enabled(bool enabled);
+bool hot_path_counters_enabled();
+
+/// Delivery handler for a bound endpoint. Invoked with an rvalue so the
+/// fabric hands the packet over without intermediate copies; a handler may
+/// take `Packet` by value (taking ownership via one move) or
+/// `const Packet&` — both bind to the rvalue.
+using RecvHandler = std::function<void(Packet&&)>;
 
 /// What a fault hook decides for one packet about to cross the fabric.
 /// `drop` consumes the packet after link serialization (the sender still
@@ -39,7 +83,9 @@ struct FaultDecision {
 
 /// Consulted once per send() when installed (csk::fault installs one; the
 /// default fabric is perfect and never calls it). Must be deterministic for
-/// a given packet sequence — draw randomness only from a seeded Rng.
+/// a given packet sequence — draw randomness only from a seeded Rng. In
+/// burst mode the hook still runs at send() time, before the packet joins
+/// any burst: batching never changes what the injector sees or decides.
 using FaultHook =
     std::function<FaultDecision(const Packet&, const std::string& src_node,
                                 const std::string& dst_node)>;
@@ -64,6 +110,20 @@ struct NetworkStats {
   std::uint64_t packets_delayed_fault = 0;  // arrival postponed by the hook
 };
 
+/// Traffic serialized onto one link (counted at send(), after the wire time
+/// is charged and before any fault tail-drop — identical across delivery
+/// modes by construction).
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// How receive-handler events are scheduled; see the file comment.
+enum class DeliveryMode {
+  kPerPacket,  // legacy: one simulator event per packet
+  kBurst,      // coalesced: one pump event drains all due arrivals
+};
+
 class SimNetwork {
  public:
   explicit SimNetwork(sim::Simulator* simulator);
@@ -74,6 +134,11 @@ class SimNetwork {
   Result<EndpointId> bind(const NetAddr& addr, RecvHandler handler);
 
   /// Releases an endpoint; packets in flight to it are dropped on arrival.
+  /// This contract is delivery-time, not send-time: in burst mode a packet
+  /// whose arrival has passed but whose burst has not yet been pumped is
+  /// still in flight, so an unbind racing a pending burst counts every such
+  /// packet in `packets_dropped_unbound` exactly as the per-packet path
+  /// counts a packet unbound before its arrival event fires.
   void unbind(EndpointId id);
 
   bool is_bound(const NetAddr& addr) const;
@@ -89,7 +154,9 @@ class SimNetwork {
 
   /// Sends `pkt` to `dst`. The packet is delivered asynchronously after
   /// link serialization + latency; if nothing is bound at `dst` on arrival
-  /// it is counted as dropped. Returns the scheduled arrival time.
+  /// it is counted as dropped. Returns the scheduled arrival time (the
+  /// receive handler runs at that time in kPerPacket mode, and at most
+  /// burst_window() later in kBurst mode).
   SimTime send(const NetAddr& dst, Packet pkt);
 
   /// Installs (or, with nullptr, removes) the fault hook. At most one hook
@@ -97,37 +164,234 @@ class SimNetwork {
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
   bool has_fault_hook() const { return fault_hook_ != nullptr; }
 
+  /// Selects how delivery events are scheduled. Switching modes with
+  /// packets in flight is safe: already-queued burst packets drain via the
+  /// pending pump, already-scheduled per-packet events fire as scheduled.
+  void set_delivery_mode(DeliveryMode mode) { mode_ = mode; }
+  DeliveryMode delivery_mode() const { return mode_; }
+
+  /// Burst coalescing horizon (kBurst only): the pump for the earliest
+  /// undelivered arrival T fires at T + window, so every packet arriving
+  /// within the window rides the same event. Zero (the default) keeps the
+  /// pump timing-exact with the per-packet path. Precondition: window >= 0.
+  void set_burst_window(SimDuration window);
+  SimDuration burst_window() const { return burst_window_; }
+
+  /// Packets still queued for a future pump (kBurst only; test/obs helper).
+  std::size_t packets_in_flight() const { return flight_count_; }
+
   /// Allocates a fresh connection id for a new flow.
   ConnId new_conn() { return conn_ids_.next(); }
 
   const NetworkStats& stats() const { return stats_; }
 
+  /// Cumulative traffic on the (a, b) link, zero if it never carried any.
+  LinkStats link_stats(const std::string& a, const std::string& b) const;
+
   /// The earliest time a new packet of `bytes` from `src_node` to
   /// `dst_node` would finish arriving, without sending (planning helper).
+  ///
+  /// Contract — this is a *model-shape* estimate, deliberately cheaper and
+  /// more optimistic than send():
+  ///   * it prices an idle link (the serialization horizon `busy_until` is
+  ///     ignored, so queued bulk traffic makes real arrivals later);
+  ///   * the fault hook is never consulted — injected `extra_latency`
+  ///     jitter and drops do not show up here;
+  ///   * burst mode adds up to burst_window() before the receive handler
+  ///     runs, which the estimate also excludes.
+  /// Use it for planning (migration pacing, timeouts), never as a promise
+  /// of when — or whether — a handler will see the packet.
   SimTime estimate_arrival(const std::string& src_node,
                            const std::string& dst_node,
                            std::uint64_t bytes) const;
 
  private:
+  struct LinkState;
+
+  /// One packet queued for burst delivery. `order` is the global send
+  /// order, the tie-break that reproduces the simulator's FIFO-among-equal-
+  /// timestamps dispatch, so burst delivery order is bit-identical to the
+  /// per-packet path. The destination is stored as the carrying link plus
+  /// which end + port, not a NetAddr: the link's node names live in the
+  /// stable links_ map key, so queueing a packet never copies, moves or
+  /// destroys a destination string.
+  struct InFlight {
+    SimTime arrival;
+    std::uint64_t order = 0;
+    LinkState* link = nullptr;
+    std::uint16_t dst_port = 0;
+    bool dst_is_b = false;  // destination is the link key's second node
+    Packet pkt;
+  };
+  struct FlightLater {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.order > b.order;
+    }
+  };
+
+  /// Contiguous FIFO for a link's in-flight burst packets. A vector plus a
+  /// head cursor beats std::deque here: libstdc++ deque chunks are 512 B,
+  /// i.e. one allocation per ~3 InFlight elements and a pointer chase per
+  /// chunk on drain, whereas this is sequential writes on enqueue and
+  /// sequential prefetchable reads on drain, with capacity reused across
+  /// bursts (the drained prefix is reclaimed whenever the FIFO empties).
+  struct FlightFifo {
+    std::vector<InFlight> items;
+    std::size_t head = 0;
+    bool empty() const { return head == items.size(); }
+    InFlight& front() { return items[head]; }
+    const InFlight& back() const { return items.back(); }
+    template <typename... Args>
+    void emplace_back(Args&&... args) {
+      items.emplace_back(std::forward<Args>(args)...);
+    }
+    void pop_front() {
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
+  };
+
   struct LinkState {
     LinkModel model;
     SimTime busy_until;  // serialization horizon
+    LinkStats stats;
+    /// Burst mode: this link's in-flight packets in arrival order. A link
+    /// serializes, so arrivals are monotonic and enqueue is an O(1)
+    /// push_back; the rare out-of-order arrival (fault jitter, a remodel
+    /// that shrinks latency) falls back to the overflow heap.
+    FlightFifo burst_q;
+    /// The link's endpoints, aliasing the links_ map key (node-based map,
+    /// never erased, so the strings are stable for the fabric's lifetime).
+    const std::string* end_a = nullptr;
+    const std::string* end_b = nullptr;
   };
 
+  /// Heterogeneous map keys: lets send()/deliver-path lookups run on
+  /// string_views of the packet's own addresses, so the hot path never
+  /// materializes a std::pair<std::string, ...> (two allocations) per
+  /// packet just to probe a map.
+  struct NodePairLess {
+    using is_transparent = void;
+    using View = std::pair<std::string_view, std::string_view>;
+    static View view(const std::pair<std::string, std::string>& p) {
+      return {p.first, p.second};
+    }
+    static View view(const View& p) { return p; }
+    bool operator()(const auto& a, const auto& b) const {
+      return view(a) < view(b);
+    }
+  };
+  struct AddrKey {
+    using View = std::pair<std::string_view, std::uint16_t>;
+    static View view(const std::pair<std::string, std::uint16_t>& p) {
+      return {p.first, p.second};
+    }
+    static View view(const View& p) { return p; }
+  };
+  struct AddrHash {
+    using is_transparent = void;
+    std::size_t operator()(const auto& a) const {
+      // Inline FNV-1a: node names are a few characters, short enough that
+      // the loop beats a call into the library's generic string hash on
+      // every delivery.
+      const AddrKey::View v = AddrKey::view(a);
+      std::size_t h = 14695981039346656037ull;
+      for (const char c : v.first) {
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      }
+      return h * 8191u + v.second;
+    }
+  };
+  struct AddrEq {
+    using is_transparent = void;
+    bool operator()(const auto& a, const auto& b) const {
+      return AddrKey::view(a) == AddrKey::view(b);
+    }
+  };
+
+  /// One source of due packets in the burst pump's K-way merge: a link's
+  /// FIFO (`src` points at it) or the overflow heap (`src == nullptr`).
+  /// The key is the source's front element, so the merge structure stays
+  /// tiny (one entry per active source, not per packet).
+  struct MergeEntry {
+    SimTime arrival;
+    std::uint64_t order = 0;
+    LinkState* src = nullptr;
+  };
+  struct MergeLater {
+    bool operator()(const MergeEntry& a, const MergeEntry& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.order > b.order;
+    }
+  };
+
+  /// Resolves the (a, b) link, memoizing the last hit: bulk flows (netperf
+  /// blasts, migration streams) send thousands of packets down one link
+  /// back to back, so the common case is two string compares, not a map
+  /// walk. Pointers into links_ are stable (node-based map, never erased).
   LinkState& link_state(const std::string& a, const std::string& b);
   const LinkModel& link_model(const std::string& a,
                               const std::string& b) const;
+
+  /// Shared delivery body (binding lookup, stats, handler) — the one place
+  /// a packet reaches a receiver, used by both modes. Takes the destination
+  /// as (node, port) views so the burst path can deliver straight out of a
+  /// link's stable key strings without materializing a NetAddr.
+  void deliver_now(std::string_view node, std::uint16_t port, Packet&& pkt);
+
+  /// Queues on `link` for burst delivery and (re)arms the pump if `arrival`
+  /// became the earliest undelivered packet.
+  void enqueue_burst(LinkState& link, SimTime arrival, const NetAddr& dst,
+                     Packet pkt);
+  /// Inserts into the sorted merge run. When a source is re-keyed after a
+  /// pop its new front is usually the latest key among active sources
+  /// (links interleave near-equal arrivals round-robin), so the common case
+  /// is an O(1) tail append; anything else is a small memmove insert among
+  /// the <= one-entry-per-source live suffix.
+  void merge_insert(MergeEntry e);
+  void merge_pop_front();
+  void pump();
 
   sim::Simulator* simulator_;
   FaultHook fault_hook_;
   LinkModel default_link_;
   LinkModel loopback_link_ = LinkModel::loopback();
-  std::map<std::pair<std::string, std::string>, LinkState> links_;
+  std::map<std::pair<std::string, std::string>, LinkState, NodePairLess>
+      links_;
+  std::string memo_a_, memo_b_;     // last link_state() query, as passed
+  LinkState* memo_link_ = nullptr;
   std::unordered_map<EndpointId, NetAddr> endpoint_addrs_;
-  std::map<std::pair<std::string, std::uint16_t>, std::pair<EndpointId, RecvHandler>> bindings_;
+  std::unordered_map<std::pair<std::string, std::uint16_t>,
+                     std::pair<EndpointId, RecvHandler>, AddrHash, AddrEq>
+      bindings_;
   IdAllocator<EndpointId> endpoint_ids_;
   IdAllocator<ConnId> conn_ids_;
   NetworkStats stats_;
+
+  // Burst-delivery state (inactive in kPerPacket mode). Packets live in
+  // per-link FIFOs (LinkState::burst_q) or overflow_; merge_ is the K-way
+  // merge over source fronts: a sorted-ascending run of live entries at
+  // [merge_head_, end), drained by cursor and compacted periodically (the
+  // live suffix is bounded by one entry per active source, so the merge
+  // never sifts a heap per packet). Invariant: a nonempty link FIFO has
+  // exactly one live merge_ entry, keyed by its front; overflow_'s sentinel
+  // entries may go stale (lazy deletion) and are discarded when popped.
+  DeliveryMode mode_ = DeliveryMode::kPerPacket;
+  SimDuration burst_window_ = SimDuration::zero();
+  std::vector<MergeEntry> merge_;     // sorted by (arrival, order)
+  std::size_t merge_head_ = 0;        // first live merge_ entry
+  std::vector<InFlight> overflow_;    // min-heap: out-of-order arrivals
+  std::size_t flight_count_ = 0;
+  std::uint64_t flight_order_ = 0;
+  EventId pump_event_ = EventId::invalid();
+  SimTime pump_due_;
+  bool pumping_ = false;
+  // Cached opt-in hot-path counters (null when disabled at construction).
+  obs::Counter* c_bursts_ = nullptr;
+  obs::Counter* c_batched_packets_ = nullptr;
 };
 
 }  // namespace csk::net

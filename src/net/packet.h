@@ -1,7 +1,9 @@
 /// \file
 /// Simulated network packets.
 ///
-/// Packets carry a small typed header plus an application payload string.
+/// Packets carry a small typed header plus an application payload behind a
+/// shared immutable buffer (net::PayloadRef): copying a Packet — tap
+/// fan-out, forwarder relays, burst queues — never copies the bytes.
 /// `wire_bytes` is the size charged against link bandwidth; the payload may
 /// be a compact stand-in for much larger simulated data (a 1 MiB migration
 /// chunk carries a textual descriptor but bills 1 MiB on the wire).
@@ -11,6 +13,7 @@
 #include <string>
 
 #include "common/ids.h"
+#include "net/payload.h"
 
 namespace csk::net {
 
@@ -50,7 +53,7 @@ struct Packet {
   NetAddr src;               // original sender (informational)
   NetAddr reply_to;          // where responses should go (rewritten by NAT)
   std::uint64_t wire_bytes = 0;
-  std::string payload;
+  PayloadRef payload;  // shared immutable bytes; copying shares, never dups
 };
 
 }  // namespace csk::net

@@ -1,0 +1,138 @@
+/// \file
+/// Zero-copy packet payloads.
+///
+/// A PayloadRef is a refcounted view of an immutable byte buffer — the
+/// net-layer analogue of mem::PageBytesRef. Copying a Packet (tap fan-out,
+/// forwarder relays, burst queues, receivers stashing packets) bumps a
+/// refcount instead of duplicating the bytes; mutation is copy-out/modify/
+/// rebuild, exactly how mem::PageData treats shared pages. The RITM taps
+/// and the sync-mirror forwarding path depend on this: a passive sniffer
+/// observing a 64 KiB bulk segment must not double the fabric's memory
+/// traffic just by looking at it.
+///
+/// The buffer identity (`data()`, `shares_buffer_with()`) and refcount
+/// (`use_count()`) are observable on purpose: the zero-copy property tests
+/// assert that payloads cross the tap chain without duplication.
+///
+/// The refcount is intentionally NON-atomic. Packets are shard-local: each
+/// fleet shard owns its Simulator + SimNetwork and payload buffers never
+/// cross shard threads (the fleet runner's isolation invariant, exercised
+/// under TSan by the net_tsan_smoke target). An atomic refcount would put
+/// two uncontended-but-lock-prefixed RMWs on every packet copy/destroy in
+/// the fabric hot path for a sharing pattern that cannot occur.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace csk::net {
+
+class PayloadRef {
+ public:
+  /// Empty payload; owns no buffer.
+  PayloadRef() = default;
+
+  /// Wraps `text` in a fresh shared buffer (one allocation, no copy beyond
+  /// the move). Implicit so call sites read like the old std::string field.
+  PayloadRef(std::string text)
+      : buf_(text.empty() ? nullptr : new Buf(std::move(text))) {}
+  PayloadRef(const char* text) : PayloadRef(std::string(text)) {}
+  PayloadRef(std::string_view text) : PayloadRef(std::string(text)) {}
+
+  PayloadRef(const PayloadRef& other) : buf_(other.buf_) { acquire(); }
+  PayloadRef(PayloadRef&& other) noexcept : buf_(other.buf_) {
+    other.buf_ = nullptr;
+  }
+  PayloadRef& operator=(const PayloadRef& other) {
+    if (other.buf_ != buf_) {
+      release();
+      buf_ = other.buf_;
+      acquire();
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      release();
+      buf_ = other.buf_;
+      other.buf_ = nullptr;
+    }
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  std::string_view view() const {
+    return buf_ ? std::string_view(buf_->text) : std::string_view();
+  }
+
+  /// The shared buffer (a static empty string when unset). Stable for as
+  /// long as any PayloadRef references it.
+  const std::string& str() const {
+    static const std::string kEmpty;
+    return buf_ ? buf_->text : kEmpty;
+  }
+
+  std::size_t size() const { return buf_ ? buf_->text.size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// std::string-compatible conveniences, so tap/tamperer code reads the
+  /// same as it did against the old std::string field.
+  std::size_t find(std::string_view needle, std::size_t pos = 0) const {
+    return view().find(needle, pos);
+  }
+  std::string substr(std::size_t pos = 0,
+                     std::size_t n = std::string::npos) const {
+    return std::string(view().substr(pos, n));
+  }
+
+  // ------------------------------------------------ zero-copy observability
+
+  /// Buffer identity probe (nullptr when empty).
+  const char* data() const { return buf_ ? buf_->text.data() : nullptr; }
+
+  /// True when both refs alias the exact same buffer (no bytes compared).
+  bool shares_buffer_with(const PayloadRef& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
+  /// References alive on the underlying buffer (0 when empty).
+  long use_count() const {
+    return buf_ ? static_cast<long>(buf_->refs) : 0;
+  }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    return a.buf_ == b.buf_ || a.view() == b.view();
+  }
+  friend bool operator==(const PayloadRef& a, std::string_view b) {
+    return a.view() == b;
+  }
+  // Disambiguates literals (otherwise both the PayloadRef and string_view
+  // overloads are viable via one implicit conversion each).
+  friend bool operator==(const PayloadRef& a, const char* b) {
+    return a.view() == std::string_view(b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const PayloadRef& p) {
+    return os << '"' << p.view() << '"';
+  }
+
+ private:
+  struct Buf {
+    explicit Buf(std::string t) : text(std::move(t)) {}
+    std::size_t refs = 1;  // non-atomic by design: payloads are shard-local
+    const std::string text;
+  };
+
+  void acquire() {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  void release() {
+    if (buf_ != nullptr && --buf_->refs == 0) delete buf_;
+  }
+
+  Buf* buf_ = nullptr;
+};
+
+}  // namespace csk::net

@@ -15,6 +15,9 @@ PortForwarder::PortForwarder(SimNetwork* network, NetAddr listen,
       target_(std::move(target)),
       name_(std::move(name)) {
   CSK_CHECK(network != nullptr);
+  if (hot_path_counters_enabled()) {
+    c_zero_copy_bytes_ = &obs::metrics().counter("net.tap_zero_copy_bytes");
+  }
 }
 
 PortForwarder::~PortForwarder() { stop(); }
@@ -94,6 +97,18 @@ void PortForwarder::add_tap(PacketTap* tap) {
 }
 
 void PortForwarder::remove_tap(PacketTap* tap) {
+  if (inspect_depth_ > 0) {
+    // Called from inside a tap callback: erasing would invalidate the
+    // index walk in on_packet, so null the slot and defer the erase until
+    // the walk unwinds.
+    for (PacketTap*& t : taps_) {
+      if (t == tap) {
+        t = nullptr;
+        taps_need_compact_ = true;
+      }
+    }
+    return;
+  }
   taps_.erase(std::remove(taps_.begin(), taps_.end(), tap), taps_.end());
 }
 
@@ -106,11 +121,33 @@ void PortForwarder::on_packet(Packet pkt) {
 
   const auto dir =
       reverse ? PacketTap::Direction::kReverse : PacketTap::Direction::kForward;
-  for (PacketTap* tap : taps_) {
-    if (tap->inspect(pkt, dir) == PacketTap::Verdict::kDrop) {
-      ++stats_.dropped_by_tap;
-      return;
-    }
+  // Index iteration with a snapshotted bound: a tap may remove any tap
+  // (nulled slot, skipped below, compacted after the walk) or add new ones
+  // (beyond `n_taps`, first seeing the next packet) from inside inspect().
+  const char* const payload_in = pkt.payload.data();
+  bool tap_dropped = false;
+  ++inspect_depth_;
+  const std::size_t n_taps = taps_.size();
+  for (std::size_t i = 0; i < n_taps && !tap_dropped; ++i) {
+    PacketTap* tap = taps_[i];
+    if (tap == nullptr) continue;  // removed during this inspection
+    tap_dropped = tap->inspect(pkt, dir) == PacketTap::Verdict::kDrop;
+  }
+  --inspect_depth_;
+  if (inspect_depth_ == 0 && taps_need_compact_) {
+    taps_.erase(std::remove(taps_.begin(), taps_.end(), nullptr), taps_.end());
+    taps_need_compact_ = false;
+  }
+  if (tap_dropped) {
+    ++stats_.dropped_by_tap;
+    return;
+  }
+  // The whole tap chain ran without duplicating the payload buffer iff the
+  // packet still aliases the buffer it arrived with (a tamperer rewrite
+  // swaps buffers and is deliberately not counted).
+  if (c_zero_copy_bytes_ != nullptr && n_taps > 0 &&
+      pkt.payload.data() == payload_in) {
+    c_zero_copy_bytes_->add(pkt.payload.size());
   }
 
   if (reverse) {

@@ -65,6 +65,12 @@ class PortForwarder {
   void set_target(NetAddr target) { target_ = std::move(target); }
 
   /// Taps run in registration order on both directions. Not owned.
+  ///
+  /// Reentrancy: both calls are safe from inside a tap's inspect() (a tap
+  /// may remove itself or any other tap). A tap removed mid-inspection is
+  /// skipped for the rest of the current packet; a tap added mid-inspection
+  /// first sees the *next* packet. The removed tap is never dereferenced
+  /// again, so `delete`-after-remove from inside a callback is safe too.
   void add_tap(PacketTap* tap);
   void remove_tap(PacketTap* tap);
 
@@ -92,10 +98,18 @@ class PortForwarder {
   NetAddr target_;
   std::string name_;
   EndpointId endpoint_ = EndpointId::invalid();
+  // Null entries are taps removed from inside an in-progress inspection;
+  // they are compacted away once the tap walk unwinds (see on_packet).
   std::vector<PacketTap*> taps_;
+  int inspect_depth_ = 0;
+  bool taps_need_compact_ = false;
   // conn -> the client's original reply address (NAT table).
   std::unordered_map<ConnId, NetAddr> flows_;
   ForwarderStats stats_;
+  // Cached opt-in hot-path counter (null when disabled at construction);
+  // counts payload bytes that crossed the tap chain without buffer
+  // duplication (see net::set_hot_path_counters_enabled).
+  obs::Counter* c_zero_copy_bytes_ = nullptr;
   // Crash-recovery state (inactive unless enable_auto_restart() was called).
   sim::Simulator* restart_sim_ = nullptr;
   RetryPolicy restart_policy_;

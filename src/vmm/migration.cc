@@ -51,16 +51,16 @@ std::string MigrationJob::encode_chunk_payload(std::uint64_t token,
 }
 
 Result<MigrationJob::ChunkRef> MigrationJob::parse_chunk_payload(
-    const std::string& payload) {
+    std::string_view payload) {
   if (!payload.starts_with("MIGCHUNK ")) {
     return invalid_argument("not a migration chunk");
   }
   ChunkRef ref;
   const auto sp = payload.find(' ', 9);
-  if (sp == std::string::npos) return invalid_argument("truncated chunk header");
+  if (sp == std::string_view::npos) return invalid_argument("truncated chunk header");
   try {
-    ref.token = std::stoull(payload.substr(9, sp - 9));
-    ref.seq = std::stoull(payload.substr(sp + 1));
+    ref.token = std::stoull(std::string(payload.substr(9, sp - 9)));
+    ref.seq = std::stoull(std::string(payload.substr(sp + 1)));
   } catch (const std::exception&) {
     return invalid_argument("garbled chunk header");
   }

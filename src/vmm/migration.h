@@ -165,7 +165,7 @@ class MigrationJob {
     std::uint64_t token = 0;
     std::uint64_t seq = 0;
   };
-  static Result<ChunkRef> parse_chunk_payload(const std::string& payload);
+  static Result<ChunkRef> parse_chunk_payload(std::string_view payload);
 
  private:
   struct Chunk {

@@ -87,7 +87,7 @@ VirtualMachine::VirtualMachine(CreateArgs args)
         net::NetAddr{listen_node, Port(*config_.incoming_port)},
         [this](net::Packet p) {
           if (p.kind != net::ProtoKind::kMigrationChunk) return;
-          auto ref = MigrationJob::parse_chunk_payload(p.payload);
+          auto ref = MigrationJob::parse_chunk_payload(p.payload.view());
           if (!ref.is_ok()) {
             CSK_WARN << "garbled migration chunk dropped";
             return;

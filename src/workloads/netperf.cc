@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace csk::workloads {
 
 double NetperfWorkload::throughput_bps(const hv::ExecEnv& env,
@@ -10,6 +12,35 @@ double NetperfWorkload::throughput_bps(const hv::ExecEnv& env,
   const double mean = params_.base_throughput_bps * params_.layer_factor[i];
   const double sample = rng.normal(mean, mean * params_.rel_stddev[i]);
   return std::max(sample, 0.05 * mean);
+}
+
+NetperfPacketStream::NetperfPacketStream(net::SimNetwork* network,
+                                         net::NetAddr src, net::NetAddr dst,
+                                         Options options)
+    : network_(network),
+      src_(std::move(src)),
+      dst_(std::move(dst)),
+      options_(options),
+      payload_(std::string(options.payload_bytes, 'n')),
+      conn_(network->new_conn()) {
+  CSK_CHECK(network != nullptr);
+}
+
+SimTime NetperfPacketStream::blast(std::uint64_t count) {
+  SimTime last = SimTime::origin();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    net::Packet pkt;
+    pkt.conn = conn_;
+    pkt.seq = next_seq_++;
+    pkt.kind = net::ProtoKind::kNetperfBulk;
+    pkt.src = src_;
+    pkt.reply_to = src_;
+    pkt.wire_bytes = options_.segment_bytes;
+    pkt.payload = payload_;  // refcount bump, no byte copy
+    last = network_->send(dst_, std::move(pkt));
+    ++segments_sent_;
+  }
+  return last;
 }
 
 hv::OpCost NetperfWorkload::cost_for(const hv::ExecEnv& env) const {

@@ -12,7 +12,11 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <utility>
 
+#include "net/network.h"
+#include "net/packet.h"
 #include "workloads/workload.h"
 
 namespace csk::workloads {
@@ -47,6 +51,47 @@ class NetperfWorkload final : public Workload {
 
  private:
   Params params_;
+};
+
+/// The fabric-level face of the workload: drives actual kNetperfBulk
+/// packets through a SimNetwork, the way netperf hammers a real NIC. Every
+/// segment of a stream shares ONE immutable payload buffer (PayloadRef), so
+/// tap fan-out, forwarder relays and burst queues move refcounts instead of
+/// bytes — this is the traffic generator behind bench_net_scaling and the
+/// burst-equivalence tests.
+class NetperfPacketStream {
+ public:
+  struct Options {
+    std::uint64_t segment_bytes = 65536;  ///< wire bytes billed per segment
+    std::size_t payload_bytes = 512;      ///< in-memory stand-in buffer size
+  };
+
+  NetperfPacketStream(net::SimNetwork* network, net::NetAddr src,
+                      net::NetAddr dst, Options options);
+  NetperfPacketStream(net::SimNetwork* network, net::NetAddr src,
+                      net::NetAddr dst)
+      : NetperfPacketStream(network, std::move(src), std::move(dst),
+                            Options()) {}
+
+  /// Enqueues `count` back-to-back segments at the current sim time (they
+  /// serialize behind each other on the link). Returns the scheduled
+  /// arrival time of the last segment.
+  SimTime blast(std::uint64_t count);
+
+  std::uint64_t segments_sent() const { return segments_sent_; }
+
+  /// The one buffer all this stream's packets alias (zero-copy probe).
+  const net::PayloadRef& shared_payload() const { return payload_; }
+
+ private:
+  net::SimNetwork* network_;
+  net::NetAddr src_;
+  net::NetAddr dst_;
+  Options options_;
+  net::PayloadRef payload_;
+  ConnId conn_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t segments_sent_ = 0;
 };
 
 }  // namespace csk::workloads

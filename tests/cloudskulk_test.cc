@@ -270,7 +270,7 @@ class RitmTest : public ::testing::Test {
                        ? net::ProtoKind::kHttpResponse
                        : net::ProtoKind::kSshOutput;
       reply.src = net::NetAddr{nested_->node_name(), Port(22)};
-      reply.payload = "echo: " + pkt.payload;
+      reply.payload = "echo: " + pkt.payload.str();
       reply.wire_bytes = reply.payload.size() + 40;
       world_.network().send(pkt.reply_to, std::move(reply));
     });

@@ -88,7 +88,7 @@ TEST_F(EndToEndTest, VictimServiceSurvivesTheAttackTransparently) {
     return vm->bind_guest_port(Port(22), [this, vm](net::Packet pkt) {
       net::Packet reply = pkt;
       reply.src = net::NetAddr{vm->node_name(), Port(22)};
-      reply.payload = "pong:" + pkt.payload;
+      reply.payload = "pong:" + pkt.payload.str();
       world_.network().send(pkt.reply_to, std::move(reply));
     });
   };
@@ -96,7 +96,7 @@ TEST_F(EndToEndTest, VictimServiceSurvivesTheAttackTransparently) {
 
   std::vector<std::string> replies;
   (void)world_.network().bind({"laptop", Port(9000)}, [&](net::Packet p) {
-    replies.push_back(p.payload);
+    replies.push_back(p.payload.str());
   });
   auto ping = [&](const std::string& what) {
     net::Packet p;
@@ -184,7 +184,7 @@ TEST_F(EndToEndTest, PassiveAndActiveServicesComposeOnOneTap) {
 
   std::vector<std::string> replies;
   (void)world_.network().bind({"laptop", Port(9000)}, [&](net::Packet p) {
-    replies.push_back(p.payload);
+    replies.push_back(p.payload.str());
   });
   net::Packet p;
   p.conn = world_.network().new_conn();

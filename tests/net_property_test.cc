@@ -1,0 +1,273 @@
+// Property suite for the zero-copy network fabric (labels: property, net —
+// also the binary behind the net_asan_smoke / net_tsan_smoke targets).
+//
+// Each seed builds a random tap population over a forwarder, random tap
+// churn (drops, self-removing taps that delete themselves mid-inspection,
+// taps spawned from inside a callback), a random delivery mode and burst
+// window, seeded fault weather, and forwarder down/up flaps. Properties:
+//
+//   P1  stats conservation — every sent packet is accounted exactly once:
+//       sent == delivered + dropped_unbound + dropped_fault;
+//   P2  zero-copy — the `net.tap_zero_copy_bytes` counter agrees
+//       byte-for-byte with the forwarded traffic (no tap rewrote, so every
+//       full chain pass must have aliased the sender's buffer);
+//   P3  lifetime — the fabric keeps payload bytes alive after the sender
+//       releases its only reference (ASan turns a violation into a trap);
+//   P4  reentrancy — self-removing, self-deleting and mid-inspect-spawned
+//       taps never leave a dangling pointer in the chain (ASan-verified).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "net/payload.h"
+#include "net/port_forward.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace csk::net {
+namespace {
+
+constexpr std::size_t kPayloadBytes = 128;
+
+// A tap that, per packet, may drop it, remove-and-delete itself, or spawn a
+// fresh tap — all from inside inspect(), which is exactly the reentrancy
+// the PortForwarder contract promises to survive.
+class ChurnTap : public PacketTap {
+ public:
+  ChurnTap(PortForwarder* fwd, std::vector<ChurnTap*>* live, Rng* rng)
+      : fwd_(fwd), live_(live), rng_(rng) {}
+
+  Verdict inspect(Packet&, Direction) override {
+    if (rng_->chance(0.05) && live_->size() < 12) {
+      auto* spawned = new ChurnTap(fwd_, live_, rng_);
+      live_->push_back(spawned);
+      fwd_->add_tap(spawned);  // first sees the next packet
+    }
+    if (rng_->chance(0.05)) {
+      // Self-removal + delete from inside the callback: the forwarder must
+      // never touch this object again (P4; ASan proves it).
+      for (std::size_t i = 0; i < live_->size(); ++i) {
+        if ((*live_)[i] == this) {
+          live_->erase(live_->begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      fwd_->remove_tap(this);
+      const bool drop = rng_->chance(0.5);
+      delete this;
+      return drop ? Verdict::kDrop : Verdict::kPass;
+    }
+    return rng_->chance(0.1) ? Verdict::kDrop : Verdict::kPass;
+  }
+
+ private:
+  PortForwarder* fwd_;
+  std::vector<ChurnTap*>* live_;
+  Rng* rng_;
+};
+
+struct ScenarioResult {
+  NetworkStats stats;
+  std::uint64_t forwarded = 0;
+  std::uint64_t zero_copy_bytes = 0;
+  std::uint64_t rx_ok = 0;       // delivered with intact bytes
+  std::uint64_t rx_corrupt = 0;  // delivered with wrong bytes (must be 0)
+};
+
+ScenarioResult run_property_scenario(std::uint64_t seed) {
+  set_hot_path_counters_enabled(true);
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  PortForwarder fwd(&net, {"relay", Port(2222)}, {"sink", Port(7)});
+  set_hot_path_counters_enabled(false);
+  obs::Counter& zc = obs::metrics().counter("net.tap_zero_copy_bytes");
+  const std::uint64_t zc0 = zc.value();
+
+  Rng rng(seed);
+  if (rng.chance(0.5)) {
+    net.set_delivery_mode(DeliveryMode::kBurst);
+    net.set_burst_window(SimDuration::micros(rng.uniform(100)));
+  }
+
+  // Expected payload bytes per flow seq; the sink checks every delivery
+  // against it after the sender has dropped its own buffer reference (P3).
+  std::unordered_map<std::uint64_t, std::string> expect;
+  ScenarioResult out;
+  (void)net.bind({"sink", Port(7)}, [&](Packet p) {
+    auto it = expect.find(p.seq);
+    if (it != expect.end() && p.payload.view() == it->second) {
+      ++out.rx_ok;
+    } else {
+      ++out.rx_corrupt;
+    }
+  });
+  EXPECT_TRUE(fwd.start().is_ok());
+
+  // One permanent pass-through tap keeps the chain non-empty (the zero-copy
+  // counter only fires for inspected packets), plus churny company.
+  class PassTap : public PacketTap {
+    Verdict inspect(Packet&, Direction) override { return Verdict::kPass; }
+  } keeper;
+  fwd.add_tap(&keeper);
+  std::vector<ChurnTap*> live;
+  for (std::uint64_t i = 0; i < 1 + rng.uniform(4); ++i) {
+    auto* t = new ChurnTap(&fwd, &live, &rng);
+    live.push_back(t);
+    fwd.add_tap(t);
+  }
+
+  // Seeded fault weather, NetFaultSpec-shaped: a loss+jitter window over
+  // the middle of the run.
+  auto hook_rng = std::make_shared<Rng>(derive_seed(seed, 5));
+  const SimTime weather_start = SimTime::origin() + SimDuration::millis(2);
+  const SimTime weather_end = weather_start + SimDuration::millis(6);
+  net.set_fault_hook([&sim, hook_rng, weather_start, weather_end](
+                         const Packet&, const std::string&,
+                         const std::string&) {
+    FaultDecision d;
+    if (sim.now() < weather_start || sim.now() >= weather_end) return d;
+    if (hook_rng->chance(0.15)) {
+      d.drop = true;
+    } else if (hook_rng->chance(0.2)) {
+      d.extra_latency = SimDuration::micros(1 + hook_rng->uniform(500));
+    }
+    return d;
+  });
+
+  // Forwarder flap: down for a stretch mid-run, so in-flight and
+  // freshly-sent packets exercise the unbound path in both modes.
+  sim.schedule_at(SimTime::origin() + SimDuration::millis(4),
+                  [&fwd] { fwd.stop(); });
+  sim.schedule_at(SimTime::origin() + SimDuration::millis(7),
+                  [&fwd] { EXPECT_TRUE(fwd.start().is_ok()); });
+
+  // Client blasts: each packet wraps a fresh shared buffer and the sender's
+  // reference dies with the lambda — from then on only the fabric keeps the
+  // bytes alive.
+  Rng traffic(derive_seed(seed, 9));
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    std::string body = "blob" + std::to_string(i);
+    body.resize(kPayloadBytes, '.');
+    expect.emplace(i, body);
+    const SimTime at =
+        SimTime::origin() + SimDuration::micros(traffic.uniform(12000));
+    sim.schedule_at(at, [&net, &expect, i] {
+      Packet p;
+      p.conn = net.new_conn();
+      p.seq = i;
+      p.src = {"client", Port(9)};
+      p.reply_to = {"client", Port(9)};
+      p.wire_bytes = kPayloadBytes + 40;
+      p.payload = PayloadRef(expect[i]);
+      net.send({"relay", Port(2222)}, std::move(p));
+    });
+  }
+  sim.run_until_idle();
+
+  out.stats = net.stats();
+  out.forwarded = fwd.stats().forwarded;
+  out.zero_copy_bytes = zc.value() - zc0;
+  for (ChurnTap* t : live) {
+    fwd.remove_tap(t);
+    delete t;
+  }
+  return out;
+}
+
+TEST(NetPropertyTest, RandomTapChurnUnderFaultsPreservesInvariants) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const ScenarioResult r = run_property_scenario(seed);
+    // P1: exact conservation, both delivery modes.
+    EXPECT_EQ(r.stats.packets_sent,
+              r.stats.packets_delivered + r.stats.packets_dropped_unbound +
+                  r.stats.packets_dropped_fault)
+        << "seed " << seed;
+    // P2: no tap rewrites in this scenario, so every full chain pass must
+    // have been zero-copy — the counter equals forwarded traffic exactly.
+    EXPECT_EQ(r.zero_copy_bytes, r.forwarded * kPayloadBytes)
+        << "seed " << seed;
+    // P3: nothing delivered with corrupted/freed bytes.
+    EXPECT_EQ(r.rx_corrupt, 0u) << "seed " << seed;
+    // Sanity: the scenario actually moved traffic.
+    EXPECT_GT(r.rx_ok, 0u) << "seed " << seed;
+  }
+}
+
+// A rewrite swaps buffers, so rewritten packets are deliberately *not*
+// counted as zero-copy — pinned here so the counter's meaning never drifts.
+TEST(NetPropertyTest, RewrittenPacketsAreNotCountedZeroCopy) {
+  set_hot_path_counters_enabled(true);
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  PortForwarder fwd(&net, {"relay", Port(2222)}, {"sink", Port(7)});
+  set_hot_path_counters_enabled(false);
+  obs::Counter& zc = obs::metrics().counter("net.tap_zero_copy_bytes");
+  const std::uint64_t zc0 = zc.value();
+
+  std::vector<Packet> rx;
+  (void)net.bind({"sink", Port(7)}, [&](Packet p) { rx.push_back(p); });
+  ASSERT_TRUE(fwd.start().is_ok());
+  class RewriteTap : public PacketTap {
+    Verdict inspect(Packet& pkt, Direction) override {
+      std::string r = pkt.payload.str();
+      r += "!";
+      pkt.payload = PayloadRef(std::move(r));
+      return Verdict::kPass;
+    }
+  } tap;
+  fwd.add_tap(&tap);
+
+  PayloadRef original("payload-bytes");
+  Packet p;
+  p.conn = net.new_conn();
+  p.src = {"client", Port(9)};
+  p.reply_to = {"client", Port(9)};
+  p.wire_bytes = 100;
+  p.payload = original;
+  net.send({"relay", Port(2222)}, std::move(p));
+  sim.run_until_idle();
+
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].payload, "payload-bytes!");
+  EXPECT_FALSE(rx[0].payload.shares_buffer_with(original));
+  EXPECT_EQ(original.use_count(), 1);  // the fabric dropped its references
+  EXPECT_EQ(zc.value(), zc0);
+}
+
+// Burst queues extend payload lifetime past the sender's release: the
+// refcount probe sees exactly the in-flight references, and the bytes
+// survive until the pump delivers them (ASan-verified).
+TEST(NetPropertyTest, BurstQueueKeepsReleasedPayloadAlive) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(DeliveryMode::kBurst);
+  net.set_burst_window(SimDuration::seconds(1));
+  std::string delivered;
+  (void)net.bind({"b", Port(1)}, [&](Packet p) { delivered = p.payload.str(); });
+
+  PayloadRef probe;
+  {
+    PayloadRef sender("outlives-the-sender");
+    probe = sender;  // external alias of the same buffer, refcount bump only
+    Packet p;
+    p.conn = net.new_conn();
+    p.src = {"a", Port(9)};
+    p.reply_to = {"a", Port(9)};
+    p.wire_bytes = 100;
+    p.payload = sender;
+    net.send({"b", Port(1)}, std::move(p));
+  }  // sender's handle gone; probe + the in-flight packet remain
+  EXPECT_EQ(net.packets_in_flight(), 1u);
+  EXPECT_EQ(probe.use_count(), 2);
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, "outlives-the-sender");
+  EXPECT_EQ(probe.use_count(), 1);  // queue drained, last ref is the probe
+}
+
+}  // namespace
+}  // namespace csk::net

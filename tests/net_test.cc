@@ -1,10 +1,23 @@
 // Network fabric tests: binding, delivery, serialization/backpressure,
-// port forwarding and NAT, tap semantics.
+// port forwarding and NAT, tap semantics, zero-copy payloads, burst
+// delivery, and the golden equivalence tier proving the batched fabric
+// observationally identical to the per-packet path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "fleet/fleet.h"
 #include "net/network.h"
 #include "net/port_forward.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
+#include "workloads/netperf.h"
 
 namespace csk::net {
 namespace {
@@ -129,7 +142,7 @@ class ForwarderTest : public NetTest {
     (void)net_.bind(addr, [this, addr](Packet p) {
       Packet reply = p;
       reply.src = addr;
-      reply.payload = "echo:" + p.payload;
+      reply.payload = "echo:" + p.payload.str();
       net_.send(p.reply_to, std::move(reply));
     });
   }
@@ -277,6 +290,595 @@ TEST_F(ForwarderTest, RemoveTapStopsInspection) {
   net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "x"));
   sim_.run_until_idle();
   EXPECT_EQ(tap.count, 0);
+}
+
+// A tap may add/remove taps (itself included) from inside inspect(); the
+// forwarder must keep walking the remaining chain for the current packet.
+class ReentrantTap : public PacketTap {
+ public:
+  explicit ReentrantTap(PortForwarder* fwd) : fwd_(fwd) {}
+  Verdict inspect(Packet&, Direction) override {
+    ++count;
+    if (remove_self) fwd_->remove_tap(this);
+    if (remove_other != nullptr) {
+      fwd_->remove_tap(remove_other);
+      remove_other = nullptr;
+    }
+    return Verdict::kPass;
+  }
+  PortForwarder* fwd_;
+  PacketTap* remove_other = nullptr;
+  bool remove_self = false;
+  int count = 0;
+};
+
+// Regression: remove_tap() from inside inspect() used to erase out from
+// under the forwarder's tap iteration (vector invalidation). Now the slot
+// is nulled and compacted after the walk: the rest of the chain still runs
+// for the current packet, and the removed tap never runs again.
+TEST_F(ForwarderTest, TapMayRemoveItselfDuringInspect) {
+  (void)net_.bind({"guest", Port(22)}, [](Packet) {});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  ReentrantTap first(&fwd);
+  first.remove_self = true;
+  CountingTap second;
+  fwd.add_tap(&first);
+  fwd.add_tap(&second);
+
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "a"));
+  sim_.run_until_idle();
+  EXPECT_EQ(first.count, 1);
+  EXPECT_EQ(second.count, 1);  // chain continued past the self-removal
+
+  net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "b"));
+  sim_.run_until_idle();
+  EXPECT_EQ(first.count, 1);  // gone for good
+  EXPECT_EQ(second.count, 2);
+}
+
+TEST_F(ForwarderTest, TapMayRemoveALaterTapDuringInspect) {
+  (void)net_.bind({"guest", Port(22)}, [](Packet) {});
+  PortForwarder fwd(&net_, {"host", Port(2222)}, {"guest", Port(22)});
+  ASSERT_TRUE(fwd.start().is_ok());
+  ReentrantTap first(&fwd);
+  CountingTap second;
+  first.remove_other = &second;
+  fwd.add_tap(&first);
+  fwd.add_tap(&second);
+
+  for (int i = 0; i < 2; ++i) {
+    net_.send({"host", Port(2222)}, make_packet(net_, {"c", Port(1)}, "x"));
+    sim_.run_until_idle();
+  }
+  EXPECT_EQ(first.count, 2);
+  // Removed before its slot was reached: skipped for that packet too.
+  EXPECT_EQ(second.count, 0);
+}
+
+// --------------------------------------------------------- per-link stats
+
+TEST_F(NetTest, LinkStatsAccumulatePerLink) {
+  (void)net_.bind({"b", Port(1)}, [](Packet) {});
+  (void)net_.bind({"a", Port(1)}, [](Packet) {});
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 100));
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "y", 150));
+  net_.send({"a", Port(1)}, make_packet(net_, {"a", Port(9)}, "z", 70));
+  sim_.run_until_idle();
+
+  EXPECT_EQ(net_.link_stats("a", "b").packets_sent, 2u);
+  EXPECT_EQ(net_.link_stats("a", "b").bytes_sent, 250u);
+  // The key is order-independent.
+  EXPECT_EQ(net_.link_stats("b", "a").packets_sent, 2u);
+  EXPECT_EQ(net_.link_stats("a", "a").bytes_sent, 70u);
+  EXPECT_EQ(net_.link_stats("a", "zzz").packets_sent, 0u);
+}
+
+TEST_F(NetTest, LinkStatsChargeFaultDroppedPackets) {
+  // A tail-dropped packet still crossed the wire: link stats count it,
+  // delivery stats do not.
+  net_.set_fault_hook([](const Packet&, const std::string&,
+                         const std::string&) {
+    return FaultDecision{true, SimDuration::zero()};
+  });
+  (void)net_.bind({"b", Port(1)}, [](Packet) {});
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 100));
+  sim_.run_until_idle();
+  EXPECT_EQ(net_.link_stats("a", "b").packets_sent, 1u);
+  EXPECT_EQ(net_.stats().packets_dropped_fault, 1u);
+  EXPECT_EQ(net_.stats().packets_delivered, 0u);
+}
+
+TEST_F(NetTest, SetLinkRemodelPreservesStatsAndHorizon) {
+  (void)net_.bind({"b", Port(1)}, [](Packet) {});
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 100));
+  sim_.run_until_idle();
+  LinkModel faster;
+  faster.bytes_per_sec = 2.5e9;
+  net_.set_link("a", "b", faster);
+  EXPECT_EQ(net_.link_stats("a", "b").packets_sent, 1u);
+}
+
+// -------------------------------------------- estimate_arrival contract
+
+// estimate_arrival prices an idle link and never consults the fault hook
+// (see the header contract): with the link busy and the hook injecting
+// latency, the real arrival send() reports must come later.
+TEST_F(NetTest, EstimateArrivalIgnoresQueueingAndFaultLatency) {
+  LinkModel slow;
+  slow.latency = SimDuration::millis(1);
+  slow.bytes_per_sec = 1000.0;
+  slow.per_packet_cpu = SimDuration::zero();
+  net_.set_link("a", "b", slow);
+  net_.set_fault_hook([](const Packet&, const std::string&,
+                         const std::string&) {
+    return FaultDecision{false, SimDuration::millis(50)};
+  });
+  (void)net_.bind({"b", Port(1)}, [](Packet) {});
+
+  // Occupy the serialization horizon for 1 s.
+  net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "bulk", 1000));
+  const SimTime estimate = net_.estimate_arrival("a", "b", 500);
+  const SimTime real =
+      net_.send({"b", Port(1)}, make_packet(net_, {"a", Port(9)}, "x", 500));
+  // Idle-link estimate: 500 ms tx + 1 ms latency from now.
+  EXPECT_EQ(estimate.ns(), SimDuration::millis(501).ns());
+  // Real arrival queues behind the bulk packet and eats the injected 50 ms.
+  EXPECT_EQ(real.ns(), SimDuration::millis(1551).ns());
+  sim_.run_until_idle();
+}
+
+// ------------------------------------------------------ burst delivery mode
+
+TEST(BurstModeTest, ZeroWindowIsTimingExact) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(DeliveryMode::kBurst);  // window stays zero
+  LinkModel slow;
+  slow.latency = SimDuration::millis(10);
+  slow.bytes_per_sec = 1000.0;
+  slow.per_packet_cpu = SimDuration::zero();
+  net.set_link("a", "b", slow);
+  std::vector<SimTime> arrivals;
+  (void)net.bind({"b", Port(1)}, [&](Packet) { arrivals.push_back(sim.now()); });
+  net.send({"b", Port(1)}, make_packet(net, {"a", Port(9)}, "x", 500));
+  sim.run_until_idle();
+  ASSERT_EQ(arrivals.size(), 1u);
+  // Identical to the per-packet DeliveryTakesLatencyPlusSerialization case.
+  EXPECT_EQ(arrivals[0].ns(), SimDuration::millis(510).ns());
+}
+
+TEST(BurstModeTest, WindowCoalescesBackToBackPacketsIntoOnePump) {
+  set_hot_path_counters_enabled(true);
+  sim::Simulator sim;
+  SimNetwork net(&sim);  // constructed while enabled: caches the counters
+  set_hot_path_counters_enabled(false);
+  obs::Counter& bursts = obs::metrics().counter("net.bursts");
+  obs::Counter& batched = obs::metrics().counter("net.batched_packets");
+  const std::uint64_t bursts0 = bursts.value();
+  const std::uint64_t batched0 = batched.value();
+
+  net.set_delivery_mode(DeliveryMode::kBurst);
+  net.set_burst_window(SimDuration::seconds(5));
+  LinkModel slow;
+  slow.latency = SimDuration::zero();
+  slow.bytes_per_sec = 1000.0;
+  slow.per_packet_cpu = SimDuration::zero();
+  net.set_link("a", "b", slow);
+
+  std::vector<std::uint64_t> seqs;
+  std::vector<SimTime> at;
+  (void)net.bind({"b", Port(1)}, [&](Packet p) {
+    seqs.push_back(p.seq);
+    at.push_back(sim.now());
+  });
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Packet p = make_packet(net, {"a", Port(9)}, "x", 1000);
+    p.seq = i;
+    net.send({"b", Port(1)}, std::move(p));
+  }
+  // Serialization puts true arrivals at 1 s, 2 s, 3 s; the pump for the
+  // earliest fires at 1 s + 5 s and drains all three in send order.
+  sim.run_until_idle();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2}));
+  for (const SimTime& t : at) {
+    EXPECT_EQ(t.ns(), SimDuration::seconds(6).ns());
+  }
+  EXPECT_EQ(bursts.value() - bursts0, 1u);
+  EXPECT_EQ(batched.value() - batched0, 3u);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+TEST(BurstModeTest, DeliveryNeverLagsArrivalByMoreThanWindow) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(DeliveryMode::kBurst);
+  const SimDuration window = SimDuration::millis(3);
+  net.set_burst_window(window);
+  std::vector<SimTime> delivered;
+  (void)net.bind({"b", Port(1)}, [&](Packet) { delivered.push_back(sim.now()); });
+  std::vector<SimTime> arrivals;
+  Rng rng(0xB125);
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(SimTime::origin() + SimDuration::micros(rng.uniform(20000)),
+                    [&net, &arrivals, &rng] {
+                      arrivals.push_back(net.send(
+                          {"b", Port(1)},
+                          make_packet(net, {"a", Port(9)}, "x",
+                                      40 + rng.uniform(1000))));
+                    });
+  }
+  sim.run_until_idle();
+  ASSERT_EQ(delivered.size(), 50u);
+  // Deliveries come in arrival order; each at most `window` after its true
+  // arrival (and never before it).
+  std::vector<SimTime> sorted = arrivals;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_GE(delivered[i].ns(), sorted[i].ns());
+    EXPECT_LE(delivered[i].ns(), (sorted[i] + window).ns());
+  }
+}
+
+TEST(BurstModeTest, UnbindRacingAPendingBurstCountsDroppedUnbound) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(DeliveryMode::kBurst);
+  net.set_burst_window(SimDuration::seconds(1));
+  int rx = 0;
+  auto ep = net.bind({"b", Port(1)}, [&](Packet) { ++rx; });
+  ASSERT_TRUE(ep.is_ok());
+  const SimTime arrival =
+      net.send({"b", Port(1)}, make_packet(net, {"a", Port(9)}, "x", 100));
+  // Unbind after the packet's true arrival but before its pump fires: the
+  // packet is still in flight and must drop on delivery, exactly like a
+  // per-packet unbind before the arrival event.
+  sim.schedule_at(arrival + SimDuration::micros(1), [&] {
+    EXPECT_EQ(net.packets_in_flight(), 1u);
+    net.unbind(ep.value());
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(rx, 0);
+  EXPECT_EQ(net.stats().packets_dropped_unbound, 1u);
+  EXPECT_EQ(net.stats().packets_delivered, 0u);
+}
+
+TEST(BurstModeTest, SwitchingModesWithPacketsInFlightIsSafe) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(DeliveryMode::kBurst);
+  net.set_burst_window(SimDuration::millis(5));
+  int rx = 0;
+  (void)net.bind({"b", Port(1)}, [&](Packet) { ++rx; });
+  net.send({"b", Port(1)}, make_packet(net, {"a", Port(9)}, "x", 100));
+  net.set_delivery_mode(DeliveryMode::kPerPacket);  // queued packet drains
+  net.send({"b", Port(1)}, make_packet(net, {"a", Port(9)}, "y", 100));
+  sim.run_until_idle();
+  EXPECT_EQ(rx, 2);
+  EXPECT_EQ(net.packets_in_flight(), 0u);
+}
+
+// ------------------------------------------------------- zero-copy payloads
+
+TEST(PayloadRefTest, CopiesShareOneBuffer) {
+  PayloadRef a(std::string("hello world"));
+  PayloadRef b = a;
+  Packet p;
+  p.payload = a;
+  Packet q = p;  // packet copy = refcount bump
+  EXPECT_TRUE(b.shares_buffer_with(a));
+  EXPECT_TRUE(q.payload.shares_buffer_with(a));
+  EXPECT_EQ(a.use_count(), 4);
+  EXPECT_EQ(a.data(), q.payload.data());
+  EXPECT_EQ(q.payload, "hello world");
+}
+
+TEST(PayloadRefTest, CopyAliasesCallerBuffer) {
+  PayloadRef sender("shared-with-sender");
+  PayloadRef p = sender;  // zero-copy hand-off: same buffer, new reference
+  EXPECT_EQ(p.data(), sender.data());
+  EXPECT_EQ(p.use_count(), 2);  // the sender's ref + ours
+  EXPECT_EQ(p.view(), "shared-with-sender");
+  PayloadRef moved = std::move(p);  // moves transfer, never touch the count
+  EXPECT_EQ(moved.use_count(), 2);
+  EXPECT_EQ(p.use_count(), 0);
+}
+
+TEST(PayloadRefTest, EmptyOwnsNothing) {
+  PayloadRef empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(empty.str(), "");
+  PayloadRef from_empty_string{std::string()};
+  EXPECT_EQ(from_empty_string.use_count(), 0);
+  EXPECT_EQ(empty, from_empty_string);
+}
+
+TEST(PayloadRefTest, StringHelpersMatchStdString) {
+  PayloadRef p("the quick brown fox");
+  EXPECT_EQ(p.size(), 19u);
+  EXPECT_EQ(p.find("quick"), 4u);
+  EXPECT_EQ(p.find("zebra"), std::string::npos);
+  EXPECT_EQ(p.substr(4, 5), "quick");
+  EXPECT_EQ(p.substr(0, 1000), "the quick brown fox");
+  EXPECT_TRUE(p == std::string_view("the quick brown fox"));
+  // Distinct buffers, equal bytes: == compares content.
+  EXPECT_EQ(p, PayloadRef("the quick brown fox"));
+  EXPECT_FALSE(p.shares_buffer_with(PayloadRef("the quick brown fox")));
+}
+
+TEST_F(ForwarderTest, TapFanOutNeverCopiesPayloadBytes) {
+  set_hot_path_counters_enabled(true);
+  SimNetwork net(&sim_);
+  PortForwarder fwd(&net, {"host", Port(2222)}, {"guest", Port(22)});
+  set_hot_path_counters_enabled(false);
+  obs::Counter& zc = obs::metrics().counter("net.tap_zero_copy_bytes");
+  const std::uint64_t zc0 = zc.value();
+
+  PayloadRef payload(std::string(256, 'p'));
+  std::vector<Packet> rx;
+  (void)net.bind({"guest", Port(22)}, [&](Packet p) { rx.push_back(p); });
+  ASSERT_TRUE(fwd.start().is_ok());
+  CountingTap t1, t2, t3;
+  fwd.add_tap(&t1);
+  fwd.add_tap(&t2);
+  fwd.add_tap(&t3);
+
+  Packet p = make_packet(net, {"c", Port(1)}, "", 300);
+  p.payload = payload;
+  net.send({"host", Port(2222)}, std::move(p));
+  sim_.run_until_idle();
+
+  ASSERT_EQ(rx.size(), 1u);
+  // The delivered packet still aliases the sender's buffer: three taps and
+  // two fabric hops moved a refcount, not 256 bytes.
+  EXPECT_TRUE(rx[0].payload.shares_buffer_with(payload));
+  EXPECT_EQ(zc.value() - zc0, 256u);
+}
+
+// ------------------------------------------- golden equivalence (200 seeds)
+
+std::string stats_line(const NetworkStats& s) {
+  std::ostringstream os;
+  os << s.packets_sent << '/' << s.packets_delivered << '/'
+     << s.packets_dropped_unbound << '/' << s.bytes_delivered << '/'
+     << s.packets_dropped_fault << '/' << s.packets_delayed_fault;
+  return os.str();
+}
+
+struct ScenarioTrace {
+  std::vector<std::string> deliveries;  // "<who>@<ns> seq=<n> <payload>"
+  std::string stats;
+  std::string links;
+};
+
+// Rewrites payloads carrying "evil", drops payloads carrying "drop" — a
+// deterministic stand-in for the RITM tamperer.
+class RuleTap : public PacketTap {
+ public:
+  Verdict inspect(Packet& pkt, Direction) override {
+    if (pkt.payload.find("drop") != std::string::npos) return Verdict::kDrop;
+    const std::size_t pos = pkt.payload.find("evil");
+    if (pos != std::string::npos) {
+      std::string r = pkt.payload.str();
+      r.replace(pos, 4, "good");
+      pkt.payload = PayloadRef(std::move(r));
+    }
+    return Verdict::kPass;
+  }
+};
+
+// A randomized *reactive* scenario — echo server behind a tapped forwarder,
+// seeded fault weather, client blasts at random times. Reactive traffic is
+// the hard case for batching (handler send times feed the serialization
+// horizon), so the equivalence claim is proven at burst window 0, where the
+// pump is timing-exact.
+ScenarioTrace run_equivalence_scenario(std::uint64_t seed, DeliveryMode mode) {
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(mode);
+
+  Rng topo(derive_seed(seed, 3));
+  const std::vector<std::string> nodes = {"client", "relay", "server"};
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = a; b < nodes.size(); ++b) {
+      LinkModel m;
+      m.latency = SimDuration::micros(1 + topo.uniform(200));
+      m.bytes_per_sec = 1e5 * (1 + topo.uniform(50));
+      m.per_packet_cpu = SimDuration::micros(topo.uniform(5));
+      net.set_link(nodes[a], nodes[b], m);
+    }
+  }
+
+  ScenarioTrace out;
+  auto record = [&](const char* who, const Packet& p) {
+    out.deliveries.push_back(std::string(who) + "@" +
+                             std::to_string(sim.now().ns()) +
+                             " seq=" + std::to_string(p.seq) + " " +
+                             p.payload.str());
+  };
+
+  (void)net.bind({"server", Port(7)}, [&](Packet p) {
+    record("server", p);
+    Packet reply = p;
+    reply.src = {"server", Port(7)};
+    reply.payload = "echo:" + p.payload.str();
+    net.send(p.reply_to, std::move(reply));
+  });
+  (void)net.bind({"client", Port(9)}, [&](Packet p) { record("client", p); });
+
+  RuleTap tap;
+  PortForwarder fwd(&net, {"relay", Port(2222)}, {"server", Port(7)});
+  EXPECT_TRUE(fwd.start().is_ok());
+  fwd.add_tap(&tap);
+
+  // The hook draws only from its own seeded Rng; both modes consult it in
+  // the same send order, so the fault schedule is mode-independent.
+  auto hook_rng = std::make_shared<Rng>(derive_seed(seed, 7));
+  net.set_fault_hook(
+      [hook_rng](const Packet&, const std::string&, const std::string&) {
+        FaultDecision d;
+        if (hook_rng->chance(0.08)) {
+          d.drop = true;
+        } else if (hook_rng->chance(0.12)) {
+          d.extra_latency = SimDuration::micros(1 + hook_rng->uniform(400));
+        }
+        return d;
+      });
+
+  Rng traffic(derive_seed(seed, 11));
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const SimTime at =
+        SimTime::origin() + SimDuration::micros(traffic.uniform(5000));
+    const bool via_fwd = traffic.chance(0.5);
+    std::string body = "msg" + std::to_string(i);
+    if (traffic.chance(0.15)) {
+      body += "-evil";
+    } else if (traffic.chance(0.1)) {
+      body += "-drop";
+    }
+    const std::uint64_t bytes = 40 + traffic.uniform(1400);
+    sim.schedule_at(at, [&net, via_fwd, body, bytes, i] {
+      Packet p;
+      p.conn = net.new_conn();
+      p.seq = i;
+      p.src = {"client", Port(9)};
+      p.reply_to = {"client", Port(9)};
+      p.wire_bytes = bytes;
+      p.payload = body;
+      net.send(via_fwd ? NetAddr{"relay", Port(2222)}
+                       : NetAddr{"server", Port(7)},
+               std::move(p));
+    });
+  }
+  sim.run_until_idle();
+
+  out.stats = stats_line(net.stats());
+  std::ostringstream links;
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = a; b < nodes.size(); ++b) {
+      const LinkStats ls = net.link_stats(nodes[a], nodes[b]);
+      links << nodes[a] << '-' << nodes[b] << ':' << ls.packets_sent << ','
+            << ls.bytes_sent << ';';
+    }
+  }
+  out.links = links.str();
+  return out;
+}
+
+std::uint64_t fnv1a(const ScenarioTrace& t) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0x1e;  // record separator
+    h *= 0x100000001b3ull;
+  };
+  for (const std::string& d : t.deliveries) mix(d);
+  mix(t.stats);
+  mix(t.links);
+  return h;
+}
+
+TEST(NetEquivalenceTest, BurstMatchesPerPacketAcross200Seeds) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ScenarioTrace a =
+        run_equivalence_scenario(seed, DeliveryMode::kPerPacket);
+    const ScenarioTrace b = run_equivalence_scenario(seed, DeliveryMode::kBurst);
+    ASSERT_EQ(a.stats, b.stats) << "seed " << seed;
+    ASSERT_EQ(a.links, b.links) << "seed " << seed;
+    ASSERT_EQ(a.deliveries, b.deliveries) << "seed " << seed;
+  }
+}
+
+// Cross-build determinism anchor: the traces themselves are pinned (as
+// FNV-1a digests, captured from the pre-burst per-packet implementation),
+// so a refactor that changed *both* modes in lockstep still trips this.
+TEST(NetEquivalenceTest, GoldenTraceDigestsUnchanged) {
+  const std::uint64_t golden[3] = {0xc8b4356ece3bcd42ull,
+                                   0x25717b5163839b06ull,
+                                   0x43e64dc482a17f38ull};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const ScenarioTrace per =
+        run_equivalence_scenario(seed, DeliveryMode::kPerPacket);
+    const ScenarioTrace burst =
+        run_equivalence_scenario(seed, DeliveryMode::kBurst);
+    EXPECT_EQ(fnv1a(per), golden[seed - 1])
+        << "seed " << seed << " per-packet trace moved: 0x" << std::hex
+        << fnv1a(per);
+    EXPECT_EQ(fnv1a(burst), golden[seed - 1])
+        << "seed " << seed << " burst trace moved: 0x" << std::hex
+        << fnv1a(burst);
+  }
+}
+
+// ------------------------------------------------ fleet digest cross-check
+
+// A netperf blast through a tapped forwarder, one shard per delivery mode.
+// The two digests must pin byte-identical traffic accounting; only the
+// shard name/seed (and the simulator event count — the whole point of
+// batching) may differ, so `events` is deliberately left out of the values.
+fleet::ShardOutcome net_shard_for_mode(const fleet::ShardContext&,
+                                       DeliveryMode mode) {
+  fleet::ShardOutcome out;
+  sim::Simulator sim;
+  SimNetwork net(&sim);
+  net.set_delivery_mode(mode);
+  if (mode == DeliveryMode::kBurst) {
+    net.set_burst_window(SimDuration::micros(50));
+  }
+
+  std::uint64_t rx_packets = 0, rx_bytes = 0;
+  (void)net.bind({"sink", Port(7)}, [&](Packet p) {
+    ++rx_packets;
+    rx_bytes += p.wire_bytes;
+  });
+  PortForwarder fwd(&net, {"relay", Port(2222)}, {"sink", Port(7)});
+  CSK_CHECK(fwd.start().is_ok());
+
+  workloads::NetperfPacketStream stream(&net, {"src", Port(9)},
+                                        {"relay", Port(2222)});
+  stream.blast(400);
+  sim.run_until_idle();
+
+  out.values["rx_packets"] = static_cast<double>(rx_packets);
+  out.values["rx_bytes"] = static_cast<double>(rx_bytes);
+  out.values["forwarded"] = static_cast<double>(fwd.stats().forwarded);
+  out.values["link_bytes"] =
+      static_cast<double>(net.link_stats("src", "relay").bytes_sent);
+  return out;
+}
+
+TEST(NetFleetGoldenTest, ShardDigestsUnchangedAcrossDeliveryModes) {
+  fleet::FleetConfig cfg;
+  cfg.workers = 2;
+  cfg.root_seed = 0xC5CAFE02ull;
+  fleet::FleetRunner runner(cfg);
+  runner.add("net-perpacket", [](const fleet::ShardContext& ctx) {
+    return net_shard_for_mode(ctx, DeliveryMode::kPerPacket);
+  });
+  runner.add("net-burst", [](const fleet::ShardContext& ctx) {
+    return net_shard_for_mode(ctx, DeliveryMode::kBurst);
+  });
+  fleet::FleetReport report = runner.run();
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.failed_shards(), 0u);
+  const std::string golden0 =
+      R"({"name":"net-perpacket","seed":"0x4aecbc018c9c20a7","status":"OK",)"
+      R"("values":{"forwarded":400,"link_bytes":26214400,)"
+      R"("rx_bytes":26214400,"rx_packets":400},"faults":[],)"
+      R"("metrics":{"counters":{},"gauges":{},"histograms":{}}})";
+  const std::string golden1 =
+      R"({"name":"net-burst","seed":"0xbd4baf5cdbd36281","status":"OK",)"
+      R"("values":{"forwarded":400,"link_bytes":26214400,)"
+      R"("rx_bytes":26214400,"rx_packets":400},"faults":[],)"
+      R"("metrics":{"counters":{},"gauges":{},"histograms":{}}})";
+  EXPECT_EQ(report.shards[0].digest, golden0);
+  EXPECT_EQ(report.shards[1].digest, golden1);
 }
 
 TEST(ProtoKindTest, Names) {

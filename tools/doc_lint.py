@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Documentation coverage lint.
 
-Fails (exit 1) when either:
+Fails (exit 1) when any of:
   * a public header under src/ lacks a Doxygen ``/// \\file`` comment, or
   * a src/* subsystem has no section in ARCHITECTURE.md (a heading or body
-    line mentioning ``src/<name>``).
+    line mentioning ``src/<name>``), or
+  * docs/testing.md claims a test-binary count that differs from the number
+    of ``csk_add_test(...)`` registrations in tests/CMakeLists.txt (docs
+    that state totals rot silently; this pins the claim to the source of
+    truth).
 
 Run from anywhere: the repo root is derived from this file's location.
 Wired into CTest as the ``doc_lint`` test so documentation debt fails the
@@ -12,11 +16,14 @@ suite the same way a broken assertion does.
 """
 
 import pathlib
+import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 ARCHITECTURE = REPO / "ARCHITECTURE.md"
+TESTING_MD = REPO / "docs" / "testing.md"
+TESTS_CMAKE = REPO / "tests" / "CMakeLists.txt"
 
 
 def headers_missing_file_doc() -> list[pathlib.Path]:
@@ -39,6 +46,18 @@ def subsystems_missing_architecture_section() -> list[str]:
     return missing
 
 
+def stale_test_count_claims() -> list[str]:
+    """Claims like 'spans 26 test binaries' that disagree with CTest."""
+    actual = len(re.findall(r"^\s*csk_add_test\(",
+                            TESTS_CMAKE.read_text(encoding="utf-8"),
+                            flags=re.MULTILINE))
+    claims = re.findall(r"(\d+)\s+test\s+binaries",
+                        TESTING_MD.read_text(encoding="utf-8"))
+    return [f"docs/testing.md says '{c} test binaries' but "
+            f"tests/CMakeLists.txt registers {actual} (csk_add_test calls)"
+            for c in claims if int(c) != actual]
+
+
 def main() -> int:
     failed = False
 
@@ -57,12 +76,20 @@ def main() -> int:
         for name in missing_arch:
             print(f"  src/{name}")
 
+    stale_counts = stale_test_count_claims()
+    if stale_counts:
+        failed = True
+        print("doc_lint: stale test-count claim(s):")
+        for claim in stale_counts:
+            print(f"  {claim}")
+
     if failed:
         return 1
     n_headers = sum(1 for _ in SRC.rglob("*.h"))
     n_subsystems = sum(1 for d in SRC.iterdir() if d.is_dir())
     print(f"doc_lint: OK ({n_headers} headers documented, "
-          f"{n_subsystems} subsystems covered in ARCHITECTURE.md)")
+          f"{n_subsystems} subsystems covered in ARCHITECTURE.md, "
+          "test-binary count claims in sync)")
     return 0
 
 
