@@ -1,0 +1,331 @@
+// Post-copy fault sweep — remote-fault latency and stranded-guest recovery.
+//
+// §II-A's post-copy variant moves execution before the memory: every guest
+// touch of a not-yet-received page becomes a userfaultfd-style remote fault
+// that must cross the network back to the source. This bench characterizes
+// that demand-paging plane: the remote-fault service-latency distribution
+// under each prefetch policy, and — the robustness half — what happens when
+// the source vanishes mid-window (link partition or process kill). The
+// watchdog must always terminate the job with a typed outcome: clean
+// completion, completion from the surviving in-flight set, rollback to a
+// re-activated source, or an explicit kDataLoss report. Never a hang.
+//
+// Two hosts with a real 1 GbE link between them, so "partition the source
+// link" severs exactly the migration plane. Every cell is a deterministic
+// seeded simulation: two runs produce bit-identical
+// BENCH_postcopy_faults.json. CSK_BENCH_TINY=1 shrinks the sweep for the
+// CTest smoke run.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "fault/injector.h"
+#include "vmm/migration.h"
+
+namespace {
+
+using csk::bench::Table;
+using namespace csk;
+using namespace csk::vmm;
+
+bool tiny() {
+  const char* v = std::getenv("CSK_BENCH_TINY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Fault modes swept against each prefetch policy. Onsets sit inside the
+// post-copy window: handoff lands ~0.6 s in, the throttled background copy
+// ends ~6.5 s in (tiny: ~2.5 s).
+enum class FaultMode { kClean, kPartitionHeals, kPartitionOpen, kKillSource };
+
+const char* fault_mode_name(FaultMode m) {
+  switch (m) {
+    case FaultMode::kClean: return "clean";
+    case FaultMode::kPartitionHeals: return "partition-heals";
+    case FaultMode::kPartitionOpen: return "partition-open";
+    case FaultMode::kKillSource: return "source-kill";
+  }
+  return "?";
+}
+
+SimDuration fault_onset(FaultMode m) {
+  if (m == FaultMode::kClean) return SimDuration::zero();
+  return tiny() ? SimDuration::millis(1200) : SimDuration::seconds(2);
+}
+
+constexpr SimDuration kWatchdog = SimDuration::seconds(3);
+
+struct Cell {
+  PostCopyPrefetch prefetch = PostCopyPrefetch::kNone;
+  FaultMode mode = FaultMode::kClean;
+  MigrationStats stats;
+  std::uint64_t partition_drops = 0;
+};
+
+/// Deterministic guest access pattern on the destination after handoff: a
+/// mostly-sequential walk (the shape readahead exists for) with a random
+/// jump every 8th touch, one touch per 5 ms.
+struct TouchDriver {
+  MigrationJob* job = nullptr;
+  World* world = nullptr;
+  Rng rng{0xF4417};
+  std::uint64_t pages = 0;
+  std::uint64_t walk = 0;
+  int remaining = 0;
+
+  void step() {
+    if (remaining <= 0 || job->done()) return;
+    --remaining;
+    if (remaining % 8 == 0) walk = rng.uniform(pages);
+    job->postcopy_touch(Gfn(walk++ % pages));
+    world->simulator().schedule_after(SimDuration::millis(5),
+                                      [this] { step(); });
+  }
+};
+
+Cell run_cell(PostCopyPrefetch prefetch, FaultMode mode) {
+  World world;
+  auto host_cfg = bench::paper_host_config();
+  host_cfg.ksm_enabled = false;
+  Host* src_host = world.make_host(host_cfg);
+  auto host_cfg2 = host_cfg;
+  host_cfg2.name = "host1";
+  Host* dst_host = world.make_host(host_cfg2);
+  net::LinkModel link;  // 1 GbE between the two physical machines
+  link.latency = SimDuration::micros(500);
+  link.bytes_per_sec = 1.25e8;
+  link.per_packet_cpu = SimDuration::micros(10);
+  world.network().set_link("host0", "host1", link);
+
+  auto src_cfg = bench::paper_vm_config("guest0");
+  src_cfg.memory_mb = tiny() ? 96 : 256;
+  VirtualMachine* source =
+      src_host->launch_vm(src_cfg, /*boot_touched_mib=*/tiny() ? 32 : 96)
+          .value();
+  auto dest_cfg = bench::paper_vm_config("guest0-dst");
+  dest_cfg.memory_mb = src_cfg.memory_mb;
+  dest_cfg.monitor.telnet_port = 0;
+  dest_cfg.netdevs[0].hostfwd.clear();
+  dest_cfg.incoming_port = 4444;
+  (void)dst_host->launch_vm(dest_cfg).value();
+
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.bandwidth_limit_bytes_per_sec = 16.0 * 1024 * 1024;
+  cfg.postcopy_demand_paging = true;
+  cfg.postcopy_prefetch = prefetch;
+  cfg.postcopy_prefetch_window = 16;
+  cfg.postcopy_watchdog = kWatchdog;
+  MigrationJob job(&world, source,
+                   net::NetAddr{dst_host->node_name(), Port(4444)}, cfg);
+
+  fault::FaultPlan plan;
+  plan.seed = 7 + static_cast<std::uint64_t>(mode);
+  if (mode != FaultMode::kClean) {
+    fault::PostCopyFaultSpec spec;
+    spec.kind = mode == FaultMode::kKillSource
+                    ? fault::PostCopyFaultSpec::Kind::kKillSource
+                    : fault::PostCopyFaultSpec::Kind::kPartitionSourceLink;
+    spec.at = fault_onset(mode);
+    spec.duration = mode == FaultMode::kPartitionHeals
+                        ? SimDuration::millis(1500)
+                        : SimDuration::zero();
+    plan.postcopy.push_back(spec);
+  }
+  fault::Injector injector(&world, plan);
+  injector.attach_migration(&job);
+  injector.arm();
+
+  TouchDriver touches;
+  touches.job = &job;
+  touches.world = &world;
+  touches.pages = src_cfg.memory_pages();
+  touches.remaining = tiny() ? 120 : 480;
+  world.simulator().schedule_after(SimDuration::millis(800),
+                                   [&touches] { touches.step(); });
+
+  job.start();
+  const SimTime deadline = world.simulator().now() + SimDuration::seconds(600);
+  while (!job.done() && world.simulator().now() < deadline) {
+    if (!world.simulator().step()) break;
+  }
+
+  Cell cell;
+  cell.prefetch = prefetch;
+  cell.mode = mode;
+  cell.stats = job.stats();
+  cell.partition_drops = injector.count("postcopy.partition");
+
+  // The engine's whole contract: every cell terminates with a typed
+  // outcome inside the watchdog budget — the pre-engine model would sit in
+  // this loop for the full 600 simulated seconds on the partition cells.
+  const std::string tag = std::string(postcopy_prefetch_name(prefetch)) +
+                          "/" + fault_mode_name(mode);
+  CSK_CHECK_MSG(cell.stats.completed, "cell " + tag + " stranded");
+  switch (mode) {
+    case FaultMode::kClean:
+      CSK_CHECK_MSG(cell.stats.succeeded, tag + ": " + cell.stats.error);
+      CSK_CHECK(cell.stats.postcopy_outcome == PostCopyOutcome::kCompleted);
+      CSK_CHECK(cell.stats.remote_faults > 0);
+      CSK_CHECK(cell.stats.remote_faults_served == cell.stats.remote_faults);
+      break;
+    case FaultMode::kPartitionHeals:
+      // The severed chunks survive in the in-flight set; the job must end
+      // with the full memory image, via salvage or late delivery.
+      CSK_CHECK_MSG(cell.stats.succeeded, tag + ": " + cell.stats.error);
+      CSK_CHECK(cell.stats.postcopy_outcome == PostCopyOutcome::kCompleted ||
+                cell.stats.postcopy_outcome ==
+                    PostCopyOutcome::kCompletedFromInflight);
+      break;
+    case FaultMode::kPartitionOpen:
+      // Undiverged destination, reachable source process: recovery, not
+      // loss. (Salvage may also complete it outright.)
+      CSK_CHECK(cell.stats.postcopy_outcome ==
+                    PostCopyOutcome::kRecoveredSourceResume ||
+                cell.stats.postcopy_outcome ==
+                    PostCopyOutcome::kCompletedFromInflight);
+      CSK_CHECK(cell.partition_drops > 0);
+      break;
+    case FaultMode::kKillSource:
+      // A dead source can neither finish nor take the guest back: typed
+      // data loss, never a silent half-populated success.
+      CSK_CHECK(!cell.stats.succeeded);
+      CSK_CHECK(cell.stats.postcopy_outcome == PostCopyOutcome::kDataLoss);
+      CSK_CHECK(cell.stats.postcopy_report.code() == StatusCode::kDataLoss);
+      break;
+  }
+  if (mode != FaultMode::kClean) {
+    // Termination bound: onset + one watchdog deadline + one re-arm lap.
+    const SimDuration bound =
+        fault_onset(mode) + kWatchdog * 3.0 + SimDuration::seconds(10);
+    CSK_CHECK_MSG(cell.stats.total_time <= bound,
+                  tag + " terminated late: " +
+                      cell.stats.total_time.to_string());
+  }
+  return cell;
+}
+
+std::vector<PostCopyPrefetch> policies() {
+  if (tiny()) return {PostCopyPrefetch::kNone, PostCopyPrefetch::kLinear};
+  return {PostCopyPrefetch::kNone, PostCopyPrefetch::kLinear,
+          PostCopyPrefetch::kLocality};
+}
+
+std::vector<FaultMode> modes() {
+  if (tiny()) return {FaultMode::kClean, FaultMode::kKillSource};
+  return {FaultMode::kClean, FaultMode::kPartitionHeals,
+          FaultMode::kPartitionOpen, FaultMode::kKillSource};
+}
+
+const std::vector<Cell>& results() {
+  static const std::vector<Cell> cached = [] {
+    std::vector<Cell> cells;
+    for (PostCopyPrefetch p : policies()) {
+      for (FaultMode m : modes()) cells.push_back(run_cell(p, m));
+    }
+    // Prefetch ablation witness, on the clean cells: linear readahead must
+    // measurably shrink the remote-fault tail of the mostly-sequential
+    // touch pattern — fewer faults ever reach the network.
+    const Cell* none_clean = nullptr;
+    const Cell* linear_clean = nullptr;
+    for (const Cell& c : cells) {
+      if (c.mode != FaultMode::kClean) continue;
+      if (c.prefetch == PostCopyPrefetch::kNone) none_clean = &c;
+      if (c.prefetch == PostCopyPrefetch::kLinear) linear_clean = &c;
+    }
+    CSK_CHECK(none_clean != nullptr && linear_clean != nullptr);
+    CSK_CHECK(linear_clean->stats.remote_faults <
+              none_clean->stats.remote_faults);
+    CSK_CHECK(linear_clean->stats.prefetch_pages > 0);
+    return cells;
+  }();
+  return cached;
+}
+
+double p99(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  return percentile(samples, 99.0);
+}
+
+void BM_PostCopyFaults(benchmark::State& state) {
+  const auto idx = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(results());
+  // Tiny mode (CSK_BENCH_TINY) runs fewer cells than the registered range.
+  if (idx >= results().size()) return;
+  const Cell& c = results()[idx];
+  state.counters["total_s_sim"] = c.stats.total_time.seconds_f();
+  state.counters["remote_faults"] = static_cast<double>(c.stats.remote_faults);
+  state.counters["fault_p95_ms"] = c.stats.remote_fault_summary.p95;
+  state.counters["outcome"] =
+      static_cast<double>(static_cast<int>(c.stats.postcopy_outcome));
+  state.SetLabel(std::string(postcopy_prefetch_name(c.prefetch)) + "/" +
+                 fault_mode_name(c.mode));
+}
+BENCHMARK(BM_PostCopyFaults)->DenseRange(0, 11)->Iterations(1);
+
+void print_tables() {
+  const auto& cells = results();
+  Table table("Post-copy fault sweep — remote-fault latency and recovery "
+              "outcomes (prefetch x fault)");
+  table.columns({"prefetch/fault", "outcome", "total (s)", "faults",
+                 "served", "prefetched", "salvaged", "p50 ms", "p95 ms",
+                 "p99 ms", "max ms"});
+  for (const Cell& c : cells) {
+    const auto& s = c.stats.remote_fault_summary;
+    table.row({std::string(postcopy_prefetch_name(c.prefetch)) + "/" +
+                   fault_mode_name(c.mode),
+               postcopy_outcome_name(c.stats.postcopy_outcome),
+               csk::format_fixed(c.stats.total_time.seconds_f(), 2),
+               std::to_string(c.stats.remote_faults),
+               std::to_string(c.stats.remote_faults_served),
+               std::to_string(c.stats.prefetch_pages),
+               std::to_string(c.stats.inflight_pages_salvaged),
+               csk::format_fixed(s.p50, 2), csk::format_fixed(s.p95, 2),
+               csk::format_fixed(p99(c.stats.remote_fault_latency_ms), 2),
+               csk::format_fixed(s.max, 2)});
+  }
+  table.note("every faulted cell terminates with a typed outcome within "
+             "onset + 3 watchdog deadlines — the pre-engine model strands "
+             "forever on the partition cells (CSK_CHECKed)");
+  table.note("linear readahead serves the sequential walk before it "
+             "faults: fewer remote faults than prefetch=none on the clean "
+             "cell (CSK_CHECKed)");
+  table.print();
+
+  for (const Cell& c : cells) {
+    const std::string n = std::string(postcopy_prefetch_name(c.prefetch)) +
+                          "-" + fault_mode_name(c.mode);
+    const auto& s = c.stats.remote_fault_summary;
+    csk::bench::report()
+        .add(n + "/total_s", c.stats.total_time.seconds_f(), "s")
+        .add(n + "/outcome",
+             static_cast<double>(static_cast<int>(c.stats.postcopy_outcome)))
+        .add(n + "/succeeded", c.stats.succeeded ? 1.0 : 0.0)
+        .add(n + "/remote_faults", static_cast<double>(c.stats.remote_faults))
+        .add(n + "/remote_faults_served",
+             static_cast<double>(c.stats.remote_faults_served))
+        .add(n + "/prefetch_pages",
+             static_cast<double>(c.stats.prefetch_pages))
+        .add(n + "/inflight_pages_salvaged",
+             static_cast<double>(c.stats.inflight_pages_salvaged))
+        .add(n + "/fault_p50_ms", s.p50, "ms")
+        .add(n + "/fault_p95_ms", s.p95, "ms")
+        .add(n + "/fault_p99_ms", p99(c.stats.remote_fault_latency_ms), "ms")
+        .add(n + "/fault_max_ms", s.max, "ms");
+  }
+  csk::bench::report()
+      .note("outcome codes: 0 none, 1 completed, 2 completed-from-inflight, "
+            "3 recovered-source-resume, 4 data-loss")
+      .note("no published counterpart: this sweep characterizes the "
+            "simulator's post-copy demand-paging plane, not a paper figure")
+      .note(tiny() ? "CSK_BENCH_TINY=1: smoke-sized sweep"
+                   : "full sweep: 3 prefetch policies x 4 fault modes");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return csk::bench::bench_main(argc, argv, print_tables);
+}

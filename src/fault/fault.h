@@ -69,6 +69,25 @@ struct ProbeStallSpec {
   SimDuration duration = SimDuration::seconds(30);
 };
 
+/// Post-copy-targeted source failure, aimed inside the window between the
+/// handoff and the end of the background copy — the interval where the
+/// destination runs a guest whose memory still partly lives on the source.
+struct PostCopyFaultSpec {
+  enum class Kind {
+    /// Drops every packet touching the source node of each attached
+    /// migration (both directions: bulk chunks out, MIGFAULT requests in).
+    kPartitionSourceLink,
+    /// The source qemu process dies (MigrationJob::inject_source_failure).
+    kKillSource,
+  };
+  Kind kind = Kind::kPartitionSourceLink;
+  /// Onset, as an offset from Injector::arm().
+  SimDuration at = SimDuration::zero();
+  /// Partition only: window length; zero() = open-ended (never heals).
+  SimDuration duration = SimDuration::zero();
+  std::string reason = "injected post-copy source failure";
+};
+
 /// A complete declarative fault scenario.
 struct FaultPlan {
   /// Seeds the injector's private Rng; the sole source of randomness for
@@ -79,11 +98,12 @@ struct FaultPlan {
   std::vector<BandwidthCollapseSpec> bandwidth_collapses;
   std::vector<MemoryPressureSpec> memory_pressure;
   std::vector<ProbeStallSpec> probe_stalls;
+  std::vector<PostCopyFaultSpec> postcopy;
 
   bool empty() const {
     return net.empty() && migration_aborts.empty() &&
            bandwidth_collapses.empty() && memory_pressure.empty() &&
-           probe_stalls.empty();
+           probe_stalls.empty() && postcopy.empty();
   }
 };
 

@@ -50,7 +50,20 @@ void Injector::arm() {
     w.end = w.start + spec.duration;
     net_windows_.push_back(std::move(w));
   }
-  if (!net_windows_.empty()) {
+  postcopy_partitions_.clear();
+  for (const PostCopyFaultSpec& spec : plan_.postcopy) {
+    if (spec.kind == PostCopyFaultSpec::Kind::kKillSource) {
+      sched(spec.at, [this, spec] { fire_source_kill(spec); });
+      continue;
+    }
+    PostCopyPartition w;
+    w.start = arm_time_ + spec.at;
+    w.open_ended = spec.duration <= SimDuration::zero();
+    w.end = w.open_ended ? w.start : w.start + spec.duration;
+    postcopy_partitions_.push_back(w);
+  }
+
+  if (!net_windows_.empty() || !postcopy_partitions_.empty()) {
     world_->network().set_fault_hook(
         [this](const net::Packet& pkt, const std::string& src,
                const std::string& dst) { return on_packet(pkt, src, dst); });
@@ -70,7 +83,9 @@ void Injector::arm() {
   collapse_saved_.assign(plan_.bandwidth_collapses.size(), {});
   for (std::size_t i = 0; i < plan_.bandwidth_collapses.size(); ++i) {
     const BandwidthCollapseSpec& spec = plan_.bandwidth_collapses[i];
-    CSK_CHECK(spec.factor > 0.0);
+    // factor == 0 is a legal total-starvation window: MigrationJob clamps
+    // the cap to its internal floor instead of dividing by zero.
+    CSK_CHECK(spec.factor >= 0.0);
     sched(spec.at, [this, spec, i] { begin_bandwidth_collapse(spec, i); });
     sched(spec.at + spec.duration,
           [this, i] { end_bandwidth_collapse(i); });
@@ -88,8 +103,11 @@ void Injector::disarm() {
   armed_ = false;
   for (EventId id : events_) world_->simulator().cancel(id);
   events_.clear();
-  if (!net_windows_.empty()) world_->network().set_fault_hook(nullptr);
+  if (!net_windows_.empty() || !postcopy_partitions_.empty()) {
+    world_->network().set_fault_hook(nullptr);
+  }
   net_windows_.clear();
+  postcopy_partitions_.clear();
   stall_windows_.clear();
   // Restore anything still perturbed mid-window.
   for (auto& saved : collapse_saved_) {
@@ -150,11 +168,32 @@ void Injector::record(std::string kind, std::string detail) {
                                std::move(detail)});
 }
 
+bool Injector::matches_attached_source(const std::string& node) const {
+  for (vmm::MigrationJob* job : jobs_) {
+    if (job->done()) continue;
+    if (job->source_node() == node) return true;
+  }
+  return false;
+}
+
 net::FaultDecision Injector::on_packet(const net::Packet& pkt,
                                        const std::string& src_node,
                                        const std::string& dst_node) {
   net::FaultDecision decision;
   const SimTime now = world_->simulator().now();
+  for (const PostCopyPartition& w : postcopy_partitions_) {
+    if (now < w.start) continue;
+    if (!w.open_ended && now >= w.end) continue;
+    if (!matches_attached_source(src_node) &&
+        !matches_attached_source(dst_node)) {
+      continue;
+    }
+    decision.drop = true;
+    record("postcopy.partition", "source link cut " + src_node + "->" +
+                                     dst_node + " seq " +
+                                     std::to_string(pkt.seq));
+    return decision;
+  }
   for (const NetWindow& w : net_windows_) {
     if (now < w.start || now >= w.end) continue;
     if (!link_matches(w.spec, src_node, dst_node)) continue;
@@ -188,6 +227,16 @@ void Injector::fire_migration_abort(const MigrationAbortSpec& spec) {
     obs::tracer().instant("fault.migration_abort", world_->simulator().now(),
                           "fault");
     job->inject_abort(spec.reason);
+  }
+}
+
+void Injector::fire_source_kill(const PostCopyFaultSpec& spec) {
+  for (vmm::MigrationJob* job : jobs_) {
+    if (job->done() || job->source_failed()) continue;
+    record("postcopy.source_kill", spec.reason);
+    obs::tracer().instant("fault.source_kill", world_->simulator().now(),
+                          "fault");
+    job->inject_source_failure(spec.reason);
   }
 }
 

@@ -87,11 +87,22 @@ class Injector {
     SimTime start;
     SimTime end;
   };
+  /// An armed kPartitionSourceLink window. The affected node set is
+  /// resolved lazily per packet from the attached jobs (MigrationJob::
+  /// source_node()), so jobs may attach at any point before the window.
+  struct PostCopyPartition {
+    SimTime start;
+    SimTime end;        // == start when the spec's duration was zero:
+    bool open_ended;    // then the partition never heals
+  };
 
   net::FaultDecision on_packet(const net::Packet& pkt,
                                const std::string& src_node,
                                const std::string& dst_node);
   void fire_migration_abort(const MigrationAbortSpec& spec);
+  void fire_source_kill(const PostCopyFaultSpec& spec);
+  /// True when `node` is the source node of an attached live migration.
+  bool matches_attached_source(const std::string& node) const;
   void begin_bandwidth_collapse(const BandwidthCollapseSpec& spec,
                                 std::size_t collapse_index);
   void end_bandwidth_collapse(std::size_t collapse_index);
@@ -107,6 +118,7 @@ class Injector {
   SimTime arm_time_;
   std::vector<NetWindow> net_windows_;
   std::vector<StallWindow> stall_windows_;
+  std::vector<PostCopyPartition> postcopy_partitions_;
   std::vector<vmm::MigrationJob*> jobs_;
   /// Saved caps for an in-progress bandwidth collapse: one entry per
   /// affected job, restored at window end (or disarm).

@@ -14,7 +14,32 @@ constexpr std::uint64_t kPageHeaderBytes = 8;     // per-page stream header
 constexpr std::uint64_t kPageWireBytes = mem::kPageSize + kPageHeaderBytes;
 constexpr std::uint64_t kMaxPagesPerChunk = 65536;
 constexpr std::uint64_t kAnnounceWireBytes = 64;
+// A MIGFAULT request is a tiny control datagram (token + gfn + framing).
+constexpr std::uint64_t kFaultRequestWireBytes = 32;
+// set_bandwidth_limit floor: an injected collapse may zero the cap without
+// aborting the process; the stream then crawls instead of dividing by zero.
+constexpr double kMinBandwidthBytesPerSec = 64.0 * 1024;
 }  // namespace
+
+const char* postcopy_prefetch_name(PostCopyPrefetch policy) {
+  switch (policy) {
+    case PostCopyPrefetch::kNone: return "none";
+    case PostCopyPrefetch::kLinear: return "linear";
+    case PostCopyPrefetch::kLocality: return "locality";
+  }
+  return "?";
+}
+
+const char* postcopy_outcome_name(PostCopyOutcome outcome) {
+  switch (outcome) {
+    case PostCopyOutcome::kNone: return "none";
+    case PostCopyOutcome::kCompleted: return "completed";
+    case PostCopyOutcome::kCompletedFromInflight: return "completed_from_inflight";
+    case PostCopyOutcome::kRecoveredSourceResume: return "recovered_source_resume";
+    case PostCopyOutcome::kDataLoss: return "data_loss";
+  }
+  return "?";
+}
 
 MigrationJob::MigrationJob(World* world, VirtualMachine* source,
                            net::NetAddr first_hop, MigrationConfig config)
@@ -31,8 +56,21 @@ MigrationJob::MigrationJob(World* world, VirtualMachine* source,
 
 MigrationJob::~MigrationJob() {
   world_->unregister_migration(token_);
+  if (fault_endpoint_bound_) {
+    world_->network().unbind(fault_endpoint_);
+    fault_endpoint_bound_ = false;
+  }
+  if (observer_installed_ && dest_ != nullptr) {
+    dest_->memory().clear_write_observer();
+    observer_installed_ = false;
+  }
   // No scheduled callback may outlive the job.
   for (EventId id : live_events_) (void)world_->simulator().cancel(id);
+}
+
+std::string MigrationJob::source_node() const {
+  return source_->parent() ? source_->parent()->node_name()
+                           : source_->host()->node_name();
 }
 
 void MigrationJob::sched_at(SimTime when, std::function<void()> fn) {
@@ -63,6 +101,30 @@ Result<MigrationJob::ChunkRef> MigrationJob::parse_chunk_payload(
     ref.seq = std::stoull(std::string(payload.substr(sp + 1)));
   } catch (const std::exception&) {
     return invalid_argument("garbled chunk header");
+  }
+  return ref;
+}
+
+std::string MigrationJob::encode_fault_payload(std::uint64_t token,
+                                               std::uint64_t gfn) {
+  return "MIGFAULT " + std::to_string(token) + " " + std::to_string(gfn);
+}
+
+Result<MigrationJob::FaultRef> MigrationJob::parse_fault_payload(
+    std::string_view payload) {
+  if (!payload.starts_with("MIGFAULT ")) {
+    return invalid_argument("not a migration fault request");
+  }
+  FaultRef ref;
+  const auto sp = payload.find(' ', 9);
+  if (sp == std::string_view::npos) {
+    return invalid_argument("truncated fault header");
+  }
+  try {
+    ref.token = std::stoull(std::string(payload.substr(9, sp - 9)));
+    ref.gfn = std::stoull(std::string(payload.substr(sp + 1)));
+  } catch (const std::exception&) {
+    return invalid_argument("garbled fault header");
   }
   return ref;
 }
@@ -163,6 +225,7 @@ MigrationJob::Chunk MigrationJob::build_chunk() {
 
 void MigrationJob::pump() {
   if (stats_.completed) return;
+  if (source_dead_) return;  // nothing left to read pages from
   if (pending_index_ >= pending_.size()) {
     round_send_done_ = true;
     if (chunks_outstanding_ == 0) end_round();
@@ -192,6 +255,7 @@ void MigrationJob::send_chunk(Chunk chunk) {
 }
 
 void MigrationJob::transmit(const Chunk& chunk) {
+  if (source_dead_) return;  // a dead qemu process sends nothing
   const SimTime now = world_->simulator().now();
   net::Packet pkt;
   pkt.conn = conn_;
@@ -219,7 +283,7 @@ void MigrationJob::transmit(const Chunk& chunk) {
 }
 
 void MigrationJob::maybe_retransmit(std::uint64_t seq) {
-  if (stats_.completed) return;
+  if (stats_.completed || source_dead_) return;
   auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;  // acknowledged in the meantime
   Chunk& chunk = it->second;
@@ -269,8 +333,10 @@ void MigrationJob::chunk_arrived(VirtualMachine* dest,
   Chunk chunk = std::move(it->second);
   in_flight_.erase(it);
 
-  // Apply page contents to destination RAM.
+  // Apply page contents to destination RAM. The demand plane's write
+  // observer must not mistake our own applies for guest writes.
   const bool skip_dirty = handoff_done_;
+  applying_chunk_ = true;
   for (auto& [gfn, data] : chunk.pages) {
     if (skip_dirty && dest_->memory().is_dirty(gfn)) continue;
     dest_->memory().write_page(gfn, std::move(data));
@@ -281,6 +347,7 @@ void MigrationJob::chunk_arrived(VirtualMachine* dest,
       dest_->memory().write_page(gfn, mem::PageData::zero());
     }
   }
+  applying_chunk_ = false;
 
   const SimTime done = dest_->charge_receive(receive_processing_time(chunk));
   sched_at(done, [this, c = std::move(chunk)]() mutable {
@@ -323,12 +390,20 @@ void MigrationJob::chunk_processed(Chunk chunk) {
   round_acc_.zero_pages += chunk.zero_gfns.size();
   round_acc_.wire_bytes += chunk.wire_bytes;
 
+  if (handoff_done_) {
+    last_postcopy_progress_ = world_->simulator().now();
+    resolve_faults_in(chunk);
+  }
+
   if (chunk.announce) {
     // Post-copy: destination is bound; move execution now.
     do_handoff();
     if (stats_.completed) return;
     dest_->memory().enable_dirty_log();
     handoff_done_ = true;
+    last_postcopy_progress_ = world_->simulator().now();
+    install_demand_plane();
+    if (stats_.completed) return;  // fault endpoint bind may fail
     // Background bulk copy of all RAM.
     const std::size_t ram_pages = source_->config().memory_pages();
     std::vector<Gfn> all;
@@ -339,6 +414,22 @@ void MigrationJob::chunk_processed(Chunk chunk) {
   }
 
   if (round_send_done_ && chunks_outstanding_ == 0) end_round();
+}
+
+void MigrationJob::resolve_faults_in(const Chunk& chunk) {
+  if (outstanding_faults_.empty()) return;
+  for (const auto& [gfn, data] : chunk.pages) resolve_one_fault(gfn.value());
+  for (Gfn gfn : chunk.zero_gfns) resolve_one_fault(gfn.value());
+}
+
+void MigrationJob::resolve_one_fault(std::uint64_t gfn) {
+  auto it = outstanding_faults_.find(gfn);
+  if (it == outstanding_faults_.end()) return;
+  const double ms = (world_->simulator().now() - it->second).millis_f();
+  outstanding_faults_.erase(it);
+  ++stats_.remote_faults_served;
+  stats_.remote_fault_latency_ms.push_back(ms);
+  obs::metrics().histogram("vmm.migration.remote_fault_service_ms").observe(ms);
 }
 
 std::vector<Gfn> MigrationJob::harvest_dirty() {
@@ -438,13 +529,226 @@ void MigrationJob::do_handoff() {
       CSK_CHECK(st.is_ok());
     }
     pause_time_ = world_->simulator().now();
-    // Device state crosses during the post-copy blackout too.
-    stats_.downtime = config_.device_state_time + SimDuration::millis(20);
+    // Device state + destination activation cross during the blackout.
+    stats_.downtime =
+        config_.device_state_time + config_.postcopy_activate_time;
   }
   std::unique_ptr<guestos::GuestOS> os = source_->release_os();
   dest_->adopt_os(std::move(os));
   source_->memory().disable_dirty_log();
   obs::tracer().instant("migration.handoff", world_->simulator().now(), "vmm");
+}
+
+void MigrationJob::install_demand_plane() {
+  const bool watchdog_on = config_.postcopy_watchdog > SimDuration::zero();
+  if (!config_.postcopy_demand_paging && !watchdog_on) return;
+  // Divergence tracking needs the write stream even when demand paging is
+  // off (the watchdog's rollback decision depends on it).
+  CSK_CHECK_MSG(!dest_->memory().has_write_observer(),
+                "post-copy demand plane: destination already has a write "
+                "observer installed");
+  dest_->memory().set_write_observer(
+      [this](Gfn gfn, const mem::PageData&) { on_dest_write(gfn); });
+  observer_installed_ = true;
+  if (config_.postcopy_demand_paging) {
+    auto ep = world_->network().bind(
+        net::NetAddr{source_node(), Port(config_.postcopy_fault_port)},
+        [this](net::Packet&& pkt) { on_fault_request(std::move(pkt)); });
+    if (!ep.is_ok()) {
+      fail("post-copy fault endpoint bind failed: " +
+           std::string(ep.status().message()));
+      return;
+    }
+    fault_endpoint_ = ep.value();
+    fault_endpoint_bound_ = true;
+  }
+  if (watchdog_on) arm_watchdog();
+}
+
+void MigrationJob::on_dest_write(Gfn gfn) {
+  if (applying_chunk_ || stats_.completed || !handoff_done_) return;
+  dest_diverged_ = true;
+  if (!config_.postcopy_demand_paging) return;
+  raise_remote_fault(gfn);
+}
+
+void MigrationJob::postcopy_touch(Gfn gfn) {
+  if (stats_.completed || !handoff_done_) return;
+  if (!config_.postcopy_demand_paging) return;
+  raise_remote_fault(gfn);
+}
+
+void MigrationJob::raise_remote_fault(Gfn gfn) {
+  const std::uint64_t g = gfn.value();
+  if (g >= source_->config().memory_pages()) return;
+  if (applied_gfns_.contains(g)) return;       // already delivered
+  if (outstanding_faults_.contains(g)) return; // already requested
+  outstanding_faults_.emplace(g, world_->simulator().now());
+  ++stats_.remote_faults;
+  obs::metrics().counter("vmm.migration.remote_faults").add();
+  // The fault request is a small control datagram on the destination ->
+  // source return channel (userfaultfd over the wire). It bypasses the
+  // relay chain: the destination qemu knows the source endpoint directly.
+  net::Packet pkt;
+  pkt.conn = conn_;
+  pkt.kind = net::ProtoKind::kMigrationChunk;
+  const std::string dest_node = dest_->parent()
+                                    ? dest_->parent()->node_name()
+                                    : dest_->host()->node_name();
+  pkt.src = net::NetAddr{dest_node, Port(0)};
+  pkt.reply_to = pkt.src;
+  pkt.wire_bytes = kFaultRequestWireBytes;
+  pkt.payload = encode_fault_payload(token_, g);
+  world_->network().send(
+      net::NetAddr{source_node(), Port(config_.postcopy_fault_port)},
+      std::move(pkt));
+}
+
+void MigrationJob::on_fault_request(net::Packet&& pkt) {
+  if (stats_.completed || source_dead_) return;
+  auto ref = parse_fault_payload(pkt.payload.view());
+  if (!ref.is_ok() || ref->token != token_) return;
+  serve_remote_fault(Gfn(ref->gfn));
+}
+
+void MigrationJob::serve_remote_fault(Gfn gfn) {
+  if (!handoff_done_ || source_dead_ || stats_.completed) return;
+  if (!outstanding_faults_.contains(gfn.value())) return;  // stale request
+  mem::AddressSpace& src = source_->memory();
+  const std::uint64_t ram_pages = source_->config().memory_pages();
+  Chunk c;
+  c.seq = next_chunk_seq_++;
+  c.round = round_;
+  // The demanded page rides first; the prefetch set follows. Pages already
+  // applied, already dest-written or already demanded elsewhere are skipped
+  // (they are covered or in flight).
+  std::int64_t lo = static_cast<std::int64_t>(gfn.value());
+  std::int64_t hi = lo + 1;
+  const std::int64_t window = config_.postcopy_prefetch_window;
+  switch (config_.postcopy_prefetch) {
+    case PostCopyPrefetch::kNone:
+      break;
+    case PostCopyPrefetch::kLinear:
+      hi = lo + std::max<std::int64_t>(window, 1);
+      break;
+    case PostCopyPrefetch::kLocality:
+      lo -= window / 2;
+      hi = static_cast<std::int64_t>(gfn.value()) + (window + 1) / 2;
+      break;
+  }
+  auto add_page = [&](std::uint64_t g) {
+    const mem::PageData& page = src.read_page_ref(Gfn(g));
+    if (page.is_zero()) {
+      c.zero_gfns.push_back(Gfn(g));
+      c.wire_bytes += kPageHeaderBytes;
+    } else {
+      c.pages.emplace_back(Gfn(g), page);
+      c.wire_bytes += kPageWireBytes;
+    }
+  };
+  add_page(gfn.value());
+  for (std::int64_t p = lo; p < hi; ++p) {
+    if (p < 0 || static_cast<std::uint64_t>(p) >= ram_pages) continue;
+    const auto g = static_cast<std::uint64_t>(p);
+    if (g == gfn.value()) continue;
+    if (applied_gfns_.contains(g)) continue;
+    if (dest_ != nullptr && dest_->memory().is_dirty(Gfn(g))) continue;
+    if (outstanding_faults_.contains(g)) continue;
+    add_page(g);
+    ++stats_.prefetch_pages;
+  }
+  obs::metrics().counter("vmm.migration.fault_service_chunks").add();
+  // Urgent out-of-band send: goes out now, but still charges the stream's
+  // token bucket, so fault service steals bandwidth from the bulk copy.
+  send_chunk(std::move(c));
+}
+
+void MigrationJob::arm_watchdog() {
+  sched_at(last_postcopy_progress_ + config_.postcopy_watchdog, [this] {
+    if (stats_.completed) return;
+    const SimTime now = world_->simulator().now();
+    if (now - last_postcopy_progress_ >= config_.postcopy_watchdog) {
+      resolve_stranded();
+    } else {
+      arm_watchdog();  // progress since: re-arm from the new deadline
+    }
+  });
+}
+
+void MigrationJob::resolve_stranded() {
+  if (stats_.completed || dest_ == nullptr) return;
+  obs::metrics().counter("vmm.migration.watchdog_fired").add();
+  obs::tracer().instant("migration.watchdog", world_->simulator().now(),
+                        "vmm");
+  // Salvage the surviving in-flight set: chunks built before the source
+  // went quiet still hold their page payloads in the side table (the
+  // destination NIC's receive ring, in the model's terms).
+  applying_chunk_ = true;
+  for (auto& [seq, chunk] : in_flight_) {
+    if (chunk.announce) continue;
+    for (auto& [gfn, data] : chunk.pages) {
+      if (dest_->memory().is_dirty(gfn)) continue;
+      dest_->memory().write_page(gfn, std::move(data));
+      applied_gfns_.insert(gfn.value());
+      ++stats_.inflight_pages_salvaged;
+    }
+    for (Gfn gfn : chunk.zero_gfns) {
+      if (dest_->memory().is_dirty(gfn)) continue;
+      if (dest_->memory().is_mapped(gfn)) {
+        dest_->memory().write_page(gfn, mem::PageData::zero());
+      }
+      applied_gfns_.insert(gfn.value());
+      ++stats_.inflight_pages_salvaged;
+    }
+  }
+  applying_chunk_ = false;
+  in_flight_.clear();
+  chunks_outstanding_ = 0;
+
+  // A page is covered if a chunk delivered it or the destination guest
+  // overwrote it (its content is then newer than anything the source held).
+  const std::uint64_t ram_pages = source_->config().memory_pages();
+  std::uint64_t missing = 0;
+  for (std::uint64_t g = 0; g < ram_pages; ++g) {
+    if (applied_gfns_.contains(g)) continue;
+    if (dest_->memory().is_dirty(Gfn(g))) continue;
+    ++missing;
+  }
+
+  if (missing == 0) {
+    // Everything the guest can ever touch is present: the stream died, the
+    // payload survived. Resolve any faults the salvage just covered.
+    while (!outstanding_faults_.empty()) {
+      resolve_one_fault(outstanding_faults_.begin()->first);
+    }
+    stats_.postcopy_outcome = PostCopyOutcome::kCompletedFromInflight;
+    stats_.succeeded = true;
+    finish();
+    return;
+  }
+  if (!dest_diverged_ && !source_dead_) {
+    // The destination never wrote a page, so the paused source still holds
+    // a complete, consistent image: hand execution back (the post-copy
+    // rollback QEMU cannot do — our announce keeps the source image
+    // frozen until the destination diverges).
+    stats_.postcopy_outcome = PostCopyOutcome::kRecoveredSourceResume;
+    std::unique_ptr<guestos::GuestOS> os = dest_->release_os();
+    source_->adopt_os(std::move(os));
+    fail("post-copy stranded: no stream progress for " +
+         config_.postcopy_watchdog.to_string() + "; " +
+         std::to_string(missing) +
+         " pages missing, destination undiverged — source re-activated");
+    return;
+  }
+  // The destination diverged (or the source is dead and was the only holder
+  // of the missing pages): typed data loss, never a silent success.
+  stats_.postcopy_outcome = PostCopyOutcome::kDataLoss;
+  stats_.postcopy_report = data_loss(
+      std::to_string(missing) + " of " + std::to_string(ram_pages) +
+      " guest pages unrecoverable: source unreachable past the " +
+      config_.postcopy_watchdog.to_string() + " post-copy deadline");
+  fail("post-copy data loss: " +
+       std::string(stats_.postcopy_report.message()));
 }
 
 void MigrationJob::stream_rejected(const std::string& why) {
@@ -465,8 +769,32 @@ void MigrationJob::inject_abort(std::string why) {
   attempt_failed(std::move(why));
 }
 
+void MigrationJob::inject_source_failure(std::string why) {
+  if (stats_.completed || source_dead_) return;
+  source_dead_ = true;
+  obs::metrics().counter("vmm.migration.source_failures").add();
+  obs::tracer().instant("migration.source_failure", world_->simulator().now(),
+                        "vmm");
+  if (!handoff_done_) {
+    // The guest still runs on the source, but the source qemu process is
+    // gone: there is nothing left to stream from and nothing to retry.
+    fail("source failed before handoff: " + why);
+    return;
+  }
+  // Post-handoff the stream just goes quiet; the destination's watchdog
+  // (when armed) notices the silence and resolves the job. Without one the
+  // guest strands — the pre-demand-paging behavior, on purpose.
+  stats_.attempt_errors.push_back("source failed post-handoff: " +
+                                  std::move(why));
+}
+
 void MigrationJob::set_bandwidth_limit(double bytes_per_sec) {
-  CSK_CHECK(bytes_per_sec > 0);
+  // Clamp instead of CSK_CHECK: an injected bandwidth collapse with
+  // factor == 0 (total starvation) must slow the stream to a crawl, not
+  // abort the whole campaign process.
+  if (!(bytes_per_sec >= kMinBandwidthBytesPerSec)) {  // also catches NaN
+    bytes_per_sec = kMinBandwidthBytesPerSec;
+  }
   config_.bandwidth_limit_bytes_per_sec = bytes_per_sec;
 }
 
@@ -475,6 +803,15 @@ void MigrationJob::attempt_failed(std::string error) {
   // Post-handoff failures are terminal: execution already moved, there is
   // no source state left to retry from.
   if (handoff_done_ || stats_.attempts >= config_.retry.max_attempts) {
+    if (handoff_done_ && config_.postcopy_watchdog > SimDuration::zero()) {
+      // With the watchdog armed the stranded resolver owns every
+      // post-handoff terminal path, so even a retransmit-budget blowout
+      // ends in a typed outcome (salvage / rollback / kDataLoss) rather
+      // than an untyped failure over a half-populated guest.
+      stats_.attempt_errors.push_back(std::move(error));
+      resolve_stranded();
+      return;
+    }
     fail(std::move(error));
     return;
   }
@@ -547,6 +884,28 @@ void MigrationJob::finish() {
   stats_.completed = true;
   stats_.total_time = world_->simulator().now() - start_time_;
   stats_.rounds = static_cast<int>(stats_.round_log.size());
+  if (fault_endpoint_bound_) {
+    world_->network().unbind(fault_endpoint_);
+    fault_endpoint_bound_ = false;
+  }
+  if (observer_installed_ && dest_ != nullptr) {
+    dest_->memory().clear_write_observer();
+    observer_installed_ = false;
+  }
+  if (stats_.succeeded) {
+    // A fault whose page the destination overwrote before service resolves
+    // when the stream drains: the guest's own write superseded the demand.
+    while (!outstanding_faults_.empty()) {
+      resolve_one_fault(outstanding_faults_.begin()->first);
+    }
+  }
+  if (config_.post_copy && handoff_done_ &&
+      stats_.postcopy_outcome == PostCopyOutcome::kNone && stats_.succeeded) {
+    stats_.postcopy_outcome = PostCopyOutcome::kCompleted;
+  }
+  if (!stats_.remote_fault_latency_ms.empty()) {
+    stats_.remote_fault_summary = summarize(stats_.remote_fault_latency_ms);
+  }
   obs::metrics()
       .counter("vmm.migration.jobs",
                {{"result", stats_.succeeded ? "succeeded" : "failed"}})

@@ -19,6 +19,22 @@
 /// chain HOST:AAAA -> ROOTKIT:BBBB carries it and taps can observe it); page
 /// *contents* ride a side table keyed by a stream token, mirroring how the
 /// real socket payload is opaque bulk data.
+///
+/// ## Post-copy demand paging (opt-in)
+///
+/// With `postcopy_demand_paging` the destination runs a userfaultfd-style
+/// remote-fault service: a guest touch of a page the background copy has
+/// not delivered yet raises a `MIGFAULT <token> <gfn>` request that
+/// traverses SimNetwork back to the source's fault endpoint
+/// (`postcopy_fault_port`), which answers with an urgent out-of-band chunk
+/// carrying the page plus a prefetch set (`postcopy_prefetch`). Per-fault
+/// service latency is sampled into `MigrationStats::remote_fault_latency_ms`.
+/// A liveness watchdog (`postcopy_watchdog`) bounds how long the
+/// destination will wait without stream progress before resolving the job:
+/// complete from the surviving in-flight set, roll execution back to the
+/// paused source when the destination has not diverged, or terminate with a
+/// typed `StatusCode::kDataLoss` report — a post-copy job never hangs and
+/// never silently "succeeds" with missing pages.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +47,7 @@
 
 #include "common/ids.h"
 #include "common/retry.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "mem/page.h"
@@ -40,6 +57,28 @@
 namespace csk::vmm {
 
 class World;
+
+/// Prefetch policy for the post-copy remote-fault service: what rides along
+/// with a demanded page in its fault-service chunk.
+enum class PostCopyPrefetch {
+  kNone,      // exactly the faulted page
+  kLinear,    // readahead: [fault, fault + window)
+  kLocality,  // window centered on the fault: [fault - window/2, fault + window/2)
+};
+
+const char* postcopy_prefetch_name(PostCopyPrefetch policy);
+
+/// Terminal classification of a post-copy job (kNone for pre-copy jobs and
+/// for post-copy jobs that never reached the demand plane).
+enum class PostCopyOutcome {
+  kNone,
+  kCompleted,              // background copy + fault service drained normally
+  kCompletedFromInflight,  // watchdog fired but the in-flight set covered RAM
+  kRecoveredSourceResume,  // stranded, undiverged: execution rolled back
+  kDataLoss,               // stranded with pages only the dead source held
+};
+
+const char* postcopy_outcome_name(PostCopyOutcome outcome);
 
 struct MigrationConfig {
   /// migrate_set_speed: QEMU <= 2.9 defaults to 32 MiB/s.
@@ -54,6 +93,10 @@ struct MigrationConfig {
   SimDuration setup_time = SimDuration::millis(500);
   /// Non-RAM device state transfer during the blackout.
   SimDuration device_state_time = SimDuration::millis(80);
+  /// Post-copy only: destination activation cost added to the blackout on
+  /// top of device_state_time (vCPU thaw + device re-plumbing after the
+  /// announce). Formerly a hard-coded 20 ms inside do_handoff().
+  SimDuration postcopy_activate_time = SimDuration::millis(20);
 
   // --- recovery knobs (all inert by default: a job configured with the
   // --- defaults behaves bit-identically to the pre-fault-layer engine) ---
@@ -74,6 +117,28 @@ struct MigrationConfig {
   /// Downtime SLA accounting: when non-zero, `MigrationStats::
   /// downtime_sla_met` records whether the blackout stayed within budget.
   SimDuration downtime_sla = SimDuration::zero();
+
+  // --- post-copy demand-paging knobs (inert by default: with demand paging
+  // --- off and no watchdog, post-copy behaves bit-identically to the
+  // --- announce-then-bulk-copy engine) ---
+
+  /// Remote-fault service: destination touches of not-yet-received pages
+  /// raise MIGFAULT requests back to the source instead of waiting for the
+  /// background copy to reach them.
+  bool postcopy_demand_paging = false;
+  /// What accompanies a demanded page in its fault-service chunk.
+  PostCopyPrefetch postcopy_prefetch = PostCopyPrefetch::kNone;
+  /// Page count of the prefetch window (policy-dependent shape).
+  int postcopy_prefetch_window = 8;
+  /// Source-node port of the fault-request return channel (the simulated
+  /// userfaultfd wire). Only bound while a demand-paging job is live.
+  std::uint16_t postcopy_fault_port = 4460;
+  /// Post-copy liveness watchdog: with no stream progress (chunk applied or
+  /// fault served) for this long after the handoff, the job resolves —
+  /// completes from the in-flight set, rolls back to the source, or reports
+  /// kDataLoss. zero() = no watchdog; a dead source then strands the guest
+  /// (the pre-demand-paging behavior).
+  SimDuration postcopy_watchdog = SimDuration::zero();
 };
 
 struct MigrationRoundStats {
@@ -105,6 +170,21 @@ struct MigrationStats {
   SimDuration backoff_total;            // summed inter-attempt backoff
   bool downtime_sla_met = true;         // only meaningful with downtime_sla
   std::vector<std::string> attempt_errors;  // transient per-attempt failures
+
+  // --- post-copy demand-paging accounting (all zero/empty unless the
+  // --- demand plane is enabled) ---
+  std::uint64_t remote_faults = 0;         // fault requests raised at dest
+  std::uint64_t remote_faults_served = 0;  // resolved by an arriving page
+  std::uint64_t prefetch_pages = 0;        // pages sent beyond the demanded one
+  std::uint64_t inflight_pages_salvaged = 0;  // applied from in_flight_ at resolve
+  /// Per-fault service time, raise -> page applied at the destination.
+  std::vector<double> remote_fault_latency_ms;
+  /// summarize(remote_fault_latency_ms), computed at finish.
+  SampleSummary remote_fault_summary;
+  PostCopyOutcome postcopy_outcome = PostCopyOutcome::kNone;
+  /// OK unless the job terminated with missing pages (then kDataLoss, with
+  /// the unrecoverable page count in the message).
+  Status postcopy_report;
 };
 
 class MigrationJob {
@@ -132,6 +212,27 @@ class MigrationJob {
   /// off and resumes — already-applied destination pages are not re-sent
   /// unless re-dirtied; without one this is equivalent to cancel().
   void inject_abort(std::string why);
+
+  /// Fault injection: the source qemu process dies outright. Before the
+  /// post-copy handoff this is terminal immediately (there is nothing left
+  /// to stream from and nothing to retry). After the handoff the stream
+  /// simply goes quiet: with a `postcopy_watchdog` the destination detects
+  /// the silence and resolves (recover or kDataLoss); without one the job
+  /// strands exactly as the pre-demand-paging engine did.
+  void inject_source_failure(std::string why);
+
+  /// Destination-side read touch of `gfn` by the running guest (the write
+  /// stream is observed automatically via mem::AddressSpace). Post-handoff
+  /// with demand paging enabled, a touch of a not-yet-received page raises
+  /// a remote fault; otherwise a no-op.
+  void postcopy_touch(Gfn gfn);
+
+  /// True once inject_source_failure() fired.
+  bool source_failed() const { return source_dead_; }
+
+  /// Node carrying the source qemu process (the parent VM's node for a
+  /// nested source) — the node a PostCopyFaultSpec partition cuts off.
+  std::string source_node() const;
 
   /// Fault injection / live tuning: replaces the stream's bandwidth cap
   /// (migrate_set_speed while active). Applies from the next chunk on.
@@ -167,6 +268,16 @@ class MigrationJob {
   };
   static Result<ChunkRef> parse_chunk_payload(std::string_view payload);
 
+  /// Encodes/decodes the payload of a remote-fault request ("MIGFAULT
+  /// <token> <gfn>"), the simulated userfaultfd wire format.
+  static std::string encode_fault_payload(std::uint64_t token,
+                                          std::uint64_t gfn);
+  struct FaultRef {
+    std::uint64_t token = 0;
+    std::uint64_t gfn = 0;
+  };
+  static Result<FaultRef> parse_fault_payload(std::string_view payload);
+
  private:
   struct Chunk {
     std::uint64_t seq = 0;
@@ -199,6 +310,29 @@ class MigrationJob {
   void finish();
   SimDuration receive_processing_time(const Chunk& chunk) const;
   std::vector<Gfn> harvest_dirty();
+
+  // --- post-copy demand-paging plane ---
+  /// Installs the destination write observer + fault endpoint + watchdog
+  /// right after the handoff (no-op when every knob is inert).
+  void install_demand_plane();
+  /// Destination write-observer body: divergence tracking + write faults.
+  void on_dest_write(Gfn gfn);
+  /// Raises a MIGFAULT request for `gfn` if it is missing and not already
+  /// outstanding.
+  void raise_remote_fault(Gfn gfn);
+  /// Source-side fault endpoint handler.
+  void on_fault_request(net::Packet&& pkt);
+  /// Answers one fault with an urgent chunk: the page + the prefetch set.
+  void serve_remote_fault(Gfn gfn);
+  /// Resolves any outstanding faults covered by `chunk`, sampling their
+  /// service latency.
+  void resolve_faults_in(const Chunk& chunk);
+  void resolve_one_fault(std::uint64_t gfn);
+  void arm_watchdog();
+  /// Watchdog expiry: classifies the stranded job — complete from the
+  /// in-flight set, roll back to the source, or report kDataLoss.
+  void resolve_stranded();
+
   /// Schedules a simulator event owned by this job: cancelled on
   /// destruction so no callback can outlive the job.
   void sched_at(SimTime when, std::function<void()> fn);
@@ -240,6 +374,17 @@ class MigrationJob {
   SimTime next_send_allowed_;
   double observed_rate_ = 32.0 * 1024 * 1024;  // bytes/s, updated per round
   std::vector<EventId> live_events_;
+
+  // Post-copy demand-paging state (untouched unless the plane is enabled).
+  bool source_dead_ = false;      // inject_source_failure() fired
+  bool dest_diverged_ = false;    // destination guest wrote post-handoff
+  bool applying_chunk_ = false;   // suppress the observer for our own writes
+  bool observer_installed_ = false;
+  bool fault_endpoint_bound_ = false;
+  EndpointId fault_endpoint_;
+  /// Outstanding fault requests: gfn -> raise time (for latency sampling).
+  std::map<std::uint64_t, SimTime> outstanding_faults_;
+  SimTime last_postcopy_progress_;
 };
 
 }  // namespace csk::vmm

@@ -341,7 +341,9 @@ SimTime VirtualMachine::charge_receive(SimDuration processing) {
 
 void VirtualMachine::adopt_os(std::unique_ptr<guestos::GuestOS> os) {
   CSK_CHECK_MSG(os_ == nullptr, "VM already has an OS");
-  CSK_CHECK(state_ == VmState::kIncoming);
+  // kIncoming: normal migration landing. kPostMigrate: a stranded post-copy
+  // destination hands the OS back to the source it came from (rollback).
+  CSK_CHECK(state_ == VmState::kIncoming || state_ == VmState::kPostMigrate);
   os_ = std::move(os);
   os_->rebind_memory(memory_.get());
   state_ = VmState::kRunning;

@@ -282,6 +282,219 @@ TEST(MigrationChaosTest, SurvivesAHardPartitionWindow) {
   EXPECT_GT(r.stats.chunk_retransmits, 0u);
 }
 
+// --------------------------------------------------- post-copy strandings
+
+struct PostCopyChaosOpts {
+  /// zero() reproduces the pre-engine model: no watchdog, no demand plane.
+  SimDuration watchdog = SimDuration::seconds(2);
+  vmm::PostCopyPrefetch prefetch = vmm::PostCopyPrefetch::kNone;
+  /// 0 keeps the default 32 MiB/s cap. Throttling stretches the background
+  /// copy so a mid-copy fault leaves an unsent tail (the rollback shape).
+  double bandwidth = 0.0;
+  /// zero() disables the retransmit net so a severed link is a pure stall.
+  SimDuration chunk_timeout = SimDuration::zero();
+  SimDuration drive_budget = SimDuration::seconds(600);
+};
+
+/// Like run_chaos_migration but in post-copy mode with the round timer
+/// disabled, so a severed source link past the handoff manifests exactly as
+/// the failure class under test: the only thing standing between the guest
+/// and a permanent hang is the post-copy watchdog.
+MigrationRun run_postcopy_chaos(const FaultPlan& plan,
+                                const PostCopyChaosOpts& opts = {}) {
+  vmm::World world;
+  auto host_cfg = small_host_config();
+  host_cfg.ksm_enabled = false;
+  vmm::Host* host = world.make_host(host_cfg);
+  vmm::VirtualMachine* source =
+      host->launch_vm(small_vm_config("src", 64), /*boot_touched_mib=*/48)
+          .value();
+  auto dest_cfg = small_vm_config("dst", 64, 0, 0);
+  dest_cfg.incoming_port = 4445;
+  (void)host->launch_vm(dest_cfg).value();
+
+  vmm::MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.chunk_timeout = opts.chunk_timeout;
+  cfg.round_timeout = SimDuration::zero();  // no round watchdog
+  if (opts.bandwidth > 0.0) cfg.bandwidth_limit_bytes_per_sec = opts.bandwidth;
+  cfg.postcopy_demand_paging = opts.watchdog > SimDuration::zero();
+  cfg.postcopy_watchdog = opts.watchdog;
+  cfg.postcopy_prefetch = opts.prefetch;
+  vmm::MigrationJob job(&world, source,
+                        net::NetAddr{host->node_name(), Port(4445)}, cfg);
+  Injector injector(&world, plan);
+  injector.attach_migration(&job);
+  injector.arm();
+  job.start();
+  const SimTime deadline = world.simulator().now() + opts.drive_budget;
+  while (!job.done() && world.simulator().now() < deadline) {
+    if (!world.simulator().step()) break;
+  }
+  MigrationRun out;
+  out.stats = job.stats();
+  out.faults = injector.log();
+  return out;
+}
+
+std::uint64_t count_kind(const std::vector<InjectedFault>& log,
+                         const std::string& kind) {
+  std::uint64_t n = 0;
+  for (const InjectedFault& f : log) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+// The acceptance pair: the same open-ended source-link partition, fired one
+// second in — squarely between the post-copy handoff (~0.6 s) and the end
+// of the 48 MiB background copy (~2.1 s).
+FaultPlan source_partition_plan() {
+  FaultPlan plan;
+  PostCopyFaultSpec cut;
+  cut.kind = PostCopyFaultSpec::Kind::kPartitionSourceLink;
+  cut.at = SimDuration::seconds(1);
+  cut.duration = SimDuration::zero();  // never heals
+  plan.postcopy.push_back(cut);
+  return plan;
+}
+
+TEST(PostCopyChaosTest, OpenEndedSourcePartitionStrandsTheOldModel) {
+  // Pre-engine behavior (watchdog disabled): the destination guest runs
+  // with pages it can never receive, and the job idles forever — ten
+  // simulated minutes later it has neither succeeded nor failed. This is
+  // the stranded-guest hole the demand-paging engine exists to close.
+  PostCopyChaosOpts opts;
+  opts.watchdog = SimDuration::zero();
+  const MigrationRun r = run_postcopy_chaos(source_partition_plan(), opts);
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_FALSE(r.stats.succeeded);
+  EXPECT_GT(count_kind(r.faults, "postcopy.partition"), 0u);
+  EXPECT_EQ(r.stats.postcopy_outcome, vmm::PostCopyOutcome::kNone);
+}
+
+TEST(PostCopyChaosTest, WatchdogResolvesTheSamePartitionWithinDeadline) {
+  // Same plan, watchdog armed, stream throttled to 4 MiB/s so the cut
+  // leaves a genuinely unsent tail: the watchdog salvages what the
+  // in-flight set holds, finds pages still missing, and — with the
+  // destination undiverged — rolls execution back to the source rather
+  // than losing the guest.
+  PostCopyChaosOpts opts;
+  opts.bandwidth = 4.0 * 1024 * 1024;
+  const SimDuration watchdog = opts.watchdog;
+  const MigrationRun r = run_postcopy_chaos(source_partition_plan(), opts);
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_EQ(r.stats.postcopy_outcome,
+            vmm::PostCopyOutcome::kRecoveredSourceResume);
+  EXPECT_TRUE(r.stats.postcopy_report.is_ok());
+  // Terminated within one watchdog deadline (plus scheduling slack) of the
+  // last pre-partition progress — never stranded.
+  EXPECT_LE(r.stats.total_time.ns(),
+            SimDuration::seconds(1).ns() + 3 * watchdog.ns());
+}
+
+TEST(PostCopyChaosTest, SourceKillInsideWindowIsTypedDataLoss) {
+  // A dead source can neither finish the copy nor take the guest back:
+  // the only honest terminal state is a typed data-loss report naming the
+  // missing pages — not a hang, not a silent success.
+  FaultPlan plan;
+  PostCopyFaultSpec kill;
+  kill.kind = PostCopyFaultSpec::Kind::kKillSource;
+  kill.at = SimDuration::seconds(1);
+  plan.postcopy.push_back(kill);
+  const MigrationRun r = run_postcopy_chaos(plan);
+  ASSERT_TRUE(r.stats.completed);
+  EXPECT_FALSE(r.stats.succeeded);
+  EXPECT_EQ(count_kind(r.faults, "postcopy.source_kill"), 1u);
+  EXPECT_EQ(r.stats.postcopy_outcome, vmm::PostCopyOutcome::kDataLoss);
+  EXPECT_EQ(r.stats.postcopy_report.code(), StatusCode::kDataLoss);
+}
+
+TEST(PostCopyChaosTest, HealingPartitionCanCompleteFromTheInflightSet) {
+  // A partition that heals before the copy would have finished: the tail
+  // of the stream lands after the window, and the watchdog completes the
+  // handful of severed chunks from the in-flight set.
+  FaultPlan plan;
+  PostCopyFaultSpec cut;
+  cut.kind = PostCopyFaultSpec::Kind::kPartitionSourceLink;
+  cut.at = SimDuration::seconds(1);
+  cut.duration = SimDuration::millis(300);
+  plan.postcopy.push_back(cut);
+  const MigrationRun r = run_postcopy_chaos(plan);
+  ASSERT_TRUE(r.stats.completed);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_EQ(r.stats.postcopy_outcome,
+            vmm::PostCopyOutcome::kCompletedFromInflight);
+  EXPECT_GT(r.stats.inflight_pages_salvaged, 0u);
+}
+
+TEST(PostCopyPropertyTest, SeededSweepAlwaysTerminatesWithATypedOutcome) {
+  // Property: whatever the onset, fault kind, or prefetch policy, a
+  // watchdog-armed post-copy job always terminates with one of the four
+  // typed outcomes — and kDataLoss always carries a kDataLoss report.
+  // Onsets straddle the whole window: before handoff, mid-copy, and after
+  // the copy would have completed cleanly (~2.1 s).
+  Rng rng(20260809);
+  const vmm::PostCopyPrefetch policies[] = {
+      vmm::PostCopyPrefetch::kNone, vmm::PostCopyPrefetch::kLinear,
+      vmm::PostCopyPrefetch::kLocality};
+  for (int i = 0; i < 12; ++i) {
+    FaultPlan plan;
+    plan.seed = 100 + static_cast<std::uint64_t>(i);
+    PostCopyFaultSpec spec;
+    spec.kind = (i % 2 == 0) ? PostCopyFaultSpec::Kind::kPartitionSourceLink
+                             : PostCopyFaultSpec::Kind::kKillSource;
+    spec.at = SimDuration::millis(
+        300 + static_cast<std::int64_t>(rng.uniform(2200)));
+    spec.duration = (i % 4 == 0) ? SimDuration::millis(400)
+                                 : SimDuration::zero();
+    plan.postcopy.push_back(spec);
+    PostCopyChaosOpts opts;
+    opts.prefetch = policies[i % 3];
+    // Realistic retransmit net: a fault landing *before* the handoff (e.g.
+    // a severed announce chunk) exhausts the budget and fails the ordinary
+    // way; faults past the handoff belong to the watchdog.
+    opts.chunk_timeout = SimDuration::seconds(2);
+    const MigrationRun r = run_postcopy_chaos(plan, opts);
+    ASSERT_TRUE(r.stats.completed)
+        << "stranded: i=" << i << " at=" << spec.at.to_string();
+    const vmm::PostCopyOutcome o = r.stats.postcopy_outcome;
+    if (r.stats.succeeded) {
+      EXPECT_TRUE(o == vmm::PostCopyOutcome::kCompleted ||
+                  o == vmm::PostCopyOutcome::kCompletedFromInflight)
+          << "i=" << i << " outcome=" << vmm::postcopy_outcome_name(o);
+    } else if (r.stats.downtime == SimDuration::zero()) {
+      // Faulted out before the handoff: an ordinary terminal failure, the
+      // post-copy taxonomy never engaged.
+      EXPECT_EQ(o, vmm::PostCopyOutcome::kNone) << "i=" << i;
+    } else {
+      ASSERT_TRUE(o == vmm::PostCopyOutcome::kRecoveredSourceResume ||
+                  o == vmm::PostCopyOutcome::kDataLoss)
+          << "i=" << i << " outcome=" << vmm::postcopy_outcome_name(o);
+      if (o == vmm::PostCopyOutcome::kDataLoss) {
+        EXPECT_EQ(r.stats.postcopy_report.code(), StatusCode::kDataLoss)
+            << "i=" << i;
+      }
+    }
+  }
+}
+
+// --------------------------------------------- bandwidth collapse to zero
+
+TEST(MigrationChaosTest, ZeroFactorCollapseStarvesWithoutAborting) {
+  // Regression: factor == 0 used to trip CSK_CHECK(bytes_per_sec > 0)
+  // inside set_bandwidth_limit and abort the process. The cap now clamps
+  // to the internal floor, the window merely starves the stream, and the
+  // restore edge brings the full cap back.
+  FaultPlan plan;
+  plan.bandwidth_collapses.push_back(
+      {SimDuration::millis(700), SimDuration::seconds(2), 0.0});
+  const MigrationRun clean = run_chaos_migration(FaultPlan{});
+  const MigrationRun r = run_chaos_migration(plan);
+  ASSERT_TRUE(r.stats.succeeded) << r.stats.error;
+  EXPECT_GT(r.stats.total_time, clean.stats.total_time);
+}
+
 // ------------------------------------------------------------ hv pressure
 
 TEST(InjectorTest, MemoryPressureWindowAppliesAndRestores) {

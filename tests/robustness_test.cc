@@ -373,6 +373,16 @@ TEST(MigrationRecoveryRobustnessTest, DefaultConfigHasRecoveryDisabled) {
   EXPECT_EQ(cfg.round_timeout, SimDuration::zero());
   EXPECT_EQ(cfg.chunk_timeout, SimDuration::zero());
   EXPECT_EQ(cfg.downtime_sla, SimDuration::zero());
+  // The post-copy demand plane ships inert: no fault endpoint, no write
+  // observer, no watchdog — a default run is bit-identical to the seed.
+  EXPECT_FALSE(cfg.postcopy_demand_paging);
+  EXPECT_EQ(cfg.postcopy_watchdog, SimDuration::zero());
+  EXPECT_EQ(cfg.postcopy_prefetch, vmm::PostCopyPrefetch::kNone);
+  EXPECT_EQ(cfg.postcopy_prefetch_window, 8);
+  EXPECT_EQ(cfg.postcopy_fault_port, 4460);
+  // Satellite of the same contract: the activation stall that used to be a
+  // hard-coded 20 ms inside do_handoff() must keep that exact default.
+  EXPECT_EQ(cfg.postcopy_activate_time, SimDuration::millis(20));
 }
 
 TEST(MigrationRecoveryRobustnessTest, AbortAfterCompletionIsHarmless) {

@@ -3,6 +3,8 @@
 // pre-copy convergence and the post-copy extension.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "test_util.h"
 #include "vmm/migration.h"
 #include "vmm/monitor.h"
@@ -292,6 +294,318 @@ TEST_F(MigrationTest, PostCopyPreservesDestinationWrites) {
   world_.simulator().run_until_idle();
   ASSERT_TRUE(job.stats().succeeded) << job.stats().error;
   EXPECT_EQ(dst->memory().read_hash(Gfn(2000)), ContentHash{0xFEED});
+}
+
+// --- golden digests: fault-free migrations pinned against the seed build.
+// The demand-paging engine must leave default behavior bit-identical; these
+// literals were captured from the pre-engine tree (same fixture, same
+// configs) and any drift is a regression, not a re-baseline.
+
+TEST_F(MigrationTest, GoldenPreCopyDigestMatchesSeed) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  const MigrationStats stats = migrate(src);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(stats.total_time.ns(), 832075194);
+  EXPECT_EQ(stats.downtime.ns(), 80000000);
+  EXPECT_EQ(stats.rounds, 2);
+  EXPECT_EQ(stats.pages_transferred, 2049u);
+  EXPECT_EQ(stats.zero_pages, 6143u);
+  EXPECT_EQ(stats.wire_bytes, 8458240u);
+}
+
+TEST_F(MigrationTest, GoldenPostCopyDigestMatchesSeed) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(stats.total_time.ns(), 752131855);
+  EXPECT_EQ(stats.downtime.ns(), 100000000);  // 80 ms device + 20 ms activate
+  EXPECT_EQ(stats.rounds, 1);
+  EXPECT_EQ(stats.pages_transferred, 2049u);
+  EXPECT_EQ(stats.zero_pages, 6143u);
+  EXPECT_EQ(stats.wire_bytes, 8458304u);
+  // The demand plane stayed inert at defaults.
+  EXPECT_EQ(stats.remote_faults, 0u);
+  EXPECT_EQ(stats.remote_faults_served, 0u);
+  EXPECT_EQ(stats.prefetch_pages, 0u);
+  EXPECT_TRUE(stats.remote_fault_latency_ms.empty());
+  EXPECT_EQ(stats.postcopy_outcome, PostCopyOutcome::kCompleted);
+  EXPECT_TRUE(stats.postcopy_report.is_ok());
+}
+
+TEST_F(MigrationTest, PostCopyActivateTimeIsConfigurable) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_activate_time = SimDuration::millis(50);
+  const MigrationStats stats = migrate(src, 4444, cfg);
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(stats.downtime.ns(),
+            (cfg.device_state_time + SimDuration::millis(50)).ns());
+}
+
+TEST_F(MigrationTest, BandwidthLimitClampsToFloorInsteadOfAborting) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  MigrationConfig cfg;
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  // A factor-0 bandwidth collapse lands here as a zero cap; the old
+  // CSK_CHECK aborted the whole process mid-campaign.
+  job.set_bandwidth_limit(0.0);
+  EXPECT_EQ(job.bandwidth_limit(), 64.0 * 1024);
+  job.set_bandwidth_limit(-5.0);
+  EXPECT_EQ(job.bandwidth_limit(), 64.0 * 1024);
+  job.set_bandwidth_limit(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(job.bandwidth_limit(), 64.0 * 1024);
+  job.set_bandwidth_limit(8.0 * 1024 * 1024);
+  EXPECT_EQ(job.bandwidth_limit(), 8.0 * 1024 * 1024);
+  job.start();
+  world_.simulator().run_until_idle();
+  EXPECT_TRUE(job.stats().succeeded) << job.stats().error;
+}
+
+// --- post-copy demand paging ---
+
+TEST_F(MigrationTest, DemandPagingServesReadTouches) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_demand_paging = true;
+  cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;  // slow background
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  // Sentinel far from the start of RAM, so the slow background copy will
+  // not have reached it when the touch lands.
+  const Gfn hot(7000);
+  src->memory().write_page(hot, mem::PageData::synthetic(ContentHash{0xABCD}));
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(150));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  job.postcopy_touch(hot);
+  world_.simulator().run_until_idle();
+  const MigrationStats& stats = job.stats();
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(stats.remote_faults, 1u);
+  EXPECT_EQ(stats.remote_faults_served, 1u);
+  ASSERT_EQ(stats.remote_fault_latency_ms.size(), 1u);
+  EXPECT_GT(stats.remote_fault_latency_ms[0], 0.0);
+  EXPECT_EQ(stats.remote_fault_summary.count, 1u);
+  // The demanded page was served out of band, far before the background
+  // copy would have reached gfn 7000 at 2 MiB/s.
+  EXPECT_LT(stats.remote_fault_latency_ms[0], 1000.0);
+  EXPECT_EQ(dst->memory().read_hash(hot), ContentHash{0xABCD});
+}
+
+TEST_F(MigrationTest, DemandPagingObservesDestinationWrites) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_demand_paging = true;
+  cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(150));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  // A guest write to a not-yet-received page goes through the write
+  // observer and raises a write fault.
+  dst->memory().write_page(Gfn(7100),
+                           mem::PageData::synthetic(ContentHash{0xFEED}));
+  world_.simulator().run_until_idle();
+  const MigrationStats& stats = job.stats();
+  ASSERT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_GE(stats.remote_faults, 1u);
+  // The guest's own write supersedes the demanded content.
+  EXPECT_EQ(dst->memory().read_hash(Gfn(7100)), ContentHash{0xFEED});
+  EXPECT_EQ(stats.remote_faults_served, stats.remote_faults);
+}
+
+TEST_F(MigrationTest, LinearPrefetchSuppressesSequentialFaults) {
+  auto run = [&](PostCopyPrefetch policy, const char* src_name,
+                 const char* dst_name, std::uint16_t port) {
+    auto scfg = small_vm_config(src_name, 32, 0, 0);
+    VirtualMachine* src = host_->launch_vm(scfg).value();
+    auto dcfg = small_vm_config(dst_name, 32, 0, 0);
+    dcfg.incoming_port = port;
+    host_->launch_vm(dcfg).value();
+    MigrationConfig cfg;
+    cfg.post_copy = true;
+    cfg.postcopy_demand_paging = true;
+    cfg.postcopy_prefetch = policy;
+    cfg.postcopy_prefetch_window = 16;
+    cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;
+    MigrationJob job(&world_, src,
+                     net::NetAddr{host_->node_name(), Port(port)}, cfg);
+    job.start();
+    world_.simulator().run_for(cfg.setup_time + SimDuration::millis(150));
+    // A sequential scan: exactly the access pattern readahead predicts.
+    for (int i = 0; i < 16; ++i) {
+      job.postcopy_touch(Gfn(7200 + i));
+      world_.simulator().run_for(SimDuration::millis(20));
+    }
+    world_.simulator().run_until_idle();
+    CSK_CHECK(job.stats().succeeded);
+    return job.stats().remote_faults;
+  };
+  const std::uint64_t faults_none =
+      run(PostCopyPrefetch::kNone, "srcA", "dstA", 4450);
+  const std::uint64_t faults_linear =
+      run(PostCopyPrefetch::kLinear, "srcB", "dstB", 4451);
+  EXPECT_EQ(faults_none, 16u);
+  EXPECT_LT(faults_linear, faults_none / 2);
+}
+
+// --- stranded-guest semantics: the watchdog never lets a post-copy job
+// --- hang, and never lets it "succeed" with missing pages.
+
+TEST_F(MigrationTest, WatchdogCompletesFromInflightSet) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_watchdog = SimDuration::seconds(1);
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(100));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  // Cut delivery: everything sent from now on is dropped on the wire, but
+  // the source keeps pumping — the whole remainder of RAM ends up in the
+  // in-flight side table (the receive ring the watchdog salvages from).
+  bool cut = true;
+  world_.network().set_fault_hook(
+      [&cut](const net::Packet&, const std::string&, const std::string&) {
+        net::FaultDecision d;
+        d.drop = cut;
+        return d;
+      });
+  world_.simulator().run_until_idle();
+  world_.network().set_fault_hook(nullptr);
+  const MigrationStats& stats = job.stats();
+  ASSERT_TRUE(stats.completed);
+  EXPECT_TRUE(stats.succeeded) << stats.error;
+  EXPECT_EQ(stats.postcopy_outcome, PostCopyOutcome::kCompletedFromInflight);
+  EXPECT_GT(stats.inflight_pages_salvaged, 0u);
+  const std::size_t ram = src->config().memory_pages();
+  for (std::size_t g = 0; g < ram; ++g) {
+    ASSERT_EQ(dst->memory().read_hash(Gfn(g)), src->memory().read_hash(Gfn(g)))
+        << "page " << g;
+  }
+}
+
+TEST_F(MigrationTest, WatchdogRollsBackUndivergedGuest) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_watchdog = SimDuration::millis(300);
+  cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;  // slow: pages owed
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(100));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  // Source link dies; at 2 MiB/s most of RAM is still owed, far more than
+  // the ~300 ms of in-flight salvage can cover.
+  world_.network().set_fault_hook(
+      [](const net::Packet&, const std::string&, const std::string&) {
+        net::FaultDecision d;
+        d.drop = true;
+        return d;
+      });
+  world_.simulator().run_until_idle();
+  world_.network().set_fault_hook(nullptr);
+  const MigrationStats& stats = job.stats();
+  ASSERT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_EQ(stats.postcopy_outcome, PostCopyOutcome::kRecoveredSourceResume);
+  EXPECT_TRUE(stats.postcopy_report.is_ok());  // recovery, not data loss
+  // Execution rolled back: the source runs its OS again, the destination
+  // stepped aside.
+  EXPECT_EQ(src->state(), VmState::kRunning);
+  EXPECT_NE(src->os(), nullptr);
+  EXPECT_EQ(dst->state(), VmState::kPostMigrate);
+  EXPECT_EQ(dst->os(), nullptr);
+}
+
+TEST_F(MigrationTest, WatchdogReportsTypedDataLossWhenDiverged) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  cfg.postcopy_watchdog = SimDuration::millis(300);
+  cfg.bandwidth_limit_bytes_per_sec = 2.0 * 1024 * 1024;
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(100));
+  ASSERT_EQ(dst->state(), VmState::kRunning);
+  // The destination guest wrote state of its own: rollback would lose it.
+  dst->memory().write_page(Gfn(2000),
+                           mem::PageData::synthetic(ContentHash{0xBEEF}));
+  const SimTime cut_time = world_.simulator().now();
+  world_.network().set_fault_hook(
+      [](const net::Packet&, const std::string&, const std::string&) {
+        net::FaultDecision d;
+        d.drop = true;
+        return d;
+      });
+  world_.simulator().run_until_idle();
+  world_.network().set_fault_hook(nullptr);
+  const MigrationStats& stats = job.stats();
+  ASSERT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.succeeded);
+  EXPECT_EQ(stats.postcopy_outcome, PostCopyOutcome::kDataLoss);
+  EXPECT_EQ(stats.postcopy_report.code(), StatusCode::kDataLoss);
+  EXPECT_NE(stats.postcopy_report.message().find("unrecoverable"),
+            std::string_view::npos);
+  // Never hangs: resolution landed within one watchdog deadline (+ slack).
+  EXPECT_LE((world_.simulator().now() - cut_time).ns(),
+            3 * cfg.postcopy_watchdog.ns());
+  // The destination keeps what it wrote; nobody pretends success.
+  EXPECT_EQ(dst->memory().read_hash(Gfn(2000)), ContentHash{0xBEEF});
+}
+
+TEST_F(MigrationTest, SourceKillBeforeHandoffFailsImmediately) {
+  VirtualMachine* src = launch_source();
+  launch_dest();
+  MigrationConfig cfg;  // pre-copy
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(SimDuration::millis(600));  // mid-round-0
+  job.inject_source_failure("qemu killed");
+  EXPECT_TRUE(job.done());
+  EXPECT_FALSE(job.stats().succeeded);
+  EXPECT_NE(job.stats().error.find("source failed"), std::string::npos);
+  world_.simulator().run_until_idle();
+}
+
+TEST_F(MigrationTest, DefaultPostCopyLeavesDemandPlaneUnbound) {
+  VirtualMachine* src = launch_source();
+  VirtualMachine* dst = launch_dest();
+  MigrationConfig cfg;
+  cfg.post_copy = true;
+  MigrationJob job(&world_, src, net::NetAddr{host_->node_name(), Port(4444)},
+                   cfg);
+  job.start();
+  world_.simulator().run_for(cfg.setup_time + SimDuration::millis(150));
+  ASSERT_EQ(dst->state(), VmState::kRunning);  // post-handoff
+  // No observer, no fault endpoint: the plane does not exist at defaults.
+  EXPECT_FALSE(dst->memory().has_write_observer());
+  EXPECT_FALSE(world_.network().is_bound(
+      net::NetAddr{host_->node_name(), Port(cfg.postcopy_fault_port)}));
+  job.postcopy_touch(Gfn(7000));  // no-op, not a crash
+  world_.simulator().run_until_idle();
+  EXPECT_TRUE(job.stats().succeeded);
+  EXPECT_EQ(job.stats().remote_faults, 0u);
 }
 
 // Parameterized: destination equality holds across RAM sizes & dirty rates.

@@ -8,7 +8,10 @@ Fails (exit 1) when any of:
   * docs/testing.md claims a test-binary count that differs from the number
     of ``csk_add_test(...)`` registrations in tests/CMakeLists.txt (docs
     that state totals rot silently; this pins the claim to the source of
-    truth).
+    truth), or
+  * a field of ``vmm::MigrationConfig`` is missing from ARCHITECTURE.md's
+    migration-knobs table (every knob added to the struct must be
+    documented as a backticked ``name`` there).
 
 Run from anywhere: the repo root is derived from this file's location.
 Wired into CTest as the ``doc_lint`` test so documentation debt fails the
@@ -58,6 +61,33 @@ def stale_test_count_claims() -> list[str]:
             for c in claims if int(c) != actual]
 
 
+MIGRATION_H = SRC / "vmm" / "migration.h"
+
+
+def migration_config_fields() -> list[str]:
+    """Field names of struct MigrationConfig, parsed from the header."""
+    text = MIGRATION_H.read_text(encoding="utf-8")
+    match = re.search(r"struct MigrationConfig \{(.*?)\n\};", text,
+                      flags=re.DOTALL)
+    if match is None:
+        return []
+    fields = []
+    for line in match.group(1).splitlines():
+        line = line.strip()
+        if line.startswith(("//", "///")):
+            continue
+        decl = re.match(r"[\w:<>,\s]+?(\w+)\s*(?:=[^;]*)?;", line)
+        if decl:
+            fields.append(decl.group(1))
+    return fields
+
+
+def undocumented_migration_knobs() -> list[str]:
+    """MigrationConfig fields absent from ARCHITECTURE.md's knobs table."""
+    arch = ARCHITECTURE.read_text(encoding="utf-8", errors="replace")
+    return [f for f in migration_config_fields() if f"`{f}`" not in arch]
+
+
 def main() -> int:
     failed = False
 
@@ -83,13 +113,23 @@ def main() -> int:
         for claim in stale_counts:
             print(f"  {claim}")
 
+    missing_knobs = undocumented_migration_knobs()
+    if missing_knobs:
+        failed = True
+        print("doc_lint: MigrationConfig field(s) missing from "
+              "ARCHITECTURE.md's migration-knobs table:")
+        for name in missing_knobs:
+            print(f"  {name}")
+
     if failed:
         return 1
     n_headers = sum(1 for _ in SRC.rglob("*.h"))
     n_subsystems = sum(1 for d in SRC.iterdir() if d.is_dir())
+    n_knobs = len(migration_config_fields())
     print(f"doc_lint: OK ({n_headers} headers documented, "
           f"{n_subsystems} subsystems covered in ARCHITECTURE.md, "
-          "test-binary count claims in sync)")
+          "test-binary count claims in sync, "
+          f"{n_knobs} migration knobs documented)")
     return 0
 
 
