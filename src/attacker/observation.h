@@ -1,0 +1,82 @@
+/// \file
+/// The probe-observation event plane.
+///
+/// CloudSkulk's position in the stack is symmetric: the detector watches the
+/// guest through KSM, but the interposed L1 watches the detector right back.
+/// Every probe perturbs state the nest can see — File-A pushes arrive through
+/// the attacker's own relay, the victim's File-A-v2 writes land in pages the
+/// L1 maps, and an exit-heavy probe loop is literally a burst of traps
+/// through the L1 exit handler (the impossibility argument: no perfect
+/// hypervisor hides its own perturbation). This header types those channels
+/// as ProbeObservation events; detect:: emits them, the campaign routes them
+/// into an AttackerPolicy (policy.h), and reactive policies answer
+/// mid-protocol.
+///
+/// Emission is strictly opt-in: a detector with no sink installed runs
+/// byte-for-byte the code it always ran.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hv/layer.h"
+#include "hv/timing_model.h"
+#include "mem/phys_mem.h"
+
+namespace csk::attacker {
+
+enum class ProbeObservationKind {
+  /// The vendor's web interface pushed File-A contents into the guest —
+  /// which, under impersonation, means *through the attacker's relay*. The
+  /// payload (`file_pages`) is the attacker's to copy; this is why static
+  /// mirroring of the initial seed needs no reactivity at all.
+  kFileAPush,
+  /// The victim wrote one page of a watched file (the File-A -> v2
+  /// perturbation, seen via the L1's write-protection watch on exactly
+  /// those pages). `gfn` is the victim-view gfn, `page` the new content.
+  kFileAPageWrite,
+  /// The L1 exit handler serviced an exit-heavy operation window: `cost`
+  /// and `layer` describe what was priced. Arithmetic-only ops show up too
+  /// (trap_weight() == 0) — a policy distinguishes probe loops from
+  /// ordinary compute by weight, not by being told.
+  kExitBurst,
+};
+
+inline const char* probe_observation_kind_name(ProbeObservationKind kind) {
+  switch (kind) {
+    case ProbeObservationKind::kFileAPush: return "FILE_A_PUSH";
+    case ProbeObservationKind::kFileAPageWrite: return "FILE_A_PAGE_WRITE";
+    case ProbeObservationKind::kExitBurst: return "EXIT_BURST";
+  }
+  return "?";
+}
+
+/// One event on the plane. Pointer fields borrow from the emitter and are
+/// valid only for the duration of the sink call — policies copy what they
+/// keep (the same lifetime rule as AddressSpace::read_page_ref).
+struct ProbeObservation {
+  ProbeObservationKind kind;
+  /// kFileAPush / kFileAPageWrite: the file involved.
+  std::string file_name;
+  /// kFileAPageWrite: victim-view gfn being written.
+  std::uint64_t gfn = 0;
+  /// kFileAPageWrite: the content landing there (borrowed).
+  const mem::PageData* page = nullptr;
+  /// kFileAPush: the full pushed contents (borrowed).
+  const std::vector<mem::PageData>* file_pages = nullptr;
+  /// kExitBurst: the op batch and the layer it was priced at.
+  hv::OpCost cost;
+  hv::Layer layer = hv::Layer::kL0;
+
+  /// How loudly a kExitBurst op traps through the L1: context switches and
+  /// faults each pay exits when virtualized, explicit exits trivially so.
+  double trap_weight() const { return cost.n_ctxsw + cost.n_faults + cost.n_exits; }
+};
+
+/// The delivery channel: detectors call the sink synchronously at the point
+/// the observable side effect happens. Null sink = nothing is observable.
+using ObservationSink = std::function<void(const ProbeObservation&)>;
+
+}  // namespace csk::attacker

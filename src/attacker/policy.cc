@@ -1,0 +1,276 @@
+#include "attacker/policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "guestos/costs.h"
+#include "guestos/os.h"
+#include "vmm/vm.h"
+
+namespace csk::attacker {
+
+const char* attacker_policy_kind_name(AttackerPolicyKind kind) {
+  switch (kind) {
+    case AttackerPolicyKind::kStatic: return "STATIC";
+    case AttackerPolicyKind::kReactiveMirror: return "REACTIVE_MIRROR";
+    case AttackerPolicyKind::kProbeTriggeredTsc: return "PROBE_TRIGGERED_TSC";
+  }
+  return "?";
+}
+
+AttackerPolicy::AttackerPolicy(AttackerPolicyConfig config)
+    : config_(config) {}
+
+AttackerPolicy::~AttackerPolicy() = default;
+
+void AttackerPolicy::arm(const AttackerContext& ctx) {
+  CSK_CHECK(ctx.world != nullptr);
+  CSK_CHECK(ctx.host != nullptr);
+  CSK_CHECK(ctx.rootkit_vm != nullptr);
+  CSK_CHECK(ctx.victim_vm != nullptr);
+  CSK_CHECK_MSG(!armed_, "policy armed twice");
+  ctx_ = ctx;
+  armed_ = true;
+}
+
+void AttackerPolicy::observe(const ProbeObservation& obs) {
+  if (obs.kind == ProbeObservationKind::kFileAPush) reseed_facade(obs);
+}
+
+void AttackerPolicy::disarm() { armed_ = false; }
+
+ObservationSink AttackerPolicy::sink() {
+  return [this](const ProbeObservation& obs) {
+    ++stats_.observations;
+    observe(obs);
+  };
+}
+
+void AttackerPolicy::apply_static_evasions(bool apply_tsc) {
+  if (ctx_.careful_hiding) {
+    guestos::GuestOS* l1 = ctx_.rootkit_vm->os();
+    for (const char* name : {"qemu-system-x86", "kvm"}) {
+      if (auto p = l1->find_process_by_name(name); p.is_ok()) {
+        (void)l1->hide_process(p->pid);
+      }
+    }
+  }
+  if (apply_tsc && ctx_.tsc_scaling) {
+    // §VI-A: deflate the victim's clock so exit-heavy probes read as
+    // single-level (pipe latency is the giveaway the attacker targets).
+    const double scale =
+        ctx_.world->timing().price(guestos::pipe_latency_cost(),
+                                   hv::Layer::kL1) /
+        ctx_.world->timing().price(guestos::pipe_latency_cost(),
+                                   hv::Layer::kL2);
+    ctx_.victim_vm->set_tsc_scaling(scale);
+  }
+}
+
+void AttackerPolicy::reseed_facade(const ProbeObservation& obs) {
+  if (!armed_ || obs.file_pages == nullptr) return;
+  guestos::GuestOS* l1 = ctx_.rootkit_vm->os();
+  if (!l1->file_cached(obs.file_name)) return;
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(obs.file_pages->size()) * mem::kPageSize;
+  if (l1->replace_file(obs.file_name, *obs.file_pages, bytes).is_ok()) {
+    ++stats_.facade_reseeds;
+  }
+}
+
+namespace {
+
+/// kStatic: the seed-drawn evasions and nothing reactive beyond the
+/// push-mirroring every impersonating L1 already performs.
+class StaticPolicy final : public AttackerPolicy {
+ public:
+  explicit StaticPolicy(AttackerPolicyConfig config)
+      : AttackerPolicy(config) {}
+  ~StaticPolicy() override { disarm(); }
+
+  void arm(const AttackerContext& ctx) override {
+    AttackerPolicy::arm(ctx);
+    apply_static_evasions(/*apply_tsc=*/true);
+  }
+};
+
+/// kReactiveMirror: static evasions plus a write-protection watch on the
+/// victim's File-A cache pages, mirrored synchronously into the L1 facade.
+class ReactiveMirrorPolicy final : public AttackerPolicy {
+ public:
+  explicit ReactiveMirrorPolicy(AttackerPolicyConfig config)
+      : AttackerPolicy(config), rng_(0) {}
+  ~ReactiveMirrorPolicy() override { disarm(); }
+
+  void arm(const AttackerContext& ctx) override {
+    AttackerPolicy::arm(ctx);
+    apply_static_evasions(/*apply_tsc=*/true);
+    rng_ = Rng(ctx.seed);
+  }
+
+  void on_guest_seeded() override { rebuild_watch(); }
+
+  void observe(const ProbeObservation& obs) override {
+    switch (obs.kind) {
+      case ProbeObservationKind::kFileAPush:
+        // The push crosses the relay either way; whether the *watch* follows
+        // the victim's cache to its fresh gfns is the gamble. A stranded
+        // watch never sees the v2 writes, so the facade rots and step 2
+        // re-merges — re-randomization's recovery path.
+        reseed_facade(obs);
+        if (rng_.chance(config_.mirror_rescan_fraction)) {
+          rebuild_watch();
+          ++stats_.watch_rescans;
+        }
+        return;
+      case ProbeObservationKind::kFileAPageWrite:
+        mirror_page(obs);
+        return;
+      case ProbeObservationKind::kExitBurst:
+        return;
+    }
+  }
+
+  void disarm() override {
+    if (armed() && ctx_.victim_vm != nullptr) {
+      ctx_.victim_vm->os()->memory()->clear_page_watch();
+    }
+    watch_index_.clear();
+    AttackerPolicy::disarm();
+  }
+
+ private:
+  void rebuild_watch() {
+    auto gfns = ctx_.victim_vm->os()->cached_gfns(ctx_.file_name);
+    if (!gfns.is_ok()) return;
+    watch_index_.clear();
+    for (std::size_t i = 0; i < gfns->size(); ++i) {
+      watch_index_[(*gfns)[i].value()] = i;
+    }
+    ctx_.victim_vm->os()->memory()->watch_pages(
+        *gfns, [this](Gfn gfn, const mem::PageData& page) {
+          ProbeObservation obs;
+          obs.kind = ProbeObservationKind::kFileAPageWrite;
+          obs.file_name = ctx_.file_name;
+          obs.gfn = gfn.value();
+          obs.page = &page;
+          ++stats_.observations;
+          observe(obs);
+        });
+  }
+
+  void mirror_page(const ProbeObservation& obs) {
+    const auto it = watch_index_.find(obs.gfn);
+    if (it == watch_index_.end() || obs.page == nullptr) return;
+    guestos::GuestOS* l1 = ctx_.rootkit_vm->os();
+    auto l1_gfns = l1->cached_gfns(ctx_.file_name);
+    if (!l1_gfns.is_ok() || it->second >= l1_gfns->size()) return;
+    // Pre-split the facade page before rewriting it: a lazily taken COW
+    // fault during the detector's measurement window is exactly the timing
+    // signal the mirror exists to suppress.
+    if (!l1->memory()->is_view()) {
+      const auto un =
+          ctx_.host->ksm().unshare_page(l1->memory(), (*l1_gfns)[it->second]);
+      if (un.was_shared) ++stats_.pages_unshared;
+    }
+    mem::PageData copy = *obs.page;  // obs.page borrows the in-flight write
+    if (l1->modify_cached_page(ctx_.file_name, it->second, std::move(copy))
+            .is_ok()) {
+      ++stats_.pages_mirrored;
+    }
+    // One write-protection trap per mirrored write, billed at the victim's
+    // layer: reacting is not free.
+    hv::OpCost trap;
+    trap.n_exits = 1;
+    stats_.victim_overhead +=
+        ctx_.world->timing().price(trap, ctx_.victim_vm->layer());
+  }
+
+  Rng rng_;
+  /// Victim-view gfn -> File-A page index, matching the armed watch set.
+  std::unordered_map<std::uint64_t, std::size_t> watch_index_;
+};
+
+/// kProbeTriggeredTsc: a dynamic TimingModel price observer in place of the
+/// statically drawn scaling decision.
+class ProbeTriggeredTscPolicy final : public AttackerPolicy {
+ public:
+  explicit ProbeTriggeredTscPolicy(AttackerPolicyConfig config)
+      : AttackerPolicy(config) {}
+  ~ProbeTriggeredTscPolicy() override { disarm(); }
+
+  void arm(const AttackerContext& ctx) override {
+    AttackerPolicy::arm(ctx);
+    // Hiding still applies; the static TSC draw does not — this policy's
+    // whole point is replacing it with the hook below.
+    apply_static_evasions(/*apply_tsc=*/false);
+    ctx_.world->mutable_timing().set_price_observer(
+        [this](const hv::OpCost& cost, hv::Layer layer, SimDuration) {
+          ProbeObservation obs;
+          obs.kind = ProbeObservationKind::kExitBurst;
+          obs.cost = cost;
+          obs.layer = layer;
+          ++stats_.observations;
+          observe(obs);
+        });
+  }
+
+  void observe(const ProbeObservation& obs) override {
+    if (obs.kind != ProbeObservationKind::kExitBurst) {
+      AttackerPolicy::observe(obs);
+      return;
+    }
+    // The price() calls below re-enter the observer when this event arrived
+    // through a detector sink rather than the (self-latching) hv hook.
+    if (in_observe_) return;
+    in_observe_ = true;
+    adapt(obs);
+    in_observe_ = false;
+  }
+
+  void disarm() override {
+    if (armed()) ctx_.world->mutable_timing().clear_price_observer();
+    AttackerPolicy::disarm();
+  }
+
+ private:
+  void adapt(const ProbeObservation& obs) {
+    if (obs.layer != ctx_.victim_vm->layer()) return;
+    double scale = 1.0;
+    if (obs.trap_weight() >= config_.tsc_trigger_weight) {
+      // Deflate exactly to the single-level expectation for *this* op
+      // window — per-op-class time virtualization, the arms-race endpoint
+      // §VI-A sketches. Arithmetic windows fall through to 1.0 so the
+      // cross-check reads an honest clock.
+      const hv::TimingModel& timing = ctx_.world->timing();
+      const double honest = timing.price(obs.cost, hv::Layer::kL1) /
+                            timing.price(obs.cost, obs.layer);
+      scale = std::clamp(honest, config_.tsc_deflation_floor, 1.0);
+    }
+    if (scale != ctx_.victim_vm->tsc_scaling()) {
+      ctx_.victim_vm->set_tsc_scaling(scale);
+      ++stats_.tsc_adjustments;
+    }
+  }
+
+  bool in_observe_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<AttackerPolicy> make_policy(
+    const AttackerPolicyConfig& config) {
+  switch (config.kind) {
+    case AttackerPolicyKind::kStatic:
+      return std::make_unique<StaticPolicy>(config);
+    case AttackerPolicyKind::kReactiveMirror:
+      return std::make_unique<ReactiveMirrorPolicy>(config);
+    case AttackerPolicyKind::kProbeTriggeredTsc:
+      return std::make_unique<ProbeTriggeredTscPolicy>(config);
+  }
+  CSK_CHECK_MSG(false, "unknown attacker policy kind");
+  return nullptr;
+}
+
+}  // namespace csk::attacker

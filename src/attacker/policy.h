@@ -1,0 +1,165 @@
+/// \file
+/// AttackerPolicy: the attacker as a strategy, not a coin flip.
+///
+/// PR 7's campaign drew every evasion (hidden processes, TSC scaling) once
+/// per shard from the seed and froze it — a *static* attacker. The paper's
+/// §VI-E threat discussion and ROADMAP's attacker-adaptation item both say
+/// the real adversary watches the detectors and answers mid-protocol. This
+/// module extracts the evasion logic out of src/campaign behind an
+/// AttackerPolicy interface fed by the probe-observation plane
+/// (observation.h):
+///
+///   kStatic            Exactly the seed-drawn evasions the campaign always
+///                      applied, byte-for-byte (the default everywhere; all
+///                      pre-existing reports are produced under it). Its one
+///                      "reaction" is push-mirroring: File-A contents pushed
+///                      through the attacker's relay re-seed the L1 facade,
+///                      because the baseline CloudSkulk impersonation already
+///                      does that on the initial seed.
+///   kReactiveMirror    Write-protection watch on the victim's File-A pages
+///                      (AddressSpace::watch_pages): when the victim turns
+///                      File-A into v2, the policy eagerly unshares the L1
+///                      facade page (KsmDaemon::unshare_page) and mirrors the
+///                      new content into it — so the detector's step-2 buffer
+///                      finds nothing stale to merge with and the dedup
+///                      protocol concludes NO_NESTED_VM. Defeated (with
+///                      probability 1 - mirror_rescan_fraction) by File-A
+///                      re-randomization, which moves the victim's cache to
+///                      fresh gfns and strands the watch.
+///   kProbeTriggeredTsc Replaces the statically drawn TSC scaling with a
+///                      dynamic hv::TimingModel price observer: exit-heavy
+///                      op windows priced at the victim's layer deflate the
+///                      victim's clock to the single-level expectation, and
+///                      arithmetic windows reset it to 1.0 — defeating both
+///                      the L2 probe's anomaly ratios and its arithmetic
+///                      cross-check.
+///
+/// DetectionCampaign arms one policy per infected shard and sweeps
+/// policy x detector; bench_adaptive_attacker quantifies what each policy
+/// costs the calibrated operating points.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "attacker/observation.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "vmm/host.h"
+
+namespace csk::attacker {
+
+enum class AttackerPolicyKind {
+  kStatic,
+  kReactiveMirror,
+  kProbeTriggeredTsc,
+};
+
+const char* attacker_policy_kind_name(AttackerPolicyKind kind);
+
+struct AttackerPolicyConfig {
+  AttackerPolicyKind kind = AttackerPolicyKind::kStatic;
+  /// kReactiveMirror: probability the policy re-discovers the victim's
+  /// File-A cache pages after a kFileAPush replaced them (per push). Below
+  /// 1.0, re-randomized File-A strands the watch on freed gfns with the
+  /// complementary probability — the knob that makes the bench's
+  /// "re-randomization buys detection back" witness quantitative.
+  double mirror_rescan_fraction = 0.5;
+  /// kProbeTriggeredTsc: minimum trap weight (ctxsw + faults + exits) of a
+  /// priced op window before the policy deflates the victim's clock;
+  /// lighter windows reset the scale to 1.0 (the arithmetic cross-check
+  /// must run at honest speed).
+  double tsc_trigger_weight = 0.5;
+  /// kProbeTriggeredTsc: lower clamp on the dynamic scale (a clock running
+  /// 50x fast is its own tell).
+  double tsc_deflation_floor = 0.02;
+};
+
+/// What the policy did, for campaign values and the bench.
+struct AttackerStats {
+  std::uint64_t observations = 0;
+  std::uint64_t pages_mirrored = 0;
+  std::uint64_t pages_unshared = 0;
+  std::uint64_t facade_reseeds = 0;
+  std::uint64_t watch_rescans = 0;
+  std::uint64_t tsc_adjustments = 0;
+  /// Simulated time the policy's reactions cost the victim (one
+  /// write-protection trap per mirrored page) — evasion is not free.
+  SimDuration victim_overhead;
+};
+
+/// Everything a policy needs to act, handed over at arm() time. Pointers
+/// borrow from the campaign cell and outlive the policy.
+struct AttackerContext {
+  vmm::World* world = nullptr;
+  vmm::Host* host = nullptr;
+  /// The impersonating L1 (rootkit) VM; its OS holds the File-A facade.
+  vmm::VirtualMachine* rootkit_vm = nullptr;
+  /// The nested victim the detectors actually talk to.
+  vmm::VirtualMachine* victim_vm = nullptr;
+  std::string file_name;
+  /// Seed-drawn shard traits the static evasions are conditioned on (kept
+  /// outside AttackerPolicyConfig so kStatic reproduces the seed draws
+  /// byte-for-byte).
+  bool careful_hiding = false;
+  bool tsc_scaling = false;
+  /// Policy-private randomness stream (derive_seed(shard, 3)).
+  std::uint64_t seed = 0;
+};
+
+class AttackerPolicy {
+ public:
+  virtual ~AttackerPolicy();
+  AttackerPolicy(const AttackerPolicy&) = delete;
+  AttackerPolicy& operator=(const AttackerPolicy&) = delete;
+
+  AttackerPolicyKind kind() const { return config_.kind; }
+  const char* name() const { return attacker_policy_kind_name(config_.kind); }
+  const AttackerPolicyConfig& config() const { return config_; }
+  const AttackerStats& stats() const { return stats_; }
+
+  /// Takes position in the freshly installed nest: applies the static
+  /// evasions and installs whatever hooks the policy listens through.
+  virtual void arm(const AttackerContext& ctx);
+
+  /// Called once File-A is seeded into both the victim and the facade —
+  /// the earliest moment a page watch has gfns to arm on.
+  virtual void on_guest_seeded() {}
+
+  /// One event from the observation plane (or from the policy's own hooks).
+  virtual void observe(const ProbeObservation& obs);
+
+  /// Uninstalls hooks. Idempotent; the destructor calls it.
+  virtual void disarm();
+
+  /// The sink to hand detect::*::set_observation_sink — counts and routes
+  /// into observe().
+  ObservationSink sink();
+
+ protected:
+  explicit AttackerPolicy(AttackerPolicyConfig config);
+
+  /// The seed evasion block, verbatim: hide qemu/kvm in the L1 task list
+  /// when the shard drew careful hiding, and (when `apply_tsc`) scale the
+  /// victim's TSC by the statically computed pipe-latency ratio when the
+  /// shard drew TSC scaling.
+  void apply_static_evasions(bool apply_tsc);
+
+  /// kFileAPush: mirror the pushed contents into the L1 facade (all
+  /// policies — the push travels through the attacker's own relay).
+  void reseed_facade(const ProbeObservation& obs);
+
+  bool armed() const { return armed_; }
+
+  AttackerPolicyConfig config_;
+  AttackerContext ctx_;
+  AttackerStats stats_;
+  bool armed_ = false;
+};
+
+/// Builds the policy `config.kind` names.
+std::unique_ptr<AttackerPolicy> make_policy(const AttackerPolicyConfig& config);
+
+}  // namespace csk::attacker

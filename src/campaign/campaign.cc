@@ -1,5 +1,6 @@
 #include "campaign/campaign.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -22,7 +23,8 @@ constexpr char kVictimName[] = "guest0";
 /// scanner's database does not list.
 constexpr std::uint32_t kEvasiveRevisionId = 0xEB5E0001;
 
-vmm::World::HostConfig campaign_host_config(const CampaignScenarioConfig& sc) {
+vmm::World::HostConfig campaign_host_config(const CampaignScenarioConfig& sc,
+                                            double ksm_scale) {
   vmm::World::HostConfig cfg;
   cfg.name = "host0";
   cfg.boot_touched_mib = sc.boot_touched_mib;
@@ -30,13 +32,17 @@ vmm::World::HostConfig campaign_host_config(const CampaignScenarioConfig& sc) {
   // tuning: the campaign runs many small worlds, not one paper-scale one).
   cfg.ksm.pages_per_scan = 4000;
   cfg.ksm.scan_interval = SimDuration::millis(10);
+  if (ksm_scale != 1.0) {
+    cfg.ksm.pages_per_scan = std::max<std::size_t>(
+        1, static_cast<std::size_t>(4000 * ksm_scale + 0.5));
+  }
   return cfg;
 }
 
-vmm::MachineConfig campaign_vm_config(const CampaignScenarioConfig& sc) {
+vmm::MachineConfig campaign_vm_config(std::uint64_t guest_mb) {
   vmm::MachineConfig cfg;
   cfg.name = kVictimName;
-  cfg.memory_mb = sc.guest_memory_mb;
+  cfg.memory_mb = guest_mb;
   cfg.vcpus = 1;
   cfg.drives.push_back({std::string(kVictimName) + ".qcow2", "qcow2", 20480});
   vmm::NetdevConfig nd;
@@ -72,19 +78,36 @@ fleet::ShardOutcome campaign_cell(const fleet::ShardContext& ctx,
       (sc.merge_wait_max_s - sc.merge_wait_min_s) * rng.uniform01();
   const double stall_s = 2.0 + 3.0 * rng.uniform01();
 
+  // Population-heterogeneity draws (kMixedGuests preset). Gated on the
+  // non-default knobs AND drawn after everything above, so the default
+  // scenario's draw sequence — and therefore every pre-existing report —
+  // is byte-identical.
+  std::uint64_t guest_mb = sc.guest_memory_mb;
+  double ksm_scale = 1.0;
+  if (sc.guest_memory_mb_max > sc.guest_memory_mb) {
+    guest_mb = sc.guest_memory_mb +
+               rng.uniform(sc.guest_memory_mb_max - sc.guest_memory_mb + 1);
+  }
+  if (sc.ksm_scan_jitter > 0.0) {
+    ksm_scale = 1.0 + sc.ksm_scan_jitter * (2.0 * rng.uniform01() - 1.0);
+  }
+
   vmm::World world(derive_seed(ctx.seed, 1));
-  vmm::Host* host = world.make_host(campaign_host_config(sc));
+  vmm::Host* host = world.make_host(campaign_host_config(sc, ksm_scale));
   vmm::VirtualMachine* guest =
-      host->launch_vm(campaign_vm_config(sc), sc.boot_touched_mib).value();
+      host->launch_vm(campaign_vm_config(guest_mb), sc.boot_touched_mib)
+          .value();
 
   detect::DedupDetectorConfig dcfg;
   dcfg.file_pages = file_pages;
   dcfg.merge_wait = SimDuration::from_seconds(merge_wait_s);
   dcfg.probe_timeout = SimDuration::seconds(1);
+  dcfg.rerandomize_contents = sc.rerandomize_file_a;
   detect::DedupDetector detector(host, dcfg);
 
   vmm::VirtualMachine* victim = guest;
   std::unique_ptr<cloudskulk::CloudSkulkInstaller> installer;
+  std::unique_ptr<attacker::AttackerPolicy> policy;
   if (infected) {
     cloudskulk::InstallerOptions opts;
     opts.rootkit_boot_touched_mib = sc.boot_touched_mib;
@@ -97,22 +120,22 @@ fleet::ShardOutcome campaign_cell(const fleet::ShardContext& ctx,
       return out;
     }
     victim = installer->nested_vm();
-    if (careful_hiding) {
-      guestos::GuestOS* l1 = installer->rootkit_vm()->os();
-      for (const char* name : {"qemu-system-x86", "kvm"}) {
-        if (auto p = l1->find_process_by_name(name); p.is_ok()) {
-          (void)l1->hide_process(p->pid);
-        }
-      }
-    }
-    if (tsc_scaling) {
-      // §VI-A: deflate the victim's clock so exit-heavy probes read as
-      // single-level (pipe latency is the giveaway the attacker targets).
-      const double scale =
-          world.timing().price(guestos::pipe_latency_cost(), hv::Layer::kL1) /
-          world.timing().price(guestos::pipe_latency_cost(), hv::Layer::kL2);
-      victim->set_tsc_scaling(scale);
-    }
+    // The attacker takes position: kStatic applies exactly the seed-drawn
+    // evasions the campaign always applied; reactive policies additionally
+    // hook the observation plane. (The evasive VMCS revision id is an
+    // install-time compile choice, not a runtime reaction — it stays here.)
+    policy = attacker::make_policy(cfg.attacker);
+    attacker::AttackerContext actx;
+    actx.world = &world;
+    actx.host = host;
+    actx.rootkit_vm = installer->rootkit_vm();
+    actx.victim_vm = victim;
+    actx.file_name = dcfg.file_name;
+    actx.careful_hiding = careful_hiding;
+    actx.tsc_scaling = tsc_scaling;
+    actx.seed = derive_seed(ctx.seed, 3);
+    policy->arm(actx);
+    detector.set_observation_sink(policy->sink());
   }
 
   // The vendor's web channel pushes File-A into the user's VM; an
@@ -127,11 +150,15 @@ fleet::ShardOutcome campaign_cell(const fleet::ShardContext& ctx,
       out.status = st;
       return out;
     }
+    // File-A is now resident in both cache copies — the earliest moment a
+    // reactive policy can arm its page watch.
+    policy->on_guest_seeded();
   }
 
   detect::GuestProbeConfig pcfg;
   pcfg.probe_timeout = SimDuration::seconds(1);
   detect::GuestTimingProbe probe(&world.timing(), pcfg);
+  if (policy != nullptr) probe.set_observation_sink(policy->sink());
 
   std::unique_ptr<fault::Injector> injector;
   if (stall) {
@@ -180,6 +207,27 @@ fleet::ShardOutcome campaign_cell(const fleet::ShardContext& ctx,
   detect::VmiFingerprintDetector vmi(host);
   out.values["vmi/score"] =
       static_cast<double>(vmi.check({baseline}).anomaly_count());
+
+  // Gated on a non-default policy so kStatic shards publish exactly the
+  // value set they always did (BENCH byte-identity).
+  if (policy != nullptr &&
+      policy->kind() != attacker::AttackerPolicyKind::kStatic) {
+    const attacker::AttackerStats& as = policy->stats();
+    out.values["attacker/observations"] =
+        static_cast<double>(as.observations);
+    out.values["attacker/pages_mirrored"] =
+        static_cast<double>(as.pages_mirrored);
+    out.values["attacker/pages_unshared"] =
+        static_cast<double>(as.pages_unshared);
+    out.values["attacker/facade_reseeds"] =
+        static_cast<double>(as.facade_reseeds);
+    out.values["attacker/watch_rescans"] =
+        static_cast<double>(as.watch_rescans);
+    out.values["attacker/tsc_adjustments"] =
+        static_cast<double>(as.tsc_adjustments);
+    out.values["attacker/victim_overhead_us"] =
+        as.victim_overhead.micros_f();
+  }
 
   if (injector) out.faults = injector->log();
   return out;
@@ -248,6 +296,22 @@ obs::JsonValue analysis_json(const CampaignReport& report) {
 }
 
 }  // namespace
+
+CampaignScenarioConfig scenario_preset(CampaignPreset preset) {
+  CampaignScenarioConfig sc;
+  switch (preset) {
+    case CampaignPreset::kUniformSmall:
+      // The defaults ARE the preset: identical guests, lockstep ksmd.
+      return sc;
+    case CampaignPreset::kMixedGuests:
+      sc.guest_memory_mb = 48;
+      sc.guest_memory_mb_max = 96;
+      sc.ksm_scan_jitter = 0.3;
+      return sc;
+  }
+  CSK_CHECK_MSG(false, "unknown campaign preset");
+  return sc;
+}
 
 void CalibratedThresholds::apply_to(detect::DedupDetectorConfig* config) const {
   CSK_CHECK(config != nullptr);

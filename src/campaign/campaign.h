@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "attacker/policy.h"
 #include "campaign/roc.h"
 #include "detect/dedup_detector.h"
 #include "detect/l2_probe.h"
@@ -65,7 +66,32 @@ struct CampaignScenarioConfig {
   /// Guest shape (kept small: a campaign runs many of these).
   std::uint64_t guest_memory_mb = 64;
   std::uint64_t boot_touched_mib = 4;
+  /// Population heterogeneity (kMixedGuests preset): when above
+  /// guest_memory_mb, each shard draws its guest size uniformly from
+  /// [guest_memory_mb, guest_memory_mb_max]. 0 (default) = uniform fleet.
+  std::uint64_t guest_memory_mb_max = 0;
+  /// Per-shard ksmd scan-rate jitter: each shard scales its host's
+  /// pages_per_scan by a factor drawn from [1 - j, 1 + j]. Real fleets
+  /// never run ksmd in lockstep; jitter spreads merge-wait adequacy the
+  /// way mixed host load does. 0 (default) = no jitter.
+  double ksm_scan_jitter = 0.0;
+  /// Re-randomize File-A contents at the start of every dedup run
+  /// (DedupDetectorConfig::rerandomize_contents) — the campaign-level
+  /// switch for the mirror-policy countermeasure.
+  bool rerandomize_file_a = false;
 };
+
+/// Named population shapes for CampaignScenarioConfig.
+enum class CampaignPreset {
+  /// Today's default: identical small guests, lockstep ksmd (byte-for-byte
+  /// the pre-existing scenario).
+  kUniformSmall,
+  /// Mixed guest memory sizes (48-96 MB) plus ±30% per-shard ksmd
+  /// scan-rate jitter — a first bite at fleet realism.
+  kMixedGuests,
+};
+
+CampaignScenarioConfig scenario_preset(CampaignPreset preset);
 
 struct CampaignConfig {
   /// Number of shards (guests) in the population.
@@ -83,6 +109,10 @@ struct CampaignConfig {
   /// operator rarely": at most this fraction of clean guests flagged).
   double target_fpr = 0.01;
   CampaignScenarioConfig scenario;
+  /// The attacker every infected shard arms (src/attacker). kStatic (the
+  /// default) reproduces the seed-drawn evasions byte-for-byte; reactive
+  /// kinds respond to the probe-observation plane mid-protocol.
+  attacker::AttackerPolicyConfig attacker;
 };
 
 /// The campaign's output contract: operating thresholds for every detector,

@@ -64,6 +64,15 @@ RocCurve compute_roc(std::string detector,
     thresholds.push_back(scores.back());
   }
 
+  // Equal thresholds are one operating point, not several: collapse them so
+  // a tie-heavy sweep (every sample scoring the same) cannot pad the curve
+  // with duplicate points. The derived grid above is strictly increasing
+  // and the pre-existing explicit grids are distinct, so for those this is
+  // a no-op.
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
   curve.points.reserve(thresholds.size());
   for (double t : thresholds) {
     curve.points.push_back(roc_point_at(samples, t));
@@ -85,6 +94,11 @@ double roc_auc(const std::vector<RocPoint>& points) {
   for (const RocPoint& p : points) xy.emplace_back(p.fpr, p.tpr);
   xy.emplace_back(1.0, 1.0);
   std::sort(xy.begin(), xy.end());
+  // Coincident (fpr, tpr) points contribute zero-width trapezoids; drop
+  // them so the integral is over the distinct curve. (Exactly AUC-neutral:
+  // a dx = 0 segment adds exactly 0.0 — this guards the *intent* against a
+  // future non-trapezoidal integrator, it cannot change current values.)
+  xy.erase(std::unique(xy.begin(), xy.end()), xy.end());
   double auc = 0.0;
   for (std::size_t i = 1; i < xy.size(); ++i) {
     const double dx = xy[i].first - xy[i - 1].first;

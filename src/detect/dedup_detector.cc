@@ -143,6 +143,35 @@ Result<DedupDetectionReport> DedupDetector::run(guestos::GuestOS* victim_os) {
         "File-A not in the guest's page cache; seed_guest() first");
   }
 
+  if (config_.rerandomize_contents) {
+    // Fresh File-A every run: new random bytes, pushed into the victim at
+    // fresh gfns (replace_file), so a mirror watch armed on the previous
+    // cache pages is stranded. The push itself crosses whatever relays the
+    // web channel — observable, hence the kFileAPush emission.
+    Rng rng = host_->world()->rng().fork();
+    std::vector<mem::PageData> fresh;
+    fresh.reserve(config_.file_pages);
+    for (std::size_t i = 0; i < config_.file_pages; ++i) {
+      mem::PageBytes bytes(mem::kPageSize);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+      fresh.push_back(mem::PageData::from_bytes(std::move(bytes)));
+    }
+    file_ = std::move(fresh);
+    CSK_RETURN_IF_ERROR(
+        victim_os
+            ->replace_file(config_.file_name, file_,
+                           static_cast<std::uint64_t>(file_.size()) *
+                               mem::kPageSize)
+            .status());
+    if (sink_) {
+      attacker::ProbeObservation obs;
+      obs.kind = attacker::ProbeObservationKind::kFileAPush;
+      obs.file_name = config_.file_name;
+      obs.file_pages = &file_;
+      sink_(obs);
+    }
+  }
+
   DedupDetectionReport report;
   const SimTime protocol_start = host_->world()->simulator().now();
   const auto inconclusive = [&](std::string cause) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "attacker/observation.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/time.h"
@@ -46,6 +47,12 @@ struct DedupDetectorConfig {
   /// thrashing host) exceeds this, the run degrades to kInconclusive
   /// instead of blocking. zero() = wait out any stall (old behavior).
   SimDuration probe_timeout = SimDuration::zero();
+  /// Countermeasure to watch-based mirroring (src/attacker): every run()
+  /// regenerates File-A with fresh random bytes and pushes the new version
+  /// into the victim via GuestOS::replace_file — the victim's cache moves
+  /// to fresh gfns, stranding any write watch the attacker armed on the
+  /// old ones. Off by default (the pre-existing protocol, byte-for-byte).
+  bool rerandomize_contents = false;
 };
 
 struct PageTimings {
@@ -135,6 +142,15 @@ class DedupDetector {
     stall_probe_ = std::move(probe);
   }
 
+  /// Probe-observation plane (src/attacker): the detector's observable side
+  /// effects — here, File-A pushes into the guest — are delivered to the
+  /// sink at the moment they happen, modeling what an interposed L1 can see
+  /// of this protocol. Null (the default) emits nothing and runs the
+  /// pre-existing code path byte-for-byte.
+  void set_observation_sink(attacker::ObservationSink sink) {
+    sink_ = std::move(sink);
+  }
+
  private:
   /// Measures the regular-write baseline on an unregistered buffer.
   PageTimings measure_baseline();
@@ -148,6 +164,7 @@ class DedupDetector {
   DedupDetectorConfig config_;
   std::vector<mem::PageData> file_;
   std::function<SimDuration()> stall_probe_;
+  attacker::ObservationSink sink_;
   int buffer_serial_ = 0;
 };
 

@@ -117,6 +117,13 @@ GuestProbeReport GuestTimingProbe::run(const vmm::VirtualMachine& vm) const {
     // Expectation: "I rented an ordinary (single-level) cloud VM."
     r.expected_us = timing_->price(op.cost, hv::Layer::kL1).micros_f();
     const SimDuration actual = timing_->price(op.cost, vm.layer());
+    if (sink_) {
+      attacker::ProbeObservation obs;
+      obs.kind = attacker::ProbeObservationKind::kExitBurst;
+      obs.cost = op.cost;
+      obs.layer = vm.layer();
+      sink_(obs);
+    }
     r.observed_us = vm.guest_observed(actual).micros_f();
     // Arithmetic cannot legitimately run much *faster* than hardware: an
     // observed/expected ratio well below 1 means the clock is deflated —

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "attacker/observation.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "hv/timing_model.h"
@@ -104,10 +105,20 @@ class GuestTimingProbe {
     stall_probe_ = std::move(probe);
   }
 
+  /// Probe-observation plane (src/attacker): each probe op is an exit burst
+  /// the interposed L1's exit handler services — emitted as kExitBurst
+  /// between pricing the op and reading the guest clock, which is exactly
+  /// the window a probe-triggered TSC policy adapts in. Null (the default)
+  /// emits nothing; the pre-existing probe runs byte-for-byte.
+  void set_observation_sink(attacker::ObservationSink sink) {
+    sink_ = std::move(sink);
+  }
+
  private:
   const hv::TimingModel* timing_;
   GuestProbeConfig config_;
   std::function<SimDuration()> stall_probe_;
+  attacker::ObservationSink sink_;
 };
 
 }  // namespace csk::detect

@@ -126,6 +126,33 @@ Status GuestOS::evict_file(const std::string& name) {
   return Status::ok();
 }
 
+Result<std::vector<Gfn>> GuestOS::replace_file(
+    const std::string& name, std::vector<mem::PageData> pages,
+    std::uint64_t size_bytes) {
+  auto it = page_cache_.find(name);
+  if (it == page_cache_.end()) return not_found("file not in page cache");
+  // Allocate and populate the new cache pages while the old ones are still
+  // resident: they are not on the free list yet, so the allocator cannot
+  // hand any of them back — the fresh gfn set is disjoint from the old one.
+  std::vector<Gfn> fresh;
+  fresh.reserve(pages.size());
+  for (const mem::PageData& page : pages) {
+    CSK_ASSIGN_OR_RETURN(Gfn g, alloc_gfn());
+    memory_->write_page(g, page);
+    pinned_gfns_.insert(g.value());
+    fresh.push_back(g);
+  }
+  // Swap the on-"disk" file, then retire the old cache pages.
+  CSK_RETURN_IF_ERROR(fs_.remove(name));
+  CSK_RETURN_IF_ERROR(fs_.create(name, std::move(pages), size_bytes));
+  for (Gfn g : it->second) {
+    pinned_gfns_.erase(g.value());
+    free_gfns_.push_back(g);
+  }
+  it->second = fresh;
+  return fresh;
+}
+
 Status GuestOS::modify_cached_page(const std::string& name,
                                    std::size_t page_index,
                                    mem::PageData data) {

@@ -107,6 +107,17 @@ class GuestOS {
   /// Drops a file from the cache, freeing its gfns.
   Status evict_file(const std::string& name);
 
+  /// Atomically replaces a cached file's contents with `pages`, caching the
+  /// new version at *fresh* gfns before the old ones are freed — page-cache
+  /// LRU semantics: the new pages land in newly allocated cache pages while
+  /// the stale ones are still resident, so the new gfns never alias the old
+  /// set (even permuted). The dedup detector's File-A re-randomization
+  /// depends on this: an attacker watch armed on the old gfns goes stale
+  /// instead of silently tracking the reload. Returns the new gfns.
+  Result<std::vector<Gfn>> replace_file(const std::string& name,
+                                        std::vector<mem::PageData> pages,
+                                        std::uint64_t size_bytes);
+
   /// Rewrites one page of a cached file, both on "disk" and in memory —
   /// how the victim turns File-A into File-A-v2 (paper §VI-B step 2).
   Status modify_cached_page(const std::string& name, std::size_t page_index,

@@ -1,6 +1,9 @@
 #include "hv/timing_model.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
 
 namespace csk::hv {
 
@@ -50,6 +53,12 @@ TimingModel TimingModel::with_nested_exit_multiplier(double m) {
   return TimingModel(p);
 }
 
+void TimingModel::set_price_observer(PriceObserver observer) {
+  CSK_CHECK_MSG(price_observer_ == nullptr || observer == nullptr,
+                "a price observer is already installed");
+  price_observer_ = std::move(observer);
+}
+
 SimDuration TimingModel::price(const OpCost& cost, Layer layer) const {
   const int i = layer_index(layer);
   const double cpu_mult =
@@ -61,7 +70,13 @@ SimDuration TimingModel::price(const OpCost& cost, Layer layer) const {
   ns += cost.n_faults * params_.fault_ns[i];
   ns += cost.n_exits * params_.exit_ns[i];
   ns += cost.n_io_ops * params_.io_op_ns[i];
-  return SimDuration(static_cast<std::int64_t>(ns + 0.5));
+  const SimDuration priced(static_cast<std::int64_t>(ns + 0.5));
+  if (price_observer_ != nullptr && !in_price_observer_) {
+    in_price_observer_ = true;
+    price_observer_(cost, layer, priced);
+    in_price_observer_ = false;
+  }
+  return priced;
 }
 
 SimDuration TimingModel::price_noisy(const OpCost& cost, Layer layer, Rng& rng,

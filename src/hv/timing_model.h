@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 
 #include "common/rng.h"
 #include "common/time.h"
@@ -73,6 +74,21 @@ class TimingModel {
   SimDuration price_noisy(const OpCost& cost, Layer layer, Rng& rng,
                           double rel_stddev) const;
 
+  /// Sees every (cost, layer, priced duration) the model resolves. This is
+  /// the L1 hypervisor's vantage point: an exit-heavy op priced at the
+  /// nested layer is literally a burst of traps through L1, so an adaptive
+  /// attacker (src/attacker) keys probe-triggered TSC scaling off it —
+  /// the dynamic replacement for a statically drawn scaling decision. One
+  /// observer at a time; null (the default, and the state every pre-existing
+  /// experiment runs in) prices with zero extra work. The observer may call
+  /// price() itself (e.g. to compute a deflation target); such nested calls
+  /// are not re-observed.
+  using PriceObserver =
+      std::function<void(const OpCost& cost, Layer layer, SimDuration priced)>;
+  void set_price_observer(PriceObserver observer);
+  void clear_price_observer() { price_observer_ = nullptr; }
+  bool has_price_observer() const { return price_observer_ != nullptr; }
+
   const Params& params() const { return params_; }
 
   double syscall_ns(Layer l) const { return params_.syscall_ns[layer_index(l)]; }
@@ -83,6 +99,10 @@ class TimingModel {
 
  private:
   Params params_;
+  PriceObserver price_observer_;
+  /// Reentrancy latch: price() calls made by the observer itself are priced
+  /// silently. Mutable because price() is const for every ordinary caller.
+  mutable bool in_price_observer_ = false;
 };
 
 /// Execution environment a workload runs in: which layer, which cost model,

@@ -130,6 +130,12 @@ WriteResult AddressSpace::write_page(Gfn gfn, PageData data) {
     write_observer_(gfn, data);
     in_observer_ = false;
   }
+  if (page_watch_ != nullptr && is_watched(gfn)) {
+    CSK_CHECK_MSG(!in_watch_, "page watch re-entered its own address space");
+    in_watch_ = true;
+    page_watch_(gfn, data);
+    in_watch_ = false;
+  }
   mark_dirty(gfn);
   if (is_view()) return parent_->write_page(window_[gfn.value()], std::move(data));
 
@@ -240,6 +246,30 @@ void AddressSpace::set_write_observer(WriteObserver observer) {
   CSK_CHECK_MSG(write_observer_ == nullptr || observer == nullptr,
                 "an observer is already installed");
   write_observer_ = std::move(observer);
+}
+
+void AddressSpace::watch_pages(const std::vector<Gfn>& gfns,
+                               PageWatchHandler handler) {
+  CSK_CHECK_MSG(handler != nullptr, "watch_pages needs a handler");
+  if (watch_words_.empty()) watch_words_.assign((num_pages_ + 63) / 64, 0);
+  std::fill(watch_words_.begin(), watch_words_.end(), 0);
+  watched_count_ = 0;
+  for (Gfn g : gfns) {
+    check_gfn(g);
+    std::uint64_t& word = watch_words_[g.value() >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (g.value() & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++watched_count_;
+    }
+  }
+  page_watch_ = std::move(handler);
+}
+
+void AddressSpace::clear_page_watch() {
+  page_watch_ = nullptr;
+  std::fill(watch_words_.begin(), watch_words_.end(), 0);
+  watched_count_ = 0;
 }
 
 void AddressSpace::on_frame_repointed(Gfn gfn, FrameNumber f) {

@@ -102,6 +102,20 @@ class AddressSpace {
   void clear_write_observer() { write_observer_ = nullptr; }
   bool has_write_observer() const { return write_observer_ != nullptr; }
 
+  /// Targeted write watch: fires the handler only for writes to the listed
+  /// gfns, before the write lands. Unlike the write observer (which traps
+  /// every write through the space), the watch is a single bitmap test on
+  /// the hot path — this is how the adaptive attacker (src/attacker) shadows
+  /// just the detector's File-A pages without paying a trap per guest write.
+  /// Re-arming replaces the previous watch set and handler atomically; the
+  /// handler may write through *other* spaces (the mirror path) but not
+  /// re-enter this one.
+  using PageWatchHandler = std::function<void(Gfn gfn, const PageData& data)>;
+  void watch_pages(const std::vector<Gfn>& gfns, PageWatchHandler handler);
+  void clear_page_watch();
+  bool has_page_watch() const { return page_watch_ != nullptr; }
+  std::size_t watched_page_count() const { return watched_count_; }
+
   /// Host frame currently backing `gfn`, or invalid if untouched.
   FrameNumber translate(Gfn gfn) const;
 
@@ -189,6 +203,18 @@ class AddressSpace {
 
   WriteObserver write_observer_;
   bool in_observer_ = false;
+
+  // Targeted page watch: a word-packed membership bitmap (allocated lazily
+  // on first arm, so unwatched spaces pay one null test per write) plus the
+  // handler and a reentrancy latch.
+  bool is_watched(Gfn gfn) const {
+    return !watch_words_.empty() &&
+           (watch_words_[gfn.value() >> 6] >> (gfn.value() & 63)) & 1;
+  }
+  PageWatchHandler page_watch_;
+  std::vector<std::uint64_t> watch_words_;
+  std::size_t watched_count_ = 0;
+  bool in_watch_ = false;
 
   // Cached opt-in hot-path counters (null when disabled at construction).
   obs::Counter* c_harvested_pages_ = nullptr;

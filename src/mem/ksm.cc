@@ -239,4 +239,28 @@ std::size_t KsmDaemon::pages_sharing() const {
   return n;
 }
 
+KsmDaemon::UnshareOutcome KsmDaemon::unshare_page(AddressSpace* root,
+                                                  Gfn gfn) {
+  CSK_CHECK(root != nullptr);
+  CSK_CHECK_MSG(!root->is_view(), "unshare_page works on root address spaces");
+  UnshareOutcome out;
+  const FrameNumber f = root->translate(gfn);
+  if (!f.valid()) return out;
+  const Frame& fr = phys_->frame(f);
+  if (!fr.ksm_shared && fr.refcount() <= 1) return out;
+  // Copy the payload before phys_->write: the COW split allocates, which may
+  // grow the slot array and dangle `fr`.
+  PageData copy = fr.data;
+  const auto wr = phys_->write(f, root, gfn, std::move(copy));
+  out.was_shared = true;
+  out.cost = wr.cost;
+  // Fresh frame, fresh history: the page must pass the volatile filter on
+  // two consecutive encounters again before re-merging.
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [root](const Region& r) { return r.as == root; });
+  if (it != regions_.end()) it->stamps[gfn.value()] = PageStamp{};
+  obs::metrics().counter("mem.ksm.unshared_pages").add();
+  return out;
+}
+
 }  // namespace csk::mem

@@ -98,6 +98,21 @@ class KsmDaemon {
   /// (refcount - 1). This is /sys/kernel/mm/ksm/pages_sharing.
   std::size_t pages_sharing() const;
 
+  /// Eagerly breaks sharing for one page of `root`: if the backing frame is
+  /// KSM-shared (or COW-shared), the page is rewritten with its own content
+  /// so the caller ends up with an exclusive copy, paying the COW-split
+  /// latency. A targeted break_cow_sharing() — the adaptive attacker's
+  /// mirror policy uses it to pre-split exactly the detector-touched File-A
+  /// pages instead of unmerging whole regions. No-op (was_shared = false,
+  /// zero cost) for untouched or already-exclusive pages. The region's
+  /// volatile-filter stamp is reset so the fresh frame must re-earn merge
+  /// eligibility from scratch.
+  struct UnshareOutcome {
+    bool was_shared = false;
+    SimDuration cost;
+  };
+  UnshareOutcome unshare_page(AddressSpace* root, Gfn gfn);
+
   // Cursor introspection (tests).
   std::size_t cursor_region() const { return cursor_.region; }
   bool cursor_entered() const { return cursor_.entered; }

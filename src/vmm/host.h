@@ -46,6 +46,10 @@ class World {
   const hv::TimingModel& timing() const { return timing_; }
   /// Replaces the cost model (ablations). Do this before creating hosts.
   void set_timing(hv::TimingModel timing) { timing_ = timing; }
+  /// Mutable access for installing/removing a TimingModel price observer
+  /// after hosts exist (the adaptive attacker's hv hook). Calibrated params
+  /// must not change through this once workloads have been priced.
+  hv::TimingModel& mutable_timing() { return timing_; }
   Rng& rng() { return rng_; }
 
   struct HostConfig;

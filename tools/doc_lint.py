@@ -11,7 +11,10 @@ Fails (exit 1) when any of:
     truth), or
   * a field of ``vmm::MigrationConfig`` is missing from ARCHITECTURE.md's
     migration-knobs table (every knob added to the struct must be
-    documented as a backticked ``name`` there).
+    documented as a backticked ``name`` there), or
+  * a field of ``attacker::AttackerPolicyConfig`` is missing from
+    ARCHITECTURE.md's attacker-knobs table (same contract: every policy
+    knob must be documented as a backticked ``name``).
 
 Run from anywhere: the repo root is derived from this file's location.
 Wired into CTest as the ``doc_lint`` test so documentation debt fails the
@@ -62,12 +65,13 @@ def stale_test_count_claims() -> list[str]:
 
 
 MIGRATION_H = SRC / "vmm" / "migration.h"
+ATTACKER_H = SRC / "attacker" / "policy.h"
 
 
-def migration_config_fields() -> list[str]:
-    """Field names of struct MigrationConfig, parsed from the header."""
-    text = MIGRATION_H.read_text(encoding="utf-8")
-    match = re.search(r"struct MigrationConfig \{(.*?)\n\};", text,
+def struct_fields(header: pathlib.Path, struct_name: str) -> list[str]:
+    """Field names of ``struct <name> { ... };``, parsed from the header."""
+    text = header.read_text(encoding="utf-8")
+    match = re.search(r"struct " + struct_name + r" \{(.*?)\n\};", text,
                       flags=re.DOTALL)
     if match is None:
         return []
@@ -82,10 +86,24 @@ def migration_config_fields() -> list[str]:
     return fields
 
 
+def migration_config_fields() -> list[str]:
+    return struct_fields(MIGRATION_H, "MigrationConfig")
+
+
+def attacker_policy_config_fields() -> list[str]:
+    return struct_fields(ATTACKER_H, "AttackerPolicyConfig")
+
+
 def undocumented_migration_knobs() -> list[str]:
     """MigrationConfig fields absent from ARCHITECTURE.md's knobs table."""
     arch = ARCHITECTURE.read_text(encoding="utf-8", errors="replace")
     return [f for f in migration_config_fields() if f"`{f}`" not in arch]
+
+
+def undocumented_attacker_knobs() -> list[str]:
+    """AttackerPolicyConfig fields absent from ARCHITECTURE.md."""
+    arch = ARCHITECTURE.read_text(encoding="utf-8", errors="replace")
+    return [f for f in attacker_policy_config_fields() if f"`{f}`" not in arch]
 
 
 def main() -> int:
@@ -121,15 +139,25 @@ def main() -> int:
         for name in missing_knobs:
             print(f"  {name}")
 
+    missing_attacker = undocumented_attacker_knobs()
+    if missing_attacker:
+        failed = True
+        print("doc_lint: AttackerPolicyConfig field(s) missing from "
+              "ARCHITECTURE.md's attacker-knobs table:")
+        for name in missing_attacker:
+            print(f"  {name}")
+
     if failed:
         return 1
     n_headers = sum(1 for _ in SRC.rglob("*.h"))
     n_subsystems = sum(1 for d in SRC.iterdir() if d.is_dir())
     n_knobs = len(migration_config_fields())
+    n_attacker = len(attacker_policy_config_fields())
     print(f"doc_lint: OK ({n_headers} headers documented, "
           f"{n_subsystems} subsystems covered in ARCHITECTURE.md, "
           "test-binary count claims in sync, "
-          f"{n_knobs} migration knobs documented)")
+          f"{n_knobs} migration knobs and "
+          f"{n_attacker} attacker knobs documented)")
     return 0
 
 
